@@ -1,0 +1,58 @@
+"""Shared sweep definitions for the synthetic-data figure benchmarks.
+
+Figures 6/7 (small synthetic: improved probing vs join-NLB) and 8/9 (large
+synthetic: the three bounds) share their panel structure; the per-figure
+benchmark modules parameterize over these grids.  Paper grids are Tables IV
+and V verbatim; cardinalities are divided by the per-figure scale
+(``SKYUP_BENCH_SCALE`` overrides).
+"""
+
+from repro.bench.harness import run_cell
+from repro.bench.workloads import synthetic_workload
+
+from conftest import scaled
+
+# Table IV (small synthetic).
+SMALL_P_SWEEP = [100_000 * i for i in range(1, 11)]
+SMALL_T_SWEEP = [10_000 * i for i in range(1, 11)]
+SMALL_P_DEFAULT = 1_000_000
+SMALL_T_DEFAULT = 100_000
+SMALL_D_DEFAULT = 2
+SMALL_DIMS = [2, 3, 4, 5]
+SMALL_ALGOS = ["probing", "join-nlb"]
+
+# Table V (large synthetic).
+LARGE_P_SWEEP = [500_000, 1_000_000, 1_500_000, 2_000_000]
+LARGE_T_SWEEP = [50_000, 100_000, 150_000, 200_000]
+LARGE_P_DEFAULT = 1_000_000
+LARGE_T_DEFAULT = 100_000
+LARGE_D_DEFAULT = 5
+LARGE_DIMS = [3, 4, 5, 6]
+LARGE_BOUNDS = ["join-nlb", "join-clb", "join-alb"]
+
+PROGRESSIVE_KS = [1, 5, 10, 15, 20]
+
+
+def prepared_workload(distribution, p_paper, t_paper, dims, scale):
+    """Build (cached) a scaled workload with its indexes ready."""
+    workload = synthetic_workload(
+        distribution,
+        scaled(p_paper, scale),
+        scaled(t_paper, scale),
+        dims,
+    )
+    workload.competitor_tree
+    workload.product_tree
+    return workload
+
+
+def run_and_annotate(benchmark, bench_cell, algorithm, workload, k=1):
+    """Execute one cell under the benchmark and attach work counters."""
+    outcome = bench_cell(
+        benchmark, lambda: run_cell(algorithm, workload, k=k)
+    )
+    counters = outcome.report.counters
+    benchmark.extra_info["node_accesses"] = counters.node_accesses
+    benchmark.extra_info["dominance_tests"] = counters.dominance_tests
+    benchmark.extra_info["upgrade_calls"] = counters.upgrade_calls
+    return outcome

@@ -1,0 +1,42 @@
+"""Shared benchmark plumbing.
+
+Every benchmark measures exactly one experiment *cell* — one
+(algorithm, workload, k) combination — with ``rounds=1`` (the algorithms
+are deterministic and cells are expensive; wall-clock trends across cells
+are what the paper's figures plot, not per-cell variance).
+
+Workload and index construction happen outside the measured region, like
+the paper excludes data loading (§IV-A).  Cardinalities are the paper's
+divided by a scale factor, overridable via ``SKYUP_BENCH_SCALE``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def scale_factor(default: float) -> float:
+    """Resolve the cardinality divisor (env override wins)."""
+    env = os.environ.get("SKYUP_BENCH_SCALE")
+    return float(env) if env else default
+
+
+def scaled(paper_value: int, scale: float, floor: int = 100) -> int:
+    """Scale a paper cardinality down, with a sanity floor."""
+    return max(floor, int(round(paper_value / scale)))
+
+
+def bench_cell(benchmark, fn):
+    """Run ``fn`` once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _keep_workload_cache():
+    """Keep the cross-cell workload cache alive for the whole session."""
+    yield
+    from repro.bench.workloads import clear_cache
+
+    clear_cache()

@@ -1,0 +1,50 @@
+"""Regenerate every paper figure and record the results.
+
+Usage::
+
+    python benchmarks/run_all_figures.py [--quick] [--scale S] [--only fig6a,...]
+
+Writes one JSON per figure under ``benchmarks/results/`` and prints each
+figure's table — the data EXPERIMENTS.md reports.  This is the script the
+repository's recorded numbers come from; individual cells are also
+runnable as pytest benchmarks (``pytest benchmarks/ --benchmark-only``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.bench.figures import FIGURES, run_figure
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true")
+    parser.add_argument("--scale", type=float, default=None)
+    parser.add_argument(
+        "--only", default="", help="comma-separated figure ids"
+    )
+    args = parser.parse_args(argv)
+
+    wanted = (
+        [f.strip() for f in args.only.split(",") if f.strip()]
+        or sorted(FIGURES)
+    )
+    for figure_id in wanted:
+        start = time.perf_counter()
+        result = run_figure(figure_id, scale=args.scale, quick=args.quick)
+        elapsed = time.perf_counter() - start
+        path = result.save_json(RESULTS_DIR)
+        print(result.format_table())
+        print(f"[{figure_id} regenerated in {elapsed:.1f}s -> {path}]")
+        print(flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,59 @@
+"""Ablation: the probing family and the full-enumeration regime.
+
+Three probing variants — the paper's basic and improved algorithms plus
+this library's amortized batch probing — against the join ranking *all*
+of ``T`` (``k = |T|``).  Batch probing amortizes one global-skyline
+computation across every product (every dominator-skyline point is a
+global skyline point), which makes it the honest comparison point for the
+join when progressive early termination is not wanted.
+"""
+
+import pytest
+
+from repro.bench.harness import run_cell
+from repro.bench.workloads import synthetic_workload
+
+from conftest import bench_cell, scale_factor, scaled
+
+SCALE = scale_factor(200.0)
+ALGORITHMS = ["basic-probing", "probing", "batch-probing", "join-clb"]
+
+
+def workload(distribution):
+    w = synthetic_workload(
+        distribution,
+        scaled(1_000_000, SCALE),
+        scaled(100_000, SCALE),
+        3,
+    )
+    w.competitor_tree
+    w.product_tree
+    return w
+
+
+@pytest.mark.parametrize(
+    "distribution", ["independent", "anti_correlated"]
+)
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_full_ranking_cell(benchmark, algorithm, distribution):
+    w = workload(distribution)
+    k = len(w.products)
+    outcome = bench_cell(
+        benchmark, lambda: run_cell(algorithm, w, k=k)
+    )
+    assert len(outcome.results) == k
+    benchmark.extra_info["dominance_tests"] = (
+        outcome.report.counters.dominance_tests
+    )
+
+
+@pytest.mark.parametrize(
+    "distribution", ["independent", "anti_correlated"]
+)
+def test_probing_variants_agree(distribution):
+    w = workload(distribution)
+    reference = run_cell("batch-probing", w, k=10).costs
+    for algorithm in ("probing", "join-clb"):
+        assert run_cell(algorithm, w, k=10).costs == pytest.approx(
+            reference
+        )

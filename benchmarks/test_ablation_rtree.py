@@ -1,0 +1,66 @@
+"""Ablation: R-tree construction strategy and fanout.
+
+The paper only requires "P and T indexed by an R-tree"; these cells
+justify the library's construction defaults:
+
+* STR bulk loading vs one-at-a-time insertion (quadratic and linear
+  splits) — build time and the resulting tree's join performance;
+* node capacity (fanout) sweep for the join algorithm.
+"""
+
+import pytest
+
+from repro.bench.workloads import synthetic_workload
+from repro.core.join import JoinUpgrader
+from repro.rtree.tree import RTree
+
+from conftest import bench_cell, scale_factor, scaled
+
+SCALE = scale_factor(200.0)
+
+
+def base_workload():
+    return synthetic_workload(
+        "independent", scaled(1_000_000, SCALE), scaled(100_000, SCALE), 3
+    )
+
+
+@pytest.mark.parametrize(
+    "strategy",
+    ["bulk-str", "insert-quadratic", "insert-linear", "insert-rstar"],
+)
+def test_build_strategy_cell(benchmark, strategy):
+    w = base_workload()
+    points = w.competitors
+
+    def build():
+        if strategy == "bulk-str":
+            return RTree.bulk_load(points)
+        tree = RTree(points.shape[1], split=strategy.split("-")[1])
+        for i, p in enumerate(points):
+            tree.insert(tuple(p), i)
+        return tree
+
+    tree = bench_cell(benchmark, build)
+    assert len(tree) == len(points)
+    from repro.rtree.stats import collect_stats
+
+    stats = collect_stats(tree)
+    benchmark.extra_info["height"] = tree.height
+    benchmark.extra_info["nodes"] = stats.node_count
+    benchmark.extra_info["sibling_overlap"] = round(
+        stats.sibling_overlap_area, 4
+    )
+
+
+@pytest.mark.parametrize("fanout", [8, 16, 32, 64, 128])
+def test_join_fanout_cell(benchmark, fanout):
+    w = base_workload()
+    tree_p = RTree.bulk_load(w.competitors, max_entries=fanout)
+    tree_t = RTree.bulk_load(w.products, max_entries=fanout)
+    upgrader = JoinUpgrader(tree_p, tree_t, w.cost_model, bound="clb")
+    outcome = bench_cell(benchmark, lambda: upgrader.run(5))
+    benchmark.extra_info["node_accesses"] = (
+        outcome.report.counters.node_accesses
+    )
+    benchmark.extra_info["heap_pops"] = outcome.report.counters.heap_pops

@@ -1,0 +1,57 @@
+"""Ablation: skyline algorithm choice (the substrate the core leans on).
+
+BNL, SFS, divide & conquer, the vectorized numpy reference, and BBS over
+an R-tree, across the three data distributions.  Motivates the library's
+defaults: BNL for the small dominator sets inside Algorithm 2/4, numpy for
+dataset preparation, BBS as the basis of ``getDominatingSky``.
+"""
+
+import pytest
+
+from repro.bench.workloads import synthetic_workload
+from repro.skyline import (
+    bbs_skyline,
+    bnl_skyline,
+    dnc_skyline,
+    numpy_skyline,
+    sfs_skyline,
+    zorder_skyline,
+)
+
+from conftest import bench_cell, scale_factor, scaled
+
+SCALE = scale_factor(200.0)
+DISTRIBUTIONS = ["independent", "correlated", "anti_correlated"]
+ALGOS = {
+    "bnl": bnl_skyline,
+    "sfs": sfs_skyline,
+    "dnc": dnc_skyline,
+    "numpy": numpy_skyline,
+    "zorder": zorder_skyline,
+}
+
+
+def points_for(distribution):
+    w = synthetic_workload(
+        distribution, scaled(1_000_000, SCALE), 100, 2, seed=17
+    )
+    return w
+
+
+@pytest.mark.parametrize("distribution", DISTRIBUTIONS)
+@pytest.mark.parametrize("algo_name", sorted(ALGOS))
+def test_list_skyline_cell(benchmark, algo_name, distribution):
+    w = points_for(distribution)
+    pts = [tuple(p) for p in w.competitors]
+    result = bench_cell(benchmark, lambda: ALGOS[algo_name](pts))
+    benchmark.extra_info["skyline_size"] = len(result)
+
+
+@pytest.mark.parametrize("distribution", DISTRIBUTIONS)
+def test_bbs_skyline_cell(benchmark, distribution):
+    w = points_for(distribution)
+    tree = w.competitor_tree
+    result = bench_cell(benchmark, lambda: bbs_skyline(tree))
+    benchmark.extra_info["skyline_size"] = len(result)
+    # Cross-check against the vectorized reference.
+    assert sorted(result) == sorted(numpy_skyline(w.competitors))

@@ -1,0 +1,44 @@
+"""Figure 4: execution times on the wine attribute combinations.
+
+Paper setting: |P| = 3,898, |T| = 1,000, k = 1; algorithms: basic probing,
+improved probing, and the join under the NLB/CLB/ALB bounds; one group of
+bars per attribute combination of Table III.  The wine data is the
+synthetic UCI surrogate (DESIGN.md §5) at the paper's own cardinalities —
+no scaling.
+
+Expected shape (paper §IV-B): basic probing slowest by far; improved
+probing cuts roughly a third to half; the join far faster; the three
+bounds differ only modestly at this data size.
+"""
+
+import pytest
+
+from repro.bench.harness import run_cell
+from repro.bench.workloads import wine_workload
+
+from conftest import bench_cell
+
+ALGORITHMS = [
+    "basic-probing",
+    "probing",
+    "join-nlb",
+    "join-clb",
+    "join-alb",
+]
+COMBOS = ["c,s", "c,t", "s,t", "c,s,t"]
+
+
+@pytest.mark.parametrize("combo", COMBOS)
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_fig4_cell(benchmark, algorithm, combo):
+    workload = wine_workload(combo)
+    workload.competitor_tree  # build indexes outside the measurement
+    workload.product_tree
+    outcome = bench_cell(
+        benchmark, lambda: run_cell(algorithm, workload, k=1)
+    )
+    assert len(outcome.results) == 1
+    benchmark.extra_info["node_accesses"] = (
+        outcome.report.counters.node_accesses
+    )
+    benchmark.extra_info["top_cost"] = outcome.results[0].cost

@@ -1,0 +1,35 @@
+"""Figure 5: progressiveness on the wine data (c,s,t attributes).
+
+Paper setting: the join under NLB/CLB/ALB, measuring the time from start
+until k results are available, k in {1, 5, 10, 15, 20}.  Probing variants
+are excluded — they are not progressive (paper §IV-B).
+
+Expected shape: all bounds grow gently with k; CLB best, NLB worst.
+"""
+
+import pytest
+
+from repro.bench.harness import run_cell
+from repro.bench.workloads import wine_workload
+
+from conftest import bench_cell
+
+BOUNDS = ["nlb", "clb", "alb"]
+KS = [1, 5, 10, 15, 20]
+
+
+@pytest.mark.parametrize("k", KS)
+@pytest.mark.parametrize("bound", BOUNDS)
+def test_fig5_cell(benchmark, bound, k):
+    workload = wine_workload("c,s,t")
+    workload.competitor_tree
+    workload.product_tree
+    outcome = bench_cell(
+        benchmark, lambda: run_cell(f"join-{bound}", workload, k=k)
+    )
+    assert len(outcome.results) == k
+    times = outcome.report.extras["result_times"]
+    benchmark.extra_info["time_to_kth"] = times[-1]
+    benchmark.extra_info["costs_ascending"] = outcome.costs == sorted(
+        outcome.costs
+    )

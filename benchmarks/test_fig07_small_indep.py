@@ -1,0 +1,59 @@
+"""Figure 7: small synthetic data, independent dimensions.
+
+Improved probing vs the join (NLB bound, as the paper uses for these
+figures).  Three panels: (a) vary |P| with |T| and d fixed, (b) vary |T|,
+(c) vary d.  Paper grid: Table IV; cardinalities are scaled down (default
+divisor 200; panel (c) divisor 500 to keep the d=5 probing baseline
+bounded — probing cost explodes with dimensionality, which is itself the
+figure's point).
+
+Expected shape (paper §IV-C): the join beats improved probing — by up to three orders of
+magnitude on independent dimensions; probing degrades with |T| while the join barely
+moves; both grow with d.
+"""
+
+import pytest
+
+from _sweeps import (
+    SMALL_ALGOS,
+    SMALL_D_DEFAULT,
+    SMALL_DIMS,
+    SMALL_P_DEFAULT,
+    SMALL_P_SWEEP,
+    SMALL_T_DEFAULT,
+    SMALL_T_SWEEP,
+    prepared_workload,
+    run_and_annotate,
+)
+from conftest import bench_cell, scale_factor
+
+DIST = "independent"
+SCALE = scale_factor(200.0)
+SCALE_DIMS = scale_factor(500.0)
+
+
+@pytest.mark.parametrize("p_paper", SMALL_P_SWEEP)
+@pytest.mark.parametrize("algorithm", SMALL_ALGOS)
+def test_fig7a_vary_p(benchmark, algorithm, p_paper):
+    workload = prepared_workload(
+        DIST, p_paper, SMALL_T_DEFAULT, SMALL_D_DEFAULT, SCALE
+    )
+    run_and_annotate(benchmark, bench_cell, algorithm, workload)
+
+
+@pytest.mark.parametrize("t_paper", SMALL_T_SWEEP)
+@pytest.mark.parametrize("algorithm", SMALL_ALGOS)
+def test_fig7b_vary_t(benchmark, algorithm, t_paper):
+    workload = prepared_workload(
+        DIST, SMALL_P_DEFAULT, t_paper, SMALL_D_DEFAULT, SCALE
+    )
+    run_and_annotate(benchmark, bench_cell, algorithm, workload)
+
+
+@pytest.mark.parametrize("dims", SMALL_DIMS)
+@pytest.mark.parametrize("algorithm", SMALL_ALGOS)
+def test_fig7c_vary_d(benchmark, algorithm, dims):
+    workload = prepared_workload(
+        DIST, SMALL_P_DEFAULT, SMALL_T_DEFAULT, dims, SCALE_DIMS
+    )
+    run_and_annotate(benchmark, bench_cell, algorithm, workload)

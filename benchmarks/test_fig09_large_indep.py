@@ -1,0 +1,54 @@
+"""Figure 9: large synthetic data, independent — the three bounds.
+
+Join algorithm only, comparing NLB vs CLB vs ALB.  Panels: (a) vary |P|,
+(b) vary |T|, (c) vary d (3..6).  Paper grid: Table V; default divisor 200.
+
+Expected shape (paper §IV-D): roughly linear growth in |P|; insensitivity
+to |T|; strong growth with d; the three bounds nearly indistinguishable on
+independent data (fewer dominating points leave less room for bound optimizations).
+"""
+
+import pytest
+
+from _sweeps import (
+    LARGE_BOUNDS,
+    LARGE_D_DEFAULT,
+    LARGE_DIMS,
+    LARGE_P_DEFAULT,
+    LARGE_P_SWEEP,
+    LARGE_T_DEFAULT,
+    LARGE_T_SWEEP,
+    prepared_workload,
+    run_and_annotate,
+)
+from conftest import bench_cell, scale_factor
+
+DIST = "independent"
+SCALE = scale_factor(200.0)
+
+
+@pytest.mark.parametrize("p_paper", LARGE_P_SWEEP)
+@pytest.mark.parametrize("algorithm", LARGE_BOUNDS)
+def test_fig9a_vary_p(benchmark, algorithm, p_paper):
+    workload = prepared_workload(
+        DIST, p_paper, LARGE_T_DEFAULT, LARGE_D_DEFAULT, SCALE
+    )
+    run_and_annotate(benchmark, bench_cell, algorithm, workload)
+
+
+@pytest.mark.parametrize("t_paper", LARGE_T_SWEEP)
+@pytest.mark.parametrize("algorithm", LARGE_BOUNDS)
+def test_fig9b_vary_t(benchmark, algorithm, t_paper):
+    workload = prepared_workload(
+        DIST, LARGE_P_DEFAULT, t_paper, LARGE_D_DEFAULT, SCALE
+    )
+    run_and_annotate(benchmark, bench_cell, algorithm, workload)
+
+
+@pytest.mark.parametrize("dims", LARGE_DIMS)
+@pytest.mark.parametrize("algorithm", LARGE_BOUNDS)
+def test_fig9c_vary_d(benchmark, algorithm, dims):
+    workload = prepared_workload(
+        DIST, LARGE_P_DEFAULT, LARGE_T_DEFAULT, dims, SCALE
+    )
+    run_and_annotate(benchmark, bench_cell, algorithm, workload)

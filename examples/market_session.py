@@ -1,0 +1,72 @@
+"""A living market: incremental updates with a MarketSession.
+
+Simulates a quarter in the phone business: we watch a synthesized phone
+market (see :mod:`repro.data.markets`), keep a session over the competitor
+index and our own catalog, and react to events — competitor launches, a
+rival product being discontinued, and committing our own cheapest upgrade —
+re-querying the top-k after each event without rebuilding anything.
+
+Run:  python examples/market_session.py
+"""
+
+from repro import CostModel, LinearCost, MarketSession
+from repro.data.markets import phone_market, split_by_brand
+from repro.data.normalize import orient_minimize
+
+
+def main():
+    raw, orientations = phone_market(5_000, seed=11)
+    oriented = orient_minimize(raw, orientations)
+    competitors, own, _ = split_by_brand(oriented, 0.04, seed=11)
+
+    # Cost per oriented unit: shaving a gram, adding a standby hour,
+    # adding a megapixel.
+    model = CostModel(
+        [
+            LinearCost(0.0, 2.0),    # weight (g)
+            LinearCost(0.0, 1.0),    # -standby (h)
+            LinearCost(0.0, 30.0),   # -camera (MP)
+        ]
+    )
+    session = MarketSession(3, model, bound="alb")
+    for c in competitors:
+        session.add_competitor(c)
+    own_ids = [session.add_product(p) for p in own]
+    print(
+        f"session: {session.competitor_count} competitors, "
+        f"{session.product_count} own phones"
+    )
+
+    def report(label):
+        outcome = session.top_k(3)
+        tops = ", ".join(
+            f"#{r.record_id}@{r.cost:.1f}" for r in outcome.results
+        )
+        print(f"{label:40s} top-3 upgrades: {tops}")
+        return outcome
+
+    outcome = report("initial market")
+
+    # Event 1: a rival launches an aggressive flagship.
+    flagship = orient_minimize(
+        [[95.0, 320.0, 16.0]], orientations
+    )[0]
+    session.add_competitor(tuple(flagship))
+    report("rival flagship launched")
+
+    # Event 2: we commit our cheapest upgrade.
+    best = session.top_k(1).results[0]
+    session.commit_upgrade(best)
+    report(f"committed upgrade of product {best.record_id}")
+
+    # Event 3: we retire our weakest remaining product.
+    worst = max(
+        (pid for pid in own_ids if session.product_point(pid) is not None),
+        key=lambda pid: sum(session.product_point(pid)),
+    )
+    session.remove_product(worst)
+    report(f"retired product {worst}")
+
+
+if __name__ == "__main__":
+    main()

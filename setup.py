@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical metadata lives in ``pyproject.toml``; this file exists so the
+package remains installable on minimal environments that lack the ``wheel``
+package (``pip install -e . --no-build-isolation`` needs ``bdist_wheel``
+there, while ``python setup.py develop`` does not).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,84 @@
+"""skyup — top-k product upgrading over R-tree-indexed product sets.
+
+A complete, from-scratch reproduction of:
+
+    Hua Lu, Christian S. Jensen.
+    *Upgrading Uncompetitive Products Economically.*  ICDE 2012.
+
+Given a competitor set ``P``, an uncompetitive product set ``T``, and a
+monotonic product cost function, the library finds the ``k`` products of
+``T`` that can be upgraded most cheaply to escape domination by ``P``.
+
+Quickstart::
+
+    import numpy as np
+    from repro import top_k_upgrades
+
+    P = np.random.rand(10_000, 3)        # competitors
+    T = 1.0 + np.random.rand(1_000, 3)   # everything dominated
+    outcome = top_k_upgrades(P, T, k=5, method="join", bound="clb")
+    for r in outcome.results:
+        print(r.record_id, round(r.cost, 4), r.upgraded)
+
+See DESIGN.md for the architecture and EXPERIMENTS.md for the reproduction
+of the paper's empirical study.
+"""
+
+from repro.core.api import top_k_upgrades
+from repro.core.join import JoinUpgrader
+from repro.core.probing import (
+    basic_probing,
+    batch_probing,
+    improved_probing,
+)
+from repro.core.session import MarketSession
+from repro.core.single_set import single_set_top_k
+from repro.core.types import UpgradeConfig, UpgradeOutcome, UpgradeResult
+from repro.core.upgrade import upgrade
+from repro.costs.attribute import (
+    ExponentialCost,
+    LinearCost,
+    PiecewiseLinearCost,
+    PowerCost,
+    ReciprocalCost,
+)
+from repro.costs.integration import SumIntegration, WeightedSumIntegration
+from repro.costs.model import CostModel, paper_cost_model
+from repro.exceptions import SkyUpError
+from repro.geometry.mbr import MBR
+from repro.geometry.point import dominates
+from repro.rtree.tree import RTree
+from repro.skyline import bbs_skyline, bnl_skyline, sfs_skyline
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CostModel",
+    "ExponentialCost",
+    "JoinUpgrader",
+    "LinearCost",
+    "MBR",
+    "MarketSession",
+    "PiecewiseLinearCost",
+    "PowerCost",
+    "RTree",
+    "ReciprocalCost",
+    "SkyUpError",
+    "SumIntegration",
+    "UpgradeConfig",
+    "UpgradeOutcome",
+    "UpgradeResult",
+    "WeightedSumIntegration",
+    "__version__",
+    "basic_probing",
+    "batch_probing",
+    "bbs_skyline",
+    "bnl_skyline",
+    "dominates",
+    "improved_probing",
+    "paper_cost_model",
+    "sfs_skyline",
+    "single_set_top_k",
+    "top_k_upgrades",
+    "upgrade",
+]

@@ -1,0 +1,27 @@
+"""Experiment harness: workload construction, algorithm runners, figures.
+
+The benchmark suite (``benchmarks/``) and the ``skyup figure`` CLI both
+drive the machinery here:
+
+* :mod:`repro.bench.workloads` — cached construction of synthetic and wine
+  workloads (arrays plus bulk-loaded R-trees plus cost models);
+* :mod:`repro.bench.harness` — uniform single-cell runners for every
+  algorithm variant, returning :class:`repro.instrumentation.RunReport`;
+* :mod:`repro.bench.figures` — one experiment definition per figure of the
+  paper's §IV, each producing the figure's series at a configurable
+  cardinality scale.
+"""
+
+from repro.bench.workloads import Workload, synthetic_workload, wine_workload
+from repro.bench.harness import run_cell
+from repro.bench.figures import FIGURES, FigureResult, run_figure
+
+__all__ = [
+    "FIGURES",
+    "FigureResult",
+    "Workload",
+    "run_cell",
+    "run_figure",
+    "synthetic_workload",
+    "wine_workload",
+]

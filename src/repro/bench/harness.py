@@ -1,0 +1,94 @@
+"""Uniform algorithm runners for benchmark cells.
+
+Every experiment cell — one (algorithm, workload, k) combination — runs
+through :func:`run_cell`, which returns the algorithm's
+:class:`~repro.instrumentation.RunReport` (wall-clock plus scale-free work
+counters).  Index construction happens outside the measured region, like
+the paper's data-loading exclusion.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.bench.workloads import Workload
+from repro.core.join import JoinUpgrader
+from repro.core.probing import (
+    basic_probing,
+    batch_probing,
+    improved_probing,
+)
+from repro.core.types import UpgradeConfig, UpgradeOutcome
+from repro.exceptions import ConfigurationError
+
+#: Algorithm labels accepted by :func:`run_cell`.
+ALGORITHMS = (
+    "basic-probing",
+    "probing",
+    "batch-probing",
+    "join-nlb",
+    "join-clb",
+    "join-alb",
+    "join-max",
+)
+
+_DEFAULT_CONFIG = UpgradeConfig()
+
+
+def run_cell(
+    algorithm: str,
+    workload: Workload,
+    k: int = 1,
+    config: UpgradeConfig = _DEFAULT_CONFIG,
+    lbc_mode: str = "corrected",
+    t_limit: Optional[int] = None,
+) -> UpgradeOutcome:
+    """Execute one benchmark cell and return its outcome.
+
+    Args:
+        algorithm: one of :data:`ALGORITHMS` (``join-*`` selects the
+            join-list bound).
+        workload: the dataset (indexes are built outside the timed region
+            on first access).
+        k: number of results requested.
+        config: Algorithm 1 configuration.
+        lbc_mode: per-pair LBC variant for join algorithms.
+        t_limit: probe only the first ``t_limit`` products (probing
+            algorithms only) — used by the quick benchmark mode to keep
+            deliberately-slow baselines bounded; always ``None`` for
+            figure-faithful runs.
+
+    Returns:
+        The algorithm's :class:`~repro.core.types.UpgradeOutcome`.
+    """
+    if algorithm not in ALGORITHMS:
+        raise ConfigurationError(
+            f"unknown algorithm {algorithm!r}; choose from {ALGORITHMS}"
+        )
+    if algorithm.startswith("join-"):
+        bound = algorithm.split("-", 1)[1]
+        tree_p = workload.competitor_tree
+        tree_t = workload.product_tree
+        upgrader = JoinUpgrader(
+            tree_p,
+            tree_t,
+            workload.cost_model,
+            bound=bound,
+            config=config,
+            lbc_mode=lbc_mode,
+        )
+        return upgrader.run(k)
+
+    products = workload.products
+    if t_limit is not None:
+        products = products[:t_limit]
+    tree_p = workload.competitor_tree
+    if algorithm == "probing":
+        return improved_probing(
+            tree_p, products, workload.cost_model, k, config
+        )
+    if algorithm == "batch-probing":
+        return batch_probing(
+            tree_p, products, workload.cost_model, k, config
+        )
+    return basic_probing(tree_p, products, workload.cost_model, k, config)

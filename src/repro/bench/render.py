@@ -1,0 +1,96 @@
+"""Terminal rendering of figure results: log-scale ASCII charts.
+
+The paper's figures are log-scale line/bar charts of execution time.  With
+no plotting dependency available, :func:`render_series_chart` draws the
+same information as a horizontal bar chart per (x, series) cell, scaled
+logarithmically so the orders-of-magnitude gaps the paper emphasizes are
+visible at a glance.  ``skyup figure <id> --chart`` uses it.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Tuple
+
+from repro.bench.figures import FigureResult
+
+_BAR_WIDTH = 46
+_BAR_CHAR = "█"
+
+
+def render_series_chart(result: FigureResult, width: int = _BAR_WIDTH) -> str:
+    """Render a :class:`FigureResult` as a log-scale ASCII bar chart.
+
+    Args:
+        result: the regenerated figure.
+        width: maximum bar width in characters.
+
+    Returns:
+        A multi-line string; one group of bars per x value, one bar per
+        series, annotated with the measured seconds.
+    """
+    lines = [f"{result.figure_id}: {result.title}", ""]
+    labels = list(result.series)
+    if not labels:
+        return "\n".join(lines + ["(no series)"])
+    values = [
+        seconds
+        for cells in result.series.values()
+        for _, seconds, _ in cells
+    ]
+    positive = [v for v in values if v > 0]
+    if not positive:
+        return "\n".join(lines + ["(all measurements are zero)"])
+    lo = min(positive)
+    hi = max(positive)
+    span = math.log10(hi / lo) if hi > lo else 1.0
+    label_width = max(len(label) for label in labels) + 2
+
+    xs = [cell[0] for cell in result.series[labels[0]]]
+    for i, x in enumerate(xs):
+        lines.append(f"{result.xlabel} = {x}")
+        for label in labels:
+            _, seconds, _ = result.series[label][i]
+            lines.append(
+                f"  {label.ljust(label_width)}"
+                f"{_bar(seconds, lo, span, width)} {seconds:.4f}s"
+            )
+        lines.append("")
+    lines.append(
+        f"(log scale: {lo:.4g}s .. {hi:.4g}s over {width} columns)"
+    )
+    return "\n".join(lines)
+
+
+def _bar(seconds: float, lo: float, span: float, width: int) -> str:
+    if seconds <= 0:
+        return ""
+    frac = math.log10(seconds / lo) / span if span else 1.0
+    filled = max(1, int(round(frac * (width - 1))) + 1)
+    return _BAR_CHAR * min(filled, width)
+
+
+def render_speedups(
+    result: FigureResult, baseline: str
+) -> List[Tuple[str, Dict[str, float]]]:
+    """Per-x speedup factors of every series against ``baseline``.
+
+    Returns:
+        ``[(x, {series: baseline_seconds / series_seconds}), ...]`` — the
+        "join outperforms probing by N×" statements of §IV, computed.
+    """
+    if baseline not in result.series:
+        raise KeyError(
+            f"baseline {baseline!r} not among series {list(result.series)}"
+        )
+    base_cells = result.series[baseline]
+    out: List[Tuple[str, Dict[str, float]]] = []
+    for i, (x, base_seconds, _) in enumerate(base_cells):
+        row: Dict[str, float] = {}
+        for label, cells in result.series.items():
+            if label == baseline:
+                continue
+            seconds = cells[i][1]
+            row[label] = base_seconds / seconds if seconds > 0 else math.inf
+        out.append((x, row))
+    return out

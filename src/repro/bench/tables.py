@@ -1,0 +1,122 @@
+"""The paper's tables (I-V) as structured, printable data.
+
+Tables I and II are the running example's data (they live in
+:mod:`repro.data.phones`; re-exported here for one-stop access).  Table III
+is the wine attribute combinations, Tables IV and V the synthetic
+experiment parameter grids.  ``skyup table <id>`` prints any of them; the
+test suite asserts the dominance facts the paper derives from Tables I/II.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.data.phones import (
+    COMPETITOR_PHONES,
+    PHONE_ATTRIBUTES,
+    UPGRADE_CANDIDATE_PHONES,
+)
+from repro.data.wine import ATTRIBUTE_COMBOS
+from repro.exceptions import ConfigurationError
+
+#: Table IV — parameter settings for the small synthetic data sets
+#: (defaults in the paper are shown in bold; marked here with ``*``).
+TABLE_IV = {
+    "competitor_cardinality": [100_000 * i for i in range(1, 11)],
+    "competitor_default": 1_000_000,
+    "product_cardinality": [10_000 * i for i in range(1, 11)],
+    "product_default": 100_000,
+    "dimensionality": [2, 3, 4, 5],
+    "dimensionality_default": 2,
+}
+
+#: Table V — parameter settings for the large synthetic data sets.
+TABLE_V = {
+    "competitor_cardinality": [500_000, 1_000_000, 1_500_000, 2_000_000],
+    "competitor_default": 1_000_000,
+    "product_cardinality": [50_000, 100_000, 150_000, 200_000],
+    "product_default": 100_000,
+    "dimensionality": [3, 4, 5, 6],
+    "dimensionality_default": 5,
+}
+
+TABLE_IDS = ("I", "II", "III", "IV", "V")
+
+
+def _format_phone_table(
+    title: str, rows: Dict[str, Sequence[float]]
+) -> str:
+    header = ("Phone",) + tuple(
+        a.replace("_", " ").title() for a in PHONE_ATTRIBUTES
+    )
+    widths = [14, 10, 14, 14]
+    lines = [title]
+    lines.append("".join(h.ljust(w) for h, w in zip(header, widths)))
+    for name, values in rows.items():
+        cells = (name,) + tuple(f"{v:g}" for v in values)
+        lines.append("".join(c.ljust(w) for c, w in zip(cells, widths)))
+    return "\n".join(lines)
+
+
+def _format_grid_table(title: str, grid: Dict[str, object]) -> str:
+    lines = [title, f"{'Parameter':30s}{'Settings'}"]
+
+    def fmt(values: List[int], default: int) -> str:
+        return ", ".join(
+            f"*{v}*" if v == default else str(v) for v in values
+        )
+
+    lines.append(
+        f"{'Competitor Cardinality |P|':30s}"
+        + fmt(grid["competitor_cardinality"], grid["competitor_default"])
+    )
+    lines.append(
+        f"{'Product Cardinality |T|':30s}"
+        + fmt(grid["product_cardinality"], grid["product_default"])
+    )
+    lines.append(
+        f"{'Dimensionality d':30s}"
+        + fmt(grid["dimensionality"], grid["dimensionality_default"])
+    )
+    lines.append("(* marks the paper's default)")
+    return "\n".join(lines)
+
+
+def format_table(table_id: str) -> str:
+    """Render one of the paper's tables as aligned text.
+
+    Args:
+        table_id: ``"I"`` (competitor phones), ``"II"`` (upgrade-candidate
+            phones), ``"III"`` (wine attribute combinations), ``"IV"``
+            (small synthetic grid), or ``"V"`` (large synthetic grid).
+    """
+    if table_id == "I":
+        return _format_phone_table(
+            "Table I — Cell Phone Set P", COMPETITOR_PHONES
+        )
+    if table_id == "II":
+        return _format_phone_table(
+            "Table II — Cell Phone Set T", UPGRADE_CANDIDATE_PHONES
+        )
+    if table_id == "III":
+        lines = [
+            "Table III — Selected Wine Data Set Attributes",
+            f"{'Abbreviation':16s}Wine Attributes",
+        ]
+        for abbrev, attributes in ATTRIBUTE_COMBOS.items():
+            pretty = ", ".join(a.replace("_", " ") for a in attributes)
+            lines.append(f"{abbrev:16s}{pretty}")
+        return "\n".join(lines)
+    if table_id == "IV":
+        return _format_grid_table(
+            "Table IV — Parameter Settings, Small Synthetic Data Sets",
+            TABLE_IV,
+        )
+    if table_id == "V":
+        return _format_grid_table(
+            "Table V — Parameter Settings, Large Synthetic Data Sets",
+            TABLE_V,
+        )
+    raise ConfigurationError(
+        f"unknown table {table_id!r}; choose from {TABLE_IDS}"
+    )

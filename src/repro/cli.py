@@ -1,0 +1,283 @@
+"""Command-line interface.
+
+Three subcommands::
+
+    skyup generate --distribution anti_correlated --n 10000 --dims 3 out.csv
+    skyup run --competitors P.csv --products T.csv --k 5 --method join
+    skyup figure fig6a --scale 100
+
+``generate`` writes synthetic point sets; ``run`` solves one top-k upgrading
+instance from CSV files; ``figure`` regenerates one of the paper's
+experiment figures (see :mod:`repro.bench.figures` for ids and
+EXPERIMENTS.md for the recorded outputs).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro import __version__
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="skyup",
+        description=(
+            "Top-k product upgrading (Lu & Jensen, ICDE 2012 reproduction)"
+        ),
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"skyup {__version__}"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a synthetic point set")
+    gen.add_argument("output", help="destination CSV path")
+    gen.add_argument(
+        "--distribution",
+        default="independent",
+        choices=["independent", "correlated", "anti_correlated"],
+    )
+    gen.add_argument("--n", type=int, default=10000, help="point count")
+    gen.add_argument("--dims", type=int, default=3, help="dimensionality")
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--low", type=float, default=0.0)
+    gen.add_argument("--high", type=float, default=1.0)
+
+    run = sub.add_parser("run", help="solve one top-k upgrading instance")
+    run.add_argument("--competitors", required=True, help="CSV of P")
+    run.add_argument("--products", required=True, help="CSV of T")
+    run.add_argument("--k", type=int, default=1)
+    run.add_argument(
+        "--method",
+        default="join",
+        choices=["join", "probing", "basic-probing"],
+    )
+    run.add_argument(
+        "--bound", default="clb", choices=["nlb", "clb", "alb", "max"]
+    )
+    run.add_argument(
+        "--lbc-mode", default="corrected", choices=["corrected", "paper"]
+    )
+    run.add_argument(
+        "--cost-offset",
+        type=float,
+        default=1e-3,
+        help="offset of the reciprocal attribute cost 1/(v+offset)",
+    )
+    run.add_argument(
+        "--show-counters",
+        action="store_true",
+        help="also print the work counters of the run",
+    )
+
+    cat = sub.add_parser(
+        "catalog",
+        help="single-set variant: upgrade a catalog's own products",
+    )
+    cat.add_argument("--catalog", required=True, help="CSV of the catalog")
+    cat.add_argument("--k", type=int, default=1)
+    cat.add_argument("--method", default="join", choices=["join", "probing"])
+    cat.add_argument(
+        "--bound", default="clb", choices=["nlb", "clb", "alb", "max"]
+    )
+    cat.add_argument("--cost-offset", type=float, default=1e-3)
+
+    fig = sub.add_parser("figure", help="regenerate a paper figure")
+    fig.add_argument(
+        "figure_id",
+        help="figure id, e.g. fig4, fig6a, fig10 (use 'list' to enumerate)",
+    )
+    fig.add_argument(
+        "--scale",
+        type=float,
+        default=None,
+        help="cardinality divisor vs the paper (default per figure)",
+    )
+    fig.add_argument(
+        "--quick",
+        action="store_true",
+        help="run a reduced sweep for a fast smoke check",
+    )
+    fig.add_argument(
+        "--chart",
+        action="store_true",
+        help="render a log-scale ASCII bar chart instead of the table",
+    )
+    fig.add_argument(
+        "--save-json",
+        metavar="DIR",
+        default=None,
+        help="also write the figure's series as JSON under DIR",
+    )
+
+    tab = sub.add_parser("table", help="print one of the paper's tables")
+    tab.add_argument(
+        "table_id",
+        help="table id: I, II, III, IV, or V ('list' to enumerate)",
+    )
+
+    rep = sub.add_parser(
+        "report",
+        help="render recorded figure JSONs as a Markdown appendix",
+    )
+    rep.add_argument(
+        "results_dir",
+        nargs="?",
+        default="benchmarks/results",
+        help="directory of fig*.json files (default: benchmarks/results)",
+    )
+    return parser
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro.data.generators import generate
+    from repro.data.io import save_points_csv
+
+    points = generate(
+        args.distribution,
+        args.n,
+        args.dims,
+        seed=args.seed,
+        low=args.low,
+        high=args.high,
+    )
+    save_points_csv(args.output, points)
+    print(
+        f"wrote {args.n} {args.distribution} points "
+        f"({args.dims}-d, [{args.low}, {args.high}]) to {args.output}"
+    )
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.core.api import top_k_upgrades
+    from repro.costs.model import paper_cost_model
+    from repro.data.io import load_points_csv
+
+    competitors, _ = load_points_csv(args.competitors)
+    products, _ = load_points_csv(args.products)
+    cost_model = paper_cost_model(products.shape[1], offset=args.cost_offset)
+    outcome = top_k_upgrades(
+        competitors,
+        products,
+        k=args.k,
+        cost_model=cost_model,
+        method=args.method,
+        bound=args.bound,
+        lbc_mode=args.lbc_mode,
+    )
+    print(
+        f"# {outcome.report.algorithm}: |P|={len(competitors)} "
+        f"|T|={len(products)} k={args.k} "
+        f"elapsed={outcome.report.elapsed_s:.4f}s"
+    )
+    print("rank,record_id,cost,original,upgraded")
+    for rank, r in enumerate(outcome.results, start=1):
+        orig = ";".join(f"{v:.6g}" for v in r.original)
+        upgr = ";".join(f"{v:.6g}" for v in r.upgraded)
+        print(f"{rank},{r.record_id},{r.cost:.6g},{orig},{upgr}")
+    if args.show_counters:
+        for name, value in outcome.report.counters.as_dict().items():
+            print(f"# {name}={value}")
+    return 0
+
+
+def _cmd_catalog(args: argparse.Namespace) -> int:
+    from repro.core.single_set import single_set_top_k, split_catalog
+    from repro.costs.model import paper_cost_model
+    from repro.data.io import load_points_csv
+
+    catalog, _ = load_points_csv(args.catalog)
+    cost_model = paper_cost_model(catalog.shape[1], offset=args.cost_offset)
+    skyline_rows, candidates, _ = split_catalog(catalog)
+    outcome = single_set_top_k(
+        catalog,
+        k=args.k,
+        cost_model=cost_model,
+        method=args.method,
+        bound=args.bound,
+    )
+    print(
+        f"# catalog of {len(catalog)}: {len(skyline_rows)} competitive, "
+        f"{len(candidates)} candidates; {outcome.report.algorithm} "
+        f"elapsed={outcome.report.elapsed_s:.4f}s"
+    )
+    print("rank,record_id,cost,original,upgraded")
+    for rank, r in enumerate(outcome.results, start=1):
+        orig = ";".join(f"{v:.6g}" for v in r.original)
+        upgr = ";".join(f"{v:.6g}" for v in r.upgraded)
+        print(f"{rank},{r.record_id},{r.cost:.6g},{orig},{upgr}")
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    from repro.bench.figures import FIGURES, run_figure
+
+    if args.figure_id == "list":
+        for fid, spec in sorted(FIGURES.items()):
+            print(f"{fid:8s} {spec.title}")
+        return 0
+    if args.figure_id not in FIGURES:
+        print(
+            f"unknown figure {args.figure_id!r}; run 'skyup figure list'",
+            file=sys.stderr,
+        )
+        return 2
+    result = run_figure(args.figure_id, scale=args.scale, quick=args.quick)
+    if args.chart:
+        from repro.bench.render import render_series_chart
+
+        print(render_series_chart(result))
+    else:
+        print(result.format_table())
+    if args.save_json:
+        path = result.save_json(args.save_json)
+        print(f"[series written to {path}]")
+    return 0
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    from repro.bench.tables import TABLE_IDS, format_table
+
+    if args.table_id == "list":
+        for tid in TABLE_IDS:
+            print(tid)
+        return 0
+    if args.table_id not in TABLE_IDS:
+        print(
+            f"unknown table {args.table_id!r}; choose from {TABLE_IDS}",
+            file=sys.stderr,
+        )
+        return 2
+    print(format_table(args.table_id))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "generate":
+            return _cmd_generate(args)
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "catalog":
+            return _cmd_catalog(args)
+        if args.command == "table":
+            return _cmd_table(args)
+        if args.command == "report":
+            from repro.bench.report import render_report
+
+            print(render_report(args.results_dir))
+            return 0
+        return _cmd_figure(args)
+    except BrokenPipeError:  # pragma: no cover - e.g. `skyup ... | head`
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,68 @@
+"""The paper's contribution: top-k product upgrading algorithms.
+
+* :mod:`repro.core.upgrade` — Algorithm 1, upgrading a single product given
+  the skyline of its dominators;
+* :mod:`repro.core.dominators` — Algorithm 3 (``getDominatingSky``), a
+  BBS-style skyline-of-dominators query over the competitor R-tree;
+* :mod:`repro.core.probing` — Algorithm 2 (basic probing) and its improved
+  variant;
+* :mod:`repro.core.bounds` — the per-pair lower bound ``LBC`` (Cases 1–4)
+  and the NLB / CLB / ALB join-list bounds (Equations 2–4), plus the ``MAX``
+  extension bound;
+* :mod:`repro.core.join` — Algorithm 4, the progressive best-first join;
+* :mod:`repro.core.api` — the one-call convenience entry point
+  :func:`~repro.core.api.top_k_upgrades`;
+* :mod:`repro.core.verify` — a brute-force oracle and result validators
+  used by the test suite.
+"""
+
+from repro.core.types import UpgradeConfig, UpgradeOutcome, UpgradeResult
+from repro.core.upgrade import upgrade
+from repro.core.dominators import get_dominating_skyline
+from repro.core.probing import (
+    basic_probing,
+    batch_probing,
+    improved_probing,
+)
+from repro.core.bounds import (
+    BOUND_NAMES,
+    aggressive_bound,
+    conservative_bound,
+    join_list_bound,
+    lbc,
+    max_bound,
+    naive_bound,
+)
+from repro.core.join import JoinUpgrader
+from repro.core.api import top_k_upgrades
+from repro.core.optimal import optimal_upgrade_2d, optimal_upgrade_exhaustive
+from repro.core.session import MarketSession
+from repro.core.single_set import single_set_top_k, split_catalog
+from repro.core.verify import brute_force_topk, verify_results
+
+__all__ = [
+    "BOUND_NAMES",
+    "JoinUpgrader",
+    "MarketSession",
+    "UpgradeConfig",
+    "UpgradeOutcome",
+    "UpgradeResult",
+    "aggressive_bound",
+    "basic_probing",
+    "batch_probing",
+    "brute_force_topk",
+    "conservative_bound",
+    "get_dominating_skyline",
+    "improved_probing",
+    "join_list_bound",
+    "lbc",
+    "max_bound",
+    "naive_bound",
+    "optimal_upgrade_2d",
+    "optimal_upgrade_exhaustive",
+    "single_set_top_k",
+    "split_catalog",
+    "top_k_upgrades",
+    "upgrade",
+    "verify_results",
+]

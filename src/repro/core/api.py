@@ -1,0 +1,97 @@
+"""One-call convenience API.
+
+:func:`top_k_upgrades` accepts raw point collections, builds the required
+R-tree(s) via STR bulk loading, dispatches to the chosen algorithm, and
+returns an :class:`~repro.core.types.UpgradeOutcome`.  Library users with
+long-lived indexes should instead construct
+:class:`~repro.core.join.JoinUpgrader` (or call the probing functions)
+directly to amortize index construction.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.join import JoinUpgrader
+from repro.core.probing import basic_probing, improved_probing
+from repro.core.types import UpgradeConfig, UpgradeOutcome
+from repro.costs.model import CostModel, paper_cost_model
+from repro.exceptions import ConfigurationError, EmptyDatasetError
+from repro.rtree.tree import RTree
+
+#: Algorithm selector values accepted by :func:`top_k_upgrades`.
+METHODS = ("join", "probing", "basic-probing")
+
+_DEFAULT_CONFIG = UpgradeConfig()
+
+
+def top_k_upgrades(
+    competitors: Sequence[Sequence[float]],
+    products: Sequence[Sequence[float]],
+    k: int = 1,
+    cost_model: Optional[CostModel] = None,
+    method: str = "join",
+    bound: str = "clb",
+    config: UpgradeConfig = _DEFAULT_CONFIG,
+    max_entries: int = 32,
+    lbc_mode: str = "corrected",
+) -> UpgradeOutcome:
+    """Solve the top-k product upgrading problem end to end.
+
+    Args:
+        competitors: the competitor set ``P`` (rows of points).
+        products: the upgrade-candidate set ``T``; result record ids are
+            row positions in this collection.
+        k: number of cheapest-to-upgrade products to return.
+        cost_model: the product cost function; defaults to the paper's
+            summation of reciprocal attribute costs.
+        method: ``"join"`` (Algorithm 4), ``"probing"`` (improved probing),
+            or ``"basic-probing"`` (Algorithm 2 verbatim).
+        bound: join-list bound for the join method (ignored otherwise).
+        config: Algorithm 1 configuration.
+        max_entries: R-tree node capacity for the bulk-loaded indexes.
+        lbc_mode: per-pair bound variant for the join method —
+            ``"corrected"`` (default) or ``"paper"``; see
+            :mod:`repro.core.bounds`.
+
+    Returns:
+        The top-k results sorted by ascending upgrade cost, with a run
+        report.
+
+    Example:
+        >>> import numpy as np
+        >>> P = np.array([[0.2, 0.8], [0.5, 0.5], [0.8, 0.2]])
+        >>> T = np.array([[0.9, 0.9], [0.6, 0.6]])
+        >>> outcome = top_k_upgrades(P, T, k=1)
+        >>> outcome.results[0].record_id
+        1
+    """
+    if method not in METHODS:
+        raise ConfigurationError(
+            f"unknown method {method!r}; choose from {METHODS}"
+        )
+    if len(products) == 0:
+        raise EmptyDatasetError("the product set T is empty")
+    dims = len(products[0])
+    if cost_model is None:
+        cost_model = paper_cost_model(dims)
+
+    if len(competitors) == 0:
+        # Degenerate but legal: nothing dominates anything, all costs are 0.
+        competitor_tree = RTree(dims, max_entries=max_entries)
+    else:
+        competitor_tree = RTree.bulk_load(
+            competitors, max_entries=max_entries
+        )
+
+    if method == "join":
+        product_tree = RTree.bulk_load(products, max_entries=max_entries)
+        upgrader = JoinUpgrader(
+            competitor_tree, product_tree, cost_model, bound, config, lbc_mode
+        )
+        return upgrader.run(k)
+    if method == "probing":
+        return improved_probing(
+            competitor_tree, products, cost_model, k, config
+        )
+    return basic_probing(competitor_tree, products, cost_model, k, config)

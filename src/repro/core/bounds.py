@@ -1,0 +1,397 @@
+"""Lower bounds on group upgrade costs (paper §III-B3 and §III-B4).
+
+``LBC(e_T, e_P)`` lower-bounds the cost of upgrading *any* product inside
+the ``R_T`` node ``e_T`` to escape domination by *any* competitor inside the
+``R_P`` node ``e_P``.  The bound reasons about ``e_T.min`` — the virtual
+best product of the node — against the dimension classification of
+:func:`repro.geometry.classify.classify_dimensions`:
+
+* Case 1 — some advantaged dimension: ``0`` (the node may already contain
+  undominated products);
+* Case 2 — all dimensions incomparable: ``0`` (competitors may all sit on
+  the far side of every dimension);
+* Case 3 — all dimensions disadvantaged: the node's best product must become
+  at least as good as ``e_P.max`` — cost ``f_p(e_P.max) - f_p(e_T.min)``;
+* Case 4 — disadvantaged and incomparable mixed: upgrade only the
+  disadvantaged dimensions to ``e_P.max``'s values, keep the incomparable
+  ones — cost ``f_p(t_v) - f_p(e_T.min)``.
+
+Join-list bounds (one ``e_T`` against its whole join list ``JL``):
+
+* **NLB** (Equation 2) — ``min`` of all per-entry bounds: correct but
+  pessimistic (one Case-1/2 zero collapses it);
+* **CLB** (Equation 3) — ``min`` over entries with *positive* bounds,
+  justified by Lemma 2;
+* **ALB** (Equation 4) — partition ``JL'`` by dimension-classification
+  signature and take ``min`` over partitions of the ``max`` within each;
+* **MAX** — an extension beyond the paper: ``max`` of all per-entry bounds.
+  Escaping the whole join list is at least as expensive as escaping any
+  single entry (an upgrade valid against a superset is valid against every
+  subset), so the maximum per-entry bound is itself a valid — and the
+  tightest corner-derivable — lower bound.  Benchmarked as an ablation.
+
+Reproduction finding — the paper's Case 3/4 formulas are not lower bounds
+============================================================================
+
+A product escapes domination by a competitor by beating it on *one*
+dimension; the paper's Case 3 charges for matching ``e_P.max`` on *every*
+dimension, and its Case 4 for matching it on every disadvantaged dimension.
+Both therefore overestimate the achievable cost:
+
+* Case 3 counter-example (``c = 2``, reciprocal costs): ``e_P`` holding the
+  single point ``(0.5, 0.5)`` against ``e_T.min = (1, 1)`` — the paper's
+  bound is ``2 * (f(0.5) - f(1))`` but upgrading only the first attribute
+  to ``0.5 - ε`` escapes at half that cost.
+* Case 4 with two or more incomparable dimensions can even bound a node
+  whose best corner is *undominated* (no valid bound above zero exists):
+  ``e_P = {(0.5, 0.5, 2), (0.5, 2, 0.5)}`` against ``e_T.min = (1, 1, 1)``
+  classifies dimension 1 disadvantaged and dimensions 2, 3 incomparable,
+  yet neither point dominates ``(1, 1, 1)``.
+
+An overestimating "lower" bound breaks the best-first invariant: Algorithm 4
+can emit results out of cost order and return strictly more expensive
+products than the probing baseline computes (the paper's §IV measures
+execution time only, so the issue cannot be seen in its plots).  This module
+therefore implements two modes:
+
+* ``mode="corrected"`` (default) — Case 3 becomes the cheapest
+  *single-dimension* escape ``min_i [f_p(e_T.min with d_i := e_P.max.d_i)
+  - f_p(e_T.min)]``; Case 4 keeps a positive bound only when exactly one
+  dimension is incomparable (then the point attaining ``e_P.min`` on it
+  provably dominates ``e_T.min``) and is ``0`` otherwise.  All join results
+  then match the probing baseline exactly.
+* ``mode="paper"`` — the formulas verbatim, for reproducing the paper's
+  pruning behaviour in the ablation benchmarks.
+
+Upgrades are taken to be attribute *improvements* (``t' <= t``
+coordinate-wise), matching every candidate Algorithm 1 generates; this is
+what makes the single-dimension escape the cheapest one.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.costs.model import CostModel
+from repro.exceptions import ConfigurationError
+from repro.geometry.classify import DimClassification, classify_dimensions
+from repro.instrumentation import Counters
+
+#: The names accepted wherever a join-list bound is selected.
+BOUND_NAMES = ("nlb", "clb", "alb", "max")
+
+#: Per-pair LBC variants: the validity-fixed default and the paper verbatim.
+LBC_MODES = ("corrected", "paper")
+
+Corner = Tuple[float, ...]
+
+#: A per-entry bound plus the partition key of its dimension classification.
+Pair = Tuple[float, bytes]
+
+# Per-dimension category codes packed into the signature bytes.
+_DIS, _INC, _ADV = 1, 2, 0
+
+
+def signature_of(classification: DimClassification) -> bytes:
+    """Encode a classification's ``(D_D, D_I)`` split as compact bytes.
+
+    The byte string assigns every dimension its category code; two entries
+    share an aggressive-bound partition iff their byte strings are equal.
+    The scalar and vectorized bound paths both emit this encoding so their
+    pairs mix freely inside one join list.
+    """
+    codes = bytearray(classification.dims)
+    for i in classification.disadvantaged:
+        codes[i] = _DIS
+    for i in classification.incomparable:
+        codes[i] = _INC
+    return bytes(codes)
+
+
+def lbc(
+    t_low: Sequence[float],
+    p_low: Sequence[float],
+    p_high: Sequence[float],
+    cost_model: CostModel,
+    stats: Optional[Counters] = None,
+    mode: str = "corrected",
+) -> Pair:
+    """Return ``(LBC(e_T, e_P), signature)`` for one entry pair.
+
+    Args:
+        t_low: ``e_T.min`` (for a leaf entry, the product point itself).
+        p_low: ``e_P.min``.
+        p_high: ``e_P.max``.
+        cost_model: the product cost function ``f_p``.
+        stats: optional counters (``lbc_evaluations``).
+        mode: ``"corrected"`` (valid lower bounds, default) or ``"paper"``
+            (the literal Case 3/4 formulas — see the module docstring for
+            why those overestimate).
+
+    Returns:
+        The lower bound (never negative) and the classification signature
+        (the aggressive bound's partition key).
+    """
+    if stats is not None:
+        stats.lbc_evaluations += 1
+    classification = classify_dimensions(t_low, p_low, p_high)
+    signature = signature_of(classification)
+    if classification.has_advantage or classification.all_incomparable:
+        return 0.0, signature
+    if mode == "paper":
+        bound = _lbc_paper(t_low, p_high, classification, cost_model)
+    elif mode == "corrected":
+        bound = _lbc_corrected(
+            t_low, p_low, p_high, classification, cost_model
+        )
+    else:
+        raise ConfigurationError(
+            f"unknown LBC mode {mode!r}; choose from {LBC_MODES}"
+        )
+    return bound, signature
+
+
+def _lbc_paper(
+    t_low: Sequence[float],
+    p_high: Sequence[float],
+    classification: DimClassification,
+    cost_model: CostModel,
+) -> float:
+    """Cases 3/4 exactly as printed in the paper (overestimating)."""
+    if classification.all_disadvantaged:
+        bound = cost_model.product_cost(p_high) - cost_model.product_cost(
+            t_low
+        )
+        return max(0.0, bound)
+    disadvantaged = set(classification.disadvantaged)
+    t_v = tuple(
+        p_high[i] if i in disadvantaged else t_low[i]
+        for i in range(len(t_low))
+    )
+    return max(
+        0.0, cost_model.product_cost(t_v) - cost_model.product_cost(t_low)
+    )
+
+
+def _lbc_corrected(
+    t_low: Sequence[float],
+    p_low: Sequence[float],
+    p_high: Sequence[float],
+    classification: DimClassification,
+    cost_model: CostModel,
+) -> float:
+    """Validity-fixed Cases 3/4 (see the module docstring)."""
+    base = cost_model.product_cost(t_low)
+    point = list(t_low)
+
+    def single_dim_escape(dim: int, target: float) -> float:
+        point[dim] = target
+        cost = cost_model.product_cost(point) - base
+        point[dim] = t_low[dim]
+        return cost
+
+    if classification.all_disadvantaged:
+        # Every competitor in e_P dominates every product in e_T; the
+        # cheapest escape beats the node's worst corner on one dimension.
+        bound = min(
+            single_dim_escape(i, p_high[i]) for i in range(len(t_low))
+        )
+        return max(0.0, bound)
+    if len(classification.incomparable) != 1:
+        # Two or more incomparable dimensions: e_P may contain no dominator
+        # of e_T.min at all, so no positive bound is sound.
+        return 0.0
+    # Exactly one incomparable dimension: the point attaining e_P.min on it
+    # has every other coordinate below e_T.min, hence dominates e_T.min.
+    # Escape it on a disadvantaged dimension (beat e_P.max there) or on the
+    # incomparable dimension (beat e_P.min there).
+    inc = classification.incomparable[0]
+    candidates = [
+        single_dim_escape(i, p_high[i]) for i in classification.disadvantaged
+    ]
+    candidates.append(single_dim_escape(inc, p_low[inc]))
+    return max(0.0, min(candidates))
+
+
+def pair_bounds_vector(
+    t_low: Sequence[float],
+    p_lows: "np.ndarray",
+    p_highs: "np.ndarray",
+    cost_model: CostModel,
+    stats: Optional[Counters] = None,
+    mode: str = "corrected",
+) -> List[Pair]:
+    """Vectorized :func:`lbc` over many competitor entries at once.
+
+    Requires a cost model whose attribute costs support numpy evaluation
+    (``cost_model.supports_vectorization()``); the join falls back to the
+    scalar path otherwise.  Agrees with :func:`lbc` to floating-point
+    associativity.
+
+    Args:
+        t_low: ``e_T.min``.
+        p_lows: ``(n, c)`` array of ``e_P.min`` corners.
+        p_highs: ``(n, c)`` array of ``e_P.max`` corners.
+
+    Returns:
+        One ``(bound, signature)`` pair per row.
+    """
+    if mode not in LBC_MODES:
+        raise ConfigurationError(
+            f"unknown LBC mode {mode!r}; choose from {LBC_MODES}"
+        )
+    n = p_lows.shape[0]
+    if stats is not None:
+        stats.lbc_evaluations += n
+    if n == 0:
+        return []
+    t_row = np.asarray(t_low, dtype=np.float64)
+    dis = p_highs < t_row
+    adv = t_row < p_lows
+    inc = ~(dis | adv)
+    codes = np.where(dis, _DIS, np.where(inc, _INC, _ADV)).astype(np.uint8)
+
+    zero_rows = adv.any(axis=1) | inc.all(axis=1)
+    bounds = np.zeros(n, dtype=np.float64)
+    active = ~zero_rows
+    if active.any():
+        # Per-dimension escape deltas: upgrade t_low's dim i to p_high[i]
+        # (or p_low[i]); attribute costs evaluate column-wise.
+        weights = _integration_weights(cost_model)
+        ft = np.array(
+            [
+                f(v)
+                for f, v in zip(cost_model.attribute_costs, t_row)
+            ]
+        )
+        delta_high = np.empty_like(p_highs)
+        delta_low = np.empty_like(p_lows)
+        for i, f in enumerate(cost_model.attribute_costs):
+            delta_high[:, i] = (f.vector(p_highs[:, i]) - ft[i]) * weights[i]
+            delta_low[:, i] = (f.vector(p_lows[:, i]) - ft[i]) * weights[i]
+        all_dis = dis.all(axis=1)
+        if mode == "paper":
+            masked = np.where(dis, delta_high, 0.0)
+            bounds[active] = masked[active].sum(axis=1)
+        else:
+            case3 = active & all_dis
+            if case3.any():
+                bounds[case3] = delta_high[case3].min(axis=1)
+            one_inc = active & ~all_dis & (inc.sum(axis=1) == 1)
+            if one_inc.any():
+                cand = np.where(
+                    dis, delta_high, np.where(inc, delta_low, np.inf)
+                )
+                bounds[one_inc] = cand[one_inc].min(axis=1)
+            # Rows with >= 2 incomparable dims stay at the sound bound 0.
+        np.maximum(bounds, 0.0, out=bounds)
+    return [
+        (float(b), codes[i].tobytes()) for i, b in enumerate(bounds)
+    ]
+
+
+def supports_vector_bounds(cost_model: CostModel) -> bool:
+    """True iff :func:`pair_bounds_vector` is applicable to ``cost_model``.
+
+    The vectorized deltas decompose the product cost per dimension, which
+    is only valid for (weighted-)sum integrations, and need numpy attribute
+    cost evaluation.
+    """
+    from repro.costs.integration import (
+        SumIntegration,
+        WeightedSumIntegration,
+    )
+
+    return isinstance(
+        cost_model.integration, (SumIntegration, WeightedSumIntegration)
+    ) and cost_model.supports_vectorization()
+
+
+def _integration_weights(cost_model: CostModel) -> "np.ndarray":
+    """Per-dimension weights of a (weighted-)sum integration."""
+    from repro.costs.integration import WeightedSumIntegration
+
+    if isinstance(cost_model.integration, WeightedSumIntegration):
+        return np.asarray(cost_model.integration.weights, dtype=np.float64)
+    return np.ones(len(cost_model.attribute_costs), dtype=np.float64)
+
+
+def naive_bound(pair_bounds: Iterable[float]) -> float:
+    """NLB (Equation 2): the minimum over all per-entry bounds.
+
+    An empty join list yields ``0.0`` (nothing constrains the products).
+    """
+    bounds = list(pair_bounds)
+    if not bounds:
+        return 0.0
+    return min(bounds)
+
+
+def conservative_bound(pair_bounds: Iterable[float]) -> float:
+    """CLB (Equation 3): the minimum over *positive* per-entry bounds.
+
+    Lemma 2: if any entry forces a positive cost, every product in the node
+    has positive cost, so zero-bound entries cannot cap the group bound.
+    """
+    positive = [b for b in pair_bounds if b > 0.0]
+    if not positive:
+        return 0.0
+    return min(positive)
+
+
+def aggressive_bound(pairs: Iterable[Pair]) -> float:
+    """ALB (Equation 4): min over signature partitions of the in-partition max.
+
+    Entries with zero bounds are excluded first (as in CLB); the remaining
+    join list ``JL'`` is partitioned by the ``(D_D, D_I)`` signature, and
+    within a partition every entry constrains the same upgrade route, so
+    the *most* demanding entry — the max — governs.
+
+    Args:
+        pairs: ``(bound, signature)`` tuples as produced by :func:`lbc` or
+            :func:`pair_bounds_vector`.
+    """
+    partitions: Dict[Hashable, float] = {}
+    for bound, signature in pairs:
+        if bound <= 0.0:
+            continue
+        current = partitions.get(signature)
+        if current is None or bound > current:
+            partitions[signature] = bound
+    if not partitions:
+        return 0.0
+    return min(partitions.values())
+
+
+def max_bound(pair_bounds: Iterable[float]) -> float:
+    """MAX (extension): the maximum over all per-entry bounds.
+
+    Valid because an upgrade escaping the whole join list also escapes each
+    individual entry, so its cost dominates every per-entry bound.
+    """
+    bounds = list(pair_bounds)
+    if not bounds:
+        return 0.0
+    return max(bounds)
+
+
+def join_list_bound(bound_name: str, pairs: List[Pair]) -> float:
+    """Dispatch to the named join-list bound over precomputed pairs.
+
+    Args:
+        bound_name: one of :data:`BOUND_NAMES`.
+        pairs: per-entry ``(bound, signature)`` tuples.
+    """
+    if bound_name == "nlb":
+        return naive_bound(b for b, _ in pairs)
+    if bound_name == "clb":
+        return conservative_bound(b for b, _ in pairs)
+    if bound_name == "alb":
+        return aggressive_bound(pairs)
+    if bound_name == "max":
+        return max_bound(b for b, _ in pairs)
+    raise ConfigurationError(
+        f"unknown bound {bound_name!r}; choose from {BOUND_NAMES}"
+    )

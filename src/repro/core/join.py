@@ -1,0 +1,486 @@
+"""Algorithm 4: the best-first R-tree join for top-k product upgrading.
+
+Both the competitor set ``P`` and the product set ``T`` are R-tree indexed.
+A min-heap orders *product-side* entries by a lower bound on the upgrade
+cost of any product below them; each popped entry is either
+
+* a **final leaf** (exact cost already computed, empty join list) — emitted
+  as the next result: nothing left on the heap can beat its cost;
+* a **leaf with a join list** — its exact cost is computed by Algorithm 1
+  over the skyline of its dominators within the join-list subtrees, then it
+  is re-pushed as final;
+* a **non-leaf with zero bound** (Heuristic 1) — expanded: each child
+  inherits the subset of the join list overlapping its own anti-dominant
+  region and is pushed with its own bound;
+* a **non-leaf with positive bound** (Heuristic 2) — one competitor-side
+  entry is expanded instead (chosen by Heuristic 3 for NLB/CLB, Heuristic 4
+  for ALB), its children are filtered against ``ADR(e_T.max)`` and checked
+  for mutual dominance with the join list (lines 22–31), and the entry is
+  re-pushed with a refreshed bound.
+
+The traversal is *progressive*: results stream out in ascending cost order
+without processing all of ``T`` (:meth:`JoinUpgrader.results`).
+
+Two cases the paper leaves implicit are resolved as documented in DESIGN.md:
+a positive-bound node whose join list holds only leaf entries expands the
+product-side entry (Heuristic 2 needs a non-leaf), and ``LBC(e_T, ∅) = 0``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import time
+from typing import Iterator, List, Tuple
+
+import numpy as np
+
+from repro.core.bounds import (
+    BOUND_NAMES,
+    LBC_MODES,
+    Pair,
+    join_list_bound,
+    lbc,
+    pair_bounds_vector,
+    supports_vector_bounds,
+)
+from repro.core.dominators import get_dominating_skyline_multi
+from repro.core.types import UpgradeConfig, UpgradeOutcome, UpgradeResult
+from repro.core.upgrade import upgrade
+from repro.costs.model import CostModel
+from repro.exceptions import ConfigurationError
+from repro.geometry.point import dominates
+from repro.geometry.region import mbr_overlaps_adr
+from repro.instrumentation import Counters, RunReport, Timer
+from repro.rtree.entry import Entry
+from repro.rtree.tree import RTree
+
+_DEFAULT_CONFIG = UpgradeConfig()
+
+#: Heap finality markers: final results pop before equal-cost candidates.
+_FINAL, _CANDIDATE = 0, 1
+
+#: Join lists at or above this size use the vectorized bound evaluation.
+_VECTOR_JL_FROM = 16
+
+
+class JoinUpgrader:
+    """Progressive top-k product upgrading via the R-tree join (Algorithm 4).
+
+    Args:
+        competitor_tree: R-tree ``R_P`` over the competitor set.
+        product_tree: R-tree ``R_T`` over the upgrade-candidate set.
+        cost_model: the product cost function ``f_p``.
+        bound: join-list lower bound — ``"nlb"``, ``"clb"``, ``"alb"``
+            (paper), or ``"max"`` (extension).
+        config: Algorithm 1 configuration shared with the probing baselines.
+        lbc_mode: ``"corrected"`` (default — valid per-pair lower bounds,
+            results provably match the probing baseline) or ``"paper"``
+            (the literal Case 3/4 formulas, which overestimate and may
+            return more expensive products; see
+            :mod:`repro.core.bounds`).
+
+    Example:
+        >>> upgrader = JoinUpgrader(rp, rt, model, bound="clb")
+        >>> top3 = upgrader.run(k=3)
+        >>> [round(r.cost, 3) for r in top3.results]  # doctest: +SKIP
+        [0.012, 0.013, 0.02]
+    """
+
+    def __init__(
+        self,
+        competitor_tree: RTree,
+        product_tree: RTree,
+        cost_model: CostModel,
+        bound: str = "clb",
+        config: UpgradeConfig = _DEFAULT_CONFIG,
+        lbc_mode: str = "corrected",
+    ):
+        if bound not in BOUND_NAMES:
+            raise ConfigurationError(
+                f"unknown bound {bound!r}; choose from {BOUND_NAMES}"
+            )
+        if lbc_mode not in LBC_MODES:
+            raise ConfigurationError(
+                f"unknown lbc_mode {lbc_mode!r}; choose from {LBC_MODES}"
+            )
+        if (
+            not competitor_tree.is_empty()
+            and competitor_tree.dims != product_tree.dims
+        ):
+            raise ConfigurationError(
+                f"tree dimensionalities differ: {competitor_tree.dims} "
+                f"vs {product_tree.dims}"
+            )
+        self.competitor_tree = competitor_tree
+        self.product_tree = product_tree
+        self.cost_model = cost_model
+        self.bound = bound
+        self.config = config
+        self.lbc_mode = lbc_mode
+        self.stats = Counters()
+        self._vector_bounds = supports_vector_bounds(cost_model)
+
+    # -- public API ----------------------------------------------------------
+
+    def run(self, k: int = 1) -> UpgradeOutcome:
+        """Return the ``k`` cheapest upgrades (fewer if ``|T| < k``).
+
+        The run report's ``extras["result_times"]`` records the elapsed time
+        at which each successive result became available — the
+        progressiveness measurements of the paper's Figures 5, 10, and 11
+        read exactly this.
+        """
+        if k < 1:
+            raise ConfigurationError(f"k must be >= 1, got {k}")
+        self.stats = Counters()
+        results: List[UpgradeResult] = []
+        result_times: List[float] = []
+        start = time.perf_counter()
+        with Timer() as timer:
+            for result in self.results(reset_stats=False):
+                results.append(result)
+                result_times.append(time.perf_counter() - start)
+                if len(results) >= k:
+                    break
+        report = RunReport(
+            f"join[{self.bound}]",
+            timer.elapsed_s,
+            self.stats,
+            {"result_times": result_times},
+        )
+        return UpgradeOutcome(results, report)
+
+    def results(self, reset_stats: bool = True) -> Iterator[UpgradeResult]:
+        """Yield upgrades progressively, cheapest first, until ``T`` drains.
+
+        Stop iterating once enough results arrived — the point of the join
+        approach is that early termination skips most of both trees.
+        """
+        if reset_stats:
+            self.stats = Counters()
+        if self.product_tree.is_empty():
+            return
+        stats = self.stats
+        counter = itertools.count()
+        root_t = self.product_tree.root_entry()
+        if self.competitor_tree.is_empty():
+            initial_jl: List[Entry] = []
+        else:
+            root_p = self.competitor_tree.root_entry()
+            initial_jl = (
+                [root_p]
+                if mbr_overlaps_adr(root_p.mbr, root_t.mbr.high)
+                else []
+            )
+        pairs = self._pair_bounds(root_t, initial_jl)
+        cost = join_list_bound(self.bound, pairs)
+        heap: List[tuple] = []
+        heapq.heappush(
+            heap,
+            (cost, _CANDIDATE, next(counter), root_t, initial_jl, pairs, None),
+        )
+        stats.heap_pushes += 1
+
+        while heap:
+            cost, finality, _, e_t, jl, pairs, upgraded = heapq.heappop(heap)
+            stats.heap_pops += 1
+
+            if e_t.is_leaf_entry:
+                if finality == _FINAL:
+                    yield UpgradeResult(
+                        e_t.record_id, e_t.point, upgraded, cost
+                    )
+                    continue
+                # Lines 9-11: exact cost from the join-list dominator skyline.
+                skyline = self._leaf_dominator_skyline(jl, e_t.point)
+                exact_cost, upgraded_point = upgrade(
+                    skyline, e_t.point, self.cost_model, self.config, stats
+                )
+                heapq.heappush(
+                    heap,
+                    (
+                        exact_cost,
+                        _FINAL,
+                        next(counter),
+                        e_t,
+                        [],
+                        [],
+                        upgraded_point,
+                    ),
+                )
+                stats.heap_pushes += 1
+                continue
+
+            expandable = [e for e in jl if not e.is_leaf_entry]
+            if cost <= 0.0 or not expandable:
+                # Heuristic 1 (lines 13-20): expand the product-side entry.
+                self._expand_product_entry(heap, counter, e_t, jl)
+            else:
+                # Heuristic 2 (lines 21-32): expand one competitor entry.
+                picked = self._pick_competitor_entry(jl, pairs, expandable)
+                new_jl, new_pairs = self._refine_join_list(
+                    e_t, jl, pairs, picked
+                )
+                new_cost = join_list_bound(self.bound, new_pairs)
+                heapq.heappush(
+                    heap,
+                    (
+                        new_cost,
+                        _CANDIDATE,
+                        next(counter),
+                        e_t,
+                        new_jl,
+                        new_pairs,
+                        None,
+                    ),
+                )
+                stats.heap_pushes += 1
+
+    # -- internals -----------------------------------------------------------
+
+    def _leaf_dominator_skyline(
+        self, jl: List[Entry], point: Tuple[float, ...]
+    ) -> List[Tuple[float, ...]]:
+        """Skyline of ``point``'s dominators within the join-list subtrees.
+
+        Fast path: a join list consisting purely of leaf entries is an
+        *antichain* by construction — every point entered it through the
+        mutual-dominance check of lines 25-30 against all coexisting
+        entries, and product-side filtering only takes subsets.  A subset
+        of an antichain restricted to dominators of ``point`` is therefore
+        already the dominator skyline, a single vectorized filter.  Mixed
+        join lists take the general multi-root traversal.
+        """
+        stats = self.stats
+        if jl and len(jl) >= _VECTOR_JL_FROM and all(
+            e.is_leaf_entry for e in jl
+        ):
+            pts = np.array([e.point for e in jl], dtype=np.float64)
+            row = np.asarray(point, dtype=np.float64)
+            stats.dominance_tests += len(jl)
+            mask = (pts <= row).all(axis=1) & (pts < row).any(axis=1)
+            dominators = pts[mask]
+            # Ascending coordinate-sum order, matching the BBS-style path.
+            order = np.argsort(dominators.sum(axis=1), kind="stable")
+            skyline = [
+                tuple(map(float, dominators[i])) for i in order
+            ]
+            stats.skyline_points += len(skyline)
+            return skyline
+        return get_dominating_skyline_multi(jl, point, stats)
+
+    def _pair_bounds(self, e_t: Entry, jl: List[Entry]) -> List[Pair]:
+        """LBC of ``e_t`` against each join-list entry."""
+        t_low = e_t.mbr.low
+        if self._vector_bounds and len(jl) >= _VECTOR_JL_FROM:
+            lows = np.array([e.mbr.low for e in jl], dtype=np.float64)
+            highs = np.array([e.mbr.high for e in jl], dtype=np.float64)
+            return pair_bounds_vector(
+                t_low, lows, highs, self.cost_model, self.stats,
+                self.lbc_mode,
+            )
+        return [
+            lbc(
+                t_low,
+                e.mbr.low,
+                e.mbr.high,
+                self.cost_model,
+                self.stats,
+                self.lbc_mode,
+            )
+            for e in jl
+        ]
+
+    def _expand_product_entry(
+        self,
+        heap: List[tuple],
+        counter: "itertools.count",
+        e_t: Entry,
+        jl: List[Entry],
+    ) -> None:
+        """Lines 14-20: push each child of ``e_t`` with its filtered list."""
+        stats = self.stats
+        stats.node_accesses += 1
+        jl_lows = (
+            np.array([e.mbr.low for e in jl], dtype=np.float64)
+            if len(jl) >= _VECTOR_JL_FROM
+            else None
+        )
+        for child in e_t.child.entries:
+            child_corner = child.mbr.high
+            if jl_lows is not None:
+                mask = (jl_lows <= np.asarray(child_corner)).all(axis=1)
+                child_jl = [e for e, keep in zip(jl, mask) if keep]
+            else:
+                child_jl = [
+                    e for e in jl if mbr_overlaps_adr(e.mbr, child_corner)
+                ]
+            stats.entries_pruned += len(jl) - len(child_jl)
+            child_pairs = self._pair_bounds(child, child_jl)
+            child_cost = join_list_bound(self.bound, child_pairs)
+            heapq.heappush(
+                heap,
+                (
+                    child_cost,
+                    _CANDIDATE,
+                    next(counter),
+                    child,
+                    child_jl,
+                    child_pairs,
+                    None,
+                ),
+            )
+            stats.heap_pushes += 1
+
+    def _pick_competitor_entry(
+        self,
+        jl: List[Entry],
+        pairs: List[Pair],
+        expandable: List[Entry],
+    ) -> Entry:
+        """Heuristics 3/4: choose which join-list entry to open.
+
+        NLB / CLB pick the non-leaf entry with the smallest positive bound;
+        ALB picks the non-leaf entry whose bound equals the aggregate bound;
+        MAX picks the non-leaf entry with the largest bound.  Whenever the
+        designated entry does not exist among non-leaf entries (the paper's
+        heuristics silently assume it does), fall back to the smallest
+        positive — then smallest overall — non-leaf bound.
+        """
+        by_entry = {id(e): b for e, (b, _) in zip(jl, pairs)}
+        nonleaf = [(by_entry[id(e)], e) for e in expandable]
+        if self.bound == "max":
+            return max(nonleaf, key=lambda item: item[0])[1]
+        if self.bound == "alb":
+            aggregate = join_list_bound(self.bound, pairs)
+            for bound_value, entry in nonleaf:
+                if bound_value == aggregate:
+                    return entry
+        positive = [(b, e) for b, e in nonleaf if b > 0.0]
+        pool = positive if positive else nonleaf
+        return min(pool, key=lambda item: item[0])[1]
+
+    def _refine_join_list(
+        self,
+        e_t: Entry,
+        jl: List[Entry],
+        pairs: List[Pair],
+        picked: Entry,
+    ) -> Tuple[List[Entry], List[Pair]]:
+        """Lines 22-31: replace ``picked`` by its surviving children.
+
+        Each child is kept only if it overlaps ``ADR(e_T.max)`` and is not
+        batch-dominated by a join-list entry (``e_P.max`` dominating
+        ``child.min`` means every competitor under ``e_P`` dominates every
+        point under the child); symmetrically, join-list entries
+        batch-dominated by the child are dropped.
+
+        Surviving entries keep their cached ``(bound, signature)`` pairs —
+        an entry's LBC depends only on ``e_T.min`` and its own corners,
+        both unchanged — so only the new children cost LBC work.
+
+        Implementation note: the paper's inner loop breaks out as soon as a
+        child is found dominated, leaving later join-list entries unchecked
+        for removal.  Removing a wholly dominated entry is safe regardless
+        (its points are dominated by the dominating entry's points,
+        transitively so even when the dominating child is itself dropped),
+        so this implementation applies *all* removals — a deterministic,
+        strictly-stronger pruning with identical results.
+        """
+        stats = self.stats
+        base: List[Tuple[Entry, Pair]] = [
+            (e, pair) for e, pair in zip(jl, pairs) if e is not picked
+        ]
+        stats.node_accesses += 1
+        corner = e_t.mbr.high
+        t_low = e_t.mbr.low
+        children = [
+            c
+            for c in picked.child.entries
+            if mbr_overlaps_adr(c.mbr, corner)
+        ]
+        stats.entries_pruned += len(picked.child.entries) - len(children)
+
+        n = len(base)
+        use_vector = n >= _VECTOR_JL_FROM
+        if use_vector:
+            base_lows = np.array(
+                [e.mbr.low for e, _ in base], dtype=np.float64
+            )
+            base_highs = np.array(
+                [e.mbr.high for e, _ in base], dtype=np.float64
+            )
+            keep = np.ones(n, dtype=bool)
+        added: List[Tuple[Entry, Pair]] = []
+
+        for child in children:
+            child_low = child.mbr.low
+            child_high = child.mbr.high
+            flag = False
+            if n:
+                if use_vector:
+                    clow = np.asarray(child_low)
+                    chigh = np.asarray(child_high)
+                    stats.dominance_tests += 2 * int(keep.sum())
+                    dominated = (
+                        (base_highs <= clow).all(axis=1)
+                        & (base_highs < clow).any(axis=1)
+                        & keep
+                    )
+                    flag = bool(dominated.any())
+                    removable = (
+                        (chigh <= base_lows).all(axis=1)
+                        & (chigh < base_lows).any(axis=1)
+                        & keep
+                    )
+                    stats.entries_pruned += int(removable.sum())
+                    keep &= ~removable
+                else:
+                    survivors: List[Tuple[Entry, Pair]] = []
+                    for e_p, pair in base:
+                        stats.dominance_tests += 2
+                        if dominates(e_p.mbr.high, child_low):
+                            flag = True
+                            survivors.append((e_p, pair))
+                            continue
+                        if dominates(child_high, e_p.mbr.low):
+                            stats.entries_pruned += 1
+                            continue
+                        survivors.append((e_p, pair))
+                    base = survivors
+                    n = len(base)
+            # Mutual checks against previously surviving children.
+            retained: List[Tuple[Entry, Pair]] = []
+            for a_entry, a_pair in added:
+                stats.dominance_tests += 2
+                if not flag and dominates(a_entry.mbr.high, child_low):
+                    flag = True
+                if dominates(child_high, a_entry.mbr.low):
+                    stats.entries_pruned += 1
+                    continue
+                retained.append((a_entry, a_pair))
+            added = retained
+            if flag:
+                stats.entries_pruned += 1
+                continue
+            child_pair = lbc(
+                t_low,
+                child_low,
+                child_high,
+                self.cost_model,
+                stats,
+                self.lbc_mode,
+            )
+            added.append((child, child_pair))
+
+        if use_vector:
+            survivors_base = [
+                bp for bp, kept in zip(base, keep) if kept
+            ]
+        else:
+            survivors_base = base
+        combined = survivors_base + added
+        new_jl = [e for e, _ in combined]
+        new_pairs = [pair for _, pair in combined]
+        return new_jl, new_pairs

@@ -1,0 +1,171 @@
+"""Optimality analysis of Algorithm 1 (the paper's §VI open question).
+
+The paper proves Algorithm 1 *correct* (Lemma 1) but explicitly leaves its
+*optimality* — does it find the cheapest upgrade? — as future work.  This
+module settles the question for the improvement-only upgrade model
+(``t' <= t`` coordinate-wise, which is the model every Algorithm 1
+candidate lives in):
+
+* **Two dimensions: Algorithm 1 is optimal, verbatim.**  The maximal
+  points of the non-dominated region below ``t`` form a staircase: the
+  corners between consecutive skyline points — Algorithm 1's option B —
+  plus the two half-open ends.  Each end is "beat everyone on one
+  dimension, keep ``t``'s other coordinate", which is exactly option A
+  applied to that dimension; a monotone cost attains its minimum over the
+  region at a maximal point, so the option A/B scan is exhaustive.  (The
+  extended tail candidate coincides with option A of the other dimension
+  in 2-d and adds nothing there.)
+
+* **Three or more dimensions: Algorithm 1 is *not* optimal**, with or
+  without the tail extension — its candidates match one pivot skyline
+  point on all non-sort dimensions, but the cheapest escape may mix
+  values from several skyline points.  Empirically (reciprocal-sum costs,
+  random dominator skylines), Algorithm 1 is beaten by the exhaustive
+  optimum on over half of random 3-d instances; ``tests/test_optimal.py``
+  pins a witness with an ~11% cost gap.  :func:`optimal_upgrade_exhaustive`
+  is the reference optimum for these studies.
+
+:func:`optimal_upgrade_2d` implements the 2-d staircase sweep directly —
+``O(|S| log |S|)`` and independently coded from Algorithm 1, so the test
+suite can confirm the equivalence claim.  :func:`optimal_upgrade_exhaustive`
+searches the full candidate grid ``{s.d_i - eps} ∪ {t.d_i}`` per dimension
+— exponential, exact under improvement-only upgrades, and the arbiter for
+the suboptimality ablation (``benchmarks/test_ablation_upgrade.py``).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.types import UpgradeConfig
+from repro.costs.model import CostModel
+from repro.exceptions import ConfigurationError, DimensionalityError
+from repro.geometry.point import dominates
+from repro.instrumentation import Counters
+
+Point = Tuple[float, ...]
+
+_DEFAULT_CONFIG = UpgradeConfig()
+
+
+def optimal_upgrade_2d(
+    skyline: Sequence[Sequence[float]],
+    product: Sequence[float],
+    cost_model: CostModel,
+    config: UpgradeConfig = _DEFAULT_CONFIG,
+    stats: Optional[Counters] = None,
+) -> Tuple[float, Point]:
+    """Cheapest improvement-only upgrade of a 2-d product (exact).
+
+    Args:
+        skyline: the skyline of ``product``'s dominators (2-d antichain).
+        product: the point to upgrade.
+        cost_model: a monotonic product cost function.
+        config: supplies the strictness offset ``epsilon``.
+        stats: optional counters (``upgrade_calls``).
+
+    Returns:
+        ``(cost, upgraded_point)`` minimizing
+        ``f_p(upgraded) - f_p(product)`` over every non-dominated point
+        coordinate-wise ``<= product``.
+    """
+    p = tuple(float(v) for v in product)
+    if len(p) != 2:
+        raise DimensionalityError(
+            f"optimal_upgrade_2d needs 2-d points, got {len(p)}-d"
+        )
+    points = [tuple(float(v) for v in s) for s in skyline]
+    if stats is not None:
+        stats.upgrade_calls += 1
+    if not points:
+        return 0.0, p
+    for s in points:
+        if len(s) != 2:
+            raise DimensionalityError("skyline point is not 2-d")
+
+    eps = config.epsilon
+    base = cost_model.product_cost(p)
+    # Sort by x; the antichain property makes y strictly descending.
+    ordered = sorted(points)
+    candidates: List[Point] = []
+    # Left end: beat everyone on x, keep p's own y.
+    candidates.append((ordered[0][0] - eps, p[1]))
+    # Staircase corners between consecutive skyline points.
+    for left, right in zip(ordered, ordered[1:]):
+        candidates.append((right[0] - eps, left[1] - eps))
+    # Right end: beat everyone on y, keep p's own x.
+    candidates.append((p[0], ordered[-1][1] - eps))
+
+    best_cost = float("inf")
+    best: Optional[Point] = None
+    for candidate in candidates:
+        if any(dominates(s, candidate) for s in points):
+            continue  # duplicate-x degeneracies can void a corner
+        cost = cost_model.product_cost(candidate) - base
+        if cost < best_cost:
+            best_cost = cost
+            best = candidate
+    assert best is not None  # the two ends are always escape points
+    return best_cost, best
+
+
+def optimal_upgrade_exhaustive(
+    skyline: Sequence[Sequence[float]],
+    product: Sequence[float],
+    cost_model: CostModel,
+    config: UpgradeConfig = _DEFAULT_CONFIG,
+    max_grid: int = 200_000,
+) -> Tuple[float, Point]:
+    """Exact cheapest improvement-only upgrade by grid enumeration.
+
+    Under a monotone cost model, some optimal upgrade lies on the grid
+    ``G_i = {s.d_i - eps : s in S, s.d_i - eps < t.d_i} ∪ {t.d_i}`` per
+    dimension: lowering a coordinate below the next grid value strictly
+    costs more without escaping any additional skyline point.  The search
+    enumerates ``G_1 x ... x G_c`` — exponential in ``c``, intended for
+    test oracles and ablations only.
+
+    Args:
+        max_grid: safety cap on the enumerated grid size.
+
+    Raises:
+        ConfigurationError: the grid would exceed ``max_grid`` points.
+    """
+    p = tuple(float(v) for v in product)
+    points = [tuple(float(v) for v in s) for s in skyline]
+    if not points:
+        return 0.0, p
+    dims = len(p)
+    eps = config.epsilon
+    axes: List[List[float]] = []
+    total = 1
+    for i in range(dims):
+        values = {p[i]}
+        for s in points:
+            v = s[i] - eps
+            if v < p[i]:
+                values.add(v)
+        axis = sorted(values, reverse=True)  # cheap (large) values first
+        axes.append(axis)
+        total *= len(axis)
+    if total > max_grid:
+        raise ConfigurationError(
+            f"exhaustive grid of {total} points exceeds max_grid={max_grid}"
+        )
+    base = cost_model.product_cost(p)
+    best_cost = float("inf")
+    best: Optional[Point] = None
+    for candidate in itertools.product(*axes):
+        if any(dominates(s, candidate) for s in points):
+            continue
+        cost = cost_model.product_cost(candidate) - base
+        if cost < best_cost:
+            best_cost = cost
+            best = candidate
+    if best is None:
+        raise ConfigurationError(
+            "no escape found on the grid; is the skyline an antichain of "
+            "dominators?"
+        )
+    return best_cost, best

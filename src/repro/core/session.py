@@ -1,0 +1,191 @@
+"""A long-lived market session: mutable catalogs with incremental queries.
+
+The one-shot APIs (:func:`repro.core.api.top_k_upgrades`,
+:class:`~repro.core.join.JoinUpgrader`) rebuild nothing but also own
+nothing: callers manage the trees.  :class:`MarketSession` is the
+convenience layer a downstream application would actually keep around —
+it owns the competitor and product R-trees, supports incremental updates
+(competitors appear/disappear, products get added, upgraded products get
+committed), and answers top-k upgrade queries against the current state.
+
+Updates use the dynamic R-tree paths (Guttman insert / delete-condense);
+queries run the join algorithm with valid bounds, so every answer agrees
+with a from-scratch recomputation — which the test suite asserts after
+randomized update interleavings.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.join import JoinUpgrader
+from repro.core.types import UpgradeConfig, UpgradeOutcome, UpgradeResult
+from repro.costs.model import CostModel
+from repro.exceptions import ConfigurationError
+from repro.geometry.point import validate_point
+from repro.rtree.tree import RTree
+
+Point = Tuple[float, ...]
+
+_DEFAULT_CONFIG = UpgradeConfig()
+
+
+class MarketSession:
+    """Owns a competitor market and a product catalog; answers top-k queries.
+
+    Args:
+        dims: dimensionality of the product space.
+        cost_model: the (monotonic) product cost function.
+        bound: join-list bound used for queries.
+        max_entries: R-tree node capacity.
+
+    Example:
+        >>> from repro.costs.model import paper_cost_model
+        >>> session = MarketSession(2, paper_cost_model(2))
+        >>> session.add_competitor((0.4, 0.6))
+        0
+        >>> session.add_product((1.0, 1.0))
+        0
+        >>> session.top_k(1).results[0].record_id
+        0
+    """
+
+    def __init__(
+        self,
+        dims: int,
+        cost_model: CostModel,
+        bound: str = "clb",
+        config: UpgradeConfig = _DEFAULT_CONFIG,
+        max_entries: int = 32,
+    ):
+        if cost_model.dims != dims:
+            raise ConfigurationError(
+                f"cost model covers {cost_model.dims} dims, session "
+                f"needs {dims}"
+            )
+        self.dims = dims
+        self.cost_model = cost_model
+        self.bound = bound
+        self.config = config
+        self._competitors = RTree(dims, max_entries=max_entries)
+        self._products = RTree(dims, max_entries=max_entries)
+        self._competitor_points: Dict[int, Point] = {}
+        self._product_points: Dict[int, Point] = {}
+        self._next_competitor_id = 0
+        self._next_product_id = 0
+
+    # -- market mutation ------------------------------------------------------
+
+    def add_competitor(self, point: Sequence[float]) -> int:
+        """Register a competitor product; returns its id."""
+        p = validate_point(point, self.dims)
+        cid = self._next_competitor_id
+        self._next_competitor_id += 1
+        self._competitors.insert(p, cid)
+        self._competitor_points[cid] = p
+        return cid
+
+    def remove_competitor(self, competitor_id: int) -> bool:
+        """Withdraw a competitor (e.g. discontinued); True if it existed."""
+        point = self._competitor_points.pop(competitor_id, None)
+        if point is None:
+            return False
+        return self._competitors.delete(point, competitor_id)
+
+    def add_product(self, point: Sequence[float]) -> int:
+        """Register one of our own products; returns its id."""
+        p = validate_point(point, self.dims)
+        pid = self._next_product_id
+        self._next_product_id += 1
+        self._products.insert(p, pid)
+        self._product_points[pid] = p
+        return pid
+
+    def remove_product(self, product_id: int) -> bool:
+        """Drop a product from the catalog; True if it existed."""
+        point = self._product_points.pop(product_id, None)
+        if point is None:
+            return False
+        return self._products.delete(point, product_id)
+
+    def commit_upgrade(self, result: UpgradeResult) -> None:
+        """Apply an upgrade: the product now has its upgraded vector.
+
+        Raises:
+            ConfigurationError: unknown product id or a stale result (the
+                stored point no longer matches ``result.original``).
+        """
+        current = self._product_points.get(result.record_id)
+        if current is None:
+            raise ConfigurationError(
+                f"unknown product id {result.record_id}"
+            )
+        if current != result.original:
+            raise ConfigurationError(
+                f"stale upgrade for product {result.record_id}: catalog "
+                f"has {current}, result was computed for {result.original}"
+            )
+        self._products.delete(current, result.record_id)
+        self._products.insert(result.upgraded, result.record_id)
+        self._product_points[result.record_id] = result.upgraded
+
+    # -- queries ----------------------------------------------------------------
+
+    @property
+    def competitor_count(self) -> int:
+        """Number of live competitors."""
+        return len(self._competitor_points)
+
+    @property
+    def product_count(self) -> int:
+        """Number of live products."""
+        return len(self._product_points)
+
+    def product_point(self, product_id: int) -> Optional[Point]:
+        """Current attribute vector of a product (None if unknown)."""
+        return self._product_points.get(product_id)
+
+    def top_k(self, k: int = 1) -> UpgradeOutcome:
+        """Top-k cheapest upgrades against the current market state."""
+        if self._products.is_empty():
+            return UpgradeOutcome([])
+        upgrader = JoinUpgrader(
+            self._competitors,
+            self._products,
+            self.cost_model,
+            bound=self.bound,
+            config=self.config,
+        )
+        return upgrader.run(k)
+
+    def stream(self) -> Iterator[UpgradeResult]:
+        """Progressively yield upgrades, cheapest first (current state)."""
+        if self._products.is_empty():
+            return iter(())
+        upgrader = JoinUpgrader(
+            self._competitors,
+            self._products,
+            self.cost_model,
+            bound=self.bound,
+            config=self.config,
+        )
+        return upgrader.results()
+
+    def snapshot(self) -> Tuple[List[Point], List[Point]]:
+        """Current (competitors, products) as point lists (id order)."""
+        competitors = [
+            self._competitor_points[cid]
+            for cid in sorted(self._competitor_points)
+        ]
+        products = [
+            self._product_points[pid]
+            for pid in sorted(self._product_points)
+        ]
+        return competitors, products
+
+    def __repr__(self) -> str:
+        return (
+            f"MarketSession(dims={self.dims}, "
+            f"competitors={self.competitor_count}, "
+            f"products={self.product_count}, bound={self.bound!r})"
+        )

@@ -1,0 +1,123 @@
+"""Single-set product upgrading (the paper's §VI third research direction).
+
+The paper keeps competitors ``P`` and upgrade candidates ``T`` in separate
+sets, and closes by noting the variant where *one* manufacturer owns a
+single catalog ``S`` and wants to upgrade its uncompetitive products "in
+the presence of advantaged ones".  This module implements that variant:
+
+* the catalog's **skyline** members are the competitive products — they
+  need no upgrade and act as the competitor set;
+* every **non-skyline** member is an upgrade candidate; its upgrade must
+  escape domination by the *rest of the catalog*, which is equivalent to
+  escaping the catalog's skyline (any dominator is dominated-or-equalled
+  by a skyline member, so escaping the skyline escapes everybody).
+
+One subtlety makes this more than a trivial reduction: upgrading a product
+conceptually *changes the catalog*.  The interpretation implemented here —
+the natural one for a ranking query — scores every candidate against the
+*original* catalog skyline, i.e. upgrades are evaluated independently,
+exactly like the two-set problem scores every ``t`` against the same ``P``.
+Sequential "apply one upgrade, then re-rank" workflows can simply call
+:func:`single_set_top_k` again after committing an upgrade.
+
+The implementation reuses the full two-set machinery: the skyline is
+extracted with the vectorized reference (or BBS for an existing R-tree),
+both sides are bulk-loaded, and Algorithm 4 runs unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.join import JoinUpgrader
+from repro.core.probing import improved_probing
+from repro.core.types import UpgradeConfig, UpgradeOutcome, UpgradeResult
+from repro.costs.model import CostModel, paper_cost_model
+from repro.exceptions import ConfigurationError, EmptyDatasetError
+from repro.rtree.tree import RTree
+from repro.skyline.vectorized import numpy_skyline_mask
+
+_DEFAULT_CONFIG = UpgradeConfig()
+
+
+def split_catalog(
+    catalog: Sequence[Sequence[float]],
+) -> Tuple["np.ndarray", "np.ndarray", "np.ndarray"]:
+    """Partition a catalog into its skyline and non-skyline members.
+
+    Returns:
+        ``(skyline_rows, candidate_rows, candidate_ids)`` where
+        ``candidate_ids`` maps candidate rows back to catalog positions.
+    """
+    arr = np.asarray(catalog, dtype=np.float64)
+    if arr.ndim != 2 or arr.shape[0] == 0:
+        raise EmptyDatasetError("catalog must be a non-empty (n, d) array")
+    mask = numpy_skyline_mask(arr)
+    candidate_ids = np.flatnonzero(~mask)
+    return arr[mask], arr[~mask], candidate_ids
+
+
+def single_set_top_k(
+    catalog: Sequence[Sequence[float]],
+    k: int = 1,
+    cost_model: Optional[CostModel] = None,
+    method: str = "join",
+    bound: str = "clb",
+    config: UpgradeConfig = _DEFAULT_CONFIG,
+    max_entries: int = 32,
+) -> UpgradeOutcome:
+    """Top-k cheapest upgrades within a single product catalog.
+
+    Args:
+        catalog: the full product set ``S`` (rows of points, smaller is
+            better).  Result record ids are row positions in ``catalog``.
+        k: number of cheapest-to-upgrade products to return.
+        cost_model: defaults to the paper's reciprocal-sum model.
+        method: ``"join"`` (Algorithm 4) or ``"probing"`` (improved
+            probing) over the derived two-set instance.
+        bound: join-list bound for the join method.
+
+    Returns:
+        The top-k candidates with ids referring to catalog rows; an empty
+        outcome when the whole catalog is its own skyline (nothing to
+        upgrade).
+    """
+    if method not in ("join", "probing"):
+        raise ConfigurationError(
+            f"unknown method {method!r}; choose 'join' or 'probing'"
+        )
+    if k < 1:
+        raise ConfigurationError(f"k must be >= 1, got {k}")
+    skyline_rows, candidate_rows, candidate_ids = split_catalog(catalog)
+    dims = skyline_rows.shape[1]
+    if cost_model is None:
+        cost_model = paper_cost_model(dims)
+    if len(candidate_rows) == 0:
+        return UpgradeOutcome([])
+
+    competitor_tree = RTree.bulk_load(skyline_rows, max_entries=max_entries)
+    if method == "join":
+        product_tree = RTree.bulk_load(
+            candidate_rows, max_entries=max_entries
+        )
+        upgrader = JoinUpgrader(
+            competitor_tree, product_tree, cost_model, bound, config
+        )
+        outcome = upgrader.run(k)
+        outcome.report.algorithm = f"single-set/join[{bound}]"
+    else:
+        outcome = improved_probing(
+            competitor_tree, candidate_rows, cost_model, k, config
+        )
+        outcome.report.algorithm = "single-set/probing"
+
+    remapped: List[UpgradeResult] = [
+        UpgradeResult(
+            int(candidate_ids[r.record_id]), r.original, r.upgraded, r.cost
+        )
+        for r in outcome.results
+    ]
+    outcome.results = remapped
+    return outcome

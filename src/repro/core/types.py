@@ -1,0 +1,87 @@
+"""Shared core types: configuration and result records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.exceptions import ConfigurationError
+from repro.instrumentation import RunReport
+
+Point = Tuple[float, ...]
+
+
+@dataclass(frozen=True)
+class UpgradeConfig:
+    """Tunables of Algorithm 1 and everything built on it.
+
+    Attributes:
+        epsilon: the paper's ε — how far below a skyline value an upgraded
+            attribute is placed to be *strictly* better.  Must be positive
+            and small relative to attribute spans.
+        extended: also consider the "tail" upgrade the paper's pseudo code
+            omits — keep the sort dimension's original value and match the
+            *last* skyline point on every other dimension.  This never
+            breaks correctness (see :func:`repro.core.upgrade.upgrade` for
+            the argument) and can only lower the chosen cost; it is off by
+            default so the default behaviour is the paper verbatim.
+        validate: verify at call time that the provided skyline is an
+            antichain (Lemma 1's precondition).  Costs an ``O(|S|^2)``
+            check; enable in tests, disable in benchmarks.
+    """
+
+    epsilon: float = 1e-9
+    extended: bool = False
+    validate: bool = False
+
+    def __post_init__(self) -> None:
+        if self.epsilon <= 0:
+            raise ConfigurationError(
+                f"epsilon must be positive, got {self.epsilon}"
+            )
+
+
+@dataclass(frozen=True)
+class UpgradeResult:
+    """One product's optimal upgrade as chosen by Algorithm 1.
+
+    Attributes:
+        record_id: the product's id in ``T`` (array row by default).
+        original: the product's current attribute vector.
+        upgraded: the chosen non-dominated attribute vector; equals
+            ``original`` when the product is already competitive.
+        cost: ``f_p(upgraded) - f_p(original)`` (Definition 7); ``0.0`` for
+            already-competitive products.
+    """
+
+    record_id: int
+    original: Point
+    upgraded: Point
+    cost: float
+
+    @property
+    def already_competitive(self) -> bool:
+        """True iff no upgrade was needed."""
+        return self.upgraded == self.original
+
+
+@dataclass
+class UpgradeOutcome:
+    """A full algorithm run: the top-k results plus its run report.
+
+    Results are sorted by ascending cost (ties by record id).
+    """
+
+    results: List[UpgradeResult]
+    report: RunReport = field(default_factory=RunReport)
+
+    @property
+    def costs(self) -> List[float]:
+        """The result costs, in ranking order."""
+        return [r.cost for r in self.results]
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __len__(self) -> int:
+        return len(self.results)

@@ -1,0 +1,203 @@
+"""Algorithm 1: upgrading a single product (paper §II).
+
+Given a product ``p`` and the skyline ``S`` of its dominators, the algorithm
+considers, for every dimension ``D_k``:
+
+1. the **single-dimension** upgrade — give ``p`` the best ``D_k`` value among
+   all skyline points, minus ε (lines 4–7 of the pseudo code); and
+2. the **slotting** upgrades — for every pair of consecutive (in ``D_k``
+   order) skyline points ``s_i``, ``s_j``, place ``p`` just below ``s_j`` on
+   ``D_k`` and just below ``s_i`` on every other dimension (lines 8–16).
+
+The cheapest alternative wins.  Lemma 1 proves every alternative yields a
+point no skyline point dominates, *provided* ``S`` is an antichain — which is
+why callers must reduce dominator sets to skylines first
+(``UpgradeConfig.validate`` makes this a checked precondition).
+
+The optional **extended** mode adds a third family the paper's pseudo code
+omits: keep ``p``'s own ``D_k`` value and match the *last* (largest-``D_k``)
+skyline point on every other dimension.  Correctness: the last point
+``s_last`` is beaten on all dimensions but ``D_k``; any other ``s`` has
+``s.d_k <= s_last.d_k``, so by the antichain property there is a dimension
+``y != D_k`` with ``s.d_y > s_last.d_y``, where the upgraded point's value
+``s_last.d_y - ε`` is strictly better than ``s.d_y``.  The extension can
+only lower the chosen cost (it adds candidates); the paper itself notes the
+optimality of Algorithm 1 as an open question (§VI).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.types import UpgradeConfig
+from repro.costs.model import CostModel
+from repro.exceptions import DimensionalityError, NotAnAntichainError
+from repro.geometry.point import dominates
+from repro.instrumentation import Counters
+
+Point = Tuple[float, ...]
+
+_DEFAULT_CONFIG = UpgradeConfig()
+
+
+def upgrade(
+    skyline: Sequence[Sequence[float]],
+    product: Sequence[float],
+    cost_model: CostModel,
+    config: UpgradeConfig = _DEFAULT_CONFIG,
+    stats: Optional[Counters] = None,
+) -> Tuple[float, Point]:
+    """Upgrade ``product`` past the dominator skyline ``skyline``.
+
+    Args:
+        skyline: the skyline of ``product``'s dominators (an antichain in
+            which every point dominates ``product``).  May be empty, in
+            which case the product is already competitive.
+        product: the point to upgrade.
+        cost_model: the product cost function ``f_p``.
+        config: ε, extended-mode, and validation switches.
+        stats: optional counters (``upgrade_calls`` is incremented once).
+
+    Returns:
+        ``(cost, upgraded_point)`` with
+        ``cost == f_p(upgraded_point) - f_p(product)``; ``(0.0, product)``
+        when the skyline is empty.
+
+    Raises:
+        NotAnAntichainError: in validating mode, when ``skyline`` contains a
+            dominated point or a point that fails to dominate ``product``.
+    """
+    p = tuple(float(v) for v in product)
+    points: List[Point] = [tuple(float(v) for v in s) for s in skyline]
+    if stats is not None:
+        stats.upgrade_calls += 1
+    if not points:
+        return 0.0, p
+    dims = len(p)
+    for s in points:
+        if len(s) != dims:
+            raise DimensionalityError(
+                f"skyline point has {len(s)} dims, product has {dims}"
+            )
+    if config.validate:
+        _validate_antichain(points, p)
+
+    if len(points) >= _VECTOR_THRESHOLD and cost_model.supports_vectorization():
+        return _upgrade_vectorized(points, p, cost_model, config)
+
+    eps = config.epsilon
+    base_cost = cost_model.product_cost(p)
+    best_cost = float("inf")
+    best: Optional[Point] = None
+
+    for k in range(dims):
+        ordered = sorted(points, key=lambda s: s[k])
+
+        # Lines 4-7: beat every skyline point on dimension k alone.
+        lowest = ordered[0]
+        candidate = p[:k] + (lowest[k] - eps,) + p[k + 1 :]
+        cost = cost_model.product_cost(candidate) - base_cost
+        if cost < best_cost:
+            best_cost = cost
+            best = candidate
+
+        # Lines 8-16: slot between consecutive skyline points s_i < s_j on
+        # dimension k, matching s_i on every other dimension.
+        for i in range(len(ordered) - 1):
+            s_i = ordered[i]
+            s_j = ordered[i + 1]
+            candidate = tuple(
+                (s_j[k] - eps) if x == k else (s_i[x] - eps)
+                for x in range(dims)
+            )
+            cost = cost_model.product_cost(candidate) - base_cost
+            if cost < best_cost:
+                best_cost = cost
+                best = candidate
+
+        if config.extended:
+            # Tail extension: keep p's own d_k, match the last point on the
+            # other dimensions (see module docstring for the proof).
+            s_last = ordered[-1]
+            candidate = tuple(
+                p[x] if x == k else (s_last[x] - eps) for x in range(dims)
+            )
+            cost = cost_model.product_cost(candidate) - base_cost
+            if cost < best_cost:
+                best_cost = cost
+                best = candidate
+
+    assert best is not None  # points is non-empty, so some candidate exists
+    return best_cost, best
+
+
+#: Skyline size above which the numpy evaluation path takes over.
+_VECTOR_THRESHOLD = 48
+
+
+def _upgrade_vectorized(
+    points: List[Point],
+    p: Point,
+    cost_model: CostModel,
+    config: UpgradeConfig,
+) -> Tuple[float, Point]:
+    """Numpy evaluation of exactly the candidate set of the scalar path.
+
+    Produces the same minimum cost (up to floating-point associativity of
+    the per-row cost summation); the returned candidate may differ from the
+    scalar path's under exact cost ties, which is the tie freedom the paper
+    acknowledges for top-k problems.
+    """
+    eps = config.epsilon
+    dims = len(p)
+    sky = np.asarray(points, dtype=np.float64)
+    base_cost = float(cost_model.vector_product_cost(np.array([p]))[0])
+    best_cost = float("inf")
+    best_row: Optional[np.ndarray] = None
+
+    for k in range(dims):
+        order = np.argsort(sky[:, k], kind="stable")
+        ordered = sky[order]
+
+        # Single-dimension candidate (lines 4-7).
+        single = np.array(p, dtype=np.float64)
+        single[k] = ordered[0, k] - eps
+        candidates = [single[None, :]]
+
+        # Consecutive-pair candidates (lines 8-16).
+        if len(ordered) > 1:
+            pair = ordered[:-1] - eps
+            pair[:, k] = ordered[1:, k] - eps
+            candidates.append(pair)
+
+        if config.extended:
+            tail = np.full(dims, 0.0)
+            tail[:] = ordered[-1] - eps
+            tail[k] = p[k]
+            candidates.append(tail[None, :])
+
+        block = np.vstack(candidates)
+        costs = np.asarray(cost_model.vector_product_cost(block)) - base_cost
+        idx = int(np.argmin(costs))
+        if costs[idx] < best_cost:
+            best_cost = float(costs[idx])
+            best_row = block[idx]
+
+    assert best_row is not None
+    return best_cost, tuple(float(v) for v in best_row)
+
+
+def _validate_antichain(points: List[Point], product: Point) -> None:
+    """Check Lemma 1's preconditions on the skyline input."""
+    for i, a in enumerate(points):
+        if not dominates(a, product):
+            raise NotAnAntichainError(
+                f"skyline point {a} does not dominate the product {product}"
+            )
+        for b in points[i + 1 :]:
+            if dominates(a, b) or dominates(b, a):
+                raise NotAnAntichainError(
+                    f"skyline input is not an antichain: {a} vs {b}"
+                )

@@ -1,0 +1,91 @@
+"""Correctness oracles and result validators.
+
+:func:`brute_force_topk` recomputes the top-k answer with no index, no
+pruning, and no join — just vectorized dominator scans plus Algorithm 1 —
+and is the reference the probing/join implementations are tested against.
+
+:func:`verify_results` checks the *semantic* contract of any returned
+result set: every upgraded point must escape domination by the full
+competitor set, and every reported cost must equal the cost-model delta.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.core.types import UpgradeConfig, UpgradeResult
+from repro.core.upgrade import upgrade
+from repro.costs.model import CostModel
+from repro.exceptions import SkyUpError
+from repro.skyline.vectorized import numpy_skyline
+
+_DEFAULT_CONFIG = UpgradeConfig()
+
+
+def brute_force_topk(
+    competitors: Sequence[Sequence[float]],
+    products: Sequence[Sequence[float]],
+    cost_model: CostModel,
+    k: int = 1,
+    config: UpgradeConfig = _DEFAULT_CONFIG,
+) -> List[UpgradeResult]:
+    """Index-free reference solution of the top-k upgrading problem.
+
+    For each product: find its dominators by a full vectorized scan of
+    ``P``, reduce them to a skyline, run Algorithm 1.  Sort all products by
+    cost and return the first ``k``.
+    """
+    p_arr = np.asarray(competitors, dtype=np.float64)
+    results: List[UpgradeResult] = []
+    for record_id, raw in enumerate(products):
+        t = tuple(float(v) for v in raw)
+        if p_arr.size:
+            t_row = np.asarray(t)
+            le = (p_arr <= t_row).all(axis=1)
+            lt = (p_arr < t_row).any(axis=1)
+            dominators = p_arr[le & lt]
+            skyline = numpy_skyline(dominators) if len(dominators) else []
+        else:
+            skyline = []
+        cost, upgraded = upgrade(skyline, t, cost_model, config)
+        results.append(UpgradeResult(record_id, t, upgraded, cost))
+    results.sort(key=lambda r: (r.cost, r.record_id))
+    return results[:k]
+
+
+def verify_results(
+    results: Sequence[UpgradeResult],
+    competitors: Sequence[Sequence[float]],
+    cost_model: CostModel,
+    cost_tolerance: float = 1e-9,
+) -> None:
+    """Validate a result set against the problem's semantic contract.
+
+    Checks, for every result:
+
+    1. the upgraded point is dominated by **no** competitor;
+    2. ``cost == f_p(upgraded) - f_p(original)`` within ``cost_tolerance``.
+
+    Raises:
+        SkyUpError: on the first violated contract.
+    """
+    p_arr = np.asarray(competitors, dtype=np.float64)
+    for r in results:
+        if p_arr.size:
+            up = np.asarray(r.upgraded)
+            le = (p_arr <= up).all(axis=1)
+            lt = (p_arr < up).any(axis=1)
+            if bool(np.any(le & lt)):
+                offender = p_arr[le & lt][0]
+                raise SkyUpError(
+                    f"product {r.record_id}: upgraded point {r.upgraded} "
+                    f"is still dominated (e.g. by {tuple(offender)})"
+                )
+        expected = cost_model.upgrade_cost(r.original, r.upgraded)
+        if abs(expected - r.cost) > cost_tolerance:
+            raise SkyUpError(
+                f"product {r.record_id}: reported cost {r.cost} deviates "
+                f"from the cost-model delta {expected}"
+            )

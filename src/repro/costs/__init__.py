@@ -1,0 +1,42 @@
+"""Cost functions: attribute costs, integration functions, product cost model.
+
+Implements Definitions 4–6 of the paper.  An *attribute cost function* maps a
+single attribute value to a manufacturing cost; an *integration function*
+combines per-attribute costs into a *product cost function*; the
+:class:`~repro.costs.model.CostModel` bundles everything, including the
+monotonicity property the paper assumes (a dominating product never costs
+less than a product it dominates).
+"""
+
+from repro.costs.attribute import (
+    AttributeCost,
+    ExponentialCost,
+    LinearCost,
+    PiecewiseLinearCost,
+    PowerCost,
+    ReciprocalCost,
+)
+from repro.costs.integration import (
+    IntegrationFunction,
+    SumIntegration,
+    WeightedSumIntegration,
+)
+from repro.costs.calibration import FitResult, fit_attribute_cost
+from repro.costs.model import CostModel, check_monotonic, paper_cost_model
+
+__all__ = [
+    "AttributeCost",
+    "CostModel",
+    "ExponentialCost",
+    "FitResult",
+    "IntegrationFunction",
+    "LinearCost",
+    "PiecewiseLinearCost",
+    "PowerCost",
+    "ReciprocalCost",
+    "SumIntegration",
+    "WeightedSumIntegration",
+    "check_monotonic",
+    "fit_attribute_cost",
+    "paper_cost_model",
+]

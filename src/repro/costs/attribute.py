@@ -1,0 +1,243 @@
+"""Attribute cost functions (Definition 4).
+
+Under the smaller-is-better dominance convention, a *better* attribute value
+is a *smaller* one, and manufacturing a better value costs more.  Every
+attribute cost function shipped here is therefore non-increasing in the
+attribute value; :func:`repro.costs.model.check_monotonic` verifies the
+property empirically for user-supplied functions.
+
+The paper's experiments use the reciprocal form ``f_a(v) = 1 / (v + eps)``
+(:class:`ReciprocalCost`).  The others model plausible alternatives (linear
+budgets, power-law and exponential economies of scale, piecewise tariffs) and
+are exercised by the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import Sequence, Tuple
+
+from repro.exceptions import CostFunctionError
+
+
+class AttributeCost(ABC):
+    """A map from one attribute's value to a manufacturing cost."""
+
+    @abstractmethod
+    def __call__(self, value: float) -> float:
+        """Return the cost of producing attribute value ``value``."""
+
+    def vector(self, values):
+        """Vectorized evaluation over a numpy array of values.
+
+        Subclasses with a closed-form numpy implementation override this;
+        the default raises :class:`NotImplementedError`, signalling callers
+        (see :meth:`repro.costs.model.CostModel.supports_vectorization`)
+        to use the scalar path.  Overrides must agree with ``__call__`` to
+        within floating-point associativity.
+        """
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """Short human-readable formula, used in experiment reports."""
+        return type(self).__name__
+
+
+class ReciprocalCost(AttributeCost):
+    """``f_a(v) = scale / (v + offset)`` — the paper's experimental choice.
+
+    The ``offset`` keeps the cost finite as values approach the domain floor.
+    It must exceed the upgrade epsilon used by Algorithm 1 so that an
+    upgraded value ``s.d_k - eps`` with ``s.d_k >= 0`` still yields a finite
+    positive cost; :class:`repro.core.upgrade.UpgradeConfig` enforces this.
+    """
+
+    __slots__ = ("scale", "offset")
+
+    def __init__(self, scale: float = 1.0, offset: float = 1e-3):
+        if scale <= 0:
+            raise CostFunctionError(f"scale must be positive, got {scale}")
+        if offset <= 0:
+            raise CostFunctionError(f"offset must be positive, got {offset}")
+        self.scale = float(scale)
+        self.offset = float(offset)
+
+    def __call__(self, value: float) -> float:
+        denominator = value + self.offset
+        if denominator <= 0:
+            raise CostFunctionError(
+                f"reciprocal cost undefined at value={value} "
+                f"(offset={self.offset}); decrease the upgrade epsilon or "
+                "increase the cost offset"
+            )
+        return self.scale / denominator
+
+    def vector(self, values):
+        import numpy as np
+
+        denominator = np.asarray(values, dtype=np.float64) + self.offset
+        if np.any(denominator <= 0):
+            bad = float(np.asarray(values).ravel()[0])
+            raise CostFunctionError(
+                f"reciprocal cost undefined at or below value={bad} "
+                f"(offset={self.offset})"
+            )
+        return self.scale / denominator
+
+    def describe(self) -> str:
+        return f"{self.scale:g}/(v+{self.offset:g})"
+
+
+class LinearCost(AttributeCost):
+    """``f_a(v) = intercept - slope * v`` with ``slope >= 0``."""
+
+    __slots__ = ("intercept", "slope")
+
+    def __init__(self, intercept: float = 1.0, slope: float = 1.0):
+        if slope < 0:
+            raise CostFunctionError(f"slope must be non-negative, got {slope}")
+        self.intercept = float(intercept)
+        self.slope = float(slope)
+
+    def __call__(self, value: float) -> float:
+        return self.intercept - self.slope * value
+
+    def vector(self, values):
+        import numpy as np
+
+        return self.intercept - self.slope * np.asarray(
+            values, dtype=np.float64
+        )
+
+    def describe(self) -> str:
+        return f"{self.intercept:g}-{self.slope:g}*v"
+
+
+class PowerCost(AttributeCost):
+    """``f_a(v) = scale * (v + offset) ** -exponent`` with ``exponent > 0``."""
+
+    __slots__ = ("scale", "offset", "exponent")
+
+    def __init__(
+        self, scale: float = 1.0, offset: float = 1e-3, exponent: float = 2.0
+    ):
+        if scale <= 0:
+            raise CostFunctionError(f"scale must be positive, got {scale}")
+        if offset <= 0:
+            raise CostFunctionError(f"offset must be positive, got {offset}")
+        if exponent <= 0:
+            raise CostFunctionError(
+                f"exponent must be positive, got {exponent}"
+            )
+        self.scale = float(scale)
+        self.offset = float(offset)
+        self.exponent = float(exponent)
+
+    def __call__(self, value: float) -> float:
+        base = value + self.offset
+        if base <= 0:
+            raise CostFunctionError(
+                f"power cost undefined at value={value} (offset={self.offset})"
+            )
+        return self.scale * base ** (-self.exponent)
+
+    def vector(self, values):
+        import numpy as np
+
+        base = np.asarray(values, dtype=np.float64) + self.offset
+        if np.any(base <= 0):
+            raise CostFunctionError(
+                f"power cost undefined at some value (offset={self.offset})"
+            )
+        return self.scale * base ** (-self.exponent)
+
+    def describe(self) -> str:
+        return f"{self.scale:g}*(v+{self.offset:g})^-{self.exponent:g}"
+
+
+class ExponentialCost(AttributeCost):
+    """``f_a(v) = scale * exp(-rate * v)`` with ``rate > 0``."""
+
+    __slots__ = ("scale", "rate")
+
+    def __init__(self, scale: float = 1.0, rate: float = 1.0):
+        if scale <= 0:
+            raise CostFunctionError(f"scale must be positive, got {scale}")
+        if rate <= 0:
+            raise CostFunctionError(f"rate must be positive, got {rate}")
+        self.scale = float(scale)
+        self.rate = float(rate)
+
+    def __call__(self, value: float) -> float:
+        return self.scale * math.exp(-self.rate * value)
+
+    def vector(self, values):
+        import numpy as np
+
+        return self.scale * np.exp(
+            -self.rate * np.asarray(values, dtype=np.float64)
+        )
+
+    def describe(self) -> str:
+        return f"{self.scale:g}*exp(-{self.rate:g}*v)"
+
+
+class PiecewiseLinearCost(AttributeCost):
+    """A non-increasing piecewise-linear cost defined by breakpoints.
+
+    Args:
+        breakpoints: ``(value, cost)`` pairs sorted by value with
+            non-increasing costs.  Values outside the breakpoint range are
+            extrapolated flat (clamped to the boundary cost), which keeps the
+            function monotone everywhere.
+    """
+
+    __slots__ = ("_xs", "_ys")
+
+    def __init__(self, breakpoints: Sequence[Tuple[float, float]]):
+        if len(breakpoints) < 2:
+            raise CostFunctionError("need at least two breakpoints")
+        xs = [float(x) for x, _ in breakpoints]
+        ys = [float(y) for _, y in breakpoints]
+        for a, b in zip(xs, xs[1:]):
+            if b <= a:
+                raise CostFunctionError(
+                    "breakpoint values must be strictly increasing"
+                )
+        for a, b in zip(ys, ys[1:]):
+            if b > a:
+                raise CostFunctionError(
+                    "breakpoint costs must be non-increasing"
+                )
+        self._xs = tuple(xs)
+        self._ys = tuple(ys)
+
+    def __call__(self, value: float) -> float:
+        xs, ys = self._xs, self._ys
+        if value <= xs[0]:
+            return ys[0]
+        if value >= xs[-1]:
+            return ys[-1]
+        # Binary search for the surrounding segment.
+        lo, hi = 0, len(xs) - 1
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if xs[mid] <= value:
+                lo = mid
+            else:
+                hi = mid
+        span = xs[hi] - xs[lo]
+        frac = (value - xs[lo]) / span
+        return ys[lo] + frac * (ys[hi] - ys[lo])
+
+    def vector(self, values):
+        import numpy as np
+
+        # np.interp clamps outside the breakpoint range, matching __call__.
+        return np.interp(
+            np.asarray(values, dtype=np.float64), self._xs, self._ys
+        )
+
+    def describe(self) -> str:
+        return f"piecewise[{len(self._xs)} pts]"

@@ -1,0 +1,66 @@
+"""Integration functions (Definition 6).
+
+An integration function turns ``c`` per-attribute cost values into one
+product cost.  The paper defines the summation form (Equation 1) and its
+weighted variant; both are provided.  Integration functions must be monotone
+non-decreasing in each argument for the product cost function to inherit the
+dominance-monotonicity the algorithms assume.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+from repro.exceptions import CostFunctionError
+
+
+class IntegrationFunction(ABC):
+    """Combines per-attribute costs into a single product cost."""
+
+    @abstractmethod
+    def __call__(self, attribute_costs: Sequence[float]) -> float:
+        """Return the integrated product cost."""
+
+    def describe(self) -> str:
+        """Short human-readable name for experiment reports."""
+        return type(self).__name__
+
+
+class SumIntegration(IntegrationFunction):
+    """Equation 1: the product cost is the plain sum of attribute costs."""
+
+    __slots__ = ()
+
+    def __call__(self, attribute_costs: Sequence[float]) -> float:
+        return sum(attribute_costs)
+
+    def describe(self) -> str:
+        return "sum"
+
+
+class WeightedSumIntegration(IntegrationFunction):
+    """Weighted summation: ``sum(w_i * f_a^i(v_i))`` with ``w_i >= 0``."""
+
+    __slots__ = ("weights",)
+
+    def __init__(self, weights: Sequence[float]):
+        ws = tuple(float(w) for w in weights)
+        if not ws:
+            raise CostFunctionError("weights must be non-empty")
+        if any(w < 0 for w in ws):
+            raise CostFunctionError(f"weights must be non-negative: {ws}")
+        if all(w == 0 for w in ws):
+            raise CostFunctionError("at least one weight must be positive")
+        self.weights = ws
+
+    def __call__(self, attribute_costs: Sequence[float]) -> float:
+        if len(attribute_costs) != len(self.weights):
+            raise CostFunctionError(
+                f"expected {len(self.weights)} attribute costs, "
+                f"got {len(attribute_costs)}"
+            )
+        return sum(w * c for w, c in zip(self.weights, attribute_costs))
+
+    def describe(self) -> str:
+        return "wsum[" + ",".join(f"{w:g}" for w in self.weights) + "]"

@@ -1,0 +1,224 @@
+"""The product cost model (Definitions 5–7).
+
+:class:`CostModel` bundles the per-dimension attribute cost functions with an
+integration function and exposes the two operations the algorithms need:
+
+* ``product_cost(point)`` — the paper's ``f_p(p)``;
+* ``upgrade_cost(old, new)`` — ``f_p(new) - f_p(old)`` (Definition 7).
+
+It also exposes ``attribute_cost(dim, value)``, used by Algorithm 1's
+single-dimension option where only one coordinate changes, and a sampled
+monotonicity checker for user-supplied attribute functions.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional, Sequence, Tuple
+
+from repro.costs.attribute import AttributeCost, ReciprocalCost
+from repro.costs.integration import (
+    IntegrationFunction,
+    SumIntegration,
+    WeightedSumIntegration,
+)
+from repro.exceptions import CostFunctionError, DimensionalityError
+
+
+class CostModel:
+    """Product cost function assembled from attribute costs (Definition 6).
+
+    Args:
+        attribute_costs: one :class:`AttributeCost` per dimension.
+        integration: how per-attribute costs combine; defaults to the paper's
+            summation integration (Equation 1).
+    """
+
+    __slots__ = ("attribute_costs", "integration", "_vector_ok")
+
+    def __init__(
+        self,
+        attribute_costs: Sequence[AttributeCost],
+        integration: Optional[IntegrationFunction] = None,
+    ):
+        costs = tuple(attribute_costs)
+        if not costs:
+            raise CostFunctionError("need at least one attribute cost")
+        if integration is None:
+            integration = SumIntegration()
+        if isinstance(integration, WeightedSumIntegration) and len(
+            integration.weights
+        ) != len(costs):
+            raise CostFunctionError(
+                f"{len(integration.weights)} weights for "
+                f"{len(costs)} attribute costs"
+            )
+        self.attribute_costs = costs
+        self.integration = integration
+        self._vector_ok: Optional[bool] = None
+
+    # -- core operations ----------------------------------------------------
+
+    @property
+    def dims(self) -> int:
+        """Dimensionality of the product space this model covers."""
+        return len(self.attribute_costs)
+
+    def product_cost(self, point: Sequence[float]) -> float:
+        """Return ``f_p(point)`` (Definition 5)."""
+        if len(point) != len(self.attribute_costs):
+            raise DimensionalityError(
+                f"point has {len(point)} coordinates, "
+                f"model expects {len(self.attribute_costs)}"
+            )
+        return self.integration(
+            [f(v) for f, v in zip(self.attribute_costs, point)]
+        )
+
+    def upgrade_cost(
+        self, old: Sequence[float], new: Sequence[float]
+    ) -> float:
+        """Return ``f_p(new) - f_p(old)`` (Definition 7)."""
+        return self.product_cost(new) - self.product_cost(old)
+
+    def attribute_cost(self, dim: int, value: float) -> float:
+        """Return ``f_a^dim(value)`` for a single dimension."""
+        return self.attribute_costs[dim](value)
+
+    def supports_vectorization(self) -> bool:
+        """True iff every attribute cost has a numpy ``vector`` override.
+
+        Hot paths (Algorithm 1 on large skylines) switch to
+        :meth:`vector_product_cost` when this holds; custom attribute costs
+        without a ``vector`` implementation transparently use the scalar
+        path instead.  The probe result is cached per model.
+        """
+        if self._vector_ok is not None:
+            return self._vector_ok
+        import numpy as np
+
+        probe = np.zeros(1)
+        ok = True
+        for f in self.attribute_costs:
+            try:
+                f.vector(probe)
+            except NotImplementedError:
+                ok = False
+                break
+            except Exception:
+                # Defined but unhappy with a zero probe (e.g. domain
+                # restrictions): vectorization is still available.
+                continue
+        self._vector_ok = ok
+        return ok
+
+    def vector_product_cost(self, points) -> "object":
+        """Return ``f_p`` for every row of an ``(n, d)`` numpy array.
+
+        Semantically identical to mapping :meth:`product_cost` over the
+        rows (up to floating-point associativity of the summation).
+        """
+        import numpy as np
+
+        matrix = np.asarray(points, dtype=np.float64)
+        if matrix.ndim != 2 or matrix.shape[1] != len(self.attribute_costs):
+            raise DimensionalityError(
+                f"expected an (n, {len(self.attribute_costs)}) array, "
+                f"got shape {matrix.shape}"
+            )
+        columns = [
+            f.vector(matrix[:, i])
+            for i, f in enumerate(self.attribute_costs)
+        ]
+        if isinstance(self.integration, WeightedSumIntegration):
+            weights = self.integration.weights
+            total = np.zeros(matrix.shape[0])
+            for w, col in zip(weights, columns):
+                total += w * col
+            return total
+        if isinstance(self.integration, SumIntegration):
+            total = np.zeros(matrix.shape[0])
+            for col in columns:
+                total += col
+            return total
+        # Arbitrary integration: fall back to per-row evaluation.
+        stacked = np.column_stack(columns)
+        return np.array([self.integration(row) for row in stacked])
+
+    def describe(self) -> str:
+        """Readable summary used by experiment reports."""
+        parts = ", ".join(f.describe() for f in self.attribute_costs)
+        return f"{self.integration.describe()}({parts})"
+
+
+def paper_cost_model(
+    dims: int,
+    offset: float = 1e-3,
+    weights: Optional[Sequence[float]] = None,
+) -> CostModel:
+    """Return the cost model used throughout the paper's empirical study.
+
+    Every dimension gets the reciprocal attribute cost
+    ``f_a^i(v) = 1/(v + offset)`` and costs combine by summation
+    (or weighted summation when ``weights`` is given).
+    """
+    if dims < 1:
+        raise CostFunctionError(f"dims must be >= 1, got {dims}")
+    attribute_costs = [ReciprocalCost(offset=offset) for _ in range(dims)]
+    integration: IntegrationFunction
+    if weights is None:
+        integration = SumIntegration()
+    else:
+        integration = WeightedSumIntegration(weights)
+    return CostModel(attribute_costs, integration)
+
+
+def check_monotonic(
+    model: CostModel,
+    low: Sequence[float],
+    high: Sequence[float],
+    samples_per_dim: int = 5,
+) -> None:
+    """Empirically verify the dominance-monotonicity assumption of §I-C.
+
+    Samples a grid of points in ``[low, high]`` and checks that whenever
+    ``p`` dominates ``q``, ``f_p(p) >= f_p(q)``.  With the shipped attribute
+    costs (all non-increasing) and non-negative integration weights the
+    property holds analytically; this check guards user-supplied functions.
+
+    Raises:
+        CostFunctionError: a dominance/cost inversion was found.
+    """
+    if len(low) != model.dims or len(high) != model.dims:
+        raise DimensionalityError("bounds do not match model dimensionality")
+    if samples_per_dim < 2:
+        raise CostFunctionError("samples_per_dim must be >= 2")
+    axes = []
+    for a, b in zip(low, high):
+        if a >= b:
+            raise CostFunctionError(f"empty sampling interval [{a}, {b}]")
+        step = (b - a) / (samples_per_dim - 1)
+        axes.append([a + i * step for i in range(samples_per_dim)])
+    grid = [tuple(p) for p in itertools.product(*axes)]
+    costs = [model.product_cost(p) for p in grid]
+    for (p, cp), (q, cq) in itertools.combinations(zip(grid, costs), 2):
+        if _dominates(p, q) and cp < cq - 1e-12:
+            raise CostFunctionError(
+                f"non-monotonic cost model: {p} dominates {q} "
+                f"but costs {cp} < {cq}"
+            )
+        if _dominates(q, p) and cq < cp - 1e-12:
+            raise CostFunctionError(
+                f"non-monotonic cost model: {q} dominates {p} "
+                f"but costs {cq} < {cp}"
+            )
+
+
+def _dominates(p: Tuple[float, ...], q: Tuple[float, ...]) -> bool:
+    strict = False
+    for a, b in zip(p, q):
+        if a > b:
+            return False
+        if a < b:
+            strict = True
+    return strict

@@ -1,0 +1,53 @@
+"""Dataset generation, normalization, and I/O.
+
+Provides the paper's three data sources:
+
+* synthetic independent / correlated / anti-correlated point sets following
+  the Börzsönyi et al. generator conventions (:mod:`repro.data.generators`),
+  including the paper's experiment layout with ``P`` drawn from ``[0,1]^c``
+  and ``T`` from ``(1,2]^c``;
+* a synthetic stand-in for the UCI white-wine dataset used in §IV-B
+  (:mod:`repro.data.wine`) — see DESIGN.md §5 for the substitution rationale;
+* the cell-phone running example of Tables I–II (:mod:`repro.data.phones`).
+"""
+
+from repro.data.categorical import OrdinalEncoder
+from repro.data.generators import (
+    anti_correlated,
+    correlated,
+    generate,
+    independent,
+    paper_workload,
+)
+from repro.data.normalize import (
+    Orientation,
+    min_max_normalize,
+    orient_minimize,
+)
+from repro.data.phones import (
+    COMPETITOR_PHONES,
+    UPGRADE_CANDIDATE_PHONES,
+    phone_example,
+)
+from repro.data.wine import ATTRIBUTE_COMBOS, synthesize_wine, wine_split
+from repro.data.io import load_points_csv, save_points_csv
+
+__all__ = [
+    "ATTRIBUTE_COMBOS",
+    "COMPETITOR_PHONES",
+    "OrdinalEncoder",
+    "Orientation",
+    "UPGRADE_CANDIDATE_PHONES",
+    "anti_correlated",
+    "correlated",
+    "generate",
+    "independent",
+    "load_points_csv",
+    "min_max_normalize",
+    "orient_minimize",
+    "paper_workload",
+    "phone_example",
+    "save_points_csv",
+    "synthesize_wine",
+    "wine_split",
+]

@@ -1,0 +1,96 @@
+"""Ordinal categorical attributes (the paper's §VI first research direction).
+
+The paper assumes numerical domains and names mixed numerical/categorical
+data as future work.  For *ordinal* categories — quality grades, star
+ratings, material classes — dominance is well defined once the categories
+are totally ordered, so the entire machinery applies after an
+order-preserving encoding.  :class:`OrdinalEncoder` provides exactly that:
+categories map to their rank (best category — the one consumers prefer —
+to the smallest value, matching the library's smaller-is-better
+convention), and decoded upgrade results snap to the nearest achievable
+category.
+
+Nominal (unordered) categories admit no total preference order and hence
+no dominance semantics; they are intentionally out of scope, as they are
+for the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.exceptions import ConfigurationError
+
+
+class OrdinalEncoder:
+    """Order-preserving encoder for one ordinal categorical attribute.
+
+    Args:
+        categories: category labels ordered from *most* preferred to
+            *least* preferred (e.g. ``["platinum", "gold", "silver"]``).
+            The most preferred maps to ``0.0``, in line with the
+            smaller-is-better dominance convention.
+
+    Example:
+        >>> enc = OrdinalEncoder(["platinum", "gold", "silver"])
+        >>> enc.encode("gold")
+        1.0
+        >>> enc.decode(0.3)
+        'platinum'
+    """
+
+    def __init__(self, categories: Sequence[str]):
+        labels = list(categories)
+        if len(labels) < 2:
+            raise ConfigurationError(
+                "an ordinal attribute needs at least two categories"
+            )
+        if len(set(labels)) != len(labels):
+            raise ConfigurationError(f"duplicate categories: {labels}")
+        self._labels: List[str] = labels
+        self._ranks: Dict[str, float] = {
+            label: float(rank) for rank, label in enumerate(labels)
+        }
+
+    @property
+    def categories(self) -> Tuple[str, ...]:
+        """Labels from most to least preferred."""
+        return tuple(self._labels)
+
+    def encode(self, label: str) -> float:
+        """Return the numeric rank of ``label`` (0.0 = most preferred)."""
+        try:
+            return self._ranks[label]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown category {label!r}; known: {self._labels}"
+            ) from None
+
+    def encode_many(self, labels: Sequence[str]) -> List[float]:
+        """Encode a column of labels."""
+        return [self.encode(label) for label in labels]
+
+    def decode(self, value: float) -> str:
+        """Snap a numeric value back to the nearest achievable category.
+
+        Upgraded coordinates land at ``rank - epsilon``; rounding to the
+        nearest rank (clamped to the valid range) recovers the category a
+        manufacturer can actually build.
+        """
+        index = int(round(value))
+        index = min(max(index, 0), len(self._labels) - 1)
+        return self._labels[index]
+
+    def decode_many(self, values: Sequence[float]) -> List[str]:
+        """Decode a column of numeric values."""
+        return [self.decode(v) for v in values]
+
+    def upgrade_steps(self, old: str, new: str) -> int:
+        """Number of category steps an upgrade moves (negative = downgrade)."""
+        return int(self.encode(old) - self.encode(new))
+
+    def __len__(self) -> int:
+        return len(self._labels)
+
+    def __repr__(self) -> str:
+        return f"OrdinalEncoder({self._labels!r})"

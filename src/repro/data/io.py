@@ -1,0 +1,80 @@
+"""CSV persistence for point sets.
+
+Experiment datasets are cached on disk between benchmark runs; the format is
+a plain CSV with an optional header row naming the attributes, loadable
+without this library.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+PathLike = Union[str, Path]
+
+
+def save_points_csv(
+    path: PathLike,
+    points: "np.ndarray",
+    attributes: Optional[Sequence[str]] = None,
+) -> None:
+    """Write an ``(n, d)`` point array to ``path`` as CSV.
+
+    Args:
+        path: destination file; parent directories are created.
+        points: the data.
+        attributes: optional column names written as a header row.
+    """
+    arr = np.asarray(points, dtype=np.float64)
+    if arr.ndim != 2:
+        raise ConfigurationError(f"expected (n, d) data, got {arr.shape}")
+    if attributes is not None and len(attributes) != arr.shape[1]:
+        raise ConfigurationError(
+            f"{len(attributes)} attribute names for {arr.shape[1]} columns"
+        )
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        if attributes is not None:
+            writer.writerow(attributes)
+        for row in arr:
+            writer.writerow([repr(float(v)) for v in row])
+
+
+def load_points_csv(
+    path: PathLike,
+) -> Tuple["np.ndarray", Optional[Tuple[str, ...]]]:
+    """Read a CSV point file written by :func:`save_points_csv`.
+
+    A header row is auto-detected (any non-numeric first row).
+
+    Returns:
+        ``(points, attributes)`` where ``attributes`` is ``None`` when the
+        file has no header.
+    """
+    rows = []
+    attributes: Optional[Tuple[str, ...]] = None
+    with Path(path).open(newline="") as handle:
+        reader = csv.reader(handle)
+        for i, row in enumerate(reader):
+            if not row:
+                continue
+            if i == 0:
+                try:
+                    rows.append([float(v) for v in row])
+                except ValueError:
+                    attributes = tuple(row)
+                continue
+            rows.append([float(v) for v in row])
+    if not rows:
+        raise ConfigurationError(f"no data rows in {path}")
+    widths = {len(r) for r in rows}
+    if len(widths) != 1:
+        raise ConfigurationError(f"ragged rows in {path}: widths {widths}")
+    return np.asarray(rows, dtype=np.float64), attributes

@@ -1,0 +1,81 @@
+"""Attribute normalization and orientation.
+
+The paper's Definition 3 footnote: for a dimension on which *larger* values
+are preferred (standby time, camera resolution), a negation converts it to
+the library-wide smaller-is-better convention.  :func:`orient_minimize`
+applies that conversion; :func:`min_max_normalize` rescales every dimension
+into ``[0, 1]`` as the paper does for the wine data (§IV-B).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+
+class Orientation(enum.Enum):
+    """Preference direction of one attribute."""
+
+    MIN = "min"  #: smaller values preferred (weight, price, chlorides)
+    MAX = "max"  #: larger values preferred (standby time, camera pixels)
+
+
+def orient_minimize(
+    data: "np.ndarray",
+    orientations: Sequence[Orientation],
+) -> "np.ndarray":
+    """Return a copy of ``data`` where every dimension is min-preferred.
+
+    MAX-oriented columns are negated, which preserves the dominance relation
+    exactly (the paper's "simple negation conversion").
+
+    Args:
+        data: an ``(n, d)`` array.
+        orientations: one :class:`Orientation` per column.
+    """
+    arr = np.asarray(data, dtype=np.float64)
+    if arr.ndim != 2:
+        raise ConfigurationError(f"expected (n, d) data, got {arr.shape}")
+    if arr.shape[1] != len(orientations):
+        raise ConfigurationError(
+            f"{len(orientations)} orientations for {arr.shape[1]} columns"
+        )
+    out = arr.copy()
+    for i, o in enumerate(orientations):
+        if o is Orientation.MAX:
+            out[:, i] = -out[:, i]
+        elif o is not Orientation.MIN:
+            raise ConfigurationError(f"invalid orientation: {o!r}")
+    return out
+
+
+def min_max_normalize(
+    data: "np.ndarray",
+    low: float = 0.0,
+    high: float = 1.0,
+) -> "np.ndarray":
+    """Rescale every column of ``data`` affinely into ``[low, high]``.
+
+    Constant columns map to ``low`` (a constant attribute can never decide
+    dominance, so any constant is equally valid; the low end keeps the
+    reciprocal cost finite).
+    """
+    arr = np.asarray(data, dtype=np.float64)
+    if arr.ndim != 2:
+        raise ConfigurationError(f"expected (n, d) data, got {arr.shape}")
+    if high <= low:
+        raise ConfigurationError(f"need high > low, got [{low}, {high}]")
+    mins = arr.min(axis=0)
+    maxs = arr.max(axis=0)
+    span = maxs - mins
+    out = np.empty_like(arr)
+    for i in range(arr.shape[1]):
+        if span[i] == 0:
+            out[:, i] = low
+        else:
+            out[:, i] = low + (arr[:, i] - mins[i]) / span[i] * (high - low)
+    return out

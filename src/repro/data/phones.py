@@ -1,0 +1,61 @@
+"""The paper's cell-phone running example (Tables I and II).
+
+Table I is the competitor set ``P`` (phones 1–6); Table II the manufacturer's
+uncompetitive set ``T`` (phones A–D).  Attributes: weight (grams, smaller is
+better), standby time (hours, larger is better), camera resolution
+(megapixels, larger is better).
+
+The paper's introduction states the dominance facts these tables encode —
+phones 1, 3, 5 are the skyline of ``P``; phone A is dominated by phones
+1, 3, 5, 6; phone B by all of ``P``; phone C by all but phone 1; phone D by
+phones 1, 4, 5 — and the test suite verifies each one against this module.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.data.normalize import Orientation, orient_minimize
+
+#: Attribute names in column order.
+PHONE_ATTRIBUTES = ("weight", "standby_time", "camera_pixels")
+
+#: Preference direction per attribute (weight: less is better).
+PHONE_ORIENTATIONS = (Orientation.MIN, Orientation.MAX, Orientation.MAX)
+
+#: Table I — competitor phones, raw attribute values.
+COMPETITOR_PHONES: Dict[str, Tuple[float, float, float]] = {
+    "phone 1": (140.0, 200.0, 2.0),
+    "phone 2": (180.0, 150.0, 3.0),
+    "phone 3": (100.0, 160.0, 3.0),
+    "phone 4": (180.0, 180.0, 3.0),
+    "phone 5": (120.0, 180.0, 4.0),
+    "phone 6": (150.0, 150.0, 3.0),
+}
+
+#: Table II — the manufacturer's upgrade candidates, raw attribute values.
+UPGRADE_CANDIDATE_PHONES: Dict[str, Tuple[float, float, float]] = {
+    "phone A": (150.0, 120.0, 2.0),
+    "phone B": (180.0, 130.0, 1.0),
+    "phone C": (180.0, 120.0, 3.0),
+    "phone D": (220.0, 180.0, 2.0),
+}
+
+
+def phone_example() -> Tuple["np.ndarray", "np.ndarray", List[str], List[str]]:
+    """Return the running example oriented to smaller-is-better.
+
+    Returns:
+        ``(P, T, p_names, t_names)`` where ``P`` and ``T`` are ``(n, 3)``
+        arrays with max-preferred attributes negated, and the name lists
+        give the row order ("phone 1".."phone 6", "phone A".."phone D").
+    """
+    p_names = sorted(COMPETITOR_PHONES)
+    t_names = sorted(UPGRADE_CANDIDATE_PHONES)
+    p_raw = np.array([COMPETITOR_PHONES[n] for n in p_names])
+    t_raw = np.array([UPGRADE_CANDIDATE_PHONES[n] for n in t_names])
+    p_points = orient_minimize(p_raw, PHONE_ORIENTATIONS)
+    t_points = orient_minimize(t_raw, PHONE_ORIENTATIONS)
+    return p_points, t_points, p_names, t_names

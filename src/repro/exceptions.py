@@ -1,0 +1,42 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised exceptions derive from :class:`SkyUpError` so callers can
+catch every library failure with a single ``except`` clause while still being
+able to distinguish configuration problems from data problems.
+"""
+
+from __future__ import annotations
+
+
+class SkyUpError(Exception):
+    """Base class for every exception raised by this library."""
+
+
+class DimensionalityError(SkyUpError, ValueError):
+    """Raised when points, MBRs, or datasets disagree on dimensionality."""
+
+
+class EmptyDatasetError(SkyUpError, ValueError):
+    """Raised when an algorithm receives an empty input it cannot handle."""
+
+
+class CostFunctionError(SkyUpError, ValueError):
+    """Raised when a cost function is invalid (non-monotonic, non-finite)."""
+
+
+class NotAnAntichainError(SkyUpError, ValueError):
+    """Raised when a claimed skyline contains a dominated point.
+
+    Algorithm 1 of the paper (``upgrade``) is only correct when its input
+    point set is an antichain under the dominance order (Lemma 1's proof
+    relies on it); callers that pass raw dominator sets trigger this error
+    in validating mode.
+    """
+
+
+class RTreeError(SkyUpError):
+    """Raised when an R-tree structural invariant is violated."""
+
+
+class ConfigurationError(SkyUpError, ValueError):
+    """Raised for invalid algorithm or experiment configuration."""

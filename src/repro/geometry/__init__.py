@@ -1,0 +1,37 @@
+"""Geometric primitives: points, dominance, MBRs, and dominance regions.
+
+Everything in this package is deliberately allocation-light: points are plain
+tuples of floats and the hot dominance predicates are free functions, because
+the R-tree and join algorithms call them millions of times per run.
+"""
+
+from repro.geometry.point import (
+    dominates,
+    dominates_or_equal,
+    dimensionality,
+    is_comparable,
+    strictly_dominates,
+    validate_point,
+)
+from repro.geometry.mbr import MBR
+from repro.geometry.region import (
+    adr_contains,
+    mbr_overlaps_adr,
+    point_in_adr,
+)
+from repro.geometry.classify import DimClassification, classify_dimensions
+
+__all__ = [
+    "MBR",
+    "DimClassification",
+    "adr_contains",
+    "classify_dimensions",
+    "dimensionality",
+    "dominates",
+    "dominates_or_equal",
+    "is_comparable",
+    "mbr_overlaps_adr",
+    "point_in_adr",
+    "strictly_dominates",
+    "validate_point",
+]

@@ -1,0 +1,105 @@
+"""Dimension classification for the lower-bound machinery (paper §III-B3).
+
+Given a product-set node ``e_T`` and a competitor node ``e_P``, the paper
+partitions the dimension set ``D`` into three categories by comparing
+``e_T.min`` (the best possible product in ``e_T``) against ``e_P``'s corners:
+
+* **disadvantaged** ``D_D``: ``e_P.max.d_i < e_T.min.d_i`` — even the worst
+  competitor value beats the best product value, so the products must improve
+  on this dimension (or win elsewhere) to escape domination;
+* **incomparable** ``D_I``: ``e_P.min.d_i <= e_T.min.d_i <= e_P.max.d_i`` —
+  the best product value falls inside the competitor range;
+* **advantaged** ``D_A``: ``e_T.min.d_i < e_P.min.d_i`` — the best product
+  value already beats every competitor value on this dimension.
+
+The three categories are exhaustive and pairwise disjoint.  The resulting
+:class:`DimClassification` drives the four ``LBC`` cases and — via its
+:attr:`~DimClassification.signature` — the aggressive lower bound's
+partitioning of the join list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from repro.exceptions import DimensionalityError
+
+
+@dataclass(frozen=True)
+class DimClassification:
+    """Outcome of classifying every dimension of ``e_T`` against ``e_P``."""
+
+    disadvantaged: Tuple[int, ...]
+    incomparable: Tuple[int, ...]
+    advantaged: Tuple[int, ...]
+
+    @property
+    def dims(self) -> int:
+        """Total number of dimensions classified."""
+        return (
+            len(self.disadvantaged)
+            + len(self.incomparable)
+            + len(self.advantaged)
+        )
+
+    @property
+    def has_advantage(self) -> bool:
+        """True iff at least one dimension is advantaged (LBC Case 1)."""
+        return bool(self.advantaged)
+
+    @property
+    def all_incomparable(self) -> bool:
+        """True iff every dimension is incomparable (LBC Case 2)."""
+        return len(self.incomparable) == self.dims
+
+    @property
+    def all_disadvantaged(self) -> bool:
+        """True iff every dimension is disadvantaged (LBC Case 3)."""
+        return len(self.disadvantaged) == self.dims
+
+    @property
+    def signature(self) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+        """Hashable key identifying the (D_D, D_I) split.
+
+        Two join-list entries fall into the same partition of the aggressive
+        lower bound (Equation 4) exactly when their signatures match.  The
+        advantaged set is implied by the other two, so it is omitted.
+        """
+        return (self.disadvantaged, self.incomparable)
+
+
+def classify_dimensions(
+    t_low: Sequence[float],
+    p_low: Sequence[float],
+    p_high: Sequence[float],
+) -> DimClassification:
+    """Classify each dimension of ``e_T`` against ``e_P`` (paper §III-B3).
+
+    Args:
+        t_low: ``e_T.min`` — lower corner of the product node's MBR.
+        p_low: ``e_P.min`` — lower corner of the competitor node's MBR.
+        p_high: ``e_P.max`` — upper corner of the competitor node's MBR.
+
+    Returns:
+        A :class:`DimClassification` with dimension indices sorted
+        ascending in each category.
+    """
+    if not len(t_low) == len(p_low) == len(p_high):
+        raise DimensionalityError(
+            "corner dimensionalities differ: "
+            f"{len(t_low)}, {len(p_low)}, {len(p_high)}"
+        )
+    disadvantaged = []
+    incomparable = []
+    advantaged = []
+    for i, (tv, pl, ph) in enumerate(zip(t_low, p_low, p_high)):
+        if ph < tv:
+            disadvantaged.append(i)
+        elif tv < pl:
+            advantaged.append(i)
+        else:
+            incomparable.append(i)
+    return DimClassification(
+        tuple(disadvantaged), tuple(incomparable), tuple(advantaged)
+    )

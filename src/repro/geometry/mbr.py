@@ -1,0 +1,178 @@
+"""Minimum bounding rectangles (hyper-rectangles) for the R-tree.
+
+An :class:`MBR` stores its lower corner ``low`` (the paper's ``e.min``) and
+upper corner ``high`` (``e.max``) as tuples.  MBRs are immutable; operations
+that "grow" an MBR return a new one.  The R-tree split heuristics need area,
+margin, enlargement, and pairwise overlap, all provided here.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple
+
+from repro.exceptions import DimensionalityError
+
+Corner = Tuple[float, ...]
+
+
+class MBR:
+    """An axis-aligned hyper-rectangle ``[low, high]`` (closed on all sides)."""
+
+    __slots__ = ("low", "high")
+
+    def __init__(self, low: Sequence[float], high: Sequence[float]):
+        if len(low) != len(high):
+            raise DimensionalityError(
+                f"corner dimensionalities differ: {len(low)} vs {len(high)}"
+            )
+        lo = tuple(float(v) for v in low)
+        hi = tuple(float(v) for v in high)
+        for a, b in zip(lo, hi):
+            if a > b:
+                raise ValueError(f"inverted MBR: low={lo} high={hi}")
+        self.low = lo
+        self.high = hi
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def from_point(cls, point: Sequence[float]) -> "MBR":
+        """Return the degenerate MBR covering a single point."""
+        return cls(point, point)
+
+    @classmethod
+    def from_points(cls, points: Iterable[Sequence[float]]) -> "MBR":
+        """Return the tightest MBR enclosing ``points`` (must be non-empty)."""
+        it = iter(points)
+        try:
+            first = next(it)
+        except StopIteration:
+            raise ValueError("cannot build an MBR from no points") from None
+        low = list(first)
+        high = list(first)
+        for p in it:
+            for i, v in enumerate(p):
+                if v < low[i]:
+                    low[i] = v
+                elif v > high[i]:
+                    high[i] = v
+        return cls(low, high)
+
+    @classmethod
+    def union_all(cls, mbrs: Iterable["MBR"]) -> "MBR":
+        """Return the tightest MBR enclosing every MBR in ``mbrs``."""
+        it = iter(mbrs)
+        try:
+            first = next(it)
+        except StopIteration:
+            raise ValueError("cannot union no MBRs") from None
+        low = list(first.low)
+        high = list(first.high)
+        for m in it:
+            for i in range(len(low)):
+                if m.low[i] < low[i]:
+                    low[i] = m.low[i]
+                if m.high[i] > high[i]:
+                    high[i] = m.high[i]
+        return cls(low, high)
+
+    # -- basic properties --------------------------------------------------
+
+    @property
+    def dims(self) -> int:
+        """Dimensionality of the rectangle."""
+        return len(self.low)
+
+    def area(self) -> float:
+        """Hyper-volume (product of side lengths; 0 for degenerate MBRs)."""
+        result = 1.0
+        for a, b in zip(self.low, self.high):
+            result *= b - a
+        return result
+
+    def margin(self) -> float:
+        """Sum of side lengths (the R*-tree "margin" criterion)."""
+        return sum(b - a for a, b in zip(self.low, self.high))
+
+    def center(self) -> Corner:
+        """Geometric center of the rectangle."""
+        return tuple((a + b) / 2.0 for a, b in zip(self.low, self.high))
+
+    # -- predicates --------------------------------------------------------
+
+    def contains_point(self, point: Sequence[float]) -> bool:
+        """Return ``True`` iff ``point`` lies inside (or on) the rectangle."""
+        for v, a, b in zip(point, self.low, self.high):
+            if v < a or v > b:
+                return False
+        return True
+
+    def contains(self, other: "MBR") -> bool:
+        """Return ``True`` iff ``other`` lies entirely inside this MBR."""
+        for a, b, c, d in zip(self.low, other.low, other.high, self.high):
+            if b < a or c > d:
+                return False
+        return True
+
+    def intersects(self, other: "MBR") -> bool:
+        """Return ``True`` iff the two closed rectangles share a point."""
+        for a, b, c, d in zip(self.low, self.high, other.low, other.high):
+            if b < c or d < a:
+                return False
+        return True
+
+    # -- measures used by split / insertion heuristics ----------------------
+
+    def union(self, other: "MBR") -> "MBR":
+        """Return the tightest MBR enclosing both rectangles."""
+        low = tuple(min(a, b) for a, b in zip(self.low, other.low))
+        high = tuple(max(a, b) for a, b in zip(self.high, other.high))
+        return MBR(low, high)
+
+    def extended(self, point: Sequence[float]) -> "MBR":
+        """Return this MBR grown to also cover ``point``."""
+        low = tuple(min(a, v) for a, v in zip(self.low, point))
+        high = tuple(max(b, v) for b, v in zip(self.high, point))
+        return MBR(low, high)
+
+    def enlargement(self, other: "MBR") -> float:
+        """Area increase needed for this MBR to also cover ``other``."""
+        return self.union(other).area() - self.area()
+
+    def overlap_area(self, other: "MBR") -> float:
+        """Hyper-volume of the intersection (0 when disjoint)."""
+        result = 1.0
+        for a, b, c, d in zip(self.low, self.high, other.low, other.high):
+            side = min(b, d) - max(a, c)
+            if side <= 0.0:
+                return 0.0
+            result *= side
+        return result
+
+    def min_distance(self, point: Sequence[float]) -> float:
+        """Squared minimum Euclidean distance from ``point`` to the MBR."""
+        total = 0.0
+        for v, a, b in zip(point, self.low, self.high):
+            if v < a:
+                d = a - v
+            elif v > b:
+                d = v - b
+            else:
+                continue
+            total += d * d
+        return total
+
+    # -- dunder ------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, MBR)
+            and self.low == other.low
+            and self.high == other.high
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.low, self.high))
+
+    def __repr__(self) -> str:
+        return f"MBR(low={self.low}, high={self.high})"

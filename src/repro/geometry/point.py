@@ -1,0 +1,103 @@
+"""Point primitives and the dominance relation.
+
+A *point* throughout this library is a plain ``tuple`` of ``float``s.  The
+paper's Definition 3 fixes the dominance convention we use everywhere:
+smaller values are preferred on every dimension (a max-preferred attribute is
+negated during data preparation, see :mod:`repro.data.normalize`).
+
+``p`` dominates ``q`` (written ``p < q`` in the paper) iff ``p`` is no worse
+(no larger) than ``q`` on all dimensions and strictly better (smaller) on at
+least one.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence, Tuple
+
+from repro.exceptions import DimensionalityError
+
+Point = Tuple[float, ...]
+
+
+def dominates(p: Sequence[float], q: Sequence[float]) -> bool:
+    """Return ``True`` iff ``p`` dominates ``q`` (Definition 3).
+
+    ``p`` dominates ``q`` when ``p[i] <= q[i]`` for every dimension ``i`` and
+    ``p[i] < q[i]`` for at least one.  A point never dominates itself.
+    """
+    strict = False
+    for a, b in zip(p, q):
+        if a > b:
+            return False
+        if a < b:
+            strict = True
+    return strict
+
+
+def dominates_or_equal(p: Sequence[float], q: Sequence[float]) -> bool:
+    """Return ``True`` iff ``p[i] <= q[i]`` on every dimension.
+
+    This is the *weak* dominance used for MBR corner reasoning: if the weak
+    relation holds between ``e.max`` and a point, every point inside ``e``
+    weakly dominates that point too.
+    """
+    for a, b in zip(p, q):
+        if a > b:
+            return False
+    return True
+
+
+def strictly_dominates(p: Sequence[float], q: Sequence[float]) -> bool:
+    """Return ``True`` iff ``p[i] < q[i]`` on every dimension."""
+    for a, b in zip(p, q):
+        if a >= b:
+            return False
+    return True
+
+
+def is_comparable(p: Sequence[float], q: Sequence[float]) -> bool:
+    """Return ``True`` iff one of the two points dominates the other."""
+    return dominates(p, q) or dominates(q, p)
+
+
+def dimensionality(points: Iterable[Sequence[float]]) -> int:
+    """Return the common dimensionality of ``points``.
+
+    Raises:
+        DimensionalityError: if the iterable is empty or mixes
+            dimensionalities.
+    """
+    dims = None
+    for p in points:
+        if dims is None:
+            dims = len(p)
+        elif len(p) != dims:
+            raise DimensionalityError(
+                f"mixed dimensionalities: expected {dims}, got {len(p)}"
+            )
+    if dims is None:
+        raise DimensionalityError("cannot infer dimensionality of no points")
+    return dims
+
+
+def validate_point(p: Sequence[float], dims: int = 0) -> Point:
+    """Return ``p`` as a tuple of finite floats, checking dimensionality.
+
+    Args:
+        p: candidate point.
+        dims: expected dimensionality; ``0`` disables the check.
+
+    Raises:
+        DimensionalityError: wrong number of coordinates.
+        ValueError: non-finite coordinate.
+    """
+    point = tuple(float(v) for v in p)
+    if dims and len(point) != dims:
+        raise DimensionalityError(
+            f"expected a {dims}-dimensional point, got {len(point)} coordinates"
+        )
+    for v in point:
+        if not math.isfinite(v):
+            raise ValueError(f"point has a non-finite coordinate: {point}")
+    return point

@@ -1,0 +1,58 @@
+"""Anti-dominant regions (ADR) and related pruning predicates.
+
+The *anti-dominant region* of a point ``t`` (Tao et al., cited as [15] in the
+paper) is the hyper-rectangle with ``t`` as its maximum corner and the domain
+origin as its minimum corner.  Under the smaller-is-better convention, every
+point that dominates ``t`` lies inside ``ADR(t)``, so range-restricting a
+search to the ADR retrieves exactly the candidate dominators.
+
+Because the library never assumes a finite domain minimum, the ADR is treated
+as unbounded below: an MBR "overlaps" ``ADR(t)`` iff its lower corner is
+coordinate-wise ``<= t``.  This is a *may-contain-a-dominator* test — points
+equal to ``t`` on every dimension pass it but do not dominate ``t``; leaf
+level code therefore re-checks strict dominance.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.geometry.mbr import MBR
+
+
+def mbr_overlaps_adr(mbr: MBR, corner: Sequence[float]) -> bool:
+    """Return ``True`` iff ``mbr`` may contain a point dominating ``corner``.
+
+    ``corner`` is the ADR's maximum corner (``t`` for a probing query,
+    ``e_T.max`` for a join-list filter).  Equivalent to
+    ``mbr.low <= corner`` coordinate-wise.
+    """
+    for a, b in zip(mbr.low, corner):
+        if a > b:
+            return False
+    return True
+
+
+def point_in_adr(point: Sequence[float], corner: Sequence[float]) -> bool:
+    """Return ``True`` iff ``point`` lies inside ``ADR(corner)``.
+
+    Membership is coordinate-wise ``point <= corner``; it does *not* by
+    itself imply dominance (the point may equal ``corner``).
+    """
+    for a, b in zip(point, corner):
+        if a > b:
+            return False
+    return True
+
+
+def adr_contains(corner: Sequence[float], mbr: MBR) -> bool:
+    """Return ``True`` iff ``mbr`` lies entirely inside ``ADR(corner)``.
+
+    When this holds, *every* point under ``mbr`` weakly dominates
+    ``corner``; combined with a single strictness witness this certifies
+    batch dominance without descending into the node.
+    """
+    for b, c in zip(mbr.high, corner):
+        if b > c:
+            return False
+    return True

@@ -1,0 +1,100 @@
+"""Lightweight counters and timers shared by every algorithm.
+
+Wall-clock comparisons in pure Python are noisy and scale-dependent, so every
+algorithm additionally reports *scale-free* work counters — R-tree node
+accesses, dominance tests, heap operations, Algorithm 1 invocations.  The
+benchmark harness prints both; the counters are what the EXPERIMENTS.md
+shape-comparison leans on.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+class Counters:
+    """A bag of named monotone counters.
+
+    Attribute-style access is provided for the hot, well-known counters so
+    algorithm inner loops read naturally (``stats.node_accesses += 1``);
+    everything is also reachable through :meth:`as_dict`.
+    """
+
+    __slots__ = (
+        "node_accesses",
+        "dominance_tests",
+        "heap_pushes",
+        "heap_pops",
+        "upgrade_calls",
+        "lbc_evaluations",
+        "points_scanned",
+        "entries_pruned",
+        "skyline_points",
+    )
+
+    def __init__(self) -> None:
+        self.node_accesses = 0
+        self.dominance_tests = 0
+        self.heap_pushes = 0
+        self.heap_pops = 0
+        self.upgrade_calls = 0
+        self.lbc_evaluations = 0
+        self.points_scanned = 0
+        self.entries_pruned = 0
+        self.skyline_points = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """Return all counters as a plain dict (stable key order)."""
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def merge(self, other: "Counters") -> None:
+        """Add ``other``'s counts into this object."""
+        for name in self.__slots__:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        for name in self.__slots__:
+            setattr(self, name, 0)
+
+    def __repr__(self) -> str:
+        nonzero = {k: v for k, v in self.as_dict().items() if v}
+        return f"Counters({nonzero})"
+
+
+@dataclass
+class RunReport:
+    """Outcome metadata attached to every algorithm run.
+
+    Attributes:
+        algorithm: human-readable algorithm identifier, e.g.
+            ``"join[CLB]"`` or ``"probing/improved"``.
+        elapsed_s: wall-clock duration of the run.
+        counters: work counters accumulated during the run.
+        extras: free-form algorithm-specific metadata (e.g. per-result
+            timestamps for progressiveness plots).
+    """
+
+    algorithm: str = ""
+    elapsed_s: float = 0.0
+    counters: Counters = field(default_factory=Counters)
+    extras: Dict[str, object] = field(default_factory=dict)
+
+
+class Timer:
+    """Context manager measuring wall-clock time with ``perf_counter``."""
+
+    __slots__ = ("elapsed_s", "_start")
+
+    def __init__(self) -> None:
+        self.elapsed_s = 0.0
+        self._start = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.elapsed_s = time.perf_counter() - self._start

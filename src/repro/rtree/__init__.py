@@ -1,0 +1,37 @@
+"""A from-scratch R-tree: the index substrate both paper algorithms assume.
+
+The paper requires the competitor set ``P`` (probing) — and for the join
+algorithm also the product set ``T`` — to be indexed by an R-tree.  This
+package provides a complete implementation:
+
+* Guttman dynamic insertion with quadratic or linear node splitting
+  (:mod:`repro.rtree.insert`, :mod:`repro.rtree.split`);
+* Sort-Tile-Recursive (STR) bulk loading for experiment-scale datasets
+  (:mod:`repro.rtree.bulk`);
+* deletion with tree condensation (:mod:`repro.rtree.tree`);
+* range, point, and k-nearest-neighbour queries (:mod:`repro.rtree.query`);
+* a structural invariant checker used by the test suite
+  (:mod:`repro.rtree.validate`).
+"""
+
+from repro.rtree.entry import Entry
+from repro.rtree.node import Node
+from repro.rtree.persist import load_rtree, save_rtree
+from repro.rtree.stats import TreeStats, collect_stats
+from repro.rtree.tree import RTree
+from repro.rtree.query import knn_query, point_query, range_query
+from repro.rtree.validate import validate_rtree
+
+__all__ = [
+    "Entry",
+    "Node",
+    "RTree",
+    "TreeStats",
+    "collect_stats",
+    "knn_query",
+    "load_rtree",
+    "point_query",
+    "range_query",
+    "save_rtree",
+    "validate_rtree",
+]

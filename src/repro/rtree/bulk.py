@@ -1,0 +1,115 @@
+"""Sort-Tile-Recursive (STR) bulk loading.
+
+For experiment-scale datasets, inserting points one at a time is both slow
+and produces worse trees than packing.  STR (Leutenegger et al., 1997) sorts
+the points by the first coordinate, tiles them into vertical slabs, and
+recurses on the remaining coordinates inside each slab; every leaf ends up
+with ~``capacity`` points and near-square MBRs.  Upper levels are built by
+applying the same tiling to node MBR centers.
+
+Sorting is delegated to numpy (`argsort`) — this is the one place in the
+index where vectorization pays off.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.rtree.entry import Entry
+from repro.rtree.node import Node
+
+
+def str_pack_points(
+    points: Sequence[Tuple[float, ...]],
+    record_ids: Sequence[int],
+    capacity: int,
+) -> List[Node]:
+    """Pack data points into leaf nodes with the STR tiling.
+
+    Args:
+        points: the data points (all the same dimensionality).
+        record_ids: one id per point.
+        capacity: leaf capacity (maximum entries per node).
+
+    Returns:
+        The list of packed leaf nodes, in tiling order.
+    """
+    if len(points) != len(record_ids):
+        raise ConfigurationError(
+            f"{len(points)} points but {len(record_ids)} record ids"
+        )
+    if capacity < 2:
+        raise ConfigurationError(f"capacity must be >= 2, got {capacity}")
+    coords = np.asarray(points, dtype=np.float64)
+    if coords.ndim != 2:
+        raise ConfigurationError("points must form an (n, d) array")
+    order = _str_order(coords, capacity)
+    leaves: List[Node] = []
+    ids = list(record_ids)
+    pts = [tuple(map(float, coords[i])) for i in order]
+    ordered_ids = [ids[i] for i in order]
+    for start in range(0, len(pts), capacity):
+        chunk_points = pts[start : start + capacity]
+        chunk_ids = ordered_ids[start : start + capacity]
+        entries = [
+            Entry.for_point(p, rid)
+            for p, rid in zip(chunk_points, chunk_ids)
+        ]
+        leaves.append(Node(0, entries))
+    return leaves
+
+
+def str_pack_nodes(nodes: List[Node], capacity: int) -> List[Node]:
+    """Pack one tree level into the next by STR-tiling node MBR centers."""
+    if not nodes:
+        raise ConfigurationError("cannot pack an empty node list")
+    level = nodes[0].level + 1
+    entries = [Entry.for_node(n) for n in nodes]
+    centers = np.asarray([e.mbr.center() for e in entries], dtype=np.float64)
+    order = _str_order(centers, capacity)
+    parents: List[Node] = []
+    ordered = [entries[i] for i in order]
+    for start in range(0, len(ordered), capacity):
+        parents.append(Node(level, ordered[start : start + capacity]))
+    return parents
+
+
+def _str_order(coords: np.ndarray, capacity: int) -> List[int]:
+    """Return the STR tiling permutation of row indices of ``coords``."""
+    n, dims = coords.shape
+    indices = np.arange(n)
+    return list(_str_recurse(coords, indices, capacity, 0, dims))
+
+
+def _str_recurse(
+    coords: np.ndarray,
+    indices: np.ndarray,
+    capacity: int,
+    dim: int,
+    dims: int,
+) -> np.ndarray:
+    """Recursively tile ``indices`` along dimension ``dim``."""
+    n = len(indices)
+    if n <= capacity or dim >= dims - 1:
+        # Final dimension (or small chunk): simple sort finishes the tiling.
+        if dim < dims:
+            key = coords[indices, dim]
+            return indices[np.argsort(key, kind="stable")]
+        return indices
+    pages = math.ceil(n / capacity)
+    remaining_dims = dims - dim
+    slabs = math.ceil(pages ** (1.0 / remaining_dims))
+    slab_size = math.ceil(n / slabs)
+    key = coords[indices, dim]
+    sorted_idx = indices[np.argsort(key, kind="stable")]
+    pieces = []
+    for start in range(0, n, slab_size):
+        slab = sorted_idx[start : start + slab_size]
+        pieces.append(
+            _str_recurse(coords, slab, capacity, dim + 1, dims)
+        )
+    return np.concatenate(pieces)

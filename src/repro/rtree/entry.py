@@ -1,0 +1,74 @@
+"""R-tree entries.
+
+An :class:`Entry` is one slot of an R-tree node.  Leaf entries carry a data
+point and its record id; internal entries carry a child node.  The join
+algorithm of the paper manipulates entries directly (its join lists are lists
+of ``R_P`` entries), so entries expose the corner accessors ``low``/``high``
+that the lower-bound formulas use as ``e.min``/``e.max``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, TYPE_CHECKING
+
+from repro.geometry.mbr import MBR
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.rtree.node import Node
+
+
+class Entry:
+    """One node slot: an MBR plus either a data point or a child node."""
+
+    __slots__ = ("mbr", "child", "point", "record_id")
+
+    def __init__(
+        self,
+        mbr: MBR,
+        child: Optional["Node"] = None,
+        point: Optional[Tuple[float, ...]] = None,
+        record_id: int = -1,
+    ):
+        if (child is None) == (point is None):
+            raise ValueError(
+                "an entry holds exactly one of a child node or a data point"
+            )
+        self.mbr = mbr
+        self.child = child
+        self.point = point
+        self.record_id = record_id
+
+    @classmethod
+    def for_point(cls, point: Tuple[float, ...], record_id: int) -> "Entry":
+        """Build a leaf entry for ``point``."""
+        return cls(MBR.from_point(point), point=point, record_id=record_id)
+
+    @classmethod
+    def for_node(cls, node: "Node") -> "Entry":
+        """Build an internal entry covering ``node``."""
+        return cls(node.compute_mbr(), child=node)
+
+    @property
+    def is_leaf_entry(self) -> bool:
+        """True iff this entry carries a data point."""
+        return self.point is not None
+
+    @property
+    def low(self) -> Tuple[float, ...]:
+        """The entry MBR's minimum corner (the paper's ``e.min``)."""
+        return self.mbr.low
+
+    @property
+    def high(self) -> Tuple[float, ...]:
+        """The entry MBR's maximum corner (the paper's ``e.max``)."""
+        return self.mbr.high
+
+    def tighten(self) -> None:
+        """Recompute the MBR from the child node (after child mutation)."""
+        if self.child is not None:
+            self.mbr = self.child.compute_mbr()
+
+    def __repr__(self) -> str:
+        if self.is_leaf_entry:
+            return f"Entry(point={self.point}, id={self.record_id})"
+        return f"Entry(child=<node level {self.child.level}>, mbr={self.mbr})"

@@ -1,0 +1,75 @@
+"""Dynamic insertion (Guttman's ChooseLeaf / AdjustTree).
+
+The implementation is recursive: ``insert_into`` descends to the correct
+level, appends the new entry, and propagates splits upward by returning the
+split-off sibling (or ``None``).  :class:`repro.rtree.tree.RTree` handles
+root splits.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.rtree.entry import Entry
+from repro.rtree.node import Node
+from repro.rtree.split import SplitFunction
+
+
+def choose_subtree(node: Node, entry: Entry) -> Entry:
+    """Pick the child entry of ``node`` best suited to absorb ``entry``.
+
+    Guttman's criterion: least area enlargement, ties broken by smallest
+    area, then by fewest entries in the child.
+    """
+    best = None
+    best_key = None
+    for child_entry in node.entries:
+        enlargement = child_entry.mbr.enlargement(entry.mbr)
+        key = (
+            enlargement,
+            child_entry.mbr.area(),
+            len(child_entry.child.entries),
+        )
+        if best_key is None or key < best_key:
+            best_key = key
+            best = child_entry
+    assert best is not None, "choose_subtree called on an empty node"
+    return best
+
+
+def insert_into(
+    node: Node,
+    entry: Entry,
+    target_level: int,
+    max_entries: int,
+    min_entries: int,
+    split: SplitFunction,
+) -> Optional[Node]:
+    """Insert ``entry`` at ``target_level`` under ``node``.
+
+    Returns:
+        The split-off sibling node if ``node`` overflowed, else ``None``.
+        The caller is responsible for re-tightening its entry for ``node``
+        and for housing the sibling.
+    """
+    if node.level == target_level:
+        node.entries.append(entry)
+    else:
+        child_entry = choose_subtree(node, entry)
+        sibling = insert_into(
+            child_entry.child,
+            entry,
+            target_level,
+            max_entries,
+            min_entries,
+            split,
+        )
+        child_entry.tighten()
+        if sibling is not None:
+            node.entries.append(Entry.for_node(sibling))
+
+    if len(node.entries) > max_entries:
+        group_a, group_b = split(node.entries, min_entries)
+        node.entries = group_a
+        return Node(node.level, group_b)
+    return None

@@ -1,0 +1,57 @@
+"""R-tree nodes.
+
+A node is a list of entries plus its level: level 0 nodes are leaves (their
+entries carry data points), level ``h`` is the root.  Nodes do not cache
+their MBR; the parent entry owns the cached copy and refreshes it via
+:meth:`repro.rtree.entry.Entry.tighten` after mutations.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+from repro.geometry.mbr import MBR
+from repro.rtree.entry import Entry
+
+
+class Node:
+    """An R-tree node: an ordered list of entries at a given level."""
+
+    __slots__ = ("entries", "level")
+
+    def __init__(self, level: int, entries: List[Entry] = None):
+        self.level = level
+        self.entries = entries if entries is not None else []
+
+    @property
+    def is_leaf(self) -> bool:
+        """True iff this node stores data points."""
+        return self.level == 0
+
+    def compute_mbr(self) -> MBR:
+        """Return the tightest MBR over this node's entries."""
+        if not self.entries:
+            raise ValueError("cannot compute the MBR of an empty node")
+        return MBR.union_all(e.mbr for e in self.entries)
+
+    def iter_points(self) -> Iterator[Tuple[Tuple[float, ...], int]]:
+        """Yield every ``(point, record_id)`` in this subtree (DFS order)."""
+        if self.is_leaf:
+            for e in self.entries:
+                yield e.point, e.record_id
+        else:
+            for e in self.entries:
+                yield from e.child.iter_points()
+
+    def count_points(self) -> int:
+        """Return the number of data points in this subtree."""
+        if self.is_leaf:
+            return len(self.entries)
+        return sum(e.child.count_points() for e in self.entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __repr__(self) -> str:
+        kind = "leaf" if self.is_leaf else f"internal(level={self.level})"
+        return f"Node({kind}, {len(self.entries)} entries)"

@@ -1,0 +1,150 @@
+"""R-tree persistence: save/load to a single JSON-lines file.
+
+Index construction dominates setup time at experiment scale, so cached
+indexes are worth persisting.  The format is deliberately simple and
+self-describing — one JSON header line with the tree's configuration,
+then one line per node in pre-order, each carrying its level and either
+its points (leaves) or the child count (internal nodes, whose children
+follow immediately, pre-order).  Loading rebuilds nodes bottom-up from
+that stream and re-derives every MBR, so a corrupted or hand-edited file
+can never produce a structurally inconsistent tree (the MBRs are always
+tight by construction).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Tuple, Union
+
+from repro.exceptions import RTreeError
+from repro.rtree.entry import Entry
+from repro.rtree.node import Node
+from repro.rtree.tree import RTree
+
+PathLike = Union[str, Path]
+
+_MAGIC = "skyup-rtree"
+_VERSION = 1
+
+
+def save_rtree(tree: RTree, path: PathLike) -> None:
+    """Write ``tree`` to ``path`` (JSON-lines, see module docstring)."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w") as handle:
+        header = {
+            "magic": _MAGIC,
+            "version": _VERSION,
+            "dims": tree.dims,
+            "max_entries": tree.max_entries,
+            "min_entries": tree.min_entries,
+            "split": tree.split_strategy,
+            "size": len(tree),
+            "height": tree.height,
+        }
+        handle.write(json.dumps(header) + "\n")
+        if not tree.is_empty():
+            _write_node(tree.root, handle)
+
+
+def _write_node(node: Node, handle) -> None:
+    if node.is_leaf:
+        record = {
+            "level": 0,
+            "points": [list(e.point) for e in node.entries],
+            "ids": [e.record_id for e in node.entries],
+        }
+        handle.write(json.dumps(record) + "\n")
+        return
+    record = {"level": node.level, "children": len(node.entries)}
+    handle.write(json.dumps(record) + "\n")
+    for e in node.entries:
+        _write_node(e.child, handle)
+
+
+def load_rtree(path: PathLike) -> RTree:
+    """Reconstruct an R-tree written by :func:`save_rtree`.
+
+    Raises:
+        RTreeError: malformed file, wrong magic/version, or a node stream
+            inconsistent with the declared size.
+    """
+    with Path(path).open() as handle:
+        header_line = handle.readline()
+        if not header_line:
+            raise RTreeError(f"{path}: empty file")
+        try:
+            header = json.loads(header_line)
+        except json.JSONDecodeError as exc:
+            raise RTreeError(f"{path}: bad header: {exc}") from exc
+        if header.get("magic") != _MAGIC:
+            raise RTreeError(f"{path}: not a skyup R-tree file")
+        if header.get("version") != _VERSION:
+            raise RTreeError(
+                f"{path}: unsupported version {header.get('version')}"
+            )
+        tree = RTree(
+            dims=header["dims"],
+            max_entries=header["max_entries"],
+            min_entries=header["min_entries"],
+            split=header["split"],
+        )
+        if header["size"] == 0:
+            return tree
+        records = [json.loads(line) for line in handle if line.strip()]
+
+    root, consumed, points = _read_node(records, 0, header["dims"])
+    if consumed != len(records):
+        raise RTreeError(
+            f"{path}: {len(records) - consumed} trailing node records"
+        )
+    if points != header["size"]:
+        raise RTreeError(
+            f"{path}: header declares {header['size']} points, "
+            f"stream holds {points}"
+        )
+    tree.root = root
+    tree._size = points
+    return tree
+
+
+def _read_node(
+    records: List[dict], index: int, dims: int
+) -> Tuple[Node, int, int]:
+    """Rebuild the node at ``records[index]``; return (node, next, points)."""
+    if index >= len(records):
+        raise RTreeError("truncated node stream")
+    record = records[index]
+    level = record.get("level")
+    if level == 0:
+        raw_points = record.get("points", [])
+        ids = record.get("ids", [])
+        if len(raw_points) != len(ids):
+            raise RTreeError("leaf points/ids length mismatch")
+        entries = []
+        for p, rid in zip(raw_points, ids):
+            if len(p) != dims:
+                raise RTreeError(
+                    f"point dimensionality {len(p)} != header dims {dims}"
+                )
+            entries.append(Entry.for_point(tuple(map(float, p)), int(rid)))
+        if not entries:
+            raise RTreeError("empty leaf node in stream")
+        return Node(0, entries), index + 1, len(entries)
+    child_count = record.get("children", 0)
+    if child_count < 1:
+        raise RTreeError(f"internal node with {child_count} children")
+    cursor = index + 1
+    children: List[Node] = []
+    total_points = 0
+    for _ in range(child_count):
+        child, cursor, points = _read_node(records, cursor, dims)
+        if child.level != level - 1:
+            raise RTreeError(
+                f"level skew in stream: {level} -> {child.level}"
+            )
+        children.append(child)
+        total_points += points
+    entries = [Entry.for_node(c) for c in children]
+    return Node(level, entries), cursor, total_points

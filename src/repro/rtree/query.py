@@ -1,0 +1,112 @@
+"""Read-only R-tree queries: range, exact point, and k-nearest-neighbour.
+
+``range_query`` is the primitive behind the paper's *basic* probing
+algorithm (Algorithm 2 retrieves every competitor in ``ADR(t)`` with a range
+query).  ``knn_query`` is not used by the paper's algorithms but completes
+the index as a reusable substrate and exercises best-first traversal, the
+same pattern BBS and the join build on.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import List, Optional, Sequence, Tuple
+
+from repro.exceptions import ConfigurationError
+from repro.geometry.mbr import MBR
+from repro.instrumentation import Counters
+from repro.rtree.node import Node
+from repro.rtree.tree import RTree
+
+PointRecord = Tuple[Tuple[float, ...], int]
+
+
+def range_query(
+    tree: RTree,
+    box: MBR,
+    stats: Optional[Counters] = None,
+) -> List[PointRecord]:
+    """Return every ``(point, record_id)`` whose point lies inside ``box``."""
+    if tree.is_empty():
+        return []
+    results: List[PointRecord] = []
+    stack: List[Node] = [tree.root]
+    while stack:
+        node = stack.pop()
+        if stats is not None:
+            stats.node_accesses += 1
+        if node.is_leaf:
+            for e in node.entries:
+                if stats is not None:
+                    stats.points_scanned += 1
+                if box.contains_point(e.point):
+                    results.append((e.point, e.record_id))
+        else:
+            for e in node.entries:
+                if box.intersects(e.mbr):
+                    stack.append(e.child)
+    return results
+
+
+def point_query(
+    tree: RTree,
+    point: Sequence[float],
+    stats: Optional[Counters] = None,
+) -> List[int]:
+    """Return the record ids stored exactly at ``point``."""
+    pt = tuple(float(v) for v in point)
+    box = MBR.from_point(pt)
+    return [rid for p, rid in range_query(tree, box, stats) if p == pt]
+
+
+def knn_query(
+    tree: RTree,
+    point: Sequence[float],
+    k: int,
+    stats: Optional[Counters] = None,
+) -> List[PointRecord]:
+    """Return the ``k`` points nearest to ``point`` (squared Euclidean).
+
+    Classic best-first search: a min-heap ordered by minimum distance holds
+    both nodes and points; points popped before any closer node are final.
+    """
+    if k < 1:
+        raise ConfigurationError(f"k must be >= 1, got {k}")
+    if tree.is_empty():
+        return []
+    counter = itertools.count()
+    heap: List[Tuple[float, int, object]] = [
+        (0.0, next(counter), tree.root)
+    ]
+    results: List[PointRecord] = []
+    while heap and len(results) < k:
+        dist, _, item = heapq.heappop(heap)
+        if stats is not None:
+            stats.heap_pops += 1
+        if isinstance(item, Node):
+            if stats is not None:
+                stats.node_accesses += 1
+            if item.is_leaf:
+                for e in item.entries:
+                    d = _sq_distance(point, e.point)
+                    heapq.heappush(
+                        heap, (d, next(counter), (e.point, e.record_id))
+                    )
+                    if stats is not None:
+                        stats.heap_pushes += 1
+            else:
+                for e in item.entries:
+                    heapq.heappush(
+                        heap,
+                        (e.mbr.min_distance(point), next(counter), e.child),
+                    )
+                    if stats is not None:
+                        stats.heap_pushes += 1
+        else:
+            results.append(item)  # a finalized (point, record_id) pair
+    return results
+
+
+def _sq_distance(a: Sequence[float], b: Sequence[float]) -> float:
+    return sum((x - y) * (x - y) for x, y in zip(a, b))

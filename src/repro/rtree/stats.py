@@ -1,0 +1,92 @@
+"""Descriptive statistics for R-trees.
+
+Used by the fanout/split ablation benchmarks and by tests that assert
+structural quality (fill factors, overlap) rather than mere validity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.rtree.node import Node
+from repro.rtree.tree import RTree
+
+
+@dataclass
+class LevelStats:
+    """Aggregates for one tree level."""
+
+    level: int
+    nodes: int = 0
+    entries: int = 0
+    min_fill: float = 1.0
+    total_area: float = 0.0
+    total_margin: float = 0.0
+
+    @property
+    def avg_fanout(self) -> float:
+        """Mean entries per node on this level."""
+        return self.entries / self.nodes if self.nodes else 0.0
+
+
+@dataclass
+class TreeStats:
+    """Whole-tree statistics as produced by :func:`collect_stats`."""
+
+    height: int
+    points: int
+    levels: Dict[int, LevelStats] = field(default_factory=dict)
+    sibling_overlap_area: float = 0.0
+
+    @property
+    def node_count(self) -> int:
+        """Total number of nodes."""
+        return sum(s.nodes for s in self.levels.values())
+
+    @property
+    def leaf_fill(self) -> float:
+        """Mean leaf fanout divided by the leaf level's max observed fanout."""
+        leaf = self.levels.get(0)
+        if leaf is None or leaf.nodes == 0:
+            return 0.0
+        return leaf.entries / leaf.nodes
+
+    def summary(self) -> str:
+        """One-line human-readable summary for benchmark annotations."""
+        return (
+            f"height={self.height} nodes={self.node_count} "
+            f"points={self.points} leaf_avg_fanout={self.leaf_fill:.1f} "
+            f"overlap={self.sibling_overlap_area:.4g}"
+        )
+
+
+def collect_stats(tree: RTree) -> TreeStats:
+    """Walk ``tree`` and aggregate per-level node statistics.
+
+    ``sibling_overlap_area`` sums pairwise MBR intersection volumes among
+    siblings of internal nodes — the metric the R*-tree split minimizes
+    and the quantity that drives query fan-out.
+    """
+    stats = TreeStats(height=tree.height, points=len(tree))
+    if tree.is_empty():
+        stats.levels[0] = LevelStats(level=0)
+        return stats
+    _walk(tree.root, tree.max_entries, stats)
+    return stats
+
+
+def _walk(node: Node, max_entries: int, stats: TreeStats) -> None:
+    level = stats.levels.setdefault(node.level, LevelStats(level=node.level))
+    level.nodes += 1
+    level.entries += len(node.entries)
+    level.min_fill = min(level.min_fill, len(node.entries) / max_entries)
+    for e in node.entries:
+        level.total_area += e.mbr.area()
+        level.total_margin += e.mbr.margin()
+    if not node.is_leaf:
+        for i, a in enumerate(node.entries):
+            for b in node.entries[i + 1 :]:
+                stats.sibling_overlap_area += a.mbr.overlap_area(b.mbr)
+        for e in node.entries:
+            _walk(e.child, max_entries, stats)

@@ -1,0 +1,275 @@
+"""The R-tree facade: construction, insertion, deletion, bulk loading.
+
+An :class:`RTree` owns a root :class:`~repro.rtree.node.Node` and the
+capacity configuration.  Both paper algorithms receive trees built here —
+probing needs ``R_P``, the join needs ``R_P`` and ``R_T``.
+
+The tree intentionally allows a *root entry* view
+(:meth:`RTree.root_entry`): the join algorithm seeds its heap with
+``<{R_P.root}, R_T.root, null, inf>``, i.e. it treats roots as entries.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.exceptions import ConfigurationError, EmptyDatasetError
+from repro.geometry.mbr import MBR
+from repro.geometry.point import validate_point
+from repro.rtree.bulk import str_pack_nodes, str_pack_points
+from repro.rtree.entry import Entry
+from repro.rtree.insert import insert_into
+from repro.rtree.node import Node
+from repro.rtree.split import get_split_function
+
+DEFAULT_MAX_ENTRIES = 32
+
+
+class RTree:
+    """An R-tree over ``d``-dimensional points with integer record ids.
+
+    Args:
+        dims: dimensionality of the indexed points.
+        max_entries: node capacity ``M`` (default 32).
+        min_entries: node minimum ``m``; defaults to ``max(2, M * 2 // 5)``
+            (the classic 40% fill guarantee).
+        split: ``"quadratic"`` (default) or ``"linear"`` node splitting.
+    """
+
+    __slots__ = ("dims", "max_entries", "min_entries", "_split", "_split_name",
+                 "root", "_size")
+
+    def __init__(
+        self,
+        dims: int,
+        max_entries: int = DEFAULT_MAX_ENTRIES,
+        min_entries: Optional[int] = None,
+        split: str = "quadratic",
+    ):
+        if dims < 1:
+            raise ConfigurationError(f"dims must be >= 1, got {dims}")
+        if max_entries < 4:
+            raise ConfigurationError(
+                f"max_entries must be >= 4, got {max_entries}"
+            )
+        if min_entries is None:
+            min_entries = max(2, max_entries * 2 // 5)
+        if not 1 <= min_entries <= max_entries // 2:
+            raise ConfigurationError(
+                f"min_entries must be in [1, max_entries/2]: "
+                f"{min_entries} vs {max_entries}"
+            )
+        self.dims = dims
+        self.max_entries = max_entries
+        self.min_entries = min_entries
+        self._split_name = split
+        self._split = get_split_function(split)
+        self.root = Node(0)
+        self._size = 0
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def bulk_load(
+        cls,
+        points: Sequence[Sequence[float]],
+        record_ids: Optional[Sequence[int]] = None,
+        max_entries: int = DEFAULT_MAX_ENTRIES,
+        min_entries: Optional[int] = None,
+        split: str = "quadratic",
+    ) -> "RTree":
+        """Build an R-tree with STR packing (the experiments' default path).
+
+        Args:
+            points: the data points; must be non-empty and uniform in
+                dimensionality.
+            record_ids: per-point ids; defaults to ``0..n-1``.
+
+        Returns:
+            A packed :class:`RTree` containing every point.
+        """
+        pts = [tuple(float(v) for v in p) for p in points]
+        if not pts:
+            raise EmptyDatasetError("cannot bulk-load an empty point set")
+        dims = len(pts[0])
+        for p in pts:
+            if len(p) != dims:
+                raise ConfigurationError("points mix dimensionalities")
+        if record_ids is None:
+            record_ids = range(len(pts))
+        tree = cls(
+            dims,
+            max_entries=max_entries,
+            min_entries=min_entries,
+            split=split,
+        )
+        level_nodes: List[Node] = str_pack_points(
+            pts, list(record_ids), tree.max_entries
+        )
+        while len(level_nodes) > 1:
+            level_nodes = str_pack_nodes(level_nodes, tree.max_entries)
+        tree.root = level_nodes[0]
+        tree._size = len(pts)
+        return tree
+
+    # -- mutation -------------------------------------------------------------
+
+    def insert(self, point: Sequence[float], record_id: int = -1) -> None:
+        """Insert ``point`` with ``record_id`` (defaults to insertion order)."""
+        pt = validate_point(point, self.dims)
+        if record_id == -1:
+            record_id = self._size
+        entry = Entry.for_point(pt, record_id)
+        sibling = insert_into(
+            self.root,
+            entry,
+            target_level=0,
+            max_entries=self.max_entries,
+            min_entries=self.min_entries,
+            split=self._split,
+        )
+        if sibling is not None:
+            old_root = self.root
+            self.root = Node(
+                old_root.level + 1,
+                [Entry.for_node(old_root), Entry.for_node(sibling)],
+            )
+        self._size += 1
+
+    def extend(
+        self, points: Iterable[Sequence[float]], start_id: Optional[int] = None
+    ) -> None:
+        """Insert many points; ids count up from ``start_id`` (or size)."""
+        next_id = self._size if start_id is None else start_id
+        for p in points:
+            self.insert(p, next_id)
+            next_id += 1
+
+    def delete(self, point: Sequence[float], record_id: int) -> bool:
+        """Remove one ``(point, record_id)`` pair.
+
+        Underfull nodes are condensed: their surviving entries are
+        re-inserted at their original level (Guttman's CondenseTree).
+
+        Returns:
+            ``True`` if the pair was found and removed.
+        """
+        pt = validate_point(point, self.dims)
+        orphans: List[Tuple[int, Entry]] = []
+        removed = self._delete_rec(self.root, pt, record_id, orphans)
+        if not removed:
+            return False
+        self._size -= 1
+        # Shrink a root that lost all but one child.
+        while self.root.level > 0 and len(self.root.entries) == 1:
+            self.root = self.root.entries[0].child
+        if self.root.level > 0 and not self.root.entries:
+            self.root = Node(0)
+        for level, entry in orphans:
+            self._reinsert_entry(entry, level)
+        return True
+
+    def _delete_rec(
+        self,
+        node: Node,
+        point: Tuple[float, ...],
+        record_id: int,
+        orphans: List[Tuple[int, Entry]],
+    ) -> bool:
+        if node.is_leaf:
+            for i, e in enumerate(node.entries):
+                if e.record_id == record_id and e.point == point:
+                    del node.entries[i]
+                    return True
+            return False
+        for i, child_entry in enumerate(node.entries):
+            if not child_entry.mbr.contains_point(point):
+                continue
+            if self._delete_rec(child_entry.child, point, record_id, orphans):
+                child = child_entry.child
+                if len(child.entries) < self.min_entries:
+                    # Condense: orphan the survivors, drop the child.
+                    for e in child.entries:
+                        orphans.append((child.level, e))
+                    del node.entries[i]
+                else:
+                    child_entry.tighten()
+                return True
+        return False
+
+    def _reinsert_entry(self, entry: Entry, level: int) -> None:
+        if self.root.level < level:
+            # Tree shrank below the orphan's level: re-insert its points.
+            if entry.is_leaf_entry:
+                self.insert(entry.point, entry.record_id)
+            else:
+                for p, rid in entry.child.iter_points():
+                    self.insert(p, rid)
+            self._size -= (
+                1 if entry.is_leaf_entry else entry.child.count_points()
+            )
+            return
+        sibling = insert_into(
+            self.root,
+            entry,
+            target_level=level,
+            max_entries=self.max_entries,
+            min_entries=self.min_entries,
+            split=self._split,
+        )
+        if sibling is not None:
+            old_root = self.root
+            self.root = Node(
+                old_root.level + 1,
+                [Entry.for_node(old_root), Entry.for_node(sibling)],
+            )
+
+    # -- inspection -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return True
+
+    @property
+    def height(self) -> int:
+        """Number of levels (a lone leaf root has height 1)."""
+        return self.root.level + 1
+
+    @property
+    def split_strategy(self) -> str:
+        """Name of the configured split strategy."""
+        return self._split_name
+
+    def is_empty(self) -> bool:
+        """True iff the tree holds no points."""
+        return self._size == 0
+
+    def root_entry(self) -> Entry:
+        """Return a synthetic entry wrapping the root node.
+
+        The join algorithm's heap and join lists are entry-based; wrapping
+        the root lets both trees' roots participate uniformly.
+        """
+        if self.is_empty():
+            raise EmptyDatasetError("an empty tree has no root entry")
+        return Entry.for_node(self.root)
+
+    def bounds(self) -> MBR:
+        """Return the MBR of the whole dataset."""
+        if self.is_empty():
+            raise EmptyDatasetError("an empty tree has no bounds")
+        return self.root.compute_mbr()
+
+    def iter_points(self) -> Iterator[Tuple[Tuple[float, ...], int]]:
+        """Yield every ``(point, record_id)`` in the tree."""
+        if self.is_empty():
+            return
+        yield from self.root.iter_points()
+
+    def __repr__(self) -> str:
+        return (
+            f"RTree(dims={self.dims}, size={self._size}, "
+            f"height={self.height}, M={self.max_entries})"
+        )

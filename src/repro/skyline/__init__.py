@@ -1,0 +1,48 @@
+"""Skyline computation algorithms.
+
+The paper's machinery repeatedly needs skylines: the dominator set of a
+product must be reduced to its skyline before Algorithm 1 runs, and the
+improved probing algorithm folds a BBS-style skyline computation into its
+range query.  This package implements the classic algorithms the paper cites
+as related work, each usable standalone:
+
+* :func:`~repro.skyline.bnl.bnl_skyline` — Block-Nested-Loops [Börzsönyi
+  et al., ICDE 2001];
+* :func:`~repro.skyline.sfs.sfs_skyline` — Sort-Filter-Skyline [Chomicki
+  et al., ICDE 2003];
+* :func:`~repro.skyline.dnc.dnc_skyline` — divide & conquer [Börzsönyi
+  et al.];
+* :func:`~repro.skyline.bbs.bbs_skyline` — Branch-and-Bound Skyline over an
+  R-tree [Papadias et al., SIGMOD 2003];
+* :func:`~repro.skyline.vectorized.numpy_skyline` — a vectorized reference
+  used by tests and dataset preparation.
+"""
+
+from repro.skyline.bnl import bnl_skyline
+from repro.skyline.sfs import sfs_skyline
+from repro.skyline.dnc import dnc_skyline
+from repro.skyline.bbs import bbs_skyline
+from repro.skyline.skyband import dominance_counts, k_skyband
+from repro.skyline.vectorized import numpy_skyline, numpy_skyline_mask
+from repro.skyline.zorder import morton_codes, zorder_skyline
+
+ALGORITHMS = {
+    "bnl": bnl_skyline,
+    "sfs": sfs_skyline,
+    "dnc": dnc_skyline,
+    "zorder": zorder_skyline,
+}
+
+__all__ = [
+    "ALGORITHMS",
+    "bbs_skyline",
+    "bnl_skyline",
+    "dnc_skyline",
+    "dominance_counts",
+    "k_skyband",
+    "morton_codes",
+    "numpy_skyline",
+    "numpy_skyline_mask",
+    "sfs_skyline",
+    "zorder_skyline",
+]

@@ -1,0 +1,114 @@
+"""Branch-and-Bound Skyline over an R-tree (Papadias et al., SIGMOD 2003).
+
+BBS pops R-tree entries from a min-heap keyed by *mindist* (the coordinate
+sum of the entry MBR's lower corner).  Because mindist is a monotone lower
+bound of every point inside the entry, a popped point that is not dominated
+by the current skyline is guaranteed final.  Entries whose lower corner is
+dominated by an existing skyline point are pruned wholesale.
+
+This module is the foundation of the paper's Algorithm 3
+(:mod:`repro.core.dominators` restricts the same traversal to an
+anti-dominant region).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import List, Optional, Tuple
+
+from repro.instrumentation import Counters
+from repro.rtree.tree import RTree
+
+Point = Tuple[float, ...]
+
+
+def bbs_skyline(
+    tree: RTree,
+    stats: Optional[Counters] = None,
+) -> List[Point]:
+    """Return the skyline of every point indexed by ``tree``.
+
+    Args:
+        tree: R-tree over the point set (smaller-is-better on all dims).
+        stats: optional counters — node accesses, heap traffic, dominance
+            tests.
+
+    Returns:
+        Skyline points in ascending mindist (coordinate-sum) order, which is
+        also the order BBS proves them final.
+    """
+    if tree.is_empty():
+        return []
+    skyline: List[Point] = []
+    accepted = set()
+    counter = itertools.count()
+    heap: List[tuple] = []
+    root = tree.root
+    # Keys are (mindist, corner, seq): the lexicographic corner tie-break
+    # keeps dominators ahead of dominated candidates even when coordinate
+    # sums collide in floating point (a dominator is always
+    # lexicographically smaller, exactly).
+    root_low = root.compute_mbr().low
+    heapq.heappush(heap, (0.0, root_low, next(counter), root))
+    if stats is not None:
+        stats.heap_pushes += 1
+
+    while heap:
+        _, corner, _, node = heapq.heappop(heap)
+        if stats is not None:
+            stats.heap_pops += 1
+        # Re-check at pop: the skyline may have grown since the push.
+        if _dominated_by(skyline, corner, stats):
+            if stats is not None:
+                stats.entries_pruned += 1
+            continue
+        if node is None:  # a point candidate, proven final by pop order
+            if corner not in accepted:
+                accepted.add(corner)
+                skyline.append(corner)
+            continue
+        if stats is not None:
+            stats.node_accesses += 1
+        if node.is_leaf:
+            for e in node.entries:
+                if not _dominated_by(skyline, e.point, stats):
+                    heapq.heappush(
+                        heap, (sum(e.point), e.point, next(counter), None)
+                    )
+                    if stats is not None:
+                        stats.heap_pushes += 1
+        else:
+            for e in node.entries:
+                low = e.mbr.low
+                if not _dominated_by(skyline, low, stats):
+                    heapq.heappush(
+                        heap, (sum(low), low, next(counter), e.child)
+                    )
+                    if stats is not None:
+                        stats.heap_pushes += 1
+                elif stats is not None:
+                    stats.entries_pruned += 1
+    if stats is not None:
+        stats.skyline_points += len(skyline)
+    return skyline
+
+
+def _dominated_by(
+    skyline: List[Point], p: Point, stats: Optional[Counters]
+) -> bool:
+    """True iff some current skyline point dominates ``p``."""
+    for s in skyline:
+        if stats is not None:
+            stats.dominance_tests += 1
+        strict = False
+        dominated = True
+        for a, b in zip(s, p):
+            if a > b:
+                dominated = False
+                break
+            if a < b:
+                strict = True
+        if dominated and strict:
+            return True
+    return False

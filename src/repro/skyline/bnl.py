@@ -1,0 +1,82 @@
+"""Block-Nested-Loops skyline (Börzsönyi, Kossmann, Stocker — ICDE 2001).
+
+Maintains a window of incomparable points; each incoming point is compared
+against the window, evicting dominated window points and being discarded if
+itself dominated.  Always correct, ``O(n^2)`` worst case, excellent on small
+inputs — which is why the core algorithms use it to reduce small dominator
+sets to skylines.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.instrumentation import Counters
+
+Point = Tuple[float, ...]
+
+
+def bnl_skyline(
+    points: Sequence[Sequence[float]],
+    stats: Optional[Counters] = None,
+) -> List[Point]:
+    """Return the skyline of ``points`` (smaller-is-better on every dim).
+
+    Duplicate points are kept once; points equal on all dimensions do not
+    dominate each other (Definition 3 requires strict improvement somewhere).
+
+    Args:
+        points: the input set.
+        stats: optional counters; ``dominance_tests`` is incremented per
+            pairwise comparison.
+
+    Returns:
+        Skyline points as tuples, in first-seen order.
+    """
+    window: List[Point] = []
+    seen = set()
+    for raw in points:
+        p = tuple(raw)
+        if p in seen:
+            continue
+        dominated = False
+        survivors: List[Point] = []
+        for w in window:
+            if stats is not None:
+                stats.dominance_tests += 1
+            if dominated:
+                survivors.append(w)
+                continue
+            relation = _compare(w, p)
+            if relation < 0:  # w dominates p
+                dominated = True
+                survivors.append(w)
+            elif relation > 0:  # p dominates w: evict w
+                seen.discard(w)
+            else:
+                survivors.append(w)
+        window = survivors
+        if not dominated:
+            window.append(p)
+            seen.add(p)
+    return window
+
+
+def _compare(a: Point, b: Point) -> int:
+    """Return -1 if ``a`` dominates ``b``, 1 if ``b`` dominates ``a``, else 0."""
+    a_better = False
+    b_better = False
+    for x, y in zip(a, b):
+        if x < y:
+            a_better = True
+            if b_better:
+                return 0
+        elif y < x:
+            b_better = True
+            if a_better:
+                return 0
+    if a_better and not b_better:
+        return -1
+    if b_better and not a_better:
+        return 1
+    return 0

@@ -1,0 +1,87 @@
+"""Divide-and-conquer skyline (Börzsönyi, Kossmann, Stocker — ICDE 2001).
+
+Splits the input at the median of the first dimension, recursively computes
+the two partial skylines, and merges: points from the "worse" half survive
+only if no point of the "better" half dominates them.  ``O(n log n)`` for
+two dimensions, and a useful cross-check implementation for the test suite's
+algorithm-agreement properties.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.instrumentation import Counters
+
+Point = Tuple[float, ...]
+_SMALL = 16  # below this, BNL-style filtering beats recursion overhead
+
+
+def dnc_skyline(
+    points: Sequence[Sequence[float]],
+    stats: Optional[Counters] = None,
+) -> List[Point]:
+    """Return the skyline of ``points`` by divide and conquer.
+
+    Args:
+        points: input set (smaller-is-better on every dimension).
+        stats: optional counters (``dominance_tests`` per comparison).
+
+    Returns:
+        Skyline points as tuples (sorted by the first dimension).
+    """
+    unique = sorted({tuple(p) for p in points})
+    return _dnc(unique, stats)
+
+
+def _dnc(points: List[Point], stats: Optional[Counters]) -> List[Point]:
+    if len(points) <= _SMALL:
+        return _filter_small(points, stats)
+    mid = len(points) // 2
+    left = _dnc(points[:mid], stats)    # better (smaller) first-dim half
+    right = _dnc(points[mid:], stats)   # worse first-dim half
+    merged = list(left)
+    for p in right:
+        dominated = False
+        for s in left:
+            if stats is not None:
+                stats.dominance_tests += 1
+            if _dominates(s, p):
+                dominated = True
+                break
+        if not dominated:
+            merged.append(p)
+    return merged
+
+
+def _filter_small(points: List[Point], stats: Optional[Counters]) -> List[Point]:
+    skyline: List[Point] = []
+    for p in points:
+        dominated = False
+        for s in skyline:
+            if stats is not None:
+                stats.dominance_tests += 1
+            if _dominates(s, p):
+                dominated = True
+                break
+        if not dominated:
+            # Sorted input: p cannot dominate an accepted point with a
+            # strictly smaller first coordinate, but equal-first-coordinate
+            # points can still be dominated, so evict those.
+            skyline = [
+                s
+                for s in skyline
+                if not _dominates(p, s)
+            ]
+            skyline.append(p)
+    return skyline
+
+
+def _dominates(a: Point, b: Point) -> bool:
+    strict = False
+    for x, y in zip(a, b):
+        if x > y:
+            return False
+        if x < y:
+            strict = True
+    return strict

@@ -1,0 +1,53 @@
+"""Sort-Filter-Skyline (Chomicki, Godfrey, Gryz, Liang — ICDE 2003).
+
+Pre-sorts the input by a monotone scoring function (the coordinate sum).
+After sorting, no point can be dominated by a *later* point, so a single
+forward pass suffices: each point is only checked against already-accepted
+skyline points, never evicted.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.instrumentation import Counters
+
+Point = Tuple[float, ...]
+
+
+def sfs_skyline(
+    points: Sequence[Sequence[float]],
+    stats: Optional[Counters] = None,
+) -> List[Point]:
+    """Return the skyline of ``points`` via sort-filter-skyline.
+
+    Args:
+        points: the input set (smaller-is-better on every dimension).
+        stats: optional counters (``dominance_tests`` per comparison).
+
+    Returns:
+        Skyline points as tuples, ordered by ascending coordinate sum.
+    """
+    unique = sorted({tuple(p) for p in points}, key=lambda p: (sum(p), p))
+    skyline: List[Point] = []
+    for p in unique:
+        dominated = False
+        for s in skyline:
+            if stats is not None:
+                stats.dominance_tests += 1
+            if _dominates(s, p):
+                dominated = True
+                break
+        if not dominated:
+            skyline.append(p)
+    return skyline
+
+
+def _dominates(a: Point, b: Point) -> bool:
+    strict = False
+    for x, y in zip(a, b):
+        if x > y:
+            return False
+        if x < y:
+            strict = True
+    return strict

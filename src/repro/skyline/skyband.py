@@ -1,0 +1,79 @@
+"""k-skyband computation.
+
+The *k-skyband* of a point set contains every point dominated by fewer
+than ``k`` other points; the skyline is the 1-skyband.  In the upgrading
+context the skyband is the natural "almost competitive" shortlist: a
+manufacturer screening candidates can restrict the candidate set ``T`` to
+its catalog's k-skyband complement, and the dominance-count itself is a
+useful difficulty proxy (more dominators — costlier upgrades, under a
+monotone cost model, in expectation).
+
+Implemented as a counting variant of block-nested-loops: a window holds
+``(point, dominator_count)`` pairs; points whose count reaches ``k`` are
+evicted.  A numpy batch pre-counter handles large inputs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.instrumentation import Counters
+
+Point = Tuple[float, ...]
+
+
+def k_skyband(
+    points: Sequence[Sequence[float]],
+    k: int,
+    stats: Optional[Counters] = None,
+) -> List[Point]:
+    """Return the points dominated by fewer than ``k`` others.
+
+    Args:
+        points: the input set (smaller-is-better on every dimension).
+        k: the band width; ``k=1`` yields the skyline.
+        stats: optional counters (``dominance_tests``).
+
+    Returns:
+        The k-skyband, deduplicated, in first-seen order.  Duplicates
+        count as one point (equal points never dominate each other).
+    """
+    if k < 1:
+        raise ConfigurationError(f"k must be >= 1, got {k}")
+    unique: List[Point] = []
+    seen = set()
+    for raw in points:
+        p = tuple(float(v) for v in raw)
+        if p not in seen:
+            seen.add(p)
+            unique.append(p)
+    if not unique:
+        return []
+    if stats is not None:
+        stats.dominance_tests += len(unique) * (len(unique) - 1)
+    arr = np.asarray(unique, dtype=np.float64)
+    counts = dominance_counts(arr)
+    return [p for p, c in zip(unique, counts) if c < k]
+
+
+def dominance_counts(points: "np.ndarray") -> "np.ndarray":
+    """Return, per row, how many other rows dominate it.
+
+    Vectorized row-vs-all comparison, chunked to bound peak memory at
+    roughly ``chunk * n`` booleans.
+    """
+    arr = np.asarray(points, dtype=np.float64)
+    if arr.ndim != 2:
+        raise ConfigurationError(f"expected (n, d) points, got {arr.shape}")
+    n = arr.shape[0]
+    counts = np.zeros(n, dtype=np.int64)
+    chunk = max(1, 4_000_000 // max(1, n))
+    for start in range(0, n, chunk):
+        block = arr[start : start + chunk]          # (b, d)
+        le = (arr[None, :, :] <= block[:, None, :]).all(axis=2)  # (b, n)
+        lt = (arr[None, :, :] < block[:, None, :]).any(axis=2)
+        counts[start : start + chunk] = (le & lt).sum(axis=1)
+    return counts

@@ -1,0 +1,85 @@
+"""Vectorized (numpy) skyline — the test-suite reference implementation.
+
+``numpy_skyline_mask`` computes, for each row of an ``(n, d)`` matrix,
+whether some other row dominates it, using a sorted sweep so only
+candidate dominators (rows with a smaller-or-equal coordinate sum prefix)
+are compared.  It is independent of every pointer-based implementation in
+this package, which makes it the arbiter in algorithm-agreement tests, and
+fast enough to pre-split experiment datasets into skyline / non-skyline
+tuples (the Fig. 4 wine protocol needs exactly that).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+def numpy_skyline_mask(data: "np.ndarray") -> "np.ndarray":
+    """Return a boolean mask selecting the skyline rows of ``data``.
+
+    Args:
+        data: an ``(n, d)`` float array; smaller is better on every column.
+            Duplicate rows are all marked as skyline members if the row is
+            undominated (duplicates never dominate each other).
+
+    Returns:
+        Boolean array of shape ``(n,)``; ``True`` marks skyline rows.
+    """
+    arr = np.asarray(data, dtype=np.float64)
+    if arr.ndim != 2:
+        raise ValueError(f"expected an (n, d) array, got shape {arr.shape}")
+    n = arr.shape[0]
+    if n == 0:
+        return np.zeros(0, dtype=bool)
+    # Sort by coordinate sum: a dominator always has a <= sum, so each row
+    # only needs comparing against earlier rows in this order.  The
+    # lexicographic tie-break keeps dominators first even when sums
+    # collide in floating point (e.g. one coordinate underflows): if p
+    # dominates q, p is strictly lexicographically smaller, exactly.
+    sums = arr.sum(axis=1)
+    order = np.lexsort(
+        tuple(arr[:, i] for i in range(arr.shape[1] - 1, -1, -1))
+        + (sums,)
+    )
+    sorted_arr = arr[order]
+    keep_sorted = np.ones(n, dtype=bool)
+    kept_rows: List[int] = []
+    for i in range(n):
+        row = sorted_arr[i]
+        if kept_rows:
+            cand = sorted_arr[kept_rows]
+            le = (cand <= row).all(axis=1)
+            lt = (cand < row).any(axis=1)
+            if bool(np.any(le & lt)):
+                keep_sorted[i] = False
+                continue
+        kept_rows.append(i)
+    mask = np.zeros(n, dtype=bool)
+    mask[order] = keep_sorted
+    return mask
+
+
+def numpy_skyline(
+    points: Sequence[Sequence[float]],
+) -> List[Tuple[float, ...]]:
+    """Return the skyline of ``points`` (deduplicated) via numpy.
+
+    Convenience wrapper around :func:`numpy_skyline_mask` returning tuples,
+    in ascending coordinate-sum order, without duplicates.
+    """
+    if len(points) == 0:
+        return []
+    arr = np.asarray(points, dtype=np.float64)
+    mask = numpy_skyline_mask(arr)
+    rows = arr[mask]
+    seen = set()
+    out: List[Tuple[float, ...]] = []
+    order = np.argsort(rows.sum(axis=1), kind="stable")
+    for i in order:
+        t = tuple(float(v) for v in rows[i])
+        if t not in seen:
+            seen.add(t)
+            out.append(t)
+    return out

@@ -1,0 +1,99 @@
+"""Cross-algorithm agreement properties.
+
+The paper (§III-B5 remark) states the probing and join approaches yield the
+same upgrading results modulo ties.  With the corrected per-pair bounds this
+must hold exactly on cost values; these hypothesis tests fuzz arbitrary
+layouts across every algorithm variant.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.api import top_k_upgrades
+from repro.core.verify import brute_force_topk, verify_results
+from repro.costs.model import paper_cost_model
+
+coord = st.floats(
+    min_value=0.05, max_value=2.0, allow_nan=False, allow_infinity=False
+)
+competitor_sets = st.lists(
+    st.tuples(coord, coord), min_size=1, max_size=60
+)
+product_sets = st.lists(st.tuples(coord, coord), min_size=1, max_size=25)
+
+VARIANTS = [
+    ("join", "nlb"),
+    ("join", "clb"),
+    ("join", "alb"),
+    ("join", "max"),
+    ("probing", "clb"),
+    ("basic-probing", "clb"),
+]
+
+
+@given(competitor_sets, product_sets, st.integers(1, 6))
+@settings(max_examples=40, deadline=None)
+def test_all_variants_agree_with_oracle(competitors, products, k):
+    model = paper_cost_model(2)
+    oracle = brute_force_topk(competitors, products, model, k=k)
+    expected = [r.cost for r in oracle]
+    for method, bound in VARIANTS:
+        outcome = top_k_upgrades(
+            competitors,
+            products,
+            k=k,
+            cost_model=model,
+            method=method,
+            bound=bound,
+            max_entries=4,
+        )
+        got = [r.cost for r in outcome.results]
+        assert np.allclose(got, expected), (method, bound, got, expected)
+        verify_results(outcome.results, competitors, model)
+
+
+@given(
+    st.lists(st.tuples(coord, coord, coord), min_size=1, max_size=40),
+    st.lists(st.tuples(coord, coord, coord), min_size=1, max_size=15),
+)
+@settings(max_examples=25, deadline=None)
+def test_join_vs_probing_3d(competitors, products):
+    model = paper_cost_model(3)
+    join = top_k_upgrades(
+        competitors, products, k=4, cost_model=model, method="join",
+        bound="alb", max_entries=4,
+    )
+    probing = top_k_upgrades(
+        competitors, products, k=4, cost_model=model, method="probing",
+        max_entries=4,
+    )
+    assert np.allclose(join.costs, probing.costs)
+
+
+@given(competitor_sets, product_sets)
+@settings(max_examples=30, deadline=None)
+def test_upgraded_points_escape_domination(competitors, products):
+    model = paper_cost_model(2)
+    outcome = top_k_upgrades(
+        competitors, products, k=len(products), cost_model=model,
+        method="join", max_entries=4,
+    )
+    verify_results(outcome.results, competitors, model)
+
+
+@given(competitor_sets, product_sets)
+@settings(max_examples=30, deadline=None)
+def test_topk_is_prefix_of_full_ranking(competitors, products):
+    model = paper_cost_model(2)
+    full = top_k_upgrades(
+        competitors, products, k=len(products), cost_model=model,
+        method="probing", max_entries=4,
+    )
+    partial = top_k_upgrades(
+        competitors, products, k=min(3, len(products)), cost_model=model,
+        method="probing", max_entries=4,
+    )
+    assert np.allclose(
+        partial.costs, full.costs[: len(partial.results)]
+    )

@@ -1,0 +1,141 @@
+"""Tests for the experiment harness (workloads, runners, figures)."""
+
+import json
+
+import pytest
+
+from repro.bench.figures import FIGURES, run_figure
+from repro.bench.harness import ALGORITHMS, run_cell
+from repro.bench.workloads import (
+    clear_cache,
+    synthetic_workload,
+    wine_workload,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestWorkloads:
+    def test_synthetic_shapes(self):
+        w = synthetic_workload("independent", 200, 40, 3, seed=1)
+        assert w.competitors.shape == (200, 3)
+        assert w.products.shape == (40, 3)
+        assert w.dims == 3
+
+    def test_trees_built_lazily_and_cached(self):
+        clear_cache()
+        w = synthetic_workload("independent", 100, 20, 2, seed=2)
+        assert w._tree_p is None
+        tree = w.competitor_tree
+        assert w.competitor_tree is tree
+        assert len(tree) == 100
+        assert len(w.product_tree) == 20
+
+    def test_workload_cache_returns_same_object(self):
+        a = synthetic_workload("independent", 100, 20, 2, seed=3)
+        b = synthetic_workload("independent", 100, 20, 2, seed=3)
+        assert a is b
+        c = synthetic_workload("independent", 100, 20, 2, seed=4)
+        assert c is not a
+
+    def test_wine_workload(self):
+        w = wine_workload("c,s", t_size=200)
+        assert w.products.shape == (200, 2)
+        assert w.competitors.shape[0] == 4898 - 200
+
+    def test_repr(self):
+        w = synthetic_workload("independent", 100, 20, 2, seed=3)
+        assert "|P|=100" in repr(w)
+
+
+class TestRunCell:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        return synthetic_workload("independent", 300, 60, 2, seed=5)
+
+    def test_unknown_algorithm(self, workload):
+        with pytest.raises(ConfigurationError):
+            run_cell("dijkstra", workload)
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_every_algorithm_runs(self, workload, algorithm):
+        outcome = run_cell(algorithm, workload, k=2)
+        assert len(outcome.results) == 2
+        assert outcome.report.elapsed_s >= 0.0
+
+    def test_algorithms_agree(self, workload):
+        costs = {
+            a: run_cell(a, workload, k=3).costs for a in ALGORITHMS
+        }
+        reference = costs["probing"]
+        for algorithm, got in costs.items():
+            assert got == pytest.approx(reference), algorithm
+
+    def test_t_limit_applies_to_probing(self, workload):
+        outcome = run_cell("probing", workload, k=1, t_limit=10)
+        assert outcome.report.counters.upgrade_calls == 10
+
+
+class TestFigures:
+    def test_registry_covers_every_panel(self):
+        expected = {
+            "fig4", "fig5",
+            "fig6a", "fig6b", "fig6c",
+            "fig7a", "fig7b", "fig7c",
+            "fig8a", "fig8b", "fig8c",
+            "fig9a", "fig9b", "fig9c",
+            "fig10", "fig11",
+        }
+        assert set(FIGURES) == expected
+
+    def test_unknown_figure(self):
+        with pytest.raises(ConfigurationError):
+            run_figure("fig99")
+
+    def test_invalid_scale(self):
+        with pytest.raises(ConfigurationError):
+            run_figure("fig6a", scale=0)
+
+    def test_quick_synthetic_panel(self):
+        # Tiny scale: paper cardinalities / 2000 -> hundreds of points.
+        result = run_figure("fig6a", scale=2000, quick=True)
+        assert set(result.series) == {"probing", "join-nlb"}
+        for cells in result.series.values():
+            assert len(cells) == 2  # endpoints only in quick mode
+            assert all(seconds >= 0 for _, seconds, _ in cells)
+
+    def test_quick_bounds_panel(self):
+        result = run_figure("fig8c", scale=2000, quick=True)
+        assert set(result.series) == {"join-nlb", "join-clb", "join-alb"}
+
+    def test_quick_progressive_panel(self):
+        result = run_figure("fig10", scale=2000, quick=True)
+        cells = result.series["join-clb"]
+        ks = [int(x) for x, _, _ in cells]
+        assert ks == [1, 20]
+        times = [s for _, s, _ in cells]
+        assert times[0] <= times[1] + 1e-9
+
+    def test_format_table_renders(self):
+        result = run_figure("fig8c", scale=2000, quick=True)
+        text = result.format_table()
+        assert "fig8c" in text
+        assert "join-alb" in text
+        assert "work counters" in text
+
+    @pytest.mark.slow
+    def test_quick_wine_panel(self):
+        result = run_figure("fig4", quick=True)
+        assert "basic-probing" in result.series
+        assert "join-clb[paper]" in result.series
+        # Paper shape: basic probing is the slowest algorithm everywhere.
+        for i, _ in enumerate(result.series["basic-probing"]):
+            basic = result.series["basic-probing"][i][1]
+            improved = result.series["probing"][i][1]
+            assert basic > improved
+
+    def test_json_round_trip(self, tmp_path):
+        result = run_figure("fig8c", scale=2000, quick=True)
+        path = result.save_json(tmp_path)
+        data = json.loads(path.read_text())
+        assert data["figure_id"] == "fig8c"
+        assert set(data["series"]) == set(result.series)

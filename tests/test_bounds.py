@@ -1,0 +1,293 @@
+"""Tests for the lower-bound machinery (LBC, NLB/CLB/ALB/MAX).
+
+The central property: a *valid* per-pair bound never exceeds the true
+(Algorithm 1) upgrade cost of any product in ``e_T`` with respect to the
+points inside ``e_P``.  The corrected mode must satisfy it always; the
+paper mode is demonstrated to violate it on the documented counterexamples.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.core.bounds import (
+    BOUND_NAMES,
+    aggressive_bound,
+    conservative_bound,
+    join_list_bound,
+    lbc,
+    max_bound,
+    naive_bound,
+    pair_bounds_vector,
+    signature_of,
+    supports_vector_bounds,
+)
+from repro.core.upgrade import upgrade
+from repro.costs.attribute import ReciprocalCost
+from repro.costs.integration import WeightedSumIntegration
+from repro.costs.model import CostModel, paper_cost_model
+from repro.exceptions import ConfigurationError
+from repro.geometry.classify import classify_dimensions
+from repro.geometry.mbr import MBR
+from repro.geometry.point import dominates
+from repro.skyline.bnl import bnl_skyline
+
+coord = st.floats(
+    min_value=0.05, max_value=1.0, allow_nan=False, allow_infinity=False
+)
+
+
+class TestLbcCases:
+    def setup_method(self):
+        self.model = paper_cost_model(2)
+
+    def test_case1_advantage_is_zero(self):
+        bound, _ = lbc((0.1, 0.9), (0.5, 0.2), (0.8, 0.4), self.model)
+        assert bound == 0.0
+
+    def test_case2_all_incomparable_is_zero(self):
+        bound, _ = lbc((0.5, 0.5), (0.2, 0.2), (0.8, 0.8), self.model)
+        assert bound == 0.0
+
+    def test_case3_all_disadvantaged_positive(self):
+        bound, _ = lbc((1.0, 1.0), (0.2, 0.2), (0.5, 0.5), self.model)
+        assert bound > 0.0
+
+    def test_case3_corrected_is_single_dim_escape(self):
+        t_low, p_high = (1.0, 1.0), (0.5, 0.6)
+        bound, _ = lbc(t_low, (0.2, 0.2), p_high, self.model)
+        escapes = []
+        for i in range(2):
+            candidate = list(t_low)
+            candidate[i] = p_high[i]
+            escapes.append(
+                self.model.product_cost(candidate)
+                - self.model.product_cost(t_low)
+            )
+        assert bound == pytest.approx(min(escapes))
+
+    def test_case3_paper_is_full_corner_jump(self):
+        t_low, p_high = (1.0, 1.0), (0.5, 0.6)
+        bound, _ = lbc(
+            t_low, (0.2, 0.2), p_high, self.model, mode="paper"
+        )
+        expected = self.model.product_cost(p_high) - self.model.product_cost(
+            t_low
+        )
+        assert bound == pytest.approx(expected)
+
+    def test_case4_one_incomparable_positive(self):
+        # dim0 disadvantaged, dim1 incomparable.
+        bound, _ = lbc((1.0, 0.5), (0.2, 0.2), (0.5, 0.8), self.model)
+        assert bound > 0.0
+
+    def test_case4_corrected_two_incomparable_is_zero(self):
+        model = paper_cost_model(3)
+        # dim0 disadvantaged; dims 1, 2 incomparable: content may contain
+        # no dominator of e_T.min, so only 0 is sound.
+        bound, _ = lbc(
+            (1.0, 1.0, 1.0), (0.5, 0.5, 0.5), (0.5, 2.0, 2.0), model
+        )
+        assert bound == 0.0
+
+    def test_case4_paper_two_incomparable_is_positive(self):
+        model = paper_cost_model(3)
+        bound, _ = lbc(
+            (1.0, 1.0, 1.0),
+            (0.5, 0.5, 0.5),
+            (0.5, 2.0, 2.0),
+            model,
+            mode="paper",
+        )
+        assert bound > 0.0
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            lbc((1.0,), (0.5,), (0.6,), paper_cost_model(1), mode="bogus")
+
+    def test_signature_matches_classification(self):
+        _, sig = lbc((1.0, 0.5), (0.2, 0.2), (0.5, 0.8), self.model)
+        c = classify_dimensions((1.0, 0.5), (0.2, 0.2), (0.5, 0.8))
+        assert sig == signature_of(c)
+
+
+def true_group_cost_lower_envelope(t_points, p_points, model):
+    """Smallest Algorithm-1 cost among products in the group vs p_points."""
+    costs = []
+    for t in t_points:
+        dominators = [p for p in p_points if dominates(p, t)]
+        skyline = bnl_skyline(dominators)
+        cost, _ = upgrade(skyline, t, model)
+        costs.append(cost)
+    return min(costs)
+
+
+class TestCorrectedLbcIsValid:
+    """corrected-mode LBC <= the true cost of every product in the node."""
+
+    @given(
+        st.lists(st.tuples(coord, coord), min_size=1, max_size=12),
+        st.lists(
+            st.tuples(
+                st.floats(min_value=1.05, max_value=2.0),
+                st.floats(min_value=1.05, max_value=2.0),
+            ),
+            min_size=1,
+            max_size=8,
+        ),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_all_disadvantaged_layout(self, p_points, t_points):
+        model = paper_cost_model(2)
+        p_box = MBR.from_points(p_points)
+        t_box = MBR.from_points(t_points)
+        bound, _ = lbc(t_box.low, p_box.low, p_box.high, model)
+        envelope = true_group_cost_lower_envelope(t_points, p_points, model)
+        assert bound <= envelope + 1e-9
+
+    @given(
+        st.lists(st.tuples(coord, coord), min_size=1, max_size=12),
+        st.lists(st.tuples(coord, coord), min_size=1, max_size=8),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_arbitrary_layout(self, p_points, t_points):
+        model = paper_cost_model(2)
+        p_box = MBR.from_points(p_points)
+        t_box = MBR.from_points(t_points)
+        bound, _ = lbc(t_box.low, p_box.low, p_box.high, model)
+        envelope = true_group_cost_lower_envelope(t_points, p_points, model)
+        assert bound <= envelope + 1e-9
+
+
+class TestPaperLbcOverestimates:
+    """The documented counterexample: the paper's Case 3 is not a bound."""
+
+    def test_case3_counterexample(self):
+        model = paper_cost_model(2)
+        p_points = [(0.5, 0.5)]
+        t_points = [(1.0, 1.0)]
+        bound, _ = lbc((1.0, 1.0), (0.5, 0.5), (0.5, 0.5), model, mode="paper")
+        envelope = true_group_cost_lower_envelope(t_points, p_points, model)
+        assert bound > envelope + 1e-6  # overestimates: NOT a lower bound
+
+    def test_corrected_fixes_the_counterexample(self):
+        model = paper_cost_model(2)
+        p_points = [(0.5, 0.5)]
+        t_points = [(1.0, 1.0)]
+        bound, _ = lbc((1.0, 1.0), (0.5, 0.5), (0.5, 0.5), model)
+        envelope = true_group_cost_lower_envelope(t_points, p_points, model)
+        assert bound <= envelope + 1e-9
+
+    def test_case4_counterexample_undominated_corner(self):
+        model = paper_cost_model(3)
+        p_points = [(0.5, 0.5, 2.0), (0.5, 2.0, 0.5)]
+        t = (1.0, 1.0, 1.0)
+        assert not any(dominates(p, t) for p in p_points)
+        box = MBR.from_points(p_points)
+        paper_bound, _ = lbc(t, box.low, box.high, model, mode="paper")
+        corrected_bound, _ = lbc(t, box.low, box.high, model)
+        assert paper_bound > 0.0  # claims a cost where none exists
+        assert corrected_bound == 0.0
+
+
+class TestJoinListBounds:
+    PAIRS = [
+        (0.0, b"a"),
+        (3.0, b"b"),
+        (1.5, b"b"),
+        (2.0, b"c"),
+    ]
+
+    def test_naive_is_min(self):
+        assert naive_bound(b for b, _ in self.PAIRS) == 0.0
+
+    def test_naive_empty_is_zero(self):
+        assert naive_bound([]) == 0.0
+
+    def test_conservative_ignores_zeros(self):
+        assert conservative_bound(b for b, _ in self.PAIRS) == 1.5
+
+    def test_conservative_all_zero(self):
+        assert conservative_bound([0.0, 0.0]) == 0.0
+
+    def test_aggressive_partitions_by_signature(self):
+        # partition b: max(3.0, 1.5) = 3.0; partition c: 2.0 -> min = 2.0.
+        assert aggressive_bound(self.PAIRS) == 2.0
+
+    def test_aggressive_empty(self):
+        assert aggressive_bound([]) == 0.0
+
+    def test_max_bound(self):
+        assert max_bound(b for b, _ in self.PAIRS) == 3.0
+        assert max_bound([]) == 0.0
+
+    def test_ordering_nlb_le_clb_le_alb_le_max(self):
+        rng = np.random.default_rng(3)
+        for _ in range(50):
+            pairs = [
+                (float(max(0.0, rng.normal(1, 1))), bytes([rng.integers(0, 3)]))
+                for _ in range(rng.integers(1, 10))
+            ]
+            nlb = naive_bound(b for b, _ in pairs)
+            clb = conservative_bound(b for b, _ in pairs)
+            alb = aggressive_bound(pairs)
+            mx = max_bound(b for b, _ in pairs)
+            assert nlb <= clb + 1e-12
+            assert clb <= alb + 1e-12
+            assert alb <= mx + 1e-12
+
+    def test_dispatch(self):
+        for name in BOUND_NAMES:
+            assert join_list_bound(name, self.PAIRS) >= 0.0
+        with pytest.raises(ConfigurationError):
+            join_list_bound("bogus", self.PAIRS)
+
+
+class TestVectorizedBounds:
+    @pytest.mark.parametrize("mode", ["corrected", "paper"])
+    def test_matches_scalar(self, mode):
+        rng = np.random.default_rng(9)
+        model = paper_cost_model(3)
+        t_low = tuple(rng.random(3) + 0.3)
+        lows = rng.random((40, 3))
+        highs = lows + rng.random((40, 3)) * 0.5
+        vector = pair_bounds_vector(t_low, lows, highs, model, mode=mode)
+        for i in range(40):
+            scalar_bound, scalar_sig = lbc(
+                t_low, tuple(lows[i]), tuple(highs[i]), model, mode=mode
+            )
+            assert vector[i][0] == pytest.approx(scalar_bound, abs=1e-9)
+            assert vector[i][1] == scalar_sig
+
+    def test_weighted_model(self):
+        model = CostModel(
+            [ReciprocalCost(), ReciprocalCost()],
+            WeightedSumIntegration([2.0, 0.5]),
+        )
+        assert supports_vector_bounds(model)
+        t_low = (1.0, 1.0)
+        lows = np.array([[0.1, 0.1], [0.3, 0.2]])
+        highs = np.array([[0.5, 0.4], [0.9, 0.8]])
+        vector = pair_bounds_vector(t_low, lows, highs, model)
+        for i in range(2):
+            scalar_bound, _ = lbc(
+                t_low, tuple(lows[i]), tuple(highs[i]), model
+            )
+            assert vector[i][0] == pytest.approx(scalar_bound, abs=1e-12)
+
+    def test_empty(self):
+        model = paper_cost_model(2)
+        assert pair_bounds_vector(
+            (1.0, 1.0), np.zeros((0, 2)), np.zeros((0, 2)), model
+        ) == []
+
+    def test_unknown_mode(self):
+        model = paper_cost_model(2)
+        with pytest.raises(ConfigurationError):
+            pair_bounds_vector(
+                (1.0, 1.0),
+                np.zeros((1, 2)),
+                np.ones((1, 2)),
+                model,
+                mode="nope",
+            )

@@ -1,0 +1,94 @@
+"""Tests for ordinal categorical attributes (§VI research direction)."""
+
+import numpy as np
+import pytest
+
+from repro.core.api import top_k_upgrades
+from repro.costs.attribute import LinearCost
+from repro.costs.model import CostModel
+from repro.data.categorical import OrdinalEncoder
+from repro.exceptions import ConfigurationError
+from repro.geometry.point import dominates
+
+
+@pytest.fixture()
+def stars():
+    return OrdinalEncoder(["5-star", "4-star", "3-star", "2-star"])
+
+
+class TestOrdinalEncoder:
+    def test_best_category_is_smallest(self, stars):
+        assert stars.encode("5-star") == 0.0
+        assert stars.encode("2-star") == 3.0
+
+    def test_round_trip(self, stars):
+        for label in stars.categories:
+            assert stars.decode(stars.encode(label)) == label
+
+    def test_decode_snaps_epsilon_upgrades(self, stars):
+        # Upgraded coordinates land at rank - eps; decode must recover the
+        # category whose rank the algorithm targeted.
+        assert stars.decode(1.0 - 1e-9) == "4-star"
+        assert stars.decode(0.0 - 1e-9) == "5-star"
+
+    def test_decode_clamps(self, stars):
+        assert stars.decode(-5.0) == "5-star"
+        assert stars.decode(99.0) == "2-star"
+
+    def test_encode_many_decode_many(self, stars):
+        labels = ["3-star", "5-star", "4-star"]
+        assert stars.decode_many(stars.encode_many(labels)) == labels
+
+    def test_encoding_preserves_preference_order(self, stars):
+        ranks = stars.encode_many(list(stars.categories))
+        assert ranks == sorted(ranks)
+
+    def test_upgrade_steps(self, stars):
+        assert stars.upgrade_steps("3-star", "5-star") == 2
+        assert stars.upgrade_steps("5-star", "5-star") == 0
+        assert stars.upgrade_steps("5-star", "2-star") == -3
+
+    def test_unknown_label(self, stars):
+        with pytest.raises(ConfigurationError):
+            stars.encode("6-star")
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            OrdinalEncoder(["only-one"])
+        with pytest.raises(ConfigurationError):
+            OrdinalEncoder(["a", "b", "a"])
+
+    def test_len_and_repr(self, stars):
+        assert len(stars) == 4
+        assert "5-star" in repr(stars)
+
+
+class TestMixedNumericCategoricalPipeline:
+    """End-to-end: hotels with a star category and a numeric price."""
+
+    def test_upgrade_over_mixed_attributes(self, stars):
+        competitors_raw = [
+            ("5-star", 0.9),
+            ("4-star", 0.5),
+            ("3-star", 0.2),
+        ]
+        products_raw = [("2-star", 0.8), ("3-star", 0.95)]
+        encode = lambda rows: np.array(  # noqa: E731
+            [(stars.encode(c), price) for c, price in rows]
+        )
+        competitors = encode(competitors_raw)
+        products = encode(products_raw)
+        model = CostModel(
+            [LinearCost(10.0, 2.0), LinearCost(5.0, 3.0)]
+        )
+        outcome = top_k_upgrades(
+            products=products,
+            competitors=competitors,
+            k=2,
+            cost_model=model,
+        )
+        for r in outcome.results:
+            for c in competitors:
+                assert not dominates(tuple(c), r.upgraded)
+            # The categorical coordinate decodes to a real category.
+            assert stars.decode(r.upgraded[0]) in stars.categories

@@ -1,0 +1,163 @@
+"""Tests for the skyup command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.data.io import load_points_csv
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["--version"])
+        assert exc.value.code == 0
+        assert "skyup" in capsys.readouterr().out
+
+
+class TestGenerate:
+    def test_writes_csv(self, tmp_path, capsys):
+        out = tmp_path / "pts.csv"
+        code = main(
+            [
+                "generate",
+                str(out),
+                "--distribution",
+                "anti_correlated",
+                "--n",
+                "50",
+                "--dims",
+                "3",
+                "--seed",
+                "1",
+            ]
+        )
+        assert code == 0
+        points, _ = load_points_csv(out)
+        assert points.shape == (50, 3)
+        assert "anti_correlated" in capsys.readouterr().out
+
+
+class TestRun:
+    @pytest.fixture()
+    def csv_pair(self, tmp_path):
+        p_csv = tmp_path / "p.csv"
+        t_csv = tmp_path / "t.csv"
+        main(["generate", str(p_csv), "--n", "120", "--dims", "2",
+              "--seed", "3"])
+        main(["generate", str(t_csv), "--n", "15", "--dims", "2",
+              "--seed", "4", "--low", "1.0", "--high", "2.0"])
+        return p_csv, t_csv
+
+    @pytest.mark.parametrize("method", ["join", "probing", "basic-probing"])
+    def test_run_methods(self, csv_pair, capsys, method):
+        p_csv, t_csv = csv_pair
+        code = main(
+            [
+                "run",
+                "--competitors",
+                str(p_csv),
+                "--products",
+                str(t_csv),
+                "--k",
+                "3",
+                "--method",
+                method,
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        lines = [l for l in out.splitlines() if l and not l.startswith("#")]
+        assert lines[0].startswith("rank,")
+        assert len(lines) == 4  # header + k rows
+
+    def test_run_with_counters(self, csv_pair, capsys):
+        p_csv, t_csv = csv_pair
+        code = main(
+            [
+                "run",
+                "--competitors",
+                str(p_csv),
+                "--products",
+                str(t_csv),
+                "--show-counters",
+            ]
+        )
+        assert code == 0
+        assert "# node_accesses=" in capsys.readouterr().out
+
+    def test_run_methods_agree(self, csv_pair, capsys):
+        p_csv, t_csv = csv_pair
+
+        def costs_for(method):
+            main(
+                [
+                    "run",
+                    "--competitors", str(p_csv),
+                    "--products", str(t_csv),
+                    "--k", "3",
+                    "--method", method,
+                ]
+            )
+            out = capsys.readouterr().out
+            return [
+                float(line.split(",")[2])
+                for line in out.splitlines()
+                if line and line[0].isdigit()
+            ]
+
+        assert costs_for("join") == pytest.approx(costs_for("probing"))
+
+
+class TestCatalog:
+    def test_catalog_command(self, tmp_path, capsys):
+        path = tmp_path / "catalog.csv"
+        main(["generate", str(path), "--n", "150", "--dims", "2",
+              "--seed", "8"])
+        capsys.readouterr()
+        code = main(["catalog", "--catalog", str(path), "--k", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "competitive" in out
+        rows = [l for l in out.splitlines() if l and l[0].isdigit()]
+        assert len(rows) == 3
+
+    def test_catalog_methods_agree(self, tmp_path, capsys):
+        path = tmp_path / "catalog.csv"
+        main(["generate", str(path), "--n", "120", "--dims", "2",
+              "--seed", "9"])
+        capsys.readouterr()
+
+        def costs_for(method):
+            main(["catalog", "--catalog", str(path), "--k", "2",
+                  "--method", method])
+            out = capsys.readouterr().out
+            return [
+                float(l.split(",")[2])
+                for l in out.splitlines()
+                if l and l[0].isdigit()
+            ]
+
+        assert costs_for("join") == pytest.approx(costs_for("probing"))
+
+
+class TestFigure:
+    def test_list(self, capsys):
+        assert main(["figure", "list"]) == 0
+        out = capsys.readouterr().out
+        for fid in ["fig4", "fig6a", "fig10"]:
+            assert fid in out
+
+    def test_unknown_figure(self, capsys):
+        assert main(["figure", "nope"]) == 2
+        assert "unknown figure" in capsys.readouterr().err
+
+    def test_figure_quick_run(self, capsys):
+        code = main(["figure", "fig9c", "--scale", "2000", "--quick"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fig9c" in out
+        assert "join-alb" in out

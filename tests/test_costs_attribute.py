@@ -1,0 +1,135 @@
+"""Tests for the attribute cost functions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.costs.attribute import (
+    ExponentialCost,
+    LinearCost,
+    PiecewiseLinearCost,
+    PowerCost,
+    ReciprocalCost,
+)
+from repro.exceptions import CostFunctionError
+
+positive_values = st.floats(
+    min_value=0.0, max_value=100.0, allow_nan=False, allow_infinity=False
+)
+
+ALL_COSTS = [
+    ReciprocalCost(),
+    ReciprocalCost(scale=3.0, offset=0.5),
+    LinearCost(intercept=10.0, slope=2.0),
+    PowerCost(exponent=1.5),
+    ExponentialCost(rate=0.7),
+    PiecewiseLinearCost([(0.0, 5.0), (1.0, 2.0), (10.0, 0.0)]),
+]
+
+
+@pytest.mark.parametrize("cost", ALL_COSTS, ids=lambda c: c.describe())
+class TestAllAttributeCosts:
+    @given(a=positive_values, b=positive_values)
+    def test_non_increasing(self, cost, a, b):
+        lo, hi = min(a, b), max(a, b)
+        assert cost(lo) >= cost(hi) - 1e-12
+
+    @given(v=positive_values)
+    def test_vector_agrees_with_scalar(self, cost, v):
+        vec = cost.vector(np.array([v]))
+        assert vec[0] == pytest.approx(cost(v), rel=1e-12, abs=1e-12)
+
+    def test_vector_shape(self, cost):
+        values = np.linspace(0.1, 5.0, 17)
+        assert cost.vector(values).shape == (17,)
+
+    def test_describe_is_string(self, cost):
+        assert isinstance(cost.describe(), str) and cost.describe()
+
+
+class TestReciprocalCost:
+    def test_paper_form(self):
+        f = ReciprocalCost(offset=1e-3)
+        assert f(0.999) == pytest.approx(1.0)
+
+    def test_rejects_nonpositive_offset(self):
+        with pytest.raises(CostFunctionError):
+            ReciprocalCost(offset=0.0)
+
+    def test_rejects_nonpositive_scale(self):
+        with pytest.raises(CostFunctionError):
+            ReciprocalCost(scale=-1.0)
+
+    def test_undefined_below_negative_offset(self):
+        f = ReciprocalCost(offset=0.5)
+        with pytest.raises(CostFunctionError):
+            f(-0.5)
+
+    def test_vector_undefined_below_negative_offset(self):
+        f = ReciprocalCost(offset=0.5)
+        with pytest.raises(CostFunctionError):
+            f.vector(np.array([-0.6]))
+
+
+class TestLinearCost:
+    def test_rejects_negative_slope(self):
+        with pytest.raises(CostFunctionError):
+            LinearCost(slope=-1.0)
+
+    def test_handles_negative_values(self):
+        f = LinearCost(intercept=0.0, slope=1.0)
+        assert f(-150.0) == 150.0
+
+
+class TestPowerCost:
+    def test_parameter_validation(self):
+        with pytest.raises(CostFunctionError):
+            PowerCost(exponent=0.0)
+        with pytest.raises(CostFunctionError):
+            PowerCost(offset=-1.0)
+        with pytest.raises(CostFunctionError):
+            PowerCost(scale=0.0)
+
+    def test_undefined_at_negative_base(self):
+        with pytest.raises(CostFunctionError):
+            PowerCost(offset=0.1)(-0.2)
+
+
+class TestExponentialCost:
+    def test_parameter_validation(self):
+        with pytest.raises(CostFunctionError):
+            ExponentialCost(rate=0.0)
+        with pytest.raises(CostFunctionError):
+            ExponentialCost(scale=0.0)
+
+    def test_value(self):
+        f = ExponentialCost(scale=2.0, rate=1.0)
+        assert f(0.0) == pytest.approx(2.0)
+
+
+class TestPiecewiseLinearCost:
+    def test_interpolation(self):
+        f = PiecewiseLinearCost([(0.0, 10.0), (2.0, 0.0)])
+        assert f(1.0) == pytest.approx(5.0)
+
+    def test_clamps_outside_range(self):
+        f = PiecewiseLinearCost([(1.0, 5.0), (2.0, 3.0)])
+        assert f(0.0) == 5.0
+        assert f(9.0) == 3.0
+
+    def test_needs_two_breakpoints(self):
+        with pytest.raises(CostFunctionError):
+            PiecewiseLinearCost([(0.0, 1.0)])
+
+    def test_rejects_non_increasing_x(self):
+        with pytest.raises(CostFunctionError):
+            PiecewiseLinearCost([(0.0, 1.0), (0.0, 0.5)])
+
+    def test_rejects_increasing_cost(self):
+        with pytest.raises(CostFunctionError):
+            PiecewiseLinearCost([(0.0, 1.0), (1.0, 2.0)])
+
+    def test_binary_search_many_segments(self):
+        pts = [(float(i), float(20 - i)) for i in range(21)]
+        f = PiecewiseLinearCost(pts)
+        assert f(13.5) == pytest.approx(6.5)

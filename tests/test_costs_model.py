@@ -1,0 +1,154 @@
+"""Tests for integration functions and the product cost model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.costs.attribute import LinearCost, ReciprocalCost
+from repro.costs.integration import SumIntegration, WeightedSumIntegration
+from repro.costs.model import CostModel, check_monotonic, paper_cost_model
+from repro.exceptions import CostFunctionError, DimensionalityError
+
+unit = st.floats(
+    min_value=0.01, max_value=1.0, allow_nan=False, allow_infinity=False
+)
+
+
+class TestIntegrations:
+    def test_sum(self):
+        assert SumIntegration()([1.0, 2.0, 3.5]) == 6.5
+
+    def test_weighted_sum(self):
+        w = WeightedSumIntegration([1.0, 0.0, 2.0])
+        assert w([1.0, 100.0, 3.0]) == 7.0
+
+    def test_weighted_sum_validation(self):
+        with pytest.raises(CostFunctionError):
+            WeightedSumIntegration([])
+        with pytest.raises(CostFunctionError):
+            WeightedSumIntegration([-1.0, 1.0])
+        with pytest.raises(CostFunctionError):
+            WeightedSumIntegration([0.0, 0.0])
+
+    def test_weighted_sum_arity_check(self):
+        w = WeightedSumIntegration([1.0, 2.0])
+        with pytest.raises(CostFunctionError):
+            w([1.0])
+
+    def test_describe(self):
+        assert SumIntegration().describe() == "sum"
+        assert "wsum" in WeightedSumIntegration([1, 2]).describe()
+
+
+class TestCostModel:
+    def test_product_cost_is_sum_of_attribute_costs(self):
+        model = paper_cost_model(2, offset=1e-3)
+        p = (0.5, 0.25)
+        expected = 1 / 0.501 + 1 / 0.251
+        assert model.product_cost(p) == pytest.approx(expected)
+
+    def test_upgrade_cost_is_delta(self, cost_model_2d):
+        old, new = (1.0, 1.0), (0.5, 1.0)
+        delta = cost_model_2d.product_cost(new) - cost_model_2d.product_cost(
+            old
+        )
+        assert cost_model_2d.upgrade_cost(old, new) == pytest.approx(delta)
+
+    def test_dimensionality_checked(self, cost_model_2d):
+        with pytest.raises(DimensionalityError):
+            cost_model_2d.product_cost((1.0, 2.0, 3.0))
+
+    def test_attribute_cost_accessor(self, cost_model_2d):
+        assert cost_model_2d.attribute_cost(0, 0.999) == pytest.approx(1.0)
+
+    def test_needs_at_least_one_attribute(self):
+        with pytest.raises(CostFunctionError):
+            CostModel([])
+
+    def test_weight_arity_checked_at_construction(self):
+        with pytest.raises(CostFunctionError):
+            CostModel(
+                [ReciprocalCost(), ReciprocalCost()],
+                WeightedSumIntegration([1.0]),
+            )
+
+    def test_describe_mentions_parts(self, cost_model_2d):
+        text = cost_model_2d.describe()
+        assert "sum" in text and "/(v+" in text
+
+    @given(st.tuples(unit, unit, unit), st.tuples(unit, unit, unit))
+    def test_monotonic_under_dominance(self, p, q):
+        model = paper_cost_model(3)
+        if all(a <= b for a, b in zip(p, q)) and p != q:
+            assert model.product_cost(p) >= model.product_cost(q) - 1e-12
+
+
+class TestVectorization:
+    def test_supports_vectorization_true_for_shipped_costs(self):
+        assert paper_cost_model(3).supports_vectorization()
+
+    def test_supports_vectorization_false_for_custom(self):
+        class Odd(LinearCost):
+            def vector(self, values):
+                raise NotImplementedError
+
+        model = CostModel([Odd(1.0, 1.0)])
+        assert not model.supports_vectorization()
+
+    def test_vector_product_cost_matches_scalar(self):
+        model = paper_cost_model(3)
+        pts = np.random.default_rng(1).random((40, 3)) + 0.1
+        vec = model.vector_product_cost(pts)
+        scalar = [model.product_cost(tuple(p)) for p in pts]
+        np.testing.assert_allclose(vec, scalar, rtol=1e-12)
+
+    def test_vector_product_cost_weighted(self):
+        model = CostModel(
+            [ReciprocalCost(), ReciprocalCost()],
+            WeightedSumIntegration([2.0, 0.5]),
+        )
+        pts = np.array([[0.5, 0.5], [1.0, 0.25]])
+        vec = model.vector_product_cost(pts)
+        scalar = [model.product_cost(tuple(p)) for p in pts]
+        np.testing.assert_allclose(vec, scalar, rtol=1e-12)
+
+    def test_vector_product_cost_shape_check(self):
+        model = paper_cost_model(2)
+        with pytest.raises(DimensionalityError):
+            model.vector_product_cost(np.zeros((3, 5)))
+
+
+class TestMonotonicChecker:
+    def test_accepts_paper_model(self):
+        check_monotonic(paper_cost_model(2), (0.1, 0.1), (1.0, 1.0))
+
+    def test_rejects_increasing_cost(self):
+        class Increasing(LinearCost):
+            def __call__(self, value):
+                return value  # larger (worse) value costs more: invalid
+
+        model = CostModel([Increasing(), LinearCost()])
+        with pytest.raises(CostFunctionError):
+            check_monotonic(model, (0.0, 0.0), (1.0, 1.0))
+
+    def test_bounds_validation(self):
+        with pytest.raises(DimensionalityError):
+            check_monotonic(paper_cost_model(2), (0.0,), (1.0,))
+        with pytest.raises(CostFunctionError):
+            check_monotonic(paper_cost_model(1), (1.0,), (1.0,))
+        with pytest.raises(CostFunctionError):
+            check_monotonic(
+                paper_cost_model(1), (0.0,), (1.0,), samples_per_dim=1
+            )
+
+
+class TestPaperCostModel:
+    def test_dims_validated(self):
+        with pytest.raises(CostFunctionError):
+            paper_cost_model(0)
+
+    def test_weighted_variant(self):
+        model = paper_cost_model(2, weights=[1.0, 3.0])
+        assert isinstance(model.integration, WeightedSumIntegration)
+        p = (0.999, 0.999)
+        assert model.product_cost(p) == pytest.approx(4.0)

@@ -1,0 +1,124 @@
+"""Tests for the synthetic data generators."""
+
+import numpy as np
+import pytest
+
+from repro.data.generators import (
+    anti_correlated,
+    correlated,
+    generate,
+    independent,
+    paper_workload,
+)
+from repro.exceptions import ConfigurationError
+from repro.skyline.vectorized import numpy_skyline_mask
+
+
+class TestShapesAndRanges:
+    @pytest.mark.parametrize(
+        "maker", [independent, correlated, anti_correlated]
+    )
+    def test_shape_and_unit_range(self, maker):
+        pts = maker(500, 4, seed=1)
+        assert pts.shape == (500, 4)
+        assert pts.min() >= 0.0
+        assert pts.max() <= 1.0
+
+    def test_zero_points(self):
+        assert independent(0, 3, seed=1).shape == (0, 3)
+
+    def test_one_dimensional_anti(self):
+        pts = anti_correlated(100, 1, seed=2)
+        assert pts.shape == (100, 1)
+
+    def test_invalid_args(self):
+        with pytest.raises(ConfigurationError):
+            independent(-1, 2)
+        with pytest.raises(ConfigurationError):
+            independent(10, 0)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize(
+        "maker", [independent, correlated, anti_correlated]
+    )
+    def test_same_seed_same_data(self, maker):
+        a = maker(200, 3, seed=42)
+        b = maker(200, 3, seed=42)
+        np.testing.assert_array_equal(a, b)
+
+    @pytest.mark.parametrize(
+        "maker", [independent, correlated, anti_correlated]
+    )
+    def test_different_seed_different_data(self, maker):
+        a = maker(200, 3, seed=1)
+        b = maker(200, 3, seed=2)
+        assert not np.array_equal(a, b)
+
+
+class TestDistributionCharacter:
+    def test_skyline_size_ordering(self):
+        """anti-correlated >> independent >> correlated (the paper's premise)."""
+        sizes = {}
+        for name, maker in [
+            ("anti", anti_correlated),
+            ("ind", independent),
+            ("corr", correlated),
+        ]:
+            pts = maker(5000, 3, seed=7)
+            sizes[name] = int(numpy_skyline_mask(pts).sum())
+        assert sizes["anti"] > 3 * sizes["ind"]
+        assert sizes["ind"] > sizes["corr"]
+
+    def test_anti_correlation_is_negative(self):
+        pts = anti_correlated(5000, 2, seed=8)
+        rho = np.corrcoef(pts[:, 0], pts[:, 1])[0, 1]
+        assert rho < -0.5
+
+    def test_correlation_is_positive(self):
+        pts = correlated(5000, 2, seed=8)
+        rho = np.corrcoef(pts[:, 0], pts[:, 1])[0, 1]
+        assert rho > 0.5
+
+    def test_independent_near_zero_correlation(self):
+        pts = independent(5000, 2, seed=8)
+        rho = np.corrcoef(pts[:, 0], pts[:, 1])[0, 1]
+        assert abs(rho) < 0.1
+
+
+class TestGenerateDispatch:
+    def test_rescaling(self):
+        pts = generate("independent", 100, 2, seed=1, low=1.0, high=2.0)
+        assert pts.min() >= 1.0
+        assert pts.max() <= 2.0
+
+    def test_unknown_distribution(self):
+        with pytest.raises(ConfigurationError):
+            generate("zipfian", 10, 2)
+
+    def test_invalid_interval(self):
+        with pytest.raises(ConfigurationError):
+            generate("independent", 10, 2, low=2.0, high=1.0)
+
+
+class TestPaperWorkload:
+    def test_layout(self):
+        p, t = paper_workload("independent", 300, 50, 3, seed=1)
+        assert p.shape == (300, 3)
+        assert t.shape == (50, 3)
+        assert p.max() <= 1.0
+        assert t.min() > 1.0
+        assert t.max() <= 2.0
+
+    def test_every_product_dominated(self):
+        from repro.geometry.point import dominates
+
+        p, t = paper_workload("independent", 100, 20, 2, seed=3)
+        for prod in t:
+            assert any(dominates(tuple(c), tuple(prod)) for c in p)
+
+    def test_deterministic(self):
+        a = paper_workload("anti_correlated", 100, 20, 2, seed=5)
+        b = paper_workload("anti_correlated", 100, 20, 2, seed=5)
+        np.testing.assert_array_equal(a[0], b[0])
+        np.testing.assert_array_equal(a[1], b[1])

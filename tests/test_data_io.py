@@ -1,0 +1,67 @@
+"""Tests for CSV persistence."""
+
+import numpy as np
+import pytest
+
+from repro.data.io import load_points_csv, save_points_csv
+from repro.exceptions import ConfigurationError
+
+
+class TestRoundTrip:
+    def test_without_header(self, tmp_path):
+        pts = np.random.default_rng(1).random((20, 3))
+        path = tmp_path / "pts.csv"
+        save_points_csv(path, pts)
+        loaded, attributes = load_points_csv(path)
+        np.testing.assert_array_equal(loaded, pts)
+        assert attributes is None
+
+    def test_with_header(self, tmp_path):
+        pts = np.array([[1.5, -2.0], [0.0, 3.25]])
+        path = tmp_path / "pts.csv"
+        save_points_csv(path, pts, attributes=["alpha", "beta"])
+        loaded, attributes = load_points_csv(path)
+        np.testing.assert_array_equal(loaded, pts)
+        assert attributes == ("alpha", "beta")
+
+    def test_exact_float_round_trip(self, tmp_path):
+        pts = np.array([[1 / 3, 2 / 7], [1e-15, 123456.789012345]])
+        path = tmp_path / "pts.csv"
+        save_points_csv(path, pts)
+        loaded, _ = load_points_csv(path)
+        np.testing.assert_array_equal(loaded, pts)
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "a" / "b" / "pts.csv"
+        save_points_csv(path, np.zeros((1, 1)))
+        assert path.exists()
+
+
+class TestValidation:
+    def test_save_rejects_bad_shape(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            save_points_csv(tmp_path / "x.csv", np.zeros(3))
+
+    def test_save_rejects_header_arity(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            save_points_csv(
+                tmp_path / "x.csv", np.zeros((2, 2)), attributes=["one"]
+            )
+
+    def test_load_rejects_empty_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(ConfigurationError):
+            load_points_csv(path)
+
+    def test_load_rejects_ragged_rows(self, tmp_path):
+        path = tmp_path / "ragged.csv"
+        path.write_text("1,2\n3,4,5\n")
+        with pytest.raises(ConfigurationError):
+            load_points_csv(path)
+
+    def test_load_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "blank.csv"
+        path.write_text("1,2\n\n3,4\n")
+        loaded, _ = load_points_csv(path)
+        assert loaded.shape == (2, 2)

@@ -1,0 +1,76 @@
+"""Tests for orientation and min-max normalization."""
+
+import numpy as np
+import pytest
+
+from repro.data.normalize import (
+    Orientation,
+    min_max_normalize,
+    orient_minimize,
+)
+from repro.exceptions import ConfigurationError
+from repro.geometry.point import dominates
+
+
+class TestOrientMinimize:
+    def test_negates_max_columns(self):
+        data = np.array([[1.0, 2.0], [3.0, 4.0]])
+        out = orient_minimize(data, [Orientation.MIN, Orientation.MAX])
+        np.testing.assert_array_equal(
+            out, np.array([[1.0, -2.0], [3.0, -4.0]])
+        )
+
+    def test_preserves_dominance(self):
+        # In raw terms: a is lighter AND has longer standby -> a dominates b.
+        raw = np.array([[100.0, 200.0], [150.0, 150.0]])
+        out = orient_minimize(raw, [Orientation.MIN, Orientation.MAX])
+        assert dominates(tuple(out[0]), tuple(out[1]))
+
+    def test_does_not_mutate_input(self):
+        data = np.array([[1.0, 2.0]])
+        orient_minimize(data, [Orientation.MIN, Orientation.MAX])
+        np.testing.assert_array_equal(data, np.array([[1.0, 2.0]]))
+
+    def test_arity_checked(self):
+        with pytest.raises(ConfigurationError):
+            orient_minimize(np.zeros((2, 3)), [Orientation.MIN])
+
+    def test_shape_checked(self):
+        with pytest.raises(ConfigurationError):
+            orient_minimize(np.zeros(3), [Orientation.MIN] * 3)
+
+
+class TestMinMaxNormalize:
+    def test_unit_range(self):
+        data = np.array([[0.0, 10.0], [5.0, 20.0], [10.0, 30.0]])
+        out = min_max_normalize(data)
+        np.testing.assert_allclose(out.min(axis=0), [0.0, 0.0])
+        np.testing.assert_allclose(out.max(axis=0), [1.0, 1.0])
+
+    def test_custom_range(self):
+        data = np.array([[0.0], [1.0]])
+        out = min_max_normalize(data, low=2.0, high=4.0)
+        np.testing.assert_allclose(out.ravel(), [2.0, 4.0])
+
+    def test_constant_column_maps_to_low(self):
+        data = np.array([[5.0, 1.0], [5.0, 2.0]])
+        out = min_max_normalize(data)
+        np.testing.assert_allclose(out[:, 0], [0.0, 0.0])
+
+    def test_preserves_dominance(self):
+        rng = np.random.default_rng(2)
+        data = rng.random((50, 3)) * np.array([10, 100, 1000])
+        out = min_max_normalize(data)
+        for i in range(0, 50, 7):
+            for j in range(0, 50, 11):
+                a, b = tuple(data[i]), tuple(data[j])
+                na, nb = tuple(out[i]), tuple(out[j])
+                assert dominates(a, b) == dominates(na, nb)
+
+    def test_invalid_interval(self):
+        with pytest.raises(ConfigurationError):
+            min_max_normalize(np.zeros((2, 2)), low=1.0, high=1.0)
+
+    def test_shape_checked(self):
+        with pytest.raises(ConfigurationError):
+            min_max_normalize(np.zeros(4))

@@ -1,0 +1,80 @@
+"""Tests for the synthetic wine dataset and the §IV-B split protocol."""
+
+import numpy as np
+import pytest
+
+from repro.data.wine import (
+    ATTRIBUTE_COMBOS,
+    WINE_CARDINALITY,
+    synthesize_wine,
+    wine_split,
+)
+from repro.exceptions import ConfigurationError, EmptyDatasetError
+from repro.skyline.vectorized import numpy_skyline_mask
+
+
+class TestSynthesize:
+    def test_cardinality_matches_uci_set(self):
+        data = synthesize_wine()
+        assert data.shape == (WINE_CARDINALITY, 3)
+
+    def test_deterministic(self):
+        np.testing.assert_array_equal(synthesize_wine(), synthesize_wine())
+
+    def test_positive_physical_ranges(self):
+        data = synthesize_wine()
+        assert data.min() > 0.0
+        # total SO2 occupies a much larger numeric range than chlorides.
+        assert data[:, 2].mean() > 50 * data[:, 0].mean()
+
+    def test_moments_match_published_statistics(self):
+        data = synthesize_wine(n=20_000, seed=1)
+        assert data[:, 0].mean() == pytest.approx(0.0458, rel=0.15)
+        assert data[:, 1].mean() == pytest.approx(0.4898, rel=0.10)
+        assert data[:, 2].mean() == pytest.approx(138.36, rel=0.10)
+
+    def test_invalid_n(self):
+        with pytest.raises(ConfigurationError):
+            synthesize_wine(n=0)
+
+
+class TestWineSplit:
+    @pytest.mark.parametrize("combo", sorted(ATTRIBUTE_COMBOS))
+    def test_cardinalities(self, combo):
+        p, t = wine_split(combo)
+        dims = len(ATTRIBUTE_COMBOS[combo])
+        assert t.shape == (1000, dims)
+        assert p.shape == (WINE_CARDINALITY - 1000, dims)
+
+    def test_normalized_to_unit_cube(self):
+        p, t = wine_split("c,s,t")
+        stacked = np.vstack([p, t])
+        assert stacked.min() >= 0.0
+        assert stacked.max() <= 1.0
+
+    def test_products_are_non_skyline(self):
+        """Every T tuple must be dominated within the full dataset."""
+        p, t = wine_split("c,s")
+        full = np.vstack([p, t])
+        mask = numpy_skyline_mask(full)
+        t_mask = mask[len(p):]
+        assert not t_mask.any()
+
+    def test_unknown_combo(self):
+        with pytest.raises(ConfigurationError):
+            wine_split("x,y")
+
+    def test_oversized_t_rejected(self):
+        with pytest.raises(EmptyDatasetError):
+            wine_split("c,s,t", t_size=WINE_CARDINALITY)
+
+    def test_split_deterministic(self):
+        p1, t1 = wine_split("s,t", seed=3)
+        p2, t2 = wine_split("s,t", seed=3)
+        np.testing.assert_array_equal(t1, t2)
+        np.testing.assert_array_equal(p1, p2)
+
+    def test_different_seeds_differ(self):
+        _, t1 = wine_split("s,t", seed=3)
+        _, t2 = wine_split("s,t", seed=4)
+        assert not np.array_equal(t1, t2)

@@ -1,0 +1,107 @@
+"""Documentation and recorded-artifact integrity tests.
+
+* The usage examples embedded in docstrings must actually run (doctest).
+* The recorded figure results shipped in ``benchmarks/results/`` must stay
+  well-formed and complete — EXPERIMENTS.md's appendix is generated from
+  them.
+"""
+
+import doctest
+import json
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULTS_DIR = REPO_ROOT / "benchmarks" / "results"
+
+EXPECTED_FIGURES = {
+    "fig4", "fig5",
+    "fig6a", "fig6b", "fig6c",
+    "fig7a", "fig7b", "fig7c",
+    "fig8a", "fig8b", "fig8c",
+    "fig9a", "fig9b", "fig9c",
+    "fig10", "fig11",
+}
+
+DOCTEST_MODULES = [
+    "repro.core.api",
+    "repro.core.session",
+    "repro.data.categorical",
+    "repro.costs.calibration",
+]
+
+
+@pytest.mark.parametrize("module_name", DOCTEST_MODULES)
+def test_docstring_examples_run(module_name):
+    import importlib
+
+    module = importlib.import_module(module_name)
+    failures, attempted = doctest.testmod(
+        module, optionflags=doctest.ELLIPSIS
+    )[:2]
+    assert attempted > 0, f"{module_name} lost its doctest examples"
+    assert failures == 0
+
+
+class TestRecordedResults:
+    @pytest.fixture(scope="class")
+    def results(self):
+        if not RESULTS_DIR.is_dir():
+            pytest.skip("no recorded results in this checkout")
+        loaded = {}
+        for path in RESULTS_DIR.glob("fig*.json"):
+            loaded[path.stem] = json.loads(path.read_text())
+        if not loaded:
+            pytest.skip("no recorded results in this checkout")
+        return loaded
+
+    def test_every_figure_recorded(self, results):
+        assert EXPECTED_FIGURES <= set(results)
+
+    def test_series_are_rectangular(self, results):
+        for fid, data in results.items():
+            lengths = {
+                len(cells) for cells in data["series"].values()
+            }
+            assert len(lengths) == 1, f"{fid}: ragged series"
+            for cells in data["series"].values():
+                for cell in cells:
+                    assert cell["seconds"] >= 0.0
+                    assert isinstance(cell["counters"], dict)
+
+    def test_titles_record_the_scale(self, results):
+        for fid, data in results.items():
+            if fid in ("fig4", "fig5"):
+                continue  # wine figures run at the paper's own sizes
+            assert "paper /" in data["title"], fid
+
+    def test_progressive_figures_cover_both_modes(self, results):
+        for fid in ("fig5", "fig10", "fig11"):
+            labels = set(results[fid]["series"])
+            assert any(label.endswith("[paper]") for label in labels), fid
+            assert any(
+                not label.endswith("[paper]") for label in labels
+            ), fid
+
+    def test_documented_headline_shapes_hold(self, results):
+        """The strongest EXPERIMENTS.md claims, asserted against the data."""
+        # Fig 4: basic probing is the slowest algorithm on every combo.
+        fig4 = results["fig4"]["series"]
+        for i in range(len(fig4["basic-probing"])):
+            basic = fig4["basic-probing"][i]["seconds"]
+            for label, cells in fig4.items():
+                if label != "basic-probing":
+                    assert basic > cells[i]["seconds"], (label, i)
+        # Fig 6b: probing degrades with |T| while the join stays far below.
+        fig6b = results["fig6b"]["series"]
+        probing = [c["seconds"] for c in fig6b["probing"]]
+        join = [c["seconds"] for c in fig6b["join-nlb"]]
+        assert probing[-1] > 5 * probing[0]
+        assert all(j < p for j, p in zip(join, probing))
+        # Fig 10: paper-mode bounds are the faster (pruning) variant.
+        fig10 = results["fig10"]["series"]
+        assert (
+            fig10["join-clb[paper]"][0]["seconds"]
+            < fig10["join-clb"][0]["seconds"]
+        )

@@ -1,0 +1,127 @@
+"""Tests for Algorithm 3 (getDominatingSky) and its multi-root variant."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.dominators import (
+    dominators_brute_force,
+    get_dominating_skyline,
+    get_dominating_skyline_multi,
+)
+from repro.instrumentation import Counters
+from repro.rtree.tree import RTree
+from repro.skyline.bnl import bnl_skyline
+
+coord = st.floats(
+    min_value=0, max_value=1, allow_nan=False, allow_infinity=False
+)
+points_2d = st.lists(st.tuples(coord, coord), min_size=1, max_size=100)
+query = st.tuples(
+    st.floats(min_value=0, max_value=2, allow_nan=False),
+    st.floats(min_value=0, max_value=2, allow_nan=False),
+)
+
+
+def reference(points, product):
+    return sorted(bnl_skyline(dominators_brute_force(points, product)))
+
+
+class TestGetDominatingSkyline:
+    def test_empty_tree(self):
+        assert get_dominating_skyline(RTree(2), (1.0, 1.0)) == []
+
+    def test_no_dominators(self):
+        tree = RTree.bulk_load([(0.9, 0.9)])
+        assert get_dominating_skyline(tree, (0.5, 0.5)) == []
+
+    def test_equal_point_is_not_a_dominator(self):
+        tree = RTree.bulk_load([(0.5, 0.5)])
+        assert get_dominating_skyline(tree, (0.5, 0.5)) == []
+
+    def test_known_case(self):
+        pts = [(0.1, 0.9), (0.4, 0.4), (0.9, 0.1), (0.6, 0.6), (0.95, 0.95)]
+        tree = RTree.bulk_load(pts)
+        sky = get_dominating_skyline(tree, (0.9, 0.9))
+        # (0.6, 0.6) is a dominator but itself dominated by (0.4, 0.4);
+        # (0.9, 0.1) dominates despite the equal first coordinate.
+        assert sorted(sky) == [(0.1, 0.9), (0.4, 0.4), (0.9, 0.1)]
+
+    def test_matches_reference_random(self):
+        pts = np.random.default_rng(3).random((800, 2))
+        tree = RTree.bulk_load(pts)
+        for q in [(0.9, 0.9), (0.5, 0.5), (1.5, 1.5), (0.05, 0.05)]:
+            got = sorted(get_dominating_skyline(tree, q))
+            assert got == reference([tuple(p) for p in pts], q)
+
+    def test_matches_reference_3d(self):
+        pts = np.random.default_rng(4).random((500, 3))
+        tree = RTree.bulk_load(pts)
+        q = (0.8, 0.8, 0.8)
+        got = sorted(get_dominating_skyline(tree, q))
+        assert got == reference([tuple(p) for p in pts], q)
+
+    def test_results_in_mindist_order(self):
+        pts = np.random.default_rng(5).random((400, 2))
+        tree = RTree.bulk_load(pts)
+        sky = get_dominating_skyline(tree, (1.2, 1.2))
+        sums = [sum(p) for p in sky]
+        assert sums == sorted(sums)
+
+    def test_prunes_outside_adr(self):
+        pts = np.vstack(
+            [
+                np.random.default_rng(6).random((300, 2)) * 0.4,
+                0.6 + np.random.default_rng(7).random((300, 2)) * 0.4,
+            ]
+        )
+        tree = RTree.bulk_load(pts)
+        stats = Counters()
+        get_dominating_skyline(tree, (0.45, 0.45), stats)
+        # The upper cluster lies outside ADR and must not be scanned.
+        assert stats.points_scanned < 320
+
+    def test_fp_sum_collision_regression(self):
+        """Coordinate sums equal in fp, but one point dominates the other.
+
+        ``1.0 + 7e-206 == 1.0`` in double precision, so both candidates
+        share a heap key; the lexicographic tie-break must still pop the
+        dominator first.  Original hypothesis falsifying example.
+        """
+        points = [(1.0, 7.277832964817326e-206), (1.0, 0.0)]
+        tree = RTree.bulk_load(points)
+        got = sorted(get_dominating_skyline(tree, (1.0, 1.0)))
+        assert got == [(1.0, 0.0)]
+        assert got == reference(points, (1.0, 1.0))
+
+    @given(points_2d, query)
+    @settings(max_examples=60, deadline=None)
+    def test_matches_reference_property(self, points, q):
+        tree = RTree.bulk_load(points, max_entries=4)
+        got = sorted(set(get_dominating_skyline(tree, q)))
+        assert got == reference(points, q)
+
+
+class TestMultiRoot:
+    def test_empty_roots(self):
+        assert get_dominating_skyline_multi([], (1.0, 1.0)) == []
+
+    def test_leaf_entry_roots(self):
+        from repro.rtree.entry import Entry
+
+        roots = [
+            Entry.for_point((0.2, 0.2), 0),
+            Entry.for_point((0.8, 0.8), 1),
+            Entry.for_point((0.1, 0.5), 2),
+        ]
+        sky = get_dominating_skyline_multi(roots, (0.9, 0.9))
+        assert sorted(sky) == [(0.1, 0.5), (0.2, 0.2)]
+
+    def test_mixed_roots_match_single_tree(self):
+        pts = np.random.default_rng(8).random((256, 2))
+        tree = RTree.bulk_load(pts, max_entries=8)
+        roots = list(tree.root.entries)
+        q = (1.1, 1.1)
+        multi = sorted(get_dominating_skyline_multi(roots, q))
+        single = sorted(get_dominating_skyline(tree, q))
+        assert multi == single

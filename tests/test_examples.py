@@ -1,0 +1,72 @@
+"""Smoke tests: every example script must run and print sane output."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, timeout=300):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_examples_directory_contents():
+    names = {p.name for p in EXAMPLES.glob("*.py")}
+    assert {
+        "quickstart.py",
+        "hotel_upgrade.py",
+        "wine_quality.py",
+        "progressive_topk.py",
+        "single_catalog.py",
+        "market_session.py",
+    } <= names
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "upgrade phone" in out
+    assert "rank" in out
+
+
+def test_hotel_upgrade():
+    out = run_example("hotel_upgrade.py")
+    assert "Top-5 cheapest renovations" in out
+    assert out.count("#") >= 5
+
+
+@pytest.mark.slow
+def test_wine_quality():
+    out = run_example("wine_quality.py", timeout=600)
+    assert "costs agree: True" in out
+    for combo in ["'c,s'", "'c,t'", "'s,t'", "'c,s,t'"]:
+        assert f"combo {combo}" in out
+
+
+def test_progressive_topk():
+    out = run_example("progressive_topk.py", timeout=600)
+    assert "stopped after" in out
+    assert "never fully processed" in out
+
+
+@pytest.mark.slow
+def test_single_catalog():
+    out = run_example("single_catalog.py", timeout=600)
+    assert "cheapest 5 upgrades" in out
+    assert "next cheapest upgrade" in out
+
+
+def test_market_session():
+    out = run_example("market_session.py", timeout=600)
+    assert "rival flagship launched" in out
+    assert "committed upgrade" in out
+    assert "retired product" in out

@@ -1,0 +1,76 @@
+"""Tests for the D_D / D_I / D_A dimension classification (paper §III-B3)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.exceptions import DimensionalityError
+from repro.geometry.classify import classify_dimensions
+
+coord = st.floats(
+    min_value=0, max_value=10, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def corner_triples(draw, dims=3):
+    t_low = [draw(coord) for _ in range(dims)]
+    p_low = [draw(coord) for _ in range(dims)]
+    p_high = [max(draw(coord), pl) for pl in p_low]
+    return tuple(t_low), tuple(p_low), tuple(p_high)
+
+
+class TestCases:
+    def test_all_disadvantaged(self):
+        c = classify_dimensions((1.0, 1.0), (0.1, 0.1), (0.5, 0.5))
+        assert c.disadvantaged == (0, 1)
+        assert c.all_disadvantaged
+        assert not c.has_advantage
+
+    def test_all_advantaged(self):
+        c = classify_dimensions((0.0, 0.0), (0.5, 0.5), (0.9, 0.9))
+        assert c.advantaged == (0, 1)
+        assert c.has_advantage
+
+    def test_all_incomparable(self):
+        c = classify_dimensions((0.5, 0.5), (0.1, 0.1), (0.9, 0.9))
+        assert c.incomparable == (0, 1)
+        assert c.all_incomparable
+
+    def test_mixed(self):
+        c = classify_dimensions((1.0, 0.5, 0.0), (0.1, 0.1, 0.5), (0.5, 0.9, 0.9))
+        assert c.disadvantaged == (0,)
+        assert c.incomparable == (1,)
+        assert c.advantaged == (2,)
+
+    def test_boundary_equal_to_p_low_is_incomparable(self):
+        c = classify_dimensions((0.1,), (0.1,), (0.9,))
+        assert c.incomparable == (0,)
+
+    def test_boundary_equal_to_p_high_is_incomparable(self):
+        c = classify_dimensions((0.9,), (0.1,), (0.9,))
+        assert c.incomparable == (0,)
+
+    def test_dimension_mismatch_raises(self):
+        with pytest.raises(DimensionalityError):
+            classify_dimensions((0.0,), (0.0, 1.0), (1.0, 2.0))
+
+
+class TestProperties:
+    @given(corner_triples())
+    def test_partition_is_exhaustive_and_disjoint(self, triple):
+        t_low, p_low, p_high = triple
+        c = classify_dimensions(t_low, p_low, p_high)
+        seen = sorted(c.disadvantaged + c.incomparable + c.advantaged)
+        assert seen == list(range(len(t_low)))
+
+    @given(corner_triples())
+    def test_signature_identifies_split(self, triple):
+        t_low, p_low, p_high = triple
+        c = classify_dimensions(t_low, p_low, p_high)
+        assert c.signature == (c.disadvantaged, c.incomparable)
+
+    @given(corner_triples())
+    def test_dims_property(self, triple):
+        t_low, p_low, p_high = triple
+        c = classify_dimensions(t_low, p_low, p_high)
+        assert c.dims == len(t_low)

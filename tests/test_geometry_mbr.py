@@ -1,0 +1,131 @@
+"""Unit and property tests for MBRs."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.exceptions import DimensionalityError
+from repro.geometry.mbr import MBR
+
+coord = st.floats(
+    min_value=-50, max_value=50, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def mbrs_2d(draw):
+    a, b = draw(coord), draw(coord)
+    c, d = draw(coord), draw(coord)
+    return MBR((min(a, b), min(c, d)), (max(a, b), max(c, d)))
+
+
+class TestConstruction:
+    def test_inverted_rejected(self):
+        with pytest.raises(ValueError):
+            MBR((1, 0), (0, 1))
+
+    def test_mismatched_corners_rejected(self):
+        with pytest.raises(DimensionalityError):
+            MBR((0,), (1, 2))
+
+    def test_from_point_is_degenerate(self):
+        m = MBR.from_point((1, 2))
+        assert m.low == m.high == (1.0, 2.0)
+        assert m.area() == 0.0
+
+    def test_from_points_is_tight(self):
+        m = MBR.from_points([(0, 5), (3, 1), (2, 2)])
+        assert m.low == (0.0, 1.0)
+        assert m.high == (3.0, 5.0)
+
+    def test_from_points_empty_raises(self):
+        with pytest.raises(ValueError):
+            MBR.from_points([])
+
+    def test_union_all(self):
+        m = MBR.union_all([MBR((0, 0), (1, 1)), MBR((2, -1), (3, 0.5))])
+        assert m.low == (0.0, -1.0)
+        assert m.high == (3.0, 1.0)
+
+
+class TestMeasures:
+    def test_area(self):
+        assert MBR((0, 0), (2, 3)).area() == 6.0
+
+    def test_margin(self):
+        assert MBR((0, 0), (2, 3)).margin() == 5.0
+
+    def test_center(self):
+        assert MBR((0, 0), (2, 4)).center() == (1.0, 2.0)
+
+    def test_enlargement(self):
+        base = MBR((0, 0), (1, 1))
+        other = MBR((2, 0), (3, 1))
+        assert base.enlargement(other) == pytest.approx(2.0)
+
+    def test_overlap_area_disjoint(self):
+        assert MBR((0, 0), (1, 1)).overlap_area(MBR((2, 2), (3, 3))) == 0.0
+
+    def test_overlap_area_partial(self):
+        a = MBR((0, 0), (2, 2))
+        b = MBR((1, 1), (3, 3))
+        assert a.overlap_area(b) == pytest.approx(1.0)
+
+    def test_min_distance_inside_is_zero(self):
+        assert MBR((0, 0), (2, 2)).min_distance((1, 1)) == 0.0
+
+    def test_min_distance_outside(self):
+        assert MBR((0, 0), (1, 1)).min_distance((2, 2)) == pytest.approx(2.0)
+
+
+class TestPredicates:
+    def test_contains_point_boundary(self):
+        m = MBR((0, 0), (1, 1))
+        assert m.contains_point((0, 0))
+        assert m.contains_point((1, 1))
+        assert not m.contains_point((1.0001, 0.5))
+
+    def test_contains_mbr(self):
+        outer = MBR((0, 0), (4, 4))
+        inner = MBR((1, 1), (2, 2))
+        assert outer.contains(inner)
+        assert not inner.contains(outer)
+
+    def test_intersects_touching_edges(self):
+        a = MBR((0, 0), (1, 1))
+        b = MBR((1, 0), (2, 1))
+        assert a.intersects(b)
+
+    @given(mbrs_2d(), mbrs_2d())
+    def test_intersects_symmetric(self, a, b):
+        assert a.intersects(b) == b.intersects(a)
+
+    @given(mbrs_2d(), mbrs_2d())
+    def test_union_contains_both(self, a, b):
+        u = a.union(b)
+        assert u.contains(a) and u.contains(b)
+
+    @given(mbrs_2d(), mbrs_2d())
+    def test_union_area_at_least_max(self, a, b):
+        assert a.union(b).area() >= max(a.area(), b.area()) - 1e-9
+
+    @given(mbrs_2d(), mbrs_2d())
+    def test_overlap_bounded_by_each_area(self, a, b):
+        ov = a.overlap_area(b)
+        assert ov <= a.area() + 1e-9
+        assert ov <= b.area() + 1e-9
+
+    @given(mbrs_2d(), st.tuples(coord, coord))
+    def test_extended_covers_point(self, m, p):
+        assert m.extended(p).contains_point(p)
+
+
+class TestDunder:
+    def test_equality_and_hash(self):
+        a = MBR((0, 0), (1, 1))
+        b = MBR((0, 0), (1, 1))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != MBR((0, 0), (1, 2))
+
+    def test_repr_mentions_corners(self):
+        assert "low" in repr(MBR((0, 0), (1, 1)))

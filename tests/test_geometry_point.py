@@ -1,0 +1,101 @@
+"""Unit and property tests for the dominance primitives."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.exceptions import DimensionalityError
+from repro.geometry.point import (
+    dimensionality,
+    dominates,
+    dominates_or_equal,
+    is_comparable,
+    strictly_dominates,
+    validate_point,
+)
+
+coords = st.floats(
+    min_value=-100, max_value=100, allow_nan=False, allow_infinity=False
+)
+points_3d = st.tuples(coords, coords, coords)
+
+
+class TestDominates:
+    def test_strictly_better_everywhere(self):
+        assert dominates((0, 0), (1, 1))
+
+    def test_better_on_one_dimension_suffices(self):
+        assert dominates((0, 5), (1, 5))
+
+    def test_equal_points_do_not_dominate(self):
+        assert not dominates((1, 2), (1, 2))
+
+    def test_incomparable_points(self):
+        assert not dominates((0, 1), (1, 0))
+        assert not dominates((1, 0), (0, 1))
+
+    def test_never_self_dominates(self):
+        p = (3.5, -2.0, 7.0)
+        assert not dominates(p, p)
+
+    @given(points_3d, points_3d)
+    def test_antisymmetry(self, p, q):
+        assert not (dominates(p, q) and dominates(q, p))
+
+    @given(points_3d, points_3d, points_3d)
+    def test_transitivity(self, p, q, r):
+        if dominates(p, q) and dominates(q, r):
+            assert dominates(p, r)
+
+    @given(points_3d, points_3d)
+    def test_dominates_implies_weak(self, p, q):
+        if dominates(p, q):
+            assert dominates_or_equal(p, q)
+
+    @given(points_3d, points_3d)
+    def test_strict_implies_dominates(self, p, q):
+        if strictly_dominates(p, q):
+            assert dominates(p, q)
+
+    @given(points_3d, points_3d)
+    def test_comparability_matches_either_direction(self, p, q):
+        assert is_comparable(p, q) == (dominates(p, q) or dominates(q, p))
+
+
+class TestWeakDominance:
+    def test_equal_points_weakly_dominate(self):
+        assert dominates_or_equal((1, 2), (1, 2))
+
+    def test_violating_dimension_rejects(self):
+        assert not dominates_or_equal((2, 0), (1, 5))
+
+
+class TestDimensionality:
+    def test_uniform(self):
+        assert dimensionality([(1, 2), (3, 4)]) == 2
+
+    def test_mixed_raises(self):
+        with pytest.raises(DimensionalityError):
+            dimensionality([(1, 2), (3, 4, 5)])
+
+    def test_empty_raises(self):
+        with pytest.raises(DimensionalityError):
+            dimensionality([])
+
+
+class TestValidatePoint:
+    def test_converts_to_float_tuple(self):
+        assert validate_point([1, 2]) == (1.0, 2.0)
+
+    def test_dims_check(self):
+        with pytest.raises(DimensionalityError):
+            validate_point((1.0, 2.0), dims=3)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            validate_point((1.0, math.nan))
+
+    def test_rejects_infinity(self):
+        with pytest.raises(ValueError):
+            validate_point((math.inf, 0.0))

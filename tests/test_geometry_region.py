@@ -1,0 +1,65 @@
+"""Tests for anti-dominant-region predicates."""
+
+from hypothesis import given, strategies as st
+
+from repro.geometry.mbr import MBR
+from repro.geometry.point import dominates
+from repro.geometry.region import (
+    adr_contains,
+    mbr_overlaps_adr,
+    point_in_adr,
+)
+
+coord = st.floats(
+    min_value=0, max_value=10, allow_nan=False, allow_infinity=False
+)
+pt = st.tuples(coord, coord)
+
+
+class TestPointInAdr:
+    def test_dominator_is_inside(self):
+        assert point_in_adr((0.2, 0.3), (1.0, 1.0))
+
+    def test_equal_point_is_inside_but_not_dominating(self):
+        t = (1.0, 1.0)
+        assert point_in_adr(t, t)
+        assert not dominates(t, t)
+
+    def test_worse_on_one_dim_is_outside(self):
+        assert not point_in_adr((0.2, 1.5), (1.0, 1.0))
+
+    @given(pt, pt)
+    def test_every_dominator_lies_inside(self, p, t):
+        if dominates(p, t):
+            assert point_in_adr(p, t)
+
+
+class TestMbrOverlapsAdr:
+    def test_overlap_iff_low_corner_weakly_dominates(self):
+        corner = (1.0, 1.0)
+        assert mbr_overlaps_adr(MBR((0.5, 0.5), (2.0, 2.0)), corner)
+        assert not mbr_overlaps_adr(MBR((1.5, 0.0), (2.0, 2.0)), corner)
+
+    def test_boundary_mbr_overlaps(self):
+        assert mbr_overlaps_adr(MBR((1.0, 1.0), (2.0, 2.0)), (1.0, 1.0))
+
+    @given(st.lists(pt, min_size=1, max_size=6), pt)
+    def test_no_overlap_implies_no_dominators(self, points, t):
+        box = MBR.from_points(points)
+        if not mbr_overlaps_adr(box, t):
+            assert not any(dominates(p, t) for p in points)
+
+
+class TestAdrContains:
+    def test_fully_contained_box(self):
+        assert adr_contains((1.0, 1.0), MBR((0.1, 0.1), (0.9, 0.9)))
+
+    def test_protruding_box(self):
+        assert not adr_contains((1.0, 1.0), MBR((0.1, 0.1), (0.9, 1.1)))
+
+    @given(st.lists(pt, min_size=1, max_size=6), pt)
+    def test_containment_implies_weak_dominance_of_corner(self, points, t):
+        box = MBR.from_points(points)
+        if adr_contains(t, box):
+            for p in points:
+                assert all(a <= b for a, b in zip(p, t))

@@ -1,0 +1,58 @@
+"""Tests for counters, reports, and timers."""
+
+import time
+
+from repro.instrumentation import Counters, RunReport, Timer
+
+
+class TestCounters:
+    def test_start_at_zero(self):
+        c = Counters()
+        assert all(v == 0 for v in c.as_dict().values())
+
+    def test_as_dict_covers_all_slots(self):
+        c = Counters()
+        assert set(c.as_dict()) == set(Counters.__slots__)
+
+    def test_merge(self):
+        a, b = Counters(), Counters()
+        a.node_accesses = 3
+        b.node_accesses = 4
+        b.dominance_tests = 7
+        a.merge(b)
+        assert a.node_accesses == 7
+        assert a.dominance_tests == 7
+
+    def test_reset(self):
+        c = Counters()
+        c.heap_pops = 9
+        c.reset()
+        assert c.heap_pops == 0
+
+    def test_repr_shows_only_nonzero(self):
+        c = Counters()
+        c.upgrade_calls = 2
+        text = repr(c)
+        assert "upgrade_calls" in text
+        assert "node_accesses" not in text
+
+
+class TestTimer:
+    def test_measures_elapsed(self):
+        with Timer() as t:
+            time.sleep(0.01)
+        assert t.elapsed_s >= 0.009
+
+
+class TestRunReport:
+    def test_defaults(self):
+        report = RunReport()
+        assert report.algorithm == ""
+        assert report.elapsed_s == 0.0
+        assert isinstance(report.counters, Counters)
+        assert report.extras == {}
+
+    def test_independent_counter_instances(self):
+        a, b = RunReport(), RunReport()
+        a.counters.heap_pops = 5
+        assert b.counters.heap_pops == 0

@@ -1,0 +1,71 @@
+"""Moderate-scale integration tests (marked slow).
+
+The unit suite fuzzes small instances; these runs exercise the realistic
+regime — tens of thousands of competitors, thousands of products, bulk
+loaded trees — and cross-check the join against the amortized batch
+probing baseline (itself unit-verified against improved probing and the
+brute-force oracle on small instances).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.join import JoinUpgrader
+from repro.core.probing import batch_probing
+from repro.core.verify import verify_results
+from repro.costs.model import paper_cost_model
+from repro.data.generators import paper_workload
+from repro.rtree.tree import RTree
+from repro.rtree.validate import validate_rtree
+
+pytestmark = pytest.mark.slow
+
+SETTINGS = [
+    ("independent", 20_000, 2_000, 3),
+    ("anti_correlated", 20_000, 2_000, 2),
+    ("correlated", 20_000, 2_000, 3),
+]
+
+
+@pytest.mark.parametrize(
+    "distribution,p_size,t_size,dims",
+    SETTINGS,
+    ids=[s[0] for s in SETTINGS],
+)
+def test_join_matches_batch_probing_at_scale(
+    distribution, p_size, t_size, dims
+):
+    competitors, products = paper_workload(
+        distribution, p_size, t_size, dims, seed=2026
+    )
+    model = paper_cost_model(dims)
+    tree_p = RTree.bulk_load(competitors)
+    tree_t = RTree.bulk_load(products)
+    validate_rtree(tree_p, check_fill=False)
+    validate_rtree(tree_t, check_fill=False)
+
+    reference = batch_probing(tree_p, products, model, k=25)
+    verify_results(reference.results, competitors, model)
+
+    for bound in ("nlb", "clb", "alb", "max"):
+        outcome = JoinUpgrader(tree_p, tree_t, model, bound=bound).run(25)
+        np.testing.assert_allclose(
+            outcome.costs, reference.costs, rtol=1e-9
+        ), bound
+        assert outcome.costs == sorted(outcome.costs)
+
+
+def test_mixed_overlap_layout_at_scale():
+    """T overlapping P's domain: zero-cost products, ties, partial bounds."""
+    rng = np.random.default_rng(31)
+    competitors = rng.random((30_000, 3))
+    products = rng.random((3_000, 3)) * 1.4
+    model = paper_cost_model(3)
+    tree_p = RTree.bulk_load(competitors)
+    tree_t = RTree.bulk_load(products)
+    reference = batch_probing(tree_p, products, model, k=50)
+    outcome = JoinUpgrader(tree_p, tree_t, model, bound="clb").run(50)
+    np.testing.assert_allclose(outcome.costs, reference.costs, rtol=1e-9)
+    verify_results(outcome.results, competitors, model)
+    # The undominated fraction must surface first at cost zero.
+    assert outcome.results[0].cost == 0.0

@@ -1,0 +1,136 @@
+"""Tests for the market generators, paper tables, and chart rendering."""
+
+import numpy as np
+import pytest
+
+from repro.bench.figures import run_figure
+from repro.bench.render import render_series_chart, render_speedups
+from repro.bench.tables import TABLE_IDS, format_table
+from repro.core.api import top_k_upgrades
+from repro.data.markets import (
+    HOTEL_MARKET_ORIENTATIONS,
+    PHONE_MARKET_ORIENTATIONS,
+    hotel_market,
+    phone_market,
+    split_by_brand,
+)
+from repro.data.normalize import orient_minimize
+from repro.exceptions import ConfigurationError
+
+
+class TestPhoneMarket:
+    def test_shapes_and_ranges(self):
+        raw, orientations = phone_market(500, seed=1)
+        assert raw.shape == (500, 3)
+        assert orientations == PHONE_MARKET_ORIENTATIONS
+        weight, standby, camera = raw[:, 0], raw[:, 1], raw[:, 2]
+        assert weight.min() >= 70.0
+        assert standby.min() > 0
+        assert camera.min() >= 0.3
+
+    def test_weight_battery_tradeoff(self):
+        raw, _ = phone_market(3000, seed=2)
+        rho = np.corrcoef(raw[:, 0], raw[:, 1])[0, 1]
+        assert rho > 0.5  # heavier phones carry bigger batteries
+
+    def test_deterministic(self):
+        a, _ = phone_market(100, seed=5)
+        b, _ = phone_market(100, seed=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_invalid_n(self):
+        with pytest.raises(ConfigurationError):
+            phone_market(0)
+
+
+class TestHotelMarket:
+    def test_shapes_and_ranges(self):
+        raw, orientations = hotel_market(400, seed=1)
+        assert raw.shape == (400, 3)
+        assert orientations == HOTEL_MARKET_ORIENTATIONS
+        assert raw[:, 0].min() >= 25.0          # nightly rate floor
+        assert raw[:, 2].min() >= 3.0           # rating floor
+        assert raw[:, 2].max() <= 10.0
+
+    def test_rating_price_relation(self):
+        raw, _ = hotel_market(3000, seed=2)
+        rho = np.corrcoef(raw[:, 0], raw[:, 2])[0, 1]
+        assert rho > 0.4  # better-rated hotels charge more
+
+
+class TestSplitByBrand:
+    def test_partition(self):
+        raw, _ = hotel_market(200, seed=3)
+        competitors, own, ids = split_by_brand(raw, 0.2, seed=3)
+        assert len(own) == 40
+        assert len(competitors) == 160
+        np.testing.assert_array_equal(raw[ids], own)
+
+    def test_fraction_validation(self):
+        raw, _ = hotel_market(10, seed=3)
+        with pytest.raises(ConfigurationError):
+            split_by_brand(raw, 0.0)
+        with pytest.raises(ConfigurationError):
+            split_by_brand(raw, 1.0)
+
+    def test_end_to_end_upgrade_pipeline(self):
+        raw, orientations = phone_market(400, seed=7)
+        oriented = orient_minimize(raw, orientations)
+        competitors, own, _ = split_by_brand(oriented, 0.1, seed=7)
+        from repro.costs.attribute import LinearCost
+        from repro.costs.model import CostModel
+
+        model = CostModel([LinearCost(0.0, 1.0)] * 3)
+        outcome = top_k_upgrades(
+            competitors, own, k=3, cost_model=model, method="join"
+        )
+        assert len(outcome.results) == 3
+        assert outcome.costs == sorted(outcome.costs)
+
+
+class TestPaperTables:
+    @pytest.mark.parametrize("table_id", TABLE_IDS)
+    def test_renders(self, table_id):
+        text = format_table(table_id)
+        assert f"Table {table_id}" in text
+
+    def test_table_i_values(self):
+        text = format_table("I")
+        assert "phone 1" in text and "140" in text and "200" in text
+
+    def test_table_iii_combos(self):
+        text = format_table("III")
+        for combo in ("c,s", "c,t", "s,t", "c,s,t"):
+            assert combo in text
+
+    def test_table_iv_defaults_marked(self):
+        text = format_table("IV")
+        assert "*1000000*" in text
+        assert "*2*" in text
+
+    def test_unknown_table(self):
+        with pytest.raises(ConfigurationError):
+            format_table("VI")
+
+
+class TestRendering:
+    @pytest.fixture(scope="class")
+    def figure(self):
+        return run_figure("fig9c", scale=2000, quick=True)
+
+    def test_chart_contains_bars_and_values(self, figure):
+        chart = render_series_chart(figure)
+        assert "█" in chart
+        assert "join-alb" in chart
+        assert "log scale" in chart
+
+    def test_speedups(self, figure):
+        rows = render_speedups(figure, baseline="join-nlb")
+        assert len(rows) == 2  # quick mode: endpoints
+        for _, factors in rows:
+            assert set(factors) == {"join-clb", "join-alb"}
+            assert all(f > 0 for f in factors.values())
+
+    def test_speedups_unknown_baseline(self, figure):
+        with pytest.raises(KeyError):
+            render_speedups(figure, baseline="nope")

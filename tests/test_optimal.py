@@ -1,0 +1,177 @@
+"""Tests settling the §VI optimality question for Algorithm 1.
+
+Claims verified here (see :mod:`repro.core.optimal`):
+
+1. in 2-d, verbatim Algorithm 1 is optimal (matches both the independent
+   staircase sweep and the exhaustive grid), and the extended tail
+   candidates coincide with existing option-A candidates (no change);
+2. in 3-d, Algorithm 1 is suboptimal even with the extension — a concrete
+   witness instance with an ~11% cost gap is pinned down.
+"""
+
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.core.optimal import (
+    optimal_upgrade_2d,
+    optimal_upgrade_exhaustive,
+)
+from repro.core.types import UpgradeConfig
+from repro.core.upgrade import upgrade
+from repro.costs.attribute import LinearCost
+from repro.costs.model import CostModel, paper_cost_model
+from repro.exceptions import ConfigurationError, DimensionalityError
+from repro.geometry.point import dominates
+from repro.skyline.bnl import bnl_skyline
+
+coord = st.floats(
+    min_value=0.05, max_value=1.0, allow_nan=False, allow_infinity=False
+)
+EXTENDED = UpgradeConfig(extended=True)
+
+
+def dominator_skyline(points, product):
+    return bnl_skyline([p for p in points if dominates(p, product)])
+
+
+class TestOptimal2d:
+    def test_empty_skyline(self, cost_model_2d):
+        assert optimal_upgrade_2d([], (1.0, 1.0), cost_model_2d) == (
+            0.0,
+            (1.0, 1.0),
+        )
+
+    def test_rejects_wrong_dims(self, cost_model_2d):
+        with pytest.raises(DimensionalityError):
+            optimal_upgrade_2d([], (1.0, 1.0, 1.0), cost_model_2d)
+        with pytest.raises(DimensionalityError):
+            optimal_upgrade_2d([(0.5, 0.5, 0.5)], (1.0, 1.0), cost_model_2d)
+
+    def test_result_escapes_and_costs_check(self, cost_model_2d):
+        skyline = [(0.1, 0.8), (0.5, 0.5), (0.8, 0.1)]
+        cost, up = optimal_upgrade_2d(skyline, (1.0, 1.0), cost_model_2d)
+        for s in skyline:
+            assert not dominates(s, up)
+        assert cost == pytest.approx(
+            cost_model_2d.upgrade_cost((1.0, 1.0), up)
+        )
+
+    @given(
+        st.lists(st.tuples(coord, coord), min_size=1, max_size=15),
+        st.tuples(
+            st.floats(min_value=1.05, max_value=2.0),
+            st.floats(min_value=1.05, max_value=2.0),
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_exhaustive_grid(self, points, product):
+        skyline = dominator_skyline(points, product)
+        assume(skyline)
+        model = paper_cost_model(2)
+        sweep_cost, _ = optimal_upgrade_2d(skyline, product, model)
+        grid_cost, _ = optimal_upgrade_exhaustive(skyline, product, model)
+        assert sweep_cost == pytest.approx(grid_cost, abs=1e-9)
+
+    @given(
+        st.lists(st.tuples(coord, coord), min_size=1, max_size=15),
+        st.tuples(
+            st.floats(min_value=1.05, max_value=2.0),
+            st.floats(min_value=1.05, max_value=2.0),
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_verbatim_algorithm1_is_optimal_in_2d(self, points, product):
+        skyline = dominator_skyline(points, product)
+        assume(skyline)
+        model = paper_cost_model(2)
+        alg1_cost, _ = upgrade(skyline, product, model)
+        optimal_cost, _ = optimal_upgrade_2d(skyline, product, model)
+        assert alg1_cost == pytest.approx(optimal_cost, abs=1e-9)
+
+    @given(
+        st.lists(st.tuples(coord, coord), min_size=1, max_size=15),
+        st.tuples(
+            st.floats(min_value=1.05, max_value=2.0),
+            st.floats(min_value=1.05, max_value=2.0),
+        ),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_tail_extension_changes_nothing_in_2d(self, points, product):
+        skyline = dominator_skyline(points, product)
+        assume(skyline)
+        model = CostModel(
+            [LinearCost(1000.0, 999.0), LinearCost(1.0, 0.5)]
+        )
+        verbatim_cost, _ = upgrade(skyline, product, model)
+        extended_cost, _ = upgrade(skyline, product, model, EXTENDED)
+        assert extended_cost == pytest.approx(verbatim_cost, abs=1e-9)
+
+
+class TestOptimalExhaustive:
+    def test_matches_definition_small(self, cost_model_3d):
+        skyline = [(0.2, 0.5, 0.7), (0.5, 0.2, 0.6), (0.7, 0.6, 0.2)]
+        product = (1.0, 1.0, 1.0)
+        cost, up = optimal_upgrade_exhaustive(
+            skyline, product, cost_model_3d
+        )
+        for s in skyline:
+            assert not dominates(s, up)
+        # Never worse than what Algorithm 1 reports.
+        alg1_cost, _ = upgrade(skyline, product, cost_model_3d, EXTENDED)
+        assert cost <= alg1_cost + 1e-12
+
+    def test_grid_cap(self, cost_model_3d):
+        skyline = bnl_skyline(
+            [(0.01 * i, 0.5, 1.0 - 0.01 * i) for i in range(60)]
+        )
+        with pytest.raises(ConfigurationError):
+            optimal_upgrade_exhaustive(
+                skyline, (1.5, 1.5, 1.5), cost_model_3d, max_grid=100
+            )
+
+    def test_algorithm1_suboptimal_in_3d_witness(self):
+        """A pinned 3-d instance where even extended Algorithm 1 loses.
+
+        The cheapest escape mixes coordinates of *different* skyline
+        points per dimension; Algorithm 1 always matches a single pivot on
+        all non-sort dimensions.
+        """
+        model = paper_cost_model(3, offset=0.5)
+        skyline = [
+            (0.10, 0.90, 0.90),
+            (0.90, 0.10, 0.90),
+            (0.90, 0.90, 0.10),
+            (0.50, 0.50, 0.50),
+        ]
+        product = (1.0, 1.0, 1.0)
+        assert sorted(bnl_skyline(skyline)) == sorted(skyline)
+        alg1_cost, _ = upgrade(skyline, product, model, EXTENDED)
+        optimal_cost, optimal_point = optimal_upgrade_exhaustive(
+            skyline, product, model
+        )
+        for s in skyline:
+            assert not dominates(s, optimal_point)
+        assert optimal_cost < alg1_cost - 1e-9
+
+
+class TestSuboptimalityGapProperty:
+    @given(
+        st.lists(
+            st.tuples(coord, coord, coord), min_size=1, max_size=8
+        ),
+        st.tuples(
+            st.floats(min_value=1.05, max_value=2.0),
+            st.floats(min_value=1.05, max_value=2.0),
+            st.floats(min_value=1.05, max_value=2.0),
+        ),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_algorithm1_never_beats_the_optimum(self, points, product):
+        skyline = dominator_skyline(points, product)
+        assume(0 < len(skyline) <= 8)
+        model = paper_cost_model(3)
+        alg1_cost, _ = upgrade(skyline, product, model, EXTENDED)
+        optimal_cost, _ = optimal_upgrade_exhaustive(
+            skyline, product, model
+        )
+        assert optimal_cost <= alg1_cost + 1e-9

@@ -1,0 +1,88 @@
+"""The paper's running example (Tables I-II) as executable assertions.
+
+The introduction states, for the oriented phone data:
+
+* phones 1, 3, 5 form the skyline of P;
+* phone A is dominated by phones 1, 3, 5, and 6;
+* phone B is dominated by all phones in P;
+* phone C is dominated by all phones in P except phone 1;
+* phone D is dominated by phones 1, 4, and 5.
+"""
+
+import pytest
+
+from repro.core.api import top_k_upgrades
+from repro.core.verify import verify_results
+from repro.data.phones import phone_example
+from repro.geometry.point import dominates
+from repro.skyline.bnl import bnl_skyline
+
+
+@pytest.fixture(scope="module")
+def phones():
+    p_points, t_points, p_names, t_names = phone_example()
+    p = {name: tuple(pt) for name, pt in zip(p_names, p_points)}
+    t = {name: tuple(pt) for name, pt in zip(t_names, t_points)}
+    return p, t
+
+
+class TestTableFacts:
+    def test_skyline_of_p(self, phones):
+        p, _ = phones
+        sky = set(bnl_skyline(list(p.values())))
+        expected = {p["phone 1"], p["phone 3"], p["phone 5"]}
+        assert sky == expected
+
+    def test_phone_a_dominators(self, phones):
+        p, t = phones
+        dominators = {
+            name for name, pt in p.items() if dominates(pt, t["phone A"])
+        }
+        assert dominators == {"phone 1", "phone 3", "phone 5", "phone 6"}
+
+    def test_phone_b_dominated_by_all(self, phones):
+        p, t = phones
+        assert all(dominates(pt, t["phone B"]) for pt in p.values())
+
+    def test_phone_c_dominators(self, phones):
+        p, t = phones
+        dominators = {
+            name for name, pt in p.items() if dominates(pt, t["phone C"])
+        }
+        assert dominators == set(p) - {"phone 1"}
+
+    def test_phone_d_dominators(self, phones):
+        p, t = phones
+        dominators = {
+            name for name, pt in p.items() if dominates(pt, t["phone D"])
+        }
+        assert dominators == {"phone 1", "phone 4", "phone 5"}
+
+
+class TestUpgradingThePhones:
+    def test_every_phone_upgradable(self, phones, linear_model_3d):
+        p, t = phones
+        competitors = list(p.values())
+        products = list(t.values())
+        outcome = top_k_upgrades(
+            competitors,
+            products,
+            k=4,
+            cost_model=linear_model_3d,
+            method="join",
+        )
+        assert len(outcome.results) == 4
+        assert all(r.cost > 0 for r in outcome.results)
+        verify_results(outcome.results, competitors, linear_model_3d)
+
+    def test_join_and_probing_agree_on_phones(self, phones, linear_model_3d):
+        p, t = phones
+        join = top_k_upgrades(
+            list(p.values()), list(t.values()), k=4,
+            cost_model=linear_model_3d, method="join",
+        )
+        probing = top_k_upgrades(
+            list(p.values()), list(t.values()), k=4,
+            cost_model=linear_model_3d, method="probing",
+        )
+        assert join.costs == pytest.approx(probing.costs)

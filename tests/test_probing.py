@@ -1,0 +1,168 @@
+"""Tests for the probing algorithms (Algorithm 2 and its improved variant)."""
+
+import numpy as np
+import pytest
+
+from repro.core.probing import (
+    basic_probing,
+    batch_probing,
+    improved_probing,
+)
+from repro.core.verify import brute_force_topk, verify_results
+from repro.costs.model import paper_cost_model
+from repro.exceptions import ConfigurationError
+from repro.rtree.tree import RTree
+
+from conftest import make_mixed_instance
+
+
+@pytest.fixture()
+def instance():
+    competitors, products = make_mixed_instance(seed=101)
+    tree = RTree.bulk_load(competitors)
+    model = paper_cost_model(2)
+    return competitors, products, tree, model
+
+
+class TestBasicProbing:
+    def test_matches_oracle(self, instance):
+        competitors, products, tree, model = instance
+        oracle = brute_force_topk(competitors, products, model, k=10)
+        outcome = basic_probing(tree, products, model, k=10)
+        np.testing.assert_allclose(
+            [r.cost for r in outcome.results], [r.cost for r in oracle]
+        )
+        verify_results(outcome.results, competitors, model)
+
+    def test_invalid_k(self, instance):
+        _, products, tree, model = instance
+        with pytest.raises(ConfigurationError):
+            basic_probing(tree, products, model, k=0)
+
+    def test_k_exceeding_t_returns_all(self, instance):
+        _, products, tree, model = instance
+        outcome = basic_probing(tree, products, model, k=10_000)
+        assert len(outcome.results) == len(products)
+
+    def test_results_sorted_by_cost(self, instance):
+        _, products, tree, model = instance
+        outcome = basic_probing(tree, products, model, k=20)
+        costs = outcome.costs
+        assert costs == sorted(costs)
+
+    def test_report_populated(self, instance):
+        _, products, tree, model = instance
+        outcome = basic_probing(tree, products, model, k=1)
+        assert outcome.report.algorithm == "probing/basic"
+        assert outcome.report.elapsed_s > 0
+        assert outcome.report.counters.node_accesses > 0
+        assert outcome.report.counters.upgrade_calls == len(products)
+
+    def test_empty_competitor_tree_requires_domain(self, instance):
+        _, products, _, model = instance
+        empty = RTree(2)
+        with pytest.raises(ConfigurationError):
+            basic_probing(empty, products, model, k=1)
+        outcome = basic_probing(
+            empty, products, model, k=2, domain_low=(0.0, 0.0)
+        )
+        assert all(r.cost == 0.0 for r in outcome.results)
+
+
+class TestImprovedProbing:
+    def test_matches_oracle(self, instance):
+        competitors, products, tree, model = instance
+        oracle = brute_force_topk(competitors, products, model, k=10)
+        outcome = improved_probing(tree, products, model, k=10)
+        np.testing.assert_allclose(
+            [r.cost for r in outcome.results], [r.cost for r in oracle]
+        )
+        verify_results(outcome.results, competitors, model)
+
+    def test_matches_basic_probing_costs(self, instance):
+        competitors, products, tree, model = instance
+        basic = basic_probing(tree, products, model, k=15)
+        improved = improved_probing(tree, products, model, k=15)
+        np.testing.assert_allclose(basic.costs, improved.costs)
+
+    def test_scans_fewer_points_than_basic(self, instance):
+        _, products, tree, model = instance
+        basic = basic_probing(tree, products, model, k=1)
+        improved = improved_probing(tree, products, model, k=1)
+        assert (
+            improved.report.counters.points_scanned
+            < basic.report.counters.points_scanned
+        )
+
+    def test_empty_competitor_tree(self, instance):
+        _, products, _, model = instance
+        outcome = improved_probing(RTree(2), products, model, k=3)
+        assert all(r.cost == 0.0 for r in outcome.results)
+        assert all(r.already_competitive for r in outcome.results)
+
+    def test_invalid_k(self, instance):
+        _, products, tree, model = instance
+        with pytest.raises(ConfigurationError):
+            improved_probing(tree, products, model, k=-1)
+
+    def test_3d_instance(self):
+        competitors, products = make_mixed_instance(seed=77, dims=3)
+        tree = RTree.bulk_load(competitors)
+        model = paper_cost_model(3)
+        oracle = brute_force_topk(competitors, products, model, k=5)
+        outcome = improved_probing(tree, products, model, k=5)
+        np.testing.assert_allclose(
+            [r.cost for r in outcome.results], [r.cost for r in oracle]
+        )
+
+
+class TestBatchProbing:
+    def test_matches_oracle(self, instance):
+        competitors, products, tree, model = instance
+        oracle = brute_force_topk(competitors, products, model, k=10)
+        outcome = batch_probing(tree, products, model, k=10)
+        np.testing.assert_allclose(
+            outcome.costs, [r.cost for r in oracle]
+        )
+        verify_results(outcome.results, competitors, model)
+
+    def test_matches_improved_probing_exactly(self, instance):
+        _, products, tree, model = instance
+        improved = improved_probing(tree, products, model, k=20)
+        batch = batch_probing(tree, products, model, k=20)
+        np.testing.assert_allclose(batch.costs, improved.costs)
+        assert [r.record_id for r in batch.results] == [
+            r.record_id for r in improved.results
+        ]
+
+    def test_empty_competitor_tree(self, instance):
+        _, products, _, model = instance
+        outcome = batch_probing(RTree(2), products, model, k=3)
+        assert all(r.cost == 0.0 for r in outcome.results)
+
+    def test_invalid_k(self, instance):
+        _, products, tree, model = instance
+        with pytest.raises(ConfigurationError):
+            batch_probing(tree, products, model, k=0)
+
+    def test_does_far_less_dominance_work(self, instance):
+        _, products, tree, model = instance
+        improved = improved_probing(tree, products, model, k=1)
+        batch = batch_probing(tree, products, model, k=1)
+        assert (
+            batch.report.counters.dominance_tests
+            < improved.report.counters.dominance_tests
+        )
+
+    def test_report_label(self, instance):
+        _, products, tree, model = instance
+        outcome = batch_probing(tree, products, model, k=1)
+        assert outcome.report.algorithm == "probing/batch"
+
+    def test_3d_agreement(self):
+        competitors, products = make_mixed_instance(seed=88, dims=3)
+        tree = RTree.bulk_load(competitors)
+        model = paper_cost_model(3)
+        improved = improved_probing(tree, products, model, k=8)
+        batch = batch_probing(tree, products, model, k=8)
+        np.testing.assert_allclose(batch.costs, improved.costs)

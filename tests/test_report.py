@@ -1,0 +1,82 @@
+"""Tests for the Markdown report generator."""
+
+import json
+
+import pytest
+
+from repro.bench.report import (
+    figure_markdown,
+    load_results,
+    render_report,
+    speedup_line,
+)
+from repro.exceptions import ConfigurationError
+
+
+@pytest.fixture()
+def results_dir(tmp_path):
+    data = {
+        "figure_id": "fig6a",
+        "title": "vary |P|",
+        "xlabel": "|P|",
+        "series": {
+            "probing": [
+                {"x": "100", "seconds": 2.0, "counters": {}},
+                {"x": "200", "seconds": 4.0, "counters": {}},
+            ],
+            "join-nlb": [
+                {"x": "100", "seconds": 0.5, "counters": {}},
+                {"x": "200", "seconds": 0.5, "counters": {}},
+            ],
+        },
+        "notes": ["scaled down"],
+    }
+    (tmp_path / "fig6a.json").write_text(json.dumps(data))
+    return tmp_path
+
+
+class TestLoadResults:
+    def test_loads_by_figure_id(self, results_dir):
+        results = load_results(results_dir)
+        assert set(results) == {"fig6a"}
+
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            load_results(tmp_path / "nope")
+
+    def test_empty_directory(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            load_results(tmp_path)
+
+
+class TestRendering:
+    def test_figure_markdown_table(self, results_dir):
+        md = figure_markdown(load_results(results_dir)["fig6a"])
+        assert "### fig6a" in md
+        assert "| |P| | probing | join-nlb |" in md
+        assert "| 100 | 2.000s | 0.500s |" in md
+        assert "*scaled down*" in md
+
+    def test_speedup_line(self, results_dir):
+        data = load_results(results_dir)["fig6a"]
+        line = speedup_line(data, "probing", "join-nlb")
+        assert "4.0x-8.0x faster" in line and "join-nlb" in line
+
+    def test_speedup_line_missing_series(self, results_dir):
+        data = load_results(results_dir)["fig6a"]
+        assert speedup_line(data, "probing", "ghost") == ""
+
+    def test_render_report(self, results_dir):
+        report = render_report(results_dir)
+        assert report.startswith("## Measured data")
+        assert "fig6a" in report
+
+    def test_render_real_results_if_present(self):
+        import pathlib
+
+        real = pathlib.Path("benchmarks/results")
+        if not any(real.glob("fig*.json")):
+            pytest.skip("no recorded results in this checkout")
+        report = render_report(real)
+        assert "fig4" in report
+        assert report.count("###") >= 10

@@ -1,0 +1,161 @@
+"""R-tree construction tests: dynamic insertion and STR bulk loading."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import ConfigurationError, EmptyDatasetError
+from repro.rtree.tree import RTree
+from repro.rtree.validate import validate_rtree
+
+coord = st.floats(
+    min_value=-10, max_value=10, allow_nan=False, allow_infinity=False
+)
+point_lists = st.lists(st.tuples(coord, coord), min_size=1, max_size=200)
+
+
+class TestConfiguration:
+    def test_invalid_dims(self):
+        with pytest.raises(ConfigurationError):
+            RTree(0)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ConfigurationError):
+            RTree(2, max_entries=3)
+
+    def test_invalid_min_entries(self):
+        with pytest.raises(ConfigurationError):
+            RTree(2, max_entries=8, min_entries=5)
+
+    def test_unknown_split(self):
+        with pytest.raises(ConfigurationError):
+            RTree(2, split="fancy")
+
+    def test_default_min_entries_is_forty_percent(self):
+        tree = RTree(2, max_entries=10)
+        assert tree.min_entries == 4
+
+
+class TestDynamicInsertion:
+    def test_empty_tree(self):
+        tree = RTree(2)
+        assert len(tree) == 0
+        assert tree.is_empty()
+        assert tree.height == 1
+        validate_rtree(tree)
+
+    def test_single_insert(self):
+        tree = RTree(2)
+        tree.insert((0.5, 0.5))
+        assert len(tree) == 1
+        assert list(tree.iter_points()) == [((0.5, 0.5), 0)]
+
+    def test_record_ids_default_to_insertion_order(self):
+        tree = RTree(1, max_entries=4)
+        for i in range(10):
+            tree.insert((float(i),))
+        ids = sorted(rid for _, rid in tree.iter_points())
+        assert ids == list(range(10))
+
+    def test_grows_in_height(self):
+        tree = RTree(2, max_entries=4)
+        rng = np.random.default_rng(0)
+        for p in rng.random((120, 2)):
+            tree.insert(tuple(p))
+        assert tree.height >= 3
+        validate_rtree(tree)
+        assert len(tree) == 120
+
+    @pytest.mark.parametrize("split", ["quadratic", "linear"])
+    def test_both_split_strategies_keep_invariants(self, split):
+        tree = RTree(3, max_entries=6, split=split)
+        rng = np.random.default_rng(42)
+        pts = rng.random((150, 3))
+        for p in pts:
+            tree.insert(tuple(p))
+        validate_rtree(tree)
+        found = sorted(p for p, _ in tree.iter_points())
+        assert found == sorted(map(tuple, pts))
+
+    def test_duplicate_points_allowed(self):
+        tree = RTree(2, max_entries=4)
+        for i in range(20):
+            tree.insert((0.5, 0.5), i)
+        assert len(tree) == 20
+        validate_rtree(tree)
+
+    @given(point_lists)
+    @settings(max_examples=30, deadline=None)
+    def test_insertion_preserves_content_and_invariants(self, points):
+        tree = RTree(2, max_entries=5)
+        for i, p in enumerate(points):
+            tree.insert(p, i)
+        validate_rtree(tree)
+        assert sorted(p for p, _ in tree.iter_points()) == sorted(points)
+
+
+class TestBulkLoad:
+    def test_empty_rejected(self):
+        with pytest.raises(EmptyDatasetError):
+            RTree.bulk_load([])
+
+    def test_mixed_dims_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RTree.bulk_load([(1, 2), (1, 2, 3)])
+
+    def test_contains_all_points(self, rng):
+        pts = np.random.default_rng(9).random((500, 3))
+        tree = RTree.bulk_load(pts)
+        assert len(tree) == 500
+        validate_rtree(tree, check_fill=False)
+        found = sorted(p for p, _ in tree.iter_points())
+        assert found == sorted(map(tuple, pts))
+
+    def test_custom_record_ids(self):
+        tree = RTree.bulk_load([(0, 0), (1, 1)], record_ids=[7, 9])
+        assert sorted(rid for _, rid in tree.iter_points()) == [7, 9]
+
+    def test_single_point(self):
+        tree = RTree.bulk_load([(0.3, 0.7)])
+        assert tree.height == 1
+        assert len(tree) == 1
+
+    def test_fills_leaves_near_capacity(self):
+        pts = np.random.default_rng(3).random((1024, 2))
+        tree = RTree.bulk_load(pts, max_entries=32)
+        # STR packs 1024/32 = exactly 32 full leaves under one root.
+        assert tree.height == 2
+        assert len(tree.root.entries) == 32
+
+    @given(point_lists)
+    @settings(max_examples=30, deadline=None)
+    def test_bulk_load_equivalent_content(self, points):
+        tree = RTree.bulk_load(points, max_entries=4)
+        validate_rtree(tree, check_fill=False)
+        assert sorted(p for p, _ in tree.iter_points()) == sorted(points)
+
+
+class TestInspection:
+    def test_bounds(self):
+        tree = RTree.bulk_load([(0, 1), (2, -1), (1, 0)])
+        box = tree.bounds()
+        assert box.low == (0.0, -1.0)
+        assert box.high == (2.0, 1.0)
+
+    def test_bounds_empty_raises(self):
+        with pytest.raises(EmptyDatasetError):
+            RTree(2).bounds()
+
+    def test_root_entry_empty_raises(self):
+        with pytest.raises(EmptyDatasetError):
+            RTree(2).root_entry()
+
+    def test_root_entry_wraps_root(self):
+        tree = RTree.bulk_load([(0, 0), (1, 1)])
+        entry = tree.root_entry()
+        assert entry.child is tree.root
+        assert entry.mbr == tree.bounds()
+
+    def test_repr(self):
+        tree = RTree.bulk_load([(0, 0)])
+        assert "RTree" in repr(tree)

@@ -1,0 +1,86 @@
+"""R-tree deletion and tree-condensation tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.rtree.tree import RTree
+from repro.rtree.validate import validate_rtree
+
+coord = st.floats(
+    min_value=0, max_value=1, allow_nan=False, allow_infinity=False
+)
+
+
+class TestDelete:
+    def test_delete_existing(self):
+        tree = RTree(2, max_entries=4)
+        tree.insert((0.1, 0.1), 0)
+        tree.insert((0.2, 0.2), 1)
+        assert tree.delete((0.1, 0.1), 0)
+        assert len(tree) == 1
+        assert list(tree.iter_points()) == [((0.2, 0.2), 1)]
+
+    def test_delete_missing_point_returns_false(self):
+        tree = RTree(2)
+        tree.insert((0.1, 0.1), 0)
+        assert not tree.delete((0.9, 0.9), 0)
+        assert len(tree) == 1
+
+    def test_delete_wrong_record_id_returns_false(self):
+        tree = RTree(2)
+        tree.insert((0.1, 0.1), 0)
+        assert not tree.delete((0.1, 0.1), 99)
+
+    def test_delete_to_empty(self):
+        tree = RTree(2)
+        tree.insert((0.5, 0.5), 0)
+        assert tree.delete((0.5, 0.5), 0)
+        assert tree.is_empty()
+        validate_rtree(tree)
+
+    def test_delete_from_deep_tree_condenses(self):
+        tree = RTree(2, max_entries=4)
+        rng = np.random.default_rng(11)
+        pts = [tuple(p) for p in rng.random((200, 2))]
+        for i, p in enumerate(pts):
+            tree.insert(p, i)
+        # Remove most points; the tree must shrink and stay valid.
+        for i, p in enumerate(pts[:180]):
+            assert tree.delete(p, i)
+        assert len(tree) == 20
+        validate_rtree(tree)
+        remaining = sorted(p for p, _ in tree.iter_points())
+        assert remaining == sorted(pts[180:])
+
+    def test_delete_duplicate_removes_one(self):
+        tree = RTree(2, max_entries=4)
+        tree.insert((0.5, 0.5), 0)
+        tree.insert((0.5, 0.5), 1)
+        assert tree.delete((0.5, 0.5), 0)
+        assert len(tree) == 1
+        assert list(tree.iter_points()) == [((0.5, 0.5), 1)]
+
+    @given(
+        st.lists(st.tuples(coord, coord), min_size=5, max_size=80),
+        st.data(),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_random_insert_delete_workload(self, points, data):
+        tree = RTree(2, max_entries=4)
+        for i, p in enumerate(points):
+            tree.insert(p, i)
+        alive = dict(enumerate(points))
+        n_deletes = data.draw(
+            st.integers(0, len(points)), label="n_deletes"
+        )
+        victims = data.draw(
+            st.permutations(sorted(alive)), label="victims"
+        )[:n_deletes]
+        for rid in victims:
+            assert tree.delete(alive[rid], rid)
+            del alive[rid]
+            validate_rtree(tree)
+        assert sorted((p, i) for i, p in alive.items()) == sorted(
+            (p, i) for p, i in tree.iter_points()
+        )

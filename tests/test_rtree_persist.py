@@ -1,0 +1,136 @@
+"""Tests for R-tree persistence."""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import RTreeError
+from repro.rtree.persist import load_rtree, save_rtree
+from repro.rtree.query import range_query
+from repro.rtree.tree import RTree
+from repro.rtree.validate import validate_rtree
+from repro.geometry.mbr import MBR
+
+coord = st.floats(
+    min_value=0, max_value=1, allow_nan=False, allow_infinity=False
+)
+
+
+class TestRoundTrip:
+    def test_bulk_loaded_tree(self, tmp_path):
+        pts = np.random.default_rng(1).random((300, 3))
+        tree = RTree.bulk_load(pts, max_entries=16)
+        path = tmp_path / "tree.jsonl"
+        save_rtree(tree, path)
+        loaded = load_rtree(path)
+        assert len(loaded) == len(tree)
+        assert loaded.dims == 3
+        assert loaded.max_entries == 16
+        validate_rtree(loaded, check_fill=False)
+        assert sorted(loaded.iter_points()) == sorted(tree.iter_points())
+
+    def test_dynamic_tree(self, tmp_path):
+        tree = RTree(2, max_entries=6, split="linear")
+        rng = np.random.default_rng(2)
+        for i, p in enumerate(rng.random((120, 2))):
+            tree.insert(tuple(p), i)
+        path = tmp_path / "tree.jsonl"
+        save_rtree(tree, path)
+        loaded = load_rtree(path)
+        assert loaded.split_strategy == "linear"
+        assert sorted(loaded.iter_points()) == sorted(tree.iter_points())
+
+    def test_empty_tree(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        save_rtree(RTree(4), path)
+        loaded = load_rtree(path)
+        assert loaded.is_empty()
+        assert loaded.dims == 4
+
+    def test_loaded_tree_answers_queries(self, tmp_path):
+        pts = np.random.default_rng(3).random((200, 2))
+        tree = RTree.bulk_load(pts)
+        path = tmp_path / "tree.jsonl"
+        save_rtree(tree, path)
+        loaded = load_rtree(path)
+        box = MBR((0.2, 0.2), (0.7, 0.7))
+        assert sorted(range_query(loaded, box)) == sorted(
+            range_query(tree, box)
+        )
+
+    def test_loaded_tree_accepts_inserts(self, tmp_path):
+        tree = RTree.bulk_load([(0.1, 0.1), (0.9, 0.9)])
+        path = tmp_path / "t.jsonl"
+        save_rtree(tree, path)
+        loaded = load_rtree(path)
+        loaded.insert((0.5, 0.5), 99)
+        assert len(loaded) == 3
+        validate_rtree(loaded, check_fill=False)
+
+    @given(st.lists(st.tuples(coord, coord), min_size=1, max_size=80))
+    @settings(max_examples=25, deadline=None)
+    def test_round_trip_property(self, points):
+        import tempfile
+        from pathlib import Path
+
+        tree = RTree.bulk_load(points, max_entries=4)
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "tree.jsonl"
+            save_rtree(tree, path)
+            loaded = load_rtree(path)
+        assert sorted(loaded.iter_points()) == sorted(tree.iter_points())
+
+
+class TestCorruptionHandling:
+    def _saved(self, tmp_path):
+        tree = RTree.bulk_load(
+            np.random.default_rng(5).random((50, 2)), max_entries=8
+        )
+        path = tmp_path / "tree.jsonl"
+        save_rtree(tree, path)
+        return path
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "x.jsonl"
+        path.write_text("")
+        with pytest.raises(RTreeError, match="empty"):
+            load_rtree(path)
+
+    def test_wrong_magic(self, tmp_path):
+        path = tmp_path / "x.jsonl"
+        path.write_text(json.dumps({"magic": "nope"}) + "\n")
+        with pytest.raises(RTreeError, match="not a skyup"):
+            load_rtree(path)
+
+    def test_bad_header_json(self, tmp_path):
+        path = tmp_path / "x.jsonl"
+        path.write_text("{{{\n")
+        with pytest.raises(RTreeError, match="bad header"):
+            load_rtree(path)
+
+    def test_truncated_stream(self, tmp_path):
+        path = self._saved(tmp_path)
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:-1]) + "\n")
+        with pytest.raises(RTreeError):
+            load_rtree(path)
+
+    def test_size_mismatch(self, tmp_path):
+        path = self._saved(tmp_path)
+        lines = path.read_text().splitlines()
+        header = json.loads(lines[0])
+        header["size"] += 5
+        path.write_text("\n".join([json.dumps(header)] + lines[1:]) + "\n")
+        with pytest.raises(RTreeError, match="declares"):
+            load_rtree(path)
+
+    def test_wrong_version(self, tmp_path):
+        path = self._saved(tmp_path)
+        lines = path.read_text().splitlines()
+        header = json.loads(lines[0])
+        header["version"] = 99
+        path.write_text("\n".join([json.dumps(header)] + lines[1:]) + "\n")
+        with pytest.raises(RTreeError, match="version"):
+            load_rtree(path)

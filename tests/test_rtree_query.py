@@ -1,0 +1,103 @@
+"""R-tree query tests: range, point, and kNN against brute force."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import ConfigurationError
+from repro.geometry.mbr import MBR
+from repro.instrumentation import Counters
+from repro.rtree.query import knn_query, point_query, range_query
+from repro.rtree.tree import RTree
+
+coord = st.floats(
+    min_value=0, max_value=1, allow_nan=False, allow_infinity=False
+)
+point_lists = st.lists(st.tuples(coord, coord), min_size=1, max_size=120)
+
+
+def brute_range(points, box):
+    return sorted(
+        (tuple(p), i)
+        for i, p in enumerate(points)
+        if box.contains_point(p)
+    )
+
+
+class TestRangeQuery:
+    def test_empty_tree(self):
+        assert range_query(RTree(2), MBR((0, 0), (1, 1))) == []
+
+    def test_finds_exactly_the_contained_points(self):
+        pts = np.random.default_rng(2).random((400, 2))
+        tree = RTree.bulk_load(pts)
+        box = MBR((0.2, 0.2), (0.6, 0.7))
+        assert sorted(range_query(tree, box)) == brute_range(pts, box)
+
+    def test_counts_node_accesses(self):
+        pts = np.random.default_rng(2).random((400, 2))
+        tree = RTree.bulk_load(pts)
+        stats = Counters()
+        range_query(tree, MBR((0, 0), (1, 1)), stats)
+        assert stats.node_accesses > 0
+        assert stats.points_scanned == 400
+
+    @given(point_lists, st.tuples(coord, coord), st.tuples(coord, coord))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_brute_force(self, points, a, b):
+        tree = RTree.bulk_load(points, max_entries=4)
+        box = MBR(
+            (min(a[0], b[0]), min(a[1], b[1])),
+            (max(a[0], b[0]), max(a[1], b[1])),
+        )
+        assert sorted(range_query(tree, box)) == brute_range(points, box)
+
+
+class TestPointQuery:
+    def test_exact_hit(self):
+        tree = RTree.bulk_load([(0.1, 0.2), (0.3, 0.4)], record_ids=[5, 6])
+        assert point_query(tree, (0.3, 0.4)) == [6]
+
+    def test_miss(self):
+        tree = RTree.bulk_load([(0.1, 0.2)])
+        assert point_query(tree, (0.9, 0.9)) == []
+
+    def test_duplicates_all_returned(self):
+        tree = RTree.bulk_load(
+            [(0.5, 0.5), (0.5, 0.5), (0.1, 0.1)], record_ids=[1, 2, 3]
+        )
+        assert sorted(point_query(tree, (0.5, 0.5))) == [1, 2]
+
+
+class TestKnnQuery:
+    def test_invalid_k(self):
+        with pytest.raises(ConfigurationError):
+            knn_query(RTree(2), (0, 0), 0)
+
+    def test_empty_tree(self):
+        assert knn_query(RTree(2), (0, 0), 3) == []
+
+    def test_k_larger_than_tree(self):
+        tree = RTree.bulk_load([(0, 0), (1, 1)])
+        assert len(knn_query(tree, (0, 0), 10)) == 2
+
+    def test_orders_by_distance(self):
+        pts = np.random.default_rng(7).random((300, 2))
+        tree = RTree.bulk_load(pts)
+        q = (0.4, 0.4)
+        result = knn_query(tree, q, 10)
+        dists = [sum((a - b) ** 2 for a, b in zip(p, q)) for p, _ in result]
+        assert dists == sorted(dists)
+
+    @given(point_lists, st.tuples(coord, coord), st.integers(1, 8))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_brute_force(self, points, q, k):
+        tree = RTree.bulk_load(points, max_entries=4)
+        result = knn_query(tree, q, k)
+
+        def dist(p):
+            return sum((a - b) ** 2 for a, b in zip(p, q))
+
+        brute = sorted(dist(p) for p in points)[: min(k, len(points))]
+        got = sorted(dist(p) for p, _ in result)
+        assert np.allclose(got, brute)

@@ -1,0 +1,98 @@
+"""Tests for R-tree statistics and the R*-style split."""
+
+import numpy as np
+import pytest
+
+from repro.rtree.split import get_split_function, rstar_split
+from repro.rtree.stats import collect_stats
+from repro.rtree.tree import RTree
+from repro.rtree.validate import validate_rtree
+
+from test_rtree_split import entries_from
+
+
+class TestCollectStats:
+    def test_empty_tree(self):
+        stats = collect_stats(RTree(2))
+        assert stats.points == 0
+        assert stats.height == 1
+
+    def test_counts_consistent(self):
+        pts = np.random.default_rng(5).random((500, 2))
+        tree = RTree.bulk_load(pts, max_entries=16)
+        stats = collect_stats(tree)
+        assert stats.points == 500
+        assert stats.height == tree.height
+        assert stats.levels[0].entries == 500
+        assert stats.levels[0].nodes >= 500 // 16
+        assert stats.node_count == sum(
+            s.nodes for s in stats.levels.values()
+        )
+
+    def test_bulk_load_fills_leaves_well(self):
+        pts = np.random.default_rng(6).random((512, 2))
+        tree = RTree.bulk_load(pts, max_entries=16)
+        stats = collect_stats(tree)
+        assert stats.leaf_fill >= 0.9 * 16
+
+    def test_summary_string(self):
+        tree = RTree.bulk_load(np.random.default_rng(7).random((50, 2)))
+        text = collect_stats(tree).summary()
+        assert "height=" in text and "points=50" in text
+
+    def test_bulk_load_packs_tighter_than_inserts(self):
+        pts = np.random.default_rng(8).random((600, 2))
+        bulk = RTree.bulk_load(pts, max_entries=8)
+        dynamic = RTree(2, max_entries=8)
+        for i, p in enumerate(pts):
+            dynamic.insert(tuple(p), i)
+        bulk_stats = collect_stats(bulk)
+        dyn_stats = collect_stats(dynamic)
+        # STR fills leaves to capacity; split-driven trees average ~60-70%.
+        assert bulk_stats.leaf_fill > dyn_stats.leaf_fill
+        assert bulk_stats.node_count < dyn_stats.node_count
+
+
+class TestRStarSplit:
+    def test_registered(self):
+        assert get_split_function("rstar") is rstar_split
+
+    def test_respects_minimum_and_partitions(self):
+        entries = entries_from(
+            [(float(i % 7), float(i % 5)) for i in range(20)]
+        )
+        a, b = rstar_split(entries, 6)
+        assert len(a) >= 6 and len(b) >= 6
+        assert sorted(e.record_id for e in a + b) == list(range(20))
+
+    def test_separates_clusters(self):
+        left = [(i * 0.01, i * 0.02) for i in range(6)]
+        right = [(100 + i * 0.01, i * 0.02) for i in range(6)]
+        a, b = rstar_split(entries_from(left + right), 4)
+        groups = sorted(
+            ({e.point[0] < 50 for e in g} for g in (a, b)),
+            key=lambda s: min(s),
+        )
+        assert groups[0] == {False} and groups[1] == {True}
+
+    def test_tree_with_rstar_split_stays_valid(self):
+        tree = RTree(2, max_entries=8, split="rstar")
+        rng = np.random.default_rng(9)
+        pts = rng.random((300, 2))
+        for i, p in enumerate(pts):
+            tree.insert(tuple(p), i)
+        validate_rtree(tree)
+        assert sorted(p for p, _ in tree.iter_points()) == sorted(
+            map(tuple, pts)
+        )
+
+    def test_rstar_no_worse_overlap_than_linear(self):
+        rng = np.random.default_rng(10)
+        pts = rng.random((800, 2))
+        trees = {}
+        for split in ("rstar", "linear"):
+            tree = RTree(2, max_entries=8, split=split)
+            for i, p in enumerate(pts):
+                tree.insert(tuple(p), i)
+            trees[split] = collect_stats(tree).sibling_overlap_area
+        assert trees["rstar"] <= trees["linear"] * 1.25

@@ -1,0 +1,147 @@
+"""Tests for the MarketSession incremental API."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.session import MarketSession
+from repro.core.types import UpgradeResult
+from repro.core.verify import brute_force_topk
+from repro.costs.model import paper_cost_model
+from repro.exceptions import ConfigurationError
+
+
+@pytest.fixture()
+def session():
+    return MarketSession(2, paper_cost_model(2), max_entries=8)
+
+
+def fill(session, competitors, products):
+    for c in competitors:
+        session.add_competitor(c)
+    for p in products:
+        session.add_product(p)
+
+
+class TestLifecycle:
+    def test_dims_must_match_cost_model(self):
+        with pytest.raises(ConfigurationError):
+            MarketSession(3, paper_cost_model(2))
+
+    def test_counts(self, session):
+        fill(session, [(0.5, 0.5)], [(1.0, 1.0), (1.5, 1.5)])
+        assert session.competitor_count == 1
+        assert session.product_count == 2
+
+    def test_empty_catalog_query(self, session):
+        session.add_competitor((0.5, 0.5))
+        assert len(session.top_k(3)) == 0
+        assert list(session.stream()) == []
+
+    def test_remove_unknown_ids(self, session):
+        assert not session.remove_competitor(99)
+        assert not session.remove_product(99)
+
+    def test_repr(self, session):
+        assert "MarketSession" in repr(session)
+
+
+class TestQueriesTrackState:
+    def test_matches_fresh_oracle(self, session):
+        rng = np.random.default_rng(1)
+        competitors = [tuple(p) for p in rng.random((80, 2))]
+        products = [tuple(1 + p) for p in rng.random((25, 2))]
+        fill(session, competitors, products)
+        outcome = session.top_k(5)
+        oracle = brute_force_topk(
+            competitors, products, session.cost_model, k=5
+        )
+        assert outcome.costs == pytest.approx([r.cost for r in oracle])
+
+    def test_removing_a_competitor_can_lower_costs(self, session):
+        fill(session, [(0.2, 0.2)], [(1.0, 1.0)])
+        before = session.top_k(1).results[0].cost
+        # Add a much weaker competitor; removing the strong one leaves it.
+        session.add_competitor((0.9, 0.9))
+        assert session.remove_competitor(0)
+        after = session.top_k(1).results[0].cost
+        assert after < before
+
+    def test_adding_competitors_can_raise_costs(self, session):
+        fill(session, [(0.9, 0.9)], [(1.0, 1.0)])
+        before = session.top_k(1).results[0].cost
+        session.add_competitor((0.1, 0.1))
+        after = session.top_k(1).results[0].cost
+        assert after >= before
+
+    def test_commit_upgrade_updates_ranking(self, session):
+        rng = np.random.default_rng(2)
+        fill(
+            session,
+            [tuple(p) for p in rng.random((50, 2))],
+            [(1.2, 1.2), (1.4, 1.4)],
+        )
+        best = session.top_k(1).results[0]
+        session.commit_upgrade(best)
+        # The committed product is now competitive: cost 0 at the top.
+        outcome = session.top_k(1)
+        assert outcome.results[0].record_id == best.record_id
+        assert outcome.results[0].cost == 0.0
+        assert session.product_point(best.record_id) == best.upgraded
+
+    def test_commit_stale_upgrade_rejected(self, session):
+        fill(session, [(0.5, 0.5)], [(1.0, 1.0)])
+        best = session.top_k(1).results[0]
+        session.commit_upgrade(best)
+        with pytest.raises(ConfigurationError, match="stale"):
+            session.commit_upgrade(best)
+
+    def test_commit_unknown_product_rejected(self, session):
+        bogus = UpgradeResult(42, (1.0, 1.0), (0.4, 0.4), 1.0)
+        with pytest.raises(ConfigurationError, match="unknown product"):
+            session.commit_upgrade(bogus)
+
+
+class TestRandomizedInterleavings:
+    @given(st.data())
+    @settings(max_examples=20, deadline=None)
+    def test_session_equals_fresh_recomputation(self, data):
+        rng_seed = data.draw(st.integers(0, 10_000), label="seed")
+        rng = np.random.default_rng(rng_seed)
+        session = MarketSession(2, paper_cost_model(2), max_entries=8)
+        for p in rng.random((30, 2)):
+            session.add_competitor(tuple(p))
+        for p in 1 + rng.random((10, 2)):
+            session.add_product(tuple(p))
+        n_ops = data.draw(st.integers(0, 12), label="n_ops")
+        for _ in range(n_ops):
+            op = data.draw(
+                st.sampled_from(
+                    ["add_c", "add_p", "del_c", "del_p", "commit"]
+                )
+            )
+            if op == "add_c":
+                session.add_competitor(tuple(rng.random(2)))
+            elif op == "add_p":
+                session.add_product(tuple(1 + rng.random(2)))
+            elif op == "del_c" and session.competitor_count > 1:
+                cid = next(iter(session._competitor_points))
+                session.remove_competitor(cid)
+            elif op == "del_p" and session.product_count > 1:
+                pid = next(iter(session._product_points))
+                session.remove_product(pid)
+            elif op == "commit" and session.product_count:
+                results = session.top_k(1).results
+                if results:
+                    session.commit_upgrade(results[0])
+        competitors, products = session.snapshot()
+        if not products:
+            return
+        outcome = session.top_k(3)
+        oracle = brute_force_topk(
+            competitors or np.zeros((0, 2)),
+            products,
+            session.cost_model,
+            k=3,
+        )
+        assert outcome.costs == pytest.approx([r.cost for r in oracle])

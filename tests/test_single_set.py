@@ -1,0 +1,92 @@
+"""Tests for the single-set (one-catalog) upgrading variant (§VI)."""
+
+import numpy as np
+import pytest
+
+from repro.core.single_set import single_set_top_k, split_catalog
+from repro.core.verify import brute_force_topk, verify_results
+from repro.costs.model import paper_cost_model
+from repro.exceptions import ConfigurationError, EmptyDatasetError
+from repro.geometry.point import dominates
+from repro.skyline.vectorized import numpy_skyline
+
+
+@pytest.fixture()
+def catalog(rng):
+    return np.random.default_rng(33).random((150, 2)) * np.array([1.0, 2.0])
+
+
+class TestSplitCatalog:
+    def test_partition_is_complete(self, catalog):
+        skyline_rows, candidate_rows, ids = split_catalog(catalog)
+        assert len(skyline_rows) + len(candidate_rows) == len(catalog)
+        assert len(ids) == len(candidate_rows)
+        np.testing.assert_array_equal(catalog[ids], candidate_rows)
+
+    def test_skyline_rows_are_the_skyline(self, catalog):
+        skyline_rows, _, _ = split_catalog(catalog)
+        expected = numpy_skyline(catalog)
+        assert sorted(map(tuple, skyline_rows)) == sorted(expected)
+
+    def test_candidates_are_dominated(self, catalog):
+        skyline_rows, candidate_rows, _ = split_catalog(catalog)
+        for c in candidate_rows:
+            assert any(dominates(tuple(s), tuple(c)) for s in skyline_rows)
+
+    def test_empty_catalog_rejected(self):
+        with pytest.raises(EmptyDatasetError):
+            split_catalog(np.zeros((0, 2)))
+
+
+class TestSingleSetTopK:
+    def test_record_ids_refer_to_catalog_rows(self, catalog):
+        outcome = single_set_top_k(catalog, k=5)
+        for r in outcome.results:
+            np.testing.assert_array_equal(catalog[r.record_id], r.original)
+
+    def test_upgrades_escape_the_whole_catalog(self, catalog):
+        """Escaping the skyline must imply escaping every catalog member
+        other than the product itself."""
+        outcome = single_set_top_k(catalog, k=5)
+        model = paper_cost_model(2)
+        for r in outcome.results:
+            others = np.delete(catalog, r.record_id, axis=0)
+            verify_results([r], others, model)
+
+    def test_join_and_probing_agree(self, catalog):
+        join = single_set_top_k(catalog, k=6, method="join")
+        probing = single_set_top_k(catalog, k=6, method="probing")
+        assert join.costs == pytest.approx(probing.costs)
+
+    def test_matches_two_set_oracle(self, catalog):
+        skyline_rows, candidate_rows, ids = split_catalog(catalog)
+        model = paper_cost_model(2)
+        oracle = brute_force_topk(skyline_rows, candidate_rows, model, k=4)
+        outcome = single_set_top_k(catalog, k=4, cost_model=model)
+        assert outcome.costs == pytest.approx([r.cost for r in oracle])
+        assert [r.record_id for r in outcome.results] == [
+            int(ids[r.record_id]) for r in oracle
+        ]
+
+    def test_all_skyline_catalog_returns_empty(self):
+        # A pure antichain: nothing to upgrade.
+        catalog = [(0.1, 0.9), (0.5, 0.5), (0.9, 0.1)]
+        outcome = single_set_top_k(catalog, k=3)
+        assert len(outcome.results) == 0
+
+    def test_invalid_args(self, catalog):
+        with pytest.raises(ConfigurationError):
+            single_set_top_k(catalog, k=0)
+        with pytest.raises(ConfigurationError):
+            single_set_top_k(catalog, method="teleport")
+
+    def test_algorithm_label(self, catalog):
+        outcome = single_set_top_k(catalog, k=1, bound="alb")
+        assert outcome.report.algorithm == "single-set/join[alb]"
+
+    def test_3d_catalog(self):
+        catalog = np.random.default_rng(44).random((120, 3))
+        join = single_set_top_k(catalog, k=4, method="join")
+        probing = single_set_top_k(catalog, k=4, method="probing")
+        assert join.costs == pytest.approx(probing.costs)
+        assert all(c > 0 for c in join.costs)

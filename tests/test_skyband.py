@@ -1,0 +1,94 @@
+"""Tests for the k-skyband and dominance-count substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import ConfigurationError
+from repro.instrumentation import Counters
+from repro.skyline.bnl import bnl_skyline
+from repro.skyline.skyband import dominance_counts, k_skyband
+
+coord = st.floats(
+    min_value=0, max_value=1, allow_nan=False, allow_infinity=False
+)
+point_lists = st.lists(st.tuples(coord, coord), min_size=0, max_size=60)
+
+
+def brute_counts(points):
+    out = []
+    for p in points:
+        c = 0
+        for q in points:
+            if q != p and all(a <= b for a, b in zip(q, p)) and any(
+                a < b for a, b in zip(q, p)
+            ):
+                c += 1
+        out.append(c)
+    return out
+
+
+class TestDominanceCounts:
+    def test_simple(self):
+        pts = np.array([[0.1, 0.1], [0.5, 0.5], [0.9, 0.9]])
+        assert dominance_counts(pts).tolist() == [0, 1, 2]
+
+    def test_incomparable(self):
+        pts = np.array([[0.1, 0.9], [0.9, 0.1]])
+        assert dominance_counts(pts).tolist() == [0, 0]
+
+    def test_duplicates_do_not_count(self):
+        pts = np.array([[0.5, 0.5], [0.5, 0.5]])
+        assert dominance_counts(pts).tolist() == [0, 0]
+
+    def test_shape_check(self):
+        with pytest.raises(ConfigurationError):
+            dominance_counts(np.zeros(4))
+
+    @given(point_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_matches_brute_force(self, points):
+        unique = sorted(set(points))
+        if not unique:
+            return
+        got = dominance_counts(np.array(unique)).tolist()
+        assert got == brute_counts(unique)
+
+
+class TestKSkyband:
+    def test_k1_is_the_skyline(self):
+        rng = np.random.default_rng(3)
+        pts = [tuple(p) for p in rng.random((120, 2))]
+        assert sorted(k_skyband(pts, 1)) == sorted(bnl_skyline(pts))
+
+    def test_band_grows_with_k(self):
+        rng = np.random.default_rng(4)
+        pts = [tuple(p) for p in rng.random((150, 2))]
+        sizes = [len(k_skyband(pts, k)) for k in (1, 2, 4, 8)]
+        assert sizes == sorted(sizes)
+
+    def test_large_k_returns_everything(self):
+        pts = [(0.1, 0.1), (0.5, 0.5), (0.9, 0.9)]
+        assert sorted(k_skyband(pts, 10)) == sorted(pts)
+
+    def test_invalid_k(self):
+        with pytest.raises(ConfigurationError):
+            k_skyband([(0.0, 0.0)], 0)
+
+    def test_empty(self):
+        assert k_skyband([], 2) == []
+
+    def test_counts_instrumented(self):
+        stats = Counters()
+        k_skyband([(0.1, 0.2), (0.3, 0.4), (0.2, 0.1)], 2, stats)
+        assert stats.dominance_tests > 0
+
+    @given(point_lists, st.integers(1, 5))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_definition(self, points, k):
+        unique = sorted(set(points))
+        counts = brute_counts(unique)
+        expected = sorted(
+            p for p, c in zip(unique, counts) if c < k
+        )
+        assert sorted(k_skyband(points, k)) == expected

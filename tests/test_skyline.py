@@ -1,0 +1,163 @@
+"""Skyline algorithm tests: every implementation against the numpy oracle."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.instrumentation import Counters
+from repro.rtree.tree import RTree
+from repro.skyline import (
+    bbs_skyline,
+    bnl_skyline,
+    dnc_skyline,
+    numpy_skyline,
+    numpy_skyline_mask,
+    sfs_skyline,
+)
+
+coord = st.floats(
+    min_value=0, max_value=1, allow_nan=False, allow_infinity=False
+)
+point_lists_2d = st.lists(st.tuples(coord, coord), min_size=0, max_size=80)
+point_lists_3d = st.lists(
+    st.tuples(coord, coord, coord), min_size=0, max_size=60
+)
+
+
+def brute_skyline(points):
+    """Reference by definition: undominated, deduplicated points."""
+    unique = sorted(set(map(tuple, points)))
+    out = []
+    for p in unique:
+        if not any(
+            q != p
+            and all(a <= b for a, b in zip(q, p))
+            and any(a < b for a, b in zip(q, p))
+            for q in unique
+        ):
+            out.append(p)
+    return sorted(out)
+
+
+LIST_ALGOS = [bnl_skyline, sfs_skyline, dnc_skyline, numpy_skyline]
+ALGO_IDS = ["bnl", "sfs", "dnc", "numpy"]
+
+
+@pytest.mark.parametrize("algo", LIST_ALGOS, ids=ALGO_IDS)
+class TestListAlgorithms:
+    def test_empty(self, algo):
+        assert algo([]) == []
+
+    def test_single_point(self, algo):
+        assert sorted(algo([(0.5, 0.5)])) == [(0.5, 0.5)]
+
+    def test_known_example(self, algo):
+        pts = [(1, 5), (2, 4), (3, 3), (2, 6), (5, 1), (4, 4)]
+        assert sorted(algo(pts)) == [(1, 5), (2, 4), (3, 3), (5, 1)]
+
+    def test_duplicates_collapse(self, algo):
+        pts = [(1, 1), (1, 1), (2, 2)]
+        assert sorted(algo(pts)) == [(1, 1)]
+
+    def test_all_incomparable_chain(self, algo):
+        pts = [(float(i), float(10 - i)) for i in range(11)]
+        assert sorted(algo(pts)) == sorted(map(tuple, pts))
+
+    @given(point_lists_2d)
+    @settings(max_examples=60, deadline=None)
+    def test_matches_definition_2d(self, algo, points):
+        assert sorted(set(algo(points))) == brute_skyline(points)
+
+    @given(point_lists_3d)
+    @settings(max_examples=40, deadline=None)
+    def test_matches_definition_3d(self, algo, points):
+        assert sorted(set(algo(points))) == brute_skyline(points)
+
+
+class TestBbsSkyline:
+    def test_empty_tree(self):
+        assert bbs_skyline(RTree(2)) == []
+
+    def test_matches_reference_on_random_data(self):
+        pts = np.random.default_rng(4).random((600, 2))
+        tree = RTree.bulk_load(pts)
+        assert sorted(bbs_skyline(tree)) == sorted(numpy_skyline(pts))
+
+    def test_matches_reference_3d(self):
+        pts = np.random.default_rng(5).random((300, 3))
+        tree = RTree.bulk_load(pts)
+        assert sorted(bbs_skyline(tree)) == sorted(numpy_skyline(pts))
+
+    def test_returns_in_mindist_order(self):
+        pts = np.random.default_rng(6).random((200, 2))
+        sky = bbs_skyline(RTree.bulk_load(pts))
+        sums = [sum(p) for p in sky]
+        assert sums == sorted(sums)
+
+    def test_prunes_dominated_entries(self):
+        pts = np.random.default_rng(7).random((500, 2))
+        stats = Counters()
+        bbs_skyline(RTree.bulk_load(pts), stats)
+        assert stats.entries_pruned > 0
+        assert stats.node_accesses > 0
+
+    @given(point_lists_2d.filter(lambda ps: len(ps) > 0))
+    @settings(max_examples=30, deadline=None)
+    def test_matches_definition(self, points):
+        tree = RTree.bulk_load(points, max_entries=4)
+        assert sorted(set(bbs_skyline(tree))) == brute_skyline(points)
+
+
+class TestNumpyMask:
+    def test_mask_shape_and_meaning(self):
+        pts = np.array([[0.1, 0.9], [0.5, 0.5], [0.6, 0.6]])
+        mask = numpy_skyline_mask(pts)
+        assert mask.tolist() == [True, True, False]
+
+    def test_duplicates_all_marked(self):
+        pts = np.array([[0.5, 0.5], [0.5, 0.5], [0.9, 0.9]])
+        assert numpy_skyline_mask(pts).tolist() == [True, True, False]
+
+    def test_empty(self):
+        assert numpy_skyline_mask(np.zeros((0, 3))).shape == (0,)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            numpy_skyline_mask(np.zeros(5))
+
+    def test_counter_instrumentation(self):
+        stats = Counters()
+        bnl_skyline([(1, 2), (2, 1), (3, 3)], stats)
+        assert stats.dominance_tests > 0
+
+
+class TestFloatingPointSumCollisions:
+    """Regression: dominance with coordinate sums that collide in fp.
+
+    ``(1.0, 7e-206)`` and ``(1.0, 0.0)`` have *equal* floating-point sums
+    (the subnormal underflows in the addition) although the second point
+    strictly dominates the first.  Every sum-ordered traversal must break
+    such ties lexicographically — a dominator is always lexicographically
+    smaller, exactly — or the dominated point leaks into the skyline.
+    Found by hypothesis in ``get_dominating_skyline``.
+    """
+
+    POINTS = [(1.0, 7.277832964817326e-206), (1.0, 0.0)]
+    EXPECTED = [(1.0, 0.0)]
+
+    @pytest.mark.parametrize("algo", LIST_ALGOS, ids=ALGO_IDS)
+    def test_list_algorithms(self, algo):
+        assert sorted(set(algo(self.POINTS))) == self.EXPECTED
+
+    def test_bbs(self):
+        tree = RTree.bulk_load(self.POINTS)
+        assert sorted(bbs_skyline(tree)) == self.EXPECTED
+
+    def test_zorder(self):
+        from repro.skyline.zorder import zorder_skyline
+
+        assert sorted(zorder_skyline(self.POINTS)) == self.EXPECTED
+
+    def test_mask(self):
+        mask = numpy_skyline_mask(np.array(self.POINTS))
+        assert mask.tolist() == [False, True]

@@ -1,0 +1,204 @@
+"""Tests for Algorithm 1 (single-product upgrade)."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.core.types import UpgradeConfig
+from repro.core.upgrade import _VECTOR_THRESHOLD, upgrade
+from repro.costs.model import CostModel, paper_cost_model
+from repro.costs.attribute import LinearCost
+from repro.exceptions import (
+    ConfigurationError,
+    DimensionalityError,
+    NotAnAntichainError,
+)
+from repro.geometry.point import dominates
+from repro.skyline.bnl import bnl_skyline
+
+coord = st.floats(
+    min_value=0.05, max_value=1.0, allow_nan=False, allow_infinity=False
+)
+
+
+def dominator_skyline(points, product):
+    dominators = [p for p in points if dominates(p, product)]
+    return bnl_skyline(dominators)
+
+
+class TestBasics:
+    def test_empty_skyline_is_free(self, cost_model_2d):
+        cost, upgraded = upgrade([], (1.0, 1.0), cost_model_2d)
+        assert cost == 0.0
+        assert upgraded == (1.0, 1.0)
+
+    def test_single_dominator_single_dim_escape(self, cost_model_2d):
+        # One dominator: cheapest escape beats it on one dimension.
+        cost, upgraded = upgrade([(0.5, 0.5)], (1.0, 1.0), cost_model_2d)
+        assert not dominates((0.5, 0.5), upgraded)
+        # Exactly one coordinate changed (to 0.5 - eps).
+        changed = [i for i in range(2) if upgraded[i] != 1.0]
+        assert len(changed) == 1
+        assert upgraded[changed[0]] == pytest.approx(0.5, abs=1e-6)
+        expected = cost_model_2d.upgrade_cost((1.0, 1.0), upgraded)
+        assert cost == pytest.approx(expected)
+
+    def test_figure_1b_style_slotting(self, cost_model_2d):
+        # Two dominators where slotting between them beats either
+        # single-dimension jump (values tuned so the slot is cheapest).
+        skyline = [(0.1, 0.8), (0.8, 0.1)]
+        product = (0.9, 0.9)
+        cost, upgraded = upgrade(skyline, product, cost_model_2d)
+        for s in skyline:
+            assert not dominates(s, upgraded)
+        # The chosen point slots between the two skyline points.
+        assert 0.1 < upgraded[0] <= 0.8 + 1e-9
+        assert 0.1 - 1e-9 <= upgraded[1] < 0.8
+
+    def test_cost_equals_model_delta(self, cost_model_3d):
+        rng = np.random.default_rng(0)
+        pts = rng.random((50, 3)) * 0.5
+        product = (1.5, 1.5, 1.5)
+        skyline = dominator_skyline([tuple(p) for p in pts], product)
+        cost, upgraded = upgrade(skyline, product, cost_model_3d)
+        assert cost == pytest.approx(
+            cost_model_3d.upgrade_cost(product, upgraded)
+        )
+
+    def test_dimension_mismatch(self, cost_model_2d):
+        with pytest.raises(DimensionalityError):
+            upgrade([(0.5, 0.5, 0.5)], (1.0, 1.0), cost_model_2d)
+
+    def test_epsilon_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            UpgradeConfig(epsilon=0.0)
+
+
+class TestValidation:
+    def test_rejects_non_dominating_member(self, cost_model_2d):
+        config = UpgradeConfig(validate=True)
+        with pytest.raises(NotAnAntichainError):
+            upgrade([(2.0, 2.0)], (1.0, 1.0), cost_model_2d, config)
+
+    def test_rejects_dominated_member(self, cost_model_2d):
+        config = UpgradeConfig(validate=True)
+        with pytest.raises(NotAnAntichainError):
+            upgrade(
+                [(0.2, 0.2), (0.3, 0.3)], (1.0, 1.0), cost_model_2d, config
+            )
+
+    def test_accepts_proper_skyline(self, cost_model_2d):
+        config = UpgradeConfig(validate=True)
+        cost, upgraded = upgrade(
+            [(0.2, 0.8), (0.8, 0.2)], (1.0, 1.0), cost_model_2d, config
+        )
+        assert cost > 0
+
+
+class TestLemma1Property:
+    """Lemma 1: the returned point escapes every skyline point."""
+
+    @given(
+        st.lists(st.tuples(coord, coord), min_size=1, max_size=30),
+        st.tuples(
+            st.floats(min_value=1.01, max_value=2.0),
+            st.floats(min_value=1.01, max_value=2.0),
+        ),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_2d(self, points, product):
+        skyline = dominator_skyline(points, product)
+        assume(skyline)
+        model = paper_cost_model(2)
+        cost, upgraded = upgrade(skyline, product, model)
+        for s in skyline:
+            assert not dominates(s, upgraded)
+        assert cost == pytest.approx(model.upgrade_cost(product, upgraded))
+
+    @given(
+        st.lists(st.tuples(coord, coord, coord), min_size=1, max_size=25),
+        st.tuples(
+            st.floats(min_value=1.01, max_value=2.0),
+            st.floats(min_value=1.01, max_value=2.0),
+            st.floats(min_value=1.01, max_value=2.0),
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_3d(self, points, product):
+        skyline = dominator_skyline(points, product)
+        assume(skyline)
+        model = paper_cost_model(3)
+        cost, upgraded = upgrade(skyline, product, model)
+        for s in skyline:
+            assert not dominates(s, upgraded)
+
+    @given(
+        st.lists(st.tuples(coord, coord), min_size=1, max_size=30),
+        st.tuples(
+            st.floats(min_value=1.01, max_value=2.0),
+            st.floats(min_value=1.01, max_value=2.0),
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_extended_mode_correct_and_never_worse(self, points, product):
+        skyline = dominator_skyline(points, product)
+        assume(skyline)
+        model = paper_cost_model(2)
+        base_cost, _ = upgrade(skyline, product, model)
+        ext_cost, ext_upgraded = upgrade(
+            skyline, product, model, UpgradeConfig(extended=True)
+        )
+        assert ext_cost <= base_cost + 1e-12
+        for s in skyline:
+            assert not dominates(s, ext_upgraded)
+
+
+class TestVectorizedPath:
+    def _big_instance(self, dims, n):
+        # A deterministic large antichain: a staircase in the first two
+        # dimensions (one rises as the other falls), constant elsewhere.
+        step = 0.5 / n
+        skyline = []
+        for i in range(n):
+            point = [0.4] * dims
+            point[0] = 0.05 + i * step
+            point[1] = 0.55 - i * step
+            skyline.append(tuple(point))
+        product = tuple([1.8] * dims)
+        return skyline, product
+
+    def test_vector_path_matches_scalar_cost(self):
+        skyline, product = self._big_instance(3, 400)
+        assert len(skyline) >= _VECTOR_THRESHOLD // 2
+        model = paper_cost_model(3)
+        # Force both paths by toggling the vectorization probe.
+        fast_cost, fast_up = upgrade(skyline, product, model)
+        model_scalar = paper_cost_model(3)
+        model_scalar._vector_ok = False
+        slow_cost, slow_up = upgrade(skyline, product, model_scalar)
+        assert fast_cost == pytest.approx(slow_cost, rel=1e-9)
+        for s in skyline:
+            assert not dominates(s, fast_up)
+
+    def test_vector_path_extended_mode(self):
+        skyline, product = self._big_instance(2, 300)
+        model = paper_cost_model(2)
+        fast_cost, _ = upgrade(
+            skyline, product, model, UpgradeConfig(extended=True)
+        )
+        model._vector_ok = False
+        slow_cost, _ = upgrade(
+            skyline, product, model, UpgradeConfig(extended=True)
+        )
+        assert fast_cost == pytest.approx(slow_cost, rel=1e-9)
+
+    def test_non_vectorizable_model_uses_scalar_path(self):
+        class Plain(LinearCost):
+            def vector(self, values):
+                raise NotImplementedError
+
+        skyline = [(i * 0.01, 1.0 - i * 0.01) for i in range(100)]
+        model = CostModel([Plain(5.0, 1.0), Plain(5.0, 1.0)])
+        cost, upgraded = upgrade(skyline, (1.5, 1.5), model)
+        for s in skyline:
+            assert not dominates(s, upgraded)

@@ -1,0 +1,124 @@
+"""Tests for the verification oracle, result validator, and top-level API."""
+
+import numpy as np
+import pytest
+
+from repro.core.api import top_k_upgrades
+from repro.core.types import UpgradeConfig, UpgradeResult
+from repro.core.verify import brute_force_topk, verify_results
+from repro.costs.model import paper_cost_model
+from repro.exceptions import (
+    ConfigurationError,
+    EmptyDatasetError,
+    SkyUpError,
+)
+
+from conftest import make_mixed_instance
+
+
+class TestBruteForce:
+    def test_orders_by_cost_then_id(self):
+        competitors = [(0.5, 0.5)]
+        products = [(0.9, 0.9), (0.6, 0.6), (0.4, 0.9)]
+        model = paper_cost_model(2)
+        results = brute_force_topk(competitors, products, model, k=3)
+        costs = [r.cost for r in results]
+        assert costs == sorted(costs)
+        assert results[0].record_id == 2  # undominated -> cost 0
+
+    def test_empty_competitors(self):
+        model = paper_cost_model(2)
+        results = brute_force_topk([], [(1.0, 1.0)], model, k=1)
+        assert results[0].cost == 0.0
+
+
+class TestVerifyResults:
+    def test_accepts_valid(self):
+        model = paper_cost_model(2)
+        competitors = [(0.5, 0.5)]
+        results = brute_force_topk(competitors, [(1.0, 1.0)], model, k=1)
+        verify_results(results, competitors, model)
+
+    def test_rejects_dominated_upgrade(self):
+        model = paper_cost_model(2)
+        competitors = [(0.5, 0.5)]
+        bogus = UpgradeResult(0, (1.0, 1.0), (0.9, 0.9), 0.1)
+        with pytest.raises(SkyUpError, match="still dominated"):
+            verify_results([bogus], competitors, model)
+
+    def test_rejects_wrong_cost(self):
+        model = paper_cost_model(2)
+        competitors = [(0.5, 0.5)]
+        upgraded = (0.4, 1.0)
+        bogus = UpgradeResult(0, (1.0, 1.0), upgraded, 123.0)
+        with pytest.raises(SkyUpError, match="deviates"):
+            verify_results([bogus], competitors, model)
+
+    def test_empty_competitors_accepts_identity(self):
+        model = paper_cost_model(2)
+        ok = UpgradeResult(0, (1.0, 1.0), (1.0, 1.0), 0.0)
+        verify_results([ok], [], model)
+
+
+class TestTopKUpgradesApi:
+    def test_unknown_method(self):
+        with pytest.raises(ConfigurationError):
+            top_k_upgrades([(0.5, 0.5)], [(1.0, 1.0)], method="quantum")
+
+    def test_empty_products_rejected(self):
+        with pytest.raises(EmptyDatasetError):
+            top_k_upgrades([(0.5, 0.5)], [])
+
+    def test_empty_competitors_all_free(self):
+        outcome = top_k_upgrades([], [(1.0, 1.0), (2.0, 2.0)], k=2)
+        assert outcome.costs == [0.0, 0.0]
+
+    def test_default_cost_model_is_papers(self):
+        outcome = top_k_upgrades([(0.5, 0.5)], [(1.0, 1.0)], k=1)
+        model = paper_cost_model(2)
+        expected = brute_force_topk([(0.5, 0.5)], [(1.0, 1.0)], model, k=1)
+        assert outcome.results[0].cost == pytest.approx(expected[0].cost)
+
+    def test_docstring_example(self):
+        P = np.array([[0.2, 0.8], [0.5, 0.5], [0.8, 0.2]])
+        T = np.array([[0.9, 0.9], [0.6, 0.6]])
+        outcome = top_k_upgrades(P, T, k=1)
+        assert outcome.results[0].record_id == 1
+
+    @pytest.mark.parametrize(
+        "method", ["join", "probing", "basic-probing"]
+    )
+    def test_methods_consistent(self, method):
+        competitors, products = make_mixed_instance(seed=61, n_p=80, n_t=25)
+        model = paper_cost_model(2)
+        oracle = brute_force_topk(competitors, products, model, k=5)
+        outcome = top_k_upgrades(
+            competitors, products, k=5, cost_model=model, method=method
+        )
+        np.testing.assert_allclose(
+            outcome.costs, [r.cost for r in oracle]
+        )
+
+    def test_config_passthrough(self):
+        competitors = [(0.5, 0.5)]
+        products = [(1.0, 1.0)]
+        strict = top_k_upgrades(
+            competitors, products, config=UpgradeConfig(validate=True)
+        )
+        extended = top_k_upgrades(
+            competitors, products, config=UpgradeConfig(extended=True)
+        )
+        assert extended.results[0].cost <= strict.results[0].cost + 1e-12
+
+
+class TestOutcomeContainer:
+    def test_iteration_and_len(self):
+        outcome = top_k_upgrades([(0.5, 0.5)], [(1.0, 1.0), (1.5, 1.5)], k=2)
+        assert len(outcome) == 2
+        assert [r.record_id for r in outcome] == [
+            r.record_id for r in outcome.results
+        ]
+
+    def test_already_competitive_flag(self):
+        outcome = top_k_upgrades([(5.0, 5.0)], [(1.0, 1.0)], k=1)
+        assert outcome.results[0].already_competitive

@@ -1,0 +1,90 @@
+"""Tests for the Morton-curve skyline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import ConfigurationError
+from repro.geometry.point import dominates
+from repro.skyline.bnl import bnl_skyline
+from repro.skyline.zorder import morton_codes, zorder_skyline
+
+coord = st.floats(
+    min_value=0, max_value=1, allow_nan=False, allow_infinity=False
+)
+point_lists = st.lists(st.tuples(coord, coord), min_size=0, max_size=80)
+
+
+class TestMortonCodes:
+    def test_shape(self):
+        pts = np.random.default_rng(1).random((50, 3))
+        assert morton_codes(pts).shape == (50,)
+
+    def test_empty(self):
+        assert morton_codes(np.zeros((0, 2))).shape == (0,)
+
+    def test_origin_is_minimal(self):
+        pts = np.array([[0.0, 0.0], [0.5, 0.5], [1.0, 1.0]])
+        codes = morton_codes(pts)
+        assert codes[0] == codes.min()
+        assert codes[2] == codes.max()
+
+    def test_interleaving_2d_known_values(self):
+        # 1-bit per dim over corners: codes are 0..3 in Z pattern.
+        pts = np.array([[0.0, 0.0], [0.0, 1.0], [1.0, 0.0], [1.0, 1.0]])
+        codes = morton_codes(pts, bits=1)
+        assert sorted(codes.tolist()) == [0, 1, 2, 3]
+        assert codes[0] == 0 and codes[3] == 3
+
+    def test_dominance_implies_code_order(self):
+        rng = np.random.default_rng(2)
+        pts = rng.random((200, 3))
+        codes = morton_codes(pts)
+        for i in range(0, 200, 7):
+            for j in range(0, 200, 11):
+                if dominates(tuple(pts[i]), tuple(pts[j])):
+                    assert codes[i] <= codes[j]
+
+    def test_bit_budget_validated(self):
+        pts = np.zeros((2, 4))
+        with pytest.raises(ConfigurationError):
+            morton_codes(pts, bits=16)  # 4 * 16 = 64 > 63
+        with pytest.raises(ConfigurationError):
+            morton_codes(pts, bits=0)
+
+    def test_shape_validated(self):
+        with pytest.raises(ConfigurationError):
+            morton_codes(np.zeros(5))
+
+
+class TestZorderSkyline:
+    def test_empty(self):
+        assert zorder_skyline([]) == []
+
+    def test_known_example(self):
+        pts = [(1, 5), (2, 4), (3, 3), (2, 6), (5, 1), (4, 4)]
+        assert sorted(zorder_skyline(pts)) == [
+            (1, 5), (2, 4), (3, 3), (5, 1),
+        ]
+
+    def test_matches_bnl_on_random_data(self):
+        pts = [tuple(p) for p in np.random.default_rng(3).random((400, 2))]
+        assert sorted(zorder_skyline(pts)) == sorted(bnl_skyline(pts))
+
+    def test_matches_bnl_3d(self):
+        pts = [tuple(p) for p in np.random.default_rng(4).random((300, 3))]
+        assert sorted(zorder_skyline(pts)) == sorted(bnl_skyline(pts))
+
+    def test_coarse_quantization_still_exact(self):
+        # Heavy cell collisions: correctness must not depend on bits.
+        pts = [tuple(p) for p in np.random.default_rng(5).random((300, 2))]
+        assert sorted(zorder_skyline(pts, bits=2)) == sorted(
+            bnl_skyline(pts)
+        )
+
+    @given(point_lists, st.integers(1, 16))
+    @settings(max_examples=50, deadline=None)
+    def test_matches_bnl_property(self, points, bits):
+        assert sorted(zorder_skyline(points, bits=bits)) == sorted(
+            set(bnl_skyline(points))
+        )
