@@ -1,0 +1,69 @@
+"""Serving-layer throughput cells: cached engine vs cold execution.
+
+These cells measure what ``skyup serve-bench`` reports — request
+throughput over a repeated-query stream (hot product working set plus
+periodic whole-catalog top-k) — as pytest-benchmark cells so the serving
+numbers land in the same output as the paper-figure cells.  The recorded
+baseline lives in ``benchmarks/results/BENCH_serve.json``.
+"""
+
+import pytest
+
+from repro.bench.workloads import serve_session
+from repro.serve.bench import generate_requests, run_serve_bench
+from repro.serve.engine import UpgradeEngine
+
+from conftest import bench_cell, scale_factor, scaled
+
+SCALE = scale_factor(200.0)
+
+N_REQUESTS = 600
+
+
+def workload():
+    session = serve_session(
+        "independent",
+        scaled(1_000_000, SCALE, floor=1000),
+        scaled(100_000, SCALE, floor=400),
+        3,
+    )
+    requests = generate_requests(
+        N_REQUESTS, session.product_count, hot_pool=64, topk_every=25, k=5
+    )
+    return session, requests
+
+
+@pytest.mark.parametrize("cache", [False, True], ids=["cold", "cached"])
+def test_serve_throughput_cell(benchmark, cache):
+    session, requests = workload()
+    engine = UpgradeEngine(session, workers=0, cache=cache)
+
+    def replay():
+        served = 0
+        for lo in range(0, len(requests), 32):
+            served += len(engine.execute_batch(requests[lo:lo + 32]))
+        return served
+
+    try:
+        served = bench_cell(benchmark, replay)
+    finally:
+        engine.close()
+    assert served >= N_REQUESTS
+    metrics = engine.metrics()
+    benchmark.extra_info["requests"] = served
+    benchmark.extra_info["cache_hit_rate"] = round(
+        metrics["skyline_cache"]["hit_rate"], 4
+    )
+    benchmark.extra_info["p95_latency_ms"] = round(
+        metrics["latency_s"]["p95"] * 1e3, 3
+    )
+
+
+def test_serve_speedup_meets_target():
+    """The acceptance bar: cached >= 2x cold on the repeated workload."""
+    report = run_serve_bench(
+        n_competitors=scaled(1_000_000, SCALE, floor=1000),
+        n_products=scaled(100_000, SCALE, floor=400),
+        n_requests=N_REQUESTS,
+    )
+    assert report["speedup"] >= 2.0, report["speedup"]

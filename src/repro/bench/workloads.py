@@ -117,6 +117,31 @@ def wine_workload(
     return _CACHE[key]
 
 
+def serve_session(
+    distribution: str = "independent",
+    p_size: int = 4000,
+    t_size: int = 1500,
+    dims: int = 3,
+    seed: int = 2012,
+    max_entries: int = 32,
+):
+    """A fresh :class:`~repro.core.session.MarketSession` for serving runs.
+
+    The underlying arrays come from the (cached) synthetic workload; the
+    session itself is built fresh per call because serving benchmarks
+    mutate it (competitor churn, upgrade commits).
+    """
+    from repro.core.session import MarketSession
+
+    wl = synthetic_workload(
+        distribution, p_size, t_size, dims, seed=seed,
+        max_entries=max_entries,
+    )
+    return MarketSession.from_points(
+        wl.competitors, wl.products, max_entries=max_entries
+    )
+
+
 def clear_cache() -> None:
     """Drop every cached workload (tests use this to bound memory)."""
     _CACHE.clear()

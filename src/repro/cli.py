@@ -5,11 +5,13 @@ Three subcommands::
     skyup generate --distribution anti_correlated --n 10000 --dims 3 out.csv
     skyup run --competitors P.csv --products T.csv --k 5 --method join
     skyup figure fig6a --scale 100
+    skyup serve-bench --requests 2000 --save-json BENCH_serve.json
 
 ``generate`` writes synthetic point sets; ``run`` solves one top-k upgrading
 instance from CSV files; ``figure`` regenerates one of the paper's
 experiment figures (see :mod:`repro.bench.figures` for ids and
-EXPERIMENTS.md for the recorded outputs).
+EXPERIMENTS.md for the recorded outputs); ``serve-bench`` measures the
+serving engine's cached-vs-cold throughput (:mod:`repro.serve.bench`).
 """
 
 from __future__ import annotations
@@ -130,6 +132,46 @@ def build_parser() -> argparse.ArgumentParser:
         default="benchmarks/results",
         help="directory of fig*.json files (default: benchmarks/results)",
     )
+
+    srv = sub.add_parser(
+        "serve-bench",
+        help="measure the serving engine: cached vs cold throughput",
+    )
+    srv.add_argument(
+        "--competitors", type=int, default=4000, help="market size |P|"
+    )
+    srv.add_argument(
+        "--products", type=int, default=1500, help="catalog size |T|"
+    )
+    srv.add_argument("--dims", type=int, default=3)
+    srv.add_argument(
+        "--distribution",
+        default="independent",
+        choices=["independent", "correlated", "anti_correlated"],
+    )
+    srv.add_argument(
+        "--requests", type=int, default=2000, help="request-stream length"
+    )
+    srv.add_argument(
+        "--hot-pool",
+        type=int,
+        default=64,
+        help="size of the popular-product working set",
+    )
+    srv.add_argument(
+        "--topk-every",
+        type=int,
+        default=25,
+        help="issue a whole-catalog top-k every N requests (0 = never)",
+    )
+    srv.add_argument("--k", type=int, default=5, help="top-k depth")
+    srv.add_argument("--seed", type=int, default=2012)
+    srv.add_argument(
+        "--save-json",
+        metavar="PATH",
+        default=None,
+        help="also write the full report as JSON to PATH",
+    )
     return parser
 
 
@@ -214,6 +256,34 @@ def _cmd_catalog(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    from repro.serve.bench import format_report, run_serve_bench
+
+    for name in ("competitors", "products", "requests", "k"):
+        if getattr(args, name) < 1:
+            print(f"error: --{name} must be >= 1", file=sys.stderr)
+            return 2
+    report = run_serve_bench(
+        n_competitors=args.competitors,
+        n_products=args.products,
+        dims=args.dims,
+        distribution=args.distribution,
+        n_requests=args.requests,
+        hot_pool=args.hot_pool,
+        topk_every=args.topk_every,
+        k=args.k,
+        seed=args.seed,
+    )
+    print(format_report(report))
+    if args.save_json:
+        import json
+
+        with open(args.save_json, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+        print(f"[report written to {args.save_json}]")
+    return 0
+
+
 def _cmd_figure(args: argparse.Namespace) -> int:
     from repro.bench.figures import FIGURES, run_figure
 
@@ -269,6 +339,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_catalog(args)
         if args.command == "table":
             return _cmd_table(args)
+        if args.command == "serve-bench":
+            return _cmd_serve_bench(args)
         if args.command == "report":
             from repro.bench.report import render_report
 

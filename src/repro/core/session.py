@@ -16,18 +16,51 @@ randomized update interleavings.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import (
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
+from repro.core.dominators import get_dominating_skyline
 from repro.core.join import JoinUpgrader
 from repro.core.types import UpgradeConfig, UpgradeOutcome, UpgradeResult
-from repro.costs.model import CostModel
+from repro.costs.model import CostModel, paper_cost_model
 from repro.exceptions import ConfigurationError
 from repro.geometry.point import validate_point
+from repro.instrumentation import Counters
+from repro.rtree.query import intersects_dominance_region
 from repro.rtree.tree import RTree
 
 Point = Tuple[float, ...]
 
 _DEFAULT_CONFIG = UpgradeConfig()
+
+
+@dataclass(frozen=True)
+class MutationEvent:
+    """One catalog mutation, as reported to session listeners.
+
+    Attributes:
+        side: ``"competitor"`` or ``"product"`` — which set changed.
+        action: ``"add"``, ``"remove"``, or ``"upgrade"``.
+        point: the point added or removed; for an upgrade, the *new* point.
+        record_id: the mutated record's id.
+        old_point: the replaced point (upgrades only).
+    """
+
+    side: str
+    action: str
+    point: Point
+    record_id: int
+    old_point: Optional[Point] = None
+
+MutationListener = Callable[[MutationEvent], None]
 
 
 class MarketSession:
@@ -73,6 +106,80 @@ class MarketSession:
         self._product_points: Dict[int, Point] = {}
         self._next_competitor_id = 0
         self._next_product_id = 0
+        self.competitor_epoch = 0
+        self.product_epoch = 0
+        self._listeners: List[MutationListener] = []
+
+    @classmethod
+    def from_points(
+        cls,
+        competitors: Sequence[Sequence[float]],
+        products: Sequence[Sequence[float]],
+        cost_model: Optional[CostModel] = None,
+        bound: str = "clb",
+        config: UpgradeConfig = _DEFAULT_CONFIG,
+        max_entries: int = 32,
+    ) -> "MarketSession":
+        """Build a session with STR-bulk-loaded indexes (ids are row order).
+
+        Much faster than repeated :meth:`add_competitor` /
+        :meth:`add_product` for large initial catalogs; the serving layer's
+        benchmarks start here.  Either collection may be empty.
+        """
+        rows_p = [tuple(float(v) for v in p) for p in competitors]
+        rows_t = [tuple(float(v) for v in p) for p in products]
+        dims = len(rows_t[0]) if rows_t else (
+            len(rows_p[0]) if rows_p else None
+        )
+        if dims is None:
+            raise ConfigurationError(
+                "from_points needs at least one point to infer dims"
+            )
+        if cost_model is None:
+            cost_model = paper_cost_model(dims)
+        session = cls(
+            dims, cost_model, bound=bound, config=config,
+            max_entries=max_entries,
+        )
+        if rows_p:
+            session._competitors = RTree.bulk_load(
+                rows_p, max_entries=max_entries
+            )
+            session._competitor_points = dict(enumerate(rows_p))
+            session._next_competitor_id = len(rows_p)
+        if rows_t:
+            session._products = RTree.bulk_load(
+                rows_t, max_entries=max_entries
+            )
+            session._product_points = dict(enumerate(rows_t))
+            session._next_product_id = len(rows_t)
+        return session
+
+    # -- epochs and listeners --------------------------------------------------
+
+    @property
+    def epoch(self) -> Tuple[int, int]:
+        """Catalog version as ``(competitor_epoch, product_epoch)``.
+
+        Each component increments once per successful mutation of its side;
+        the serving layer keys cached answers on this pair.
+        """
+        return (self.competitor_epoch, self.product_epoch)
+
+    def add_mutation_listener(self, listener: MutationListener) -> None:
+        """Call ``listener(event)`` after every successful mutation."""
+        self._listeners.append(listener)
+
+    def remove_mutation_listener(self, listener: MutationListener) -> None:
+        """Detach a previously registered listener (no-op if absent)."""
+        try:
+            self._listeners.remove(listener)
+        except ValueError:
+            pass
+
+    def _notify(self, event: MutationEvent) -> None:
+        for listener in list(self._listeners):
+            listener(event)
 
     # -- market mutation ------------------------------------------------------
 
@@ -83,6 +190,8 @@ class MarketSession:
         self._next_competitor_id += 1
         self._competitors.insert(p, cid)
         self._competitor_points[cid] = p
+        self.competitor_epoch += 1
+        self._notify(MutationEvent("competitor", "add", p, cid))
         return cid
 
     def remove_competitor(self, competitor_id: int) -> bool:
@@ -90,7 +199,13 @@ class MarketSession:
         point = self._competitor_points.pop(competitor_id, None)
         if point is None:
             return False
-        return self._competitors.delete(point, competitor_id)
+        removed = self._competitors.delete(point, competitor_id)
+        if removed:
+            self.competitor_epoch += 1
+            self._notify(
+                MutationEvent("competitor", "remove", point, competitor_id)
+            )
+        return removed
 
     def add_product(self, point: Sequence[float]) -> int:
         """Register one of our own products; returns its id."""
@@ -99,6 +214,8 @@ class MarketSession:
         self._next_product_id += 1
         self._products.insert(p, pid)
         self._product_points[pid] = p
+        self.product_epoch += 1
+        self._notify(MutationEvent("product", "add", p, pid))
         return pid
 
     def remove_product(self, product_id: int) -> bool:
@@ -106,7 +223,13 @@ class MarketSession:
         point = self._product_points.pop(product_id, None)
         if point is None:
             return False
-        return self._products.delete(point, product_id)
+        removed = self._products.delete(point, product_id)
+        if removed:
+            self.product_epoch += 1
+            self._notify(
+                MutationEvent("product", "remove", point, product_id)
+            )
+        return removed
 
     def commit_upgrade(self, result: UpgradeResult) -> None:
         """Apply an upgrade: the product now has its upgraded vector.
@@ -128,6 +251,16 @@ class MarketSession:
         self._products.delete(current, result.record_id)
         self._products.insert(result.upgraded, result.record_id)
         self._product_points[result.record_id] = result.upgraded
+        self.product_epoch += 1
+        self._notify(
+            MutationEvent(
+                "product",
+                "upgrade",
+                result.upgraded,
+                result.record_id,
+                old_point=current,
+            )
+        )
 
     # -- queries ----------------------------------------------------------------
 
@@ -145,31 +278,54 @@ class MarketSession:
         """Current attribute vector of a product (None if unknown)."""
         return self._product_points.get(product_id)
 
-    def top_k(self, k: int = 1) -> UpgradeOutcome:
-        """Top-k cheapest upgrades against the current market state."""
-        if self._products.is_empty():
-            return UpgradeOutcome([])
-        upgrader = JoinUpgrader(
+    def dominator_skyline(
+        self, point: Sequence[float], stats: Optional[Counters] = None
+    ) -> List[Point]:
+        """Skyline of ``point``'s dominators in the current competitor set."""
+        p = validate_point(point, self.dims)
+        if self._competitors.is_empty():
+            return []
+        return get_dominating_skyline(self._competitors, p, stats)
+
+    def any_product_in_dominance_region(
+        self, point: Sequence[float]
+    ) -> bool:
+        """True iff some product is weakly dominated by ``point``.
+
+        A competitor mutation at ``point`` can only change upgrade answers
+        for products inside its dominance region — this is the precise
+        invalidation predicate used by the serving layer's top-k cache.
+        """
+        p = validate_point(point, self.dims)
+        return intersects_dominance_region(self._products, p)
+
+    def make_upgrader(self) -> JoinUpgrader:
+        """A :class:`JoinUpgrader` over the session's live indexes.
+
+        The serving layer drives the progressive stream itself (for
+        deadline checks between results) and harvests the upgrader's
+        counters afterwards; plain callers should prefer :meth:`top_k` /
+        :meth:`stream`.
+        """
+        return JoinUpgrader(
             self._competitors,
             self._products,
             self.cost_model,
             bound=self.bound,
             config=self.config,
         )
-        return upgrader.run(k)
+
+    def top_k(self, k: int = 1) -> UpgradeOutcome:
+        """Top-k cheapest upgrades against the current market state."""
+        if self._products.is_empty():
+            return UpgradeOutcome([])
+        return self.make_upgrader().run(k)
 
     def stream(self) -> Iterator[UpgradeResult]:
         """Progressively yield upgrades, cheapest first (current state)."""
         if self._products.is_empty():
             return iter(())
-        upgrader = JoinUpgrader(
-            self._competitors,
-            self._products,
-            self.cost_model,
-            bound=self.bound,
-            config=self.config,
-        )
-        return upgrader.results()
+        return self.make_upgrader().results()
 
     def snapshot(self) -> Tuple[List[Point], List[Point]]:
         """Current (competitors, products) as point lists (id order)."""

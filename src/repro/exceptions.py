@@ -40,3 +40,15 @@ class RTreeError(SkyUpError):
 
 class ConfigurationError(SkyUpError, ValueError):
     """Raised for invalid algorithm or experiment configuration."""
+
+
+class EngineOverloadedError(SkyUpError, RuntimeError):
+    """Raised when the serving engine's bounded request queue is full.
+
+    Backpressure is explicit: callers should retry with backoff or shed
+    load; the engine never buffers unboundedly.
+    """
+
+
+class EngineClosedError(SkyUpError, RuntimeError):
+    """Raised when a request is submitted to a closed serving engine."""

@@ -50,9 +50,36 @@ class Counters:
         return {name: getattr(self, name) for name in self.__slots__}
 
     def merge(self, other: "Counters") -> None:
-        """Add ``other``'s counts into this object."""
+        """Add ``other``'s counts into this object.
+
+        Concurrency contract: each worker accumulates into its *own*
+        instance and an aggregator merges them afterwards — ``+= 1`` on a
+        shared instance from several threads would lose updates (the
+        read-modify-write is not atomic).  Merging per-worker counters is
+        exact: every counter is a sum of independent increments, so the
+        merged totals equal a serial run's.
+        """
         for name in self.__slots__:
             setattr(self, name, getattr(self, name) + getattr(other, name))
+
+    def copy(self) -> "Counters":
+        """An independent snapshot of the current counts."""
+        clone = Counters()
+        clone.merge(self)
+        return clone
+
+    def __add__(self, other: "Counters") -> "Counters":
+        """A new :class:`Counters` holding the element-wise sums."""
+        if not isinstance(other, Counters):
+            return NotImplemented
+        total = self.copy()
+        total.merge(other)
+        return total
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Counters):
+            return NotImplemented
+        return self.as_dict() == other.as_dict()
 
     def reset(self) -> None:
         """Zero every counter."""

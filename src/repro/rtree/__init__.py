@@ -19,7 +19,12 @@ from repro.rtree.node import Node
 from repro.rtree.persist import load_rtree, save_rtree
 from repro.rtree.stats import TreeStats, collect_stats
 from repro.rtree.tree import RTree
-from repro.rtree.query import knn_query, point_query, range_query
+from repro.rtree.query import (
+    intersects_dominance_region,
+    knn_query,
+    point_query,
+    range_query,
+)
 from repro.rtree.validate import validate_rtree
 
 __all__ = [
@@ -28,6 +33,7 @@ __all__ = [
     "RTree",
     "TreeStats",
     "collect_stats",
+    "intersects_dominance_region",
     "knn_query",
     "load_rtree",
     "point_query",

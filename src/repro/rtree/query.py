@@ -108,5 +108,45 @@ def knn_query(
     return results
 
 
+def intersects_dominance_region(
+    tree: RTree,
+    corner: Sequence[float],
+    stats: Optional[Counters] = None,
+) -> bool:
+    """True iff ``tree`` holds a point ``t`` with ``corner <= t`` everywhere.
+
+    The *dominance region* of ``corner`` is the hyper-rectangle with
+    ``corner`` as its minimum corner, unbounded above — the mirror image of
+    the anti-dominant region.  A point set intersects it exactly when some
+    indexed point is weakly dominated by ``corner``.
+
+    The serving layer uses this as its precise cache-invalidation
+    predicate: inserting or deleting a competitor at ``q`` can only change
+    the dominator skyline (and hence the upgrade cost) of products whose
+    own position lies in ``q``'s dominance region, so a cached whole-catalog
+    answer survives any mutation for which this returns ``False``.
+
+    Pruning: a subtree may reach the region only if its MBR's upper corner
+    is coordinate-wise ``>= corner``.
+    """
+    if tree.is_empty():
+        return False
+    c = tuple(float(v) for v in corner)
+    stack: List[Node] = [tree.root]
+    while stack:
+        node = stack.pop()
+        if stats is not None:
+            stats.node_accesses += 1
+        if node.is_leaf:
+            for e in node.entries:
+                if all(v >= b for v, b in zip(e.point, c)):
+                    return True
+        else:
+            for e in node.entries:
+                if all(h >= b for h, b in zip(e.mbr.high, c)):
+                    stack.append(e.child)
+    return False
+
+
 def _sq_distance(a: Sequence[float], b: Sequence[float]) -> float:
     return sum((x - y) * (x - y) for x, y in zip(a, b))

@@ -1,0 +1,46 @@
+"""The serving subsystem: concurrent, cached top-k upgrade queries.
+
+The paper's algorithms answer one query at a time from cold indexes; this
+package wraps a :class:`~repro.core.session.MarketSession` into a
+production-shaped query engine (the ROADMAP's "serve heavy traffic"
+direction):
+
+* :mod:`repro.serve.engine` — :class:`UpgradeEngine`: batch execution,
+  deadlines with partial results, synchronous and pooled submission;
+* :mod:`repro.serve.cache` — epoch-versioned skyline / top-k caches with
+  precise region-overlap invalidation;
+* :mod:`repro.serve.pool` — the bounded thread worker pool and the
+  readers-writer lock (and the GIL tradeoff discussion);
+* :mod:`repro.serve.metrics` — rolling latency percentiles and merged
+  per-worker work counters;
+* :mod:`repro.serve.bench` — the cached-vs-cold throughput benchmark
+  behind ``skyup serve-bench``.
+"""
+
+from repro.serve.cache import CacheStats, SkylineCache, TopKCache
+from repro.serve.engine import (
+    PendingQuery,
+    ProductQuery,
+    Query,
+    QueryResponse,
+    TopKQuery,
+    UpgradeEngine,
+)
+from repro.serve.metrics import EngineMetrics, RollingWindow
+from repro.serve.pool import ReadWriteLock, WorkerPool
+
+__all__ = [
+    "CacheStats",
+    "EngineMetrics",
+    "PendingQuery",
+    "ProductQuery",
+    "Query",
+    "QueryResponse",
+    "ReadWriteLock",
+    "RollingWindow",
+    "SkylineCache",
+    "TopKCache",
+    "TopKQuery",
+    "UpgradeEngine",
+    "WorkerPool",
+]

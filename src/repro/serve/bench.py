@@ -1,0 +1,184 @@
+"""Serving-layer benchmark: cached engine vs cold per-query execution.
+
+The workload models the serving shape the ROADMAP targets: a large stream
+of requests over a *small working set* of popular products (every real
+catalog has hot items) with periodic whole-catalog top-k refreshes.  The
+same request sequence is replayed twice through identical engines — one
+with the epoch-versioned caches enabled, one executing every query cold —
+and throughput is compared.  ``skyup serve-bench`` is the CLI wrapper;
+``benchmarks/results/BENCH_serve.json`` records a baseline produced by it.
+
+Requests are pre-generated so both runs execute the byte-identical
+sequence, and both runs use the synchronous execution path (no worker
+pool) so the measurement compares query execution, not thread scheduling.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.session import MarketSession
+from repro.serve.engine import ProductQuery, Query, TopKQuery, UpgradeEngine
+
+_BATCH = 32
+
+
+def build_session(
+    n_competitors: int = 4000,
+    n_products: int = 1500,
+    dims: int = 3,
+    distribution: str = "independent",
+    seed: int = 2012,
+    max_entries: int = 32,
+) -> MarketSession:
+    """A bulk-loaded session over the paper's synthetic market layout."""
+    from repro.bench.workloads import serve_session
+
+    return serve_session(
+        distribution,
+        n_competitors,
+        n_products,
+        dims,
+        seed=seed,
+        max_entries=max_entries,
+    )
+
+
+def generate_requests(
+    n_requests: int,
+    n_products: int,
+    hot_pool: int = 64,
+    topk_every: int = 25,
+    k: int = 5,
+    seed: int = 7,
+) -> List[Query]:
+    """A repeated-query request stream.
+
+    Every ``topk_every``-th request is a :class:`TopKQuery`; the rest are
+    :class:`ProductQuery` draws from a ``hot_pool``-sized working set of
+    product ids (drawn with replacement, so popular ids repeat — the
+    regime caching is for).
+    """
+    rng = np.random.default_rng(seed)
+    pool = rng.choice(
+        n_products, size=min(hot_pool, n_products), replace=False
+    )
+    requests: List[Query] = []
+    for i in range(n_requests):
+        if topk_every and i % topk_every == 0:
+            requests.append(TopKQuery(k=k))
+        else:
+            requests.append(ProductQuery(int(rng.choice(pool))))
+    return requests
+
+
+def _replay(
+    session: MarketSession, requests: List[Query], cache: bool
+) -> Dict[str, object]:
+    engine = UpgradeEngine(session, workers=0, cache=cache)
+    try:
+        start = time.perf_counter()
+        hits = 0
+        for lo in range(0, len(requests), _BATCH):
+            for response in engine.execute_batch(requests[lo:lo + _BATCH]):
+                if response.cache_hit:
+                    hits += 1
+        elapsed = time.perf_counter() - start
+        metrics = engine.metrics()
+    finally:
+        engine.close()
+    return {
+        "cache": cache,
+        "requests": len(requests),
+        "elapsed_s": elapsed,
+        "throughput_rps": len(requests) / elapsed if elapsed > 0 else 0.0,
+        "cache_hits": hits,
+        "cache_hit_rate": hits / len(requests) if requests else 0.0,
+        "latency_s": metrics["latency_s"],
+        "counters": metrics["counters"],
+    }
+
+
+def run_serve_bench(
+    n_competitors: int = 4000,
+    n_products: int = 1500,
+    dims: int = 3,
+    distribution: str = "independent",
+    n_requests: int = 2000,
+    hot_pool: int = 64,
+    topk_every: int = 25,
+    k: int = 5,
+    seed: int = 2012,
+    session: Optional[MarketSession] = None,
+) -> Dict[str, object]:
+    """Run the cached-vs-cold comparison; returns a JSON-ready report.
+
+    ``report["speedup"]`` is cached throughput over cold throughput on the
+    identical request sequence.
+    """
+    if session is None:
+        session = build_session(
+            n_competitors, n_products, dims, distribution, seed
+        )
+    requests = generate_requests(
+        n_requests,
+        session.product_count,
+        hot_pool=hot_pool,
+        topk_every=topk_every,
+        k=k,
+        seed=seed + 1,
+    )
+    cold = _replay(session, requests, cache=False)
+    cached = _replay(session, requests, cache=True)
+    speedup = (
+        cached["throughput_rps"] / cold["throughput_rps"]
+        if cold["throughput_rps"]
+        else float("inf")
+    )
+    return {
+        "workload": {
+            "distribution": distribution,
+            "competitors": session.competitor_count,
+            "products": session.product_count,
+            "dims": session.dims,
+            "requests": n_requests,
+            "hot_pool": hot_pool,
+            "topk_every": topk_every,
+            "k": k,
+            "seed": seed,
+        },
+        "cold": cold,
+        "cached": cached,
+        "speedup": speedup,
+    }
+
+
+def format_report(report: Dict[str, object]) -> str:
+    """Human-readable table for the CLI."""
+    wl = report["workload"]
+    lines = [
+        (
+            f"# serve-bench: |P|={wl['competitors']} |T|={wl['products']} "
+            f"d={wl['dims']} {wl['distribution']}; "
+            f"{wl['requests']} requests (hot pool {wl['hot_pool']}, "
+            f"top-{wl['k']} every {wl['topk_every']})"
+        ),
+        (
+            f"{'mode':8s} {'elapsed_s':>10s} {'req/s':>10s} "
+            f"{'hit_rate':>9s} {'p50_ms':>8s} {'p95_ms':>8s}"
+        ),
+    ]
+    for mode in ("cold", "cached"):
+        run = report[mode]
+        lat = run["latency_s"]
+        lines.append(
+            f"{mode:8s} {run['elapsed_s']:10.3f} "
+            f"{run['throughput_rps']:10.1f} "
+            f"{run['cache_hit_rate']:9.2%} "
+            f"{lat['p50'] * 1e3:8.3f} {lat['p95'] * 1e3:8.3f}"
+        )
+    lines.append(f"speedup (cached/cold): {report['speedup']:.2f}x")
+    return "\n".join(lines)

@@ -1,0 +1,233 @@
+"""Epoch-versioned caches for the serving layer.
+
+Two caches back :class:`~repro.serve.engine.UpgradeEngine`:
+
+* :class:`SkylineCache` memoizes *dominator skylines* (and the upgrade
+  computed from them) per query corner.  A skyline depends only on the
+  competitor set and the corner, so product-side mutations never touch it.
+* :class:`TopKCache` memoizes the progressive whole-catalog top-k prefix.
+
+Both are **epoch-versioned with precise invalidation**: every entry records
+the catalog epoch it was computed at, but entries are *not* discarded just
+because the epoch moved — a mutation invalidates exactly the entries whose
+cached region overlaps the mutated region:
+
+* a competitor mutation at ``q`` stales the skyline cached for corner ``t``
+  iff ``q`` lies in ``ADR(t)`` (``q <= t`` coordinate-wise) — only then can
+  ``q`` dominate ``t`` and enter/leave its dominator skyline;
+* the same mutation stales the top-k prefix iff some *product* lies in
+  ``q``'s dominance region
+  (:func:`repro.rtree.query.intersects_dominance_region`) — otherwise no
+  product's cost changed;
+* product mutations stale the top-k prefix (the ranked set itself changed)
+  but never the skyline cache.
+
+Thread safety: each cache guards its map with one lock; operations are
+dict-sized, so the lock is held for microseconds.  Capacity is bounded with
+LRU eviction.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.types import UpgradeResult
+from repro.geometry.region import point_in_adr
+
+Point = Tuple[float, ...]
+Epoch = Tuple[int, int]
+
+
+class CacheStats:
+    """Monotone counters describing a cache's behaviour."""
+
+    __slots__ = ("hits", "misses", "puts", "invalidations", "evictions")
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.puts = 0
+        self.invalidations = 0
+        self.evictions = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """All counters as a plain dict (stable key order)."""
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when unused)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __repr__(self) -> str:
+        return f"CacheStats({self.as_dict()})"
+
+
+class _SkyEntry:
+    __slots__ = ("skyline", "result", "epoch")
+
+    def __init__(
+        self, skyline: List[Point], result: UpgradeResult, epoch: Epoch
+    ):
+        self.skyline = skyline
+        self.result = result
+        self.epoch = epoch
+
+
+class SkylineCache:
+    """LRU cache of dominator skylines + upgrades, keyed by query corner.
+
+    Args:
+        max_entries: capacity bound; least-recently-used entries are
+            evicted beyond it.
+    """
+
+    def __init__(self, max_entries: int = 4096):
+        self.max_entries = max_entries
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[Point, _SkyEntry]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, corner: Sequence[float]) -> Optional[_SkyEntry]:
+        """The live entry for ``corner``, or None (counts hit/miss)."""
+        key = tuple(corner)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return entry
+
+    def put(
+        self,
+        corner: Sequence[float],
+        skyline: List[Point],
+        result: UpgradeResult,
+        epoch: Epoch,
+    ) -> None:
+        """Store the skyline/upgrade computed for ``corner`` at ``epoch``."""
+        key = tuple(corner)
+        with self._lock:
+            self._entries[key] = _SkyEntry(skyline, result, epoch)
+            self._entries.move_to_end(key)
+            self.stats.puts += 1
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+
+    def invalidate_point(self, point: Sequence[float]) -> int:
+        """Drop entries whose ADR contains ``point``; returns the count.
+
+        This is the per-corner precise rule: the mutation can only have
+        changed skylines whose query corner is weakly dominated by it.
+        """
+        p = tuple(point)
+        with self._lock:
+            stale = [
+                key for key in self._entries if point_in_adr(p, key)
+            ]
+            for key in stale:
+                del self._entries[key]
+            self.stats.invalidations += len(stale)
+            return len(stale)
+
+    def invalidate_region(
+        self, low: Sequence[float], high: Sequence[float]
+    ) -> int:
+        """Drop entries whose ADR overlaps ``[low, high]``; returns count.
+
+        An ADR with corner ``t`` overlaps the box iff ``low <= t``
+        coordinate-wise — the box's lower corner is the only part that can
+        reach into the unbounded-below region.
+        """
+        lo = tuple(low)
+        with self._lock:
+            stale = [
+                key for key in self._entries if point_in_adr(lo, key)
+            ]
+            for key in stale:
+                del self._entries[key]
+            self.stats.invalidations += len(stale)
+            return len(stale)
+
+    def clear(self) -> int:
+        """Drop everything; returns the number of entries dropped."""
+        with self._lock:
+            n = len(self._entries)
+            self._entries.clear()
+            self.stats.invalidations += n
+            return n
+
+
+class TopKCache:
+    """The progressive whole-catalog top-k prefix, precisely invalidated.
+
+    Holds at most one prefix (the catalog has one answer per epoch); a
+    ``get(k)`` hits when the stored prefix is still valid and either covers
+    ``k`` results or the stream was exhausted below ``k``.
+    """
+
+    def __init__(self) -> None:
+        self.stats = CacheStats()
+        self._prefix: List[UpgradeResult] = []
+        self._exhausted = False
+        self._valid = False
+        self._epoch: Optional[Epoch] = None
+        self._lock = threading.Lock()
+
+    @property
+    def prefix_length(self) -> int:
+        """Number of cached results (0 when invalid)."""
+        with self._lock:
+            return len(self._prefix) if self._valid else 0
+
+    def get(self, k: int) -> Optional[Tuple[List[UpgradeResult], bool]]:
+        """``(results, exhausted)`` for a hit, else None.
+
+        ``results`` has ``min(k, |catalog|)`` entries; ``exhausted`` tells
+        the caller whether the underlying stream had drained.
+        """
+        with self._lock:
+            if self._valid and (len(self._prefix) >= k or self._exhausted):
+                self.stats.hits += 1
+                return self._prefix[:k], self._exhausted
+            self.stats.misses += 1
+            return None
+
+    def put(
+        self,
+        results: List[UpgradeResult],
+        exhausted: bool,
+        epoch: Epoch,
+    ) -> None:
+        """Store a complete (un-truncated) prefix computed at ``epoch``.
+
+        A shorter prefix never overwrites a longer still-valid one: a
+        stored prefix is only ever valid because no overlapping mutation
+        occurred, in which case it is correct at the current epoch too.
+        """
+        with self._lock:
+            if self._valid and len(self._prefix) >= len(results):
+                return
+            self._prefix = list(results)
+            self._exhausted = exhausted
+            self._valid = True
+            self._epoch = epoch
+            self.stats.puts += 1
+
+    def invalidate(self) -> None:
+        """Drop the cached prefix (product mutation / overlapping region)."""
+        with self._lock:
+            if self._valid:
+                self._valid = False
+                self._prefix = []
+                self._exhausted = False
+                self.stats.invalidations += 1

@@ -1,0 +1,590 @@
+"""The concurrent upgrade-query engine.
+
+:class:`UpgradeEngine` wraps a :class:`~repro.core.session.MarketSession`
+for production-style serving:
+
+* **Epoch-versioned caching** — dominator skylines and the whole-catalog
+  top-k prefix are cached and invalidated *precisely* on catalog mutations
+  (region overlap against the mutated point, not wholesale; see
+  :mod:`repro.serve.cache`).
+* **Batch execution** — concurrent top-k requests drained from the queue
+  together are served by *one* progressive join run to the largest
+  requested ``k``; each request receives its prefix.  This amortizes the
+  R-tree traversal exactly the way the join algorithm amortizes it over
+  products, instead of issuing N independent probes.
+* **Bounded concurrency** — a thread worker pool with an admission-bounded
+  queue (:mod:`repro.serve.pool` documents the GIL tradeoff), a
+  readers-writer lock so queries run concurrently while mutations are
+  exclusive, and per-request deadlines with graceful degradation: on
+  deadline the progressive prefix emitted so far is returned with
+  ``partial=True`` instead of an error.
+* **Metrics** — per-worker :class:`~repro.instrumentation.Counters`
+  merged on demand, cache hit rates, queue depth, and rolling latency
+  percentiles via :meth:`UpgradeEngine.metrics`.
+
+Deadlines are *cooperative*: they are checked between progressive results,
+so a response can overshoot by at most one result-to-result step of the
+join.  Catalog mutations must go through the engine's mutator methods
+(or otherwise be externally synchronized) — the underlying session is not
+itself thread-safe.
+
+Example::
+
+    session = MarketSession.from_points(P, T)
+    with UpgradeEngine(session, workers=4) as engine:
+        pending = engine.submit_batch(
+            [TopKQuery(k=5), TopKQuery(k=10, deadline_s=0.05)]
+        )
+        for p in pending:
+            response = p.result(timeout=1.0)
+            use(response.results, response.partial)
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.session import MarketSession, MutationEvent
+from repro.core.types import UpgradeResult
+from repro.core.upgrade import upgrade
+from repro.exceptions import ConfigurationError
+from repro.instrumentation import Counters
+from repro.serve.cache import SkylineCache, TopKCache
+from repro.serve.metrics import EngineMetrics
+from repro.serve.pool import ReadWriteLock, WorkerPool
+
+Epoch = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class TopKQuery:
+    """Top-k cheapest upgrades over the whole catalog.
+
+    Attributes:
+        k: number of results wanted.
+        deadline_s: per-request budget from submission; ``None`` uses the
+            engine default (which may itself be ``None`` — no deadline).
+    """
+
+    k: int = 1
+    deadline_s: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class ProductQuery:
+    """The optimal upgrade of one catalog product against the market."""
+
+    product_id: int
+    deadline_s: Optional[float] = None
+
+
+Query = Union[TopKQuery, ProductQuery]
+
+
+@dataclass
+class QueryResponse:
+    """What a request resolves to.
+
+    Attributes:
+        results: ranked upgrade results (a single element for
+            :class:`ProductQuery`; possibly short for partial responses).
+        partial: the deadline expired before the full answer was ready;
+            ``results`` is the valid progressive prefix emitted so far.
+        cache_hit: served from the epoch-versioned cache.
+        epoch: catalog epoch the answer is valid for.
+        queue_wait_s: time from submission to worker pickup.
+        elapsed_s: end-to-end time from submission to response.
+    """
+
+    results: List[UpgradeResult] = field(default_factory=list)
+    partial: bool = False
+    cache_hit: bool = False
+    epoch: Epoch = (0, 0)
+    queue_wait_s: float = 0.0
+    elapsed_s: float = 0.0
+
+
+class PendingQuery:
+    """A submitted request; resolves to a :class:`QueryResponse`."""
+
+    __slots__ = (
+        "query",
+        "abs_deadline",
+        "enqueued_at",
+        "picked_up_at",
+        "_event",
+        "_response",
+        "_exception",
+    )
+
+    def __init__(self, query: Query, default_deadline_s: Optional[float]):
+        self.query = query
+        self.enqueued_at = time.monotonic()
+        self.picked_up_at = self.enqueued_at
+        budget = (
+            query.deadline_s
+            if query.deadline_s is not None
+            else default_deadline_s
+        )
+        self.abs_deadline = (
+            self.enqueued_at + budget if budget is not None else None
+        )
+        self._event = threading.Event()
+        self._response: Optional[QueryResponse] = None
+        self._exception: Optional[BaseException] = None
+
+    def done(self) -> bool:
+        """True once a response (or error) is available."""
+        return self._event.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> QueryResponse:
+        """Block for the response.
+
+        Raises:
+            TimeoutError: ``timeout`` elapsed with no response.
+            Exception: whatever the request failed with (e.g.
+                :class:`~repro.exceptions.ConfigurationError` for an
+                unknown product id).
+        """
+        if not self._event.wait(timeout):
+            raise TimeoutError(
+                f"no response within {timeout}s for {self.query}"
+            )
+        if self._exception is not None:
+            raise self._exception
+        assert self._response is not None
+        return self._response
+
+    def _resolve(self, response: QueryResponse) -> None:
+        self._response = response
+        self._event.set()
+
+    def _fail(self, exc: BaseException) -> None:
+        self._exception = exc
+        self._event.set()
+
+
+class UpgradeEngine:
+    """Serve top-k upgrade queries against a live market session.
+
+    Args:
+        session: the owned market state.  The engine registers a mutation
+            listener; route mutations through the engine's mutator methods
+            so they synchronize with in-flight queries.
+        workers: worker-pool threads (0 = synchronous-only engine: no
+            pool, :meth:`submit` unavailable, :meth:`query` /
+            :meth:`execute_batch` still work).
+        queue_capacity: admission bound of the request queue.
+        batch_max: largest batch a worker drains at once.
+        cache: enable the epoch-versioned caches (disable to measure the
+            cold path — ``skyup serve-bench`` does exactly that).
+        skyline_cache_entries: LRU capacity of the skyline cache.
+        default_deadline_s: deadline applied to queries that do not carry
+            their own (``None`` = no deadline).
+    """
+
+    def __init__(
+        self,
+        session: MarketSession,
+        workers: int = 2,
+        queue_capacity: int = 1024,
+        batch_max: int = 64,
+        cache: bool = True,
+        skyline_cache_entries: int = 4096,
+        default_deadline_s: Optional[float] = None,
+        metrics_window: int = 2048,
+    ):
+        self.session = session
+        self.cache_enabled = cache
+        self.default_deadline_s = default_deadline_s
+        self.skyline_cache = SkylineCache(max_entries=skyline_cache_entries)
+        self.topk_cache = TopKCache()
+        self._metrics = EngineMetrics(window=metrics_window)
+        self._rw = ReadWriteLock()
+        self._extern_counters: Dict[int, Counters] = {}
+        self._extern_lock = threading.Lock()
+        self._closed = False
+        self._pool: Optional[WorkerPool] = None
+        if workers > 0:
+            self._pool = WorkerPool(
+                self._handle_batch,
+                workers=workers,
+                queue_capacity=queue_capacity,
+                batch_max=batch_max,
+            )
+        session.add_mutation_listener(self._on_mutation)
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop the pool and detach from the session (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._pool is not None:
+            self._pool.close()
+        self.session.remove_mutation_listener(self._on_mutation)
+
+    def __enter__(self) -> "UpgradeEngine":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- catalog mutation (exclusive) -----------------------------------------
+
+    def add_competitor(self, point: Sequence[float]) -> int:
+        """Insert a competitor; precisely invalidates overlapping caches."""
+        with self._rw.write_locked():
+            return self.session.add_competitor(point)
+
+    def remove_competitor(self, competitor_id: int) -> bool:
+        """Remove a competitor; precisely invalidates overlapping caches."""
+        with self._rw.write_locked():
+            return self.session.remove_competitor(competitor_id)
+
+    def add_product(self, point: Sequence[float]) -> int:
+        """Add a catalog product (drops the cached top-k prefix)."""
+        with self._rw.write_locked():
+            return self.session.add_product(point)
+
+    def remove_product(self, product_id: int) -> bool:
+        """Remove a catalog product (drops the cached top-k prefix)."""
+        with self._rw.write_locked():
+            return self.session.remove_product(product_id)
+
+    def commit_upgrade(self, result: UpgradeResult) -> None:
+        """Commit an upgrade result (drops the cached top-k prefix)."""
+        with self._rw.write_locked():
+            self.session.commit_upgrade(result)
+
+    def _on_mutation(self, event: MutationEvent) -> None:
+        """Precise invalidation — runs inside the mutation's write lock.
+
+        Competitor mutations drop skyline entries whose ADR contains the
+        mutated point, and the top-k prefix only when some product lies in
+        the point's dominance region.  Product mutations change the ranked
+        set itself, so the top-k prefix always goes; skylines (competitor
+        functions) survive.
+        """
+        if event.side == "competitor":
+            self.skyline_cache.invalidate_point(event.point)
+            if self.session.any_product_in_dominance_region(event.point):
+                self.topk_cache.invalidate()
+        else:
+            self.topk_cache.invalidate()
+
+    # -- query submission ------------------------------------------------------
+
+    def query(self, query: Query) -> QueryResponse:
+        """Execute one request synchronously on the calling thread."""
+        return self.execute_batch([query])[0]
+
+    def execute_batch(self, queries: Sequence[Query]) -> List[QueryResponse]:
+        """Execute a batch synchronously; responses in request order.
+
+        Top-k requests in the batch share a single progressive join run.
+        Raises the per-request exception (e.g. unknown product id) exactly
+        as :meth:`PendingQuery.result` would.
+        """
+        pendings = [self._admit(q) for q in queries]
+        self._execute_batch(pendings, self._calling_thread_counters())
+        return [p.result(timeout=0) for p in pendings]
+
+    def submit(self, query: Query) -> PendingQuery:
+        """Enqueue one request on the worker pool."""
+        return self.submit_batch([query])[0]
+
+    def submit_batch(self, queries: Sequence[Query]) -> List[PendingQuery]:
+        """Enqueue requests atomically on the worker pool.
+
+        Raises:
+            ConfigurationError: no pool (``workers=0``) or bad query.
+            EngineOverloadedError: the bounded queue is full.
+            EngineClosedError: the engine was closed.
+        """
+        if self._pool is None:
+            raise ConfigurationError(
+                "engine has no worker pool (workers=0); use query() / "
+                "execute_batch()"
+            )
+        pendings = [self._admit(q) for q in queries]
+        try:
+            self._pool.submit_many(pendings)
+        except Exception:
+            self._metrics.record_rejection()
+            raise
+        return pendings
+
+    def _admit(self, query: Query) -> PendingQuery:
+        if isinstance(query, TopKQuery):
+            if query.k < 1:
+                raise ConfigurationError(f"k must be >= 1, got {query.k}")
+        elif not isinstance(query, ProductQuery):
+            raise ConfigurationError(
+                f"unsupported query type: {type(query).__name__}"
+            )
+        return PendingQuery(query, self.default_deadline_s)
+
+    # -- execution -------------------------------------------------------------
+
+    def _handle_batch(
+        self, batch: List[PendingQuery], counters: Counters
+    ) -> None:
+        try:
+            self._execute_batch(batch, counters)
+        except Exception as exc:  # pragma: no cover - defensive
+            for pending in batch:
+                if not pending.done():
+                    pending._fail(exc)
+
+    def _execute_batch(
+        self, pendings: List[PendingQuery], counters: Counters
+    ) -> None:
+        now = time.monotonic()
+        for p in pendings:
+            p.picked_up_at = now
+        local = Counters()
+        with self._rw.read_locked():
+            epoch = self.session.epoch
+            topk_group: List[PendingQuery] = []
+            for pending in pendings:
+                if isinstance(pending.query, TopKQuery):
+                    topk_group.append(pending)
+                else:
+                    self._serve_product(pending, local, epoch)
+            if topk_group:
+                try:
+                    self._serve_topk_group(topk_group, local, epoch)
+                except Exception as exc:
+                    for pending in topk_group:
+                        if not pending.done():
+                            self._metrics.record_request(
+                                "topk", 0.0, 0.0, partial=False, error=True
+                            )
+                            pending._fail(exc)
+        counters.merge(local)
+        self._metrics.record_batch(len(pendings))
+
+    def _serve_product(
+        self, pending: PendingQuery, stats: Counters, epoch: Epoch
+    ) -> None:
+        query = pending.query
+        try:
+            point = self.session.product_point(query.product_id)
+            if point is None:
+                raise ConfigurationError(
+                    f"unknown product id {query.product_id}"
+                )
+            if (
+                pending.abs_deadline is not None
+                and time.monotonic() >= pending.abs_deadline
+            ):
+                self._respond(pending, [], partial=True, cache_hit=False,
+                              epoch=epoch, kind="product")
+                return
+            cache_hit = False
+            if self.cache_enabled:
+                entry = self.skyline_cache.get(point)
+                if entry is not None:
+                    cached = entry.result
+                    result = UpgradeResult(
+                        query.product_id, point, cached.upgraded, cached.cost
+                    )
+                    self._respond(pending, [result], partial=False,
+                                  cache_hit=True, epoch=epoch,
+                                  kind="product")
+                    return
+            skyline = self.session.dominator_skyline(point, stats)
+            cost, upgraded = upgrade(
+                skyline,
+                point,
+                self.session.cost_model,
+                self.session.config,
+                stats,
+            )
+            result = UpgradeResult(query.product_id, point, upgraded, cost)
+            if self.cache_enabled:
+                self.skyline_cache.put(point, skyline, result, epoch)
+            self._respond(pending, [result], partial=False,
+                          cache_hit=cache_hit, epoch=epoch, kind="product")
+        except Exception as exc:
+            self._metrics.record_request(
+                "product", 0.0, 0.0, partial=False, error=True
+            )
+            pending._fail(exc)
+
+    def _serve_topk_group(
+        self,
+        group: List[PendingQuery],
+        stats: Counters,
+        epoch: Epoch,
+    ) -> None:
+        """One progressive join run serves every top-k request in ``group``."""
+        k_max = max(p.query.k for p in group)
+        if self.cache_enabled:
+            cached = self.topk_cache.get(k_max)
+            if cached is not None:
+                prefix, _exhausted = cached
+                for pending in group:
+                    self._respond(
+                        pending,
+                        prefix[: pending.query.k],
+                        partial=False,
+                        cache_hit=True,
+                        epoch=epoch,
+                        kind="topk",
+                    )
+                return
+
+        upgrader = self.session.make_upgrader()
+        gen = upgrader.results()
+        results: List[UpgradeResult] = []
+        active = list(group)
+        exhausted = False
+        while active:
+            now = time.monotonic()
+            alive: List[PendingQuery] = []
+            for pending in active:
+                if (
+                    pending.abs_deadline is not None
+                    and now >= pending.abs_deadline
+                ):
+                    self._respond(
+                        pending,
+                        results[: pending.query.k],
+                        partial=True,
+                        cache_hit=False,
+                        epoch=epoch,
+                        kind="topk",
+                    )
+                else:
+                    alive.append(pending)
+            active = alive
+            if not active:
+                break
+            if len(results) >= max(p.query.k for p in active):
+                break
+            try:
+                results.append(next(gen))
+            except StopIteration:
+                exhausted = True
+                break
+            still_waiting: List[PendingQuery] = []
+            for pending in active:
+                if len(results) >= pending.query.k:
+                    self._respond(
+                        pending,
+                        results[: pending.query.k],
+                        partial=False,
+                        cache_hit=False,
+                        epoch=epoch,
+                        kind="topk",
+                    )
+                else:
+                    still_waiting.append(pending)
+            active = still_waiting
+        for pending in active:
+            # Stream drained (or a deeper request already pulled enough):
+            # everyone left gets a complete answer.
+            self._respond(
+                pending,
+                results[: pending.query.k],
+                partial=False,
+                cache_hit=False,
+                epoch=epoch,
+                kind="topk",
+            )
+        stats.merge(upgrader.stats)
+        if self.cache_enabled and (results or exhausted):
+            # Any progressive prefix is the exact top-|results| — even a
+            # deadline-truncated run warms the cache.
+            self.topk_cache.put(results, exhausted, epoch)
+
+    def _respond(
+        self,
+        pending: PendingQuery,
+        results: List[UpgradeResult],
+        partial: bool,
+        cache_hit: bool,
+        epoch: Epoch,
+        kind: str,
+    ) -> None:
+        now = time.monotonic()
+        response = QueryResponse(
+            results=list(results),
+            partial=partial,
+            cache_hit=cache_hit,
+            epoch=epoch,
+            queue_wait_s=pending.picked_up_at - pending.enqueued_at,
+            elapsed_s=now - pending.enqueued_at,
+        )
+        self._metrics.record_request(
+            kind,
+            response.elapsed_s,
+            response.queue_wait_s,
+            partial=partial,
+        )
+        pending._resolve(response)
+
+    # -- observability ---------------------------------------------------------
+
+    def _calling_thread_counters(self) -> Counters:
+        ident = threading.get_ident()
+        with self._extern_lock:
+            counters = self._extern_counters.get(ident)
+            if counters is None:
+                counters = Counters()
+                self._extern_counters[ident] = counters
+            return counters
+
+    def counters(self) -> Counters:
+        """Merged work counters across every worker and sync caller.
+
+        Per-worker instances are merged into a fresh object — the
+        originals keep accumulating race-free on their owning threads.
+        """
+        total = Counters()
+        if self._pool is not None:
+            for c in self._pool.worker_counters:
+                total.merge(c)
+        with self._extern_lock:
+            for c in self._extern_counters.values():
+                total.merge(c)
+        return total
+
+    def metrics(self) -> Dict[str, object]:
+        """One JSON-serializable snapshot of engine health."""
+        return self._metrics.snapshot(
+            counters=self.counters(),
+            extra={
+                "epoch": list(self.session.epoch),
+                "queue_depth": (
+                    self._pool.queue_depth if self._pool is not None else 0
+                ),
+                "cache_enabled": self.cache_enabled,
+                "skyline_cache": {
+                    **self.skyline_cache.stats.as_dict(),
+                    "hit_rate": self.skyline_cache.stats.hit_rate,
+                    "size": len(self.skyline_cache),
+                    "capacity": self.skyline_cache.max_entries,
+                },
+                "topk_cache": {
+                    **self.topk_cache.stats.as_dict(),
+                    "hit_rate": self.topk_cache.stats.hit_rate,
+                    "prefix_length": self.topk_cache.prefix_length,
+                },
+            },
+        )
+
+    def __repr__(self) -> str:
+        workers = (
+            len(self._pool.worker_counters) if self._pool is not None else 0
+        )
+        return (
+            f"UpgradeEngine(session={self.session!r}, workers={workers}, "
+            f"cache={'on' if self.cache_enabled else 'off'})"
+        )

@@ -1,0 +1,129 @@
+"""Engine metrics: per-request records and rolling aggregates.
+
+Built on :class:`repro.instrumentation.Counters` — the same scale-free work
+counters every algorithm reports — plus the serving-specific signals a
+production dashboard needs: queue wait, end-to-end latency percentiles,
+cache behaviour, partial-result counts.
+
+Latencies are kept in a bounded rolling window (recent behaviour is what a
+serving dashboard wants; unbounded histories are a memory leak), so p50/p95
+are over the last ``window`` requests.  Percentiles use the nearest-rank
+method on a sorted copy — the window is small, so the sort is cheap
+relative to a query.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+from repro.instrumentation import Counters
+
+
+class RollingWindow:
+    """A bounded window of float samples with percentile snapshots."""
+
+    __slots__ = ("_values", "count", "total")
+
+    def __init__(self, window: int = 2048):
+        self._values: Deque[float] = deque(maxlen=window)
+        self.count = 0
+        self.total = 0.0
+
+    def add(self, value: float) -> None:
+        """Record one sample (window-evicted, but count/total are global)."""
+        self._values.append(value)
+        self.count += 1
+        self.total += value
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile over the current window (0 if empty)."""
+        if not self._values:
+            return 0.0
+        ordered = sorted(self._values)
+        rank = max(0, min(len(ordered) - 1, round(q * (len(ordered) - 1))))
+        return ordered[rank]
+
+    def snapshot(self) -> Dict[str, float]:
+        """p50/p95/max over the window plus lifetime count and mean."""
+        window: List[float] = list(self._values)
+        return {
+            "count": float(self.count),
+            "mean": (self.total / self.count) if self.count else 0.0,
+            "p50": self.percentile(0.50),
+            "p95": self.percentile(0.95),
+            "max": max(window) if window else 0.0,
+        }
+
+
+class EngineMetrics:
+    """Aggregate serving metrics, safe to update from many threads."""
+
+    def __init__(self, window: int = 2048):
+        self._lock = threading.Lock()
+        self.requests = 0
+        self.batches = 0
+        self.topk_queries = 0
+        self.product_queries = 0
+        self.partials = 0
+        self.errors = 0
+        self.rejected = 0
+        self.latency = RollingWindow(window)
+        self.queue_wait = RollingWindow(window)
+
+    def record_batch(self, size: int) -> None:
+        """Count one executed batch of ``size`` requests."""
+        with self._lock:
+            self.batches += 1
+
+    def record_rejection(self) -> None:
+        """Count one request refused at admission (queue full / closed)."""
+        with self._lock:
+            self.rejected += 1
+
+    def record_request(
+        self,
+        kind: str,
+        latency_s: float,
+        queue_wait_s: float,
+        partial: bool,
+        error: bool = False,
+    ) -> None:
+        """Record one completed request."""
+        with self._lock:
+            self.requests += 1
+            if kind == "topk":
+                self.topk_queries += 1
+            else:
+                self.product_queries += 1
+            if partial:
+                self.partials += 1
+            if error:
+                self.errors += 1
+            self.latency.add(latency_s)
+            self.queue_wait.add(queue_wait_s)
+
+    def snapshot(
+        self,
+        counters: Optional[Counters] = None,
+        extra: Optional[Dict[str, object]] = None,
+    ) -> Dict[str, object]:
+        """One coherent dict of everything (JSON-serializable)."""
+        with self._lock:
+            out: Dict[str, object] = {
+                "requests": self.requests,
+                "batches": self.batches,
+                "topk_queries": self.topk_queries,
+                "product_queries": self.product_queries,
+                "partials": self.partials,
+                "errors": self.errors,
+                "rejected": self.rejected,
+                "latency_s": self.latency.snapshot(),
+                "queue_wait_s": self.queue_wait.snapshot(),
+            }
+        if counters is not None:
+            out["counters"] = counters.as_dict()
+        if extra:
+            out.update(extra)
+        return out

@@ -1,0 +1,183 @@
+"""Bounded worker pool and locking primitives for the serving engine.
+
+**Why threads, not processes.**  The engine's shared state — two live
+R-trees, the skyline cache, the top-k prefix — is mutable and pointer-rich;
+a process pool would have to serialize it per request (or replicate it per
+worker and re-broadcast every mutation), which costs more than the queries
+themselves at our scales.  Threads share it for free.  The tradeoff: the
+hot loops (best-first traversal, dominance tests) are pure Python and hold
+the GIL — only the numpy-vectorized stretches release it — so the pool buys
+little *CPU* parallelism.  What it does buy is what a serving layer needs:
+request admission decoupled from execution, bounded queueing with explicit
+backpressure, deadline-scoped execution, and batch formation (concurrent
+requests drained together and executed as one amortized join run, which is
+where the real speedup lives).  Swapping in a process/sub-interpreter pool
+behind the same interface is a roadmap item, not a semantic change.
+
+The :class:`ReadWriteLock` lets any number of query workers traverse the
+trees concurrently while catalog mutations get exclusive access; it is
+writer-preferring so a stream of queries cannot starve updates.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from contextlib import contextmanager
+from typing import Callable, Deque, Iterator, List, Sequence
+
+from repro.exceptions import EngineClosedError, EngineOverloadedError
+from repro.instrumentation import Counters
+
+
+class ReadWriteLock:
+    """A writer-preferring readers-writer lock.
+
+    Multiple readers may hold the lock simultaneously; a writer waits for
+    active readers to drain and blocks new readers while waiting (so
+    updates are never starved).  Not reentrant, no upgrade support.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+
+    @contextmanager
+    def read_locked(self) -> Iterator[None]:
+        """Hold shared (read) access for the duration of the block."""
+        with self._cond:
+            while self._writer_active or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._readers -= 1
+                if self._readers == 0:
+                    self._cond.notify_all()
+
+    @contextmanager
+    def write_locked(self) -> Iterator[None]:
+        """Hold exclusive (write) access for the duration of the block."""
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer_active or self._readers:
+                    self._cond.wait()
+                self._writer_active = True
+            finally:
+                self._writers_waiting -= 1
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._writer_active = False
+                self._cond.notify_all()
+
+
+class WorkerPool:
+    """A fixed set of daemon threads draining a bounded request queue.
+
+    Items are handed to ``handler`` in *batches*: a woken worker drains up
+    to ``batch_max`` queued items in arrival order, so requests that pile
+    up behind a slow query are executed together — the engine's batch
+    executor then amortizes one R-tree traversal across them.
+
+    Each worker owns a private :class:`Counters` instance (passed to every
+    ``handler`` call); aggregation merges the per-worker instances instead
+    of sharing one, keeping increments race-free.
+
+    Args:
+        handler: ``handler(batch, worker_counters)`` — must not raise
+            (request-level errors belong in the request's response).
+        workers: thread count.
+        queue_capacity: admission bound; :meth:`submit_many` raises
+            :class:`~repro.exceptions.EngineOverloadedError` beyond it.
+        batch_max: largest batch handed to a single ``handler`` call.
+    """
+
+    def __init__(
+        self,
+        handler: Callable[[List[object], Counters], None],
+        workers: int = 4,
+        queue_capacity: int = 1024,
+        batch_max: int = 64,
+    ):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if queue_capacity < 1:
+            raise ValueError(
+                f"queue_capacity must be >= 1, got {queue_capacity}"
+            )
+        self._handler = handler
+        self._capacity = queue_capacity
+        self._batch_max = batch_max
+        self._queue: Deque[object] = deque()
+        self._cond = threading.Condition()
+        self._closed = False
+        self.worker_counters: List[Counters] = [
+            Counters() for _ in range(workers)
+        ]
+        self._threads = [
+            threading.Thread(
+                target=self._run,
+                args=(self.worker_counters[i],),
+                name=f"skyup-serve-{i}",
+                daemon=True,
+            )
+            for i in range(workers)
+        ]
+        for t in self._threads:
+            t.start()
+
+    @property
+    def queue_depth(self) -> int:
+        """Number of requests admitted but not yet picked up."""
+        with self._cond:
+            return len(self._queue)
+
+    def submit_many(self, items: Sequence[object]) -> None:
+        """Enqueue ``items`` atomically (all admitted or none).
+
+        Raises:
+            EngineClosedError: the pool has been closed.
+            EngineOverloadedError: admission would exceed capacity.
+        """
+        with self._cond:
+            if self._closed:
+                raise EngineClosedError("worker pool is closed")
+            if len(self._queue) + len(items) > self._capacity:
+                raise EngineOverloadedError(
+                    f"queue full: {len(self._queue)} queued, "
+                    f"{len(items)} offered, capacity {self._capacity}"
+                )
+            self._queue.extend(items)
+            self._cond.notify_all()
+
+    def _run(self, counters: Counters) -> None:
+        while True:
+            with self._cond:
+                while not self._queue and not self._closed:
+                    self._cond.wait()
+                if not self._queue and self._closed:
+                    return
+                batch = [
+                    self._queue.popleft()
+                    for _ in range(
+                        min(self._batch_max, len(self._queue))
+                    )
+                ]
+            self._handler(batch, counters)
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Stop accepting work, drain the queue, and join the workers."""
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            self._cond.notify_all()
+        for t in self._threads:
+            t.join(timeout=timeout)

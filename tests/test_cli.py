@@ -161,3 +161,30 @@ class TestFigure:
         out = capsys.readouterr().out
         assert "fig9c" in out
         assert "join-alb" in out
+
+
+class TestServeBench:
+    def test_reports_speedup_and_writes_json(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_serve.json"
+        code = main(
+            [
+                "serve-bench",
+                "--competitors", "250",
+                "--products", "120",
+                "--requests", "120",
+                "--hot-pool", "16",
+                "--topk-every", "20",
+                "--save-json", str(out),
+            ]
+        )
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "speedup (cached/cold):" in text
+        assert "cold" in text and "cached" in text
+        import json
+
+        report = json.loads(out.read_text())
+        assert report["speedup"] > 1.0
+        assert report["cached"]["cache_hits"] > 0
+        assert report["cold"]["cache_hits"] == 0
+        assert report["workload"]["requests"] == 120

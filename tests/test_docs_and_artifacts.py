@@ -105,3 +105,20 @@ class TestRecordedResults:
             fig10["join-clb[paper]"][0]["seconds"]
             < fig10["join-clb"][0]["seconds"]
         )
+
+
+class TestServeBaseline:
+    def test_recorded_serve_baseline_is_coherent(self):
+        path = RESULTS_DIR / "BENCH_serve.json"
+        if not path.exists():
+            pytest.skip("no recorded serving baseline in this checkout")
+        report = json.loads(path.read_text())
+        assert report["speedup"] >= 2.0
+        assert (
+            report["cached"]["throughput_rps"]
+            > report["cold"]["throughput_rps"]
+        )
+        assert report["cold"]["cache_hits"] == 0
+        assert report["cached"]["cache_hit_rate"] > 0.5
+        for mode in ("cold", "cached"):
+            assert report[mode]["requests"] == report["workload"]["requests"]

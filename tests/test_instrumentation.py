@@ -23,6 +23,65 @@ class TestCounters:
         assert a.node_accesses == 7
         assert a.dominance_tests == 7
 
+    def test_copy_is_independent(self):
+        a = Counters()
+        a.heap_pops = 2
+        b = a.copy()
+        b.heap_pops = 9
+        assert a.heap_pops == 2
+
+    def test_add_returns_elementwise_sum(self):
+        a, b = Counters(), Counters()
+        a.node_accesses = 1
+        b.node_accesses = 2
+        b.skyline_points = 3
+        total = a + b
+        assert total.node_accesses == 3
+        assert total.skyline_points == 3
+        assert a.node_accesses == 1  # operands untouched
+
+    def test_equality_is_by_value(self):
+        a, b = Counters(), Counters()
+        a.heap_pushes = b.heap_pushes = 5
+        assert a == b
+        b.heap_pushes = 6
+        assert a != b
+
+    def test_merged_worker_counters_equal_serial_run(self):
+        """Per-worker counters merged afterwards == one shared serial
+        counter — the contract the engine's metrics aggregation relies on.
+        """
+        import numpy as np
+
+        from repro.core.dominators import get_dominating_skyline
+        from repro.core.upgrade import upgrade
+        from repro.costs.model import paper_cost_model
+        from repro.rtree.tree import RTree
+
+        rng = np.random.default_rng(42)
+        tree = RTree.bulk_load(rng.random((150, 2)), max_entries=8)
+        model = paper_cost_model(2)
+        products = [tuple(1.0 + p) for p in rng.random((30, 2))]
+
+        serial = Counters()
+        for t in products:
+            upgrade(
+                get_dominating_skyline(tree, t, serial), t, model,
+                stats=serial,
+            )
+
+        workers = [Counters(), Counters(), Counters()]
+        for i, t in enumerate(products):
+            own = workers[i % len(workers)]
+            upgrade(
+                get_dominating_skyline(tree, t, own), t, model, stats=own
+            )
+        merged = Counters()
+        for own in workers:
+            merged.merge(own)
+        assert merged == serial
+        assert merged.as_dict() == serial.as_dict()
+
     def test_reset(self):
         c = Counters()
         c.heap_pops = 9

@@ -1,0 +1,92 @@
+"""Tests for the serving layer's epoch-versioned caches."""
+
+from repro.core.types import UpgradeResult
+from repro.serve.cache import SkylineCache, TopKCache
+
+
+def _result(pid=0, point=(1.0, 1.0), cost=0.5):
+    return UpgradeResult(pid, point, (0.9, 0.9), cost)
+
+
+class TestSkylineCache:
+    def test_miss_then_hit(self):
+        cache = SkylineCache()
+        assert cache.get((1.0, 1.0)) is None
+        cache.put((1.0, 1.0), [(0.5, 0.5)], _result(), epoch=(1, 0))
+        entry = cache.get((1.0, 1.0))
+        assert entry is not None
+        assert entry.skyline == [(0.5, 0.5)]
+        assert entry.epoch == (1, 0)
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_precise_point_invalidation(self):
+        cache = SkylineCache()
+        cache.put((1.0, 1.0), [], _result(), (0, 0))
+        cache.put((3.0, 0.5), [], _result(), (0, 0))
+        # (0.6, 0.6) lies in ADR((1,1)) but not in ADR((3, 0.5)).
+        dropped = cache.invalidate_point((0.6, 0.6))
+        assert dropped == 1
+        assert cache.get((1.0, 1.0)) is None
+        assert cache.get((3.0, 0.5)) is not None
+
+    def test_mutation_outside_every_adr_drops_nothing(self):
+        cache = SkylineCache()
+        cache.put((1.0, 1.0), [], _result(), (0, 0))
+        assert cache.invalidate_point((2.0, 0.5)) == 0
+        assert cache.get((1.0, 1.0)) is not None
+
+    def test_region_invalidation_uses_lower_corner(self):
+        cache = SkylineCache()
+        cache.put((1.0, 1.0), [], _result(), (0, 0))
+        cache.put((0.2, 0.2), [], _result(), (0, 0))
+        # Box [0.5, 2]^2: its lower corner reaches ADR((1,1)) only.
+        assert cache.invalidate_region((0.5, 0.5), (2.0, 2.0)) == 1
+        assert cache.get((0.2, 0.2)) is not None
+
+    def test_lru_eviction(self):
+        cache = SkylineCache(max_entries=2)
+        cache.put((1.0,), [], _result(), (0, 0))
+        cache.put((2.0,), [], _result(), (0, 0))
+        assert cache.get((1.0,)) is not None  # refresh (1.0,)
+        cache.put((3.0,), [], _result(), (0, 0))
+        assert cache.get((2.0,)) is None  # the LRU entry went
+        assert cache.get((1.0,)) is not None
+        assert cache.stats.evictions == 1
+
+    def test_clear(self):
+        cache = SkylineCache()
+        cache.put((1.0,), [], _result(), (0, 0))
+        assert cache.clear() == 1
+        assert len(cache) == 0
+
+
+class TestTopKCache:
+    def test_hit_requires_covering_prefix(self):
+        cache = TopKCache()
+        assert cache.get(1) is None
+        cache.put([_result(i) for i in range(3)], exhausted=False,
+                  epoch=(0, 0))
+        hit = cache.get(2)
+        assert hit is not None and len(hit[0]) == 2
+        assert cache.get(5) is None  # prefix too short, not exhausted
+
+    def test_exhausted_prefix_serves_any_k(self):
+        cache = TopKCache()
+        cache.put([_result(0)], exhausted=True, epoch=(0, 0))
+        results, exhausted = cache.get(10)
+        assert exhausted and len(results) == 1
+
+    def test_shorter_put_never_clobbers_longer(self):
+        cache = TopKCache()
+        cache.put([_result(i) for i in range(5)], False, (0, 0))
+        cache.put([_result(9)], False, (1, 0))
+        assert cache.prefix_length == 5
+
+    def test_invalidate(self):
+        cache = TopKCache()
+        cache.put([_result(0)], True, (0, 0))
+        cache.invalidate()
+        assert cache.get(1) is None
+        assert cache.prefix_length == 0
+        assert cache.stats.invalidations == 1

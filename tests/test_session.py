@@ -145,3 +145,58 @@ class TestRandomizedInterleavings:
             k=3,
         )
         assert outcome.costs == pytest.approx([r.cost for r in oracle])
+
+
+class TestEpochsAndListeners:
+    def test_epochs_bump_per_side(self, session):
+        assert session.epoch == (0, 0)
+        cid = session.add_competitor((0.5, 0.5))
+        pid = session.add_product((1.5, 1.5))
+        assert session.epoch == (1, 1)
+        session.remove_competitor(cid)
+        session.remove_product(pid)
+        assert session.epoch == (2, 2)
+
+    def test_failed_mutations_do_not_bump(self, session):
+        session.remove_competitor(123)
+        session.remove_product(456)
+        assert session.epoch == (0, 0)
+
+    def test_listener_sees_every_mutation(self, session):
+        events = []
+        session.add_mutation_listener(events.append)
+        cid = session.add_competitor((0.4, 0.4))
+        pid = session.add_product((1.2, 1.2))
+        session.remove_competitor(cid)
+        result = session.top_k(1).results[0]
+        session.commit_upgrade(result)
+        session.remove_mutation_listener(events.append)
+        session.add_product((1.8, 1.8))
+        assert [(e.side, e.action) for e in events] == [
+            ("competitor", "add"),
+            ("product", "add"),
+            ("competitor", "remove"),
+            ("product", "upgrade"),
+        ]
+        upgrade_event = events[-1]
+        assert upgrade_event.old_point == (1.2, 1.2)
+        assert upgrade_event.point == result.upgraded
+
+    def test_from_points_matches_incremental_build(self):
+        rng = np.random.default_rng(9)
+        competitors = [tuple(p) for p in rng.random((60, 2))]
+        products = [tuple(1 + p) for p in rng.random((20, 2))]
+        bulk = MarketSession.from_points(competitors, products)
+        incremental = MarketSession(2, paper_cost_model(2))
+        for c in competitors:
+            incremental.add_competitor(c)
+        for p in products:
+            incremental.add_product(p)
+        assert bulk.top_k(5).costs == pytest.approx(
+            incremental.top_k(5).costs
+        )
+
+    def test_dominance_region_predicate(self, session):
+        session.add_product((1.0, 1.0))
+        assert session.any_product_in_dominance_region((0.5, 0.5))
+        assert not session.any_product_in_dominance_region((1.5, 0.5))
