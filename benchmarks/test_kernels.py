@@ -1,0 +1,97 @@
+"""Columnar-kernel cells: scalar oracles vs the numpy hot paths.
+
+One pytest-benchmark cell per kernel and per switch state, over the
+Figure 8/10 workload shape (anti-correlated competitors — the regime with
+the largest skylines, where the columnar paths matter most).  The recorded
+full-scale baseline (``|P| = 100000``, ``d = 4``) lives in
+``benchmarks/results/BENCH_kernels.json`` and is regenerated with::
+
+    skyup bench-kernels --competitors 100000 --products 2000 --dims 4 \
+        --save-json benchmarks/results/BENCH_kernels.json
+
+These cells default to a scaled-down instance (``SKYUP_BENCH_SCALE``
+overrides) so they double as the CI smoke check.
+"""
+
+import pytest
+
+from repro.bench.kernels import run_kernel_bench
+from repro.core.probing import batch_probing
+from repro.core.join import JoinUpgrader
+from repro.bench.workloads import synthetic_workload
+from repro.kernels.switch import use_kernels
+
+from conftest import bench_cell, scale_factor, scaled
+
+SCALE = scale_factor(50.0)
+
+P_PAPER = 100_000
+T_PAPER = 10_000
+DIMS = 4
+
+
+def workload():
+    wl = synthetic_workload(
+        "anti_correlated",
+        scaled(P_PAPER, SCALE, floor=400),
+        scaled(T_PAPER, SCALE, floor=100),
+        DIMS,
+    )
+    wl.competitor_tree
+    wl.product_tree
+    return wl
+
+
+@pytest.mark.parametrize("kernels", [False, True], ids=["scalar", "kernel"])
+def test_probing_batch_cell(benchmark, kernels):
+    wl = workload()
+
+    def cell():
+        with use_kernels(kernels):
+            return batch_probing(
+                wl.competitor_tree, wl.products, wl.cost_model, k=5
+            )
+
+    outcome = bench_cell(benchmark, cell)
+    assert len(outcome.results) == 5
+    benchmark.extra_info["dominance_tests"] = (
+        outcome.report.counters.dominance_tests
+    )
+
+
+@pytest.mark.parametrize("kernels", [False, True], ids=["scalar", "kernel"])
+def test_join_cell(benchmark, kernels):
+    wl = workload()
+
+    def cell():
+        with use_kernels(kernels):
+            return JoinUpgrader(
+                wl.competitor_tree, wl.product_tree, wl.cost_model,
+                bound="clb",
+            ).run(k=5)
+
+    outcome = bench_cell(benchmark, cell)
+    assert len(outcome.results) == 5
+    benchmark.extra_info["lbc_evaluations"] = (
+        outcome.report.counters.lbc_evaluations
+    )
+
+
+def test_kernel_smoke_agreement_and_speed():
+    """The CI gate: outputs agree; the kernel path is not pathologically slow.
+
+    At smoke scale numpy dispatch overhead can eat the win on the
+    traversal-bound cells, so the gate is "not slower than 1.5x scalar"
+    per cell, not a speedup requirement — the recorded full-scale baseline
+    is where the >= 3x end-to-end target is demonstrated.
+    """
+    report = run_kernel_bench(
+        n_competitors=scaled(P_PAPER, SCALE, floor=400),
+        n_products=scaled(T_PAPER, SCALE, floor=100),
+        dims=DIMS,
+        distribution="anti_correlated",
+        repeats=1,
+    )
+    assert report["all_agree"], report
+    for cell in report["cells"]:
+        assert cell["kernel_s"] <= cell["scalar_s"] * 1.5 + 0.01, cell

@@ -1,0 +1,258 @@
+"""Scalar-vs-kernel microbenchmarks for the columnar hot paths.
+
+One cell per kernel (:mod:`repro.kernels`): the same workload is executed
+with the global switch off (the scalar oracle) and on (the columnar path),
+outputs are cross-checked, and the speedup recorded.  ``skyup
+bench-kernels`` is the CLI wrapper; ``benchmarks/results/BENCH_kernels.json``
+records a baseline produced by it at the ISSUE's reference scale.
+
+Timings take the best of ``repeats`` runs — the kernels are deterministic,
+so the minimum is the least-noise estimate.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Tuple
+
+import numpy as np
+
+from repro.core.bounds import BOUND_NAMES, lbc, pair_bounds_vector
+from repro.core.dominators import get_dominating_skyline
+from repro.core.join import JoinUpgrader
+from repro.core.probing import batch_probing
+from repro.core.types import UpgradeConfig
+from repro.core.upgrade import upgrade
+from repro.costs.model import paper_cost_model
+from repro.data.generators import generate
+from repro.exceptions import ConfigurationError
+from repro.kernels.switch import use_kernels
+from repro.skyline.bbs import bbs_skyline
+from repro.skyline.bnl import bnl_skyline
+
+Cell = Dict[str, object]
+
+
+def _timed(
+    fn: Callable[[], object], enabled: bool, repeats: int
+) -> Tuple[float, object]:
+    """Best-of-``repeats`` wall time of ``fn`` under the given switch state."""
+    best = float("inf")
+    result: object = None
+    for _ in range(repeats):
+        with use_kernels(enabled):
+            start = time.perf_counter()
+            result = fn()
+            best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _cell(
+    name: str,
+    fn: Callable[[], object],
+    agree: Callable[[object, object], bool],
+    repeats: int,
+) -> Cell:
+    scalar_s, scalar_out = _timed(fn, False, repeats)
+    kernel_s, kernel_out = _timed(fn, True, repeats)
+    return {
+        "cell": name,
+        "scalar_s": scalar_s,
+        "kernel_s": kernel_s,
+        "speedup": scalar_s / kernel_s if kernel_s > 0 else float("inf"),
+        "agree": bool(agree(scalar_out, kernel_out)),
+    }
+
+
+def _costs(outcome) -> List[float]:
+    return [r.cost for r in outcome.results]
+
+
+def run_kernel_bench(
+    n_competitors: int = 20000,
+    n_products: int = 2000,
+    dims: int = 4,
+    distribution: str = "independent",
+    bound: str = "clb",
+    seed: int = 2012,
+    repeats: int = 3,
+    probe_sample: int = 64,
+) -> Dict[str, object]:
+    """Run every scalar-vs-kernel cell; returns a JSON-ready report.
+
+    Args:
+        n_competitors: market size ``|P|`` (must be >= 1).
+        n_products: catalog size ``|T|`` (must be >= 1).
+        dims: dimensionality of the product space.
+        distribution: competitor distribution (the paper's synthetic
+            layouts); products use the same distribution shifted upward.
+        bound: join-list bound for the end-to-end join cell.
+        seed: workload seed.
+        repeats: timing repetitions per path (best is reported).
+        probe_sample: how many products the per-product cells probe.
+
+    Raises:
+        ConfigurationError: on non-positive sizes or an unknown ``bound``.
+    """
+    if n_competitors < 1 or n_products < 1:
+        raise ConfigurationError(
+            "n_competitors and n_products must be >= 1, got "
+            f"{n_competitors} and {n_products}"
+        )
+    if bound not in BOUND_NAMES:
+        raise ConfigurationError(
+            f"unknown bound {bound!r}; choose from {BOUND_NAMES}"
+        )
+    from repro.bench.workloads import synthetic_workload
+
+    wl = synthetic_workload(
+        distribution, n_competitors, n_products, dims, seed=seed
+    )
+    model = wl.cost_model
+    config = UpgradeConfig()
+    rng = np.random.default_rng(seed + 1)
+    sample = wl.products[
+        rng.choice(
+            len(wl.products),
+            size=min(probe_sample, len(wl.products)),
+            replace=False,
+        )
+    ]
+    probes = [tuple(float(v) for v in row) for row in sample]
+    tree = wl.competitor_tree  # built once, outside the timed regions
+
+    cells: List[Cell] = []
+
+    # BBS global skyline: the SkylineBuffer dominance test is the hot loop.
+    cells.append(
+        _cell(
+            "bbs_skyline",
+            lambda: bbs_skyline(tree),
+            lambda a, b: a == b,
+            repeats,
+        )
+    )
+
+    # Algorithm 3 over a sample of products.
+    cells.append(
+        _cell(
+            "dominating_skyline",
+            lambda: [get_dominating_skyline(tree, t) for t in probes],
+            lambda a, b: a == b,
+            repeats,
+        )
+    )
+
+    # Algorithm 1 on a large antichain (anti-correlated clouds maximize
+    # skyline sizes, which is where the batched pricing pays off).
+    cloud = generate("anti_correlated", 4000, dims, seed=seed + 2)
+    antichain = bnl_skyline([tuple(row) for row in np.abs(cloud) + 0.05])
+    target = tuple(
+        float(max(s[d] for s in antichain) + 0.25) for d in range(dims)
+    )
+    cells.append(
+        _cell(
+            "upgrade",
+            lambda: [
+                upgrade(antichain, target, model, config)
+                for _ in range(32)
+            ][-1],
+            lambda a, b: a[1] == b[1] and abs(a[0] - b[0]) <= 1e-9,
+            repeats,
+        )
+    )
+
+    # Per-pair lower bounds over one big join list.  The switch does not
+    # gate these entry points, so the two paths are invoked explicitly.
+    jl = min(512, max(8, n_competitors // 8))
+    t_low = tuple(1.0 + rng.random(dims))
+    lows = 0.05 + rng.random((jl, dims))
+    highs = lows + rng.random((jl, dims)) * 0.5
+
+    def _scalar_pairs() -> List[Tuple[float, bytes]]:
+        return [
+            lbc(t_low, tuple(lo), tuple(hi), model)
+            for lo, hi in zip(lows, highs)
+        ]
+
+    scalar_s, scalar_pairs = _timed(_scalar_pairs, False, repeats)
+    kernel_s, kernel_pairs = _timed(
+        lambda: pair_bounds_vector(t_low, lows, highs, model), True, repeats
+    )
+    cells.append(
+        {
+            "cell": f"pair_bounds[jl={jl}]",
+            "scalar_s": scalar_s,
+            "kernel_s": kernel_s,
+            "speedup": scalar_s / kernel_s if kernel_s > 0 else float("inf"),
+            "agree": all(
+                vs == ss and abs(vb - sb) <= 1e-9
+                for (vb, vs), (sb, ss) in zip(kernel_pairs, scalar_pairs)
+            ),
+        }
+    )
+
+    # End to end: amortized probing over the full catalog.
+    cells.append(
+        _cell(
+            "probing_batch",
+            lambda: batch_probing(tree, wl.products, model, k=5),
+            lambda a, b: np.allclose(_costs(a), _costs(b), atol=1e-9),
+            repeats,
+        )
+    )
+
+    # End to end: the R-tree join.
+    product_tree = wl.product_tree
+    cells.append(
+        _cell(
+            f"join[{bound}]",
+            lambda: JoinUpgrader(
+                tree, product_tree, model, bound=bound
+            ).run(k=5),
+            lambda a, b: np.allclose(_costs(a), _costs(b), atol=1e-9),
+            repeats,
+        )
+    )
+
+    return {
+        "workload": {
+            "distribution": distribution,
+            "competitors": n_competitors,
+            "products": n_products,
+            "dims": dims,
+            "bound": bound,
+            "seed": seed,
+            "repeats": repeats,
+            "upgrade_skyline_size": len(antichain),
+        },
+        "cells": cells,
+        "all_agree": all(c["agree"] for c in cells),
+    }
+
+
+def format_kernel_report(report: Dict[str, object]) -> str:
+    """Human-readable scalar-vs-kernel table for the CLI."""
+    wl = report["workload"]
+    lines = [
+        (
+            f"# bench-kernels: |P|={wl['competitors']} |T|={wl['products']} "
+            f"d={wl['dims']} {wl['distribution']} bound={wl['bound']} "
+            f"(best of {wl['repeats']})"
+        ),
+        (
+            f"{'cell':24s} {'scalar_s':>10s} {'kernel_s':>10s} "
+            f"{'speedup':>8s} {'agree':>6s}"
+        ),
+    ]
+    for cell in report["cells"]:
+        lines.append(
+            f"{cell['cell']:24s} {cell['scalar_s']:10.4f} "
+            f"{cell['kernel_s']:10.4f} {cell['speedup']:7.2f}x "
+            f"{'yes' if cell['agree'] else 'NO':>6s}"
+        )
+    verdict = "all cells agree" if report["all_agree"] else (
+        "AGREEMENT FAILURE — kernel and scalar outputs differ"
+    )
+    lines.append(f"[{verdict}]")
+    return "\n".join(lines)

@@ -6,12 +6,15 @@ Three subcommands::
     skyup run --competitors P.csv --products T.csv --k 5 --method join
     skyup figure fig6a --scale 100
     skyup serve-bench --requests 2000 --save-json BENCH_serve.json
+    skyup bench-kernels --competitors 100000 --dims 4
 
 ``generate`` writes synthetic point sets; ``run`` solves one top-k upgrading
 instance from CSV files; ``figure`` regenerates one of the paper's
 experiment figures (see :mod:`repro.bench.figures` for ids and
 EXPERIMENTS.md for the recorded outputs); ``serve-bench`` measures the
-serving engine's cached-vs-cold throughput (:mod:`repro.serve.bench`).
+serving engine's cached-vs-cold throughput (:mod:`repro.serve.bench`);
+``bench-kernels`` compares the columnar kernels against their scalar
+oracles (:mod:`repro.bench.kernels`).
 """
 
 from __future__ import annotations
@@ -172,6 +175,41 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also write the full report as JSON to PATH",
     )
+
+    krn = sub.add_parser(
+        "bench-kernels",
+        help="compare the columnar kernels against their scalar oracles",
+    )
+    krn.add_argument(
+        "--competitors", type=int, default=20000, help="market size |P|"
+    )
+    krn.add_argument(
+        "--products", type=int, default=2000, help="catalog size |T|"
+    )
+    krn.add_argument("--dims", type=int, default=4)
+    krn.add_argument(
+        "--distribution",
+        default="independent",
+        choices=["independent", "correlated", "anti_correlated"],
+    )
+    krn.add_argument(
+        "--bound",
+        default="clb",
+        help="join-list bound for the end-to-end join cell",
+    )
+    krn.add_argument("--seed", type=int, default=2012)
+    krn.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="timing repetitions per path (best is reported)",
+    )
+    krn.add_argument(
+        "--save-json",
+        metavar="PATH",
+        default=None,
+        help="also write the full report as JSON to PATH",
+    )
     return parser
 
 
@@ -284,6 +322,40 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_kernels(args: argparse.Namespace) -> int:
+    from repro.bench.kernels import format_kernel_report, run_kernel_bench
+    from repro.core.bounds import BOUND_NAMES
+
+    for name in ("competitors", "products", "dims", "repeats"):
+        if getattr(args, name) < 1:
+            print(f"error: --{name} must be >= 1", file=sys.stderr)
+            return 2
+    if args.bound not in BOUND_NAMES:
+        print(
+            f"error: unknown bound {args.bound!r}; "
+            f"choose from {', '.join(BOUND_NAMES)}",
+            file=sys.stderr,
+        )
+        return 2
+    report = run_kernel_bench(
+        n_competitors=args.competitors,
+        n_products=args.products,
+        dims=args.dims,
+        distribution=args.distribution,
+        bound=args.bound,
+        seed=args.seed,
+        repeats=args.repeats,
+    )
+    print(format_kernel_report(report))
+    if args.save_json:
+        import json
+
+        with open(args.save_json, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+        print(f"[report written to {args.save_json}]")
+    return 0 if report["all_agree"] else 1
+
+
 def _cmd_figure(args: argparse.Namespace) -> int:
     from repro.bench.figures import FIGURES, run_figure
 
@@ -341,6 +413,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_table(args)
         if args.command == "serve-bench":
             return _cmd_serve_bench(args)
+        if args.command == "bench-kernels":
+            return _cmd_bench_kernels(args)
         if args.command == "report":
             from repro.bench.report import render_report
 

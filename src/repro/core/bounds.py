@@ -78,6 +78,7 @@ from repro.costs.model import CostModel
 from repro.exceptions import ConfigurationError
 from repro.geometry.classify import DimClassification, classify_dimensions
 from repro.instrumentation import Counters
+from repro.kernels.bounds_batch import _ADV, _DIS, _INC, pair_bounds_block
 
 #: The names accepted wherever a join-list bound is selected.
 BOUND_NAMES = ("nlb", "clb", "alb", "max")
@@ -89,9 +90,6 @@ Corner = Tuple[float, ...]
 
 #: A per-entry bound plus the partition key of its dimension classification.
 Pair = Tuple[float, bytes]
-
-# Per-dimension category codes packed into the signature bytes.
-_DIS, _INC, _ADV = 1, 2, 0
 
 
 def signature_of(classification: DimClassification) -> bytes:
@@ -230,6 +228,10 @@ def pair_bounds_vector(
     scalar path otherwise.  Agrees with :func:`lbc` to floating-point
     associativity.
 
+    The implementation lives in the columnar kernel layer
+    (:func:`repro.kernels.bounds_batch.pair_bounds_block`); this name is
+    kept as the core-layer entry point.
+
     Args:
         t_low: ``e_T.min``.
         p_lows: ``(n, c)`` array of ``e_P.min`` corners.
@@ -238,58 +240,9 @@ def pair_bounds_vector(
     Returns:
         One ``(bound, signature)`` pair per row.
     """
-    if mode not in LBC_MODES:
-        raise ConfigurationError(
-            f"unknown LBC mode {mode!r}; choose from {LBC_MODES}"
-        )
-    n = p_lows.shape[0]
-    if stats is not None:
-        stats.lbc_evaluations += n
-    if n == 0:
-        return []
-    t_row = np.asarray(t_low, dtype=np.float64)
-    dis = p_highs < t_row
-    adv = t_row < p_lows
-    inc = ~(dis | adv)
-    codes = np.where(dis, _DIS, np.where(inc, _INC, _ADV)).astype(np.uint8)
-
-    zero_rows = adv.any(axis=1) | inc.all(axis=1)
-    bounds = np.zeros(n, dtype=np.float64)
-    active = ~zero_rows
-    if active.any():
-        # Per-dimension escape deltas: upgrade t_low's dim i to p_high[i]
-        # (or p_low[i]); attribute costs evaluate column-wise.
-        weights = _integration_weights(cost_model)
-        ft = np.array(
-            [
-                f(v)
-                for f, v in zip(cost_model.attribute_costs, t_row)
-            ]
-        )
-        delta_high = np.empty_like(p_highs)
-        delta_low = np.empty_like(p_lows)
-        for i, f in enumerate(cost_model.attribute_costs):
-            delta_high[:, i] = (f.vector(p_highs[:, i]) - ft[i]) * weights[i]
-            delta_low[:, i] = (f.vector(p_lows[:, i]) - ft[i]) * weights[i]
-        all_dis = dis.all(axis=1)
-        if mode == "paper":
-            masked = np.where(dis, delta_high, 0.0)
-            bounds[active] = masked[active].sum(axis=1)
-        else:
-            case3 = active & all_dis
-            if case3.any():
-                bounds[case3] = delta_high[case3].min(axis=1)
-            one_inc = active & ~all_dis & (inc.sum(axis=1) == 1)
-            if one_inc.any():
-                cand = np.where(
-                    dis, delta_high, np.where(inc, delta_low, np.inf)
-                )
-                bounds[one_inc] = cand[one_inc].min(axis=1)
-            # Rows with >= 2 incomparable dims stay at the sound bound 0.
-        np.maximum(bounds, 0.0, out=bounds)
-    return [
-        (float(b), codes[i].tobytes()) for i, b in enumerate(bounds)
-    ]
+    return pair_bounds_block(
+        t_low, p_lows, p_highs, cost_model, stats, mode
+    )
 
 
 def supports_vector_bounds(cost_model: CostModel) -> bool:
@@ -307,15 +260,6 @@ def supports_vector_bounds(cost_model: CostModel) -> bool:
     return isinstance(
         cost_model.integration, (SumIntegration, WeightedSumIntegration)
     ) and cost_model.supports_vectorization()
-
-
-def _integration_weights(cost_model: CostModel) -> "np.ndarray":
-    """Per-dimension weights of a (weighted-)sum integration."""
-    from repro.costs.integration import WeightedSumIntegration
-
-    if isinstance(cost_model.integration, WeightedSumIntegration):
-        return np.asarray(cost_model.integration.weights, dtype=np.float64)
-    return np.ones(len(cost_model.attribute_costs), dtype=np.float64)
 
 
 def naive_bound(pair_bounds: Iterable[float]) -> float:

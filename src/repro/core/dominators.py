@@ -20,11 +20,11 @@ import heapq
 import itertools
 from typing import Iterable, List, Optional, Sequence, Tuple
 
-import numpy as np
-
 from repro.geometry.point import dominates
 from repro.geometry.region import mbr_overlaps_adr, point_in_adr
 from repro.instrumentation import Counters
+from repro.kernels.skybuffer import SkylineBuffer
+from repro.kernels.switch import kernels_enabled
 from repro.rtree.entry import Entry
 from repro.rtree.tree import RTree
 
@@ -72,8 +72,22 @@ def get_dominating_skyline_multi(
         product: the query point ``t``.
         stats: optional counters.
     """
+    if stats is not None:
+        label = (
+            "kernel.dominators" if kernels_enabled() else "scalar.dominators"
+        )
+        with stats.timed(label):
+            return _traverse(roots, product, stats)
+    return _traverse(roots, product, stats)
+
+
+def _traverse(
+    roots: Iterable[Entry],
+    product: Sequence[float],
+    stats: Optional[Counters],
+) -> List[Point]:
     t = tuple(float(v) for v in product)
-    skyline = _SkylineBuffer(len(t))
+    skyline = SkylineBuffer(len(t))
     seen: set = set()
     counter = itertools.count()
     heap: List[tuple] = []
@@ -156,58 +170,3 @@ def dominators_brute_force(
     ]
 
 
-class _SkylineBuffer:
-    """A growing skyline with a vectorized is-dominated test.
-
-    BBS-style traversals test thousands of candidate corners against the
-    skyline found so far; beyond a small size a single numpy broadcast beats
-    the per-point Python loop by two orders of magnitude.  The buffer grows
-    geometrically to amortize array reallocation.
-    """
-
-    _VECTOR_FROM = 32
-
-    __slots__ = ("points", "_arr", "_n", "_dims")
-
-    def __init__(self, dims: int):
-        self.points: List[Point] = []
-        self._dims = dims
-        self._arr = np.empty((64, dims), dtype=np.float64)
-        self._n = 0
-
-    def __len__(self) -> int:
-        return self._n
-
-    def add(self, point: Point) -> None:
-        """Append an (already verified undominated) skyline point."""
-        if self._n == self._arr.shape[0]:
-            grown = np.empty(
-                (self._arr.shape[0] * 2, self._dims), dtype=np.float64
-            )
-            grown[: self._n] = self._arr[: self._n]
-            self._arr = grown
-        self._arr[self._n] = point
-        self._n += 1
-        self.points.append(point)
-
-    def dominates_point(
-        self, p: Sequence[float], stats: Optional[Counters]
-    ) -> bool:
-        """True iff some stored skyline point dominates ``p``."""
-        n = self._n
-        if stats is not None:
-            stats.dominance_tests += n
-        if n == 0:
-            return False
-        if n < self._VECTOR_FROM:
-            for s in self.points:
-                if dominates(s, p):
-                    return True
-            return False
-        block = self._arr[:n]
-        row = np.asarray(p, dtype=np.float64)
-        le = (block <= row).all(axis=1)
-        if not le.any():
-            return False
-        lt = (block[le] < row).any(axis=1)
-        return bool(lt.any())

@@ -52,6 +52,8 @@ from repro.exceptions import ConfigurationError
 from repro.geometry.point import dominates
 from repro.geometry.region import mbr_overlaps_adr
 from repro.instrumentation import Counters, RunReport, Timer
+from repro.kernels.dominance import dominated_mask, dominating_mask
+from repro.kernels.switch import kernels_enabled
 from repro.rtree.entry import Entry
 from repro.rtree.tree import RTree
 
@@ -60,8 +62,10 @@ _DEFAULT_CONFIG = UpgradeConfig()
 #: Heap finality markers: final results pop before equal-cost candidates.
 _FINAL, _CANDIDATE = 0, 1
 
-#: Join lists at or above this size use the vectorized bound evaluation.
-_VECTOR_JL_FROM = 16
+#: Join lists at or above this size use the columnar kernels (measured
+#: crossover of the batch evaluation vs the per-entry scalar loop,
+#: including the cost of building the corner arrays).
+_VECTOR_JL_FROM = 8
 
 
 class JoinUpgrader:
@@ -253,14 +257,12 @@ class JoinUpgrader:
         join lists take the general multi-root traversal.
         """
         stats = self.stats
-        if jl and len(jl) >= _VECTOR_JL_FROM and all(
+        if kernels_enabled() and jl and len(jl) >= _VECTOR_JL_FROM and all(
             e.is_leaf_entry for e in jl
         ):
             pts = np.array([e.point for e in jl], dtype=np.float64)
-            row = np.asarray(point, dtype=np.float64)
             stats.dominance_tests += len(jl)
-            mask = (pts <= row).all(axis=1) & (pts < row).any(axis=1)
-            dominators = pts[mask]
+            dominators = pts[dominating_mask(pts, point)]
             # Ascending coordinate-sum order, matching the BBS-style path.
             order = np.argsort(dominators.sum(axis=1), kind="stable")
             skyline = [
@@ -271,26 +273,40 @@ class JoinUpgrader:
         return get_dominating_skyline_multi(jl, point, stats)
 
     def _pair_bounds(self, e_t: Entry, jl: List[Entry]) -> List[Pair]:
-        """LBC of ``e_t`` against each join-list entry."""
+        """LBC of ``e_t`` against each join-list entry.
+
+        One batched ``(|JL|, d)`` kernel evaluation when kernels are on and
+        the join list is past the dispatch-overhead crossover; the scalar
+        per-entry loop (also the oracle) otherwise.
+        """
         t_low = e_t.mbr.low
-        if self._vector_bounds and len(jl) >= _VECTOR_JL_FROM:
-            lows = np.array([e.mbr.low for e in jl], dtype=np.float64)
-            highs = np.array([e.mbr.high for e in jl], dtype=np.float64)
-            return pair_bounds_vector(
-                t_low, lows, highs, self.cost_model, self.stats,
-                self.lbc_mode,
-            )
-        return [
-            lbc(
-                t_low,
-                e.mbr.low,
-                e.mbr.high,
-                self.cost_model,
-                self.stats,
-                self.lbc_mode,
-            )
-            for e in jl
-        ]
+        stats = self.stats
+        if (
+            kernels_enabled()
+            and self._vector_bounds
+            and len(jl) >= _VECTOR_JL_FROM
+        ):
+            with stats.timed("kernel.pair_bounds"):
+                lows = np.array([e.mbr.low for e in jl], dtype=np.float64)
+                highs = np.array(
+                    [e.mbr.high for e in jl], dtype=np.float64
+                )
+                return pair_bounds_vector(
+                    t_low, lows, highs, self.cost_model, stats,
+                    self.lbc_mode,
+                )
+        with stats.timed("scalar.pair_bounds"):
+            return [
+                lbc(
+                    t_low,
+                    e.mbr.low,
+                    e.mbr.high,
+                    self.cost_model,
+                    stats,
+                    self.lbc_mode,
+                )
+                for e in jl
+            ]
 
     def _expand_product_entry(
         self,
@@ -304,7 +320,7 @@ class JoinUpgrader:
         stats.node_accesses += 1
         jl_lows = (
             np.array([e.mbr.low for e in jl], dtype=np.float64)
-            if len(jl) >= _VECTOR_JL_FROM
+            if kernels_enabled() and len(jl) >= _VECTOR_JL_FROM
             else None
         )
         for child in e_t.child.entries:
@@ -403,7 +419,7 @@ class JoinUpgrader:
         stats.entries_pruned += len(picked.child.entries) - len(children)
 
         n = len(base)
-        use_vector = n >= _VECTOR_JL_FROM
+        use_vector = kernels_enabled() and n >= _VECTOR_JL_FROM
         if use_vector:
             base_lows = np.array(
                 [e.mbr.low for e, _ in base], dtype=np.float64
@@ -420,20 +436,10 @@ class JoinUpgrader:
             flag = False
             if n:
                 if use_vector:
-                    clow = np.asarray(child_low)
-                    chigh = np.asarray(child_high)
                     stats.dominance_tests += 2 * int(keep.sum())
-                    dominated = (
-                        (base_highs <= clow).all(axis=1)
-                        & (base_highs < clow).any(axis=1)
-                        & keep
-                    )
+                    dominated = dominating_mask(base_highs, child_low) & keep
                     flag = bool(dominated.any())
-                    removable = (
-                        (chigh <= base_lows).all(axis=1)
-                        & (chigh < base_lows).any(axis=1)
-                        & keep
-                    )
+                    removable = dominated_mask(base_lows, child_high) & keep
                     stats.entries_pruned += int(removable.sum())
                     keep &= ~removable
                 else:

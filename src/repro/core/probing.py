@@ -32,8 +32,6 @@ from __future__ import annotations
 import heapq
 from typing import Iterable, List, Optional, Sequence, Tuple
 
-import numpy as np
-
 from repro.core.dominators import get_dominating_skyline
 from repro.core.types import UpgradeConfig, UpgradeOutcome, UpgradeResult
 from repro.core.upgrade import upgrade
@@ -42,6 +40,9 @@ from repro.exceptions import ConfigurationError
 from repro.geometry.mbr import MBR
 from repro.geometry.point import dominates
 from repro.instrumentation import Counters, RunReport, Timer
+from repro.kernels.block import PointBlock
+from repro.kernels.dominance import dominating_mask
+from repro.kernels.switch import kernels_enabled
 from repro.rtree.query import range_query
 from repro.rtree.tree import RTree
 from repro.skyline.bbs import bbs_skyline
@@ -164,24 +165,25 @@ def batch_probing(
     tie = 0
     with Timer() as timer:
         global_skyline = bbs_skyline(competitor_tree, stats)
-        sky_arr = (
-            np.asarray(global_skyline, dtype=np.float64)
-            if global_skyline
+        sky_block = (
+            PointBlock.from_points(global_skyline)
+            if global_skyline and kernels_enabled()
             else None
         )
         for record_id, raw in enumerate(products):
             t = tuple(float(v) for v in raw)
             skyline: List[Point]
-            if sky_arr is None:
-                skyline = []
-            else:
-                row = np.asarray(t)
-                stats.dominance_tests += len(global_skyline)
-                mask = (sky_arr <= row).all(axis=1) & (
-                    sky_arr < row
-                ).any(axis=1)
+            stats.dominance_tests += len(global_skyline)
+            if sky_block is not None:
                 # A subset of an antichain is its own skyline.
-                skyline = [global_skyline[i] for i in np.flatnonzero(mask)]
+                mask = dominating_mask(sky_block.data, t)
+                skyline = [
+                    global_skyline[i] for i in sky_block.ids[mask]
+                ]
+            else:
+                skyline = [
+                    s for s in global_skyline if dominates(s, t)
+                ]
             cost, upgraded = upgrade(skyline, t, cost_model, config, stats)
             result = UpgradeResult(record_id, t, upgraded, cost)
             tie += 1

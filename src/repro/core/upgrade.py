@@ -29,13 +29,13 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence, Tuple
 
-import numpy as np
-
 from repro.core.types import UpgradeConfig
 from repro.costs.model import CostModel
 from repro.exceptions import DimensionalityError, NotAnAntichainError
 from repro.geometry.point import dominates
 from repro.instrumentation import Counters
+from repro.kernels.switch import kernels_enabled
+from repro.kernels.upgrade_enum import upgrade_kernel
 
 Point = Tuple[float, ...]
 
@@ -84,9 +84,36 @@ def upgrade(
     if config.validate:
         _validate_antichain(points, p)
 
-    if len(points) >= _VECTOR_THRESHOLD and cost_model.supports_vectorization():
-        return _upgrade_vectorized(points, p, cost_model, config)
+    if (
+        kernels_enabled()
+        and len(points) >= _VECTOR_THRESHOLD
+        and cost_model.supports_vectorization()
+    ):
+        # Columnar path: the whole candidate set priced in one batch
+        # (same visit order as below, so ties resolve identically).
+        if stats is None:
+            return upgrade_kernel(
+                points, p, cost_model, config.epsilon, config.extended
+            )
+        with stats.timed("kernel.upgrade"):
+            return upgrade_kernel(
+                points, p, cost_model, config.epsilon, config.extended
+            )
 
+    if stats is not None:
+        with stats.timed("scalar.upgrade"):
+            return _upgrade_scalar(points, p, cost_model, config)
+    return _upgrade_scalar(points, p, cost_model, config)
+
+
+def _upgrade_scalar(
+    points: List[Point],
+    p: Point,
+    cost_model: CostModel,
+    config: UpgradeConfig,
+) -> Tuple[float, Point]:
+    """The paper's Algorithm 1 verbatim — the kernel path's oracle."""
+    dims = len(p)
     eps = config.epsilon
     base_cost = cost_model.product_cost(p)
     best_cost = float("inf")
@@ -133,60 +160,9 @@ def upgrade(
     return best_cost, best
 
 
-#: Skyline size above which the numpy evaluation path takes over.
+#: Skyline size above which the columnar kernel path takes over (below it
+#: the numpy dispatch overhead loses to the plain loops).
 _VECTOR_THRESHOLD = 48
-
-
-def _upgrade_vectorized(
-    points: List[Point],
-    p: Point,
-    cost_model: CostModel,
-    config: UpgradeConfig,
-) -> Tuple[float, Point]:
-    """Numpy evaluation of exactly the candidate set of the scalar path.
-
-    Produces the same minimum cost (up to floating-point associativity of
-    the per-row cost summation); the returned candidate may differ from the
-    scalar path's under exact cost ties, which is the tie freedom the paper
-    acknowledges for top-k problems.
-    """
-    eps = config.epsilon
-    dims = len(p)
-    sky = np.asarray(points, dtype=np.float64)
-    base_cost = float(cost_model.vector_product_cost(np.array([p]))[0])
-    best_cost = float("inf")
-    best_row: Optional[np.ndarray] = None
-
-    for k in range(dims):
-        order = np.argsort(sky[:, k], kind="stable")
-        ordered = sky[order]
-
-        # Single-dimension candidate (lines 4-7).
-        single = np.array(p, dtype=np.float64)
-        single[k] = ordered[0, k] - eps
-        candidates = [single[None, :]]
-
-        # Consecutive-pair candidates (lines 8-16).
-        if len(ordered) > 1:
-            pair = ordered[:-1] - eps
-            pair[:, k] = ordered[1:, k] - eps
-            candidates.append(pair)
-
-        if config.extended:
-            tail = np.full(dims, 0.0)
-            tail[:] = ordered[-1] - eps
-            tail[k] = p[k]
-            candidates.append(tail[None, :])
-
-        block = np.vstack(candidates)
-        costs = np.asarray(cost_model.vector_product_cost(block)) - base_cost
-        idx = int(np.argmin(costs))
-        if costs[idx] < best_cost:
-            best_cost = float(costs[idx])
-            best_row = block[idx]
-
-    assert best_row is not None
-    return best_cost, tuple(float(v) for v in best_row)
 
 
 def _validate_antichain(points: List[Point], product: Point) -> None:

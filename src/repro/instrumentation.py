@@ -5,6 +5,12 @@ algorithm additionally reports *scale-free* work counters — R-tree node
 accesses, dominance tests, heap operations, Algorithm 1 invocations.  The
 benchmark harness prints both; the counters are what the EXPERIMENTS.md
 shape-comparison leans on.
+
+Counters additionally carry named wall-clock *timings* (``stats.timings``):
+hot paths record how long they spent on the kernel vs the scalar
+implementation (``kernel.upgrade`` vs ``scalar.upgrade`` and so on), which
+is how ``skyup serve-bench`` and ``skyup bench-kernels`` split a run's time
+by execution path.  Timings merge additively exactly like the counters.
 """
 
 from __future__ import annotations
@@ -15,14 +21,20 @@ from typing import Dict
 
 
 class Counters:
-    """A bag of named monotone counters.
+    """A bag of named monotone counters plus named wall-clock timings.
 
     Attribute-style access is provided for the hot, well-known counters so
     algorithm inner loops read naturally (``stats.node_accesses += 1``);
-    everything is also reachable through :meth:`as_dict`.
+    everything is also reachable through :meth:`as_dict`.  Named timings
+    accumulate seconds per label via :meth:`add_time` / :meth:`timed` and
+    are exported separately by :meth:`timings_dict` — :meth:`as_dict` stays
+    integer-valued (it feeds exact cross-run equality checks, which wall
+    clocks would break).
     """
 
-    __slots__ = (
+    #: The integer work counters (everything in ``__slots__`` except
+    #: ``timings``).  :meth:`as_dict` and ``__eq__`` cover exactly these.
+    COUNTER_FIELDS = (
         "node_accesses",
         "dominance_tests",
         "heap_pushes",
@@ -34,6 +46,8 @@ class Counters:
         "skyline_points",
     )
 
+    __slots__ = COUNTER_FIELDS + ("timings",)
+
     def __init__(self) -> None:
         self.node_accesses = 0
         self.dominance_tests = 0
@@ -44,13 +58,32 @@ class Counters:
         self.points_scanned = 0
         self.entries_pruned = 0
         self.skyline_points = 0
+        self.timings: Dict[str, float] = {}
 
     def as_dict(self) -> Dict[str, int]:
-        """Return all counters as a plain dict (stable key order)."""
-        return {name: getattr(self, name) for name in self.__slots__}
+        """Return the integer counters as a plain dict (stable key order)."""
+        return {name: getattr(self, name) for name in self.COUNTER_FIELDS}
+
+    def timings_dict(self) -> Dict[str, float]:
+        """Accumulated seconds per timing label (stable, sorted keys)."""
+        return {name: self.timings[name] for name in sorted(self.timings)}
+
+    def add_time(self, name: str, seconds: float) -> None:
+        """Accumulate ``seconds`` under the timing label ``name``."""
+        self.timings[name] = self.timings.get(name, 0.0) + seconds
+
+    def timed(self, name: str) -> "_TimedSection":
+        """Context manager accumulating its span under ``name``.
+
+        Example::
+
+            with stats.timed("kernel.upgrade"):
+                run_kernel()
+        """
+        return _TimedSection(self, name)
 
     def merge(self, other: "Counters") -> None:
-        """Add ``other``'s counts into this object.
+        """Add ``other``'s counts (and timings) into this object.
 
         Concurrency contract: each worker accumulates into its *own*
         instance and an aggregator merges them afterwards — ``+= 1`` on a
@@ -59,8 +92,10 @@ class Counters:
         exact: every counter is a sum of independent increments, so the
         merged totals equal a serial run's.
         """
-        for name in self.__slots__:
+        for name in self.COUNTER_FIELDS:
             setattr(self, name, getattr(self, name) + getattr(other, name))
+        for name, seconds in other.timings.items():
+            self.timings[name] = self.timings.get(name, 0.0) + seconds
 
     def copy(self) -> "Counters":
         """An independent snapshot of the current counts."""
@@ -77,18 +112,48 @@ class Counters:
         return total
 
     def __eq__(self, other: object) -> bool:
+        """Value equality over the *integer* counters.
+
+        Timings are deliberately excluded: they are wall-clock measurements,
+        so two otherwise identical runs never agree on them exactly.
+        """
         if not isinstance(other, Counters):
             return NotImplemented
         return self.as_dict() == other.as_dict()
 
     def reset(self) -> None:
-        """Zero every counter."""
-        for name in self.__slots__:
+        """Zero every counter and drop all timings."""
+        for name in self.COUNTER_FIELDS:
             setattr(self, name, 0)
+        self.timings = {}
 
     def __repr__(self) -> str:
         nonzero = {k: v for k, v in self.as_dict().items() if v}
+        if self.timings:
+            nonzero["timings"] = {
+                k: round(v, 6) for k, v in self.timings_dict().items()
+            }
         return f"Counters({nonzero})"
+
+
+class _TimedSection:
+    """Context manager adding its elapsed span to a :class:`Counters`."""
+
+    __slots__ = ("_counters", "_name", "_start")
+
+    def __init__(self, counters: Counters, name: str):
+        self._counters = counters
+        self._name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "_TimedSection":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._counters.add_time(
+            self._name, time.perf_counter() - self._start
+        )
 
 
 @dataclass
@@ -111,17 +176,39 @@ class RunReport:
 
 
 class Timer:
-    """Context manager measuring wall-clock time with ``perf_counter``."""
+    """Context manager measuring wall-clock time with ``perf_counter``.
 
-    __slots__ = ("elapsed_s", "_start")
+    Re-entrant and nestable: the same instance may be entered while already
+    active (from the same thread).  On every exit ``elapsed_s`` holds the
+    just-finished span; ``total_s`` accumulates *outermost* spans only, so
+    nested use never double-counts::
+
+        t = Timer()
+        with t:            # span A
+            with t:        # span B (inside A)
+                work()
+            # t.elapsed_s == span B
+        # t.elapsed_s == span A; t.total_s == span A (B not added again)
+    """
+
+    __slots__ = ("elapsed_s", "total_s", "_starts")
 
     def __init__(self) -> None:
         self.elapsed_s = 0.0
-        self._start = 0.0
+        self.total_s = 0.0
+        self._starts: list = []
+
+    @property
+    def depth(self) -> int:
+        """How many unexited ``with`` blocks are currently active."""
+        return len(self._starts)
 
     def __enter__(self) -> "Timer":
-        self._start = time.perf_counter()
+        self._starts.append(time.perf_counter())
         return self
 
     def __exit__(self, *exc_info: object) -> None:
-        self.elapsed_s = time.perf_counter() - self._start
+        span = time.perf_counter() - self._starts.pop()
+        self.elapsed_s = span
+        if not self._starts:
+            self.total_s += span

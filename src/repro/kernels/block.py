@@ -1,0 +1,186 @@
+"""``PointBlock`` — the columnar point store the kernels operate on.
+
+A block is an ``(n, d)`` C-contiguous float64 array paired with an ``(n,)``
+int64 array of *stable ids*: kernels filter, reorder, and subset blocks
+freely, and the ids travel along so results can always be traced back to
+the original records (R-tree ``record_id``s, catalog product ids, array row
+numbers).  Blocks are append-friendly — capacity grows geometrically, so a
+BBS-style traversal can accrete its skyline into a block without quadratic
+reallocation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import DimensionalityError
+
+Point = Tuple[float, ...]
+
+_INITIAL_CAPACITY = 64
+
+
+class PointBlock:
+    """An ``(n, d)`` float64 array of points with stable int64 ids.
+
+    Args:
+        dims: dimensionality of the stored points.
+        capacity: initial row capacity (grows geometrically on append).
+
+    Example:
+        >>> block = PointBlock.from_points([(0.1, 0.2), (0.3, 0.1)])
+        >>> len(block), block.dims
+        (2, 2)
+        >>> block.point(1)
+        (0.3, 0.1)
+    """
+
+    __slots__ = ("_data", "_ids", "_n")
+
+    def __init__(self, dims: int, capacity: int = _INITIAL_CAPACITY):
+        if dims < 1:
+            raise DimensionalityError(f"dims must be >= 1, got {dims}")
+        capacity = max(1, capacity)
+        self._data = np.empty((capacity, dims), dtype=np.float64)
+        self._ids = np.empty(capacity, dtype=np.int64)
+        self._n = 0
+
+    @classmethod
+    def from_points(
+        cls,
+        points: Sequence[Sequence[float]],
+        ids: Sequence[int] = (),
+    ) -> "PointBlock":
+        """Build a block from a point sequence (ids default to positions).
+
+        Accepts any ``(n, d)``-shaped input numpy can coerce — lists of
+        tuples, an existing array — and always copies into an owned,
+        C-contiguous buffer.
+        """
+        data = np.array(points, dtype=np.float64, ndmin=2)
+        if data.size == 0:
+            raise DimensionalityError(
+                "from_points needs at least one point (use PointBlock(dims) "
+                "for an empty block)"
+            )
+        if data.ndim != 2:
+            raise DimensionalityError(
+                f"expected an (n, d) point array, got shape {data.shape}"
+            )
+        n = data.shape[0]
+        block = cls(data.shape[1], capacity=n)
+        block._data[:n] = data
+        if len(ids):
+            if len(ids) != n:
+                raise DimensionalityError(
+                    f"{len(ids)} ids for {n} points"
+                )
+            block._ids[:n] = np.asarray(ids, dtype=np.int64)
+        else:
+            block._ids[:n] = np.arange(n, dtype=np.int64)
+        block._n = n
+        return block
+
+    # -- shape ----------------------------------------------------------------
+
+    @property
+    def dims(self) -> int:
+        """Dimensionality of the stored points."""
+        return self._data.shape[1]
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __bool__(self) -> bool:
+        return self._n > 0
+
+    # -- columnar views --------------------------------------------------------
+
+    @property
+    def data(self) -> np.ndarray:
+        """The live ``(n, d)`` view of the stored points.
+
+        A *view* into the growable buffer: valid until the next append that
+        triggers a reallocation.  Kernels consume it immediately; hold a
+        ``.copy()`` to keep one across mutations.
+        """
+        return self._data[: self._n]
+
+    @property
+    def ids(self) -> np.ndarray:
+        """The live ``(n,)`` view of the stable ids (same lifetime rules)."""
+        return self._ids[: self._n]
+
+    # -- row access ------------------------------------------------------------
+
+    def point(self, i: int) -> Point:
+        """Row ``i`` as a plain float tuple."""
+        return tuple(map(float, self.data[i]))
+
+    def id_of(self, i: int) -> int:
+        """Stable id of row ``i``."""
+        return int(self.ids[i])
+
+    def points(self) -> List[Point]:
+        """Every stored point as a list of float tuples (row order)."""
+        return [tuple(map(float, row)) for row in self.data]
+
+    def __iter__(self) -> Iterator[Point]:
+        return iter(self.points())
+
+    # -- mutation --------------------------------------------------------------
+
+    def append(self, point: Sequence[float], record_id: int = -1) -> int:
+        """Append one point; returns its row index.
+
+        ``record_id`` defaults to the row index, preserving the
+        ids-are-positions convention of :meth:`from_points`.
+        """
+        row = self._n
+        if row == self._data.shape[0]:
+            self._grow()
+        self._data[row] = point
+        self._ids[row] = record_id if record_id != -1 else row
+        self._n = row + 1
+        return row
+
+    def extend(
+        self, points: Iterable[Sequence[float]], ids: Sequence[int] = ()
+    ) -> None:
+        """Append many points (ids default to their new row indexes)."""
+        if len(ids):
+            for point, record_id in zip(points, ids):
+                self.append(point, record_id)
+        else:
+            for point in points:
+                self.append(point)
+
+    def _grow(self) -> None:
+        capacity = self._data.shape[0] * 2
+        data = np.empty((capacity, self.dims), dtype=np.float64)
+        ids = np.empty(capacity, dtype=np.int64)
+        data[: self._n] = self._data[: self._n]
+        ids[: self._n] = self._ids[: self._n]
+        self._data = data
+        self._ids = ids
+
+    # -- filtering -------------------------------------------------------------
+
+    def subset(self, mask: np.ndarray) -> "PointBlock":
+        """A new block holding the rows where ``mask`` is True (ids kept)."""
+        selected = np.flatnonzero(np.asarray(mask, dtype=bool))
+        return self.take(selected)
+
+    def take(self, indexes: np.ndarray) -> "PointBlock":
+        """A new block holding ``rows[indexes]`` in the given order."""
+        indexes = np.asarray(indexes, dtype=np.intp)
+        out = PointBlock(self.dims, capacity=max(1, len(indexes)))
+        out._data[: len(indexes)] = self.data[indexes]
+        out._ids[: len(indexes)] = self.ids[indexes]
+        out._n = len(indexes)
+        return out
+
+    def __repr__(self) -> str:
+        return f"PointBlock(n={self._n}, dims={self.dims})"

@@ -1,0 +1,122 @@
+"""Batched per-pair lower bounds: ``LBC`` over a whole join list at once.
+
+Algorithm 4 evaluates ``LBC(e_T, e_P)`` for every entry of a join list each
+time a product-side node is expanded or refined.  The scalar
+:func:`repro.core.bounds.lbc` classifies dimensions and prices escape
+candidates one entry at a time; this kernel evaluates the *entire* join
+list — classification, per-dimension escape deltas, and the Case 3/4
+minima — as ``(|JL|, d)`` array operations, one attribute-cost vector
+evaluation per dimension instead of a Python loop over entries.
+
+The per-dimension decomposition of the product cost is only valid for
+(weighted-)sum integrations; callers gate on
+:func:`repro.core.bounds.supports_vector_bounds`.  Semantics (including the
+``"corrected"`` vs ``"paper"`` mode split and the signature bytes) are
+documented in :mod:`repro.core.bounds`, which delegates its
+``pair_bounds_vector`` here.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.costs.model import CostModel
+from repro.exceptions import ConfigurationError
+from repro.instrumentation import Counters
+
+#: A per-entry bound plus the partition key of its dimension classification.
+Pair = Tuple[float, bytes]
+
+# Per-dimension category codes packed into the signature bytes; must match
+# repro.core.bounds.signature_of (which imports these).
+_DIS, _INC, _ADV = 1, 2, 0
+
+_MODES = ("corrected", "paper")
+
+
+def pair_bounds_block(
+    t_low: Sequence[float],
+    p_lows: "np.ndarray",
+    p_highs: "np.ndarray",
+    cost_model: CostModel,
+    stats: Optional[Counters] = None,
+    mode: str = "corrected",
+) -> List[Pair]:
+    """Vectorized ``lbc`` over many competitor entries at once.
+
+    Args:
+        t_low: ``e_T.min`` (for a leaf entry, the product point itself).
+        p_lows: ``(n, d)`` array of ``e_P.min`` corners.
+        p_highs: ``(n, d)`` array of ``e_P.max`` corners.
+        cost_model: the product cost function ``f_p`` (must support
+            per-dimension decomposition — see the module docstring).
+        stats: optional counters (``lbc_evaluations`` += n).
+        mode: ``"corrected"`` (valid lower bounds, default) or ``"paper"``
+            (the literal Case 3/4 formulas).
+
+    Returns:
+        One ``(bound, signature)`` pair per row, agreeing with the scalar
+        :func:`repro.core.bounds.lbc` to floating-point associativity.
+    """
+    if mode not in _MODES:
+        raise ConfigurationError(
+            f"unknown LBC mode {mode!r}; choose from {_MODES}"
+        )
+    p_lows = np.asarray(p_lows, dtype=np.float64)
+    p_highs = np.asarray(p_highs, dtype=np.float64)
+    n = p_lows.shape[0]
+    if stats is not None:
+        stats.lbc_evaluations += n
+    if n == 0:
+        return []
+    t_row = np.asarray(t_low, dtype=np.float64)
+    dis = p_highs < t_row
+    adv = t_row < p_lows
+    inc = ~(dis | adv)
+    codes = np.where(dis, _DIS, np.where(inc, _INC, _ADV)).astype(np.uint8)
+
+    zero_rows = adv.any(axis=1) | inc.all(axis=1)
+    bounds = np.zeros(n, dtype=np.float64)
+    active = ~zero_rows
+    if active.any():
+        # Per-dimension escape deltas: upgrade t_low's dim i to p_high[i]
+        # (or p_low[i]); attribute costs evaluate column-wise.
+        weights = _integration_weights(cost_model)
+        ft = np.array(
+            [f(v) for f, v in zip(cost_model.attribute_costs, t_row)]
+        )
+        delta_high = np.empty_like(p_highs)
+        delta_low = np.empty_like(p_lows)
+        for i, f in enumerate(cost_model.attribute_costs):
+            delta_high[:, i] = (f.vector(p_highs[:, i]) - ft[i]) * weights[i]
+            delta_low[:, i] = (f.vector(p_lows[:, i]) - ft[i]) * weights[i]
+        all_dis = dis.all(axis=1)
+        if mode == "paper":
+            masked = np.where(dis, delta_high, 0.0)
+            bounds[active] = masked[active].sum(axis=1)
+        else:
+            case3 = active & all_dis
+            if case3.any():
+                bounds[case3] = delta_high[case3].min(axis=1)
+            one_inc = active & ~all_dis & (inc.sum(axis=1) == 1)
+            if one_inc.any():
+                cand = np.where(
+                    dis, delta_high, np.where(inc, delta_low, np.inf)
+                )
+                bounds[one_inc] = cand[one_inc].min(axis=1)
+            # Rows with >= 2 incomparable dims stay at the sound bound 0.
+        np.maximum(bounds, 0.0, out=bounds)
+    return [
+        (float(b), codes[i].tobytes()) for i, b in enumerate(bounds)
+    ]
+
+
+def _integration_weights(cost_model: CostModel) -> "np.ndarray":
+    """Per-dimension weights of a (weighted-)sum integration."""
+    from repro.costs.integration import WeightedSumIntegration
+
+    if isinstance(cost_model.integration, WeightedSumIntegration):
+        return np.asarray(cost_model.integration.weights, dtype=np.float64)
+    return np.ones(len(cost_model.attribute_costs), dtype=np.float64)

@@ -1,0 +1,45 @@
+"""The global kernel on/off switch (separate module to avoid import cycles).
+
+:mod:`repro.kernels` re-exports everything here; call sites and the kernel
+submodules import from this module directly.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+_ENABLED = True
+
+
+def kernels_enabled() -> bool:
+    """True iff hot paths may take the columnar kernel implementations."""
+    return _ENABLED
+
+
+def set_kernels_enabled(enabled: bool) -> bool:
+    """Set the global kernel switch; returns the previous value.
+
+    The switch is process-global and not synchronized: flip it at setup
+    time (or around a whole benchmark run), not concurrently with queries.
+    """
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = bool(enabled)
+    return previous
+
+
+@contextmanager
+def use_kernels(enabled: bool) -> Iterator[None]:
+    """Temporarily force the kernel switch to ``enabled``.
+
+    Example::
+
+        with use_kernels(False):
+            outcome = top_k_upgrades(...)  # pure scalar oracle run
+    """
+    previous = set_kernels_enabled(enabled)
+    try:
+        yield
+    finally:
+        set_kernels_enabled(previous)

@@ -1,0 +1,101 @@
+"""Algorithm 1 candidate enumeration as one columnar pass.
+
+The scalar upgrade loop (:mod:`repro.core.upgrade`) evaluates, for every
+dimension ``k``, one single-dimension candidate, ``|S| - 1`` slot-between
+candidates, and (in extended mode) one tail candidate — each with a Python
+``f_p`` call.  :func:`enumerate_candidates` materializes the *entire*
+candidate set across all dimensions into one ``(N, d)`` block, and
+:func:`upgrade_kernel` prices it with a single
+:meth:`~repro.costs.model.CostModel.vector_product_cost` evaluation.
+
+The block lists candidates in exactly the scalar path's visit order
+(dimension by dimension: single, pairs in ascending-``D_k`` order, tail),
+and ``np.argmin`` returns the *first* minimum — so the kernel selects the
+same candidate the scalar loop's strict-improvement rule does, making the
+two paths bit-identical wherever the per-row cost sums are (they perform
+the same additions in the same order for (weighted-)sum integrations).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.costs.model import CostModel
+
+Point = Tuple[float, ...]
+
+
+def enumerate_candidates(
+    skyline: "np.ndarray",
+    product: Sequence[float],
+    eps: float,
+    extended: bool = False,
+) -> np.ndarray:
+    """All Algorithm 1 candidates for ``product`` vs ``skyline`` as a block.
+
+    Args:
+        skyline: ``(n, d)`` array of dominator-skyline points (``n >= 1``).
+        product: the product ``t`` being upgraded.
+        eps: the paper's ε.
+        extended: also emit the tail candidates (see
+            :mod:`repro.core.upgrade` for the correctness argument).
+
+    Returns:
+        An ``(N, d)`` float64 block, ``N = d * (1 + max(0, n-1) + extended)``,
+        ordered exactly as the scalar loop visits candidates.
+    """
+    sky = np.asarray(skyline, dtype=np.float64)
+    n, dims = sky.shape
+    p_row = np.asarray(product, dtype=np.float64)
+    per_dim = 1 + max(0, n - 1) + (1 if extended else 0)
+    out = np.empty((dims * per_dim, dims), dtype=np.float64)
+    row = 0
+    for k in range(dims):
+        order = np.argsort(sky[:, k], kind="stable")
+        ordered = sky[order]
+
+        # Lines 4-7: beat every skyline point on dimension k alone.
+        out[row] = p_row
+        out[row, k] = ordered[0, k] - eps
+        row += 1
+
+        # Lines 8-16: slot between consecutive points s_i < s_j on
+        # dimension k, matching s_i on every other dimension.
+        if n > 1:
+            pair = ordered[:-1] - eps
+            pair[:, k] = ordered[1:, k] - eps
+            out[row : row + n - 1] = pair
+            row += n - 1
+
+        if extended:
+            # Tail: keep p's own d_k, match the last point elsewhere.
+            out[row] = ordered[-1] - eps
+            out[row, k] = p_row[k]
+            row += 1
+    return out
+
+
+def upgrade_kernel(
+    skyline: "np.ndarray",
+    product: Sequence[float],
+    cost_model: CostModel,
+    eps: float,
+    extended: bool = False,
+) -> Tuple[float, Point]:
+    """Vectorized Algorithm 1: cheapest candidate in one batch evaluation.
+
+    Requires ``cost_model.supports_vectorization()`` (callers check; the
+    scalar loop in :mod:`repro.core.upgrade` is the fallback and oracle).
+
+    Returns:
+        ``(cost, upgraded_point)`` exactly as the scalar ``upgrade`` does.
+    """
+    sky = np.asarray(skyline, dtype=np.float64)
+    block = enumerate_candidates(sky, product, eps, extended)
+    p_row = np.asarray(product, dtype=np.float64)
+    base = float(cost_model.vector_product_cost(p_row[None, :])[0])
+    costs = np.asarray(cost_model.vector_product_cost(block)) - base
+    idx = int(np.argmin(costs))
+    return float(costs[idx]), tuple(map(float, block[idx]))

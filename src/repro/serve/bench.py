@@ -99,6 +99,7 @@ def _replay(
         "cache_hit_rate": hits / len(requests) if requests else 0.0,
         "latency_s": metrics["latency_s"],
         "counters": metrics["counters"],
+        "timings_s": metrics.get("timings_s", {}),
     }
 
 
@@ -181,4 +182,26 @@ def format_report(report: Dict[str, object]) -> str:
             f"{lat['p50'] * 1e3:8.3f} {lat['p95'] * 1e3:8.3f}"
         )
     lines.append(f"speedup (cached/cold): {report['speedup']:.2f}x")
+    split = _timing_split(report)
+    if split:
+        lines.append(split)
     return "\n".join(lines)
+
+
+def _timing_split(report: Dict[str, object]) -> str:
+    """Kernel-vs-scalar time split across both runs (empty if untimed)."""
+    kernel = scalar = 0.0
+    for mode in ("cold", "cached"):
+        timings = report[mode].get("timings_s") or {}
+        for name, seconds in timings.items():
+            if name.startswith("kernel."):
+                kernel += seconds
+            elif name.startswith("scalar."):
+                scalar += seconds
+    total = kernel + scalar
+    if total <= 0.0:
+        return ""
+    return (
+        f"hot-path split: kernel {kernel:.3f}s ({kernel / total:.1%}), "
+        f"scalar {scalar:.3f}s ({scalar / total:.1%})"
+    )

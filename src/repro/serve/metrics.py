@@ -124,6 +124,7 @@ class EngineMetrics:
             }
         if counters is not None:
             out["counters"] = counters.as_dict()
+            out["timings_s"] = counters.timings_dict()
         if extra:
             out.update(extra)
         return out

@@ -6,6 +6,11 @@ bound of every point inside the entry, a popped point that is not dominated
 by the current skyline is guaranteed final.  Entries whose lower corner is
 dominated by an existing skyline point are pruned wholesale.
 
+The dominated-by-current-skyline test — the inner loop of the whole
+traversal — runs on the columnar
+:class:`~repro.kernels.skybuffer.SkylineBuffer`: one numpy broadcast per
+candidate when kernels are enabled, the exact scalar loop otherwise.
+
 This module is the foundation of the paper's Algorithm 3
 (:mod:`repro.core.dominators` restricts the same traversal to an
 anti-dominant region).
@@ -18,6 +23,8 @@ import itertools
 from typing import List, Optional, Tuple
 
 from repro.instrumentation import Counters
+from repro.kernels.skybuffer import SkylineBuffer
+from repro.kernels.switch import kernels_enabled
 from repro.rtree.tree import RTree
 
 Point = Tuple[float, ...]
@@ -40,7 +47,15 @@ def bbs_skyline(
     """
     if tree.is_empty():
         return []
-    skyline: List[Point] = []
+    if stats is not None:
+        label = "kernel.bbs" if kernels_enabled() else "scalar.bbs"
+        with stats.timed(label):
+            return _bbs(tree, stats)
+    return _bbs(tree, stats)
+
+
+def _bbs(tree: RTree, stats: Optional[Counters]) -> List[Point]:
+    skyline = SkylineBuffer(tree.dims)
     accepted = set()
     counter = itertools.count()
     heap: List[tuple] = []
@@ -59,20 +74,20 @@ def bbs_skyline(
         if stats is not None:
             stats.heap_pops += 1
         # Re-check at pop: the skyline may have grown since the push.
-        if _dominated_by(skyline, corner, stats):
+        if skyline.dominates_point(corner, stats):
             if stats is not None:
                 stats.entries_pruned += 1
             continue
         if node is None:  # a point candidate, proven final by pop order
             if corner not in accepted:
                 accepted.add(corner)
-                skyline.append(corner)
+                skyline.add(corner)
             continue
         if stats is not None:
             stats.node_accesses += 1
         if node.is_leaf:
             for e in node.entries:
-                if not _dominated_by(skyline, e.point, stats):
+                if not skyline.dominates_point(e.point, stats):
                     heapq.heappush(
                         heap, (sum(e.point), e.point, next(counter), None)
                     )
@@ -81,7 +96,7 @@ def bbs_skyline(
         else:
             for e in node.entries:
                 low = e.mbr.low
-                if not _dominated_by(skyline, low, stats):
+                if not skyline.dominates_point(low, stats):
                     heapq.heappush(
                         heap, (sum(low), low, next(counter), e.child)
                     )
@@ -91,24 +106,4 @@ def bbs_skyline(
                     stats.entries_pruned += 1
     if stats is not None:
         stats.skyline_points += len(skyline)
-    return skyline
-
-
-def _dominated_by(
-    skyline: List[Point], p: Point, stats: Optional[Counters]
-) -> bool:
-    """True iff some current skyline point dominates ``p``."""
-    for s in skyline:
-        if stats is not None:
-            stats.dominance_tests += 1
-        strict = False
-        dominated = True
-        for a, b in zip(s, p):
-            if a > b:
-                dominated = False
-                break
-            if a < b:
-                strict = True
-        if dominated and strict:
-            return True
-    return False
+    return skyline.points

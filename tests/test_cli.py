@@ -188,3 +188,51 @@ class TestServeBench:
         assert report["cached"]["cache_hits"] > 0
         assert report["cold"]["cache_hits"] == 0
         assert report["workload"]["requests"] == 120
+        assert "timings_s" in report["cold"]
+
+    def test_rejects_nonpositive_sizes(self, capsys):
+        code = main(["serve-bench", "--requests", "0"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "--requests must be >= 1" in err
+
+
+class TestBenchKernels:
+    def test_prints_table_and_writes_json(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_kernels.json"
+        code = main(
+            [
+                "bench-kernels",
+                "--competitors", "300",
+                "--products", "60",
+                "--dims", "2",
+                "--repeats", "1",
+                "--save-json", str(out),
+            ]
+        )
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "scalar_s" in text and "kernel_s" in text
+        assert "all cells agree" in text
+        import json
+
+        report = json.loads(out.read_text())
+        assert report["all_agree"] is True
+        names = [c["cell"] for c in report["cells"]]
+        assert "probing_batch" in names
+        assert any(n.startswith("join[") for n in names)
+
+    @pytest.mark.parametrize(
+        "flag", ["--competitors", "--products", "--dims", "--repeats"]
+    )
+    def test_rejects_nonpositive_sizes(self, capsys, flag):
+        code = main(["bench-kernels", flag, "0"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert f"{flag} must be >= 1" in err
+
+    def test_rejects_unknown_bound(self, capsys):
+        code = main(["bench-kernels", "--bound", "tight"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "unknown bound 'tight'" in err and "clb" in err

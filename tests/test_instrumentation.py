@@ -10,9 +10,13 @@ class TestCounters:
         c = Counters()
         assert all(v == 0 for v in c.as_dict().values())
 
-    def test_as_dict_covers_all_slots(self):
+    def test_as_dict_covers_all_counter_fields(self):
         c = Counters()
-        assert set(c.as_dict()) == set(Counters.__slots__)
+        assert set(c.as_dict()) == set(Counters.COUNTER_FIELDS)
+        # Every slot is either an integer counter or the timings dict.
+        assert set(Counters.__slots__) == set(Counters.COUNTER_FIELDS) | {
+            "timings"
+        }
 
     def test_merge(self):
         a, b = Counters(), Counters()
@@ -85,8 +89,42 @@ class TestCounters:
     def test_reset(self):
         c = Counters()
         c.heap_pops = 9
+        c.add_time("kernel.upgrade", 0.5)
         c.reset()
         assert c.heap_pops == 0
+        assert c.timings == {}
+
+    def test_timings_accumulate_and_merge(self):
+        a, b = Counters(), Counters()
+        a.add_time("kernel.upgrade", 0.25)
+        a.add_time("kernel.upgrade", 0.25)
+        b.add_time("kernel.upgrade", 0.1)
+        b.add_time("scalar.upgrade", 1.0)
+        a.merge(b)
+        assert a.timings_dict() == {
+            "kernel.upgrade": 0.6,
+            "scalar.upgrade": 1.0,
+        }
+
+    def test_timed_context_manager_records(self):
+        c = Counters()
+        with c.timed("section"):
+            time.sleep(0.01)
+        assert c.timings["section"] >= 0.009
+
+    def test_timings_do_not_affect_equality(self):
+        a, b = Counters(), Counters()
+        a.heap_pushes = b.heap_pushes = 3
+        a.add_time("kernel.upgrade", 0.5)
+        assert a == b  # wall clocks are excluded from value equality
+
+    def test_copy_carries_timings_independently(self):
+        a = Counters()
+        a.add_time("x", 1.0)
+        b = a.copy()
+        b.add_time("x", 1.0)
+        assert a.timings["x"] == 1.0
+        assert b.timings["x"] == 2.0
 
     def test_repr_shows_only_nonzero(self):
         c = Counters()
@@ -101,6 +139,38 @@ class TestTimer:
         with Timer() as t:
             time.sleep(0.01)
         assert t.elapsed_s >= 0.009
+
+    def test_reentrant_nesting(self):
+        t = Timer()
+        with t:
+            time.sleep(0.01)
+            with t:
+                time.sleep(0.01)
+            inner = t.elapsed_s
+            assert inner >= 0.009
+            assert t.depth == 1
+        assert t.depth == 0
+        # Outer span covers the inner one.
+        assert t.elapsed_s >= inner + 0.009
+
+    def test_total_counts_outermost_spans_only(self):
+        t = Timer()
+        with t:
+            with t:
+                time.sleep(0.005)
+        first_total = t.total_s
+        assert first_total == t.elapsed_s  # the inner span was not re-added
+        with t:
+            time.sleep(0.005)
+        assert t.total_s >= first_total + 0.004
+
+    def test_sequential_reuse(self):
+        t = Timer()
+        with t:
+            time.sleep(0.002)
+        with t:
+            time.sleep(0.002)
+        assert t.total_s >= 0.003
 
 
 class TestRunReport:
