@@ -170,6 +170,23 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--k", type=int, default=5, help="top-k depth")
     srv.add_argument("--seed", type=int, default=2012)
     srv.add_argument(
+        "--fault-rate",
+        type=float,
+        default=0.0,
+        help="arm seeded fault injection at this per-point rate (0 = off)",
+    )
+    srv.add_argument(
+        "--fault-seed",
+        type=int,
+        default=None,
+        help="fault-injection seed (default: --seed)",
+    )
+    srv.add_argument(
+        "--fault-points",
+        default="serve.cache,rtree.query",
+        help="comma-separated injection points to arm",
+    )
+    srv.add_argument(
         "--save-json",
         metavar="PATH",
         default=None,
@@ -295,12 +312,27 @@ def _cmd_catalog(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    from repro.reliability.faults import INJECTION_POINTS
     from repro.serve.bench import format_report, run_serve_bench
 
     for name in ("competitors", "products", "requests", "k"):
         if getattr(args, name) < 1:
             print(f"error: --{name} must be >= 1", file=sys.stderr)
             return 2
+    if not 0.0 <= args.fault_rate <= 1.0:
+        print("error: --fault-rate must be in [0, 1]", file=sys.stderr)
+        return 2
+    fault_points = [
+        p.strip() for p in args.fault_points.split(",") if p.strip()
+    ]
+    unknown = sorted(set(fault_points) - INJECTION_POINTS)
+    if unknown:
+        print(
+            f"error: unknown fault points {', '.join(unknown)}; known: "
+            f"{', '.join(sorted(INJECTION_POINTS))}",
+            file=sys.stderr,
+        )
+        return 2
     report = run_serve_bench(
         n_competitors=args.competitors,
         n_products=args.products,
@@ -311,6 +343,9 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         topk_every=args.topk_every,
         k=args.k,
         seed=args.seed,
+        fault_rate=args.fault_rate,
+        fault_points=fault_points,
+        fault_seed=args.fault_seed,
     )
     print(format_report(report))
     if args.save_json:

@@ -79,6 +79,7 @@ from repro.exceptions import ConfigurationError
 from repro.geometry.classify import DimClassification, classify_dimensions
 from repro.instrumentation import Counters
 from repro.kernels.bounds_batch import _ADV, _DIS, _INC, pair_bounds_block
+from repro.reliability.faults import maybe_corrupt
 
 #: The names accepted wherever a join-list bound is selected.
 BOUND_NAMES = ("nlb", "clb", "alb", "max")
@@ -240,9 +241,22 @@ def pair_bounds_vector(
     Returns:
         One ``(bound, signature)`` pair per row.
     """
-    return pair_bounds_block(
+    pairs = pair_bounds_block(
         t_low, p_lows, p_highs, cost_model, stats, mode
     )
+    # Chaos hook: the `kernels.bounds` corruption point inflates one
+    # positive bound (an unsound "lower" bound mis-prunes the join) —
+    # only on this batched path; the scalar `lbc` stays the oracle.
+    return maybe_corrupt("kernels.bounds", pairs, _inflate_one_bound)
+
+
+def _inflate_one_bound(pairs: List[Pair]) -> List[Pair]:
+    out = list(pairs)
+    for i, (bound, signature) in enumerate(out):
+        if bound > 0.0:
+            out[i] = (bound * 4.0, signature)
+            break
+    return out
 
 
 def supports_vector_bounds(cost_model: CostModel) -> bool:

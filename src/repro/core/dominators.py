@@ -25,6 +25,7 @@ from repro.geometry.region import mbr_overlaps_adr, point_in_adr
 from repro.instrumentation import Counters
 from repro.kernels.skybuffer import SkylineBuffer
 from repro.kernels.switch import kernels_enabled
+from repro.reliability.faults import maybe_inject
 from repro.rtree.entry import Entry
 from repro.rtree.tree import RTree
 
@@ -72,6 +73,7 @@ def get_dominating_skyline_multi(
         product: the query point ``t``.
         stats: optional counters.
     """
+    maybe_inject("rtree.query")
     if stats is not None:
         label = (
             "kernel.dominators" if kernels_enabled() else "scalar.dominators"

@@ -327,6 +327,22 @@ class MarketSession:
             return iter(())
         return self.make_upgrader().results()
 
+    def validate_indexes(self) -> None:
+        """Structurally validate both R-trees (the reliability layer's
+        budgeted post-mutation check).
+
+        Occupancy is not enforced: bulk-loaded trees legitimately carry
+        one underfull remainder node per level, and delete-condense keeps
+        them valid without refilling.
+
+        Raises:
+            RTreeError: an index invariant is violated (corruption).
+        """
+        from repro.rtree.validate import validate_rtree
+
+        validate_rtree(self._competitors, check_fill=False)
+        validate_rtree(self._products, check_fill=False)
+
     def snapshot(self) -> Tuple[List[Point], List[Point]]:
         """Current (competitors, products) as point lists (id order)."""
         competitors = [

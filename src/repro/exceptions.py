@@ -52,3 +52,38 @@ class EngineOverloadedError(SkyUpError, RuntimeError):
 
 class EngineClosedError(SkyUpError, RuntimeError):
     """Raised when a request is submitted to a closed serving engine."""
+
+
+class TransientError(SkyUpError, RuntimeError):
+    """A failure that may succeed on retry (I/O hiccup, injected fault).
+
+    The serving engine retries requests that fail with a
+    :class:`TransientError` subclass under its
+    :class:`~repro.reliability.retry.RetryPolicy`; every other exception
+    is terminal for the request.
+    """
+
+
+class InjectedFaultError(TransientError):
+    """Raised by the fault-injection framework at an armed injection point.
+
+    Derives from :class:`TransientError` so injected faults exercise the
+    same retry/containment paths a real transient failure would.
+    """
+
+
+class KernelDivergenceError(SkyUpError):
+    """A columnar kernel disagreed with its scalar oracle.
+
+    Recorded (not raised to clients) by the runtime result guards: the
+    engine quarantines the kernels and serves the scalar answer instead.
+    """
+
+
+class WorkerCrashError(SkyUpError, RuntimeError):
+    """A serving worker's batch execution failed outside request handling.
+
+    The worker itself survives (supervision contains the crash); every
+    request of the affected batch is failed with this typed error so the
+    caller sees a terminal response instead of a hang.
+    """

@@ -19,6 +19,7 @@ from repro.geometry.point import dominates
 from repro.instrumentation import Counters
 from repro.kernels.block import PointBlock
 from repro.kernels.switch import kernels_enabled
+from repro.reliability.faults import maybe_corrupt
 
 Point = Tuple[float, ...]
 
@@ -86,5 +87,11 @@ class SkylineBuffer:
         row = np.asarray(p, dtype=np.float64)
         weak = (rows <= row).all(axis=1)
         if not weak.any():
-            return False
-        return bool((rows[weak] < row).any())
+            verdict = False
+        else:
+            verdict = bool((rows[weak] < row).any())
+        # Chaos hook: the `kernels.dominance` corruption point flips this
+        # broadcast verdict only — the scalar loop above stays the oracle.
+        return bool(
+            maybe_corrupt("kernels.dominance", verdict, lambda v: not v)
+        )

@@ -1,45 +1,74 @@
-"""The global kernel on/off switch (separate module to avoid import cycles).
+"""The kernel on/off switch (separate module to avoid import cycles).
 
 :mod:`repro.kernels` re-exports everything here; call sites and the kernel
 submodules import from this module directly.
+
+The switch is two-level and thread-safe:
+
+* a **process-global default**, flipped by :func:`set_kernels_enabled`
+  under a lock — this is what the kernel guard's *quarantine* uses to turn
+  every worker scalar at once after a detected divergence;
+* a **thread-local overlay** set by the :func:`use_kernels` context
+  manager — so one request (or the guard's oracle recompute) can force the
+  scalar path without racing concurrent serve queries on other threads.
+
+:func:`kernels_enabled` reads the overlay first, then the default.  The
+read is lock-free: a plain attribute load each side, and a stale read of
+the default during a concurrent flip is harmless (both paths are correct;
+the flip is a performance/trust decision, not a memory-safety one).
 """
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
-from typing import Iterator
+from typing import Iterator, Optional
 
-_ENABLED = True
+_DEFAULT = True
+_DEFAULT_LOCK = threading.Lock()
+_LOCAL = threading.local()
 
 
 def kernels_enabled() -> bool:
-    """True iff hot paths may take the columnar kernel implementations."""
-    return _ENABLED
+    """True iff hot paths may take the columnar kernel implementations.
+
+    The calling thread's :func:`use_kernels` overlay (if any) wins over
+    the process-global default.
+    """
+    override: Optional[bool] = getattr(_LOCAL, "override", None)
+    if override is not None:
+        return override
+    return _DEFAULT
 
 
 def set_kernels_enabled(enabled: bool) -> bool:
-    """Set the global kernel switch; returns the previous value.
+    """Set the process-global default; returns the previous default.
 
-    The switch is process-global and not synchronized: flip it at setup
-    time (or around a whole benchmark run), not concurrently with queries.
+    Thread-safe; does not touch any thread's :func:`use_kernels` overlay.
     """
-    global _ENABLED
-    previous = _ENABLED
-    _ENABLED = bool(enabled)
+    global _DEFAULT
+    with _DEFAULT_LOCK:
+        previous = _DEFAULT
+        _DEFAULT = bool(enabled)
     return previous
 
 
 @contextmanager
 def use_kernels(enabled: bool) -> Iterator[None]:
-    """Temporarily force the kernel switch to ``enabled``.
+    """Force the switch to ``enabled`` on this thread for the block.
+
+    Only the calling thread is affected — concurrent queries on other
+    threads keep their own overlay or the global default.  Nests: the
+    previous overlay is restored on exit.
 
     Example::
 
         with use_kernels(False):
             outcome = top_k_upgrades(...)  # pure scalar oracle run
     """
-    previous = set_kernels_enabled(enabled)
+    previous: Optional[bool] = getattr(_LOCAL, "override", None)
+    _LOCAL.override = bool(enabled)
     try:
         yield
     finally:
-        set_kernels_enabled(previous)
+        _LOCAL.override = previous

@@ -1,0 +1,55 @@
+"""Reliability layer: fault injection, retries, and runtime result guards.
+
+The serving stack (:mod:`repro.serve`) and the columnar kernels
+(:mod:`repro.kernels`) promise correct-or-degraded answers under load;
+this package is what backs that promise up:
+
+* :mod:`repro.reliability.faults` — a seeded, deterministic
+  fault-injection framework with named injection points threaded through
+  the serve pool, caches, R-tree traversals, kernel dispatch, and
+  persistence (zero-cost when disabled);
+* :mod:`repro.reliability.retry` — capped exponential backoff + jitter
+  for transiently-failed requests;
+* :mod:`repro.reliability.guards` — the sampling kernel-vs-scalar
+  cross-checker with quarantine, and the budgeted R-tree invariant check.
+
+``tests/test_reliability_chaos.py`` drives the engine through hundreds of
+seeded fault scenarios and asserts the core invariants: no deadlock, every
+admitted query reaches a terminal response, pool capacity never degrades,
+and divergence injection quarantines the kernels with served answers
+matching the scalar oracle.
+"""
+
+from repro.reliability.faults import (
+    FAULT_KINDS,
+    INJECTION_POINTS,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    active_injector,
+    inject_faults,
+    install,
+    maybe_corrupt,
+    maybe_inject,
+    uninstall,
+)
+from repro.reliability.guards import IndexGuard, KernelGuard, divergence
+from repro.reliability.retry import RetryPolicy
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "INJECTION_POINTS",
+    "IndexGuard",
+    "KernelGuard",
+    "RetryPolicy",
+    "active_injector",
+    "divergence",
+    "inject_faults",
+    "install",
+    "maybe_corrupt",
+    "maybe_inject",
+    "uninstall",
+]

@@ -1,0 +1,299 @@
+"""Seeded, deterministic fault injection for the serving stack.
+
+A process-wide :class:`FaultInjector` arms a set of **named injection
+points** that the serving stack's hot paths consult.  Each armed point can
+inject a typed exception, a latency spike, or a corrupted result, at a
+per-point probability drawn from one seeded PRNG — so a chaos run is
+reproducible from its :class:`FaultPlan` alone (single-threaded runs
+exactly; multi-threaded runs up to scheduler interleaving of the shared
+draw sequence).
+
+**Zero cost when disabled.**  Call sites go through :func:`maybe_inject` /
+:func:`maybe_corrupt`, which read one module global and return immediately
+when no injector is installed; points are consulted at per-query (not
+per-node) granularity so even an armed injector costs one dict lookup per
+query.  ``skyup serve-bench`` guards the disabled-path overhead.
+
+The known points (see :data:`INJECTION_POINTS`):
+
+``serve.handler``
+    Worker batch execution (:meth:`UpgradeEngine._execute_batch`) —
+    exercises worker supervision and :class:`WorkerCrashError` containment.
+``serve.cache``
+    Skyline/top-k cache lookups — a cache fault degrades to a recompute,
+    never a failed request.
+``rtree.query``
+    R-tree traversals (range queries, dominator-skyline search) — raises
+    :class:`~repro.exceptions.InjectedFaultError`, which the engine
+    retries with capped backoff.
+``kernels.dominance``
+    The columnar dominance test's verdict (scalar oracle unaffected) —
+    exercises the sampling kernel guard and quarantine.
+``kernels.bounds``
+    The batched join-list pair bounds (scalar oracle unaffected).
+``persist.load``
+    R-tree index loading.
+
+Example::
+
+    plan = FaultPlan(seed=7, rate=0.2, points=("rtree.query",))
+    with inject_faults(plan) as injector:
+        drive_engine()
+    assert injector.stats()["rtree.query"]["fired"] > 0
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, Mapping, Optional, Tuple, Union
+
+from repro.exceptions import ConfigurationError, InjectedFaultError
+
+#: Every injection point the stack consults, and the only names a
+#: :class:`FaultPlan` may arm (typos fail fast at plan construction).
+INJECTION_POINTS = frozenset(
+    {
+        "serve.handler",
+        "serve.cache",
+        "rtree.query",
+        "kernels.dominance",
+        "kernels.bounds",
+        "persist.load",
+    }
+)
+
+#: What an armed point does when its draw fires.
+FAULT_KINDS = ("error", "latency", "corrupt")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Behaviour of one armed injection point.
+
+    Attributes:
+        rate: probability in ``[0, 1]`` that a consultation fires.
+        kind: ``"error"`` raises ``error_type``, ``"latency"`` sleeps
+            ``latency_s``, ``"corrupt"`` mutates results at
+            :func:`maybe_corrupt` sites (and is inert at
+            :func:`maybe_inject` sites, and vice versa).
+        error_type: exception type raised for ``kind="error"``.
+        latency_s: sleep duration for ``kind="latency"``.
+        max_fires: stop firing after this many hits (``None`` = unlimited).
+    """
+
+    rate: float = 0.1
+    kind: str = "error"
+    error_type: type = InjectedFaultError
+    latency_s: float = 0.005
+    max_fires: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate <= 1.0:
+            raise ConfigurationError(
+                f"fault rate must be in [0, 1], got {self.rate}"
+            )
+        if self.kind not in FAULT_KINDS:
+            raise ConfigurationError(
+                f"fault kind must be one of {FAULT_KINDS}, got {self.kind!r}"
+            )
+        if self.latency_s < 0:
+            raise ConfigurationError(
+                f"latency_s must be >= 0, got {self.latency_s}"
+            )
+
+
+PointsArg = Union[Mapping[str, FaultSpec], Tuple[str, ...], Iterator[str]]
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A reproducible chaos scenario: seed, default rate, armed points.
+
+    ``points`` is either a mapping ``{point: FaultSpec}`` or a plain
+    iterable of point names, each armed as ``FaultSpec(rate=plan.rate)``
+    (error kind).  Unknown point names raise
+    :class:`~repro.exceptions.ConfigurationError`.
+    """
+
+    seed: int = 0
+    rate: float = 0.1
+    points: PointsArg = field(default_factory=tuple)
+
+    def specs(self) -> Dict[str, FaultSpec]:
+        """The normalized ``{point: FaultSpec}`` mapping (validated)."""
+        if isinstance(self.points, Mapping):
+            specs = dict(self.points)
+        else:
+            specs = {
+                name: FaultSpec(rate=self.rate) for name in self.points
+            }
+        for name, spec in specs.items():
+            if name not in INJECTION_POINTS:
+                raise ConfigurationError(
+                    f"unknown injection point {name!r}; known points: "
+                    f"{', '.join(sorted(INJECTION_POINTS))}"
+                )
+            if not isinstance(spec, FaultSpec):
+                raise ConfigurationError(
+                    f"point {name!r} must map to a FaultSpec, "
+                    f"got {type(spec).__name__}"
+                )
+        return specs
+
+
+class FaultInjector:
+    """Executes a :class:`FaultPlan`; thread-safe, seeded, counting.
+
+    One shared ``random.Random(plan.seed)`` drives every fire decision
+    under a lock, so the total draw sequence is fixed by the seed; per
+    point it tracks how often the point was *reached* and how often it
+    *fired*.
+    """
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self._specs = plan.specs()
+        self._rng = random.Random(plan.seed)
+        self._lock = threading.Lock()
+        self._reached: Dict[str, int] = {}
+        self._fired: Dict[str, int] = {}
+
+    def _should_fire(self, point: str, spec: FaultSpec) -> bool:
+        with self._lock:
+            self._reached[point] = self._reached.get(point, 0) + 1
+            if spec.rate <= 0.0:
+                return False
+            if (
+                spec.max_fires is not None
+                and self._fired.get(point, 0) >= spec.max_fires
+            ):
+                return False
+            if self._rng.random() >= spec.rate:
+                return False
+            self._fired[point] = self._fired.get(point, 0) + 1
+            return True
+
+    def on_reach(self, point: str) -> None:
+        """Consult ``point`` for an error/latency fault (may raise/sleep)."""
+        spec = self._specs.get(point)
+        if spec is None or spec.kind == "corrupt":
+            return
+        if not self._should_fire(point, spec):
+            return
+        if spec.kind == "latency":
+            time.sleep(spec.latency_s)
+            return
+        raise spec.error_type(f"injected fault at {point!r}")
+
+    def on_result(
+        self, point: str, value: object, mutator: Callable[[object], object]
+    ) -> object:
+        """Consult ``point`` for a corruption fault on ``value``."""
+        spec = self._specs.get(point)
+        if spec is None or spec.kind != "corrupt":
+            return value
+        if not self._should_fire(point, spec):
+            return value
+        return mutator(value)
+
+    def stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-point ``{"reached": n, "fired": m}`` counters."""
+        with self._lock:
+            points = set(self._reached) | set(self._specs)
+            return {
+                point: {
+                    "reached": self._reached.get(point, 0),
+                    "fired": self._fired.get(point, 0),
+                }
+                for point in sorted(points)
+            }
+
+    def fired(self, point: str) -> int:
+        """How many times ``point`` has fired so far."""
+        with self._lock:
+            return self._fired.get(point, 0)
+
+    def __repr__(self) -> str:
+        armed = ", ".join(sorted(self._specs))
+        return f"FaultInjector(seed={self.plan.seed}, armed=[{armed}])"
+
+
+#: The process-wide injector consulted by every call site (None = chaos
+#: off; the common case, kept to a single global read).
+_ACTIVE: Optional[FaultInjector] = None
+_INSTALL_LOCK = threading.Lock()
+
+
+def active_injector() -> Optional[FaultInjector]:
+    """The installed injector, or ``None`` when fault injection is off."""
+    return _ACTIVE
+
+
+def install(plan: Union[FaultPlan, FaultInjector]) -> FaultInjector:
+    """Install a process-wide injector.
+
+    Raises:
+        ConfigurationError: an injector is already installed (nested chaos
+            runs would silently share draw sequences; uninstall first).
+    """
+    global _ACTIVE
+    injector = plan if isinstance(plan, FaultInjector) else FaultInjector(plan)
+    with _INSTALL_LOCK:
+        if _ACTIVE is not None:
+            raise ConfigurationError(
+                "a fault injector is already installed; call uninstall() "
+                "or use the inject_faults() context manager"
+            )
+        _ACTIVE = injector
+    return injector
+
+
+def uninstall() -> None:
+    """Remove the installed injector (idempotent)."""
+    global _ACTIVE
+    with _INSTALL_LOCK:
+        _ACTIVE = None
+
+
+@contextmanager
+def inject_faults(
+    plan: Union[FaultPlan, FaultInjector]
+) -> Iterator[FaultInjector]:
+    """Install ``plan`` for the duration of the block.
+
+    Example::
+
+        with inject_faults(FaultPlan(seed=3, points=("serve.cache",))):
+            engine.execute_batch(queries)
+    """
+    injector = install(plan)
+    try:
+        yield injector
+    finally:
+        uninstall()
+
+
+def maybe_inject(point: str) -> None:
+    """Consult ``point`` if chaos is on; no-op (one global read) otherwise.
+
+    Raises:
+        InjectedFaultError: (or the spec's ``error_type``) when an armed
+            error fault fires.
+    """
+    injector = _ACTIVE
+    if injector is not None:
+        injector.on_reach(point)
+
+
+def maybe_corrupt(
+    point: str, value: object, mutator: Callable[[object], object]
+) -> object:
+    """Return ``value``, possibly mutated by an armed corruption fault."""
+    injector = _ACTIVE
+    if injector is None:
+        return value
+    return injector.on_result(point, value, mutator)

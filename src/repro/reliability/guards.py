@@ -1,0 +1,190 @@
+"""Runtime result guards: sampled kernel cross-checks and index validation.
+
+Two guards keep a long-running engine's answers trustworthy:
+
+* :class:`KernelGuard` — re-runs a configurable fraction of kernel-path
+  results through the scalar oracle (the paper-verbatim implementations
+  retained by :mod:`repro.kernels`).  On divergence it records a
+  :class:`~repro.exceptions.KernelDivergenceError`, **quarantines** the
+  kernels (flips the now thread-safe global switch to scalar), and the
+  engine serves the oracle's answer — correctness degrades to slower, not
+  wrong.  Sampling (rather than shadow-executing everything) is a
+  deliberate cost choice; DESIGN.md discusses the tradeoff.
+* :class:`IndexGuard` — a budgeted structural check of the session's
+  R-trees (reusing :func:`repro.rtree.validate.validate_rtree`) after
+  catalog mutations: full validation is ``O(n)``, so it runs every
+  ``every``-th mutation instead of on each one.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import KernelDivergenceError
+from repro.kernels.switch import set_kernels_enabled
+
+Point = Tuple[float, ...]
+
+
+class KernelGuard:
+    """Sampling cross-checker for kernel-path results.
+
+    Args:
+        sample_rate: fraction of kernel-path answers re-run through the
+            scalar oracle (1.0 = check everything — the chaos suite does).
+        seed: PRNG seed for the sampling draws.
+        tolerance: absolute cost difference treated as agreement (the
+            kernels are bit-identical to the oracles by construction, so
+            any slack here is pure defensive margin).
+        quarantine_after: divergences tolerated before the kernels are
+            quarantined (1 = first divergence flips to scalar).
+    """
+
+    def __init__(
+        self,
+        sample_rate: float = 0.05,
+        seed: int = 2012,
+        tolerance: float = 1e-9,
+        quarantine_after: int = 1,
+    ):
+        if not 0.0 <= sample_rate <= 1.0:
+            raise ValueError(
+                f"sample_rate must be in [0, 1], got {sample_rate}"
+            )
+        if quarantine_after < 1:
+            raise ValueError(
+                f"quarantine_after must be >= 1, got {quarantine_after}"
+            )
+        self.sample_rate = sample_rate
+        self.tolerance = tolerance
+        self.quarantine_after = quarantine_after
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+        self.checks = 0
+        self.divergences: List[KernelDivergenceError] = []
+        self.quarantined = False
+
+    def should_check(self) -> bool:
+        """Draw one sampling decision (always False once quarantined).
+
+        After quarantine the kernels are globally off, so a cross-check
+        would compare the scalar path against itself — pure waste.
+        """
+        if self.quarantined or self.sample_rate <= 0.0:
+            return False
+        with self._lock:
+            if self._rng.random() >= self.sample_rate:
+                return False
+            self.checks += 1
+            return True
+
+    def costs_match(self, served: float, oracle: float) -> bool:
+        """True iff two result costs agree within the guard's tolerance."""
+        if math.isnan(served) or math.isnan(oracle):
+            return False
+        return abs(served - oracle) <= self.tolerance
+
+    def record_divergence(self, error: KernelDivergenceError) -> bool:
+        """Log one divergence; returns True if it triggered quarantine."""
+        with self._lock:
+            self.divergences.append(error)
+            if (
+                not self.quarantined
+                and len(self.divergences) >= self.quarantine_after
+            ):
+                self.quarantined = True
+                triggered = True
+            else:
+                triggered = False
+        if triggered:
+            set_kernels_enabled(False)
+        return triggered
+
+    def reset(self, re_enable_kernels: bool = True) -> None:
+        """Clear divergence state and (optionally) lift the quarantine."""
+        with self._lock:
+            self.divergences = []
+            was_quarantined = self.quarantined
+            self.quarantined = False
+        if was_quarantined and re_enable_kernels:
+            set_kernels_enabled(True)
+
+    def stats(self) -> Dict[str, object]:
+        """JSON-ready counters for the metrics snapshot."""
+        with self._lock:
+            return {
+                "sample_rate": self.sample_rate,
+                "checks": self.checks,
+                "divergences": len(self.divergences),
+                "quarantined": self.quarantined,
+            }
+
+    def __repr__(self) -> str:
+        return (
+            f"KernelGuard(sample_rate={self.sample_rate}, "
+            f"checks={self.checks}, divergences={len(self.divergences)}, "
+            f"quarantined={self.quarantined})"
+        )
+
+
+def divergence(
+    kind: str,
+    served: Sequence[Tuple[int, float]],
+    oracle: Sequence[Tuple[int, float]],
+) -> KernelDivergenceError:
+    """Build a :class:`KernelDivergenceError` describing one mismatch.
+
+    ``served``/``oracle`` are ``(record_id, cost)`` pairs — enough to
+    reconstruct what diverged without holding full result objects alive.
+    """
+    return KernelDivergenceError(
+        f"kernel/scalar divergence on {kind}: "
+        f"kernel answered {list(served)}, oracle answered {list(oracle)}"
+    )
+
+
+class IndexGuard:
+    """Budgeted R-tree invariant checking after catalog mutations.
+
+    ``should_check()`` is called once per mutation and returns True every
+    ``every``-th call; the engine then validates both session trees under
+    its write lock.  ``every=0`` disables the guard entirely.
+    """
+
+    def __init__(self, every: int = 64):
+        if every < 0:
+            raise ValueError(f"every must be >= 0, got {every}")
+        self.every = every
+        self._lock = threading.Lock()
+        self.mutations = 0
+        self.checks = 0
+        self.failures = 0
+
+    def should_check(self) -> bool:
+        """Count one mutation; True when this one is due a validation."""
+        if self.every == 0:
+            return False
+        with self._lock:
+            self.mutations += 1
+            if self.mutations % self.every != 0:
+                return False
+            self.checks += 1
+            return True
+
+    def record_failure(self) -> None:
+        """Count one failed validation (the error itself propagates)."""
+        with self._lock:
+            self.failures += 1
+
+    def stats(self) -> Dict[str, int]:
+        """JSON-ready counters for the metrics snapshot."""
+        with self._lock:
+            return {
+                "every": self.every,
+                "mutations": self.mutations,
+                "checks": self.checks,
+                "failures": self.failures,
+            }

@@ -1,0 +1,66 @@
+"""Retry policy for transiently-failed requests: capped backoff + jitter.
+
+The serving engine retries a request when its execution raises a
+:class:`~repro.exceptions.TransientError` (injected faults derive from it;
+so would a flaky I/O layer).  Delays grow exponentially from
+``base_delay_s``, are capped at ``max_delay_s``, and carry multiplicative
+jitter so retries from concurrently-failing workers do not re-collide in
+lockstep.  Retries sleep on the worker thread, so delays are kept in the
+low-millisecond range — backoff here spreads contention, it does not wait
+out multi-second outages.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to retry a transient failure, and how long to wait.
+
+    Attributes:
+        max_attempts: total tries including the first (1 = never retry).
+        base_delay_s: delay before the first retry.
+        max_delay_s: cap on any single delay (before jitter).
+        jitter: delay is scaled by ``1 + uniform(0, jitter)``.
+    """
+
+    max_attempts: int = 3
+    base_delay_s: float = 0.001
+    max_delay_s: float = 0.050
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base_delay_s < 0 or self.max_delay_s < self.base_delay_s:
+            raise ConfigurationError(
+                f"need 0 <= base_delay_s <= max_delay_s, got "
+                f"{self.base_delay_s} / {self.max_delay_s}"
+            )
+        if self.jitter < 0:
+            raise ConfigurationError(
+                f"jitter must be >= 0, got {self.jitter}"
+            )
+
+    def delay_s(
+        self, attempt: int, rng: "random.Random | None" = None
+    ) -> float:
+        """Jittered delay before retry number ``attempt`` (1-based).
+
+        ``rng`` pins the jitter draw for reproducible tests; the default
+        uses the module-level PRNG.
+        """
+        raw = min(
+            self.max_delay_s, self.base_delay_s * (2.0 ** (attempt - 1))
+        )
+        if self.jitter <= 0:
+            return raw
+        u = (rng or random).random()
+        return raw * (1.0 + self.jitter * u)

@@ -9,6 +9,12 @@ follow immediately, pre-order).  Loading rebuilds nodes bottom-up from
 that stream and re-derives every MBR, so a corrupted or hand-edited file
 can never produce a structurally inconsistent tree (the MBRs are always
 tight by construction).
+
+Loading is hardened against damaged files: truncated, bit-flipped, or
+wrong-version input surfaces as :class:`~repro.exceptions.RTreeError`
+carrying the offending line number — never a raw ``JSONDecodeError`` /
+``KeyError`` / ``TypeError`` from the decoder internals.  The test suite
+bit-flips and truncates saved indexes to hold that contract.
 """
 
 from __future__ import annotations
@@ -17,7 +23,8 @@ import json
 from pathlib import Path
 from typing import List, Tuple, Union
 
-from repro.exceptions import RTreeError
+from repro.exceptions import ConfigurationError, RTreeError
+from repro.reliability.faults import maybe_inject
 from repro.rtree.entry import Entry
 from repro.rtree.node import Node
 from repro.rtree.tree import RTree
@@ -26,6 +33,15 @@ PathLike = Union[str, Path]
 
 _MAGIC = "skyup-rtree"
 _VERSION = 1
+
+#: Required header fields and their expected JSON types.
+_HEADER_FIELDS = (
+    ("dims", int),
+    ("max_entries", int),
+    ("min_entries", int),
+    ("split", str),
+    ("size", int),
+)
 
 
 def save_rtree(tree: RTree, path: PathLike) -> None:
@@ -63,41 +79,70 @@ def _write_node(node: Node, handle) -> None:
         _write_node(e.child, handle)
 
 
+#: One parsed node record tagged with its 1-based line number.
+_Record = Tuple[int, dict]
+
+
 def load_rtree(path: PathLike) -> RTree:
     """Reconstruct an R-tree written by :func:`save_rtree`.
 
     Raises:
-        RTreeError: malformed file, wrong magic/version, or a node stream
-            inconsistent with the declared size.
+        RTreeError: malformed file (with the offending line number), wrong
+            magic/version, or a node stream inconsistent with the declared
+            size — never a raw ``JSONDecodeError``/``KeyError``.
     """
+    maybe_inject("persist.load")
     with Path(path).open() as handle:
-        header_line = handle.readline()
-        if not header_line:
-            raise RTreeError(f"{path}: empty file")
+        header = _read_header(path, handle.readline())
         try:
-            header = json.loads(header_line)
-        except json.JSONDecodeError as exc:
-            raise RTreeError(f"{path}: bad header: {exc}") from exc
-        if header.get("magic") != _MAGIC:
-            raise RTreeError(f"{path}: not a skyup R-tree file")
-        if header.get("version") != _VERSION:
-            raise RTreeError(
-                f"{path}: unsupported version {header.get('version')}"
+            tree = RTree(
+                dims=header["dims"],
+                max_entries=header["max_entries"],
+                min_entries=header["min_entries"],
+                split=header["split"],
             )
-        tree = RTree(
-            dims=header["dims"],
-            max_entries=header["max_entries"],
-            min_entries=header["min_entries"],
-            split=header["split"],
-        )
+        except ConfigurationError as exc:
+            # E.g. a bit-flipped split-strategy name: well-typed JSON that
+            # still cannot configure a tree.
+            raise RTreeError(
+                f"{path}: line 1: invalid tree configuration: {exc}"
+            ) from exc
         if header["size"] == 0:
             return tree
-        records = [json.loads(line) for line in handle if line.strip()]
+        records: List[_Record] = []
+        for lineno, line in enumerate(handle, start=2):
+            if not line.strip():
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise RTreeError(
+                    f"{path}: line {lineno}: corrupt node record: {exc}"
+                ) from exc
+            if not isinstance(obj, dict):
+                raise RTreeError(
+                    f"{path}: line {lineno}: node record must be a JSON "
+                    f"object, got {type(obj).__name__}"
+                )
+            records.append((lineno, obj))
 
-    root, consumed, points = _read_node(records, 0, header["dims"])
+    if not records:
+        raise RTreeError(
+            f"{path}: header declares {header['size']} points but the "
+            f"node stream is empty"
+        )
+    try:
+        root, consumed, points = _read_node(path, records, 0, header["dims"])
+    except RTreeError:
+        raise
+    except (KeyError, TypeError, ValueError, OverflowError) as exc:
+        # Defensive catch-all: any decoder slip on hostile input still
+        # surfaces under the library's exception taxonomy.
+        raise RTreeError(f"{path}: malformed node stream: {exc!r}") from exc
     if consumed != len(records):
         raise RTreeError(
-            f"{path}: {len(records) - consumed} trailing node records"
+            f"{path}: line {records[consumed][0]}: "
+            f"{len(records) - consumed} trailing node records"
         )
     if points != header["size"]:
         raise RTreeError(
@@ -109,42 +154,121 @@ def load_rtree(path: PathLike) -> RTree:
     return tree
 
 
+def _read_header(path: PathLike, header_line: str) -> dict:
+    """Parse and validate the header line (line 1)."""
+    if not header_line:
+        raise RTreeError(f"{path}: empty file")
+    try:
+        header = json.loads(header_line)
+    except json.JSONDecodeError as exc:
+        raise RTreeError(f"{path}: line 1: bad header: {exc}") from exc
+    if not isinstance(header, dict):
+        raise RTreeError(f"{path}: line 1: header must be a JSON object")
+    if header.get("magic") != _MAGIC:
+        raise RTreeError(f"{path}: not a skyup R-tree file")
+    if header.get("version") != _VERSION:
+        raise RTreeError(
+            f"{path}: unsupported version {header.get('version')!r}"
+        )
+    for name, typ in _HEADER_FIELDS:
+        value = header.get(name)
+        if not isinstance(value, typ) or isinstance(value, bool):
+            raise RTreeError(
+                f"{path}: line 1: missing or invalid header field "
+                f"{name!r} (expected {typ.__name__}, got {value!r})"
+            )
+    if header["size"] < 0 or header["dims"] < 1:
+        raise RTreeError(
+            f"{path}: line 1: nonsensical header "
+            f"(size={header['size']}, dims={header['dims']})"
+        )
+    return header
+
+
 def _read_node(
-    records: List[dict], index: int, dims: int
+    path: PathLike, records: List[_Record], index: int, dims: int
 ) -> Tuple[Node, int, int]:
     """Rebuild the node at ``records[index]``; return (node, next, points)."""
     if index >= len(records):
-        raise RTreeError("truncated node stream")
-    record = records[index]
+        last_line = records[-1][0] if records else 1
+        raise RTreeError(
+            f"{path}: truncated node stream after line {last_line}"
+        )
+    lineno, record = records[index]
     level = record.get("level")
+    if not isinstance(level, int) or isinstance(level, bool) or level < 0:
+        raise RTreeError(
+            f"{path}: line {lineno}: missing or invalid node level "
+            f"{level!r}"
+        )
     if level == 0:
-        raw_points = record.get("points", [])
-        ids = record.get("ids", [])
-        if len(raw_points) != len(ids):
-            raise RTreeError("leaf points/ids length mismatch")
-        entries = []
-        for p, rid in zip(raw_points, ids):
-            if len(p) != dims:
-                raise RTreeError(
-                    f"point dimensionality {len(p)} != header dims {dims}"
-                )
-            entries.append(Entry.for_point(tuple(map(float, p)), int(rid)))
-        if not entries:
-            raise RTreeError("empty leaf node in stream")
-        return Node(0, entries), index + 1, len(entries)
-    child_count = record.get("children", 0)
-    if child_count < 1:
-        raise RTreeError(f"internal node with {child_count} children")
+        return _read_leaf(path, lineno, record, dims), index + 1, _leaf_size(
+            record
+        )
+    child_count = record.get("children")
+    if (
+        not isinstance(child_count, int)
+        or isinstance(child_count, bool)
+        or child_count < 1
+    ):
+        raise RTreeError(
+            f"{path}: line {lineno}: internal node with invalid child "
+            f"count {child_count!r}"
+        )
     cursor = index + 1
     children: List[Node] = []
     total_points = 0
     for _ in range(child_count):
-        child, cursor, points = _read_node(records, cursor, dims)
+        child, cursor, points = _read_node(path, records, cursor, dims)
         if child.level != level - 1:
             raise RTreeError(
-                f"level skew in stream: {level} -> {child.level}"
+                f"{path}: line {lineno}: level skew in stream: "
+                f"{level} -> {child.level}"
             )
         children.append(child)
         total_points += points
     entries = [Entry.for_node(c) for c in children]
     return Node(level, entries), cursor, total_points
+
+
+def _read_leaf(path: PathLike, lineno: int, record: dict, dims: int) -> Node:
+    """Rebuild one leaf node, validating every point and id."""
+    raw_points = record.get("points")
+    ids = record.get("ids")
+    if not isinstance(raw_points, list) or not isinstance(ids, list):
+        raise RTreeError(
+            f"{path}: line {lineno}: leaf node needs 'points' and 'ids' "
+            f"lists"
+        )
+    if len(raw_points) != len(ids):
+        raise RTreeError(
+            f"{path}: line {lineno}: leaf points/ids length mismatch "
+            f"({len(raw_points)} vs {len(ids)})"
+        )
+    entries = []
+    for p, rid in zip(raw_points, ids):
+        if not isinstance(p, list) or len(p) != dims:
+            raise RTreeError(
+                f"{path}: line {lineno}: point dimensionality "
+                f"{len(p) if isinstance(p, list) else '?'} != header "
+                f"dims {dims}"
+            )
+        if not all(isinstance(v, (int, float)) for v in p) or any(
+            isinstance(v, bool) for v in p
+        ):
+            raise RTreeError(
+                f"{path}: line {lineno}: non-numeric point coordinate "
+                f"in {p!r}"
+            )
+        if not isinstance(rid, int) or isinstance(rid, bool):
+            raise RTreeError(
+                f"{path}: line {lineno}: non-integer record id {rid!r}"
+            )
+        entries.append(Entry.for_point(tuple(map(float, p)), rid))
+    if not entries:
+        raise RTreeError(f"{path}: line {lineno}: empty leaf node in stream")
+    return Node(0, entries)
+
+
+def _leaf_size(record: dict) -> int:
+    return len(record.get("points") or [])

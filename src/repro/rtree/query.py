@@ -16,6 +16,7 @@ from typing import List, Optional, Sequence, Tuple
 from repro.exceptions import ConfigurationError
 from repro.geometry.mbr import MBR
 from repro.instrumentation import Counters
+from repro.reliability.faults import maybe_inject
 from repro.rtree.node import Node
 from repro.rtree.tree import RTree
 
@@ -28,6 +29,7 @@ def range_query(
     stats: Optional[Counters] = None,
 ) -> List[PointRecord]:
     """Return every ``(point, record_id)`` whose point lies inside ``box``."""
+    maybe_inject("rtree.query")
     if tree.is_empty():
         return []
     results: List[PointRecord] = []
@@ -73,6 +75,7 @@ def knn_query(
     """
     if k < 1:
         raise ConfigurationError(f"k must be >= 1, got {k}")
+    maybe_inject("rtree.query")
     if tree.is_empty():
         return []
     counter = itertools.count()
@@ -129,6 +132,7 @@ def intersects_dominance_region(
     Pruning: a subtree may reach the region only if its MBR's upper corner
     is coordinate-wise ``>= corner``.
     """
+    maybe_inject("rtree.query")
     if tree.is_empty():
         return False
     c = tuple(float(v) for v in corner)

@@ -11,16 +11,26 @@ and throughput is compared.  ``skyup serve-bench`` is the CLI wrapper;
 Requests are pre-generated so both runs execute the byte-identical
 sequence, and both runs use the synchronous execution path (no worker
 pool) so the measurement compares query execution, not thread scheduling.
+
+With ``--fault-rate > 0`` the replay runs under seeded fault injection
+(:mod:`repro.reliability.faults`): each run installs its own injector
+built from the same :class:`~repro.reliability.faults.FaultPlan`, so both
+modes see the identical draw sequence, and requests that still fail after
+retries are counted rather than aborting the replay.  The report then
+carries a ``reliability`` section per mode (errors, retries, cache
+faults, fired counts).
 """
 
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.core.session import MarketSession
+from repro.reliability.faults import FaultInjector, FaultPlan, inject_faults
+from repro.reliability.guards import KernelGuard
 from repro.serve.engine import ProductQuery, Query, TopKQuery, UpgradeEngine
 
 _BATCH = 32
@@ -76,21 +86,33 @@ def generate_requests(
 
 
 def _replay(
-    session: MarketSession, requests: List[Query], cache: bool
+    session: MarketSession,
+    requests: List[Query],
+    cache: bool,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> Dict[str, object]:
-    engine = UpgradeEngine(session, workers=0, cache=cache)
+    # The guard is pinned off: its sampled scalar-oracle recomputes are a
+    # reliability cost, not query-execution cost, and would skew the
+    # cached-vs-cold comparison against the recorded baseline.
+    engine = UpgradeEngine(
+        session,
+        workers=0,
+        cache=cache,
+        kernel_guard=KernelGuard(sample_rate=0.0),
+    )
+    injector: Optional[FaultInjector] = None
     try:
         start = time.perf_counter()
-        hits = 0
-        for lo in range(0, len(requests), _BATCH):
-            for response in engine.execute_batch(requests[lo:lo + _BATCH]):
-                if response.cache_hit:
-                    hits += 1
+        if fault_plan is not None:
+            with inject_faults(fault_plan) as injector:
+                hits, failures = _drain(engine, requests)
+        else:
+            hits, failures = _drain(engine, requests)
         elapsed = time.perf_counter() - start
         metrics = engine.metrics()
     finally:
         engine.close()
-    return {
+    out = {
         "cache": cache,
         "requests": len(requests),
         "elapsed_s": elapsed,
@@ -100,7 +122,40 @@ def _replay(
         "latency_s": metrics["latency_s"],
         "counters": metrics["counters"],
         "timings_s": metrics.get("timings_s", {}),
+        "reliability": {
+            "failed_requests": failures,
+            "retries": metrics["retries"],
+            "cache_faults": metrics["cache_faults"],
+            "worker_crashes": metrics["worker_crashes"],
+            "quarantines": metrics["quarantines"],
+        },
     }
+    if injector is not None:
+        out["reliability"]["faults_fired"] = {
+            point: counts["fired"]
+            for point, counts in injector.stats().items()
+        }
+    return out
+
+
+def _drain(
+    engine: UpgradeEngine, requests: List[Query]
+) -> Tuple[int, int]:
+    """Replay ``requests`` through ``engine``; returns (hits, failures).
+
+    Failed slots (typed errors under fault injection) are counted, not
+    raised — a chaos replay must survive its own faults.
+    """
+    hits = 0
+    failures = 0
+    for lo in range(0, len(requests), _BATCH):
+        batch = requests[lo:lo + _BATCH]
+        for response in engine.execute_batch(batch, raise_errors=False):
+            if isinstance(response, BaseException):
+                failures += 1
+            elif response.cache_hit:
+                hits += 1
+    return hits, failures
 
 
 def run_serve_bench(
@@ -114,11 +169,16 @@ def run_serve_bench(
     k: int = 5,
     seed: int = 2012,
     session: Optional[MarketSession] = None,
+    fault_rate: float = 0.0,
+    fault_points: Optional[List[str]] = None,
+    fault_seed: Optional[int] = None,
 ) -> Dict[str, object]:
     """Run the cached-vs-cold comparison; returns a JSON-ready report.
 
     ``report["speedup"]`` is cached throughput over cold throughput on the
-    identical request sequence.
+    identical request sequence.  ``fault_rate > 0`` arms ``fault_points``
+    (default: ``serve.cache`` and ``rtree.query``) with error faults at
+    that rate for both runs, from the same seed.
     """
     if session is None:
         session = build_session(
@@ -132,8 +192,15 @@ def run_serve_bench(
         k=k,
         seed=seed + 1,
     )
-    cold = _replay(session, requests, cache=False)
-    cached = _replay(session, requests, cache=True)
+    fault_plan = None
+    if fault_rate > 0.0:
+        fault_plan = FaultPlan(
+            seed=fault_seed if fault_seed is not None else seed,
+            rate=fault_rate,
+            points=tuple(fault_points or ("serve.cache", "rtree.query")),
+        )
+    cold = _replay(session, requests, cache=False, fault_plan=fault_plan)
+    cached = _replay(session, requests, cache=True, fault_plan=fault_plan)
     speedup = (
         cached["throughput_rps"] / cold["throughput_rps"]
         if cold["throughput_rps"]
@@ -154,6 +221,15 @@ def run_serve_bench(
         "cold": cold,
         "cached": cached,
         "speedup": speedup,
+        "faults": (
+            {
+                "rate": fault_plan.rate,
+                "seed": fault_plan.seed,
+                "points": sorted(fault_plan.specs()),
+            }
+            if fault_plan is not None
+            else None
+        ),
     }
 
 
@@ -185,6 +261,21 @@ def format_report(report: Dict[str, object]) -> str:
     split = _timing_split(report)
     if split:
         lines.append(split)
+    faults = report.get("faults")
+    if faults:
+        lines.append(
+            f"chaos: rate={faults['rate']} seed={faults['seed']} "
+            f"points={','.join(faults['points'])}"
+        )
+        for mode in ("cold", "cached"):
+            rel = report[mode]["reliability"]
+            fired = sum((rel.get("faults_fired") or {}).values())
+            lines.append(
+                f"  {mode:8s} fired={fired} failed={rel['failed_requests']} "
+                f"retries={rel['retries']} "
+                f"cache_faults={rel['cache_faults']} "
+                f"crashes={rel['worker_crashes']}"
+            )
     return "\n".join(lines)
 
 

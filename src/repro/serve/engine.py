@@ -21,12 +21,22 @@ for production-style serving:
 * **Metrics** — per-worker :class:`~repro.instrumentation.Counters`
   merged on demand, cache hit rates, queue depth, and rolling latency
   percentiles via :meth:`UpgradeEngine.metrics`.
+* **Reliability** (:mod:`repro.reliability`) — worker supervision (a
+  crashing batch execution is contained, counted, and failed with a typed
+  :class:`~repro.exceptions.WorkerCrashError`; the worker survives),
+  retries of :class:`~repro.exceptions.TransientError` failures under a
+  capped-backoff :class:`~repro.reliability.retry.RetryPolicy`, cache
+  faults degrading to recomputes, a sampling kernel-vs-scalar result
+  guard that quarantines diverging kernels, and a budgeted R-tree
+  invariant check after catalog mutations.
 
 Deadlines are *cooperative*: they are checked between progressive results,
 so a response can overshoot by at most one result-to-result step of the
-join.  Catalog mutations must go through the engine's mutator methods
-(or otherwise be externally synchronized) — the underlying session is not
-itself thread-safe.
+join.  Retry backoff sleeps on the worker thread (inside the read lock),
+which is why :class:`~repro.reliability.retry.RetryPolicy` keeps delays in
+the low milliseconds.  Catalog mutations must go through the engine's
+mutator methods (or otherwise be externally synchronized) — the underlying
+session is not itself thread-safe.
 
 Example::
 
@@ -50,13 +60,23 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 from repro.core.session import MarketSession, MutationEvent
 from repro.core.types import UpgradeResult
 from repro.core.upgrade import upgrade
-from repro.exceptions import ConfigurationError
+from repro.exceptions import (
+    ConfigurationError,
+    RTreeError,
+    TransientError,
+    WorkerCrashError,
+)
 from repro.instrumentation import Counters
+from repro.kernels.switch import kernels_enabled, use_kernels
+from repro.reliability.faults import active_injector, maybe_inject
+from repro.reliability.guards import IndexGuard, KernelGuard, divergence
+from repro.reliability.retry import RetryPolicy
 from repro.serve.cache import SkylineCache, TopKCache
 from repro.serve.metrics import EngineMetrics
 from repro.serve.pool import ReadWriteLock, WorkerPool
 
 Epoch = Tuple[int, int]
+Point = Tuple[float, ...]
 
 
 @dataclass(frozen=True)
@@ -184,6 +204,14 @@ class UpgradeEngine:
         skyline_cache_entries: LRU capacity of the skyline cache.
         default_deadline_s: deadline applied to queries that do not carry
             their own (``None`` = no deadline).
+        retry_policy: backoff policy for transiently-failed requests
+            (``None`` = the default :class:`RetryPolicy`; use
+            ``RetryPolicy(max_attempts=1)`` to disable retries).
+        kernel_guard: the sampling kernel-vs-scalar cross-checker
+            (``None`` = a default 5%-sampling guard; use
+            ``KernelGuard(sample_rate=0.0)`` to disable).
+        index_check_every: validate both R-trees every N-th catalog
+            mutation (0 = never).
     """
 
     def __init__(
@@ -196,16 +224,31 @@ class UpgradeEngine:
         skyline_cache_entries: int = 4096,
         default_deadline_s: Optional[float] = None,
         metrics_window: int = 2048,
+        retry_policy: Optional[RetryPolicy] = None,
+        kernel_guard: Optional[KernelGuard] = None,
+        index_check_every: int = 64,
     ):
         self.session = session
         self.cache_enabled = cache
         self.default_deadline_s = default_deadline_s
+        self.retry_policy = (
+            retry_policy if retry_policy is not None else RetryPolicy()
+        )
+        self.kernel_guard = (
+            kernel_guard if kernel_guard is not None else KernelGuard()
+        )
+        self.index_guard = IndexGuard(every=index_check_every)
         self.skyline_cache = SkylineCache(max_entries=skyline_cache_entries)
         self.topk_cache = TopKCache()
         self._metrics = EngineMetrics(window=metrics_window)
         self._rw = ReadWriteLock()
         self._extern_counters: Dict[int, Counters] = {}
         self._extern_lock = threading.Lock()
+        # Oracle recomputes are guard overhead, not request work: they get
+        # their own counters so the request counters still equal a serial
+        # run's exactly (the suite asserts that equality).
+        self._guard_stats = Counters()
+        self._guard_stats_lock = threading.Lock()
         self._closed = False
         self._pool: Optional[WorkerPool] = None
         if workers > 0:
@@ -214,19 +257,26 @@ class UpgradeEngine:
                 workers=workers,
                 queue_capacity=queue_capacity,
                 batch_max=batch_max,
+                on_batch_error=self._fail_batch,
             )
         session.add_mutation_listener(self._on_mutation)
 
     # -- lifecycle ------------------------------------------------------------
 
-    def close(self) -> None:
-        """Stop the pool and detach from the session (idempotent)."""
-        if self._closed:
-            return
-        self._closed = True
+    def close(self, timeout: float = 5.0) -> int:
+        """Stop the pool and detach from the session (idempotent).
+
+        Returns the number of workers that failed to join within
+        ``timeout`` (0 = clean shutdown; stragglers are named in
+        ``pool.stuck_workers``).
+        """
+        stuck = 0
         if self._pool is not None:
-            self._pool.close()
-        self.session.remove_mutation_listener(self._on_mutation)
+            stuck = self._pool.close(timeout=timeout)
+        if not self._closed:
+            self._closed = True
+            self.session.remove_mutation_listener(self._on_mutation)
+        return stuck
 
     def __enter__(self) -> "UpgradeEngine":
         return self
@@ -239,27 +289,54 @@ class UpgradeEngine:
     def add_competitor(self, point: Sequence[float]) -> int:
         """Insert a competitor; precisely invalidates overlapping caches."""
         with self._rw.write_locked():
-            return self.session.add_competitor(point)
+            cid = self.session.add_competitor(point)
+            self._check_indexes()
+            return cid
 
     def remove_competitor(self, competitor_id: int) -> bool:
         """Remove a competitor; precisely invalidates overlapping caches."""
         with self._rw.write_locked():
-            return self.session.remove_competitor(competitor_id)
+            removed = self.session.remove_competitor(competitor_id)
+            if removed:
+                self._check_indexes()
+            return removed
 
     def add_product(self, point: Sequence[float]) -> int:
         """Add a catalog product (drops the cached top-k prefix)."""
         with self._rw.write_locked():
-            return self.session.add_product(point)
+            pid = self.session.add_product(point)
+            self._check_indexes()
+            return pid
 
     def remove_product(self, product_id: int) -> bool:
         """Remove a catalog product (drops the cached top-k prefix)."""
         with self._rw.write_locked():
-            return self.session.remove_product(product_id)
+            removed = self.session.remove_product(product_id)
+            if removed:
+                self._check_indexes()
+            return removed
 
     def commit_upgrade(self, result: UpgradeResult) -> None:
         """Commit an upgrade result (drops the cached top-k prefix)."""
         with self._rw.write_locked():
             self.session.commit_upgrade(result)
+            self._check_indexes()
+
+    def _check_indexes(self) -> None:
+        """Budgeted structural validation, inside the mutation's write lock.
+
+        Raises:
+            RTreeError: an index invariant is violated — surfaced to the
+                mutating caller, since serving from a corrupt index would
+                silently return wrong answers.
+        """
+        if not self.index_guard.should_check():
+            return
+        try:
+            self.session.validate_indexes()
+        except RTreeError:
+            self.index_guard.record_failure()
+            raise
 
     def _on_mutation(self, event: MutationEvent) -> None:
         """Precise invalidation — runs inside the mutation's write lock.
@@ -269,10 +346,22 @@ class UpgradeEngine:
         the point's dominance region.  Product mutations change the ranked
         set itself, so the top-k prefix always goes; skylines (competitor
         functions) survive.
+
+        If the overlap probe fails transiently (e.g. an injected
+        ``rtree.query`` fault), the prefix is dropped anyway: when in
+        doubt, invalidating is always correct — keeping a stale prefix is
+        not.
         """
         if event.side == "competitor":
             self.skyline_cache.invalidate_point(event.point)
-            if self.session.any_product_in_dominance_region(event.point):
+            try:
+                overlaps = self.session.any_product_in_dominance_region(
+                    event.point
+                )
+            except TransientError:
+                self._metrics.record_cache_fault()
+                overlaps = True
+            if overlaps:
                 self.topk_cache.invalidate()
         else:
             self.topk_cache.invalidate()
@@ -283,16 +372,29 @@ class UpgradeEngine:
         """Execute one request synchronously on the calling thread."""
         return self.execute_batch([query])[0]
 
-    def execute_batch(self, queries: Sequence[Query]) -> List[QueryResponse]:
+    def execute_batch(
+        self, queries: Sequence[Query], raise_errors: bool = True
+    ) -> List[QueryResponse]:
         """Execute a batch synchronously; responses in request order.
 
         Top-k requests in the batch share a single progressive join run.
-        Raises the per-request exception (e.g. unknown product id) exactly
-        as :meth:`PendingQuery.result` would.
+        With ``raise_errors`` (the default) the per-request exception
+        (e.g. unknown product id) is raised exactly as
+        :meth:`PendingQuery.result` would; with ``raise_errors=False``
+        failed slots hold the exception object instead — chaos drivers
+        use this to keep replaying through typed failures.
         """
         pendings = [self._admit(q) for q in queries]
         self._execute_batch(pendings, self._calling_thread_counters())
-        return [p.result(timeout=0) for p in pendings]
+        if raise_errors:
+            return [p.result(timeout=0) for p in pendings]
+        out: List[QueryResponse] = []
+        for p in pendings:
+            try:
+                out.append(p.result(timeout=0))
+            except Exception as exc:
+                out.append(exc)  # type: ignore[arg-type]
+        return out
 
     def submit(self, query: Query) -> PendingQuery:
         """Enqueue one request on the worker pool."""
@@ -334,12 +436,31 @@ class UpgradeEngine:
     def _handle_batch(
         self, batch: List[PendingQuery], counters: Counters
     ) -> None:
-        try:
-            self._execute_batch(batch, counters)
-        except Exception as exc:  # pragma: no cover - defensive
-            for pending in batch:
-                if not pending.done():
-                    pending._fail(exc)
+        self._execute_batch(batch, counters)
+
+    def _fail_batch(
+        self, pendings: Sequence[PendingQuery], exc: BaseException
+    ) -> None:
+        """Terminal containment: every unresolved request gets a typed
+        :class:`WorkerCrashError` so no caller is left hanging.
+
+        Doubles as the pool's ``on_batch_error`` backstop — already-done
+        requests are left untouched, so double delivery is impossible.
+        """
+        self._metrics.record_worker_crash()
+        wrapped = WorkerCrashError(f"batch execution crashed: {exc!r}")
+        wrapped.__cause__ = exc
+        for pending in pendings:
+            if not pending.done():
+                kind = (
+                    "topk"
+                    if isinstance(pending.query, TopKQuery)
+                    else "product"
+                )
+                self._metrics.record_request(
+                    kind, 0.0, 0.0, partial=False, error=True
+                )
+                pending._fail(wrapped)
 
     def _execute_batch(
         self, pendings: List[PendingQuery], counters: Counters
@@ -348,74 +469,214 @@ class UpgradeEngine:
         for p in pendings:
             p.picked_up_at = now
         local = Counters()
-        with self._rw.read_locked():
-            epoch = self.session.epoch
-            topk_group: List[PendingQuery] = []
-            for pending in pendings:
-                if isinstance(pending.query, TopKQuery):
-                    topk_group.append(pending)
-                else:
-                    self._serve_product(pending, local, epoch)
-            if topk_group:
-                try:
+        try:
+            maybe_inject("serve.handler")
+            with self._rw.read_locked():
+                epoch = self.session.epoch
+                topk_group: List[PendingQuery] = []
+                for pending in pendings:
+                    if isinstance(pending.query, TopKQuery):
+                        topk_group.append(pending)
+                    else:
+                        self._serve_product(pending, local, epoch)
+                if topk_group:
                     self._serve_topk_group(topk_group, local, epoch)
-                except Exception as exc:
-                    for pending in topk_group:
-                        if not pending.done():
-                            self._metrics.record_request(
-                                "topk", 0.0, 0.0, partial=False, error=True
-                            )
-                            pending._fail(exc)
+        except Exception as exc:
+            self._fail_batch(pendings, exc)
         counters.merge(local)
         self._metrics.record_batch(len(pendings))
+
+    # -- cache access (faults degrade to recomputes) ---------------------------
+
+    def _cached_skyline_entry(self, point: Point):
+        if not self.cache_enabled:
+            return None
+        try:
+            maybe_inject("serve.cache")
+            return self.skyline_cache.get(point)
+        except TransientError:
+            self._metrics.record_cache_fault()
+            return None
+
+    def _store_skyline(self, point, skyline, result, epoch) -> None:
+        if not self.cache_enabled:
+            return
+        try:
+            maybe_inject("serve.cache")
+            self.skyline_cache.put(point, skyline, result, epoch)
+        except TransientError:
+            self._metrics.record_cache_fault()
+
+    def _cached_topk(self, k: int):
+        if not self.cache_enabled:
+            return None
+        try:
+            maybe_inject("serve.cache")
+            return self.topk_cache.get(k)
+        except TransientError:
+            self._metrics.record_cache_fault()
+            return None
+
+    def _store_topk(self, results, exhausted, epoch) -> None:
+        if not self.cache_enabled:
+            return
+        try:
+            maybe_inject("serve.cache")
+            self.topk_cache.put(results, exhausted, epoch)
+        except TransientError:
+            self._metrics.record_cache_fault()
+
+    # -- retries ---------------------------------------------------------------
+
+    def _retry_or_fail(
+        self,
+        pendings: Sequence[PendingQuery],
+        exc: TransientError,
+        attempt: int,
+        kind: str,
+    ) -> bool:
+        """Back off and return True to retry; fail ``pendings`` otherwise.
+
+        Retries stop at the policy's attempt cap or once every waiting
+        request's deadline has passed (a retry nobody can wait for is
+        wasted work).
+        """
+        now = time.monotonic()
+        waiting = [
+            p
+            for p in pendings
+            if not p.done()
+            and (p.abs_deadline is None or p.abs_deadline > now)
+        ]
+        if attempt >= self.retry_policy.max_attempts or not waiting:
+            for pending in pendings:
+                if not pending.done():
+                    self._metrics.record_request(
+                        kind, 0.0, 0.0, partial=False, error=True
+                    )
+                    pending._fail(exc)
+            return False
+        self._metrics.record_retry()
+        time.sleep(self.retry_policy.delay_s(attempt))
+        return True
 
     def _serve_product(
         self, pending: PendingQuery, stats: Counters, epoch: Epoch
     ) -> None:
-        query = pending.query
-        try:
-            point = self.session.product_point(query.product_id)
-            if point is None:
-                raise ConfigurationError(
-                    f"unknown product id {query.product_id}"
-                )
-            if (
-                pending.abs_deadline is not None
-                and time.monotonic() >= pending.abs_deadline
-            ):
-                self._respond(pending, [], partial=True, cache_hit=False,
-                              epoch=epoch, kind="product")
+        attempt = 1
+        while not pending.done():
+            try:
+                self._serve_product_once(pending, stats, epoch)
                 return
-            cache_hit = False
-            if self.cache_enabled:
-                entry = self.skyline_cache.get(point)
-                if entry is not None:
-                    cached = entry.result
-                    result = UpgradeResult(
-                        query.product_id, point, cached.upgraded, cached.cost
-                    )
-                    self._respond(pending, [result], partial=False,
-                                  cache_hit=True, epoch=epoch,
-                                  kind="product")
+            except TransientError as exc:
+                if not self._retry_or_fail(
+                    [pending], exc, attempt, "product"
+                ):
                     return
-            skyline = self.session.dominator_skyline(point, stats)
+                attempt += 1
+            except Exception as exc:
+                self._metrics.record_request(
+                    "product", 0.0, 0.0, partial=False, error=True
+                )
+                pending._fail(exc)
+                return
+
+    def _serve_product_once(
+        self, pending: PendingQuery, stats: Counters, epoch: Epoch
+    ) -> None:
+        query = pending.query
+        point = self.session.product_point(query.product_id)
+        if point is None:
+            raise ConfigurationError(
+                f"unknown product id {query.product_id}"
+            )
+        if (
+            pending.abs_deadline is not None
+            and time.monotonic() >= pending.abs_deadline
+        ):
+            self._respond(pending, [], partial=True, cache_hit=False,
+                          epoch=epoch, kind="product")
+            return
+        entry = self._cached_skyline_entry(point)
+        if entry is not None:
+            cached = entry.result
+            result = UpgradeResult(
+                query.product_id, point, cached.upgraded, cached.cost
+            )
+            self._respond(pending, [result], partial=False,
+                          cache_hit=True, epoch=epoch, kind="product")
+            return
+        skyline = self.session.dominator_skyline(point, stats)
+        cost, upgraded = upgrade(
+            skyline,
+            point,
+            self.session.cost_model,
+            self.session.config,
+            stats,
+        )
+        result = UpgradeResult(query.product_id, point, upgraded, cost)
+        result = self._guarded_product_result(result)
+        self._store_skyline(point, skyline, result, epoch)
+        self._respond(pending, [result], partial=False,
+                      cache_hit=False, epoch=epoch, kind="product")
+
+    # -- kernel result guard ---------------------------------------------------
+
+    def _guarded_product_result(
+        self, result: UpgradeResult
+    ) -> UpgradeResult:
+        """Maybe cross-check one kernel-path answer against the oracle.
+
+        On divergence: record it, quarantine the kernels (global flip to
+        scalar), and serve the oracle's answer — the client never sees the
+        divergent result.  The recompute is charged to the engine's guard
+        counters, never the request counters (see ``guard_counters``).
+        """
+        guard = self.kernel_guard
+        if not kernels_enabled() or not guard.should_check():
+            return result
+        work = Counters()
+        with use_kernels(False):
+            skyline = self.session.dominator_skyline(result.original, work)
             cost, upgraded = upgrade(
                 skyline,
-                point,
+                result.original,
                 self.session.cost_model,
                 self.session.config,
-                stats,
+                work,
             )
-            result = UpgradeResult(query.product_id, point, upgraded, cost)
-            if self.cache_enabled:
-                self.skyline_cache.put(point, skyline, result, epoch)
-            self._respond(pending, [result], partial=False,
-                          cache_hit=cache_hit, epoch=epoch, kind="product")
-        except Exception as exc:
-            self._metrics.record_request(
-                "product", 0.0, 0.0, partial=False, error=True
+        with self._guard_stats_lock:
+            self._guard_stats.merge(work)
+        if guard.costs_match(result.cost, cost) and all(
+            abs(a - b) <= guard.tolerance
+            for a, b in zip(result.upgraded, upgraded)
+        ):
+            return result
+        if guard.record_divergence(
+            divergence(
+                "product",
+                [(result.record_id, result.cost)],
+                [(result.record_id, cost)],
             )
-            pending._fail(exc)
+        ):
+            self._metrics.record_quarantine()
+        return UpgradeResult(result.record_id, result.original, upgraded, cost)
+
+    def _oracle_topk(self, k: int) -> List[UpgradeResult]:
+        """The scalar-path top-``k`` prefix (the guard's reference run).
+
+        Charged to the guard counters, not the request counters.
+        """
+        with use_kernels(False):
+            upgrader = self.session.make_upgrader()
+            results = []
+            for result in upgrader.results():
+                results.append(result)
+                if len(results) >= k:
+                    break
+        with self._guard_stats_lock:
+            self._guard_stats.merge(upgrader.stats)
+        return results
 
     def _serve_topk_group(
         self,
@@ -423,22 +684,55 @@ class UpgradeEngine:
         stats: Counters,
         epoch: Epoch,
     ) -> None:
+        """Serve a group of top-k requests, retrying transient failures.
+
+        Requests already resolved before a retry (deadline partials,
+        early-k completions) stay resolved; only the unresolved remainder
+        re-executes.
+        """
+        attempt = 1
+        while any(not p.done() for p in group):
+            pendings = [p for p in group if not p.done()]
+            try:
+                self._serve_topk_group_once(pendings, stats, epoch)
+                return
+            except TransientError as exc:
+                if not self._retry_or_fail(pendings, exc, attempt, "topk"):
+                    return
+                attempt += 1
+            except Exception as exc:
+                for pending in pendings:
+                    if not pending.done():
+                        self._metrics.record_request(
+                            "topk", 0.0, 0.0, partial=False, error=True
+                        )
+                        pending._fail(exc)
+                return
+
+    def _serve_topk_group_once(
+        self,
+        group: List[PendingQuery],
+        stats: Counters,
+        epoch: Epoch,
+    ) -> None:
         """One progressive join run serves every top-k request in ``group``."""
         k_max = max(p.query.k for p in group)
-        if self.cache_enabled:
-            cached = self.topk_cache.get(k_max)
-            if cached is not None:
-                prefix, _exhausted = cached
-                for pending in group:
-                    self._respond(
-                        pending,
-                        prefix[: pending.query.k],
-                        partial=False,
-                        cache_hit=True,
-                        epoch=epoch,
-                        kind="topk",
-                    )
-                return
+        cached = self._cached_topk(k_max)
+        if cached is not None:
+            prefix, _exhausted = cached
+            for pending in group:
+                self._respond(
+                    pending,
+                    prefix[: pending.query.k],
+                    partial=False,
+                    cache_hit=True,
+                    epoch=epoch,
+                    kind="topk",
+                )
+            return
+        if kernels_enabled() and self.kernel_guard.should_check():
+            self._serve_topk_group_guarded(group, stats, epoch, k_max)
+            return
 
         upgrader = self.session.make_upgrader()
         gen = upgrader.results()
@@ -499,10 +793,64 @@ class UpgradeEngine:
                 kind="topk",
             )
         stats.merge(upgrader.stats)
-        if self.cache_enabled and (results or exhausted):
+        if results or exhausted:
             # Any progressive prefix is the exact top-|results| — even a
             # deadline-truncated run warms the cache.
-            self.topk_cache.put(results, exhausted, epoch)
+            self._store_topk(results, exhausted, epoch)
+
+    def _serve_topk_group_guarded(
+        self,
+        group: List[PendingQuery],
+        stats: Counters,
+        epoch: Epoch,
+        k_max: int,
+    ) -> None:
+        """A sampled top-k run: kernel answer cross-checked before anyone
+        sees it.
+
+        Unlike the progressive path, both runs complete before responses
+        go out (a divergent prefix must never be partially delivered);
+        deadline-expired requests still get a partial prefix — of the
+        *validated* results.
+        """
+        upgrader = self.session.make_upgrader()
+        results: List[UpgradeResult] = []
+        for result in upgrader.results():
+            results.append(result)
+            if len(results) >= k_max:
+                break
+        stats.merge(upgrader.stats)
+        oracle = self._oracle_topk(k_max)
+        guard = self.kernel_guard
+        agree = len(results) == len(oracle) and all(
+            served.record_id == truth.record_id
+            and guard.costs_match(served.cost, truth.cost)
+            for served, truth in zip(results, oracle)
+        )
+        if not agree:
+            if guard.record_divergence(
+                divergence(
+                    "topk",
+                    [(r.record_id, r.cost) for r in results],
+                    [(r.record_id, r.cost) for r in oracle],
+                )
+            ):
+                self._metrics.record_quarantine()
+            results = oracle
+        # The guarded run drives the stream to k_max regardless of
+        # deadlines (a divergent prefix must never be half-delivered), so
+        # every request gets its complete validated prefix.
+        exhausted = len(results) < k_max
+        for pending in group:
+            self._respond(
+                pending,
+                results[: pending.query.k],
+                partial=False,
+                cache_hit=False,
+                epoch=epoch,
+                kind="topk",
+            )
+        self._store_topk(results, exhausted, epoch)
 
     def _respond(
         self,
@@ -541,11 +889,23 @@ class UpgradeEngine:
                 self._extern_counters[ident] = counters
             return counters
 
+    def guard_counters(self) -> Counters:
+        """Work performed by the kernel guard's oracle recomputes.
+
+        Kept apart from :meth:`counters` so request-work accounting still
+        matches a serial (unguarded) run exactly.
+        """
+        total = Counters()
+        with self._guard_stats_lock:
+            total.merge(self._guard_stats)
+        return total
+
     def counters(self) -> Counters:
         """Merged work counters across every worker and sync caller.
 
         Per-worker instances are merged into a fresh object — the
         originals keep accumulating race-free on their owning threads.
+        Guard-recompute work is excluded (see :meth:`guard_counters`).
         """
         total = Counters()
         if self._pool is not None:
@@ -558,6 +918,7 @@ class UpgradeEngine:
 
     def metrics(self) -> Dict[str, object]:
         """One JSON-serializable snapshot of engine health."""
+        injector = active_injector()
         return self._metrics.snapshot(
             counters=self.counters(),
             extra={
@@ -565,6 +926,19 @@ class UpgradeEngine:
                 "queue_depth": (
                     self._pool.queue_depth if self._pool is not None else 0
                 ),
+                "reliability": {
+                    "kernel_guard": self.kernel_guard.stats(),
+                    "guard_work": self.guard_counters().as_dict(),
+                    "index_guard": self.index_guard.stats(),
+                    "pool_crashes": (
+                        self._pool.crash_count
+                        if self._pool is not None
+                        else 0
+                    ),
+                    "fault_injection": (
+                        injector.stats() if injector is not None else None
+                    ),
+                },
                 "cache_enabled": self.cache_enabled,
                 "skyline_cache": {
                     **self.skyline_cache.stats.as_dict(),

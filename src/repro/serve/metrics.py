@@ -69,6 +69,10 @@ class EngineMetrics:
         self.partials = 0
         self.errors = 0
         self.rejected = 0
+        self.retries = 0
+        self.worker_crashes = 0
+        self.cache_faults = 0
+        self.quarantines = 0
         self.latency = RollingWindow(window)
         self.queue_wait = RollingWindow(window)
 
@@ -81,6 +85,26 @@ class EngineMetrics:
         """Count one request refused at admission (queue full / closed)."""
         with self._lock:
             self.rejected += 1
+
+    def record_retry(self) -> None:
+        """Count one transient-failure retry of a request execution."""
+        with self._lock:
+            self.retries += 1
+
+    def record_worker_crash(self) -> None:
+        """Count one contained batch-execution crash."""
+        with self._lock:
+            self.worker_crashes += 1
+
+    def record_cache_fault(self) -> None:
+        """Count one cache lookup/store that degraded to a recompute."""
+        with self._lock:
+            self.cache_faults += 1
+
+    def record_quarantine(self) -> None:
+        """Count one kernel quarantine (divergence detected)."""
+        with self._lock:
+            self.quarantines += 1
 
     def record_request(
         self,
@@ -119,6 +143,10 @@ class EngineMetrics:
                 "partials": self.partials,
                 "errors": self.errors,
                 "rejected": self.rejected,
+                "retries": self.retries,
+                "worker_crashes": self.worker_crashes,
+                "cache_faults": self.cache_faults,
+                "quarantines": self.quarantines,
                 "latency_s": self.latency.snapshot(),
                 "queue_wait_s": self.queue_wait.snapshot(),
             }

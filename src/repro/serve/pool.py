@@ -22,9 +22,10 @@ writer-preferring so a stream of queries cannot starve updates.
 from __future__ import annotations
 
 import threading
+import time
 from collections import deque
 from contextlib import contextmanager
-from typing import Callable, Deque, Iterator, List, Sequence
+from typing import Callable, Deque, Iterator, List, Optional, Sequence
 
 from repro.exceptions import EngineClosedError, EngineOverloadedError
 from repro.instrumentation import Counters
@@ -90,13 +91,23 @@ class WorkerPool:
     ``handler`` call); aggregation merges the per-worker instances instead
     of sharing one, keeping increments race-free.
 
+    **Supervision.**  A raising ``handler`` cannot kill its worker: the
+    exception is contained, counted (:attr:`crash_count`), and reported to
+    ``on_batch_error`` (which should fail the batch's requests with a
+    typed error so their callers see a terminal response).  The pool's
+    capacity therefore never degrades — one bad batch used to silently
+    shrink the pool forever.
+
     Args:
-        handler: ``handler(batch, worker_counters)`` — must not raise
-            (request-level errors belong in the request's response).
+        handler: ``handler(batch, worker_counters)`` — request-level
+            errors belong in the request's response; an escaped exception
+            is contained by supervision (see above), not a worker death.
         workers: thread count.
         queue_capacity: admission bound; :meth:`submit_many` raises
             :class:`~repro.exceptions.EngineOverloadedError` beyond it.
         batch_max: largest batch handed to a single ``handler`` call.
+        on_batch_error: ``on_batch_error(batch, exc)`` called after a
+            contained handler crash; its own exceptions are swallowed.
     """
 
     def __init__(
@@ -105,6 +116,9 @@ class WorkerPool:
         workers: int = 4,
         queue_capacity: int = 1024,
         batch_max: int = 64,
+        on_batch_error: Optional[
+            Callable[[List[object], BaseException], None]
+        ] = None,
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -113,11 +127,14 @@ class WorkerPool:
                 f"queue_capacity must be >= 1, got {queue_capacity}"
             )
         self._handler = handler
+        self._on_batch_error = on_batch_error
         self._capacity = queue_capacity
         self._batch_max = batch_max
         self._queue: Deque[object] = deque()
         self._cond = threading.Condition()
         self._closed = False
+        self._crashes = 0
+        self.stuck_workers: List[str] = []
         self.worker_counters: List[Counters] = [
             Counters() for _ in range(workers)
         ]
@@ -138,6 +155,18 @@ class WorkerPool:
         """Number of requests admitted but not yet picked up."""
         with self._cond:
             return len(self._queue)
+
+    @property
+    def crash_count(self) -> int:
+        """Handler exceptions contained by supervision so far."""
+        with self._cond:
+            return self._crashes
+
+    @property
+    def alive_workers(self) -> int:
+        """Worker threads currently running (the full count unless a
+        worker is wedged in a non-returning handler after close)."""
+        return sum(1 for t in self._threads if t.is_alive())
 
     def submit_many(self, items: Sequence[object]) -> None:
         """Enqueue ``items`` atomically (all admitted or none).
@@ -170,14 +199,34 @@ class WorkerPool:
                         min(self._batch_max, len(self._queue))
                     )
                 ]
-            self._handler(batch, counters)
+            try:
+                self._handler(batch, counters)
+            except Exception as exc:
+                # Supervision: contain the crash, keep the worker alive.
+                with self._cond:
+                    self._crashes += 1
+                if self._on_batch_error is not None:
+                    try:
+                        self._on_batch_error(batch, exc)
+                    except Exception:  # pragma: no cover - last resort
+                        pass
 
-    def close(self, timeout: float = 5.0) -> None:
-        """Stop accepting work, drain the queue, and join the workers."""
+    def close(self, timeout: float = 5.0) -> int:
+        """Stop accepting work, drain the queue, and join the workers.
+
+        Returns the number of workers that failed to join within
+        ``timeout`` (their names are kept in :attr:`stuck_workers`); 0
+        means a clean shutdown.  Idempotent — a second close re-joins any
+        previously stuck workers and updates the accounting.
+        """
         with self._cond:
-            if self._closed:
-                return
             self._closed = True
             self._cond.notify_all()
+        deadline = time.monotonic() + timeout
+        stuck: List[str] = []
         for t in self._threads:
-            t.join(timeout=timeout)
+            t.join(timeout=max(0.0, deadline - time.monotonic()))
+            if t.is_alive():
+                stuck.append(t.name)
+        self.stuck_workers = stuck
+        return len(stuck)

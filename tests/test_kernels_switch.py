@@ -1,0 +1,118 @@
+"""Thread-safety of the kernel dispatch switch.
+
+The switch is two-level: a locked process-global default (what quarantine
+flips) under a per-thread overlay (what ``use_kernels`` sets).  The
+reliability guard relies on this: its scalar-oracle recompute runs under
+``use_kernels(False)`` on one worker thread while other workers keep
+serving through the kernels.
+"""
+
+import threading
+
+import pytest
+
+from repro.kernels.switch import (
+    kernels_enabled,
+    set_kernels_enabled,
+    use_kernels,
+)
+
+
+@pytest.fixture(autouse=True)
+def _restore_default():
+    yield
+    set_kernels_enabled(True)
+
+
+class TestGlobalDefault:
+    def test_set_returns_previous_value(self):
+        assert set_kernels_enabled(False) is True
+        assert set_kernels_enabled(True) is False
+
+    def test_default_is_visible_across_threads(self):
+        set_kernels_enabled(False)
+        seen = []
+        t = threading.Thread(target=lambda: seen.append(kernels_enabled()))
+        t.start()
+        t.join(5.0)
+        assert seen == [False]
+
+
+class TestThreadLocalOverlay:
+    def test_overlay_restores_previous_state(self):
+        with use_kernels(False):
+            assert not kernels_enabled()
+            with use_kernels(True):
+                assert kernels_enabled()
+            assert not kernels_enabled()
+        assert kernels_enabled()
+
+    def test_overlay_restored_when_block_raises(self):
+        with pytest.raises(RuntimeError):
+            with use_kernels(False):
+                raise RuntimeError("boom")
+        assert kernels_enabled()
+
+    def test_overlay_does_not_leak_to_other_threads(self):
+        """The guard's oracle recompute must not slow anyone else down."""
+        in_overlay = threading.Event()
+        release = threading.Event()
+        observed = []
+
+        def oracle_thread():
+            with use_kernels(False):
+                in_overlay.set()
+                release.wait(5.0)
+
+        def serving_thread():
+            in_overlay.wait(5.0)
+            observed.append(kernels_enabled())
+            release.set()
+
+        threads = [
+            threading.Thread(target=oracle_thread),
+            threading.Thread(target=serving_thread),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(5.0)
+        assert observed == [True]
+
+    def test_overlay_wins_over_global_flip(self):
+        """A mid-recompute quarantine cannot flip the oracle back to the
+        kernels it is checking."""
+        with use_kernels(False):
+            set_kernels_enabled(True)
+            assert not kernels_enabled()
+        assert kernels_enabled()
+
+    def test_overlay_true_survives_global_quarantine(self):
+        with use_kernels(True):
+            set_kernels_enabled(False)
+            assert kernels_enabled()
+        assert not kernels_enabled()
+
+    def test_concurrent_overlays_are_independent(self):
+        barrier = threading.Barrier(8, timeout=10.0)
+        errors = []
+
+        def worker(enable):
+            try:
+                for _ in range(200):
+                    with use_kernels(enable):
+                        if kernels_enabled() is not enable:
+                            errors.append("overlay leaked")
+                barrier.wait()
+            except Exception as exc:  # pragma: no cover - diagnostics
+                errors.append(repr(exc))
+
+        threads = [
+            threading.Thread(target=worker, args=(i % 2 == 0,))
+            for i in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(10.0)
+        assert errors == []

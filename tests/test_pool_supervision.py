@@ -1,0 +1,293 @@
+"""Worker-pool supervision and ReadWriteLock behaviour under failure.
+
+Regression suite for the pre-reliability bug where a raising handler
+killed its worker thread for good: each crash silently shrank the pool
+until nothing drained the queue.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.instrumentation import Counters
+from repro.serve.pool import ReadWriteLock, WorkerPool
+
+
+class TestSupervision:
+    def test_raising_handler_does_not_kill_worker(self):
+        """The original bug: one bad batch must not cost a worker."""
+        processed = []
+        release = threading.Event()
+
+        def handler(batch, counters):
+            if batch[0] == "bad":
+                raise RuntimeError("handler crash")
+            processed.extend(batch)
+            release.set()
+
+        pool = WorkerPool(handler, workers=1, batch_max=1)
+        try:
+            pool.submit_many(["bad"])
+            pool.submit_many(["good"])  # same (sole) worker must drain it
+            assert release.wait(timeout=5.0)
+            assert processed == ["good"]
+            assert pool.crash_count == 1
+            assert pool.alive_workers == 1
+        finally:
+            pool.close()
+
+    def test_crashes_are_counted_and_reported(self):
+        failures = []
+        drained = threading.Event()
+
+        def handler(batch, counters):
+            if batch[0] == "last":
+                drained.set()
+                return
+            raise ValueError(f"bad batch {batch}")
+
+        pool = WorkerPool(
+            handler,
+            workers=2,
+            batch_max=1,
+            on_batch_error=lambda batch, exc: failures.append((batch, exc)),
+        )
+        try:
+            pool.submit_many(["a", "b", "c"])
+            pool.submit_many(["last"])
+            assert drained.wait(timeout=5.0)
+            deadline = time.monotonic() + 5.0
+            while pool.crash_count < 3 and time.monotonic() < deadline:
+                time.sleep(0.005)
+            assert pool.crash_count == 3
+            assert sorted(batch[0] for batch, _ in failures) == [
+                "a",
+                "b",
+                "c",
+            ]
+            assert all(isinstance(exc, ValueError) for _, exc in failures)
+            assert pool.alive_workers == 2
+        finally:
+            pool.close()
+
+    def test_capacity_survives_sustained_crashing(self):
+        """Every batch crashes; the pool must still drain all of them."""
+        seen = []
+        done = threading.Event()
+
+        def handler(batch, counters):
+            seen.extend(batch)
+            if len(seen) >= 50:
+                done.set()
+            raise RuntimeError("always fails")
+
+        pool = WorkerPool(handler, workers=3, batch_max=4)
+        try:
+            for lo in range(0, 50, 10):
+                pool.submit_many(list(range(lo, lo + 10)))
+            assert done.wait(timeout=5.0)
+            assert sorted(seen) == list(range(50))
+            assert pool.alive_workers == 3
+        finally:
+            assert pool.close() == 0
+
+    def test_raising_error_callback_is_swallowed(self):
+        ok = threading.Event()
+
+        def handler(batch, counters):
+            if batch[0] == "ok":
+                ok.set()
+                return
+            raise RuntimeError("crash")
+
+        def bad_callback(batch, exc):
+            raise RuntimeError("callback is broken too")
+
+        pool = WorkerPool(
+            handler, workers=1, batch_max=1, on_batch_error=bad_callback
+        )
+        try:
+            pool.submit_many(["crash"])
+            pool.submit_many(["ok"])
+            assert ok.wait(timeout=5.0)
+        finally:
+            pool.close()
+
+
+class TestClose:
+    def test_clean_close_returns_zero(self):
+        pool = WorkerPool(lambda batch, counters: None, workers=3)
+        assert pool.close() == 0
+        assert pool.stuck_workers == []
+
+    def test_close_is_idempotent(self):
+        pool = WorkerPool(lambda batch, counters: None, workers=2)
+        assert pool.close() == 0
+        assert pool.close() == 0
+
+    def test_stuck_worker_is_accounted_not_waited_forever(self):
+        """A wedged handler can't hang close(); it is named and counted."""
+        release = threading.Event()
+
+        def handler(batch, counters):
+            release.wait(10.0)
+
+        pool = WorkerPool(handler, workers=2, batch_max=1)
+        try:
+            pool.submit_many(["wedge"])
+            deadline = time.monotonic() + 5.0
+            while pool.queue_depth and time.monotonic() < deadline:
+                time.sleep(0.005)
+            start = time.monotonic()
+            stuck = pool.close(timeout=0.2)
+            assert time.monotonic() - start < 2.0
+            assert stuck == 1
+            assert len(pool.stuck_workers) == 1
+            assert pool.stuck_workers[0].startswith("skyup-serve-")
+        finally:
+            release.set()
+        # Once the handler returns, a re-close reaps the straggler.
+        assert pool.close(timeout=5.0) == 0
+        assert pool.stuck_workers == []
+
+    def test_submit_after_close_raises(self):
+        from repro.exceptions import EngineClosedError
+
+        pool = WorkerPool(lambda batch, counters: None, workers=1)
+        pool.close()
+        with pytest.raises(EngineClosedError):
+            pool.submit_many(["x"])
+
+
+class TestWorkerCounters:
+    def test_each_worker_gets_its_own_counters(self):
+        pool = WorkerPool(lambda batch, counters: None, workers=4)
+        try:
+            assert len(pool.worker_counters) == 4
+            assert all(
+                isinstance(c, Counters) for c in pool.worker_counters
+            )
+            assert len(set(map(id, pool.worker_counters))) == 4
+        finally:
+            pool.close()
+
+
+class TestReadWriteLock:
+    def test_readers_share(self):
+        lock = ReadWriteLock()
+        inside = threading.Barrier(2, timeout=5.0)
+
+        def reader():
+            with lock.read_locked():
+                inside.wait()  # both readers in simultaneously or timeout
+
+        threads = [threading.Thread(target=reader) for _ in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=5.0)
+        assert not any(t.is_alive() for t in threads)
+
+    def test_writer_excludes_readers_and_writers(self):
+        lock = ReadWriteLock()
+        order = []
+        in_write = threading.Event()
+
+        def writer():
+            with lock.write_locked():
+                in_write.set()
+                time.sleep(0.05)
+                order.append("write")
+
+        def reader():
+            in_write.wait(5.0)
+            with lock.read_locked():
+                order.append("read")
+
+        tw = threading.Thread(target=writer)
+        tr = threading.Thread(target=reader)
+        tw.start()
+        tr.start()
+        tw.join(5.0)
+        tr.join(5.0)
+        assert order == ["write", "read"]
+
+    def test_waiting_writer_blocks_new_readers(self):
+        """Writer preference: a queued writer beats readers that arrive
+        while it waits — a query stream cannot starve updates."""
+        lock = ReadWriteLock()
+        order = []
+        reader_in = threading.Event()
+        release_first_reader = threading.Event()
+        writer_waiting = threading.Event()
+
+        def first_reader():
+            with lock.read_locked():
+                reader_in.set()
+                release_first_reader.wait(5.0)
+            order.append("r1-out")
+
+        def writer():
+            reader_in.wait(5.0)
+            writer_waiting.set()
+            with lock.write_locked():
+                order.append("writer")
+
+        def late_reader():
+            writer_waiting.wait(5.0)
+            time.sleep(0.02)  # let the writer reach its wait loop
+            with lock.read_locked():
+                order.append("r2")
+
+        threads = [
+            threading.Thread(target=f)
+            for f in (first_reader, writer, late_reader)
+        ]
+        for t in threads:
+            t.start()
+        time.sleep(0.1)
+        release_first_reader.set()
+        for t in threads:
+            t.join(timeout=5.0)
+        assert order == ["r1-out", "writer", "r2"]
+
+    def test_read_lock_released_when_block_raises(self):
+        lock = ReadWriteLock()
+        with pytest.raises(RuntimeError):
+            with lock.read_locked():
+                raise RuntimeError("reader body failed")
+        with lock.write_locked():  # would deadlock if the read leaked
+            pass
+
+    def test_write_lock_released_when_block_raises(self):
+        lock = ReadWriteLock()
+        with pytest.raises(RuntimeError):
+            with lock.write_locked():
+                raise RuntimeError("writer body failed")
+        with lock.read_locked():  # would deadlock if the write leaked
+            pass
+
+    def test_interleaved_stress_makes_progress(self):
+        lock = ReadWriteLock()
+        counter = {"value": 0}
+
+        def writer():
+            for _ in range(50):
+                with lock.write_locked():
+                    counter["value"] += 1
+
+        def reader():
+            for _ in range(50):
+                with lock.read_locked():
+                    assert 0 <= counter["value"] <= 100
+
+        threads = [threading.Thread(target=writer) for _ in range(2)] + [
+            threading.Thread(target=reader) for _ in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10.0)
+        assert not any(t.is_alive() for t in threads)
+        assert counter["value"] == 100

@@ -1,0 +1,288 @@
+"""Chaos suite: the serving stack under seeded fault injection.
+
+Five scenario families, each replayed across 40 seeds (200 scenarios
+total), assert the reliability layer's core invariants:
+
+1. **No deadlock** — every ``result()`` call below is bounded by a
+   timeout; a hang is a failure (CI additionally runs this file under
+   pytest-timeout).
+2. **Terminal responses** — every admitted query resolves to either a
+   :class:`QueryResponse` or a *typed* library error; raw injected
+   exceptions never leak to unrelated callers.
+3. **Capacity** — worker crashes are contained; the pool ends every
+   scenario with its full complement of live workers.
+4. **Correctness under divergence** — with result corruption injected
+   into the kernel paths and a 100%-sampling guard, every served answer
+   matches the scalar oracle, and the kernels end up quarantined.
+
+The competitor data is anti-correlated (points near a simplex shell) so
+dominator skylines are large enough (>= 48 points) to engage the columnar
+kernel paths — otherwise the corruption points would never be reached.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.session import MarketSession
+from repro.exceptions import (
+    SkyUpError,
+    TransientError,
+    WorkerCrashError,
+)
+from repro.kernels.switch import kernels_enabled, set_kernels_enabled
+from repro.reliability import (
+    FaultPlan,
+    FaultSpec,
+    KernelGuard,
+    RetryPolicy,
+    inject_faults,
+    uninstall,
+)
+from repro.serve import ProductQuery, QueryResponse, TopKQuery, UpgradeEngine
+
+SEEDS = range(40)
+N_COMPETITORS = 120
+N_PRODUCTS = 24
+TOPK = 5
+#: Product ids queried in every scenario (with one repeat for cache paths).
+PRODUCT_IDS = (0, 7, 15, 23, 7)
+
+
+@pytest.fixture(autouse=True)
+def _clean_global_state():
+    yield
+    uninstall()
+    set_kernels_enabled(True)
+
+
+_datasets = {}
+
+
+def get_dataset(seed):
+    """(competitors, products, expected) for one of 8 shared datasets.
+
+    ``expected`` maps ``("topk", k)`` to the oracle's top-k costs and
+    ``("product", pid)`` to the oracle's (cost, upgraded) — computed once
+    on a clean session with no injector installed.
+    """
+    key = seed % 8
+    if key in _datasets:
+        return _datasets[key]
+    rng = np.random.default_rng(1000 + key)
+    u = rng.dirichlet(np.ones(2), size=N_COMPETITORS)
+    r = 0.95 + 0.05 * rng.random((N_COMPETITORS, 1))
+    competitors = u * r * 2
+    products = 1.9 + 0.2 * rng.random((N_PRODUCTS, 2))
+    session = MarketSession.from_points(
+        competitors, products, max_entries=8
+    )
+    expected = {("topk", TOPK): session.top_k(TOPK).costs}
+    for pid in set(PRODUCT_IDS):
+        result = next(
+            r
+            for r in session.top_k(N_PRODUCTS).results
+            if r.record_id == pid
+        )
+        expected[("product", pid)] = (result.cost, result.upgraded)
+    _datasets[key] = (competitors, products, expected)
+    return _datasets[key]
+
+
+def make_session(seed):
+    competitors, products, _ = get_dataset(seed)
+    return MarketSession.from_points(
+        competitors, products, max_entries=8
+    )
+
+
+def scenario_queries(deadline_s=None):
+    queries = [ProductQuery(pid, deadline_s=deadline_s) for pid in PRODUCT_IDS]
+    queries.insert(2, TopKQuery(k=TOPK, deadline_s=deadline_s))
+    queries.append(TopKQuery(k=TOPK, deadline_s=deadline_s))
+    return queries
+
+
+def assert_response_correct(query, response, expected):
+    __tracebackhide__ = True
+    assert isinstance(response, QueryResponse)
+    if response.partial:
+        return  # a deadline partial is a valid terminal response
+    if isinstance(query, TopKQuery):
+        costs = [r.cost for r in response.results]
+        assert costs == pytest.approx(expected[("topk", query.k)])
+    else:
+        cost, upgraded = expected[("product", query.product_id)]
+        (result,) = response.results
+        assert result.cost == pytest.approx(cost)
+        assert result.upgraded == pytest.approx(upgraded)
+
+
+class TestTransientQueryFaults:
+    """Injected R-tree faults are retried; survivors are exact."""
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_retries_absorb_or_fail_typed(self, seed):
+        _, _, expected = get_dataset(seed)
+        session = make_session(seed)
+        plan = FaultPlan(seed=seed, rate=0.3, points=("rtree.query",))
+        with UpgradeEngine(
+            session,
+            workers=0,
+            cache=False,
+            kernel_guard=KernelGuard(sample_rate=0.0),
+            retry_policy=RetryPolicy(base_delay_s=0.0002, max_delay_s=0.001),
+        ) as engine:
+            queries = scenario_queries()
+            with inject_faults(plan) as injector:
+                responses = engine.execute_batch(
+                    queries, raise_errors=False
+                )
+            assert injector.stats()["rtree.query"]["reached"] > 0
+            failures = 0
+            for query, response in zip(queries, responses):
+                if isinstance(response, BaseException):
+                    # Terminal failure only after the retry budget; always
+                    # the typed transient error, never something raw.
+                    assert isinstance(response, TransientError)
+                    failures += 1
+                else:
+                    assert_response_correct(query, response, expected)
+            metrics = engine.metrics()
+            assert metrics["requests"] == len(queries)
+            assert metrics["errors"] == failures
+            if injector.fired("rtree.query") > failures:
+                assert metrics["retries"] > 0
+
+
+class TestHandlerCrashContainment:
+    """Crashing batch executions fail typed; the pool keeps its workers."""
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_pool_capacity_never_degrades(self, seed):
+        _, _, expected = get_dataset(seed)
+        session = make_session(seed)
+        plan = FaultPlan(seed=seed, rate=0.5, points=("serve.handler",))
+        workers = 2
+        with UpgradeEngine(
+            session,
+            workers=workers,
+            batch_max=4,
+            kernel_guard=KernelGuard(sample_rate=0.0),
+        ) as engine:
+            queries = scenario_queries()
+            with inject_faults(plan) as injector:
+                pendings = engine.submit_batch(queries)
+                crashed = 0
+                for query, pending in zip(queries, pendings):
+                    try:
+                        response = pending.result(timeout=10.0)
+                    except WorkerCrashError:
+                        crashed += 1
+                    else:
+                        assert_response_correct(query, response, expected)
+            assert crashed == 0 or injector.fired("serve.handler") > 0
+            assert engine._pool.alive_workers == workers
+            assert engine._pool.crash_count == 0  # contained upstream
+            # Chaos off: the same engine keeps serving, exactly.
+            response = engine.query(TopKQuery(k=TOPK))
+            assert_response_correct(TopKQuery(k=TOPK), response, expected)
+            assert engine.close() == 0
+
+
+class TestCacheFaultDegradation:
+    """A faulty cache costs recomputes, never failed requests."""
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_every_request_succeeds(self, seed):
+        _, _, expected = get_dataset(seed)
+        session = make_session(seed)
+        plan = FaultPlan(seed=seed, rate=0.5, points=("serve.cache",))
+        with UpgradeEngine(
+            session,
+            workers=0,
+            cache=True,
+            kernel_guard=KernelGuard(sample_rate=0.0),
+        ) as engine:
+            queries = scenario_queries() * 2  # repeats exercise hits too
+            with inject_faults(plan) as injector:
+                responses = engine.execute_batch(queries)
+            for query, response in zip(queries, responses):
+                assert not response.partial
+                assert_response_correct(query, response, expected)
+            metrics = engine.metrics()
+            assert metrics["errors"] == 0
+            if injector.fired("serve.cache") > 0:
+                assert metrics["cache_faults"] > 0
+
+
+class TestLatencySpikesWithDeadlines:
+    """Slow traversals burn deadlines, not correctness: every response is
+    terminal, and complete answers are exact."""
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_terminal_responses_under_latency(self, seed):
+        _, _, expected = get_dataset(seed)
+        session = make_session(seed)
+        spec = FaultSpec(rate=0.5, kind="latency", latency_s=0.002)
+        plan = FaultPlan(seed=seed, points={"rtree.query": spec})
+        with UpgradeEngine(
+            session,
+            workers=0,
+            cache=False,
+            kernel_guard=KernelGuard(sample_rate=0.0),
+        ) as engine:
+            queries = scenario_queries(deadline_s=0.02)
+            with inject_faults(plan):
+                responses = engine.execute_batch(queries)
+            partials = 0
+            for query, response in zip(queries, responses):
+                partials += response.partial
+                assert_response_correct(query, response, expected)
+            assert engine.metrics()["partials"] == partials
+
+
+class TestKernelCorruptionQuarantine:
+    """Corrupted kernel verdicts: the 100%-sampling guard serves the
+    oracle's answer and quarantines the kernels."""
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_answers_match_scalar_oracle(self, seed):
+        _, _, expected = get_dataset(seed)
+        session = make_session(seed)
+        corrupt = FaultSpec(rate=1.0, kind="corrupt")
+        plan = FaultPlan(
+            seed=seed,
+            points={"kernels.dominance": corrupt, "kernels.bounds": corrupt},
+        )
+        guard = KernelGuard(sample_rate=1.0)
+        with UpgradeEngine(
+            session, workers=0, cache=True, kernel_guard=guard
+        ) as engine:
+            queries = scenario_queries()
+            with inject_faults(plan) as injector:
+                responses = engine.execute_batch(
+                    queries, raise_errors=False
+                )
+            for query, response in zip(queries, responses):
+                assert not isinstance(response, BaseException)
+                assert_response_correct(query, response, expected)
+            if injector.fired("kernels.dominance") or injector.fired(
+                "kernels.bounds"
+            ):
+                # Corruption actually changed an answer at least once:
+                # the guard must have caught it and flipped to scalar.
+                if guard.divergences:
+                    assert guard.quarantined
+                    assert not kernels_enabled()
+                    rel = engine.metrics()["reliability"]
+                    assert rel["kernel_guard"]["quarantined"]
+                    assert engine.metrics()["quarantines"] >= 1
+            # Post-quarantine service stays correct (scalar path now).
+            response = engine.query(ProductQuery(0))
+            assert_response_correct(ProductQuery(0), response, expected)
+
+
+def test_scenario_census():
+    """The suite holds the promised >= 200 seeded fault scenarios."""
+    families = 5
+    assert families * len(SEEDS) >= 200
