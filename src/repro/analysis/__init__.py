@@ -1,0 +1,50 @@
+"""Project-specific static analysis and concurrency diagnostics.
+
+The serving stack grew a set of invariants that nothing in a generic
+linter knows about: shared state guarded by specific locks, a typed
+exception taxonomy, seeded determinism in the algorithmic core,
+string-named fault-injection points, and kernel/oracle twinning.  This
+package makes a machine check them on every PR:
+
+* :mod:`repro.analysis.engine` — a small AST lint engine with a rule
+  registry, :class:`~repro.analysis.engine.Finding` records, inline
+  suppressions, a baseline file, and text/JSON reporters.  Run it with
+  ``skyup lint``.
+* :mod:`repro.analysis.rules` — the codebase-specific rules (lock
+  discipline, exception taxonomy, determinism, injection-point registry,
+  kernel-oracle parity).
+* :mod:`repro.analysis.lockorder` — a dynamic lock-order witness:
+  instrumented lock wrappers record the per-thread acquisition graph
+  during concurrency suites and fail on cycles (potential deadlocks).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.engine import (
+    Finding,
+    LintContext,
+    ModuleInfo,
+    format_json,
+    format_text,
+    iter_rules,
+    load_baseline,
+    rule,
+    run_lint,
+    save_baseline,
+)
+from repro.analysis.lockorder import LockOrderWitness, instrument_engine
+
+__all__ = [
+    "Finding",
+    "LintContext",
+    "LockOrderWitness",
+    "ModuleInfo",
+    "format_json",
+    "format_text",
+    "instrument_engine",
+    "iter_rules",
+    "load_baseline",
+    "rule",
+    "run_lint",
+    "save_baseline",
+]

@@ -1,0 +1,312 @@
+"""The AST lint engine: rule registry, findings, suppressions, reporters.
+
+A *rule* is a function registered with the :func:`rule` decorator; it
+receives a :class:`LintContext` (every parsed module under ``src/repro``
+plus a few data files like the agreement-test suite) and yields
+:class:`Finding` records.  Rules are cross-module by design — the
+invariants they check (injection-point registry, kernel/oracle parity)
+span files.
+
+Suppression layers, innermost first:
+
+* **inline** — a ``# skyup: ignore[SKY101]`` comment on the finding's
+  line (or ``# skyup: ignore`` to silence every rule there).  Use it for
+  documented, deliberate exceptions — e.g. the lock-free fast-path read
+  in :mod:`repro.kernels.switch`.
+* **baseline** — a JSON file of known findings (``--baseline``); matched
+  by ``(rule, path, message)`` so findings survive unrelated line drift.
+  Use it to adopt a rule before paying down its backlog.
+
+``skyup lint`` exits non-zero when any finding survives both layers.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.exceptions import ConfigurationError
+
+#: Repo-relative directory the engine lints.
+SOURCE_ROOT = "src/repro"
+
+#: Inline suppression marker (optionally followed by ``[RULE1,RULE2]``).
+SUPPRESS_MARK = "# skyup: ignore"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint finding, pinned to a rule id and a file:line location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def baseline_key(self) -> Tuple[str, str, str]:
+        """Identity used for baseline matching (line numbers drift)."""
+        return (self.rule, self.path, self.message)
+
+    def format(self) -> str:
+        """The canonical one-line text rendering."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+@dataclass(frozen=True)
+class ModuleInfo:
+    """One parsed source module handed to every rule."""
+
+    path: Path
+    rel: str
+    source: str
+    tree: ast.Module
+
+    @property
+    def lines(self) -> List[str]:
+        return self.source.splitlines()
+
+    def line(self, lineno: int) -> str:
+        """1-based source line (empty string when out of range)."""
+        lines = self.lines
+        if 1 <= lineno <= len(lines):
+            return lines[lineno - 1]
+        return ""
+
+
+class LintContext:
+    """Everything a rule may look at: parsed modules plus data files."""
+
+    def __init__(self, root: Path, modules: List[ModuleInfo]):
+        self.root = root
+        self.modules = modules
+        self._by_rel = {m.rel: m for m in modules}
+
+    def module(self, rel: str) -> Optional[ModuleInfo]:
+        """The module at repo-relative posix path ``rel``, or None."""
+        return self._by_rel.get(rel)
+
+    def read_text(self, rel: str) -> Optional[str]:
+        """Raw text of any repo file (for non-linted data like tests)."""
+        path = self.root / rel
+        try:
+            return path.read_text()
+        except OSError:
+            return None
+
+
+RuleFunc = Callable[[LintContext], Iterator[Finding]]
+
+
+@dataclass(frozen=True)
+class RuleInfo:
+    """Registry entry: a stable id, a human name, and the check itself."""
+
+    rule_id: str
+    name: str
+    doc: str
+    func: RuleFunc
+
+
+_REGISTRY: Dict[str, RuleInfo] = {}
+
+
+def rule(rule_id: str, name: str, doc: str) -> Callable[[RuleFunc], RuleFunc]:
+    """Register a rule function under ``rule_id`` / ``name``."""
+
+    def register(func: RuleFunc) -> RuleFunc:
+        if rule_id in _REGISTRY:
+            raise ConfigurationError(f"duplicate rule id {rule_id!r}")
+        _REGISTRY[rule_id] = RuleInfo(rule_id, name, doc, func)
+        return func
+
+    return register
+
+
+def iter_rules() -> List[RuleInfo]:
+    """Every registered rule, in rule-id order (imports the rule pack)."""
+    import repro.analysis.rules  # noqa: F401  (registration side effect)
+
+    return [_REGISTRY[rid] for rid in sorted(_REGISTRY)]
+
+
+def _select_rules(select: Optional[Iterable[str]]) -> List[RuleInfo]:
+    rules = iter_rules()
+    if not select:
+        return rules
+    wanted = {token.strip() for token in select if token.strip()}
+    known = {r.rule_id for r in rules} | {r.name for r in rules}
+    unknown = sorted(wanted - known)
+    if unknown:
+        raise ConfigurationError(
+            f"unknown rule selector(s) {', '.join(unknown)}; known: "
+            f"{', '.join(sorted(known))}"
+        )
+    return [r for r in rules if r.rule_id in wanted or r.name in wanted]
+
+
+def collect_modules(root: Path) -> List[ModuleInfo]:
+    """Parse every python module under ``root/src/repro``.
+
+    Raises:
+        ConfigurationError: the tree is missing or a module fails to
+            parse (a syntax error is a finding-stopper, not a finding).
+    """
+    src = root / SOURCE_ROOT
+    if not src.is_dir():
+        raise ConfigurationError(
+            f"no {SOURCE_ROOT} directory under {root}; run from the repo "
+            "root or pass --root"
+        )
+    modules: List[ModuleInfo] = []
+    for path in sorted(src.rglob("*.py")):
+        rel = path.relative_to(root).as_posix()
+        source = path.read_text()
+        try:
+            tree = ast.parse(source, filename=rel)
+        except SyntaxError as exc:
+            raise ConfigurationError(f"{rel}: cannot parse: {exc}") from exc
+        modules.append(ModuleInfo(path, rel, source, tree))
+    return modules
+
+
+def _suppression_matches(line: str, rule_id: str) -> bool:
+    mark = line.find(SUPPRESS_MARK)
+    if mark < 0:
+        return False
+    spec = line[mark + len(SUPPRESS_MARK):].strip()
+    if not spec.startswith("["):
+        return True  # blanket ignore
+    listed = spec[1:spec.find("]")] if "]" in spec else spec[1:]
+    rules = {token.strip() for token in listed.split(",")}
+    return rule_id in rules
+
+
+def _suppressed(finding: Finding, ctx: LintContext) -> bool:
+    module = ctx.module(finding.path)
+    if module is None:
+        return False
+    if _suppression_matches(module.line(finding.line), finding.rule):
+        return True
+    # A comment-only line directly above also suppresses (for accesses
+    # on lines too long to carry a trailing marker).
+    above = module.line(finding.line - 1).strip()
+    return above.startswith("#") and _suppression_matches(
+        above, finding.rule
+    )
+
+
+def run_lint(
+    root: Path,
+    select: Optional[Iterable[str]] = None,
+    baseline: Optional[Iterable[Finding]] = None,
+) -> List[Finding]:
+    """Run the selected rules over the repo at ``root``.
+
+    Returns the unsuppressed findings (inline suppressions and the
+    ``baseline`` set already subtracted), sorted by path/line/rule.
+    """
+    ctx = LintContext(root, collect_modules(root))
+    known = {f.baseline_key() for f in baseline} if baseline else set()
+    findings: List[Finding] = []
+    for info in _select_rules(select):
+        for finding in info.func(ctx):
+            if _suppressed(finding, ctx):
+                continue
+            if finding.baseline_key() in known:
+                continue
+            findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+# -- baseline persistence -----------------------------------------------------
+
+
+def load_baseline(path: Path) -> List[Finding]:
+    """Read a baseline file written by :func:`save_baseline`.
+
+    Raises:
+        ConfigurationError: the file is missing or malformed.
+    """
+    try:
+        payload = json.loads(path.read_text())
+    except OSError as exc:
+        raise ConfigurationError(f"cannot read baseline {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(f"malformed baseline {path}: {exc}") from exc
+    if not isinstance(payload, dict) or not isinstance(
+        payload.get("findings"), list
+    ):
+        raise ConfigurationError(
+            f"malformed baseline {path}: expected {{'findings': [...]}}"
+        )
+    out: List[Finding] = []
+    for item in payload["findings"]:
+        try:
+            out.append(
+                Finding(
+                    rule=item["rule"],
+                    path=item["path"],
+                    line=int(item.get("line", 0)),
+                    col=int(item.get("col", 0)),
+                    message=item["message"],
+                )
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigurationError(
+                f"malformed baseline entry in {path}: {item!r}"
+            ) from exc
+    return out
+
+
+def save_baseline(path: Path, findings: Iterable[Finding]) -> None:
+    """Write ``findings`` as the new baseline at ``path``."""
+    payload = {
+        "findings": [
+            {
+                "rule": f.rule,
+                "path": f.path,
+                "line": f.line,
+                "col": f.col,
+                "message": f.message,
+            }
+            for f in findings
+        ]
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+# -- reporters ----------------------------------------------------------------
+
+
+def format_text(findings: List[Finding]) -> str:
+    """Human-readable report: one ``path:line:col: RULE message`` per line."""
+    lines = [f.format() for f in findings]
+    noun = "finding" if len(findings) == 1 else "findings"
+    lines.append(f"{len(findings)} {noun}")
+    return "\n".join(lines)
+
+
+def format_json(findings: List[Finding]) -> str:
+    """Machine-readable report (stable key order, trailing count)."""
+    return json.dumps(
+        {
+            "count": len(findings),
+            "findings": [
+                {
+                    "rule": f.rule,
+                    "path": f.path,
+                    "line": f.line,
+                    "col": f.col,
+                    "message": f.message,
+                }
+                for f in findings
+            ],
+        },
+        indent=2,
+        sort_keys=True,
+    )

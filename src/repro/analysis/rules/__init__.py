@@ -1,0 +1,25 @@
+"""The codebase-specific rule pack.
+
+Importing this package registers every rule with the engine's registry
+(each rule module calls :func:`repro.analysis.engine.rule` at import
+time).  Rule ids are stable and grouped by hundreds:
+
+* ``SKY1xx`` — lock discipline (:mod:`repro.analysis.rules.locks`)
+* ``SKY2xx`` — exception taxonomy (:mod:`repro.analysis.rules.taxonomy`)
+* ``SKY3xx`` — determinism (:mod:`repro.analysis.rules.determinism`)
+* ``SKY4xx`` — injection-point registry
+  (:mod:`repro.analysis.rules.injection`)
+* ``SKY5xx`` — kernel-oracle parity (:mod:`repro.analysis.rules.parity`)
+"""
+
+from __future__ import annotations
+
+from repro.analysis.rules import (  # noqa: F401  (registration side effect)
+    determinism,
+    injection,
+    locks,
+    parity,
+    taxonomy,
+)
+
+__all__ = ["determinism", "injection", "locks", "parity", "taxonomy"]

@@ -1,0 +1,117 @@
+"""SKY301 — seeded determinism in the algorithmic core.
+
+Chaos replay (:mod:`repro.reliability.faults`), the kernel agreement
+suite, and the recorded benchmarks all rely on one property: given a
+seed, the algorithmic core computes the same thing every run.  A stray
+``random.random()`` or wall-clock read in ``core/``, ``kernels/``,
+``skyline/``, or ``rtree/`` silently breaks that — the failure shows up
+later as an unreproducible chaos scenario, which is the worst kind.
+
+Banned inside :data:`CHECKED_DIRS`:
+
+* unseeded module-level PRNG draws: any ``random.<fn>(...)`` except the
+  seedable constructors (``random.Random``, ``random.SystemRandom``),
+  and any ``np.random.<fn>(...)`` except ``default_rng`` / ``Generator``
+  (the seeded generator API);
+* wall-clock reads: ``time.time`` / ``time.time_ns`` and any
+  ``datetime`` ``now`` / ``utcnow`` / ``today``.  Monotonic clocks
+  (``time.monotonic``, ``time.perf_counter``) are fine — they measure,
+  they do not decide.
+
+Instance-method draws (``rng.random()`` on a seeded generator object)
+are indistinguishable from other attribute calls statically and are
+exactly the sanctioned pattern, so they pass.  :data:`ALLOWLIST` exempts
+specific ``(path, name)`` pairs when a core module legitimately needs an
+entropy source (currently empty — keep it that way).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Set, Tuple
+
+from repro.analysis.engine import Finding, LintContext, rule
+
+#: Directories (repo-relative prefixes) under the determinism contract.
+CHECKED_DIRS = (
+    "src/repro/core/",
+    "src/repro/kernels/",
+    "src/repro/skyline/",
+    "src/repro/rtree/",
+)
+
+#: ``(repo-relative path, dotted call name)`` pairs exempted by review.
+ALLOWLIST: Set[Tuple[str, str]] = set()
+
+#: ``random`` attributes that construct seedable generators.
+SEEDED_CONSTRUCTORS = {"Random", "SystemRandom"}
+
+#: ``np.random`` attributes belonging to the seeded generator API.
+SEEDED_NP = {"default_rng", "Generator", "SeedSequence", "BitGenerator"}
+
+WALL_CLOCK = {
+    ("time", "time"),
+    ("time", "time_ns"),
+}
+
+DATETIME_FACTORIES = {"now", "utcnow", "today"}
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def _violation(dotted: str) -> Optional[str]:
+    parts = dotted.split(".")
+    if len(parts) < 2:
+        return None
+    head, tail = parts[0], parts[-1]
+    if head == "random" and len(parts) == 2:
+        if tail not in SEEDED_CONSTRUCTORS:
+            return f"unseeded PRNG draw {dotted}()"
+    if head in ("np", "numpy") and len(parts) >= 3 and parts[1] == "random":
+        if tail not in SEEDED_NP:
+            return f"legacy numpy PRNG {dotted}() (use default_rng(seed))"
+    if (head, tail) in WALL_CLOCK and len(parts) == 2:
+        return f"wall-clock read {dotted}() (use time.monotonic)"
+    if head == "datetime" and tail in DATETIME_FACTORIES:
+        return f"wall-clock read {dotted}()"
+    return None
+
+
+@rule(
+    "SKY301",
+    "determinism",
+    "unseeded randomness or wall-clock read in the algorithmic core",
+)
+def check_determinism(ctx: LintContext) -> Iterator[Finding]:
+    for module in ctx.modules:
+        if not module.rel.startswith(CHECKED_DIRS):
+            continue
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted(node.func)
+            if dotted is None:
+                continue
+            message = _violation(dotted)
+            if message is None:
+                continue
+            if (module.rel, dotted) in ALLOWLIST:
+                continue
+            yield Finding(
+                rule="SKY301",
+                path=module.rel,
+                line=node.lineno,
+                col=node.col_offset + 1,
+                message=f"{message}: seeded chaos replay depends on "
+                f"deterministic core code",
+            )

@@ -1,0 +1,146 @@
+"""SKY401/SKY402 — the fault-injection point registry, both directions.
+
+Injection points are *strings* at the call site (``maybe_inject(
+"rtree.query")``) matched against :data:`INJECTION_POINTS` in
+:mod:`repro.reliability.faults`.  Strings drift silently: rename a point
+in the registry and stale call sites keep consulting a name no plan can
+arm; add a call site with a typo and chaos plans arming the real name
+never reach it.  Both failure modes are invisible at runtime — the
+injection machinery treats an unknown point as "not armed" by design
+(zero cost when disabled), so only a static check catches them.
+
+* **SKY401** — a call-site point name that is not in the registry.
+* **SKY402** — a registered point with no call site anywhere in
+  ``src/repro`` (reported at the registry definition).
+
+Call sites are calls to :data:`CONSULT_FUNCTIONS` with a string-literal
+first (or second, for methods) argument; non-literal arguments cannot be
+checked statically and are skipped.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.engine import Finding, LintContext, ModuleInfo, rule
+
+#: Where the registry lives, repo-relative.
+FAULTS_MODULE = "src/repro/reliability/faults.py"
+
+#: Registry variable name inside :data:`FAULTS_MODULE`.
+REGISTRY_NAME = "INJECTION_POINTS"
+
+#: Functions/methods whose first string argument is an injection point.
+CONSULT_FUNCTIONS = {"maybe_inject", "maybe_corrupt", "on_reach", "on_result"}
+
+
+def registry_points(
+    ctx: LintContext,
+) -> Tuple[Set[str], Optional[int]]:
+    """``(point names, definition line)`` parsed from the faults module."""
+    module = ctx.module(FAULTS_MODULE)
+    if module is None:
+        return set(), None
+    for node in module.tree.body:
+        targets: List[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        for target in targets:
+            if not (
+                isinstance(target, ast.Name) and target.id == REGISTRY_NAME
+            ):
+                continue
+            names: Set[str] = set()
+            for sub in ast.walk(value):
+                if isinstance(sub, ast.Constant) and isinstance(
+                    sub.value, str
+                ):
+                    names.add(sub.value)
+            return names, node.lineno
+    return set(), None
+
+
+def _call_sites(
+    module: ModuleInfo,
+) -> Iterator[Tuple[str, ast.Call]]:
+    """``(point name, call node)`` for every literal consultation."""
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        name = None
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+        if name not in CONSULT_FUNCTIONS or not node.args:
+            continue
+        first = node.args[0]
+        if isinstance(first, ast.Constant) and isinstance(first.value, str):
+            yield first.value, node
+
+
+def _collect(
+    ctx: LintContext,
+) -> Tuple[Set[str], Optional[int], Dict[str, List[Tuple[str, ast.Call]]]]:
+    points, registry_line = registry_points(ctx)
+    sites: Dict[str, List[Tuple[str, ast.Call]]] = {}
+    for module in ctx.modules:
+        if module.rel == FAULTS_MODULE:
+            continue  # the registry module documents, it does not consult
+        for point, node in _call_sites(module):
+            sites.setdefault(point, []).append((module.rel, node))
+    return points, registry_line, sites
+
+
+@rule(
+    "SKY401",
+    "injection-unknown",
+    "fault-point name at a call site missing from INJECTION_POINTS",
+)
+def check_unknown_points(ctx: LintContext) -> Iterator[Finding]:
+    points, registry_line, sites = _collect(ctx)
+    if registry_line is None:
+        return  # no registry in this tree; nothing to check against
+    for point in sorted(sites):
+        if point in points:
+            continue
+        for rel, node in sites[point]:
+            yield Finding(
+                rule="SKY401",
+                path=rel,
+                line=node.lineno,
+                col=node.col_offset + 1,
+                message=(
+                    f"injection point {point!r} is not registered in "
+                    f"INJECTION_POINTS — chaos plans can never arm it"
+                ),
+            )
+
+
+@rule(
+    "SKY402",
+    "injection-unreachable",
+    "registered injection point with no call site",
+)
+def check_unreachable_points(ctx: LintContext) -> Iterator[Finding]:
+    points, registry_line, sites = _collect(ctx)
+    if registry_line is None:
+        return
+    for point in sorted(points):
+        if point in sites:
+            continue
+        yield Finding(
+            rule="SKY402",
+            path=FAULTS_MODULE,
+            line=registry_line,
+            col=1,
+            message=(
+                f"registered injection point {point!r} has no call site "
+                f"in src/repro — arming it is a silent no-op"
+            ),
+        )

@@ -1,0 +1,290 @@
+"""SKY101/SKY102 — lock discipline for ``# guarded-by`` annotations.
+
+The serving stack declares which lock protects each piece of shared
+mutable state with a trailing comment on the attribute's initialisation::
+
+    self._queue: Deque[object] = deque()  # guarded-by: _cond
+
+or, for a module-level global::
+
+    _DEFAULT = True  # guarded-by: _DEFAULT_LOCK
+
+The rule then demands that every other read or write of the annotated
+name happens lexically inside a ``with`` block that acquires the named
+lock — ``with self._cond:``, ``with self._lock:``, or the readers-writer
+forms ``with self._rw.read_locked():`` / ``write_locked()`` (any context
+expression that mentions the lock attribute counts, so a wrapper method
+on the lock object is fine).
+
+Escape hatches, because lock-discipline is a *convention about call
+sites*, not a whole-program alias analysis:
+
+* ``# holds-lock: <lock>`` on a ``def`` line (or the line above it)
+  declares the function is only ever called with ``<lock>`` held —
+  used for helpers invoked from inside a locked region (e.g. the
+  engine's mutation listener, which runs under the write lock).
+* ``# skyup: ignore[SKY101]`` on the access line for documented benign
+  races (e.g. the deliberately lock-free fast-path read in
+  :mod:`repro.kernels.switch`).
+
+``__init__`` / ``__new__`` bodies are exempt: during construction the
+object is not yet shared.  SKY102 flags an annotation whose lock name
+never appears as an attribute/global in the same scope — almost always a
+typo that would silently disable the check.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.engine import Finding, LintContext, ModuleInfo, rule
+
+GUARDED_RE = re.compile(r"#\s*guarded-by:\s*([A-Za-z_][A-Za-z0-9_]*)")
+HOLDS_RE = re.compile(r"#\s*holds-lock:\s*([A-Za-z_][A-Za-z0-9_]*)")
+
+#: Methods whose bodies run before the object is shared.
+CONSTRUCTORS = ("__init__", "__new__")
+
+
+@dataclass
+class _Scope:
+    """One annotated scope: a class body or the module's global scope."""
+
+    label: str  # e.g. "WorkerPool" or "<module>"
+    is_class: bool
+    guarded: Dict[str, Tuple[str, int]]  # attr -> (lock, decl line)
+    node: ast.AST  # the ClassDef or Module
+
+
+def _annotation_on(module: ModuleInfo, node: ast.AST) -> Optional[str]:
+    """The ``# guarded-by`` lock name on any line of ``node``'s span."""
+    end = getattr(node, "end_lineno", None) or node.lineno
+    for lineno in range(node.lineno, end + 1):
+        match = GUARDED_RE.search(module.line(lineno))
+        if match:
+            return match.group(1)
+    return None
+
+
+def _holds_locks(module: ModuleInfo, func: ast.AST) -> Set[str]:
+    """Locks declared held for the whole function via ``# holds-lock``."""
+    held: Set[str] = set()
+    for lineno in (func.lineno, func.lineno - 1):
+        match = HOLDS_RE.search(module.line(lineno))
+        if match:
+            held.add(match.group(1))
+    return held
+
+
+def _self_attrs(node: ast.AST) -> Iterator[ast.Attribute]:
+    for sub in ast.walk(node):
+        if (
+            isinstance(sub, ast.Attribute)
+            and isinstance(sub.value, ast.Name)
+            and sub.value.id == "self"
+        ):
+            yield sub
+
+
+def _locks_in_with(item: ast.withitem, is_class: bool) -> Set[str]:
+    """Lock names the ``with`` item's context expression mentions."""
+    names: Set[str] = set()
+    for sub in ast.walk(item.context_expr):
+        if is_class:
+            if (
+                isinstance(sub, ast.Attribute)
+                and isinstance(sub.value, ast.Name)
+                and sub.value.id == "self"
+            ):
+                names.add(sub.attr)
+        elif isinstance(sub, ast.Name):
+            names.add(sub.id)
+    return names
+
+
+def _collect_scopes(module: ModuleInfo) -> List[_Scope]:
+    scopes: List[_Scope] = []
+    module_guarded: Dict[str, Tuple[str, int]] = {}
+    for node in module.tree.body:
+        if isinstance(node, (ast.Assign, ast.AnnAssign)):
+            lock = _annotation_on(module, node)
+            if lock is None:
+                continue
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    module_guarded[target.id] = (lock, node.lineno)
+        elif isinstance(node, ast.ClassDef):
+            guarded: Dict[str, Tuple[str, int]] = {}
+            for sub in ast.walk(node):
+                if not isinstance(sub, (ast.Assign, ast.AnnAssign)):
+                    continue
+                lock = _annotation_on(module, sub)
+                if lock is None:
+                    continue
+                targets = (
+                    sub.targets
+                    if isinstance(sub, ast.Assign)
+                    else [sub.target]
+                )
+                for target in targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        guarded[target.attr] = (lock, sub.lineno)
+            if guarded:
+                scopes.append(_Scope(node.name, True, guarded, node))
+    if module_guarded:
+        scopes.append(_Scope("<module>", False, module_guarded, module.tree))
+    return scopes
+
+
+class _AccessChecker(ast.NodeVisitor):
+    """Walks one function body tracking which locks are lexically held."""
+
+    def __init__(
+        self,
+        module: ModuleInfo,
+        scope: _Scope,
+        func_name: str,
+        held: Set[str],
+    ):
+        self.module = module
+        self.scope = scope
+        self.func_name = func_name
+        self.held = held
+        self.findings: List[Finding] = []
+
+    def visit_With(self, node: ast.With) -> None:
+        acquired: Set[str] = set()
+        for item in node.items:
+            acquired |= _locks_in_with(item, self.scope.is_class)
+        added = acquired - self.held
+        self.held |= added
+        self.generic_visit(node)
+        self.held -= added
+
+    def _check_name(self, name: str, node: ast.AST) -> None:
+        entry = self.scope.guarded.get(name)
+        if entry is None:
+            return
+        lock, _decl = entry
+        if lock in self.held:
+            return
+        where = (
+            f"{self.scope.label}.{self.func_name}"
+            if self.scope.is_class
+            else self.func_name
+        )
+        self.findings.append(
+            Finding(
+                rule="SKY101",
+                path=self.module.rel,
+                line=node.lineno,
+                col=node.col_offset + 1,
+                message=(
+                    f"access to '{name}' outside 'with {lock}' in {where} "
+                    f"(declared guarded-by: {lock})"
+                ),
+            )
+        )
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if (
+            self.scope.is_class
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            self._check_name(node.attr, node)
+        self.generic_visit(node)
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if not self.scope.is_class:
+            self._check_name(node.id, node)
+        self.generic_visit(node)
+
+
+def _iter_functions(
+    scope: _Scope,
+) -> Iterator[Tuple[str, ast.AST]]:
+    body = (
+        scope.node.body
+        if isinstance(scope.node, (ast.ClassDef, ast.Module))
+        else []
+    )
+    for node in body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node.name, node
+
+
+def _check_scope(module: ModuleInfo, scope: _Scope) -> Iterator[Finding]:
+    # SKY102: annotation naming a lock that does not exist in the scope.
+    names_in_scope: Set[str] = set()
+    for sub in ast.walk(scope.node):
+        if scope.is_class:
+            if (
+                isinstance(sub, ast.Attribute)
+                and isinstance(sub.value, ast.Name)
+                and sub.value.id == "self"
+            ):
+                names_in_scope.add(sub.attr)
+        elif isinstance(sub, ast.Name):
+            names_in_scope.add(sub.id)
+    for attr, (lock, decl_line) in sorted(scope.guarded.items()):
+        if lock not in names_in_scope:
+            yield Finding(
+                rule="SKY102",
+                path=module.rel,
+                line=decl_line,
+                col=1,
+                message=(
+                    f"'{attr}' declared guarded-by '{lock}' but no such "
+                    f"lock exists in {scope.label}"
+                ),
+            )
+    for func_name, func in _iter_functions(scope):
+        if scope.is_class and func_name in CONSTRUCTORS:
+            continue
+        checker = _AccessChecker(
+            module, scope, func_name, _holds_locks(module, func)
+        )
+        for stmt in func.body:
+            checker.visit(stmt)
+        yield from checker.findings
+
+
+@rule(
+    "SKY101",
+    "lock-discipline",
+    "guarded-by-annotated state accessed outside its declared lock",
+)
+def check_lock_discipline(ctx: LintContext) -> Iterator[Finding]:
+    for module in ctx.modules:
+        if "guarded-by" not in module.source:
+            continue
+        for scope in _collect_scopes(module):
+            for finding in _check_scope(module, scope):
+                if finding.rule == "SKY101":
+                    yield finding
+
+
+@rule(
+    "SKY102",
+    "lock-annotation",
+    "guarded-by annotation names a lock that does not exist",
+)
+def check_lock_annotations(ctx: LintContext) -> Iterator[Finding]:
+    for module in ctx.modules:
+        if "guarded-by" not in module.source:
+            continue
+        for scope in _collect_scopes(module):
+            for finding in _check_scope(module, scope):
+                if finding.rule == "SKY102":
+                    yield finding

@@ -1,0 +1,194 @@
+"""SKY501/SKY502/SKY503 — kernel-oracle parity.
+
+The columnar kernels are trusted because every one of them has a scalar
+twin (the paper-verbatim implementation) and a randomized agreement
+suite comparing the two.  The runtime :class:`KernelGuard` and the chaos
+suite's oracle-exactness assertions are only as good as that twinning —
+a kernel added without an oracle or without agreement coverage is a fast
+path nobody can cross-check.
+
+The convention: each public kernel entry point's docstring carries a
+``Scalar oracle: <dotted.path>`` line naming its twin.
+
+* **SKY501** — a public kernel function without a ``Scalar oracle:``
+  declaration.
+* **SKY502** — a declaration whose dotted path does not resolve to a
+  function/class in this repo (the twin was moved or renamed).
+* **SKY503** — a public kernel entry point (function *or* class) that
+  never appears in :data:`AGREEMENT_TESTS`.
+
+Public entry points are the names exported by ``repro/kernels/
+__init__.py``'s ``__all__``; the switch helpers (:data:`EXEMPT`) have no
+oracle by nature and are skipped.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, Optional, Set, Tuple
+
+from repro.analysis.engine import Finding, LintContext, ModuleInfo, rule
+
+KERNELS_INIT = "src/repro/kernels/__init__.py"
+AGREEMENT_TESTS = "tests/test_kernels_agreement.py"
+
+#: Kernel exports that are infrastructure, not dual-path entry points.
+EXEMPT = {"kernels_enabled", "set_kernels_enabled", "use_kernels"}
+
+ORACLE_RE = re.compile(r"Scalar oracle:\s*`?([A-Za-z_][\w.]*)`?")
+
+
+def _kernel_exports(ctx: LintContext) -> Set[str]:
+    module = ctx.module(KERNELS_INIT)
+    if module is None:
+        return set()
+    for node in module.tree.body:
+        if (
+            isinstance(node, ast.Assign)
+            and any(
+                isinstance(t, ast.Name) and t.id == "__all__"
+                for t in node.targets
+            )
+        ):
+            return {
+                sub.value
+                for sub in ast.walk(node.value)
+                if isinstance(sub, ast.Constant)
+                and isinstance(sub.value, str)
+            }
+    return set()
+
+
+def _kernel_definitions(
+    ctx: LintContext, exports: Set[str]
+) -> Dict[str, Tuple[ModuleInfo, ast.AST]]:
+    """Exported name -> (module, def node) across kernels submodules."""
+    defs: Dict[str, Tuple[ModuleInfo, ast.AST]] = {}
+    for module in ctx.modules:
+        if not module.rel.startswith("src/repro/kernels/"):
+            continue
+        if module.rel == KERNELS_INIT:
+            continue
+        for node in module.tree.body:
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ) and node.name in exports:
+                defs[node.name] = (module, node)
+    return defs
+
+
+def _resolve_dotted(ctx: LintContext, dotted: str) -> bool:
+    """True iff ``dotted`` names a def/class (or method) in this repo."""
+    parts = dotted.split(".")
+    for split in range(len(parts) - 1, 0, -1):
+        rel = "src/" + "/".join(parts[:split]) + ".py"
+        module = ctx.module(rel)
+        if module is None:
+            continue
+        remainder = parts[split:]
+        for node in module.tree.body:
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            if node.name != remainder[0]:
+                continue
+            if len(remainder) == 1:
+                return True
+            if isinstance(node, ast.ClassDef) and len(remainder) == 2:
+                return any(
+                    isinstance(m, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and m.name == remainder[1]
+                    for m in node.body
+                )
+        return False
+    return False
+
+
+def _declared_oracle(node: ast.AST) -> Optional[str]:
+    doc = ast.get_docstring(node)
+    if not doc:
+        return None
+    match = ORACLE_RE.search(doc)
+    return match.group(1) if match else None
+
+
+@rule(
+    "SKY501",
+    "kernel-oracle-missing",
+    "public kernel function without a 'Scalar oracle:' declaration",
+)
+def check_oracle_declared(ctx: LintContext) -> Iterator[Finding]:
+    exports = _kernel_exports(ctx) - EXEMPT
+    for name, (module, node) in sorted(
+        _kernel_definitions(ctx, exports).items()
+    ):
+        if isinstance(node, ast.ClassDef):
+            continue  # classes are covered by SKY503 only
+        if _declared_oracle(node) is None:
+            yield Finding(
+                rule="SKY501",
+                path=module.rel,
+                line=node.lineno,
+                col=node.col_offset + 1,
+                message=(
+                    f"kernel entry point '{name}' declares no scalar twin: "
+                    f"add a 'Scalar oracle: <dotted.path>' docstring line"
+                ),
+            )
+
+
+@rule(
+    "SKY502",
+    "kernel-oracle-unresolved",
+    "'Scalar oracle:' declaration that does not resolve",
+)
+def check_oracle_resolves(ctx: LintContext) -> Iterator[Finding]:
+    exports = _kernel_exports(ctx) - EXEMPT
+    for name, (module, node) in sorted(
+        _kernel_definitions(ctx, exports).items()
+    ):
+        dotted = _declared_oracle(node)
+        if dotted is None or _resolve_dotted(ctx, dotted):
+            continue
+        yield Finding(
+            rule="SKY502",
+            path=module.rel,
+            line=node.lineno,
+            col=node.col_offset + 1,
+            message=(
+                f"kernel entry point '{name}' declares scalar oracle "
+                f"{dotted!r}, which does not resolve to a definition"
+            ),
+        )
+
+
+@rule(
+    "SKY503",
+    "kernel-agreement-coverage",
+    "public kernel entry point absent from the agreement suite",
+)
+def check_agreement_coverage(ctx: LintContext) -> Iterator[Finding]:
+    exports = _kernel_exports(ctx) - EXEMPT
+    if not exports:
+        return
+    tests = ctx.read_text(AGREEMENT_TESTS)
+    defs = _kernel_definitions(ctx, exports)
+    for name in sorted(exports):
+        if name not in defs:
+            continue  # exported but undefined: an import error, not ours
+        if tests is not None and re.search(rf"\b{re.escape(name)}\b", tests):
+            continue
+        module, node = defs[name]
+        yield Finding(
+            rule="SKY503",
+            path=module.rel,
+            line=node.lineno,
+            col=node.col_offset + 1,
+            message=(
+                f"kernel entry point '{name}' never appears in "
+                f"{AGREEMENT_TESTS}: the kernel/oracle cross-check "
+                f"cannot vouch for it"
+            ),
+        )

@@ -1,0 +1,180 @@
+"""SKY201/SKY202/SKY203 — the exception taxonomy.
+
+Every failure the library raises must be a :mod:`repro.exceptions` class
+(so callers can catch ``SkyUpError`` and trust it covers the library) or
+one of a short list of allowlisted builtins for plain contract violations
+(``ValueError`` for bad arguments in leaf utilities, ``TimeoutError``
+for waits, ``NotImplementedError`` for abstract methods).
+
+* **SKY201** — a ``raise SomeName(...)`` whose name is neither a
+  taxonomy class nor an allowlisted builtin.  Dynamic raises
+  (``raise spec.error_type(...)``, ``raise exc``) are out of static
+  reach and skipped.
+* **SKY202** — a bare ``except:``; it swallows ``KeyboardInterrupt``
+  and ``SystemExit`` and is never correct in library code.
+* **SKY203** — ``except Exception`` (or ``BaseException``) outside a
+  declared *boundary function*.  Genuine containment boundaries — the
+  worker supervision loop, the batch executor that must never let a bug
+  hang a caller — declare themselves with an ``# error-boundary:
+  <reason>`` comment on the ``def`` line or the line above it; anywhere
+  else the handler must name the failure types it expects.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, List, Optional, Set
+
+from repro.analysis.engine import Finding, LintContext, ModuleInfo, rule
+
+#: Where the taxonomy lives, repo-relative.
+EXCEPTIONS_MODULE = "src/repro/exceptions.py"
+
+#: Builtins acceptable for leaf-level contract violations.
+ALLOWED_BUILTINS = {
+    "ValueError",
+    "TypeError",
+    "KeyError",
+    "IndexError",
+    "TimeoutError",
+    "NotImplementedError",
+    "StopIteration",
+    "AssertionError",
+}
+
+BOUNDARY_RE = re.compile(r"#\s*error-boundary:\s*(\S.*)")
+
+#: Handler types that count as over-broad.
+BROAD_NAMES = {"Exception", "BaseException"}
+
+
+def taxonomy_classes(ctx: LintContext) -> Set[str]:
+    """Class names defined in :data:`EXCEPTIONS_MODULE`."""
+    module = ctx.module(EXCEPTIONS_MODULE)
+    if module is None:
+        return set()
+    return {
+        node.name
+        for node in module.tree.body
+        if isinstance(node, ast.ClassDef)
+    }
+
+
+def _is_boundary(module: ModuleInfo, func: ast.AST) -> bool:
+    for lineno in (func.lineno, func.lineno - 1):
+        if BOUNDARY_RE.search(module.line(lineno)):
+            return True
+    return False
+
+
+def _raised_name(node: ast.Raise) -> Optional[str]:
+    # Only the instantiation form ``raise Name(...)`` is checked: a bare
+    # ``raise name`` is usually a re-raise of a caught variable, which is
+    # statically indistinguishable from a class reference.
+    if isinstance(node.exc, ast.Call) and isinstance(
+        node.exc.func, ast.Name
+    ):
+        return node.exc.func.id
+    return None  # dynamic (attribute, re-raise, bare name): skip
+
+
+def _handler_names(handler: ast.ExceptHandler) -> List[str]:
+    node = handler.type
+    if node is None:
+        return []
+    elts = node.elts if isinstance(node, ast.Tuple) else [node]
+    return [e.id for e in elts if isinstance(e, ast.Name)]
+
+
+@rule(
+    "SKY201",
+    "exception-taxonomy",
+    "raise uses a class outside repro.exceptions / allowlisted builtins",
+)
+def check_raises(ctx: LintContext) -> Iterator[Finding]:
+    taxonomy = taxonomy_classes(ctx)
+    allowed = taxonomy | ALLOWED_BUILTINS
+    for module in ctx.modules:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Raise):
+                continue
+            name = _raised_name(node)
+            if name is None or name in allowed:
+                continue
+            yield Finding(
+                rule="SKY201",
+                path=module.rel,
+                line=node.lineno,
+                col=node.col_offset + 1,
+                message=(
+                    f"raise of {name!r}: use a repro.exceptions class "
+                    f"(or an allowlisted builtin)"
+                ),
+            )
+
+
+def _functions_containing(
+    tree: ast.Module,
+) -> Iterator[ast.AST]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def _enclosing_function(
+    module: ModuleInfo, handler: ast.ExceptHandler
+) -> Optional[ast.AST]:
+    """The innermost function whose span contains ``handler``."""
+    best: Optional[ast.AST] = None
+    for func in _functions_containing(module.tree):
+        end = getattr(func, "end_lineno", None)
+        if end is None:
+            continue
+        if func.lineno <= handler.lineno <= end:
+            if best is None or func.lineno > best.lineno:
+                best = func
+    return best
+
+
+@rule("SKY202", "bare-except", "bare 'except:' clause")
+def check_bare_except(ctx: LintContext) -> Iterator[Finding]:
+    for module in ctx.modules:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield Finding(
+                    rule="SKY202",
+                    path=module.rel,
+                    line=node.lineno,
+                    col=node.col_offset + 1,
+                    message="bare 'except:': name the exception types",
+                )
+
+
+@rule(
+    "SKY203",
+    "broad-except",
+    "'except Exception' outside a declared error-boundary function",
+)
+def check_broad_except(ctx: LintContext) -> Iterator[Finding]:
+    for module in ctx.modules:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            broad = [n for n in _handler_names(node) if n in BROAD_NAMES]
+            if not broad:
+                continue
+            func = _enclosing_function(module, node)
+            if func is not None and _is_boundary(module, func):
+                continue
+            yield Finding(
+                rule="SKY203",
+                path=module.rel,
+                line=node.lineno,
+                col=node.col_offset + 1,
+                message=(
+                    f"'except {broad[0]}' outside an error-boundary "
+                    f"function: narrow it or declare the boundary with "
+                    f"'# error-boundary: <reason>'"
+                ),
+            )

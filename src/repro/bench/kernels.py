@@ -23,7 +23,6 @@ from repro.core.join import JoinUpgrader
 from repro.core.probing import batch_probing
 from repro.core.types import UpgradeConfig
 from repro.core.upgrade import upgrade
-from repro.costs.model import paper_cost_model
 from repro.data.generators import generate
 from repro.exceptions import ConfigurationError
 from repro.kernels.switch import use_kernels

@@ -7,6 +7,7 @@ Three subcommands::
     skyup figure fig6a --scale 100
     skyup serve-bench --requests 2000 --save-json BENCH_serve.json
     skyup bench-kernels --competitors 100000 --dims 4
+    skyup lint --format json
 
 ``generate`` writes synthetic point sets; ``run`` solves one top-k upgrading
 instance from CSV files; ``figure`` regenerates one of the paper's
@@ -14,7 +15,9 @@ experiment figures (see :mod:`repro.bench.figures` for ids and
 EXPERIMENTS.md for the recorded outputs); ``serve-bench`` measures the
 serving engine's cached-vs-cold throughput (:mod:`repro.serve.bench`);
 ``bench-kernels`` compares the columnar kernels against their scalar
-oracles (:mod:`repro.bench.kernels`).
+oracles (:mod:`repro.bench.kernels`); ``lint`` runs the project-specific
+static analysis rules (:mod:`repro.analysis`) and exits non-zero on
+unsuppressed findings.
 """
 
 from __future__ import annotations
@@ -227,6 +230,54 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also write the full report as JSON to PATH",
     )
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the project-specific static analysis rules",
+    )
+    lint.add_argument(
+        "--select",
+        action="append",
+        default=None,
+        metavar="RULE",
+        help=(
+            "rule id (SKY101) or name (lock-discipline); repeat or "
+            "comma-separate to select several (default: all rules)"
+        ),
+    )
+    lint.add_argument(
+        "--format",
+        dest="fmt",
+        default="text",
+        choices=["text", "json"],
+        help="report format (default: text)",
+    )
+    lint.add_argument(
+        "--root",
+        default=".",
+        help="repository root containing src/repro (default: cwd)",
+    )
+    lint.add_argument(
+        "--baseline",
+        nargs="?",
+        const="lint-baseline.json",
+        default=None,
+        metavar="PATH",
+        help=(
+            "subtract known findings recorded in PATH "
+            "(default path: lint-baseline.json)"
+        ),
+    )
+    lint.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="write the current findings to the baseline file and exit 0",
+    )
+    lint.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list registered rules and exit",
+    )
     return parser
 
 
@@ -391,6 +442,50 @@ def _cmd_bench_kernels(args: argparse.Namespace) -> int:
     return 0 if report["all_agree"] else 1
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.analysis.engine import (
+        format_json,
+        format_text,
+        iter_rules,
+        load_baseline,
+        run_lint,
+        save_baseline,
+    )
+    from repro.exceptions import ConfigurationError
+
+    if args.list_rules:
+        for info in iter_rules():
+            print(f"{info.rule_id}  {info.name:28s} {info.doc}")
+        return 0
+    select = None
+    if args.select:
+        select = [
+            token for group in args.select for token in group.split(",")
+        ]
+    root = Path(args.root).resolve()
+    baseline_path = (
+        root / args.baseline if args.baseline is not None else None
+    )
+    try:
+        baseline = None
+        if baseline_path is not None and not args.update_baseline:
+            baseline = load_baseline(baseline_path)
+        findings = run_lint(root, select=select, baseline=baseline)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.update_baseline:
+        target = baseline_path or root / "lint-baseline.json"
+        save_baseline(target, findings)
+        print(f"[baseline of {len(findings)} finding(s) written to {target}]")
+        return 0
+    print(format_json(findings) if args.fmt == "json" else
+          format_text(findings))
+    return 1 if findings else 0
+
+
 def _cmd_figure(args: argparse.Namespace) -> int:
     from repro.bench.figures import FIGURES, run_figure
 
@@ -450,6 +545,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_serve_bench(args)
         if args.command == "bench-kernels":
             return _cmd_bench_kernels(args)
+        if args.command == "lint":
+            return _cmd_lint(args)
         if args.command == "report":
             from repro.bench.report import render_report
 

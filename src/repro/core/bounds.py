@@ -78,7 +78,7 @@ from repro.costs.model import CostModel
 from repro.exceptions import ConfigurationError
 from repro.geometry.classify import DimClassification, classify_dimensions
 from repro.instrumentation import Counters
-from repro.kernels.bounds_batch import _ADV, _DIS, _INC, pair_bounds_block
+from repro.kernels.bounds_batch import _DIS, _INC, pair_bounds_block
 from repro.reliability.faults import maybe_corrupt
 
 #: The names accepted wherever a join-list bound is selected.

@@ -105,9 +105,12 @@ class CostModel:
             except NotImplementedError:
                 ok = False
                 break
-            except Exception:
+            except (ValueError, ArithmeticError):
                 # Defined but unhappy with a zero probe (e.g. domain
                 # restrictions): vectorization is still available.
+                # Anything else (TypeError, AttributeError, ...) is a
+                # broken implementation and should propagate, not be
+                # mistaken for "vectorizable".
                 continue
         self._vector_ok = ok
         return ok

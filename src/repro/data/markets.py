@@ -13,7 +13,7 @@ convert them to the library's smaller-is-better convention via
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import Tuple
 
 import numpy as np
 

@@ -80,6 +80,16 @@ class KernelDivergenceError(SkyUpError):
     """
 
 
+class LockOrderError(SkyUpError, RuntimeError):
+    """A lock-order inversion was witnessed at runtime.
+
+    Raised by :class:`repro.analysis.lockorder.LockOrderWitness` when the
+    recorded acquisition graph contains a cycle: two threads interleaving
+    the witnessed acquisition paths could deadlock, even if the observed
+    run happened not to.
+    """
+
+
 class WorkerCrashError(SkyUpError, RuntimeError):
     """A serving worker's batch execution failed outside request handling.
 

@@ -59,6 +59,8 @@ def pair_bounds_block(
     Returns:
         One ``(bound, signature)`` pair per row, agreeing with the scalar
         :func:`repro.core.bounds.lbc` to floating-point associativity.
+
+    Scalar oracle: `repro.core.bounds.lbc`
     """
     if mode not in _MODES:
         raise ConfigurationError(

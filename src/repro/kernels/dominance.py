@@ -33,6 +33,8 @@ def dominating_mask(
 
     ``mask[i]`` is True iff ``block[i] <= point`` on every dimension and
     ``block[i] < point`` on at least one.
+
+    Scalar oracle: `repro.geometry.point.dominates`
     """
     rows = _as_block(block)
     row = _as_row(point)
@@ -42,7 +44,10 @@ def dominating_mask(
 def dominated_mask(
     block: "np.ndarray", point: Sequence[float]
 ) -> np.ndarray:
-    """Boolean mask of block rows that ``point`` dominates."""
+    """Boolean mask of block rows that ``point`` dominates.
+
+    Scalar oracle: `repro.geometry.point.dominates`
+    """
     rows = _as_block(block)
     row = _as_row(point)
     return (row <= rows).all(axis=1) & (row < rows).any(axis=1)
@@ -55,6 +60,8 @@ def any_dominates(block: "np.ndarray", point: Sequence[float]) -> bool:
     weak relation first and short-circuits — on typical workloads most
     candidates fail the ``<=`` filter, so the second pass runs on a small
     remainder.
+
+    Scalar oracle: `repro.geometry.point.dominates`
     """
     rows = _as_block(block)
     row = _as_row(point)
@@ -72,6 +79,8 @@ def pairwise_dominance(
     Materializes an ``(n, m, d)`` broadcast — intended for agreement tests
     and moderate blocks, not for the streaming hot paths (which only ever
     need one-vs-block masks).
+
+    Scalar oracle: `repro.geometry.point.dominates`
     """
     lhs = _as_block(a)[:, None, :]
     rhs = _as_block(b)[None, :, :]

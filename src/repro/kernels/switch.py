@@ -24,7 +24,7 @@ import threading
 from contextlib import contextmanager
 from typing import Iterator, Optional
 
-_DEFAULT = True
+_DEFAULT = True  # guarded-by: _DEFAULT_LOCK
 _DEFAULT_LOCK = threading.Lock()
 _LOCAL = threading.local()
 
@@ -38,7 +38,7 @@ def kernels_enabled() -> bool:
     override: Optional[bool] = getattr(_LOCAL, "override", None)
     if override is not None:
         return override
-    return _DEFAULT
+    return _DEFAULT  # skyup: ignore[SKY101] — benign race, see module doc
 
 
 def set_kernels_enabled(enabled: bool) -> bool:

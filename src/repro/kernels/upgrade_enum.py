@@ -45,6 +45,8 @@ def enumerate_candidates(
     Returns:
         An ``(N, d)`` float64 block, ``N = d * (1 + max(0, n-1) + extended)``,
         ordered exactly as the scalar loop visits candidates.
+
+    Scalar oracle: `repro.core.upgrade._upgrade_scalar`
     """
     sky = np.asarray(skyline, dtype=np.float64)
     n, dims = sky.shape
@@ -91,6 +93,8 @@ def upgrade_kernel(
 
     Returns:
         ``(cost, upgraded_point)`` exactly as the scalar ``upgrade`` does.
+
+    Scalar oracle: `repro.core.upgrade._upgrade_scalar`
     """
     sky = np.asarray(skyline, dtype=np.float64)
     block = enumerate_candidates(sky, product, eps, extended)

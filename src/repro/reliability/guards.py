@@ -21,7 +21,7 @@ from __future__ import annotations
 import math
 import random
 import threading
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.exceptions import KernelDivergenceError
 from repro.kernels.switch import set_kernels_enabled
@@ -63,9 +63,11 @@ class KernelGuard:
         self.quarantine_after = quarantine_after
         self._rng = random.Random(seed)
         self._lock = threading.Lock()
-        self.checks = 0
-        self.divergences: List[KernelDivergenceError] = []
-        self.quarantined = False
+        self.checks = 0  # guarded-by: _lock
+        self.divergences: List[KernelDivergenceError] = (
+            []
+        )  # guarded-by: _lock
+        self.quarantined = False  # guarded-by: _lock
 
     def should_check(self) -> bool:
         """Draw one sampling decision (always False once quarantined).
@@ -73,6 +75,7 @@ class KernelGuard:
         After quarantine the kernels are globally off, so a cross-check
         would compare the scalar path against itself — pure waste.
         """
+        # skyup: ignore[SKY101] — lock-free fast path; stale read is benign
         if self.quarantined or self.sample_rate <= 0.0:
             return False
         with self._lock:
@@ -123,11 +126,13 @@ class KernelGuard:
             }
 
     def __repr__(self) -> str:
-        return (
-            f"KernelGuard(sample_rate={self.sample_rate}, "
-            f"checks={self.checks}, divergences={len(self.divergences)}, "
-            f"quarantined={self.quarantined})"
-        )
+        with self._lock:
+            return (
+                f"KernelGuard(sample_rate={self.sample_rate}, "
+                f"checks={self.checks}, "
+                f"divergences={len(self.divergences)}, "
+                f"quarantined={self.quarantined})"
+            )
 
 
 def divergence(
@@ -159,9 +164,9 @@ class IndexGuard:
             raise ValueError(f"every must be >= 0, got {every}")
         self.every = every
         self._lock = threading.Lock()
-        self.mutations = 0
-        self.checks = 0
-        self.failures = 0
+        self.mutations = 0  # guarded-by: _lock
+        self.checks = 0  # guarded-by: _lock
+        self.failures = 0  # guarded-by: _lock
 
     def should_check(self) -> bool:
         """Count one mutation; True when this one is due a validation."""

@@ -87,12 +87,15 @@ class SkylineCache:
 
     def __init__(self, max_entries: int = 4096):
         self.max_entries = max_entries
-        self.stats = CacheStats()
-        self._entries: "OrderedDict[Point, _SkyEntry]" = OrderedDict()
+        self.stats = CacheStats()  # guarded-by: _lock
+        self._entries: "OrderedDict[Point, _SkyEntry]" = (
+            OrderedDict()
+        )  # guarded-by: _lock
         self._lock = threading.Lock()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def get(self, corner: Sequence[float]) -> Optional[_SkyEntry]:
         """The live entry for ``corner``, or None (counts hit/miss)."""
@@ -176,11 +179,11 @@ class TopKCache:
     """
 
     def __init__(self) -> None:
-        self.stats = CacheStats()
-        self._prefix: List[UpgradeResult] = []
-        self._exhausted = False
-        self._valid = False
-        self._epoch: Optional[Epoch] = None
+        self.stats = CacheStats()  # guarded-by: _lock
+        self._prefix: List[UpgradeResult] = []  # guarded-by: _lock
+        self._exhausted = False  # guarded-by: _lock
+        self._valid = False  # guarded-by: _lock
+        self._epoch: Optional[Epoch] = None  # guarded-by: _lock
         self._lock = threading.Lock()
 
     @property

@@ -62,6 +62,8 @@ from repro.core.types import UpgradeResult
 from repro.core.upgrade import upgrade
 from repro.exceptions import (
     ConfigurationError,
+    EngineClosedError,
+    EngineOverloadedError,
     RTreeError,
     TransientError,
     WorkerCrashError,
@@ -242,12 +244,14 @@ class UpgradeEngine:
         self.topk_cache = TopKCache()
         self._metrics = EngineMetrics(window=metrics_window)
         self._rw = ReadWriteLock()
-        self._extern_counters: Dict[int, Counters] = {}
+        self._extern_counters: Dict[int, Counters] = (
+            {}
+        )  # guarded-by: _extern_lock
         self._extern_lock = threading.Lock()
         # Oracle recomputes are guard overhead, not request work: they get
         # their own counters so the request counters still equal a serial
         # run's exactly (the suite asserts that equality).
-        self._guard_stats = Counters()
+        self._guard_stats = Counters()  # guarded-by: _guard_stats_lock
         self._guard_stats_lock = threading.Lock()
         self._closed = False
         self._pool: Optional[WorkerPool] = None
@@ -372,6 +376,7 @@ class UpgradeEngine:
         """Execute one request synchronously on the calling thread."""
         return self.execute_batch([query])[0]
 
+    # error-boundary: chaos drivers replay through typed failures
     def execute_batch(
         self, queries: Sequence[Query], raise_errors: bool = True
     ) -> List[QueryResponse]:
@@ -416,7 +421,7 @@ class UpgradeEngine:
         pendings = [self._admit(q) for q in queries]
         try:
             self._pool.submit_many(pendings)
-        except Exception:
+        except (EngineClosedError, EngineOverloadedError):
             self._metrics.record_rejection()
             raise
         return pendings
@@ -462,6 +467,7 @@ class UpgradeEngine:
                 )
                 pending._fail(wrapped)
 
+    # error-boundary: batch containment — no caller is left hanging
     def _execute_batch(
         self, pendings: List[PendingQuery], counters: Counters
     ) -> None:
@@ -560,6 +566,7 @@ class UpgradeEngine:
         time.sleep(self.retry_policy.delay_s(attempt))
         return True
 
+    # error-boundary: per-request containment — fail, never hang
     def _serve_product(
         self, pending: PendingQuery, stats: Counters, epoch: Epoch
     ) -> None:
@@ -678,6 +685,7 @@ class UpgradeEngine:
             self._guard_stats.merge(upgrader.stats)
         return results
 
+    # error-boundary: per-request containment — fail, never hang
     def _serve_topk_group(
         self,
         group: List[PendingQuery],

@@ -62,19 +62,19 @@ class EngineMetrics:
 
     def __init__(self, window: int = 2048):
         self._lock = threading.Lock()
-        self.requests = 0
-        self.batches = 0
-        self.topk_queries = 0
-        self.product_queries = 0
-        self.partials = 0
-        self.errors = 0
-        self.rejected = 0
-        self.retries = 0
-        self.worker_crashes = 0
-        self.cache_faults = 0
-        self.quarantines = 0
-        self.latency = RollingWindow(window)
-        self.queue_wait = RollingWindow(window)
+        self.requests = 0  # guarded-by: _lock
+        self.batches = 0  # guarded-by: _lock
+        self.topk_queries = 0  # guarded-by: _lock
+        self.product_queries = 0  # guarded-by: _lock
+        self.partials = 0  # guarded-by: _lock
+        self.errors = 0  # guarded-by: _lock
+        self.rejected = 0  # guarded-by: _lock
+        self.retries = 0  # guarded-by: _lock
+        self.worker_crashes = 0  # guarded-by: _lock
+        self.cache_faults = 0  # guarded-by: _lock
+        self.quarantines = 0  # guarded-by: _lock
+        self.latency = RollingWindow(window)  # guarded-by: _lock
+        self.queue_wait = RollingWindow(window)  # guarded-by: _lock
 
     def record_batch(self, size: int) -> None:
         """Count one executed batch of ``size`` requests."""

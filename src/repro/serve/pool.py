@@ -41,9 +41,9 @@ class ReadWriteLock:
 
     def __init__(self) -> None:
         self._cond = threading.Condition()
-        self._readers = 0
-        self._writer_active = False
-        self._writers_waiting = 0
+        self._readers = 0  # guarded-by: _cond
+        self._writer_active = False  # guarded-by: _cond
+        self._writers_waiting = 0  # guarded-by: _cond
 
     @contextmanager
     def read_locked(self) -> Iterator[None]:
@@ -130,10 +130,10 @@ class WorkerPool:
         self._on_batch_error = on_batch_error
         self._capacity = queue_capacity
         self._batch_max = batch_max
-        self._queue: Deque[object] = deque()
+        self._queue: Deque[object] = deque()  # guarded-by: _cond
         self._cond = threading.Condition()
-        self._closed = False
-        self._crashes = 0
+        self._closed = False  # guarded-by: _cond
+        self._crashes = 0  # guarded-by: _cond
         self.stuck_workers: List[str] = []
         self.worker_counters: List[Counters] = [
             Counters() for _ in range(workers)
@@ -186,6 +186,7 @@ class WorkerPool:
             self._queue.extend(items)
             self._cond.notify_all()
 
+    # error-boundary: worker supervision — contain handler crashes
     def _run(self, counters: Counters) -> None:
         while True:
             with self._cond:

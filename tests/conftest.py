@@ -2,12 +2,46 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
-from repro.costs.model import CostModel, paper_cost_model
 from repro.costs.attribute import LinearCost
+from repro.costs.model import CostModel, paper_cost_model
 from repro.rtree.tree import RTree
+
+
+@pytest.fixture(scope="session", autouse=True)
+def lock_order_witness():
+    """Opt-in lock-order witness over every engine the suite constructs.
+
+    With ``SKYUP_LOCK_WITNESS=1`` in the environment (the chaos CI job
+    sets it), every :class:`~repro.serve.engine.UpgradeEngine` built by
+    any test is instrumented with one shared
+    :class:`~repro.analysis.lockorder.LockOrderWitness`; at session end
+    the witness fails the run if any lock-order inversion was recorded —
+    even one that did not happen to deadlock this time.
+    """
+    if os.environ.get("SKYUP_LOCK_WITNESS") != "1":
+        yield None
+        return
+    from repro.analysis.lockorder import LockOrderWitness, instrument_engine
+    from repro.serve.engine import UpgradeEngine
+
+    witness = LockOrderWitness()
+    original_init = UpgradeEngine.__init__
+
+    def recording_init(self, *args, **kwargs):
+        original_init(self, *args, **kwargs)
+        instrument_engine(self, witness)
+
+    UpgradeEngine.__init__ = recording_init
+    try:
+        yield witness
+    finally:
+        UpgradeEngine.__init__ = original_init
+        witness.check()
 
 
 @pytest.fixture(scope="session")

@@ -7,7 +7,6 @@ layouts across every algorithm variant.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.api import top_k_upgrades

@@ -1,0 +1,480 @@
+"""The lint engine and every rule, on purpose-built fixture trees.
+
+Each fixture is a miniature ``src/repro`` written into ``tmp_path``; the
+assertions pin exact rule ids *and* line numbers so a rule that drifts
+(fires on the wrong line, or stops firing) fails loudly.  The final
+tests run the real rules over the real repo — the repo itself must lint
+clean — and exercise the ``skyup lint`` CLI surface.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.engine import (
+    Finding,
+    collect_modules,
+    format_json,
+    format_text,
+    load_baseline,
+    run_lint,
+    save_baseline,
+)
+from repro.cli import main
+from repro.exceptions import ConfigurationError
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def write_tree(root: Path, files: dict) -> Path:
+    """Write ``{relpath: source}`` under ``root`` and return ``root``."""
+    for rel, source in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source)
+    return root
+
+
+def findings_for(root: Path, rule: str):
+    return [f for f in run_lint(root, select=[rule]) if f.rule == rule]
+
+
+# ---------------------------------------------------------------------------
+# engine plumbing
+
+
+def test_collect_modules_requires_source_tree(tmp_path):
+    with pytest.raises(ConfigurationError):
+        collect_modules(tmp_path)
+
+
+def test_collect_modules_rejects_syntax_errors(tmp_path):
+    write_tree(tmp_path, {"src/repro/broken.py": "def oops(:\n"})
+    with pytest.raises(ConfigurationError):
+        collect_modules(tmp_path)
+
+
+def test_unknown_rule_selector_is_a_config_error(tmp_path):
+    write_tree(tmp_path, {"src/repro/ok.py": "x = 1\n"})
+    with pytest.raises(ConfigurationError):
+        run_lint(tmp_path, select=["SKY999"])
+
+
+def test_reporters_render_counts(tmp_path):
+    write_tree(tmp_path, {"src/repro/ok.py": "x = 1\n"})
+    text = format_text(run_lint(tmp_path))
+    assert text.endswith("0 findings")
+    payload = json.loads(format_json(run_lint(tmp_path)))
+    assert payload == {"count": 0, "findings": []}
+
+
+# ---------------------------------------------------------------------------
+# SKY101 / SKY102 — lock discipline
+
+LOCKY = '''\
+import threading
+
+
+class Box:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.items = []  # guarded-by: _lock
+        self.items.append(0)  # constructors are exempt
+
+    def add(self, x):
+        with self._lock:
+            self.items.append(x)
+
+    def peek(self):
+        return len(self.items)
+
+    # holds-lock: _lock
+    def _append_locked(self, x):
+        self.items.append(x)
+'''
+
+GLOBALLY = '''\
+import threading
+
+_LOCK = threading.Lock()
+_COUNT = 0  # guarded-by: _LOCK
+
+
+def bump():
+    global _COUNT
+    with _LOCK:
+        _COUNT += 1
+
+
+def peek():
+    return _COUNT
+'''
+
+
+def test_sky101_flags_unlocked_class_attribute_access(tmp_path):
+    write_tree(tmp_path, {"src/repro/locky.py": LOCKY})
+    found = findings_for(tmp_path, "SKY101")
+    assert [(f.line, f.rule) for f in found] == [(15, "SKY101")]
+    assert "'items' outside 'with _lock' in Box.peek" in found[0].message
+
+
+def test_sky101_flags_unlocked_module_global(tmp_path):
+    write_tree(tmp_path, {"src/repro/globally.py": GLOBALLY})
+    found = findings_for(tmp_path, "SKY101")
+    assert [f.line for f in found] == [14]
+    assert "_COUNT" in found[0].message
+
+
+def test_sky101_inline_suppression_silences(tmp_path):
+    source = LOCKY.replace(
+        "        return len(self.items)",
+        "        return len(self.items)  # skyup: ignore[SKY101]",
+    )
+    write_tree(tmp_path, {"src/repro/locky.py": source})
+    assert findings_for(tmp_path, "SKY101") == []
+
+
+def test_sky101_comment_line_above_suppresses(tmp_path):
+    source = LOCKY.replace(
+        "        return len(self.items)",
+        "        # skyup: ignore[SKY101] — benign snapshot read\n"
+        "        return len(self.items)",
+    )
+    write_tree(tmp_path, {"src/repro/locky.py": source})
+    assert findings_for(tmp_path, "SKY101") == []
+
+
+def test_sky102_flags_annotation_naming_missing_lock(tmp_path):
+    source = '''\
+class Box:
+    def __init__(self):
+        self.items = []  # guarded-by: _missing
+'''
+    write_tree(tmp_path, {"src/repro/typo.py": source})
+    found = findings_for(tmp_path, "SKY102")
+    assert [(f.line, f.rule) for f in found] == [(3, "SKY102")]
+    assert "_missing" in found[0].message
+
+
+# ---------------------------------------------------------------------------
+# SKY201 / SKY202 / SKY203 — exception taxonomy
+
+TAXONOMY_FILES = {
+    "src/repro/exceptions.py": (
+        "class SkyUpError(Exception):\n    pass\n"
+    ),
+    "src/repro/raisy.py": '''\
+from repro.exceptions import SkyUpError
+
+
+def ok_taxonomy():
+    raise SkyUpError("fine")
+
+
+def ok_builtin():
+    raise ValueError("fine")
+
+
+def bad():
+    raise RuntimeError("boom")
+
+
+def dynamic(exc):
+    raise exc  # dynamic raises are out of static reach
+''',
+}
+
+
+def test_sky201_flags_off_taxonomy_raise(tmp_path):
+    write_tree(tmp_path, TAXONOMY_FILES)
+    found = findings_for(tmp_path, "SKY201")
+    assert [(f.line, f.rule) for f in found] == [(13, "SKY201")]
+    assert "RuntimeError" in found[0].message
+
+
+def test_sky202_flags_bare_except(tmp_path):
+    source = '''\
+def swallow():
+    try:
+        return 1
+    except:
+        return 0
+'''
+    write_tree(tmp_path, {"src/repro/bare.py": source})
+    found = findings_for(tmp_path, "SKY202")
+    assert [(f.line, f.rule) for f in found] == [(4, "SKY202")]
+
+
+def test_sky203_flags_broad_except_outside_boundary(tmp_path):
+    source = '''\
+def fragile():
+    try:
+        return 1
+    except Exception:
+        return 0
+
+
+# error-boundary: supervision loop must contain anything
+def boundary():
+    try:
+        return 1
+    except Exception:
+        return 0
+'''
+    write_tree(tmp_path, {"src/repro/broad.py": source})
+    found = findings_for(tmp_path, "SKY203")
+    assert [(f.line, f.rule) for f in found] == [(4, "SKY203")]
+    assert "error-boundary" in found[0].message
+
+
+# ---------------------------------------------------------------------------
+# SKY301 — determinism
+
+
+def test_sky301_flags_entropy_in_core_only(tmp_path):
+    core = '''\
+import random
+import time
+
+
+def jitter():
+    return random.random() + time.time()
+
+
+def fine(rng):
+    return rng.random() + time.monotonic()
+'''
+    write_tree(
+        tmp_path,
+        {
+            "src/repro/core/noisy.py": core,
+            "src/repro/bench/noisy.py": core,  # bench/ is not checked
+        },
+    )
+    found = findings_for(tmp_path, "SKY301")
+    assert [(f.path, f.line) for f in found] == [
+        ("src/repro/core/noisy.py", 6),
+        ("src/repro/core/noisy.py", 6),
+    ]
+    messages = " ".join(f.message for f in found)
+    assert "random.random" in messages and "time.time" in messages
+
+
+def test_sky301_accepts_seeded_generators(tmp_path):
+    source = '''\
+import random
+
+import numpy as np
+
+
+def seeded(seed):
+    return np.random.default_rng(seed), random.Random(seed)
+'''
+    write_tree(tmp_path, {"src/repro/core/seeded.py": source})
+    assert findings_for(tmp_path, "SKY301") == []
+
+
+# ---------------------------------------------------------------------------
+# SKY401 / SKY402 — injection-point registry
+
+INJECTION_FILES = {
+    "src/repro/reliability/faults.py": (
+        'INJECTION_POINTS = frozenset({"serve.handler", "rtree.query"})\n'
+    ),
+    "src/repro/serve/handler.py": '''\
+def handle(plan):
+    plan.maybe_inject("serve.handler")
+    plan.maybe_inject("serve.hanlder")
+''',
+}
+
+
+def test_sky401_flags_unregistered_call_site(tmp_path):
+    write_tree(tmp_path, INJECTION_FILES)
+    found = findings_for(tmp_path, "SKY401")
+    assert [(f.path, f.line) for f in found] == [
+        ("src/repro/serve/handler.py", 3)
+    ]
+    assert "serve.hanlder" in found[0].message
+
+
+def test_sky402_flags_unreachable_registry_entry(tmp_path):
+    write_tree(tmp_path, INJECTION_FILES)
+    found = findings_for(tmp_path, "SKY402")
+    assert [(f.path, f.line) for f in found] == [
+        ("src/repro/reliability/faults.py", 1)
+    ]
+    assert "rtree.query" in found[0].message
+
+
+# ---------------------------------------------------------------------------
+# SKY501 / SKY502 / SKY503 — kernel-oracle parity
+
+PARITY_FILES = {
+    "src/repro/kernels/__init__.py": (
+        "from repro.kernels.impl import good_kernel, naked_kernel, "
+        "stale_kernel\n"
+        '__all__ = ["good_kernel", "naked_kernel", "stale_kernel"]\n'
+    ),
+    "src/repro/kernels/impl.py": '''\
+def good_kernel():
+    """Twinned and covered.
+
+    Scalar oracle: `repro.core.thing.scalar_twin`
+    """
+
+
+def naked_kernel():
+    """No oracle declared."""
+
+
+def stale_kernel():
+    """Twin was renamed away.
+
+    Scalar oracle: `repro.core.thing.gone_twin`
+    """
+''',
+    "src/repro/core/thing.py": "def scalar_twin():\n    return 0\n",
+    "tests/test_kernels_agreement.py": (
+        "# exercises good_kernel and naked_kernel only\n"
+    ),
+}
+
+
+def test_sky501_flags_missing_oracle_declaration(tmp_path):
+    write_tree(tmp_path, PARITY_FILES)
+    found = findings_for(tmp_path, "SKY501")
+    assert [(f.path, f.line) for f in found] == [
+        ("src/repro/kernels/impl.py", 8)
+    ]
+    assert "naked_kernel" in found[0].message
+
+
+def test_sky502_flags_unresolved_oracle(tmp_path):
+    write_tree(tmp_path, PARITY_FILES)
+    found = findings_for(tmp_path, "SKY502")
+    assert [(f.path, f.line) for f in found] == [
+        ("src/repro/kernels/impl.py", 12)
+    ]
+    assert "gone_twin" in found[0].message
+
+
+def test_sky503_flags_missing_agreement_coverage(tmp_path):
+    write_tree(tmp_path, PARITY_FILES)
+    found = findings_for(tmp_path, "SKY503")
+    assert [(f.path, f.line) for f in found] == [
+        ("src/repro/kernels/impl.py", 12)
+    ]
+    assert "stale_kernel" in found[0].message
+
+
+# ---------------------------------------------------------------------------
+# baseline
+
+
+def test_baseline_round_trip_and_filtering(tmp_path):
+    write_tree(tmp_path, {"src/repro/bare.py": "try:\n    pass\nexcept:\n    pass\n"})
+    found = run_lint(tmp_path)
+    assert [f.rule for f in found] == ["SKY202"]
+    baseline_path = tmp_path / "lint-baseline.json"
+    save_baseline(baseline_path, found)
+    reloaded = load_baseline(baseline_path)
+    assert reloaded == found
+    assert run_lint(tmp_path, baseline=reloaded) == []
+
+
+def test_baseline_matches_across_line_drift(tmp_path):
+    old = Finding(
+        rule="SKY202",
+        path="src/repro/bare.py",
+        line=999,  # drifted: only (rule, path, message) must match
+        col=1,
+        message="bare 'except:': name the exception types",
+    )
+    write_tree(tmp_path, {"src/repro/bare.py": "try:\n    pass\nexcept:\n    pass\n"})
+    assert run_lint(tmp_path, baseline=[old]) == []
+
+
+def test_malformed_baseline_is_a_config_error(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text("[]")
+    with pytest.raises(ConfigurationError):
+        load_baseline(path)
+
+
+# ---------------------------------------------------------------------------
+# the repo itself, and the CLI
+
+
+def test_repo_lints_clean():
+    assert run_lint(REPO_ROOT) == []
+
+
+def test_cli_lint_exits_zero_on_repo(capsys):
+    code = main(["lint", "--root", str(REPO_ROOT)])
+    assert code == 0
+    assert "0 findings" in capsys.readouterr().out
+
+
+def test_cli_lint_exits_one_with_locations(tmp_path, capsys):
+    write_tree(tmp_path, {"src/repro/locky.py": LOCKY})
+    code = main(["lint", "--root", str(tmp_path)])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "src/repro/locky.py:15:" in out
+    assert "SKY101" in out
+
+
+def test_cli_lint_json_format_parses(tmp_path, capsys):
+    write_tree(tmp_path, {"src/repro/locky.py": LOCKY})
+    code = main(["lint", "--root", str(tmp_path), "--format", "json"])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 1
+    assert payload["count"] == 1
+    assert payload["findings"][0]["rule"] == "SKY101"
+
+
+def test_cli_lint_select_restricts_rules(tmp_path, capsys):
+    write_tree(
+        tmp_path,
+        {
+            "src/repro/locky.py": LOCKY,
+            "src/repro/bare.py": "try:\n    pass\nexcept:\n    pass\n",
+        },
+    )
+    code = main(["lint", "--root", str(tmp_path), "--select", "SKY202"])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "SKY202" in out and "SKY101" not in out
+
+
+def test_cli_lint_baseline_workflow(tmp_path, capsys):
+    write_tree(tmp_path, {"src/repro/locky.py": LOCKY})
+    code = main(
+        ["lint", "--root", str(tmp_path), "--baseline", "--update-baseline"]
+    )
+    assert code == 0
+    assert (tmp_path / "lint-baseline.json").is_file()
+    capsys.readouterr()
+    code = main(["lint", "--root", str(tmp_path), "--baseline"])
+    assert code == 0
+    assert "0 findings" in capsys.readouterr().out
+
+
+def test_cli_lint_list_rules(capsys):
+    assert main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in (
+        "SKY101", "SKY102", "SKY201", "SKY202", "SKY203",
+        "SKY301", "SKY401", "SKY402", "SKY501", "SKY502", "SKY503",
+    ):
+        assert rule_id in out
+
+
+def test_cli_lint_bad_root_exits_two(tmp_path, capsys):
+    code = main(["lint", "--root", str(tmp_path / "nowhere")])
+    assert code == 2
+    assert "error:" in capsys.readouterr().err

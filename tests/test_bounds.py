@@ -8,7 +8,7 @@ paper mode is demonstrated to violate it on the documented counterexamples.
 
 import numpy as np
 import pytest
-from hypothesis import assume, given, settings, strategies as st
+from hypothesis import given, settings, strategies as st
 
 from repro.core.bounds import (
     BOUND_NAMES,

@@ -1,7 +1,6 @@
 """Tests for Algorithm 3 (getDominatingSky) and its multi-root variant."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.dominators import (

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.core.join import JoinUpgrader
-from repro.core.types import UpgradeConfig
 from repro.core.verify import brute_force_topk, verify_results
 from repro.costs.model import paper_cost_model
 from repro.data.generators import paper_workload

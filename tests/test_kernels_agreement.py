@@ -34,6 +34,7 @@ from repro.kernels import (
     dominating_mask,
     enumerate_candidates,
     kernels_enabled,
+    pair_bounds_block,
     pairwise_dominance,
     set_kernels_enabled,
     upgrade_kernel,
@@ -283,6 +284,27 @@ def test_pair_bounds_vector_matches_scalar_lbc(seed, dims):
         assert join_list_bound(name, vector) == pytest.approx(
             join_list_bound(name, scalar), abs=1e-9
         )
+
+
+@given(st.integers(0, 2 ** 31 - 1), st.integers(2, 5))
+@settings(max_examples=50, deadline=None)
+def test_pair_bounds_block_matches_scalar_lbc(seed, dims):
+    """The raw kernel entry point itself, not just its core wrapper."""
+    rng = np.random.default_rng(seed ^ 0x5BD1)
+    n = int(rng.integers(1, 30))
+    model = paper_cost_model(dims)
+    t_low = tuple(0.05 + rng.random(dims) * 2.0)
+    lows = 0.05 + rng.random((n, dims)) * 2.0
+    highs = lows + rng.random((n, dims)) * 0.8
+    block = pair_bounds_block(t_low, lows, highs, model)
+    scalar = [
+        lbc(t_low, tuple(lo), tuple(hi), model)
+        for lo, hi in zip(lows, highs)
+    ]
+    assert len(block) == len(scalar)
+    for (kb, ks), (sb, ss) in zip(block, scalar):
+        assert ks == ss  # identical classification signatures
+        assert kb == pytest.approx(sb, abs=1e-9)
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,158 @@
+"""The dynamic lock-order witness: graph recording and cycle detection."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.analysis.lockorder import LockOrderWitness, instrument_engine
+from repro.core.session import MarketSession
+from repro.exceptions import LockOrderError
+from repro.serve import ProductQuery, TopKQuery, UpgradeEngine
+from repro.serve.pool import ReadWriteLock
+
+
+def test_consistent_order_stays_clean():
+    witness = LockOrderWitness()
+    a = witness.wrap_lock(threading.Lock(), "a")
+    b = witness.wrap_lock(threading.Lock(), "b")
+    for _ in range(3):
+        with a:
+            with b:
+                pass
+    assert witness.acquisitions() == 6
+    assert witness.edges() == {("a", "b"): 3}
+    assert witness.cycles() == []
+    witness.check()  # must not raise
+
+
+def test_inversion_is_detected_and_named():
+    witness = LockOrderWitness()
+    a = witness.wrap_lock(threading.Lock(), "a")
+    b = witness.wrap_lock(threading.Lock(), "b")
+    with a:
+        with b:
+            pass
+    with b:
+        with a:  # the inversion
+            pass
+    assert witness.cycles() == [["a", "b"]]
+    with pytest.raises(LockOrderError) as info:
+        witness.check()
+    assert "a -> b -> a" in str(info.value)
+
+
+def test_three_lock_cycle():
+    witness = LockOrderWitness()
+    locks = {
+        name: witness.wrap_lock(threading.Lock(), name) for name in "abc"
+    }
+    for first, second in [("a", "b"), ("b", "c"), ("c", "a")]:
+        with locks[first]:
+            with locks[second]:
+                pass
+    assert witness.cycles() == [["a", "b", "c"]]
+
+
+def test_inversion_across_threads_is_detected():
+    witness = LockOrderWitness()
+    a = witness.wrap_lock(threading.Lock(), "a")
+    b = witness.wrap_lock(threading.Lock(), "b")
+    gate = threading.Event()
+
+    def forward():
+        with a:
+            with b:
+                gate.set()
+
+    def backward():
+        gate.wait(timeout=5.0)
+        with b:
+            with a:
+                pass
+
+    threads = [
+        threading.Thread(target=forward),
+        threading.Thread(target=backward),
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=5.0)
+    assert witness.cycles() == [["a", "b"]]
+
+
+def test_condition_wait_releases_the_lock():
+    """Time blocked in ``wait`` must not fabricate ordering edges."""
+    witness = LockOrderWitness()
+    cond = witness.wrap_condition(threading.Condition(), "cond")
+    other = witness.wrap_lock(threading.Lock(), "other")
+    woke = []
+
+    def waiter():
+        with cond:
+            cond.wait(timeout=5.0)
+            woke.append(True)
+
+    t = threading.Thread(target=waiter)
+    t.start()
+    # While the waiter is blocked, this thread takes other -> cond; the
+    # waiter later takes cond -> (nothing), so no cond->other edge and
+    # no cycle may appear.
+    with other:
+        with cond:
+            cond.notify_all()
+    t.join(timeout=5.0)
+    assert woke == [True]
+    assert witness.cycles() == []
+    assert ("cond", "other") not in witness.edges()
+
+
+def test_rwlock_read_and_write_are_one_node():
+    witness = LockOrderWitness()
+    rw = witness.wrap_rwlock(ReadWriteLock(), "rw")
+    inner = witness.wrap_lock(threading.Lock(), "inner")
+    with rw.read_locked():
+        with inner:
+            pass
+    with rw.write_locked():
+        with inner:
+            pass
+    assert witness.edges() == {("rw", "inner"): 2}
+    witness.check()
+
+
+def test_reentrant_same_name_adds_no_self_edge():
+    witness = LockOrderWitness()
+    rlock = witness.wrap_lock(threading.RLock(), "r")
+    with rlock:
+        with rlock:
+            pass
+    assert witness.edges() == {}
+    assert witness.cycles() == []
+
+
+def test_instrumented_engine_stays_cycle_free():
+    """A real serving engine under load respects one global lock order."""
+    rng = np.random.default_rng(7)
+    session = MarketSession.from_points(
+        rng.random((120, 2)), 1.0 + rng.random((25, 2)), max_entries=8
+    )
+    engine = UpgradeEngine(session, workers=2, batch_max=8)
+    witness = LockOrderWitness()
+    instrument_engine(engine, witness)
+    try:
+        pendings = engine.submit_batch(
+            [ProductQuery(pid) for pid in range(8)] + [TopKQuery(k=5)]
+        )
+        for pending in pendings:
+            pending.result(timeout=30.0)
+        engine.add_competitor((0.4, 0.4))
+        engine.query(TopKQuery(k=5))
+        engine.metrics()
+    finally:
+        engine.close()
+    assert witness.acquisitions() > 0
+    witness.check()  # no ordering cycle anywhere in the serving stack

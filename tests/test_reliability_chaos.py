@@ -25,7 +25,6 @@ import pytest
 
 from repro.core.session import MarketSession
 from repro.exceptions import (
-    SkyUpError,
     TransientError,
     WorkerCrashError,
 )

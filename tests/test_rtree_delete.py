@@ -1,7 +1,6 @@
 """R-tree deletion and tree-condensation tests."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.rtree.tree import RTree

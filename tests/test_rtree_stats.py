@@ -1,7 +1,6 @@
 """Tests for R-tree statistics and the R*-style split."""
 
 import numpy as np
-import pytest
 
 from repro.rtree.split import get_split_function, rstar_split
 from repro.rtree.stats import collect_stats
