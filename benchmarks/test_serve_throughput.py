@@ -11,7 +11,7 @@ import pytest
 
 from repro.bench.workloads import serve_session
 from repro.serve.bench import generate_requests, run_serve_bench
-from repro.serve.engine import UpgradeEngine
+from repro.serve import EngineConfig, UpgradeEngine
 
 from conftest import bench_cell, scale_factor, scaled
 
@@ -36,7 +36,7 @@ def workload():
 @pytest.mark.parametrize("cache", [False, True], ids=["cold", "cached"])
 def test_serve_throughput_cell(benchmark, cache):
     session, requests = workload()
-    engine = UpgradeEngine(session, workers=0, cache=cache)
+    engine = UpgradeEngine(session, EngineConfig(workers=0, cache=cache))
 
     def replay():
         served = 0

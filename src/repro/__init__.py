@@ -20,6 +20,16 @@ Quickstart::
     for r in outcome.results:
         print(r.record_id, round(r.cost, 4), r.upgraded)
 
+Serving (the concurrent, cached query engine) is part of the public
+surface too::
+
+    from repro import EngineConfig, MarketSession, TopKQuery, UpgradeEngine
+
+    session = MarketSession.from_points(P, T)
+    config = EngineConfig(workers=4, trace_sample_rate=0.05)
+    with UpgradeEngine(session, config) as engine:
+        top5 = engine.query(TopKQuery(k=5))
+
 See DESIGN.md for the architecture and EXPERIMENTS.md for the reproduction
 of the paper's empirical study.
 """
@@ -47,25 +57,42 @@ from repro.costs.model import CostModel, paper_cost_model
 from repro.exceptions import SkyUpError
 from repro.geometry.mbr import MBR
 from repro.geometry.point import dominates
+from repro.kernels.switch import use_kernels
 from repro.rtree.tree import RTree
+from repro.serve import (
+    EngineConfig,
+    PendingQuery,
+    ProductQuery,
+    Query,
+    QueryResponse,
+    TopKQuery,
+    UpgradeEngine,
+)
 from repro.skyline import bbs_skyline, bnl_skyline, sfs_skyline
 
 __version__ = "1.0.0"
 
 __all__ = [
     "CostModel",
+    "EngineConfig",
     "ExponentialCost",
     "JoinUpgrader",
     "LinearCost",
     "MBR",
     "MarketSession",
+    "PendingQuery",
     "PiecewiseLinearCost",
     "PowerCost",
+    "ProductQuery",
+    "Query",
+    "QueryResponse",
     "RTree",
     "ReciprocalCost",
     "SkyUpError",
     "SumIntegration",
+    "TopKQuery",
     "UpgradeConfig",
+    "UpgradeEngine",
     "UpgradeOutcome",
     "UpgradeResult",
     "WeightedSumIntegration",
@@ -81,4 +108,5 @@ __all__ = [
     "single_set_top_k",
     "top_k_upgrades",
     "upgrade",
+    "use_kernels",
 ]

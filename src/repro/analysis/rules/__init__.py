@@ -10,16 +10,26 @@ time).  Rule ids are stable and grouped by hundreds:
 * ``SKY4xx`` — injection-point registry
   (:mod:`repro.analysis.rules.injection`)
 * ``SKY5xx`` — kernel-oracle parity (:mod:`repro.analysis.rules.parity`)
+* ``SKY6xx`` — hot-path clock discipline
+  (:mod:`repro.analysis.rules.hotpath`)
 """
 
 from __future__ import annotations
 
 from repro.analysis.rules import (  # noqa: F401  (registration side effect)
     determinism,
+    hotpath,
     injection,
     locks,
     parity,
     taxonomy,
 )
 
-__all__ = ["determinism", "injection", "locks", "parity", "taxonomy"]
+__all__ = [
+    "determinism",
+    "hotpath",
+    "injection",
+    "locks",
+    "parity",
+    "taxonomy",
+]

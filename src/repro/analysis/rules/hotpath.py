@@ -1,0 +1,98 @@
+"""SKY601 — no raw ``time.perf_counter()`` in serving/core hot paths.
+
+The observability PR centralized all span timing behind
+:mod:`repro.obs` (``repro.obs.clock`` is the sanctioned alias) and the
+:mod:`repro.instrumentation` helpers (``Timer``, ``Stopwatch``,
+``Counters.timed``).  A raw ``time.perf_counter()`` call inside the
+serving layer or the algorithmic core bypasses both: the reading never
+lands in a span or a run report, and ad-hoc timing tends to creep into
+hot loops where even the call overhead matters.  Measure through the
+instrumented surfaces instead — they are free when tracing is off and
+attributed when it is on.
+
+Checked: ``src/repro/serve/`` and ``src/repro/core/``.  Exempt:
+``src/repro/serve/bench.py`` (the benchmark harness *is* a measurement
+tool; its whole-replay wall times are the deliverable, not hot-path
+telemetry).  ``repro.instrumentation`` and ``repro.obs`` live outside
+the checked directories — they are the implementations the rule herds
+callers toward.
+
+Both spellings are caught: ``time.perf_counter()`` and a bare
+``perf_counter()`` via ``from time import perf_counter``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set, Tuple
+
+from repro.analysis.engine import Finding, LintContext, rule
+
+#: Directories (repo-relative prefixes) under the hot-path clock contract.
+CHECKED_DIRS = (
+    "src/repro/serve/",
+    "src/repro/core/",
+)
+
+#: Repo-relative paths exempt from the rule.
+EXEMPT_PATHS: Set[str] = {
+    "src/repro/serve/bench.py",
+}
+
+#: ``(module alias, attribute)`` spellings of the banned call.
+BANNED_CALLS: Set[Tuple[str, str]] = {
+    ("time", "perf_counter"),
+    ("time", "perf_counter_ns"),
+}
+
+
+def _is_banned(node: ast.Call, bare_names: Set[str]) -> bool:
+    func = node.func
+    if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+        return (func.value.id, func.attr) in BANNED_CALLS
+    if isinstance(func, ast.Name):
+        return func.id in bare_names
+    return False
+
+
+def _bare_imports(tree: ast.AST) -> Set[str]:
+    """Local names bound to ``time.perf_counter`` via ``from time import``."""
+    names: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == "time":
+            for alias in node.names:
+                if alias.name in ("perf_counter", "perf_counter_ns"):
+                    names.add(alias.asname or alias.name)
+    return names
+
+
+@rule(
+    "SKY601",
+    "hot-path-clock",
+    "raw time.perf_counter() in serve/core (use repro.obs or "
+    "instrumentation)",
+)
+def check_hotpath_clock(ctx: LintContext) -> Iterator[Finding]:
+    for module in ctx.modules:
+        if not module.rel.startswith(CHECKED_DIRS):
+            continue
+        if module.rel in EXEMPT_PATHS:
+            continue
+        bare = _bare_imports(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if not _is_banned(node, bare):
+                continue
+            yield Finding(
+                rule="SKY601",
+                path=module.rel,
+                line=node.lineno,
+                col=node.col_offset + 1,
+                message=(
+                    "raw perf_counter() in a serving/core hot path: time "
+                    "through repro.obs (span/clock) or "
+                    "repro.instrumentation (Timer/Stopwatch) so the "
+                    "reading is attributed and free when tracing is off"
+                ),
+            )

@@ -24,7 +24,7 @@ from repro.core.probing import batch_probing
 from repro.core.types import UpgradeConfig
 from repro.core.upgrade import upgrade
 from repro.data.generators import generate
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, UnknownOptionError
 from repro.kernels.switch import use_kernels
 from repro.skyline.bbs import bbs_skyline
 from repro.skyline.bnl import bnl_skyline
@@ -99,9 +99,7 @@ def run_kernel_bench(
             f"{n_competitors} and {n_products}"
         )
     if bound not in BOUND_NAMES:
-        raise ConfigurationError(
-            f"unknown bound {bound!r}; choose from {BOUND_NAMES}"
-        )
+        raise UnknownOptionError("bound", bound, BOUND_NAMES)
     from repro.bench.workloads import synthetic_workload
 
     wl = synthetic_workload(

@@ -7,6 +7,7 @@ Three subcommands::
     skyup figure fig6a --scale 100
     skyup serve-bench --requests 2000 --save-json BENCH_serve.json
     skyup bench-kernels --competitors 100000 --dims 4
+    skyup trace --requests 200 --slowest 3 --format chrome --out trace.json
     skyup lint --format json
 
 ``generate`` writes synthetic point sets; ``run`` solves one top-k upgrading
@@ -15,7 +16,10 @@ experiment figures (see :mod:`repro.bench.figures` for ids and
 EXPERIMENTS.md for the recorded outputs); ``serve-bench`` measures the
 serving engine's cached-vs-cold throughput (:mod:`repro.serve.bench`);
 ``bench-kernels`` compares the columnar kernels against their scalar
-oracles (:mod:`repro.bench.kernels`); ``lint`` runs the project-specific
+oracles (:mod:`repro.bench.kernels`); ``trace`` replays a traced request
+stream through the serving engine and dumps the slowest request traces
+(:mod:`repro.obs`) as a span tree or Chrome Trace Event JSON; ``lint``
+runs the project-specific
 static analysis rules (:mod:`repro.analysis`) and exits non-zero on
 unsuppressed findings.
 """
@@ -231,6 +235,66 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the full report as JSON to PATH",
     )
 
+    trc = sub.add_parser(
+        "trace",
+        help="run a traced workload and dump the slowest request traces",
+    )
+    trc.add_argument(
+        "--competitors", type=int, default=2000, help="market size |P|"
+    )
+    trc.add_argument(
+        "--products", type=int, default=800, help="catalog size |T|"
+    )
+    trc.add_argument("--dims", type=int, default=3)
+    trc.add_argument(
+        "--distribution",
+        default="independent",
+        choices=["independent", "correlated", "anti_correlated"],
+    )
+    trc.add_argument(
+        "--requests", type=int, default=200, help="request-stream length"
+    )
+    trc.add_argument(
+        "--hot-pool",
+        type=int,
+        default=32,
+        help="size of the popular-product working set",
+    )
+    trc.add_argument(
+        "--topk-every",
+        type=int,
+        default=25,
+        help="issue a whole-catalog top-k every N requests (0 = never)",
+    )
+    trc.add_argument("--k", type=int, default=5, help="top-k depth")
+    trc.add_argument("--seed", type=int, default=2012)
+    trc.add_argument(
+        "--workers", type=int, default=2, help="engine worker threads"
+    )
+    trc.add_argument(
+        "--slowest",
+        type=int,
+        default=5,
+        metavar="N",
+        help="dump the N slowest traces (default: 5)",
+    )
+    trc.add_argument(
+        "--format",
+        dest="fmt",
+        default="text",
+        choices=["text", "chrome"],
+        help=(
+            "text = indented span tree; chrome = Trace Event Format JSON "
+            "for chrome://tracing or https://ui.perfetto.dev"
+        ),
+    )
+    trc.add_argument(
+        "--out",
+        metavar="PATH",
+        default=None,
+        help="write the dump to PATH instead of stdout",
+    )
+
     lint = sub.add_parser(
         "lint",
         help="run the project-specific static analysis rules",
@@ -411,17 +475,15 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
 def _cmd_bench_kernels(args: argparse.Namespace) -> int:
     from repro.bench.kernels import format_kernel_report, run_kernel_bench
     from repro.core.bounds import BOUND_NAMES
+    from repro.exceptions import UnknownOptionError
 
     for name in ("competitors", "products", "dims", "repeats"):
         if getattr(args, name) < 1:
             print(f"error: --{name} must be >= 1", file=sys.stderr)
             return 2
     if args.bound not in BOUND_NAMES:
-        print(
-            f"error: unknown bound {args.bound!r}; "
-            f"choose from {', '.join(BOUND_NAMES)}",
-            file=sys.stderr,
-        )
+        exc = UnknownOptionError("bound", args.bound, BOUND_NAMES)
+        print(f"error: {exc}", file=sys.stderr)
         return 2
     report = run_kernel_bench(
         n_competitors=args.competitors,
@@ -440,6 +502,48 @@ def _cmd_bench_kernels(args: argparse.Namespace) -> int:
             json.dump(report, fh, indent=2, sort_keys=True)
         print(f"[report written to {args.save_json}]")
     return 0 if report["all_agree"] else 1
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import format_text, to_chrome_json
+    from repro.serve.bench import run_trace_workload
+
+    for name in ("competitors", "products", "requests", "k", "slowest"):
+        if getattr(args, name) < 1:
+            print(f"error: --{name} must be >= 1", file=sys.stderr)
+            return 2
+    if args.workers < 1:
+        print("error: --workers must be >= 1", file=sys.stderr)
+        return 2
+    traces = run_trace_workload(
+        n_competitors=args.competitors,
+        n_products=args.products,
+        dims=args.dims,
+        distribution=args.distribution,
+        n_requests=args.requests,
+        hot_pool=args.hot_pool,
+        topk_every=args.topk_every,
+        k=args.k,
+        seed=args.seed,
+        workers=args.workers,
+    )
+    traces.sort(key=lambda t: t.duration_s, reverse=True)
+    slowest = traces[: args.slowest]
+    if args.fmt == "chrome":
+        dump = to_chrome_json(slowest, indent=2)
+    else:
+        dump = format_text(slowest)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(dump)
+            fh.write("\n")
+        print(
+            f"[{len(slowest)} slowest of {len(traces)} traces "
+            f"written to {args.out}]"
+        )
+    else:
+        print(dump)
+    return 0
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -545,6 +649,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_serve_bench(args)
         if args.command == "bench-kernels":
             return _cmd_bench_kernels(args)
+        if args.command == "trace":
+            return _cmd_trace(args)
         if args.command == "lint":
             return _cmd_lint(args)
         if args.command == "report":

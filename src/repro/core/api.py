@@ -12,11 +12,12 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
+from repro.core.bounds import BOUND_NAMES, LBC_MODES
 from repro.core.join import JoinUpgrader
 from repro.core.probing import basic_probing, improved_probing
 from repro.core.types import UpgradeConfig, UpgradeOutcome
 from repro.costs.model import CostModel, paper_cost_model
-from repro.exceptions import ConfigurationError, EmptyDatasetError
+from repro.exceptions import EmptyDatasetError, UnknownOptionError
 from repro.rtree.tree import RTree
 
 #: Algorithm selector values accepted by :func:`top_k_upgrades`.
@@ -66,10 +67,14 @@ def top_k_upgrades(
         >>> outcome.results[0].record_id
         1
     """
+    # Validate every string selector up front — a typo fails here with
+    # the valid choices listed, not deep inside index construction.
     if method not in METHODS:
-        raise ConfigurationError(
-            f"unknown method {method!r}; choose from {METHODS}"
-        )
+        raise UnknownOptionError("method", method, METHODS)
+    if bound not in BOUND_NAMES:
+        raise UnknownOptionError("bound", bound, BOUND_NAMES)
+    if lbc_mode not in LBC_MODES:
+        raise UnknownOptionError("lbc_mode", lbc_mode, LBC_MODES)
     if len(products) == 0:
         raise EmptyDatasetError("the product set T is empty")
     dims = len(products[0])

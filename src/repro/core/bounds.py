@@ -75,7 +75,7 @@ from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.costs.model import CostModel
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, UnknownOptionError
 from repro.geometry.classify import DimClassification, classify_dimensions
 from repro.instrumentation import Counters
 from repro.kernels.bounds_batch import _DIS, _INC, pair_bounds_block
@@ -146,9 +146,7 @@ def lbc(
             t_low, p_low, p_high, classification, cost_model
         )
     else:
-        raise ConfigurationError(
-            f"unknown LBC mode {mode!r}; choose from {LBC_MODES}"
-        )
+        raise UnknownOptionError("lbc_mode", mode, LBC_MODES)
     return bound, signature
 
 
@@ -350,6 +348,4 @@ def join_list_bound(bound_name: str, pairs: List[Pair]) -> float:
         return aggressive_bound(pairs)
     if bound_name == "max":
         return max_bound(b for b, _ in pairs)
-    raise ConfigurationError(
-        f"unknown bound {bound_name!r}; choose from {BOUND_NAMES}"
-    )
+    raise UnknownOptionError("bound", bound_name, BOUND_NAMES)

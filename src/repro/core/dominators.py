@@ -25,6 +25,7 @@ from repro.geometry.region import mbr_overlaps_adr, point_in_adr
 from repro.instrumentation import Counters
 from repro.kernels.skybuffer import SkylineBuffer
 from repro.kernels.switch import kernels_enabled
+from repro.obs import NOOP_SPAN, span
 from repro.reliability.faults import maybe_inject
 from repro.rtree.entry import Entry
 from repro.rtree.tree import RTree
@@ -74,13 +75,22 @@ def get_dominating_skyline_multi(
         stats: optional counters.
     """
     maybe_inject("rtree.query")
-    if stats is not None:
-        label = (
-            "kernel.dominators" if kernels_enabled() else "scalar.dominators"
-        )
-        with stats.timed(label):
-            return _traverse(roots, product, stats)
-    return _traverse(roots, product, stats)
+    with span(
+        "dominators.skyline",
+        kernel_or_scalar="kernel" if kernels_enabled() else "scalar",
+    ) as sp:
+        if stats is not None:
+            label = (
+                "kernel.dominators"
+                if kernels_enabled()
+                else "scalar.dominators"
+            )
+            with stats.timed(label):
+                result = _traverse(roots, product, stats)
+        else:
+            result = _traverse(roots, product, stats)
+        sp.set(skyline_size=len(result))
+        return result
 
 
 def _traverse(
@@ -107,6 +117,15 @@ def _traverse(
             )
             if stats is not None:
                 stats.heap_pushes += 1
+
+    # The heap loop is the index traversal proper; its span reports the
+    # R-tree work (node accesses, heap pops) as counter deltas so a trace
+    # attributes index cost per call, not cumulatively.
+    scan = span("rtree.scan")
+    if scan is not NOOP_SPAN and stats is not None:
+        base_nodes = stats.node_accesses
+        base_pops = stats.heap_pops
+    scan.__enter__()
 
     while heap:
         _, _, _, item = heapq.heappop(heap)
@@ -154,6 +173,12 @@ def _traverse(
             if stats is not None:
                 stats.heap_pushes += 1
 
+    scan.close()
+    if scan is not NOOP_SPAN and stats is not None:
+        scan.set(
+            node_accesses=stats.node_accesses - base_nodes,
+            heap_pops=stats.heap_pops - base_pops,
+        )
     if stats is not None:
         stats.skyline_points += len(skyline)
     return skyline.points

@@ -30,7 +30,6 @@ from __future__ import annotations
 
 import heapq
 import itertools
-import time
 from typing import Iterator, List, Tuple
 
 import numpy as np
@@ -48,12 +47,13 @@ from repro.core.dominators import get_dominating_skyline_multi
 from repro.core.types import UpgradeConfig, UpgradeOutcome, UpgradeResult
 from repro.core.upgrade import upgrade
 from repro.costs.model import CostModel
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, UnknownOptionError
 from repro.geometry.point import dominates
 from repro.geometry.region import mbr_overlaps_adr
-from repro.instrumentation import Counters, RunReport, Timer
+from repro.instrumentation import Counters, RunReport, Stopwatch, Timer
 from repro.kernels.dominance import dominated_mask, dominating_mask
 from repro.kernels.switch import kernels_enabled
+from repro.obs import span
 from repro.rtree.entry import Entry
 from repro.rtree.tree import RTree
 
@@ -101,13 +101,9 @@ class JoinUpgrader:
         lbc_mode: str = "corrected",
     ):
         if bound not in BOUND_NAMES:
-            raise ConfigurationError(
-                f"unknown bound {bound!r}; choose from {BOUND_NAMES}"
-            )
+            raise UnknownOptionError("bound", bound, BOUND_NAMES)
         if lbc_mode not in LBC_MODES:
-            raise ConfigurationError(
-                f"unknown lbc_mode {lbc_mode!r}; choose from {LBC_MODES}"
-            )
+            raise UnknownOptionError("lbc_mode", lbc_mode, LBC_MODES)
         if (
             not competitor_tree.is_empty()
             and competitor_tree.dims != product_tree.dims
@@ -140,11 +136,11 @@ class JoinUpgrader:
         self.stats = Counters()
         results: List[UpgradeResult] = []
         result_times: List[float] = []
-        start = time.perf_counter()
+        watch = Stopwatch()
         with Timer() as timer:
             for result in self.results(reset_stats=False):
                 results.append(result)
-                result_times.append(time.perf_counter() - start)
+                result_times.append(watch.split())
                 if len(results) >= k:
                     break
         report = RunReport(
@@ -260,17 +256,28 @@ class JoinUpgrader:
         if kernels_enabled() and jl and len(jl) >= _VECTOR_JL_FROM and all(
             e.is_leaf_entry for e in jl
         ):
-            pts = np.array([e.point for e in jl], dtype=np.float64)
-            stats.dominance_tests += len(jl)
-            dominators = pts[dominating_mask(pts, point)]
-            # Ascending coordinate-sum order, matching the BBS-style path.
-            order = np.argsort(dominators.sum(axis=1), kind="stable")
-            skyline = [
-                tuple(map(float, dominators[i])) for i in order
-            ]
-            stats.skyline_points += len(skyline)
+            with span(
+                "join.leaf_skyline", jl_len=len(jl),
+                kernel_or_scalar="kernel",
+            ) as sp:
+                pts = np.array([e.point for e in jl], dtype=np.float64)
+                stats.dominance_tests += len(jl)
+                dominators = pts[dominating_mask(pts, point)]
+                # Ascending coordinate-sum order, matching the BBS-style
+                # path.
+                order = np.argsort(dominators.sum(axis=1), kind="stable")
+                skyline = [
+                    tuple(map(float, dominators[i])) for i in order
+                ]
+                stats.skyline_points += len(skyline)
+                sp.set(skyline_size=len(skyline))
+                return skyline
+        with span(
+            "join.leaf_skyline", jl_len=len(jl), kernel_or_scalar="scalar"
+        ) as sp:
+            skyline = get_dominating_skyline_multi(jl, point, stats)
+            sp.set(skyline_size=len(skyline))
             return skyline
-        return get_dominating_skyline_multi(jl, point, stats)
 
     def _pair_bounds(self, e_t: Entry, jl: List[Entry]) -> List[Pair]:
         """LBC of ``e_t`` against each join-list entry.
@@ -318,36 +325,49 @@ class JoinUpgrader:
         """Lines 14-20: push each child of ``e_t`` with its filtered list."""
         stats = self.stats
         stats.node_accesses += 1
-        jl_lows = (
-            np.array([e.mbr.low for e in jl], dtype=np.float64)
-            if kernels_enabled() and len(jl) >= _VECTOR_JL_FROM
-            else None
-        )
-        for child in e_t.child.entries:
-            child_corner = child.mbr.high
-            if jl_lows is not None:
-                mask = (jl_lows <= np.asarray(child_corner)).all(axis=1)
-                child_jl = [e for e, keep in zip(jl, mask) if keep]
-            else:
-                child_jl = [
-                    e for e in jl if mbr_overlaps_adr(e.mbr, child_corner)
-                ]
-            stats.entries_pruned += len(jl) - len(child_jl)
-            child_pairs = self._pair_bounds(child, child_jl)
-            child_cost = join_list_bound(self.bound, child_pairs)
-            heapq.heappush(
-                heap,
-                (
-                    child_cost,
-                    _CANDIDATE,
-                    next(counter),
-                    child,
-                    child_jl,
-                    child_pairs,
-                    None,
-                ),
+        with span(
+            "join.expand",
+            jl_len=len(jl),
+            bound_kind=self.bound,
+            children=len(e_t.child.entries),
+        ) as sp:
+            jl_lows = (
+                np.array([e.mbr.low for e in jl], dtype=np.float64)
+                if kernels_enabled() and len(jl) >= _VECTOR_JL_FROM
+                else None
             )
-            stats.heap_pushes += 1
+            sp.set(
+                kernel_or_scalar=(
+                    "kernel" if jl_lows is not None else "scalar"
+                )
+            )
+            for child in e_t.child.entries:
+                child_corner = child.mbr.high
+                if jl_lows is not None:
+                    mask = (jl_lows <= np.asarray(child_corner)).all(axis=1)
+                    child_jl = [e for e, keep in zip(jl, mask) if keep]
+                else:
+                    child_jl = [
+                        e
+                        for e in jl
+                        if mbr_overlaps_adr(e.mbr, child_corner)
+                    ]
+                stats.entries_pruned += len(jl) - len(child_jl)
+                child_pairs = self._pair_bounds(child, child_jl)
+                child_cost = join_list_bound(self.bound, child_pairs)
+                heapq.heappush(
+                    heap,
+                    (
+                        child_cost,
+                        _CANDIDATE,
+                        next(counter),
+                        child,
+                        child_jl,
+                        child_pairs,
+                        None,
+                    ),
+                )
+                stats.heap_pushes += 1
 
     def _pick_competitor_entry(
         self,
@@ -378,6 +398,29 @@ class JoinUpgrader:
         return min(pool, key=lambda item: item[0])[1]
 
     def _refine_join_list(
+        self,
+        e_t: Entry,
+        jl: List[Entry],
+        pairs: List[Pair],
+        picked: Entry,
+    ) -> Tuple[List[Entry], List[Pair]]:
+        """Traced wrapper around :meth:`_refine_join_list_inner`."""
+        use_vector = (
+            kernels_enabled() and len(jl) - 1 >= _VECTOR_JL_FROM
+        )
+        with span(
+            "join.refine",
+            jl_len=len(jl),
+            bound_kind=self.bound,
+            kernel_or_scalar="kernel" if use_vector else "scalar",
+        ) as sp:
+            new_jl, new_pairs = self._refine_join_list_inner(
+                e_t, jl, pairs, picked
+            )
+            sp.set(new_jl_len=len(new_jl))
+            return new_jl, new_pairs
+
+    def _refine_join_list_inner(
         self,
         e_t: Entry,
         jl: List[Entry],

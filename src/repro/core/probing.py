@@ -43,6 +43,7 @@ from repro.instrumentation import Counters, RunReport, Timer
 from repro.kernels.block import PointBlock
 from repro.kernels.dominance import dominating_mask
 from repro.kernels.switch import kernels_enabled
+from repro.obs import span
 from repro.rtree.query import range_query
 from repro.rtree.tree import RTree
 from repro.skyline.bbs import bbs_skyline
@@ -80,7 +81,7 @@ def basic_probing(
     low = _domain_low(competitor_tree, domain_low)
     heap: list = []  # max-heap over cost via negation
     tie = 0
-    with Timer() as timer:
+    with Timer() as timer, span("probing.basic", k=k):
         for record_id, raw in enumerate(products):
             t = tuple(float(v) for v in raw)
             box = MBR(low, tuple(max(a, b) for a, b in zip(low, t)))
@@ -120,7 +121,7 @@ def improved_probing(
     stats = Counters()
     heap: list = []
     tie = 0
-    with Timer() as timer:
+    with Timer() as timer, span("probing.improved", k=k):
         for record_id, raw in enumerate(products):
             t = tuple(float(v) for v in raw)
             skyline = get_dominating_skyline(competitor_tree, t, stats)
@@ -163,7 +164,9 @@ def batch_probing(
     stats = Counters()
     heap: list = []
     tie = 0
-    with Timer() as timer:
+    with Timer() as timer, span(
+        "probing.batch", k=k, products=len(products)
+    ):
         global_skyline = bbs_skyline(competitor_tree, stats)
         sky_block = (
             PointBlock.from_points(global_skyline)

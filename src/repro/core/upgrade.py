@@ -36,6 +36,7 @@ from repro.geometry.point import dominates
 from repro.instrumentation import Counters
 from repro.kernels.switch import kernels_enabled
 from repro.kernels.upgrade_enum import upgrade_kernel
+from repro.obs import span
 
 Point = Tuple[float, ...]
 
@@ -84,26 +85,31 @@ def upgrade(
     if config.validate:
         _validate_antichain(points, p)
 
-    if (
+    use_kernel = (
         kernels_enabled()
         and len(points) >= _VECTOR_THRESHOLD
         and cost_model.supports_vectorization()
+    )
+    with span(
+        "upgrade.algorithm1",
+        skyline_size=len(points),
+        kernel_or_scalar="kernel" if use_kernel else "scalar",
     ):
-        # Columnar path: the whole candidate set priced in one batch
-        # (same visit order as below, so ties resolve identically).
-        if stats is None:
-            return upgrade_kernel(
-                points, p, cost_model, config.epsilon, config.extended
-            )
-        with stats.timed("kernel.upgrade"):
-            return upgrade_kernel(
-                points, p, cost_model, config.epsilon, config.extended
-            )
-
-    if stats is not None:
-        with stats.timed("scalar.upgrade"):
-            return _upgrade_scalar(points, p, cost_model, config)
-    return _upgrade_scalar(points, p, cost_model, config)
+        if use_kernel:
+            # Columnar path: the whole candidate set priced in one batch
+            # (same visit order as below, so ties resolve identically).
+            if stats is None:
+                return upgrade_kernel(
+                    points, p, cost_model, config.epsilon, config.extended
+                )
+            with stats.timed("kernel.upgrade"):
+                return upgrade_kernel(
+                    points, p, cost_model, config.epsilon, config.extended
+                )
+        if stats is not None:
+            with stats.timed("scalar.upgrade"):
+                return _upgrade_scalar(points, p, cost_model, config)
+        return _upgrade_scalar(points, p, cost_model, config)
 
 
 def _upgrade_scalar(

@@ -7,6 +7,8 @@ able to distinguish configuration problems from data problems.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 
 class SkyUpError(Exception):
     """Base class for every exception raised by this library."""
@@ -40,6 +42,28 @@ class RTreeError(SkyUpError):
 
 class ConfigurationError(SkyUpError, ValueError):
     """Raised for invalid algorithm or experiment configuration."""
+
+
+class UnknownOptionError(ConfigurationError):
+    """A string selector was not one of its valid choices.
+
+    Raised up front by :func:`repro.core.api.top_k_upgrades` (and the
+    ``skyup`` CLI plumbing) when ``method``, ``bound``, or ``lbc_mode``
+    is misspelled, so the mistake surfaces before any index is built.
+    The option name, offending value, and valid choices are kept as
+    attributes so callers can render their own message.
+    """
+
+    def __init__(
+        self, option: str, value: object, choices: Sequence[str]
+    ) -> None:
+        self.option = option
+        self.value = value
+        self.choices = tuple(choices)
+        listed = ", ".join(repr(c) for c in self.choices)
+        super().__init__(
+            f"unknown {option} {value!r}; choose from {listed}"
+        )
 
 
 class EngineOverloadedError(SkyUpError, RuntimeError):

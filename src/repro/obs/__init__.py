@@ -1,0 +1,49 @@
+"""Structured request tracing and phase profiling.
+
+This package is the serving stack's observability substrate (and the
+measurement substrate later performance PRs report against): per-request
+traces of nested spans covering every layer a query touches — admission,
+queue wait, cache lookups, the progressive join's heap work, dominator
+skyline traversals with their R-tree node-access counts, Algorithm 1
+invocations, and guard recomputes.
+
+* :mod:`repro.obs.tracer` — :class:`Span` / :class:`Trace` /
+  :class:`Tracer`, the thread-hop :func:`activate` context, and the
+  allocation-free module-level :func:`span` fast path;
+* :mod:`repro.obs.export` — Chrome ``trace_event`` JSON (load it in
+  ``chrome://tracing`` or Perfetto) and the plain-text span tree;
+* :mod:`repro.obs.store` — the engine's bounded ring buffer of kept
+  traces (``engine.recent_traces()``, ``skyup trace``).
+
+The package deliberately imports nothing from the rest of the library so
+every layer (core, rtree, skyline, kernels, serve) can instrument itself
+without cycles.
+"""
+
+from repro.obs.export import format_text, to_chrome_events, to_chrome_json
+from repro.obs.store import TraceStore
+from repro.obs.tracer import (
+    NOOP_SPAN,
+    Span,
+    Trace,
+    Tracer,
+    activate,
+    clock,
+    current_trace,
+    span,
+)
+
+__all__ = [
+    "NOOP_SPAN",
+    "Span",
+    "Trace",
+    "TraceStore",
+    "Tracer",
+    "activate",
+    "clock",
+    "current_trace",
+    "format_text",
+    "span",
+    "to_chrome_events",
+    "to_chrome_json",
+]

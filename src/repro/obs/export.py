@@ -1,0 +1,120 @@
+"""Trace exporters: Chrome ``trace_event`` JSON and a plain-text tree.
+
+:func:`to_chrome_json` renders traces in the Trace Event Format consumed
+by ``chrome://tracing`` and https://ui.perfetto.dev — drop the file onto
+either UI to get a zoomable flame view of one serving run.  Each trace
+becomes one ``tid`` under a shared ``pid`` so concurrent requests stack
+as separate rows; spans are complete ("ph": "X") events with microsecond
+timestamps relative to the earliest span in the batch, and span
+attributes ride along in ``args``.
+
+:func:`format_text` renders an indented span tree for terminals and
+docstrings — the README's Observability section shows one.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.obs.tracer import Span, Trace
+
+__all__ = ["to_chrome_events", "to_chrome_json", "format_text"]
+
+
+def to_chrome_events(
+    traces: Sequence[Trace], pid: int = 1
+) -> List[Dict[str, object]]:
+    """The ``traceEvents`` list for ``traces`` (one ``tid`` per trace).
+
+    Timestamps are microseconds relative to the earliest span across all
+    the traces, so a batch of requests lines up on one shared timeline
+    (queue waits visibly overlap the request that delayed them).
+    """
+    base = min(
+        (t.t0 for t in traces if len(t) > 0), default=0.0
+    )
+    events: List[Dict[str, object]] = []
+    for tid, trace in enumerate(traces, start=1):
+        events.append(
+            {
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "name": "thread_name",
+                "args": {
+                    "name": (
+                        f"{trace.name} #{trace.trace_id} "
+                        f"({trace.duration_s * 1e3:.2f}ms)"
+                    )
+                },
+            }
+        )
+        for sp in trace.spans:
+            args: Dict[str, object] = dict(sp.attrs)
+            if sp.parent == -1 and trace.attrs:
+                args.update({f"trace.{k}": v for k, v in trace.attrs.items()})
+            events.append(
+                {
+                    "ph": "X",
+                    "pid": pid,
+                    "tid": tid,
+                    "name": sp.name,
+                    "cat": sp.layer,
+                    "ts": (sp.t0 - base) * 1e6,
+                    "dur": max(0.0, sp.t1 - sp.t0) * 1e6,
+                    "args": args,
+                }
+            )
+    return events
+
+
+def to_chrome_json(
+    traces: Sequence[Trace], indent: Optional[int] = None
+) -> str:
+    """Serialize ``traces`` as a Trace Event Format JSON document."""
+    return json.dumps(
+        {
+            "traceEvents": to_chrome_events(traces),
+            "displayTimeUnit": "ms",
+        },
+        indent=indent,
+        sort_keys=True,
+        default=str,
+    )
+
+
+def _format_attrs(attrs: Dict[str, object]) -> str:
+    if not attrs:
+        return ""
+    body = " ".join(f"{k}={v}" for k, v in sorted(attrs.items()))
+    return f"  [{body}]"
+
+
+def _format_span(
+    trace: Trace, sp: Span, depth: int, lines: List[str]
+) -> None:
+    lines.append(
+        f"{'  ' * depth}{sp.name:<{max(1, 40 - 2 * depth)}s}"
+        f"{sp.duration_s * 1e3:9.3f}ms{_format_attrs(sp.attrs)}"
+    )
+    for child in trace.children(sp.index):
+        _format_span(trace, child, depth + 1, lines)
+
+
+def format_text(traces: Iterable[Trace]) -> str:
+    """An indented per-trace span tree (durations in milliseconds)."""
+    lines: List[str] = []
+    for trace in traces:
+        header = (
+            f"trace #{trace.trace_id} {trace.name} "
+            f"{trace.duration_s * 1e3:.3f}ms spans={len(trace)}"
+        )
+        if trace.dropped_spans:
+            header += f" dropped={trace.dropped_spans}"
+        if trace.attrs:
+            header += _format_attrs(trace.attrs)
+        lines.append(header)
+        for root in trace.children(-1):
+            _format_span(trace, root, 1, lines)
+    return "\n".join(lines)

@@ -1,0 +1,71 @@
+"""A bounded ring buffer of kept traces.
+
+The serving engine owns one :class:`TraceStore`; every request trace the
+:class:`~repro.obs.tracer.Tracer` decides to keep is added here, and the
+oldest traces are evicted once the buffer is full (recent behaviour is
+what a live investigation wants — the same argument as the metrics
+layer's rolling latency window).  ``engine.recent_traces()`` and the
+``skyup trace`` CLI read from it.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Deque, Dict, List
+
+from repro.obs.tracer import Trace
+
+__all__ = ["TraceStore"]
+
+
+class TraceStore:
+    """Thread-safe bounded buffer of finished traces."""
+
+    def __init__(self, capacity: int = 64):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._traces: Deque[Trace] = deque(
+            maxlen=capacity
+        )  # guarded-by: _lock
+        self._lock = threading.Lock()
+        self.added = 0  # guarded-by: _lock
+
+    def add(self, trace: Trace) -> None:
+        """Keep one finished trace (evicting the oldest at capacity)."""
+        with self._lock:
+            self._traces.append(trace)
+            self.added += 1
+
+    def snapshot(self) -> List[Trace]:
+        """The retained traces, oldest first."""
+        with self._lock:
+            return list(self._traces)
+
+    def slowest(self, n: int = 5) -> List[Trace]:
+        """The ``n`` retained traces with the longest durations."""
+        with self._lock:
+            retained = list(self._traces)
+        retained.sort(key=lambda t: t.duration_s, reverse=True)
+        return retained[:n]
+
+    def clear(self) -> int:
+        """Drop every retained trace; returns how many were dropped."""
+        with self._lock:
+            n = len(self._traces)
+            self._traces.clear()
+            return n
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._traces)
+
+    def stats(self) -> Dict[str, int]:
+        """JSON-ready counters for the metrics snapshot."""
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "retained": len(self._traces),
+                "added": self.added,
+            }

@@ -1,0 +1,421 @@
+"""The sampling structured tracer: per-request traces of nested spans.
+
+A :class:`Trace` is a flat list of :class:`Span` records (name, start,
+end, parent index, free-form attributes) plus a per-trace stack of open
+spans.  Code anywhere in the library opens spans through the
+module-level :func:`span` function::
+
+    from repro.obs import span
+
+    with span("dominators.skyline") as sp:
+        result = traverse(...)
+        sp.set(skyline_size=len(result), kernel_or_scalar="kernel")
+
+The fast path mirrors :mod:`repro.kernels.switch`: when no trace is
+active on the calling thread, :func:`span` returns one shared
+:data:`NOOP_SPAN` instance — a thread-local read and an attribute load,
+no allocation, no timestamps.  Instrumented hot paths therefore cost a
+function call when tracing is off (the recorded overhead bound lives in
+``benchmarks/results/BENCH_obs.json``).
+
+**Sampling.**  The :class:`Tracer` draws one seeded sampling decision
+per request (``sample_rate``).  With ``slow_threshold_s`` set, *every*
+request is recorded and the keep/drop decision is deferred to
+:meth:`Tracer.finish`: traces slower than the threshold are always kept
+(tail-based sampling — the p95 outliers are exactly the traces worth
+explaining), sampled ones are kept, everything else is discarded.
+
+**Thread hop.**  A trace is created where the request is admitted, rides
+on the request object across the queue, and is re-activated on the
+worker thread with :func:`activate` — spans opened on both sides nest
+under the same root.  A trace must only ever be active on one thread at
+a time (true by construction for the serving engine: one worker owns a
+request's execution).
+
+Spans are capped per trace (``max_spans``); once the cap is hit, further
+spans still time correctly for their parents but are not recorded, and
+``trace.dropped_spans`` counts them — a runaway loop cannot turn one
+trace into a memory leak.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Tuple
+
+__all__ = [
+    "NOOP_SPAN",
+    "Span",
+    "Trace",
+    "Tracer",
+    "activate",
+    "clock",
+    "current_trace",
+    "span",
+]
+
+_LOCAL = threading.local()
+
+#: The span clock.  Retroactive spans (:meth:`Trace.record`) must be
+#: stamped on the same clock as live spans, so callers building their own
+#: timestamps read it from here — this alias is the sanctioned way to do
+#: that in the serve/core layers, where the SKY601 lint rule keeps raw
+#: ``time.perf_counter()`` calls out of the hot paths.
+clock = time.perf_counter
+
+
+class Span:
+    """One recorded operation: a name, a time range, a parent, attributes.
+
+    Attributes:
+        name: dotted operation name; the first segment is the *layer*
+            (``engine.execute`` → layer ``engine``).
+        t0: ``perf_counter`` start time.
+        t1: ``perf_counter`` end time (0.0 while still open).
+        parent: index of the parent span in the owning trace's span list,
+            or -1 for the root.
+        index: this span's own index in that list.
+        attrs: free-form attributes (``cache_hit``, ``jl_len``,
+            ``node_accesses``, ``kernel_or_scalar``, ...).
+    """
+
+    __slots__ = ("name", "t0", "t1", "parent", "index", "attrs", "_trace")
+
+    def __init__(
+        self, trace: "Trace", name: str, parent: int, index: int
+    ):
+        self._trace = trace
+        self.name = name
+        self.parent = parent
+        self.index = index
+        self.t0 = 0.0
+        self.t1 = 0.0
+        self.attrs: Dict[str, object] = {}
+
+    @property
+    def duration_s(self) -> float:
+        """Elapsed seconds (0.0 while the span is still open)."""
+        return max(0.0, self.t1 - self.t0)
+
+    @property
+    def layer(self) -> str:
+        """First dotted segment of the name (``join.refine`` → ``join``)."""
+        return self.name.split(".", 1)[0]
+
+    def set(self, **attrs: object) -> "Span":
+        """Attach attributes; returns self for chaining."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        self.t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.t1 = time.perf_counter()
+        self._trace._pop(self)
+
+    def close(self) -> None:
+        """End the span explicitly (equivalent to leaving its ``with``).
+
+        The serving engine uses this for the root request span, whose
+        extent (admission to resolution) does not fit one lexical block.
+        """
+        self.__exit__(None, None, None)
+
+    def __repr__(self) -> str:
+        return (
+            f"Span({self.name!r}, {self.duration_s * 1e3:.3f}ms, "
+            f"attrs={self.attrs})"
+        )
+
+
+class _NoopSpan:
+    """The shared do-nothing span returned when tracing is off.
+
+    Supports the full :class:`Span` surface so instrumented code never
+    branches on whether tracing is active.
+    """
+
+    __slots__ = ()
+
+    t0 = 0.0
+    t1 = 0.0
+    duration_s = 0.0
+
+    def set(self, **attrs: object) -> "_NoopSpan":
+        return self
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+    def close(self) -> None:
+        return None
+
+    def __repr__(self) -> str:
+        return "NOOP_SPAN"
+
+
+#: The single module-wide no-op span (allocation-free off path).
+NOOP_SPAN = _NoopSpan()
+
+
+class Trace:
+    """All spans recorded for one request, in creation order.
+
+    Build spans through :meth:`span` (or the module-level :func:`span`
+    while the trace is active); finished traces are rendered by
+    :mod:`repro.obs.export` and kept in a
+    :class:`~repro.obs.store.TraceStore`.
+    """
+
+    __slots__ = (
+        "name",
+        "trace_id",
+        "spans",
+        "attrs",
+        "sampled",
+        "dropped_spans",
+        "max_spans",
+        "_stack",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        trace_id: int = 0,
+        sampled: bool = True,
+        max_spans: int = 20_000,
+    ):
+        self.name = name
+        self.trace_id = trace_id
+        self.sampled = sampled
+        self.max_spans = max_spans
+        self.spans: List[Span] = []
+        self.attrs: Dict[str, object] = {}
+        self.dropped_spans = 0
+        self._stack: List[int] = []
+
+    # -- recording -------------------------------------------------------------
+
+    def span(self, name: str, **attrs: object):
+        """Open a child span under the innermost open span."""
+        if len(self.spans) >= self.max_spans:
+            self.dropped_spans += 1
+            return NOOP_SPAN
+        parent = self._stack[-1] if self._stack else -1
+        sp = Span(self, name, parent, len(self.spans))
+        if attrs:
+            sp.attrs.update(attrs)
+        self.spans.append(sp)
+        self._stack.append(sp.index)
+        return sp
+
+    def record(
+        self, name: str, t0: float, t1: float, **attrs: object
+    ) -> None:
+        """Record a retroactive span from explicit timestamps.
+
+        The serving engine uses this for queue wait: the span's extent is
+        known only after the worker picked the request up.
+        """
+        if len(self.spans) >= self.max_spans:
+            self.dropped_spans += 1
+            return
+        parent = self._stack[-1] if self._stack else -1
+        sp = Span(self, name, parent, len(self.spans))
+        sp.t0 = t0
+        sp.t1 = t1
+        if attrs:
+            sp.attrs.update(attrs)
+        self.spans.append(sp)
+
+    def _pop(self, sp: Span) -> None:
+        # Exits may interleave oddly under exceptions; unwind to the span.
+        while self._stack:
+            top = self._stack.pop()
+            if top == sp.index:
+                break
+
+    # -- inspection ------------------------------------------------------------
+
+    @property
+    def t0(self) -> float:
+        """Start of the earliest span (0.0 for an empty trace)."""
+        return min((s.t0 for s in self.spans), default=0.0)
+
+    @property
+    def duration_s(self) -> float:
+        """Extent from the earliest start to the latest end."""
+        if not self.spans:
+            return 0.0
+        return max(s.t1 for s in self.spans) - self.t0
+
+    def children(self, index: int) -> List[Span]:
+        """Direct children of the span at ``index`` (-1 for roots)."""
+        return [s for s in self.spans if s.parent == index]
+
+    def layers(self) -> List[str]:
+        """Sorted distinct layer names present in this trace."""
+        return sorted({s.layer for s in self.spans})
+
+    def find(self, name: str) -> List[Span]:
+        """Every span with exactly this name."""
+        return [s for s in self.spans if s.name == name]
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def __repr__(self) -> str:
+        return (
+            f"Trace({self.name!r}, id={self.trace_id}, "
+            f"spans={len(self.spans)}, "
+            f"{self.duration_s * 1e3:.3f}ms)"
+        )
+
+
+def current_trace() -> Optional[Trace]:
+    """The trace active on this thread, or None."""
+    return getattr(_LOCAL, "trace", None)
+
+
+def span(name: str, **attrs: object):
+    """Open a span on this thread's active trace (no-op when untraced).
+
+    This is the one instrumentation entry point the rest of the library
+    uses.  The off path returns the shared :data:`NOOP_SPAN` without
+    allocating.
+    """
+    trace: Optional[Trace] = getattr(_LOCAL, "trace", None)
+    if trace is None:
+        return NOOP_SPAN
+    return trace.span(name, **attrs)
+
+
+@contextmanager
+def activate(trace: Optional[Trace]) -> Iterator[Optional[Trace]]:
+    """Make ``trace`` the active trace for this thread's block.
+
+    ``None`` is accepted and leaves tracing off — callers can pass a
+    request's (possibly absent) trace without branching.  Nests: the
+    previously active trace is restored on exit.
+    """
+    previous: Optional[Trace] = getattr(_LOCAL, "trace", None)
+    _LOCAL.trace = trace
+    try:
+        yield trace
+    finally:
+        _LOCAL.trace = previous
+
+
+class Tracer:
+    """Per-request sampling decisions plus trace construction.
+
+    Args:
+        sample_rate: fraction of requests traced head-on (0.0 = none,
+            1.0 = all).  Draws come from a seeded PRNG so a fixed seed
+            yields a deterministic keep sequence.
+        slow_threshold_s: when set, *every* request is recorded and a
+            trace is kept if its duration reaches the threshold, even
+            when the sampling draw said no (tail-based sampling).
+        seed: PRNG seed for the sampling draws.
+        max_spans: per-trace span cap (see :class:`Trace`).
+    """
+
+    def __init__(
+        self,
+        sample_rate: float = 0.0,
+        slow_threshold_s: Optional[float] = None,
+        seed: int = 2012,
+        max_spans: int = 20_000,
+    ):
+        if not 0.0 <= sample_rate <= 1.0:
+            raise ValueError(
+                f"sample_rate must be in [0, 1], got {sample_rate}"
+            )
+        if slow_threshold_s is not None and slow_threshold_s < 0:
+            raise ValueError(
+                f"slow_threshold_s must be >= 0, got {slow_threshold_s}"
+            )
+        self.sample_rate = sample_rate
+        self.slow_threshold_s = slow_threshold_s
+        self.max_spans = max_spans
+        self._rng = random.Random(seed)  # guarded-by: _lock
+        self._lock = threading.Lock()
+        self._next_id = 1  # guarded-by: _lock
+        self.started = 0  # guarded-by: _lock
+        self.kept = 0  # guarded-by: _lock
+
+    @property
+    def enabled(self) -> bool:
+        """True iff any request could ever produce a trace."""
+        return self.sample_rate > 0.0 or self.slow_threshold_s is not None
+
+    def start(self, name: str, **attrs: object) -> Optional[Trace]:
+        """Begin a trace for one request, or None when not recording.
+
+        The off path (``sample_rate == 0`` and no slow threshold) costs
+        one attribute read and no lock.
+        """
+        if not self.enabled:
+            return None
+        with self._lock:
+            sampled = (
+                self.sample_rate > 0.0
+                and self._rng.random() < self.sample_rate
+            )
+            if not sampled and self.slow_threshold_s is None:
+                return None
+            trace_id = self._next_id
+            self._next_id += 1
+            self.started += 1
+        trace = Trace(
+            name, trace_id=trace_id, sampled=sampled,
+            max_spans=self.max_spans,
+        )
+        if attrs:
+            trace.attrs.update(attrs)
+        return trace
+
+    def finish(self, trace: Optional[Trace]) -> Tuple[bool, Optional[Trace]]:
+        """Close a trace; returns ``(keep, trace)``.
+
+        ``keep`` is True when the trace was head-sampled or its duration
+        reached ``slow_threshold_s`` (the trace's ``slow`` attribute then
+        records which).  Callers hand kept traces to a
+        :class:`~repro.obs.store.TraceStore`.
+        """
+        if trace is None:
+            return False, None
+        slow = (
+            self.slow_threshold_s is not None
+            and trace.duration_s >= self.slow_threshold_s
+        )
+        keep = trace.sampled or slow
+        if keep:
+            trace.attrs["slow"] = slow
+            with self._lock:
+                self.kept += 1
+        return keep, trace
+
+    def stats(self) -> Dict[str, object]:
+        """JSON-ready counters for the engine metrics snapshot."""
+        with self._lock:
+            return {
+                "sample_rate": self.sample_rate,
+                "slow_threshold_s": self.slow_threshold_s,
+                "started": self.started,
+                "kept": self.kept,
+            }
+
+    def __repr__(self) -> str:
+        return (
+            f"Tracer(sample_rate={self.sample_rate}, "
+            f"slow_threshold_s={self.slow_threshold_s})"
+        )

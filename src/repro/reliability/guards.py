@@ -25,6 +25,7 @@ from typing import Dict, List, Sequence, Tuple
 
 from repro.exceptions import KernelDivergenceError
 from repro.kernels.switch import set_kernels_enabled
+from repro.obs import span
 
 Point = Tuple[float, ...]
 
@@ -92,19 +93,21 @@ class KernelGuard:
 
     def record_divergence(self, error: KernelDivergenceError) -> bool:
         """Log one divergence; returns True if it triggered quarantine."""
-        with self._lock:
-            self.divergences.append(error)
-            if (
-                not self.quarantined
-                and len(self.divergences) >= self.quarantine_after
-            ):
-                self.quarantined = True
-                triggered = True
-            else:
-                triggered = False
-        if triggered:
-            set_kernels_enabled(False)
-        return triggered
+        with span("guard.divergence") as sp:
+            with self._lock:
+                self.divergences.append(error)
+                if (
+                    not self.quarantined
+                    and len(self.divergences) >= self.quarantine_after
+                ):
+                    self.quarantined = True
+                    triggered = True
+                else:
+                    triggered = False
+            if triggered:
+                set_kernels_enabled(False)
+            sp.set(quarantined=triggered)
+            return triggered
 
     def reset(self, re_enable_kernels: bool = True) -> None:
         """Clear divergence state and (optionally) lift the quarantine."""

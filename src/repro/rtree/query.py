@@ -16,6 +16,7 @@ from typing import List, Optional, Sequence, Tuple
 from repro.exceptions import ConfigurationError
 from repro.geometry.mbr import MBR
 from repro.instrumentation import Counters
+from repro.obs import span
 from repro.reliability.faults import maybe_inject
 from repro.rtree.node import Node
 from repro.rtree.tree import RTree
@@ -32,23 +33,27 @@ def range_query(
     maybe_inject("rtree.query")
     if tree.is_empty():
         return []
-    results: List[PointRecord] = []
-    stack: List[Node] = [tree.root]
-    while stack:
-        node = stack.pop()
+    with span("rtree.range_query") as sp:
+        node_accesses = 0
+        results: List[PointRecord] = []
+        stack: List[Node] = [tree.root]
+        while stack:
+            node = stack.pop()
+            node_accesses += 1
+            if node.is_leaf:
+                for e in node.entries:
+                    if stats is not None:
+                        stats.points_scanned += 1
+                    if box.contains_point(e.point):
+                        results.append((e.point, e.record_id))
+            else:
+                for e in node.entries:
+                    if box.intersects(e.mbr):
+                        stack.append(e.child)
         if stats is not None:
-            stats.node_accesses += 1
-        if node.is_leaf:
-            for e in node.entries:
-                if stats is not None:
-                    stats.points_scanned += 1
-                if box.contains_point(e.point):
-                    results.append((e.point, e.record_id))
-        else:
-            for e in node.entries:
-                if box.intersects(e.mbr):
-                    stack.append(e.child)
-    return results
+            stats.node_accesses += node_accesses
+        sp.set(node_accesses=node_accesses, matches=len(results))
+        return results
 
 
 def point_query(
@@ -78,37 +83,46 @@ def knn_query(
     maybe_inject("rtree.query")
     if tree.is_empty():
         return []
-    counter = itertools.count()
-    heap: List[Tuple[float, int, object]] = [
-        (0.0, next(counter), tree.root)
-    ]
-    results: List[PointRecord] = []
-    while heap and len(results) < k:
-        dist, _, item = heapq.heappop(heap)
-        if stats is not None:
-            stats.heap_pops += 1
-        if isinstance(item, Node):
+    with span("rtree.knn", k=k) as sp:
+        node_accesses = 0
+        counter = itertools.count()
+        heap: List[Tuple[float, int, object]] = [
+            (0.0, next(counter), tree.root)
+        ]
+        results: List[PointRecord] = []
+        while heap and len(results) < k:
+            dist, _, item = heapq.heappop(heap)
             if stats is not None:
-                stats.node_accesses += 1
-            if item.is_leaf:
-                for e in item.entries:
-                    d = _sq_distance(point, e.point)
-                    heapq.heappush(
-                        heap, (d, next(counter), (e.point, e.record_id))
-                    )
-                    if stats is not None:
-                        stats.heap_pushes += 1
+                stats.heap_pops += 1
+            if isinstance(item, Node):
+                node_accesses += 1
+                if item.is_leaf:
+                    for e in item.entries:
+                        d = _sq_distance(point, e.point)
+                        heapq.heappush(
+                            heap,
+                            (d, next(counter), (e.point, e.record_id)),
+                        )
+                        if stats is not None:
+                            stats.heap_pushes += 1
+                else:
+                    for e in item.entries:
+                        heapq.heappush(
+                            heap,
+                            (
+                                e.mbr.min_distance(point),
+                                next(counter),
+                                e.child,
+                            ),
+                        )
+                        if stats is not None:
+                            stats.heap_pushes += 1
             else:
-                for e in item.entries:
-                    heapq.heappush(
-                        heap,
-                        (e.mbr.min_distance(point), next(counter), e.child),
-                    )
-                    if stats is not None:
-                        stats.heap_pushes += 1
-        else:
-            results.append(item)  # a finalized (point, record_id) pair
-    return results
+                results.append(item)  # a finalized (point, record_id) pair
+        if stats is not None:
+            stats.node_accesses += node_accesses
+        sp.set(node_accesses=node_accesses, found=len(results))
+        return results
 
 
 def intersects_dominance_region(
@@ -135,21 +149,27 @@ def intersects_dominance_region(
     maybe_inject("rtree.query")
     if tree.is_empty():
         return False
-    c = tuple(float(v) for v in corner)
-    stack: List[Node] = [tree.root]
-    while stack:
-        node = stack.pop()
+    with span("rtree.dominance_probe") as sp:
+        node_accesses = 0
+        found = False
+        c = tuple(float(v) for v in corner)
+        stack: List[Node] = [tree.root]
+        while stack and not found:
+            node = stack.pop()
+            node_accesses += 1
+            if node.is_leaf:
+                for e in node.entries:
+                    if all(v >= b for v, b in zip(e.point, c)):
+                        found = True
+                        break
+            else:
+                for e in node.entries:
+                    if all(h >= b for h, b in zip(e.mbr.high, c)):
+                        stack.append(e.child)
         if stats is not None:
-            stats.node_accesses += 1
-        if node.is_leaf:
-            for e in node.entries:
-                if all(v >= b for v, b in zip(e.point, c)):
-                    return True
-        else:
-            for e in node.entries:
-                if all(h >= b for h, b in zip(e.mbr.high, c)):
-                    stack.append(e.child)
-    return False
+            stats.node_accesses += node_accesses
+        sp.set(node_accesses=node_accesses, intersects=found)
+        return found
 
 
 def _sq_distance(a: Sequence[float], b: Sequence[float]) -> float:

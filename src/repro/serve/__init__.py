@@ -7,6 +7,8 @@ direction):
 
 * :mod:`repro.serve.engine` — :class:`UpgradeEngine`: batch execution,
   deadlines with partial results, synchronous and pooled submission;
+* :mod:`repro.serve.config` — :class:`EngineConfig`, the consolidated,
+  validated engine configuration (tracing knobs included);
 * :mod:`repro.serve.cache` — epoch-versioned skyline / top-k caches with
   precise region-overlap invalidation;
 * :mod:`repro.serve.pool` — the bounded thread worker pool and the
@@ -18,6 +20,7 @@ direction):
 """
 
 from repro.serve.cache import CacheStats, SkylineCache, TopKCache
+from repro.serve.config import EngineConfig
 from repro.serve.engine import (
     PendingQuery,
     ProductQuery,
@@ -31,6 +34,7 @@ from repro.serve.pool import ReadWriteLock, WorkerPool
 
 __all__ = [
     "CacheStats",
+    "EngineConfig",
     "EngineMetrics",
     "PendingQuery",
     "ProductQuery",

@@ -29,8 +29,10 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.core.session import MarketSession
+from repro.obs import Trace
 from repro.reliability.faults import FaultInjector, FaultPlan, inject_faults
 from repro.reliability.guards import KernelGuard
+from repro.serve.config import EngineConfig
 from repro.serve.engine import ProductQuery, Query, TopKQuery, UpgradeEngine
 
 _BATCH = 32
@@ -96,9 +98,11 @@ def _replay(
     # cached-vs-cold comparison against the recorded baseline.
     engine = UpgradeEngine(
         session,
-        workers=0,
-        cache=cache,
-        kernel_guard=KernelGuard(sample_rate=0.0),
+        EngineConfig(
+            workers=0,
+            cache=cache,
+            kernel_guard=KernelGuard(sample_rate=0.0),
+        ),
     )
     injector: Optional[FaultInjector] = None
     try:
@@ -231,6 +235,54 @@ def run_serve_bench(
             else None
         ),
     }
+
+
+def run_trace_workload(
+    n_competitors: int = 2000,
+    n_products: int = 800,
+    dims: int = 3,
+    distribution: str = "independent",
+    n_requests: int = 200,
+    hot_pool: int = 32,
+    topk_every: int = 25,
+    k: int = 5,
+    seed: int = 2012,
+    workers: int = 2,
+    session: Optional[MarketSession] = None,
+) -> List[Trace]:
+    """Replay a request stream with tracing on; returns the kept traces.
+
+    Every request is traced (``trace_sample_rate=1.0``) and the trace
+    store is sized to hold the whole stream, so the caller can rank all
+    of them — ``skyup trace`` dumps the slowest N.  The pooled submission
+    path is used (unlike :func:`run_serve_bench`'s synchronous replay):
+    the point of a trace dump is to see queue waits and batch execution,
+    which only exist with workers.
+    """
+    if session is None:
+        session = build_session(
+            n_competitors, n_products, dims, distribution, seed
+        )
+    requests = generate_requests(
+        n_requests,
+        session.product_count,
+        hot_pool=hot_pool,
+        topk_every=topk_every,
+        k=k,
+        seed=seed + 1,
+    )
+    config = EngineConfig(
+        workers=max(1, workers),
+        queue_capacity=max(1024, len(requests)),
+        trace_sample_rate=1.0,
+        trace_store_capacity=max(1, len(requests)),
+        trace_seed=seed,
+    )
+    with UpgradeEngine(session, config) as engine:
+        pending = engine.submit_batch(requests)
+        for p in pending:
+            p.result()
+        return engine.recent_traces()
 
 
 def format_report(report: Dict[str, object]) -> str:

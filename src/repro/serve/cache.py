@@ -35,6 +35,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.types import UpgradeResult
 from repro.geometry.region import point_in_adr
+from repro.obs import span
 
 Point = Tuple[float, ...]
 Epoch = Tuple[int, int]
@@ -100,13 +101,15 @@ class SkylineCache:
     def get(self, corner: Sequence[float]) -> Optional[_SkyEntry]:
         """The live entry for ``corner``, or None (counts hit/miss)."""
         key = tuple(corner)
-        with self._lock:
-            entry = self._entries.get(key)
-            if entry is None:
-                self.stats.misses += 1
-                return None
-            self._entries.move_to_end(key)
-            self.stats.hits += 1
+        with span("cache.skyline_get") as sp:
+            with self._lock:
+                entry = self._entries.get(key)
+                if entry is not None:
+                    self._entries.move_to_end(key)
+                    self.stats.hits += 1
+                else:
+                    self.stats.misses += 1
+            sp.set(cache_hit=entry is not None)
             return entry
 
     def put(
@@ -118,13 +121,14 @@ class SkylineCache:
     ) -> None:
         """Store the skyline/upgrade computed for ``corner`` at ``epoch``."""
         key = tuple(corner)
-        with self._lock:
-            self._entries[key] = _SkyEntry(skyline, result, epoch)
-            self._entries.move_to_end(key)
-            self.stats.puts += 1
-            while len(self._entries) > self.max_entries:
-                self._entries.popitem(last=False)
-                self.stats.evictions += 1
+        with span("cache.skyline_put", skyline_size=len(skyline)):
+            with self._lock:
+                self._entries[key] = _SkyEntry(skyline, result, epoch)
+                self._entries.move_to_end(key)
+                self.stats.puts += 1
+                while len(self._entries) > self.max_entries:
+                    self._entries.popitem(last=False)
+                    self.stats.evictions += 1
 
     def invalidate_point(self, point: Sequence[float]) -> int:
         """Drop entries whose ADR contains ``point``; returns the count.
@@ -133,13 +137,15 @@ class SkylineCache:
         changed skylines whose query corner is weakly dominated by it.
         """
         p = tuple(point)
-        with self._lock:
-            stale = [
-                key for key in self._entries if point_in_adr(p, key)
-            ]
-            for key in stale:
-                del self._entries[key]
-            self.stats.invalidations += len(stale)
+        with span("cache.skyline_invalidate") as sp:
+            with self._lock:
+                stale = [
+                    key for key in self._entries if point_in_adr(p, key)
+                ]
+                for key in stale:
+                    del self._entries[key]
+                self.stats.invalidations += len(stale)
+            sp.set(invalidated=len(stale))
             return len(stale)
 
     def invalidate_region(
@@ -198,11 +204,16 @@ class TopKCache:
         ``results`` has ``min(k, |catalog|)`` entries; ``exhausted`` tells
         the caller whether the underlying stream had drained.
         """
-        with self._lock:
-            if self._valid and (len(self._prefix) >= k or self._exhausted):
-                self.stats.hits += 1
-                return self._prefix[:k], self._exhausted
-            self.stats.misses += 1
+        with span("cache.topk_get", k=k) as sp:
+            with self._lock:
+                if self._valid and (
+                    len(self._prefix) >= k or self._exhausted
+                ):
+                    self.stats.hits += 1
+                    sp.set(cache_hit=True)
+                    return self._prefix[:k], self._exhausted
+                self.stats.misses += 1
+            sp.set(cache_hit=False)
             return None
 
     def put(
@@ -217,14 +228,15 @@ class TopKCache:
         stored prefix is only ever valid because no overlapping mutation
         occurred, in which case it is correct at the current epoch too.
         """
-        with self._lock:
-            if self._valid and len(self._prefix) >= len(results):
-                return
-            self._prefix = list(results)
-            self._exhausted = exhausted
-            self._valid = True
-            self._epoch = epoch
-            self.stats.puts += 1
+        with span("cache.topk_put", prefix_length=len(results)):
+            with self._lock:
+                if self._valid and len(self._prefix) >= len(results):
+                    return
+                self._prefix = list(results)
+                self._exhausted = exhausted
+                self._valid = True
+                self._epoch = epoch
+                self.stats.puts += 1
 
     def invalidate(self) -> None:
         """Drop the cached prefix (product mutation / overlapping region)."""

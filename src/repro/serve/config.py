@@ -1,0 +1,160 @@
+"""The consolidated serving-engine configuration.
+
+:class:`EngineConfig` is the one place every :class:`UpgradeEngine`
+tunable lives.  It is a frozen dataclass so a config can be shared
+between engines, logged, and compared; ``dataclasses.replace`` derives
+variants (the benchmark harness builds its cold/warm configs that way).
+Validation happens at construction — a bad value fails fast with a
+:class:`~repro.exceptions.ConfigurationError` instead of surfacing as a
+confusing runtime failure deep inside the pool or tracer.
+
+The legacy keyword style (``UpgradeEngine(session, workers=4, ...)``)
+still works for one release: the engine folds the kwargs into an
+:class:`EngineConfig` and emits a single :class:`DeprecationWarning`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, fields
+from typing import Dict, Optional
+
+from repro.exceptions import ConfigurationError
+from repro.reliability.guards import KernelGuard
+from repro.reliability.retry import RetryPolicy
+
+__all__ = ["EngineConfig"]
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Every :class:`~repro.serve.engine.UpgradeEngine` tunable.
+
+    Attributes:
+        workers: worker-pool threads (0 = synchronous-only engine: no
+            pool, ``submit`` unavailable, ``query``/``execute_batch``
+            still work).
+        queue_capacity: admission bound of the request queue.
+        batch_max: largest batch a worker drains at once.
+        cache: enable the epoch-versioned caches (disable to measure
+            the cold path — ``skyup serve-bench`` does exactly that).
+        skyline_cache_entries: LRU capacity of the skyline cache.
+        default_deadline_s: deadline applied to queries that do not
+            carry their own (``None`` = no deadline).
+        metrics_window: rolling latency window of the metrics layer.
+        retry_policy: backoff policy for transiently-failed requests
+            (``None`` = the default :class:`RetryPolicy`; use
+            ``RetryPolicy(max_attempts=1)`` to disable retries).
+        kernel_guard: the sampling kernel-vs-scalar cross-checker
+            (``None`` = a default 5%-sampling guard; use
+            ``KernelGuard(sample_rate=0.0)`` to disable).
+        index_check_every: validate both R-trees every N-th catalog
+            mutation (0 = never).
+        trace_sample_rate: fraction of requests traced by the
+            structured tracer (0.0 = tracing off — the allocation-free
+            fast path).
+        trace_slow_s: when set, every request is recorded and traces at
+            least this slow are always kept, even when the sampling
+            draw said no (tail-based sampling).
+        trace_store_capacity: ring-buffer capacity of kept traces
+            (``engine.recent_traces()``).
+        trace_seed: PRNG seed for the sampling draws.
+        trace_max_spans: per-trace span cap (runaway-loop backstop).
+    """
+
+    workers: int = 2
+    queue_capacity: int = 1024
+    batch_max: int = 64
+    cache: bool = True
+    skyline_cache_entries: int = 4096
+    default_deadline_s: Optional[float] = None
+    metrics_window: int = 2048
+    retry_policy: Optional[RetryPolicy] = None
+    kernel_guard: Optional[KernelGuard] = None
+    index_check_every: int = 64
+    trace_sample_rate: float = 0.0
+    trace_slow_s: Optional[float] = None
+    trace_store_capacity: int = 64
+    trace_seed: int = 2012
+    trace_max_spans: int = 20_000
+
+    def __post_init__(self) -> None:
+        if self.workers < 0:
+            raise ConfigurationError(
+                f"workers must be >= 0, got {self.workers}"
+            )
+        if self.queue_capacity < 1:
+            raise ConfigurationError(
+                f"queue_capacity must be >= 1, got {self.queue_capacity}"
+            )
+        if self.batch_max < 1:
+            raise ConfigurationError(
+                f"batch_max must be >= 1, got {self.batch_max}"
+            )
+        if self.skyline_cache_entries < 1:
+            raise ConfigurationError(
+                f"skyline_cache_entries must be >= 1, got "
+                f"{self.skyline_cache_entries}"
+            )
+        if self.metrics_window < 1:
+            raise ConfigurationError(
+                f"metrics_window must be >= 1, got {self.metrics_window}"
+            )
+        if (
+            self.default_deadline_s is not None
+            and self.default_deadline_s < 0
+        ):
+            # 0.0 is legal: an already-expired deadline immediately yields
+            # a partial response (the degradation path, testable directly).
+            raise ConfigurationError(
+                f"default_deadline_s must be >= 0, got "
+                f"{self.default_deadline_s}"
+            )
+        if self.index_check_every < 0:
+            raise ConfigurationError(
+                f"index_check_every must be >= 0, got "
+                f"{self.index_check_every}"
+            )
+        if not 0.0 <= self.trace_sample_rate <= 1.0:
+            raise ConfigurationError(
+                f"trace_sample_rate must be in [0, 1], got "
+                f"{self.trace_sample_rate}"
+            )
+        if self.trace_slow_s is not None and self.trace_slow_s < 0:
+            raise ConfigurationError(
+                f"trace_slow_s must be >= 0, got {self.trace_slow_s}"
+            )
+        if self.trace_store_capacity < 1:
+            raise ConfigurationError(
+                f"trace_store_capacity must be >= 1, got "
+                f"{self.trace_store_capacity}"
+            )
+        if self.trace_max_spans < 1:
+            raise ConfigurationError(
+                f"trace_max_spans must be >= 1, got {self.trace_max_spans}"
+            )
+
+    @classmethod
+    def field_names(cls) -> tuple:
+        """The configurable field names (the legacy-kwarg surface)."""
+        return tuple(f.name for f in fields(cls))
+
+    def describe(self) -> Dict[str, object]:
+        """A JSON-ready snapshot of every field.
+
+        The two policy objects are expanded to their own parameter
+        dicts; ``None`` stays ``None`` so the reader can tell "engine
+        default" from an explicit policy.
+        """
+        out: Dict[str, object] = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if isinstance(value, RetryPolicy):
+                value = asdict(value)
+            elif isinstance(value, KernelGuard):
+                value = {
+                    "sample_rate": value.sample_rate,
+                    "tolerance": value.tolerance,
+                    "quarantine_after": value.quarantine_after,
+                }
+            out[f.name] = value
+        return out

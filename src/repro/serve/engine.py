@@ -29,6 +29,18 @@ for production-style serving:
   faults degrading to recomputes, a sampling kernel-vs-scalar result
   guard that quarantines diverging kernels, and a budgeted R-tree
   invariant check after catalog mutations.
+* **Tracing** (:mod:`repro.obs`) — a sampled request produces a
+  structured trace of nested spans covering every phase it passes
+  through (admission, queue wait, cache lookups, the join's heap work,
+  R-tree traversals, guard recomputes).  The trace is created at
+  admission, rides on the :class:`PendingQuery` across the queue, and is
+  re-activated on the worker thread; kept traces land in
+  :meth:`UpgradeEngine.recent_traces` and the ``skyup trace`` CLI.
+
+Configuration is consolidated in the frozen
+:class:`~repro.serve.config.EngineConfig` dataclass; the legacy keyword
+style (``UpgradeEngine(session, workers=4)``) still works for one
+release and emits a single :class:`DeprecationWarning`.
 
 Deadlines are *cooperative*: they are checked between progressive results,
 so a response can overshoot by at most one result-to-result step of the
@@ -41,7 +53,8 @@ session is not itself thread-safe.
 Example::
 
     session = MarketSession.from_points(P, T)
-    with UpgradeEngine(session, workers=4) as engine:
+    config = EngineConfig(workers=4, trace_sample_rate=0.1)
+    with UpgradeEngine(session, config) as engine:
         pending = engine.submit_batch(
             [TopKQuery(k=5), TopKQuery(k=10, deadline_s=0.05)]
         )
@@ -54,7 +67,8 @@ from __future__ import annotations
 
 import threading
 import time
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.session import MarketSession, MutationEvent
@@ -70,10 +84,12 @@ from repro.exceptions import (
 )
 from repro.instrumentation import Counters
 from repro.kernels.switch import kernels_enabled, use_kernels
+from repro.obs import Trace, Tracer, TraceStore, activate, clock, span
 from repro.reliability.faults import active_injector, maybe_inject
 from repro.reliability.guards import IndexGuard, KernelGuard, divergence
 from repro.reliability.retry import RetryPolicy
 from repro.serve.cache import SkylineCache, TopKCache
+from repro.serve.config import EngineConfig
 from repro.serve.metrics import EngineMetrics
 from repro.serve.pool import ReadWriteLock, WorkerPool
 
@@ -130,13 +146,19 @@ class QueryResponse:
 
 
 class PendingQuery:
-    """A submitted request; resolves to a :class:`QueryResponse`."""
+    """A submitted request; resolves to a :class:`QueryResponse`.
+
+    Carries the request's (possibly absent) :class:`~repro.obs.Trace`
+    across the submit→worker thread hop — the worker re-activates it so
+    spans opened on both sides nest under the same root.
+    """
 
     __slots__ = (
         "query",
         "abs_deadline",
         "enqueued_at",
         "picked_up_at",
+        "trace",
         "_event",
         "_response",
         "_exception",
@@ -145,7 +167,8 @@ class PendingQuery:
     def __init__(self, query: Query, default_deadline_s: Optional[float]):
         self.query = query
         self.enqueued_at = time.monotonic()
-        self.picked_up_at = self.enqueued_at
+        self.picked_up_at: Optional[float] = None
+        self.trace: Optional[Trace] = None
         budget = (
             query.deadline_s
             if query.deadline_s is not None
@@ -157,6 +180,20 @@ class PendingQuery:
         self._event = threading.Event()
         self._response: Optional[QueryResponse] = None
         self._exception: Optional[BaseException] = None
+
+    def mark_picked_up(self, at: float) -> None:
+        """Stamp worker pickup (first stamp wins; the pool calls this at
+        batch drain, the batch executor backstops it)."""
+        if self.picked_up_at is None:
+            self.picked_up_at = at
+
+    @property
+    def queue_wait_s(self) -> float:
+        """Seconds between submission and worker pickup (0.0 if never
+        picked up)."""
+        if self.picked_up_at is None:
+            return 0.0
+        return self.picked_up_at - self.enqueued_at
 
     def done(self) -> bool:
         """True once a response (or error) is available."""
@@ -196,53 +233,65 @@ class UpgradeEngine:
         session: the owned market state.  The engine registers a mutation
             listener; route mutations through the engine's mutator methods
             so they synchronize with in-flight queries.
-        workers: worker-pool threads (0 = synchronous-only engine: no
-            pool, :meth:`submit` unavailable, :meth:`query` /
-            :meth:`execute_batch` still work).
-        queue_capacity: admission bound of the request queue.
-        batch_max: largest batch a worker drains at once.
-        cache: enable the epoch-versioned caches (disable to measure the
-            cold path — ``skyup serve-bench`` does exactly that).
-        skyline_cache_entries: LRU capacity of the skyline cache.
-        default_deadline_s: deadline applied to queries that do not carry
-            their own (``None`` = no deadline).
-        retry_policy: backoff policy for transiently-failed requests
-            (``None`` = the default :class:`RetryPolicy`; use
-            ``RetryPolicy(max_attempts=1)`` to disable retries).
-        kernel_guard: the sampling kernel-vs-scalar cross-checker
-            (``None`` = a default 5%-sampling guard; use
-            ``KernelGuard(sample_rate=0.0)`` to disable).
-        index_check_every: validate both R-trees every N-th catalog
-            mutation (0 = never).
+        config: every tunable, consolidated in one frozen
+            :class:`~repro.serve.config.EngineConfig` (``None`` = all
+            defaults).
+        **legacy: the pre-:class:`EngineConfig` keyword style
+            (``workers=4, cache=False, ...``).  Deprecated — the kwargs
+            are folded into ``config`` (overriding its fields) and a
+            single :class:`DeprecationWarning` is emitted per
+            construction.
     """
 
     def __init__(
         self,
         session: MarketSession,
-        workers: int = 2,
-        queue_capacity: int = 1024,
-        batch_max: int = 64,
-        cache: bool = True,
-        skyline_cache_entries: int = 4096,
-        default_deadline_s: Optional[float] = None,
-        metrics_window: int = 2048,
-        retry_policy: Optional[RetryPolicy] = None,
-        kernel_guard: Optional[KernelGuard] = None,
-        index_check_every: int = 64,
+        config: Optional[EngineConfig] = None,
+        **legacy: object,
     ):
+        if legacy:
+            unknown = set(legacy) - set(EngineConfig.field_names())
+            if unknown:
+                raise ConfigurationError(
+                    f"unknown engine option(s): {sorted(unknown)}; "
+                    f"valid options are {list(EngineConfig.field_names())}"
+                )
+            warnings.warn(
+                "passing UpgradeEngine tunables as keyword arguments is "
+                "deprecated; pass config=EngineConfig(...) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            config = replace(config or EngineConfig(), **legacy)
+        elif config is None:
+            config = EngineConfig()
+        self.config = config
         self.session = session
-        self.cache_enabled = cache
-        self.default_deadline_s = default_deadline_s
+        self.cache_enabled = config.cache
+        self.default_deadline_s = config.default_deadline_s
         self.retry_policy = (
-            retry_policy if retry_policy is not None else RetryPolicy()
+            config.retry_policy
+            if config.retry_policy is not None
+            else RetryPolicy()
         )
         self.kernel_guard = (
-            kernel_guard if kernel_guard is not None else KernelGuard()
+            config.kernel_guard
+            if config.kernel_guard is not None
+            else KernelGuard()
         )
-        self.index_guard = IndexGuard(every=index_check_every)
-        self.skyline_cache = SkylineCache(max_entries=skyline_cache_entries)
+        self.index_guard = IndexGuard(every=config.index_check_every)
+        self.skyline_cache = SkylineCache(
+            max_entries=config.skyline_cache_entries
+        )
         self.topk_cache = TopKCache()
-        self._metrics = EngineMetrics(window=metrics_window)
+        self.tracer = Tracer(
+            sample_rate=config.trace_sample_rate,
+            slow_threshold_s=config.trace_slow_s,
+            seed=config.trace_seed,
+            max_spans=config.trace_max_spans,
+        )
+        self.trace_store = TraceStore(capacity=config.trace_store_capacity)
+        self._metrics = EngineMetrics(window=config.metrics_window)
         self._rw = ReadWriteLock()
         self._extern_counters: Dict[int, Counters] = (
             {}
@@ -255,12 +304,12 @@ class UpgradeEngine:
         self._guard_stats_lock = threading.Lock()
         self._closed = False
         self._pool: Optional[WorkerPool] = None
-        if workers > 0:
+        if config.workers > 0:
             self._pool = WorkerPool(
                 self._handle_batch,
-                workers=workers,
-                queue_capacity=queue_capacity,
-                batch_max=batch_max,
+                workers=config.workers,
+                queue_capacity=config.queue_capacity,
+                batch_max=config.batch_max,
                 on_batch_error=self._fail_batch,
             )
         session.add_mutation_listener(self._on_mutation)
@@ -434,7 +483,20 @@ class UpgradeEngine:
             raise ConfigurationError(
                 f"unsupported query type: {type(query).__name__}"
             )
-        return PendingQuery(query, self.default_deadline_s)
+        pending = PendingQuery(query, self.default_deadline_s)
+        if self.tracer.enabled:
+            if isinstance(query, TopKQuery):
+                trace = self.tracer.start("topk", k=query.k)
+            else:
+                trace = self.tracer.start(
+                    "product", product_id=query.product_id
+                )
+            if trace is not None:
+                pending.trace = trace
+                # The root span's extent is admission → resolution; it is
+                # closed by _finish_trace, not a lexical block.
+                trace.span("engine.request").__enter__()
+        return pending
 
     # -- execution -------------------------------------------------------------
 
@@ -466,14 +528,28 @@ class UpgradeEngine:
                     kind, 0.0, 0.0, partial=False, error=True
                 )
                 pending._fail(wrapped)
+            if pending.trace is not None:
+                pending.trace.attrs.setdefault("error", type(exc).__name__)
+                self._finish_trace(pending)
 
     # error-boundary: batch containment — no caller is left hanging
     def _execute_batch(
         self, pendings: List[PendingQuery], counters: Counters
     ) -> None:
         now = time.monotonic()
+        worker = threading.current_thread().name
         for p in pendings:
-            p.picked_up_at = now
+            p.mark_picked_up(now)
+            if p.trace is not None:
+                # Retroactive: the span's extent (submission → pickup) is
+                # only known once the worker has the request in hand.
+                p.trace.record(
+                    "engine.queue_wait",
+                    p.trace.spans[0].t0,
+                    clock(),
+                    queue_wait_s=round(p.queue_wait_s, 6),
+                    worker=worker,
+                )
         local = Counters()
         try:
             maybe_inject("serve.handler")
@@ -570,6 +646,17 @@ class UpgradeEngine:
     def _serve_product(
         self, pending: PendingQuery, stats: Counters, epoch: Epoch
     ) -> None:
+        try:
+            with activate(pending.trace):
+                with span("engine.execute", kind="product"):
+                    self._serve_product_retrying(pending, stats, epoch)
+        finally:
+            self._finish_trace(pending)
+
+    # error-boundary: per-request containment — fail, never hang
+    def _serve_product_retrying(
+        self, pending: PendingQuery, stats: Counters, epoch: Epoch
+    ) -> None:
         attempt = 1
         while not pending.done():
             try:
@@ -643,7 +730,7 @@ class UpgradeEngine:
         if not kernels_enabled() or not guard.should_check():
             return result
         work = Counters()
-        with use_kernels(False):
+        with span("guard.recompute", kind="product"), use_kernels(False):
             skyline = self.session.dominator_skyline(result.original, work)
             cost, upgraded = upgrade(
                 skyline,
@@ -674,7 +761,7 @@ class UpgradeEngine:
 
         Charged to the guard counters, not the request counters.
         """
-        with use_kernels(False):
+        with span("guard.recompute", kind="topk", k=k), use_kernels(False):
             upgrader = self.session.make_upgrader()
             results = []
             for result in upgrader.results():
@@ -687,6 +774,49 @@ class UpgradeEngine:
 
     # error-boundary: per-request containment — fail, never hang
     def _serve_topk_group(
+        self,
+        group: List[PendingQuery],
+        stats: Counters,
+        epoch: Epoch,
+    ) -> None:
+        """Serve a group of top-k requests under the group's traces.
+
+        The group shares one progressive join run, so its detailed spans
+        would be identical in every member's trace; they are recorded
+        once, into the first traced member (the *primary*).  Every other
+        traced member gets a retroactive ``engine.execute`` span pointing
+        at the primary's trace id, keeping queue wait and execution
+        separable per request without duplicating the join's span tree.
+        """
+        traced = [p for p in group if p.trace is not None]
+        if not traced:
+            self._serve_topk_group_retrying(group, stats, epoch)
+            return
+        primary = traced[0]
+        start = clock()
+        try:
+            with activate(primary.trace):
+                with span(
+                    "engine.execute", kind="topk", group_size=len(group)
+                ):
+                    self._serve_topk_group_retrying(group, stats, epoch)
+        finally:
+            end = clock()
+            primary_id = primary.trace.trace_id
+            for p in traced:
+                if p is not primary and p.trace is not None:
+                    p.trace.record(
+                        "engine.execute",
+                        start,
+                        end,
+                        kind="topk",
+                        group_size=len(group),
+                        shared_with_trace=primary_id,
+                    )
+                self._finish_trace(p)
+
+    # error-boundary: per-request containment — fail, never hang
+    def _serve_topk_group_retrying(
         self,
         group: List[PendingQuery],
         stats: Counters,
@@ -875,7 +1005,7 @@ class UpgradeEngine:
             partial=partial,
             cache_hit=cache_hit,
             epoch=epoch,
-            queue_wait_s=pending.picked_up_at - pending.enqueued_at,
+            queue_wait_s=pending.queue_wait_s,
             elapsed_s=now - pending.enqueued_at,
         )
         self._metrics.record_request(
@@ -884,9 +1014,48 @@ class UpgradeEngine:
             response.queue_wait_s,
             partial=partial,
         )
+        if pending.trace is not None:
+            pending.trace.attrs.update(
+                cache_hit=cache_hit,
+                partial=partial,
+                results=len(results),
+                queue_wait_s=round(response.queue_wait_s, 6),
+                elapsed_s=round(response.elapsed_s, 6),
+            )
         pending._resolve(response)
 
     # -- observability ---------------------------------------------------------
+
+    def _finish_trace(self, pending: PendingQuery) -> None:
+        """Close a request's root span and hand the trace to the tracer.
+
+        Idempotent (the trace is detached from the pending on the first
+        call): the normal resolve path and the crash backstop can both
+        reach it.  Kept traces land in :attr:`trace_store`.
+        """
+        trace = pending.trace
+        if trace is None:
+            return
+        pending.trace = None
+        if pending._exception is not None:
+            trace.attrs.setdefault(
+                "error", type(pending._exception).__name__
+            )
+        trace.spans[0].close()
+        keep, _ = self.tracer.finish(trace)
+        if keep:
+            self.trace_store.add(trace)
+
+    def recent_traces(self, n: Optional[int] = None) -> List[Trace]:
+        """The kept traces, oldest first (the last ``n`` when given).
+
+        Use ``engine.trace_store.slowest(n)`` for the latency outliers —
+        the ``skyup trace`` CLI prints those.
+        """
+        traces = self.trace_store.snapshot()
+        if n is not None:
+            traces = traces[-n:]
+        return traces
 
     def _calling_thread_counters(self) -> Counters:
         ident = threading.get_ident()
@@ -931,6 +1100,11 @@ class UpgradeEngine:
             counters=self.counters(),
             extra={
                 "epoch": list(self.session.epoch),
+                "config": self.config.describe(),
+                "tracing": {
+                    **self.tracer.stats(),
+                    "store": self.trace_store.stats(),
+                },
                 "queue_depth": (
                     self._pool.queue_depth if self._pool is not None else 0
                 ),

@@ -200,6 +200,14 @@ class WorkerPool:
                         min(self._batch_max, len(self._queue))
                     )
                 ]
+            # Queue-wait accounting: stamp pickup at the drain itself, so
+            # the measured wait excludes none of the handler's own setup.
+            # Duck-typed — the pool stays generic over item types.
+            drained_at = time.monotonic()
+            for item in batch:
+                mark = getattr(item, "mark_picked_up", None)
+                if mark is not None:
+                    mark(drained_at)
             try:
                 self._handler(batch, counters)
             except Exception as exc:

@@ -25,6 +25,7 @@ from typing import List, Optional, Tuple
 from repro.instrumentation import Counters
 from repro.kernels.skybuffer import SkylineBuffer
 from repro.kernels.switch import kernels_enabled
+from repro.obs import span
 from repro.rtree.tree import RTree
 
 Point = Tuple[float, ...]
@@ -47,11 +48,18 @@ def bbs_skyline(
     """
     if tree.is_empty():
         return []
-    if stats is not None:
-        label = "kernel.bbs" if kernels_enabled() else "scalar.bbs"
-        with stats.timed(label):
-            return _bbs(tree, stats)
-    return _bbs(tree, stats)
+    with span(
+        "skyline.bbs",
+        kernel_or_scalar="kernel" if kernels_enabled() else "scalar",
+    ) as sp:
+        if stats is not None:
+            label = "kernel.bbs" if kernels_enabled() else "scalar.bbs"
+            with stats.timed(label):
+                result = _bbs(tree, stats)
+        else:
+            result = _bbs(tree, stats)
+        sp.set(skyline_size=len(result))
+        return result
 
 
 def _bbs(tree: RTree, stats: Optional[Counters]) -> List[Point]:

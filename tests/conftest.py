@@ -27,7 +27,7 @@ def lock_order_witness():
         yield None
         return
     from repro.analysis.lockorder import LockOrderWitness, instrument_engine
-    from repro.serve.engine import UpgradeEngine
+    from repro.serve import UpgradeEngine
 
     witness = LockOrderWitness()
     original_init = UpgradeEngine.__init__

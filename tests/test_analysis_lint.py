@@ -372,6 +372,55 @@ def test_sky503_flags_missing_agreement_coverage(tmp_path):
 
 
 # ---------------------------------------------------------------------------
+# SKY601 — hot-path clock discipline
+
+
+def test_sky601_flags_raw_perf_counter_in_hot_paths(tmp_path):
+    source = '''\
+import time
+from time import perf_counter
+
+
+def slow_phase():
+    start = time.perf_counter()
+    mid = perf_counter()
+    return time.monotonic() - start + mid
+'''
+    write_tree(
+        tmp_path,
+        {
+            "src/repro/serve/hot.py": source,
+            "src/repro/core/hot.py": source,
+            "src/repro/serve/bench.py": source,  # harness: exempt
+            "src/repro/bench/hot.py": source,  # outside checked dirs
+        },
+    )
+    found = findings_for(tmp_path, "SKY601")
+    assert [(f.path, f.line) for f in found] == [
+        ("src/repro/core/hot.py", 6),
+        ("src/repro/core/hot.py", 7),
+        ("src/repro/serve/hot.py", 6),
+        ("src/repro/serve/hot.py", 7),
+    ]
+    assert "repro.obs" in found[0].message
+
+
+def test_sky601_accepts_sanctioned_clocks(tmp_path):
+    source = '''\
+import time
+
+from repro.obs import clock, span
+
+
+def timed():
+    with span("engine.execute"):
+        return clock() + time.monotonic()
+'''
+    write_tree(tmp_path, {"src/repro/serve/clean.py": source})
+    assert findings_for(tmp_path, "SKY601") == []
+
+
+# ---------------------------------------------------------------------------
 # baseline
 
 

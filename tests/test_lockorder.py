@@ -10,7 +10,12 @@ import pytest
 from repro.analysis.lockorder import LockOrderWitness, instrument_engine
 from repro.core.session import MarketSession
 from repro.exceptions import LockOrderError
-from repro.serve import ProductQuery, TopKQuery, UpgradeEngine
+from repro.serve import (
+    EngineConfig,
+    ProductQuery,
+    TopKQuery,
+    UpgradeEngine,
+)
 from repro.serve.pool import ReadWriteLock
 
 
@@ -140,7 +145,7 @@ def test_instrumented_engine_stays_cycle_free():
     session = MarketSession.from_points(
         rng.random((120, 2)), 1.0 + rng.random((25, 2)), max_entries=8
     )
-    engine = UpgradeEngine(session, workers=2, batch_max=8)
+    engine = UpgradeEngine(session, EngineConfig(workers=2, batch_max=8))
     witness = LockOrderWitness()
     instrument_engine(engine, witness)
     try:

@@ -1,0 +1,232 @@
+"""Tests for repro.obs: spans, sampling, the thread hop, and exporters."""
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.session import MarketSession
+from repro.obs import (
+    NOOP_SPAN,
+    Trace,
+    Tracer,
+    TraceStore,
+    activate,
+    current_trace,
+    format_text,
+    span,
+    to_chrome_events,
+    to_chrome_json,
+)
+from repro.serve import EngineConfig, ProductQuery, TopKQuery, UpgradeEngine
+
+
+def make_session(seed=11, n_p=200, n_t=50, dims=2):
+    rng = np.random.default_rng(seed)
+    return MarketSession.from_points(
+        rng.random((n_p, dims)), 1.0 + rng.random((n_t, dims)),
+        max_entries=8,
+    )
+
+
+class TestSpanMechanics:
+    def test_nesting_parents_and_layers(self):
+        trace = Trace("unit")
+        with trace.span("engine.execute"):
+            with trace.span("join.refine", jl_len=3) as inner:
+                inner.set(new_jl_len=5)
+        assert [s.name for s in trace.spans] == [
+            "engine.execute", "join.refine",
+        ]
+        outer, inner = trace.spans
+        assert outer.parent == -1 and inner.parent == outer.index
+        assert inner.attrs == {"jl_len": 3, "new_jl_len": 5}
+        assert trace.layers() == ["engine", "join"]
+        assert inner.t0 >= outer.t0 and inner.t1 <= outer.t1
+
+    def test_module_span_is_noop_without_active_trace(self):
+        assert current_trace() is None
+        sp = span("engine.execute", k=5)
+        assert sp is NOOP_SPAN
+        with sp as inner:
+            inner.set(anything=1)  # must be inert, not raise
+        assert sp.duration_s == 0.0
+
+    def test_activate_routes_module_span_and_restores(self):
+        trace = Trace("unit")
+        with activate(trace):
+            assert current_trace() is trace
+            with span("cache.skyline_get"):
+                pass
+            with activate(None):
+                assert span("dropped") is NOOP_SPAN
+            assert current_trace() is trace
+        assert current_trace() is None
+        assert [s.name for s in trace.spans] == ["cache.skyline_get"]
+
+    def test_record_retroactive_span(self):
+        trace = Trace("unit")
+        trace.record("engine.queue_wait", 1.0, 1.5, worker="w-1")
+        (sp,) = trace.spans
+        assert sp.duration_s == pytest.approx(0.5)
+        assert sp.attrs["worker"] == "w-1"
+
+    def test_max_spans_cap_counts_drops(self):
+        trace = Trace("unit", max_spans=2)
+        for _ in range(5):
+            with trace.span("join.refine"):
+                pass
+        assert len(trace.spans) == 2
+        assert trace.dropped_spans == 3
+
+    def test_exception_still_closes_span(self):
+        trace = Trace("unit")
+        with pytest.raises(RuntimeError):
+            with trace.span("engine.execute"):
+                raise RuntimeError("boom")
+        (sp,) = trace.spans
+        assert sp.t1 >= sp.t0
+        assert trace._stack == []
+
+
+class TestSampling:
+    def test_zero_rate_records_nothing(self):
+        tracer = Tracer(sample_rate=0.0)
+        assert not tracer.enabled
+        assert tracer.start("topk") is None
+        assert tracer.stats()["started"] == 0
+
+    def test_seeded_draws_are_deterministic(self):
+        seq = [
+            [
+                tracer.start(f"q{i}") is not None
+                for i in range(50)
+            ]
+            for tracer in (
+                Tracer(sample_rate=0.4, seed=7),
+                Tracer(sample_rate=0.4, seed=7),
+            )
+        ]
+        assert seq[0] == seq[1]
+        assert any(seq[0]) and not all(seq[0])
+        different = [
+            Tracer(sample_rate=0.4, seed=8).start(f"q{i}") is not None
+            for i in range(50)
+        ]
+        assert different != seq[0]
+
+    def test_slow_threshold_keeps_unsampled_trace(self):
+        tracer = Tracer(sample_rate=0.0, slow_threshold_s=0.0)
+        trace = tracer.start("topk")
+        assert trace is not None and not trace.sampled
+        with activate(trace), span("engine.execute"):
+            pass
+        keep, finished = tracer.finish(trace)
+        assert keep and finished.attrs["slow"] is True
+
+    def test_finish_drops_unsampled_fast_trace(self):
+        tracer = Tracer(sample_rate=0.0, slow_threshold_s=10.0)
+        trace = tracer.start("topk")
+        with activate(trace), span("engine.execute"):
+            pass
+        keep, _ = tracer.finish(trace)
+        assert not keep
+        assert tracer.stats() == {
+            "sample_rate": 0.0,
+            "slow_threshold_s": 10.0,
+            "started": 1,
+            "kept": 0,
+        }
+
+
+class TestThreadHop:
+    def test_trace_rides_request_across_submit_hop(self):
+        session = make_session()
+        config = EngineConfig(workers=1, trace_sample_rate=1.0)
+        with UpgradeEngine(session, config) as engine:
+            main_thread = threading.current_thread().name
+            engine.submit(ProductQuery(3)).result(timeout=10.0)
+            engine.submit(TopKQuery(k=4)).result(timeout=10.0)
+            traces = engine.recent_traces()
+        assert len(traces) == 2
+        for trace in traces:
+            root = trace.spans[0]
+            assert root.name == "engine.request" and root.parent == -1
+            waits = trace.find("engine.queue_wait")
+            execs = trace.find("engine.execute")
+            assert len(waits) == 1 and len(execs) == 1
+            # Both phases nest under the root and are separable.
+            assert waits[0].parent == root.index
+            assert execs[0].parent == root.index
+            # The execute span ran on a worker, not the submitting thread.
+            assert waits[0].attrs["worker"] != main_thread
+            # Spans from layers below the engine joined the same trace.
+            assert "cache" in trace.layers()
+            assert trace.attrs["queue_wait_s"] >= 0.0
+
+    def test_disabled_engine_traces_nothing(self):
+        session = make_session()
+        with UpgradeEngine(session, EngineConfig(workers=1)) as engine:
+            engine.submit(TopKQuery(k=3)).result(timeout=10.0)
+            assert engine.recent_traces() == []
+            tracing = engine.metrics()["tracing"]
+        assert tracing["started"] == 0 and tracing["kept"] == 0
+
+
+class TestExporters:
+    def _trace(self):
+        trace = Trace("topk", trace_id=42)
+        with trace.span("engine.request"):
+            trace.record("engine.queue_wait", 0.0, 0.001)
+            with trace.span("engine.execute", kind="topk"):
+                with trace.span("join.refine", jl_len=2):
+                    pass
+        trace.attrs["cache_hit"] = False
+        return trace
+
+    def test_chrome_json_shape(self):
+        doc = json.loads(to_chrome_json([self._trace()]))
+        events = doc["traceEvents"]
+        assert doc["displayTimeUnit"] == "ms"
+        complete = [e for e in events if e["ph"] == "X"]
+        assert {e["name"] for e in complete} == {
+            "engine.request",
+            "engine.queue_wait",
+            "engine.execute",
+            "join.refine",
+        }
+        for event in complete:
+            assert {"pid", "tid", "ts", "dur", "cat", "args"} <= set(event)
+            assert event["ts"] >= 0.0 and event["dur"] >= 0.0
+        root = next(e for e in complete if e["name"] == "engine.request")
+        assert root["args"]["trace.cache_hit"] is False
+
+    def test_chrome_events_share_one_timeline(self):
+        a, b = self._trace(), self._trace()
+        events = to_chrome_events([a, b])
+        tids = {e["tid"] for e in events if e["ph"] == "X"}
+        assert tids == {1, 2}
+
+    def test_text_tree_indents_children(self):
+        text = format_text([self._trace()])
+        lines = text.splitlines()
+        assert lines[0].startswith("trace #42 topk")
+        assert "\n  engine.request" in text
+        assert "\n    engine.execute" in text
+        assert "\n      join.refine" in text
+        assert "jl_len=2" in text
+
+    def test_store_slowest_ranking_and_eviction(self):
+        store = TraceStore(capacity=2)
+        slow, fast = Trace("slow"), Trace("fast")
+        slow.record("engine.execute", 0.0, 2.0)
+        fast.record("engine.execute", 0.0, 0.5)
+        evicted = Trace("evicted")
+        evicted.record("engine.execute", 0.0, 9.0)
+        for trace in (evicted, fast, slow):
+            store.add(trace)
+        assert [t.name for t in store.slowest(2)] == ["slow", "fast"]
+        assert store.stats() == {
+            "capacity": 2, "retained": 2, "added": 3,
+        }

@@ -37,7 +37,13 @@ from repro.reliability import (
     inject_faults,
     uninstall,
 )
-from repro.serve import ProductQuery, QueryResponse, TopKQuery, UpgradeEngine
+from repro.serve import (
+    EngineConfig,
+    ProductQuery,
+    QueryResponse,
+    TopKQuery,
+    UpgradeEngine,
+)
 
 SEEDS = range(40)
 N_COMPETITORS = 120
@@ -126,10 +132,14 @@ class TestTransientQueryFaults:
         plan = FaultPlan(seed=seed, rate=0.3, points=("rtree.query",))
         with UpgradeEngine(
             session,
-            workers=0,
-            cache=False,
-            kernel_guard=KernelGuard(sample_rate=0.0),
-            retry_policy=RetryPolicy(base_delay_s=0.0002, max_delay_s=0.001),
+            EngineConfig(
+                workers=0,
+                cache=False,
+                kernel_guard=KernelGuard(sample_rate=0.0),
+                retry_policy=RetryPolicy(
+                    base_delay_s=0.0002, max_delay_s=0.001
+                ),
+            ),
         ) as engine:
             queries = scenario_queries()
             with inject_faults(plan) as injector:
@@ -164,9 +174,11 @@ class TestHandlerCrashContainment:
         workers = 2
         with UpgradeEngine(
             session,
-            workers=workers,
-            batch_max=4,
-            kernel_guard=KernelGuard(sample_rate=0.0),
+            EngineConfig(
+                workers=workers,
+                batch_max=4,
+                kernel_guard=KernelGuard(sample_rate=0.0),
+            ),
         ) as engine:
             queries = scenario_queries()
             with inject_faults(plan) as injector:
@@ -198,9 +210,11 @@ class TestCacheFaultDegradation:
         plan = FaultPlan(seed=seed, rate=0.5, points=("serve.cache",))
         with UpgradeEngine(
             session,
-            workers=0,
-            cache=True,
-            kernel_guard=KernelGuard(sample_rate=0.0),
+            EngineConfig(
+                workers=0,
+                cache=True,
+                kernel_guard=KernelGuard(sample_rate=0.0),
+            ),
         ) as engine:
             queries = scenario_queries() * 2  # repeats exercise hits too
             with inject_faults(plan) as injector:
@@ -226,9 +240,11 @@ class TestLatencySpikesWithDeadlines:
         plan = FaultPlan(seed=seed, points={"rtree.query": spec})
         with UpgradeEngine(
             session,
-            workers=0,
-            cache=False,
-            kernel_guard=KernelGuard(sample_rate=0.0),
+            EngineConfig(
+                workers=0,
+                cache=False,
+                kernel_guard=KernelGuard(sample_rate=0.0),
+            ),
         ) as engine:
             queries = scenario_queries(deadline_s=0.02)
             with inject_faults(plan):
@@ -255,7 +271,7 @@ class TestKernelCorruptionQuarantine:
         )
         guard = KernelGuard(sample_rate=1.0)
         with UpgradeEngine(
-            session, workers=0, cache=True, kernel_guard=guard
+            session, EngineConfig(workers=0, cache=True, kernel_guard=guard)
         ) as engine:
             queries = scenario_queries()
             with inject_faults(plan) as injector:

@@ -14,7 +14,12 @@ from repro.exceptions import (
     EngineOverloadedError,
 )
 from repro.instrumentation import Counters
-from repro.serve import ProductQuery, TopKQuery, UpgradeEngine
+from repro.serve import (
+    EngineConfig,
+    ProductQuery,
+    TopKQuery,
+    UpgradeEngine,
+)
 
 
 def make_session(seed=11, n_p=200, n_t=50, dims=2):
@@ -32,7 +37,9 @@ def session():
 
 @pytest.fixture()
 def engine(session):
-    with UpgradeEngine(session, workers=2, batch_max=16) as eng:
+    with UpgradeEngine(
+        session, EngineConfig(workers=2, batch_max=16)
+    ) as eng:
         yield eng
 
 
@@ -65,7 +72,7 @@ class TestCorrectness:
         session = MarketSession.from_points(
             np.random.default_rng(0).random((20, 2)), []
         )
-        with UpgradeEngine(session, workers=0) as engine:
+        with UpgradeEngine(session, EngineConfig(workers=0)) as engine:
             response = engine.query(TopKQuery(k=3))
             assert response.results == [] and not response.partial
             # Exhausted-empty prefixes are cacheable too.
@@ -91,7 +98,9 @@ class TestCaching:
         assert engine.query(ProductQuery(4)).cache_hit
 
     def test_cache_disabled_never_hits(self, session):
-        with UpgradeEngine(session, workers=0, cache=False) as engine:
+        with UpgradeEngine(
+            session, EngineConfig(workers=0, cache=False)
+        ) as engine:
             engine.query(TopKQuery(k=3))
             assert not engine.query(TopKQuery(k=3)).cache_hit
             engine.query(ProductQuery(1))
@@ -153,11 +162,15 @@ class TestBatching:
 
     def test_batch_amortizes_traversal(self, session):
         ks = [3, 5, 9]
-        with UpgradeEngine(session, workers=0, cache=False) as separate:
+        with UpgradeEngine(
+            session, EngineConfig(workers=0, cache=False)
+        ) as separate:
             for k in ks:
                 separate.query(TopKQuery(k=k))
             separate_accesses = separate.counters().node_accesses
-        with UpgradeEngine(session, workers=0, cache=False) as batched:
+        with UpgradeEngine(
+            session, EngineConfig(workers=0, cache=False)
+        ) as batched:
             batched.execute_batch([TopKQuery(k=k) for k in ks])
             batched_accesses = batched.counters().node_accesses
         assert batched_accesses < separate_accesses
@@ -186,7 +199,9 @@ class TestBatching:
             assert len(response.results) == pending.query.k
 
     def test_queue_capacity_backpressure(self, session):
-        engine = UpgradeEngine(session, workers=1, queue_capacity=1)
+        engine = UpgradeEngine(
+            session, EngineConfig(workers=1, queue_capacity=1)
+        )
         # Saturate: the first batch may be picked up instantly, so keep
         # offering until one is refused.
         with pytest.raises(EngineOverloadedError):
@@ -196,13 +211,13 @@ class TestBatching:
         assert engine.metrics()["rejected"] >= 1
 
     def test_closed_engine_rejects(self, session):
-        engine = UpgradeEngine(session, workers=1)
+        engine = UpgradeEngine(session, EngineConfig(workers=1))
         engine.close()
         with pytest.raises(EngineClosedError):
             engine.submit(TopKQuery(k=1))
 
     def test_workerless_engine_rejects_submit(self, session):
-        with UpgradeEngine(session, workers=0) as engine:
+        with UpgradeEngine(session, EngineConfig(workers=0)) as engine:
             with pytest.raises(ConfigurationError):
                 engine.submit(TopKQuery(k=1))
 
@@ -230,7 +245,7 @@ class TestDeadlines:
 
     def test_engine_default_deadline(self, session):
         with UpgradeEngine(
-            session, workers=0, default_deadline_s=0.0
+            session, EngineConfig(workers=0, default_deadline_s=0.0)
         ) as engine:
             assert engine.query(TopKQuery(k=5)).partial
 
@@ -264,7 +279,9 @@ class TestMetrics:
             upgrade(
                 skyline, point, session.cost_model, session.config, serial
             )
-        with UpgradeEngine(session, workers=3, cache=False) as engine:
+        with UpgradeEngine(
+            session, EngineConfig(workers=3, cache=False)
+        ) as engine:
             pendings = engine.submit_batch(
                 [ProductQuery(pid) for pid in pids]
             )

@@ -14,7 +14,12 @@ import pytest
 
 from repro.core.session import MarketSession
 from repro.core.upgrade import upgrade
-from repro.serve import ProductQuery, TopKQuery, UpgradeEngine
+from repro.serve import (
+    EngineConfig,
+    ProductQuery,
+    TopKQuery,
+    UpgradeEngine,
+)
 
 
 def run_interleaving(seed, steps=120, n_p=60, n_t=22, dims=2):
@@ -23,7 +28,7 @@ def run_interleaving(seed, steps=120, n_p=60, n_t=22, dims=2):
         rng.random((n_p, dims)), 1.0 + rng.random((n_t, dims)),
         max_entries=8,
     )
-    engine = UpgradeEngine(session, workers=0)
+    engine = UpgradeEngine(session, EngineConfig(workers=0))
     live_competitors = list(range(n_p))
     live_products = list(range(n_t))
     checks = hits = 0
