@@ -58,6 +58,13 @@ from repro.exceptions import SkyUpError
 from repro.geometry.mbr import MBR
 from repro.geometry.point import dominates
 from repro.kernels.switch import use_kernels
+from repro.plan import (
+    ExplainReport,
+    LogicalPlan,
+    PhysicalPlan,
+    Planner,
+    default_planner,
+)
 from repro.rtree.tree import RTree
 from repro.serve import (
     EngineConfig,
@@ -75,13 +82,17 @@ __version__ = "1.0.0"
 __all__ = [
     "CostModel",
     "EngineConfig",
+    "ExplainReport",
     "ExponentialCost",
     "JoinUpgrader",
     "LinearCost",
+    "LogicalPlan",
     "MBR",
     "MarketSession",
     "PendingQuery",
+    "PhysicalPlan",
     "PiecewiseLinearCost",
+    "Planner",
     "PowerCost",
     "ProductQuery",
     "Query",
@@ -101,6 +112,7 @@ __all__ = [
     "batch_probing",
     "bbs_skyline",
     "bnl_skyline",
+    "default_planner",
     "dominates",
     "improved_probing",
     "paper_cost_model",

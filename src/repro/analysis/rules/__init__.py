@@ -12,6 +12,8 @@ time).  Rule ids are stable and grouped by hundreds:
 * ``SKY5xx`` — kernel-oracle parity (:mod:`repro.analysis.rules.parity`)
 * ``SKY6xx`` — hot-path clock discipline
   (:mod:`repro.analysis.rules.hotpath`)
+* ``SKY7xx`` — planner layering
+  (:mod:`repro.analysis.rules.layering`)
 """
 
 from __future__ import annotations
@@ -20,6 +22,7 @@ from repro.analysis.rules import (  # noqa: F401  (registration side effect)
     determinism,
     hotpath,
     injection,
+    layering,
     locks,
     parity,
     taxonomy,
@@ -29,6 +32,7 @@ __all__ = [
     "determinism",
     "hotpath",
     "injection",
+    "layering",
     "locks",
     "parity",
     "taxonomy",

@@ -1,0 +1,72 @@
+"""SKY701 — planner layering: ``repro.plan`` must not import upward.
+
+The query planner (:mod:`repro.plan`) sits between the algorithmic core
+and its consumers: ``repro.core.api`` and the serving engine both import
+it (the API lazily, to keep the core importable without the planner).
+The inverse direction is a cycle waiting to happen — a plan module that
+imports :mod:`repro.serve` re-entangles plan selection with the engine
+that executes plans, and one that imports :mod:`repro.bench`,
+:mod:`repro.cli`, or :mod:`repro.analysis` drags tooling into the
+library's import graph.  The planner may depend on ``core``, ``rtree``,
+``costs``, ``geometry``, ``kernels``, and the shared leaf modules only.
+
+Checked: every module under ``src/repro/plan/``.  Both spellings are
+caught: ``import repro.serve...`` and ``from repro.serve... import``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Tuple
+
+from repro.analysis.engine import Finding, LintContext, rule
+
+#: Repo-relative prefix of the constrained layer.
+PLAN_DIR = "src/repro/plan/"
+
+#: Module prefixes the plan layer must never import.
+BANNED_PREFIXES: Tuple[str, ...] = (
+    "repro.serve",
+    "repro.bench",
+    "repro.cli",
+    "repro.analysis",
+    "repro.reliability",
+    "repro.obs",
+)
+
+
+def _banned_target(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Import):
+        for alias in node.names:
+            if alias.name.startswith(BANNED_PREFIXES):
+                return alias.name
+    elif isinstance(node, ast.ImportFrom) and node.module:
+        if node.module.startswith(BANNED_PREFIXES):
+            return node.module
+    return None
+
+
+@rule(
+    "SKY701",
+    "planner-layering",
+    "repro.plan importing serve/bench/cli (the planner is below them)",
+)
+def check_planner_layering(ctx: LintContext) -> Iterator[Finding]:
+    for module in ctx.modules:
+        if not module.rel.startswith(PLAN_DIR):
+            continue
+        for node in ast.walk(module.tree):
+            target = _banned_target(node)
+            if target is None:
+                continue
+            yield Finding(
+                rule="SKY701",
+                path=module.rel,
+                line=node.lineno,
+                col=node.col_offset + 1,
+                message=(
+                    f"repro.plan must not import {target}: the planner "
+                    "sits below the serving/tooling layers (they import "
+                    "it); move the dependency up or pass the data in"
+                ),
+            )

@@ -15,13 +15,16 @@ drive the machinery here:
 from repro.bench.workloads import Workload, synthetic_workload, wine_workload
 from repro.bench.harness import run_cell
 from repro.bench.figures import FIGURES, FigureResult, run_figure
+from repro.bench.planner import format_planner_report, run_planner_bench
 
 __all__ = [
     "FIGURES",
     "FigureResult",
     "Workload",
+    "format_planner_report",
     "run_cell",
     "run_figure",
+    "run_planner_bench",
     "synthetic_workload",
     "wine_workload",
 ]

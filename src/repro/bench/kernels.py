@@ -76,6 +76,7 @@ def run_kernel_bench(
     seed: int = 2012,
     repeats: int = 3,
     probe_sample: int = 64,
+    method: str = "join",
 ) -> Dict[str, object]:
     """Run every scalar-vs-kernel cell; returns a JSON-ready report.
 
@@ -89,9 +90,14 @@ def run_kernel_bench(
         seed: workload seed.
         repeats: timing repetitions per path (best is reported).
         probe_sample: how many products the per-product cells probe.
+        method: algorithm of the end-to-end cell — ``"join"`` (the
+            recorded baseline), any other fixed method, or ``"auto"``
+            (planner-chosen; the report then names the chosen physical
+            plan).
 
     Raises:
-        ConfigurationError: on non-positive sizes or an unknown ``bound``.
+        ConfigurationError: on non-positive sizes or an unknown ``bound``
+            or ``method``.
     """
     if n_competitors < 1 or n_products < 1:
         raise ConfigurationError(
@@ -100,6 +106,10 @@ def run_kernel_bench(
         )
     if bound not in BOUND_NAMES:
         raise UnknownOptionError("bound", bound, BOUND_NAMES)
+    from repro.core.api import METHODS
+
+    if method not in METHODS:
+        raise UnknownOptionError("method", method, METHODS)
     from repro.bench.workloads import synthetic_workload
 
     wl = synthetic_workload(
@@ -199,18 +209,46 @@ def run_kernel_bench(
         )
     )
 
-    # End to end: the R-tree join.
-    product_tree = wl.product_tree
-    cells.append(
-        _cell(
-            f"join[{bound}]",
-            lambda: JoinUpgrader(
-                tree, product_tree, model, bound=bound
-            ).run(k=5),
-            lambda a, b: np.allclose(_costs(a), _costs(b), atol=1e-9),
-            repeats,
+    # End to end: the chosen method (the R-tree join by default).
+    chosen_plan: Dict[str, str] = {}
+    if method == "join":
+        product_tree = wl.product_tree
+        cells.append(
+            _cell(
+                f"join[{bound}]",
+                lambda: JoinUpgrader(
+                    tree, product_tree, model, bound=bound
+                ).run(k=5),
+                lambda a, b: np.allclose(_costs(a), _costs(b), atol=1e-9),
+                repeats,
+            )
         )
-    )
+        chosen_plan["end_to_end"] = f"join[{bound}]"
+    else:
+        from repro.core.api import top_k_upgrades
+
+        def _end_to_end():
+            outcome = top_k_upgrades(
+                wl.competitors,
+                wl.products,
+                k=5,
+                cost_model=model,
+                method=method,
+                bound=bound,
+            )
+            chosen_plan["end_to_end"] = outcome.report.extras.get(
+                "plan", method
+            )
+            return outcome
+
+        cells.append(
+            _cell(
+                f"end_to_end[{method}]",
+                _end_to_end,
+                lambda a, b: np.allclose(_costs(a), _costs(b), atol=1e-9),
+                repeats,
+            )
+        )
 
     return {
         "workload": {
@@ -219,6 +257,8 @@ def run_kernel_bench(
             "products": n_products,
             "dims": dims,
             "bound": bound,
+            "method": method,
+            "chosen_plan": chosen_plan.get("end_to_end"),
             "seed": seed,
             "repeats": repeats,
             "upgrade_skyline_size": len(antichain),
@@ -236,6 +276,12 @@ def format_kernel_report(report: Dict[str, object]) -> str:
             f"# bench-kernels: |P|={wl['competitors']} |T|={wl['products']} "
             f"d={wl['dims']} {wl['distribution']} bound={wl['bound']} "
             f"(best of {wl['repeats']})"
+            + (
+                f" plan={wl['chosen_plan']}"
+                if wl.get("method", "join") != "join"
+                and wl.get("chosen_plan")
+                else ""
+            )
         ),
         (
             f"{'cell':24s} {'scalar_s':>10s} {'kernel_s':>10s} "

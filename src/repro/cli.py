@@ -4,14 +4,20 @@ Three subcommands::
 
     skyup generate --distribution anti_correlated --n 10000 --dims 3 out.csv
     skyup run --competitors P.csv --products T.csv --k 5 --method join
+    skyup explain --n-competitors 2000 --n-products 800 --k 5
     skyup figure fig6a --scale 100
     skyup serve-bench --requests 2000 --save-json BENCH_serve.json
-    skyup bench-kernels --competitors 100000 --dims 4
+    skyup bench-kernels --competitors 100000 --dims 4 --method auto
+    skyup bench-planner --save-json BENCH_planner.json
     skyup trace --requests 200 --slowest 3 --format chrome --out trace.json
     skyup lint --format json
 
 ``generate`` writes synthetic point sets; ``run`` solves one top-k upgrading
-instance from CSV files; ``figure`` regenerates one of the paper's
+instance from CSV files; ``explain`` prints the cost-based planner's plan
+tree — every costed physical alternative with estimated (and, after
+execution, actual) costs (:mod:`repro.plan`); ``bench-planner`` measures
+planner-chosen plans against every fixed plan
+(:mod:`repro.bench.planner`); ``figure`` regenerates one of the paper's
 experiment figures (see :mod:`repro.bench.figures` for ids and
 EXPERIMENTS.md for the recorded outputs); ``serve-bench`` measures the
 serving engine's cached-vs-cold throughput (:mod:`repro.serve.bench`);
@@ -66,7 +72,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--method",
         default="join",
-        choices=["join", "probing", "basic-probing"],
+        choices=["auto", "join", "probing", "basic-probing"],
     )
     run.add_argument(
         "--bound", default="clb", choices=["nlb", "clb", "alb", "max"]
@@ -143,9 +149,105 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory of fig*.json files (default: benchmarks/results)",
     )
 
+    exp = sub.add_parser(
+        "explain",
+        help="show the planner's plan tree (estimated vs actual costs)",
+    )
+    exp.add_argument(
+        "--competitors", default=None, help="CSV of P (omit for synthetic)"
+    )
+    exp.add_argument(
+        "--products", default=None, help="CSV of T (omit for synthetic)"
+    )
+    exp.add_argument(
+        "--n-competitors", type=int, default=2000,
+        help="synthetic market size |P|",
+    )
+    exp.add_argument(
+        "--n-products", type=int, default=800,
+        help="synthetic catalog size |T|",
+    )
+    exp.add_argument("--dims", type=int, default=2)
+    exp.add_argument(
+        "--distribution",
+        default="independent",
+        choices=["independent", "correlated", "anti_correlated"],
+    )
+    exp.add_argument("--seed", type=int, default=2012)
+    exp.add_argument("--k", type=int, default=5)
+    exp.add_argument(
+        "--method",
+        default="auto",
+        choices=["auto", "join", "probing", "basic-probing"],
+        help="force a method (the tree still shows every candidate)",
+    )
+    exp.add_argument(
+        "--bound", default="clb", choices=["nlb", "clb", "alb", "max"]
+    )
+    exp.add_argument(
+        "--no-execute",
+        action="store_true",
+        help="plan only — skip running the chosen plan (no actual costs)",
+    )
+    exp.add_argument(
+        "--format",
+        dest="fmt",
+        default="text",
+        choices=["text", "json"],
+        help="text = ASCII plan tree; json = ExplainReport document",
+    )
+    exp.add_argument(
+        "--out",
+        metavar="PATH",
+        default=None,
+        help="write the output to PATH instead of stdout",
+    )
+
+    pln = sub.add_parser(
+        "bench-planner",
+        help="planner-chosen plan vs every fixed physical plan",
+    )
+    pln.add_argument(
+        "--dims",
+        default="2,4",
+        help="comma-separated dimensionalities (default: 2,4)",
+    )
+    pln.add_argument(
+        "--k",
+        default="1,10,50",
+        help="comma-separated top-k depths (default: 1,10,50)",
+    )
+    pln.add_argument(
+        "--repeats",
+        type=int,
+        default=2,
+        help="timing repetitions per fixed plan (best is reported)",
+    )
+    pln.add_argument("--seed", type=int, default=2012)
+    pln.add_argument(
+        "--quick",
+        action="store_true",
+        help="tiny catalogs and shallow k for a fast smoke check",
+    )
+    pln.add_argument(
+        "--save-json",
+        metavar="PATH",
+        default=None,
+        help="also write the full report as JSON to PATH",
+    )
+
     srv = sub.add_parser(
         "serve-bench",
         help="measure the serving engine: cached vs cold throughput",
+    )
+    srv.add_argument(
+        "--method",
+        default="join",
+        choices=["auto", "join", "probing"],
+        help=(
+            "engine execution strategy for whole-catalog top-k requests "
+            "(auto = planner-chosen; the report names the chosen plans)"
+        ),
     )
     srv.add_argument(
         "--competitors", type=int, default=4000, help="market size |P|"
@@ -220,6 +322,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--bound",
         default="clb",
         help="join-list bound for the end-to-end join cell",
+    )
+    krn.add_argument(
+        "--method",
+        default="join",
+        choices=["auto", "join", "probing", "basic-probing"],
+        help=(
+            "algorithm of the end-to-end cell (auto = planner-chosen; "
+            "the report names the chosen physical plan)"
+        ),
     )
     krn.add_argument("--seed", type=int, default=2012)
     krn.add_argument(
@@ -382,10 +493,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
         bound=args.bound,
         lbc_mode=args.lbc_mode,
     )
+    plan = outcome.report.extras.get("plan")
     print(
         f"# {outcome.report.algorithm}: |P|={len(competitors)} "
         f"|T|={len(products)} k={args.k} "
         f"elapsed={outcome.report.elapsed_s:.4f}s"
+        + (f" plan={plan}" if plan else "")
     )
     print("rank,record_id,cost,original,upgraded")
     for rank, r in enumerate(outcome.results, start=1):
@@ -426,6 +539,129 @@ def _cmd_catalog(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_explain(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.core.api import top_k_upgrades
+    from repro.costs.model import paper_cost_model
+    from repro.plan import (
+        LogicalPlan,
+        PhysicalPlan,
+        default_planner,
+        profile_catalog,
+    )
+    from repro.rtree.tree import RTree
+
+    for name in ("n_competitors", "n_products", "dims", "k"):
+        if getattr(args, name) < 1:
+            flag = "--" + name.replace("_", "-")
+            print(f"error: {flag} must be >= 1", file=sys.stderr)
+            return 2
+    if (args.competitors is None) != (args.products is None):
+        print(
+            "error: pass both --competitors and --products, or neither",
+            file=sys.stderr,
+        )
+        return 2
+    if args.competitors is not None:
+        from repro.data.io import load_points_csv
+
+        competitors, _ = load_points_csv(args.competitors)
+        products, _ = load_points_csv(args.products)
+    else:
+        from repro.data.generators import paper_workload
+
+        competitors, products = paper_workload(
+            args.distribution,
+            args.n_competitors,
+            args.n_products,
+            args.dims,
+            seed=args.seed,
+        )
+    if args.no_execute:
+        dims = products.shape[1] if hasattr(products, "shape") else len(
+            products[0]
+        )
+        tree = RTree.bulk_load(competitors)
+        profile = profile_catalog(tree, len(products), int(dims))
+        planner = default_planner()
+        force = None
+        if args.method != "auto":
+            force = PhysicalPlan(
+                method=args.method,
+                bound=args.bound,
+                vector_jl_from=planner.vector_jl_from,
+            )
+        planned = planner.plan(
+            LogicalPlan(k=args.k, profile=profile), force=force
+        )
+        report = planned.explain()
+    else:
+        dims = products.shape[1] if hasattr(products, "shape") else len(
+            products[0]
+        )
+        outcome = top_k_upgrades(
+            competitors,
+            products,
+            k=args.k,
+            cost_model=paper_cost_model(int(dims)),
+            method=args.method,
+            bound=args.bound,
+            explain=True,
+        )
+        report = outcome.report.extras["explain"]
+    if args.fmt == "json":
+        dump = json.dumps(report.to_dict(), indent=2, sort_keys=True)
+    else:
+        dump = report.format_tree()
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(dump)
+            fh.write("\n")
+        print(f"[explain written to {args.out}]")
+    else:
+        print(dump)
+    return 0
+
+
+def _cmd_bench_planner(args: argparse.Namespace) -> int:
+    from repro.bench.planner import format_planner_report, run_planner_bench
+
+    if args.repeats < 1:
+        print("error: --repeats must be >= 1", file=sys.stderr)
+        return 2
+    try:
+        dims_list = tuple(int(d) for d in args.dims.split(","))
+        k_values = tuple(int(k) for k in args.k.split(","))
+    except ValueError:
+        print(
+            "error: --dims and --k must be comma-separated integers",
+            file=sys.stderr,
+        )
+        return 2
+    kwargs = {
+        "dims_list": dims_list,
+        "k_values": k_values,
+        "repeats": args.repeats,
+        "seed": args.seed,
+    }
+    if args.quick:
+        kwargs["sizes"] = (("small", 400, 160), ("large", 900, 360))
+        kwargs["k_values"] = tuple(k for k in k_values if k <= 10) or (1,)
+        kwargs["repeats"] = 1
+    report = run_planner_bench(**kwargs)
+    print(format_planner_report(report))
+    if args.save_json:
+        import json
+
+        with open(args.save_json, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+        print(f"[report written to {args.save_json}]")
+    summary = report["summary"]
+    ok = summary["all_within_15pct_of_best"] and summary["never_worst"]
+    return 0 if ok else 1
+
+
 def _cmd_serve_bench(args: argparse.Namespace) -> int:
     from repro.reliability.faults import INJECTION_POINTS
     from repro.serve.bench import format_report, run_serve_bench
@@ -461,6 +697,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         fault_rate=args.fault_rate,
         fault_points=fault_points,
         fault_seed=args.fault_seed,
+        method=args.method,
     )
     print(format_report(report))
     if args.save_json:
@@ -493,6 +730,7 @@ def _cmd_bench_kernels(args: argparse.Namespace) -> int:
         bound=args.bound,
         seed=args.seed,
         repeats=args.repeats,
+        method=args.method,
     )
     print(format_kernel_report(report))
     if args.save_json:
@@ -645,6 +883,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_catalog(args)
         if args.command == "table":
             return _cmd_table(args)
+        if args.command == "explain":
+            return _cmd_explain(args)
+        if args.command == "bench-planner":
+            return _cmd_bench_planner(args)
         if args.command == "serve-bench":
             return _cmd_serve_bench(args)
         if args.command == "bench-kernels":

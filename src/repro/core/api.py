@@ -21,7 +21,7 @@ from repro.exceptions import EmptyDatasetError, UnknownOptionError
 from repro.rtree.tree import RTree
 
 #: Algorithm selector values accepted by :func:`top_k_upgrades`.
-METHODS = ("join", "probing", "basic-probing")
+METHODS = ("auto", "join", "probing", "basic-probing")
 
 _DEFAULT_CONFIG = UpgradeConfig()
 
@@ -36,6 +36,8 @@ def top_k_upgrades(
     config: UpgradeConfig = _DEFAULT_CONFIG,
     max_entries: int = 32,
     lbc_mode: str = "corrected",
+    explain: bool = False,
+    planner=None,
 ) -> UpgradeOutcome:
     """Solve the top-k product upgrading problem end to end.
 
@@ -46,18 +48,29 @@ def top_k_upgrades(
         k: number of cheapest-to-upgrade products to return.
         cost_model: the product cost function; defaults to the paper's
             summation of reciprocal attribute costs.
-        method: ``"join"`` (Algorithm 4), ``"probing"`` (improved probing),
-            or ``"basic-probing"`` (Algorithm 2 verbatim).
-        bound: join-list bound for the join method (ignored otherwise).
+        method: ``"auto"`` (cost-based planner picks), ``"join"``
+            (Algorithm 4), ``"probing"`` (improved probing), or
+            ``"basic-probing"`` (Algorithm 2 verbatim).
+        bound: join-list bound for the join method (ignored otherwise;
+            with ``method="auto"`` the planner chooses the bound).
         config: Algorithm 1 configuration.
         max_entries: R-tree node capacity for the bulk-loaded indexes.
         lbc_mode: per-pair bound variant for the join method —
             ``"corrected"`` (default) or ``"paper"``; see
             :mod:`repro.core.bounds`.
+        explain: attach an EXPLAIN tree (estimated vs actual costs per
+            plan node) as ``outcome.report.extras["explain"]``, an
+            :class:`~repro.plan.explain.ExplainReport`.  Works for fixed
+            methods too — the tree then shows what the planner would
+            have picked.
+        planner: the :class:`~repro.plan.planner.Planner` to consult
+            (``method="auto"`` / ``explain=True`` only); defaults to the
+            shared process-wide planner, which accumulates calibration
+            feedback across calls.
 
     Returns:
         The top-k results sorted by ascending upgrade cost, with a run
-        report.
+        report; ``report.extras["plan"]`` names the executed plan.
 
     Example:
         >>> import numpy as np
@@ -89,6 +102,21 @@ def top_k_upgrades(
             competitors, max_entries=max_entries
         )
 
+    if method == "auto" or explain:
+        return _planned_top_k(
+            competitor_tree,
+            products,
+            cost_model,
+            k,
+            config,
+            max_entries,
+            method,
+            bound,
+            lbc_mode,
+            explain,
+            planner,
+        )
+
     if method == "join":
         product_tree = RTree.bulk_load(products, max_entries=max_entries)
         upgrader = JoinUpgrader(
@@ -100,3 +128,65 @@ def top_k_upgrades(
             competitor_tree, products, cost_model, k, config
         )
     return basic_probing(competitor_tree, products, cost_model, k, config)
+
+
+def _planned_top_k(
+    competitor_tree: RTree,
+    products: Sequence[Sequence[float]],
+    cost_model: CostModel,
+    k: int,
+    config: UpgradeConfig,
+    max_entries: int,
+    method: str,
+    bound: str,
+    lbc_mode: str,
+    explain: bool,
+    planner,
+) -> UpgradeOutcome:
+    """Plan (or force), execute, observe, and optionally explain."""
+    # Imported lazily: repro.plan builds on repro.core, not vice versa.
+    from repro.plan import (
+        LogicalPlan,
+        PhysicalPlan,
+        default_planner,
+        execute_plan,
+        profile_catalog,
+    )
+    from repro.plan.planner import attach_actual
+
+    if planner is None:
+        planner = default_planner()
+    profile = profile_catalog(
+        competitor_tree, len(products), competitor_tree.dims or
+        len(products[0]), max_entries=max_entries,
+    )
+    logical = LogicalPlan(k=k, profile=profile, lbc_mode=lbc_mode)
+    force = None
+    if method != "auto":
+        force = PhysicalPlan(
+            method=method,
+            bound=bound,
+            lbc_mode=lbc_mode,
+            vector_jl_from=planner.vector_jl_from,
+        )
+    planned = planner.plan(logical, force=force)
+    outcome = execute_plan(
+        planned.plan,
+        competitor_tree,
+        products,
+        cost_model,
+        k,
+        config,
+        max_entries,
+    )
+    planner.observe(
+        planned, outcome.report.elapsed_s, outcome.report.counters
+    )
+    outcome.report.extras["plan"] = planned.plan.label
+    if explain:
+        report = planned.explain()
+        attach_actual(
+            report, outcome.report.elapsed_s, outcome.report.counters
+        )
+        outcome.report.extras["explain"] = report
+    return outcome

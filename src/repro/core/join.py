@@ -59,8 +59,14 @@ from repro.rtree.tree import RTree
 
 _DEFAULT_CONFIG = UpgradeConfig()
 
-#: Heap finality markers: final results pop before equal-cost candidates.
-_FINAL, _CANDIDATE = 0, 1
+#: Heap finality markers.  Candidates pop *before* equal-cost finals: a
+#: bound-c candidate may still produce another cost-c result, so draining
+#: candidates first lets equal-cost finals (tie-broken by record id, the
+#: third heap key) emit in canonical order.  The progressive stream is
+#: therefore globally sorted by ``(cost, record_id)`` — the same order
+#: the probing algorithms produce — so the planner's choice of physical
+#: plan never changes the answer, only the work.
+_CANDIDATE, _FINAL = 0, 1
 
 #: Join lists at or above this size use the columnar kernels (measured
 #: crossover of the batch evaluation vs the per-entry scalar loop,
@@ -83,6 +89,10 @@ class JoinUpgrader:
             (the literal Case 3/4 formulas, which overestimate and may
             return more expensive products; see
             :mod:`repro.core.bounds`).
+        vector_jl_from: join lists at or above this size take the columnar
+            kernel paths; below it the scalar loops win.  Defaults to the
+            measured crossover; the query planner overrides it with a
+            calibrated value.
 
     Example:
         >>> upgrader = JoinUpgrader(rp, rt, model, bound="clb")
@@ -99,11 +109,16 @@ class JoinUpgrader:
         bound: str = "clb",
         config: UpgradeConfig = _DEFAULT_CONFIG,
         lbc_mode: str = "corrected",
+        vector_jl_from: int = _VECTOR_JL_FROM,
     ):
         if bound not in BOUND_NAMES:
             raise UnknownOptionError("bound", bound, BOUND_NAMES)
         if lbc_mode not in LBC_MODES:
             raise UnknownOptionError("lbc_mode", lbc_mode, LBC_MODES)
+        if vector_jl_from < 1:
+            raise ConfigurationError(
+                f"vector_jl_from must be >= 1, got {vector_jl_from}"
+            )
         if (
             not competitor_tree.is_empty()
             and competitor_tree.dims != product_tree.dims
@@ -118,6 +133,7 @@ class JoinUpgrader:
         self.bound = bound
         self.config = config
         self.lbc_mode = lbc_mode
+        self.vector_jl_from = vector_jl_from
         self.stats = Counters()
         self._vector_bounds = supports_vector_bounds(cost_model)
 
@@ -202,7 +218,7 @@ class JoinUpgrader:
                     (
                         exact_cost,
                         _FINAL,
-                        next(counter),
+                        e_t.record_id,
                         e_t,
                         [],
                         [],
@@ -253,7 +269,7 @@ class JoinUpgrader:
         join lists take the general multi-root traversal.
         """
         stats = self.stats
-        if kernels_enabled() and jl and len(jl) >= _VECTOR_JL_FROM and all(
+        if kernels_enabled() and jl and len(jl) >= self.vector_jl_from and all(
             e.is_leaf_entry for e in jl
         ):
             with span(
@@ -291,7 +307,7 @@ class JoinUpgrader:
         if (
             kernels_enabled()
             and self._vector_bounds
-            and len(jl) >= _VECTOR_JL_FROM
+            and len(jl) >= self.vector_jl_from
         ):
             with stats.timed("kernel.pair_bounds"):
                 lows = np.array([e.mbr.low for e in jl], dtype=np.float64)
@@ -333,7 +349,7 @@ class JoinUpgrader:
         ) as sp:
             jl_lows = (
                 np.array([e.mbr.low for e in jl], dtype=np.float64)
-                if kernels_enabled() and len(jl) >= _VECTOR_JL_FROM
+                if kernels_enabled() and len(jl) >= self.vector_jl_from
                 else None
             )
             sp.set(
@@ -406,7 +422,7 @@ class JoinUpgrader:
     ) -> Tuple[List[Entry], List[Pair]]:
         """Traced wrapper around :meth:`_refine_join_list_inner`."""
         use_vector = (
-            kernels_enabled() and len(jl) - 1 >= _VECTOR_JL_FROM
+            kernels_enabled() and len(jl) - 1 >= self.vector_jl_from
         )
         with span(
             "join.refine",
@@ -462,7 +478,7 @@ class JoinUpgrader:
         stats.entries_pruned += len(picked.child.entries) - len(children)
 
         n = len(base)
-        use_vector = kernels_enabled() and n >= _VECTOR_JL_FROM
+        use_vector = kernels_enabled() and n >= self.vector_jl_from
         if use_vector:
             base_lows = np.array(
                 [e.mbr.low for e, _ in base], dtype=np.float64

@@ -299,20 +299,50 @@ class MarketSession:
         p = validate_point(point, self.dims)
         return intersects_dominance_region(self._products, p)
 
-    def make_upgrader(self) -> JoinUpgrader:
+    @property
+    def competitor_index(self) -> RTree:
+        """The live competitor R-tree (read-only: mutate via the session)."""
+        return self._competitors
+
+    @property
+    def product_index(self) -> RTree:
+        """The live product R-tree (read-only: mutate via the session)."""
+        return self._products
+
+    def products_by_id(self) -> Tuple[List[int], List[Point]]:
+        """Live products as parallel (ids, points) lists in id order.
+
+        The probing algorithms take a plain point sequence and report
+        positional record ids; callers use the id list to map positions
+        back to catalog ids (ids are not contiguous after removals).
+        """
+        ids = sorted(self._product_points)
+        return ids, [self._product_points[pid] for pid in ids]
+
+    def make_upgrader(
+        self,
+        bound: Optional[str] = None,
+        vector_jl_from: Optional[int] = None,
+    ) -> JoinUpgrader:
         """A :class:`JoinUpgrader` over the session's live indexes.
 
         The serving layer drives the progressive stream itself (for
         deadline checks between results) and harvests the upgrader's
         counters afterwards; plain callers should prefer :meth:`top_k` /
-        :meth:`stream`.
+        :meth:`stream`.  ``bound`` and ``vector_jl_from`` override the
+        session defaults — the query planner passes its chosen knobs here
+        without reconfiguring the session.
         """
+        kwargs = {}
+        if vector_jl_from is not None:
+            kwargs["vector_jl_from"] = vector_jl_from
         return JoinUpgrader(
             self._competitors,
             self._products,
             self.cost_model,
-            bound=self.bound,
+            bound=self.bound if bound is None else bound,
             config=self.config,
+            **kwargs,
         )
 
     def top_k(self, k: int = 1) -> UpgradeOutcome:

@@ -44,14 +44,57 @@ class ConfigurationError(SkyUpError, ValueError):
     """Raised for invalid algorithm or experiment configuration."""
 
 
+def _edit_distance(a: str, b: str, cap: int) -> int:
+    """Levenshtein distance, short-circuited once it must exceed ``cap``."""
+    if abs(len(a) - len(b)) > cap:
+        return cap + 1
+    previous = list(range(len(b) + 1))
+    for i, ca in enumerate(a, start=1):
+        current = [i]
+        best = i
+        for j, cb in enumerate(b, start=1):
+            cost = min(
+                previous[j] + 1,
+                current[j - 1] + 1,
+                previous[j - 1] + (ca != cb),
+            )
+            current.append(cost)
+            best = min(best, cost)
+        if best > cap:
+            return cap + 1
+        previous = current
+    return previous[-1]
+
+
+def suggest_option(value: str, choices: Sequence[str]) -> "str | None":
+    """The closest valid choice to a misspelled ``value``, if any is close.
+
+    A suggestion is offered when the edit distance is at most 2 (and less
+    than the choice's own length, so tiny names are not reachable from
+    arbitrary garbage): ``"jion"`` suggests ``"join"``, a wild guess
+    suggests nothing.  Case-only mismatches always match.
+    """
+    lowered = value.lower()
+    best: "str | None" = None
+    best_distance = 3
+    for choice in choices:
+        distance = _edit_distance(lowered, choice.lower(), cap=2)
+        if distance == 0:
+            return choice
+        if distance < best_distance and distance < len(choice):
+            best, best_distance = choice, distance
+    return best
+
+
 class UnknownOptionError(ConfigurationError):
     """A string selector was not one of its valid choices.
 
     Raised up front by :func:`repro.core.api.top_k_upgrades` (and the
     ``skyup`` CLI plumbing) when ``method``, ``bound``, or ``lbc_mode``
     is misspelled, so the mistake surfaces before any index is built.
-    The option name, offending value, and valid choices are kept as
-    attributes so callers can render their own message.
+    The option name, offending value, valid choices, and the near-miss
+    suggestion (if any) are kept as attributes so callers can render
+    their own message.
     """
 
     def __init__(
@@ -60,10 +103,16 @@ class UnknownOptionError(ConfigurationError):
         self.option = option
         self.value = value
         self.choices = tuple(choices)
-        listed = ", ".join(repr(c) for c in self.choices)
-        super().__init__(
-            f"unknown {option} {value!r}; choose from {listed}"
+        self.suggestion = (
+            suggest_option(value, self.choices)
+            if isinstance(value, str)
+            else None
         )
+        listed = ", ".join(repr(c) for c in self.choices)
+        message = f"unknown {option} {value!r}; choose from {listed}"
+        if self.suggestion is not None:
+            message = f"{message} (did you mean {self.suggestion!r}?)"
+        super().__init__(message)
 
 
 class EngineOverloadedError(SkyUpError, RuntimeError):

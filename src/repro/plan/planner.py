@@ -1,0 +1,375 @@
+"""The planner: enumerate, cost, choose — then learn from what ran.
+
+:meth:`Planner.plan` evaluates every physical alternative against the
+cost model and picks the cheapest (enumeration-order ties go to the
+join with the default bound, so a fresh planner on a toss-up catalog
+behaves exactly like the pre-planner default).  :meth:`Planner.observe`
+closes the loop after execution:
+
+* every run folds its actual/estimated ratio into the plan's EWMA scale;
+* ``misestimate_patience`` consecutive ratios outside
+  ``[1/misestimate_ratio, misestimate_ratio]`` snap the scale to the
+  observed value and bump :attr:`Planner.version` — callers that cache a
+  chosen plan (the serving engine) key on the version and re-plan;
+* once a family accumulates enough (counters, seconds) observations,
+  its unit costs are refit by non-negative least squares
+  (:func:`repro.costs.calibration.fit_unit_costs`), again bumping the
+  version.
+
+The kernel-vs-scalar join-list cutover — historically the hard-coded
+``_VECTOR_JL_FROM = 8`` — is a planner attribute:
+:meth:`calibrate_vector_cutover` micro-benchmarks the dominance kernel
+against the scalar loop on this machine and every subsequent join plan
+carries the measured crossover.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.join import _VECTOR_JL_FROM
+from repro.exceptions import CostFunctionError
+from repro.geometry.point import dominates
+from repro.instrumentation import Counters, Stopwatch
+from repro.kernels.dominance import dominating_mask
+from repro.plan.cost import PlanCostModel, WorkEstimate
+from repro.plan.explain import ExplainReport, PlanNode
+from repro.plan.logical import LogicalPlan
+from repro.plan.physical import PhysicalPlan
+
+#: Enumeration order doubles as the tie-break: earlier wins on equal
+#: estimates, so ``join[clb]`` — the library's historical default —
+#: prevails unless something is measurably cheaper.
+_CANDIDATE_ORDER: Tuple[Tuple[str, str], ...] = (
+    ("join", "clb"),
+    ("join", "alb"),
+    ("join", "nlb"),
+    ("probing", "clb"),
+    ("basic-probing", "clb"),
+)
+
+
+@dataclass(frozen=True)
+class CandidateEstimate:
+    """One costed alternative, as enumerated by :meth:`Planner.plan`."""
+
+    plan: PhysicalPlan
+    work: WorkEstimate
+    seconds: float
+
+
+@dataclass(frozen=True)
+class PlannedQuery:
+    """The planner's answer: the chosen plan plus everything it beat."""
+
+    logical: LogicalPlan
+    plan: PhysicalPlan
+    candidates: Tuple[CandidateEstimate, ...]
+    version: int
+    forced: bool = False
+
+    @property
+    def estimated_seconds(self) -> float:
+        for candidate in self.candidates:
+            if candidate.plan == self.plan:
+                return candidate.seconds
+        return 0.0
+
+    def explain(self) -> ExplainReport:
+        """Build the EXPLAIN tree (no actuals yet; see ``attach_actual``)."""
+        children = []
+        for candidate in self.candidates:
+            chosen = candidate.plan == self.plan
+            node = PlanNode(
+                label=candidate.plan.describe(),
+                estimated={
+                    "seconds": candidate.seconds,
+                    **candidate.work.to_dict(),
+                },
+                chosen=chosen,
+                detail=candidate.plan.to_dict(),
+            )
+            children.append(node)
+        root = PlanNode(
+            label=self.logical.describe()
+            + (" (forced)" if self.forced else ""),
+            estimated={"seconds": self.estimated_seconds},
+            chosen=True,
+            children=children,
+        )
+        return ExplainReport(
+            tree=root,
+            chosen=self.plan.label,
+            planner_version=self.version,
+            profile=self.logical.profile.to_dict(),
+        )
+
+
+def attach_actual(
+    report: ExplainReport,
+    elapsed_s: float,
+    counters: Optional[Counters] = None,
+) -> ExplainReport:
+    """Record measured cost on every executed node of an EXPLAIN tree.
+
+    The root (the query) and the chosen candidate both executed; the
+    losing candidates keep ``actual=None``.
+    """
+    actual: Dict[str, float] = {"seconds": elapsed_s}
+    if counters is not None:
+        actual.update(
+            node_accesses=float(counters.node_accesses),
+            dominance_tests=float(counters.dominance_tests),
+            upgrade_calls=float(counters.upgrade_calls),
+        )
+    report.tree.actual = dict(actual)
+    for child in report.tree.children:
+        if child.chosen:
+            child.actual = dict(actual)
+    return report
+
+
+@dataclass
+class _PlanHealth:
+    """Per-label feedback state."""
+
+    observations: int = 0
+    miss_streak: int = 0
+    last_ratio: float = 1.0
+    estimate_log_error: float = 0.0
+
+
+class Planner:
+    """Thread-safe cost-based plan selection with calibration feedback.
+
+    Args:
+        cost_model: override the seeded :class:`PlanCostModel`.
+        misestimate_ratio: actual/estimated beyond this (either way)
+            counts as a misestimate.
+        misestimate_patience: consecutive misestimates of one plan that
+            trigger a version bump (re-plan signal) and a scale snap.
+        refit_window: refit a family's unit costs every this many
+            observations of that family (needs at least one full window).
+        vector_jl_from: initial kernel cutover for join plans; replaced
+            by :meth:`calibrate_vector_cutover` when called.
+    """
+
+    def __init__(
+        self,
+        cost_model: Optional[PlanCostModel] = None,
+        misestimate_ratio: float = 3.0,
+        misestimate_patience: int = 3,
+        refit_window: int = 8,
+        vector_jl_from: int = _VECTOR_JL_FROM,
+    ) -> None:
+        self.cost_model = cost_model or PlanCostModel()
+        self.misestimate_ratio = misestimate_ratio
+        self.misestimate_patience = misestimate_patience
+        self.refit_window = refit_window
+        self.vector_jl_from = vector_jl_from
+        self.version = 0
+        self.calibrated_cutover = False
+        self._lock = threading.Lock()
+        self._health: Dict[str, _PlanHealth] = {}
+        self._samples: Dict[str, List[Tuple[Tuple[float, ...], float]]] = {}
+        self._plans_chosen: Dict[str, int] = {}
+        self._replans = 0
+
+    # -- planning ----------------------------------------------------------
+
+    def candidates(self, logical: LogicalPlan) -> List[PhysicalPlan]:
+        """The physical alternatives enumerated for ``logical``."""
+        plans = []
+        for method, bound in _CANDIDATE_ORDER:
+            plans.append(
+                PhysicalPlan(
+                    method=method,
+                    bound=bound,
+                    lbc_mode=logical.lbc_mode,
+                    vector_jl_from=self.vector_jl_from,
+                )
+            )
+        return plans
+
+    def plan(
+        self,
+        logical: LogicalPlan,
+        force: Optional[PhysicalPlan] = None,
+    ) -> PlannedQuery:
+        """Cost every alternative and choose (or honor ``force``).
+
+        ``force`` still costs the full candidate set — EXPLAIN on a fixed
+        method shows what the planner *would* have picked.
+        """
+        with self._lock:
+            estimates: List[CandidateEstimate] = []
+            plans = self.candidates(logical)
+            if force is not None and all(p != force for p in plans):
+                plans.append(force)
+            for plan in plans:
+                work = self.cost_model.estimate_work(plan, logical)
+                seconds = self.cost_model.estimate_seconds(plan, logical)
+                estimates.append(CandidateEstimate(plan, work, seconds))
+            if force is not None:
+                chosen = force
+            else:
+                chosen = min(estimates, key=lambda c: c.seconds).plan
+            self._plans_chosen[chosen.label] = (
+                self._plans_chosen.get(chosen.label, 0) + 1
+            )
+            return PlannedQuery(
+                logical=logical,
+                plan=chosen,
+                candidates=tuple(estimates),
+                version=self.version,
+                forced=force is not None,
+            )
+
+    # -- feedback ----------------------------------------------------------
+
+    def observe(
+        self,
+        planned: PlannedQuery,
+        elapsed_s: float,
+        counters: Optional[Counters] = None,
+    ) -> None:
+        """Fold one execution's measured cost back into the model."""
+        estimated = planned.estimated_seconds
+        if estimated <= 0 or elapsed_s <= 0:
+            return
+        label = planned.plan.label
+        family = planned.plan.family
+        ratio = elapsed_s / estimated
+        with self._lock:
+            health = self._health.setdefault(label, _PlanHealth())
+            health.observations += 1
+            health.last_ratio = ratio
+            alpha = 0.3
+            health.estimate_log_error = (
+                (1 - alpha) * health.estimate_log_error
+                + alpha * abs(float(np.log(ratio)))
+            )
+            if (
+                ratio > self.misestimate_ratio
+                or ratio < 1.0 / self.misestimate_ratio
+            ):
+                health.miss_streak += 1
+            else:
+                health.miss_streak = 0
+            if health.miss_streak >= self.misestimate_patience:
+                # Repeated misestimates: jump the scale to reality and
+                # tell plan-caching callers to re-plan.
+                self.cost_model.snap_scale(label, ratio)
+                health.miss_streak = 0
+                self.version += 1
+                self._replans += 1
+            else:
+                self.cost_model.rescale(label, ratio)
+            if counters is not None:
+                features = (
+                    float(counters.node_accesses),
+                    float(counters.dominance_tests),
+                    float(
+                        counters.skyline_points
+                        * planned.logical.profile.dims
+                    ),
+                )
+                samples = self._samples.setdefault(family, [])
+                samples.append((features, elapsed_s))
+                if (
+                    len(samples) >= self.refit_window
+                    and len(samples) % self.refit_window == 0
+                ):
+                    self._refit_locked(family)
+
+    def _refit_locked(self, family: str) -> None:
+        samples = self._samples[family][-4 * self.refit_window:]
+        features = [s[0] for s in samples]
+        runtimes = [s[1] for s in samples]
+        try:
+            applied = self.cost_model.refit(family, features, runtimes)
+        except CostFunctionError:
+            return
+        if applied:
+            self.version += 1
+
+    # -- kernel cutover calibration ---------------------------------------
+
+    def calibrate_vector_cutover(
+        self,
+        dims: int = 2,
+        sizes: Sequence[int] = (2, 4, 6, 8, 12, 16, 24, 32),
+        repeats: int = 300,
+    ) -> int:
+        """Measure the kernel-vs-scalar crossover for dominance filtering.
+
+        Times the columnar :func:`repro.kernels.dominance.dominating_mask`
+        against the scalar :func:`repro.geometry.point.dominates` loop on
+        join lists of increasing size and keeps the smallest size where
+        the kernel wins; join plans produced afterwards carry it.
+        """
+        rng = np.random.default_rng(7)
+        point = tuple(1.0 for _ in range(dims))
+        crossover = max(sizes)
+        for size in sorted(sizes):
+            block = rng.random((size, dims))
+            rows = [tuple(row) for row in block]
+            watch = Stopwatch()
+            for _ in range(repeats):
+                for row in rows:
+                    dominates(row, point)
+            scalar_s = watch.split()
+            for _ in range(repeats):
+                dominating_mask(block, point)
+            kernel_s = watch.split() - scalar_s
+            if kernel_s < scalar_s:
+                crossover = size
+                break
+        with self._lock:
+            self.vector_jl_from = max(1, crossover)
+            self.calibrated_cutover = True
+            self.version += 1
+        return self.vector_jl_from
+
+    # -- introspection -----------------------------------------------------
+
+    def stats(self) -> dict:
+        """Metrics snapshot (serving layer's ``planner`` section)."""
+        with self._lock:
+            return {
+                "version": self.version,
+                "replans": self._replans,
+                "vector_jl_from": self.vector_jl_from,
+                "calibrated_cutover": self.calibrated_cutover,
+                "plans_chosen": dict(sorted(self._plans_chosen.items())),
+                "plan_health": {
+                    label: {
+                        "observations": h.observations,
+                        "last_ratio": round(h.last_ratio, 3),
+                        "log_error_ewma": round(h.estimate_log_error, 3),
+                    }
+                    for label, h in sorted(self._health.items())
+                },
+                "cost_model": self.cost_model.to_dict(),
+            }
+
+
+_default_planner: Optional[Planner] = None
+_default_planner_lock = threading.Lock()
+
+
+def default_planner() -> Planner:
+    """The process-wide planner used by ``top_k_upgrades(method="auto")``.
+
+    One shared instance so one-shot API calls accumulate calibration
+    across invocations; long-lived engines own private planners instead.
+    """
+    global _default_planner
+    with _default_planner_lock:
+        if _default_planner is None:
+            _default_planner = Planner()
+        return _default_planner

@@ -1,13 +1,27 @@
-"""Descriptive statistics for R-trees.
+"""Descriptive statistics and analytic estimators for R-trees.
 
-Used by the fanout/split ablation benchmarks and by tests that assert
-structural quality (fill factors, overlap) rather than mere validity.
+Used by the fanout/split ablation benchmarks, by tests that assert
+structural quality (fill factors, overlap) rather than mere validity,
+and — since the query-planner PR — by :mod:`repro.plan` as the catalog
+statistics behind plan cost estimation:
+
+* :func:`estimate_window_accesses` — expected node accesses of a window
+  (range) query, the Theodoridis–Sellis R-tree cost model evaluated on
+  the tree's *measured* per-level node extents instead of uniformity
+  assumptions;
+* :func:`estimate_skyline_size` — the classical expectation
+  ``(ln n)^(d-1) / (d-1)!`` for the skyline size of ``n`` points with
+  independent continuous coordinates;
+* :func:`sample_skyline_size` — a measured-sample corrector for
+  correlated data: exact skyline of an evenly strided sample,
+  extrapolated with the analytic growth rate.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.rtree.node import Node
 from repro.rtree.tree import RTree
@@ -23,11 +37,20 @@ class LevelStats:
     min_fill: float = 1.0
     total_area: float = 0.0
     total_margin: float = 0.0
+    #: Per-dimension sums of entry-MBR side lengths on this level (the
+    #: window-query cost model needs mean node extents per dimension).
+    extent_sums: List[float] = field(default_factory=list)
 
     @property
     def avg_fanout(self) -> float:
         """Mean entries per node on this level."""
         return self.entries / self.nodes if self.nodes else 0.0
+
+    def avg_extents(self) -> Tuple[float, ...]:
+        """Mean entry-MBR side length per dimension on this level."""
+        if not self.entries or not self.extent_sums:
+            return ()
+        return tuple(s / self.entries for s in self.extent_sums)
 
 
 @dataclass
@@ -38,6 +61,9 @@ class TreeStats:
     points: int
     levels: Dict[int, LevelStats] = field(default_factory=dict)
     sibling_overlap_area: float = 0.0
+    #: Side lengths of the root MBR — the data-space extents the window
+    #: access estimator falls back to when no domain is supplied.
+    root_extents: Tuple[float, ...] = ()
 
     @property
     def node_count(self) -> int:
@@ -72,6 +98,10 @@ def collect_stats(tree: RTree) -> TreeStats:
     if tree.is_empty():
         stats.levels[0] = LevelStats(level=0)
         return stats
+    root_mbr = tree.root.compute_mbr()
+    stats.root_extents = tuple(
+        hi - lo for lo, hi in zip(root_mbr.low, root_mbr.high)
+    )
     _walk(tree.root, tree.max_entries, stats)
     return stats
 
@@ -84,9 +114,117 @@ def _walk(node: Node, max_entries: int, stats: TreeStats) -> None:
     for e in node.entries:
         level.total_area += e.mbr.area()
         level.total_margin += e.mbr.margin()
+        sides = [hi - lo for lo, hi in zip(e.mbr.low, e.mbr.high)]
+        if not level.extent_sums:
+            level.extent_sums = [0.0] * len(sides)
+        for d, side in enumerate(sides):
+            level.extent_sums[d] += side
     if not node.is_leaf:
         for i, a in enumerate(node.entries):
             for b in node.entries[i + 1 :]:
                 stats.sibling_overlap_area += a.mbr.overlap_area(b.mbr)
         for e in node.entries:
             _walk(e.child, max_entries, stats)
+
+
+# ---------------------------------------------------------------------------
+# Analytic estimators (consumed by repro.plan)
+# ---------------------------------------------------------------------------
+
+
+def estimate_window_accesses(
+    stats: TreeStats,
+    window_extents: Sequence[float],
+    domain_extents: Optional[Sequence[float]] = None,
+) -> float:
+    """Expected node accesses of a window query with the given side lengths.
+
+    Theodoridis–Sellis: a node is accessed iff its MBR intersects the query
+    window, which for a uniformly placed window of extent ``q_d`` happens
+    with probability ``min(1, (s_d + q_d) / D_d)`` per dimension, where
+    ``s_d`` is the node's extent and ``D_d`` the data-space extent.  We
+    evaluate the formula per level with the *measured* mean entry extents
+    (entries at level ``l`` describe the nodes of level ``l-1``, plus the
+    point entries at the leaves), matching
+    :func:`repro.rtree.query.range_query`, which counts every visited node
+    and always visits the root.
+    """
+    if not stats.levels or stats.points == 0:
+        return 1.0
+    if domain_extents is None:
+        domain_extents = stats.root_extents or tuple(
+            1.0 for _ in window_extents
+        )
+    expected = 1.0  # the root is always read
+    for lvl, level in stats.levels.items():
+        if lvl == max(stats.levels):
+            continue  # root counted unconditionally above
+        # Nodes of level ``lvl`` are described by the entries one level up.
+        parent = stats.levels.get(lvl + 1)
+        extents = parent.avg_extents() if parent else ()
+        if not extents:
+            continue
+        prob = 1.0
+        for s, q, dom in zip(extents, window_extents, domain_extents):
+            if dom <= 0:
+                continue
+            prob *= min(1.0, (s + q) / dom)
+        expected += level.nodes * prob
+    return expected
+
+
+def estimate_skyline_size(n: int, dims: int) -> float:
+    """Expected skyline size of ``n`` points with independent coordinates.
+
+    The classical result for continuous i.i.d. coordinates is
+    ``(ln n)^(d-1) / (d-1)!`` (Bentley et al.); it is the planner's prior
+    for dominator-skyline sizes before any sample correction.
+    """
+    if n <= 0:
+        return 0.0
+    if n == 1 or dims <= 1:
+        return 1.0
+    log_n = math.log(n)
+    est = log_n ** (dims - 1) / math.factorial(dims - 1)
+    return max(1.0, min(float(n), est))
+
+
+def sample_skyline_size(tree: RTree, dims: int, sample_cap: int = 256) -> float:
+    """Estimate the skyline size of ``tree``'s points from a strided sample.
+
+    Computes the exact (minimising) skyline of at most ``sample_cap`` evenly
+    strided points and extrapolates to the full population with the analytic
+    growth rate ``(ln N / ln m)^(d-1)``.  This corrects the i.i.d. prior of
+    :func:`estimate_skyline_size` on correlated or clustered catalogs.
+    """
+    n = len(tree)
+    if n == 0:
+        return 0.0
+    points = [p for p, _ in tree.iter_points()]
+    stride = max(1, n // sample_cap)
+    sample = points[::stride]
+    m = len(sample)
+    skyline: List[Sequence[float]] = []
+    for p in sample:
+        dominated = False
+        keep: List[Sequence[float]] = []
+        for s in skyline:
+            if all(sv <= pv for sv, pv in zip(s, p)) and any(
+                sv < pv for sv, pv in zip(s, p)
+            ):
+                dominated = True
+                keep = skyline
+                break
+            if not (
+                all(pv <= sv for pv, sv in zip(p, s))
+                and any(pv < sv for pv, sv in zip(p, s))
+            ):
+                keep.append(s)
+        if not dominated:
+            keep.append(p)
+        skyline = keep
+    sample_size = float(len(skyline))
+    if m >= n or m <= 1:
+        return max(1.0, sample_size)
+    growth = (math.log(n) / math.log(m)) ** (dims - 1)
+    return max(1.0, min(float(n), sample_size * growth))

@@ -92,6 +92,7 @@ def _replay(
     requests: List[Query],
     cache: bool,
     fault_plan: Optional[FaultPlan] = None,
+    method: str = "join",
 ) -> Dict[str, object]:
     # The guard is pinned off: its sampled scalar-oracle recomputes are a
     # reliability cost, not query-execution cost, and would skew the
@@ -101,6 +102,7 @@ def _replay(
         EngineConfig(
             workers=0,
             cache=cache,
+            method=method,
             kernel_guard=KernelGuard(sample_rate=0.0),
         ),
     )
@@ -126,6 +128,15 @@ def _replay(
         "latency_s": metrics["latency_s"],
         "counters": metrics["counters"],
         "timings_s": metrics.get("timings_s", {}),
+        "planner": (
+            {
+                "plans_chosen": metrics["planner"]["plans_chosen"],
+                "replans": metrics["planner"]["replans"],
+                "version": metrics["planner"]["version"],
+            }
+            if metrics.get("planner") is not None
+            else None
+        ),
         "reliability": {
             "failed_requests": failures,
             "retries": metrics["retries"],
@@ -176,13 +187,18 @@ def run_serve_bench(
     fault_rate: float = 0.0,
     fault_points: Optional[List[str]] = None,
     fault_seed: Optional[int] = None,
+    method: str = "join",
 ) -> Dict[str, object]:
     """Run the cached-vs-cold comparison; returns a JSON-ready report.
 
     ``report["speedup"]`` is cached throughput over cold throughput on the
     identical request sequence.  ``fault_rate > 0`` arms ``fault_points``
     (default: ``serve.cache`` and ``rtree.query``) with error faults at
-    that rate for both runs, from the same seed.
+    that rate for both runs, from the same seed.  ``method`` is the
+    engine execution strategy for whole-catalog top-k requests
+    (``"join"``, the recorded baseline's behaviour; ``"probing"``; or
+    ``"auto"`` — each run's report then carries the planner's chosen
+    physical plans under ``report[mode]["planner"]``).
     """
     if session is None:
         session = build_session(
@@ -203,8 +219,12 @@ def run_serve_bench(
             rate=fault_rate,
             points=tuple(fault_points or ("serve.cache", "rtree.query")),
         )
-    cold = _replay(session, requests, cache=False, fault_plan=fault_plan)
-    cached = _replay(session, requests, cache=True, fault_plan=fault_plan)
+    cold = _replay(
+        session, requests, cache=False, fault_plan=fault_plan, method=method
+    )
+    cached = _replay(
+        session, requests, cache=True, fault_plan=fault_plan, method=method
+    )
     speedup = (
         cached["throughput_rps"] / cold["throughput_rps"]
         if cold["throughput_rps"]
@@ -221,6 +241,7 @@ def run_serve_bench(
             "topk_every": topk_every,
             "k": k,
             "seed": seed,
+            "method": method,
         },
         "cold": cold,
         "cached": cached,
@@ -310,6 +331,17 @@ def format_report(report: Dict[str, object]) -> str:
             f"{lat['p50'] * 1e3:8.3f} {lat['p95'] * 1e3:8.3f}"
         )
     lines.append(f"speedup (cached/cold): {report['speedup']:.2f}x")
+    for mode in ("cold", "cached"):
+        planner = report[mode].get("planner")
+        if planner:
+            chosen = ", ".join(
+                f"{label}×{count}"
+                for label, count in sorted(planner["plans_chosen"].items())
+            ) or "none"
+            lines.append(
+                f"  {mode:8s} plans: {chosen} "
+                f"(replans={planner['replans']})"
+            )
     split = _timing_split(report)
     if split:
         lines.append(split)

@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import asdict, dataclass, fields
 from typing import Dict, Optional
 
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, UnknownOptionError
 from repro.reliability.guards import KernelGuard
 from repro.reliability.retry import RetryPolicy
 
@@ -33,6 +33,11 @@ class EngineConfig:
         workers: worker-pool threads (0 = synchronous-only engine: no
             pool, ``submit`` unavailable, ``query``/``execute_batch``
             still work).
+        method: how whole-catalog top-k queries execute — ``"auto"``
+            (default: the engine's cost-based planner picks per catalog
+            epoch and re-plans on calibration feedback), ``"join"`` (the
+            fixed pre-planner behaviour), or ``"probing"`` (fixed
+            improved probing).
         queue_capacity: admission bound of the request queue.
         batch_max: largest batch a worker drains at once.
         cache: enable the epoch-versioned caches (disable to measure
@@ -62,6 +67,7 @@ class EngineConfig:
     """
 
     workers: int = 2
+    method: str = "auto"
     queue_capacity: int = 1024
     batch_max: int = 64
     cache: bool = True
@@ -77,11 +83,16 @@ class EngineConfig:
     trace_seed: int = 2012
     trace_max_spans: int = 20_000
 
+    #: Execution strategies the engine knows how to drive.
+    METHODS = ("auto", "join", "probing")
+
     def __post_init__(self) -> None:
         if self.workers < 0:
             raise ConfigurationError(
                 f"workers must be >= 0, got {self.workers}"
             )
+        if self.method not in self.METHODS:
+            raise UnknownOptionError("method", self.method, self.METHODS)
         if self.queue_capacity < 1:
             raise ConfigurationError(
                 f"queue_capacity must be >= 1, got {self.queue_capacity}"

@@ -71,6 +71,7 @@ import warnings
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.core.probing import improved_probing
 from repro.core.session import MarketSession, MutationEvent
 from repro.core.types import UpgradeResult
 from repro.core.upgrade import upgrade
@@ -82,9 +83,11 @@ from repro.exceptions import (
     TransientError,
     WorkerCrashError,
 )
-from repro.instrumentation import Counters
+from repro.instrumentation import Counters, Stopwatch
 from repro.kernels.switch import kernels_enabled, use_kernels
 from repro.obs import Trace, Tracer, TraceStore, activate, clock, span
+from repro.plan import LogicalPlan, PhysicalPlan, Planner, profile_catalog
+from repro.plan.planner import PlannedQuery
 from repro.reliability.faults import active_injector, maybe_inject
 from repro.reliability.guards import IndexGuard, KernelGuard, divergence
 from repro.reliability.retry import RetryPolicy
@@ -292,6 +295,11 @@ class UpgradeEngine:
         )
         self.trace_store = TraceStore(capacity=config.trace_store_capacity)
         self._metrics = EngineMetrics(window=config.metrics_window)
+        # Each engine owns its planner: calibration feedback from this
+        # catalog should not leak into unrelated processes' plans.
+        self.planner = Planner()
+        self._plan_lock = threading.Lock()
+        self._plan_cache: Optional[Tuple[Epoch, int, PlannedQuery]] = None
         self._rw = ReadWriteLock()
         self._extern_counters: Dict[int, Counters] = (
             {}
@@ -405,6 +413,10 @@ class UpgradeEngine:
         doubt, invalidating is always correct — keeping a stale prefix is
         not.
         """
+        with self._plan_lock:
+            # The chosen plan is keyed on the epoch anyway, but dropping
+            # it eagerly keeps the cache from pinning a dead PlannedQuery.
+            self._plan_cache = None
         if event.side == "competitor":
             self.skyline_cache.invalidate_point(event.point)
             try:
@@ -714,6 +726,82 @@ class UpgradeEngine:
         self._respond(pending, [result], partial=False,
                       cache_hit=False, epoch=epoch, kind="product")
 
+    # -- planning --------------------------------------------------------------
+
+    def _current_plan(self, epoch: Epoch) -> Optional[PlannedQuery]:
+        """The planner's choice for this catalog epoch (None = fixed join).
+
+        Cached per ``(epoch, planner version)``: mutations move the epoch
+        and calibration feedback (repeated misestimates, unit-cost
+        refits) bumps the version, so either forces a re-plan.  With
+        ``config.method="join"`` planning is skipped entirely — the
+        legacy fixed path.
+        """
+        if self.config.method == "join":
+            return None
+        with self._plan_lock:
+            cached = self._plan_cache
+            if (
+                cached is not None
+                and cached[0] == epoch
+                and cached[1] == self.planner.version
+            ):
+                return cached[2]
+        session = self.session
+        with span("engine.plan", method=self.config.method):
+            profile = profile_catalog(
+                session.competitor_index,
+                session.product_count,
+                session.dims,
+                product_tree=session.product_index,
+            )
+            logical = LogicalPlan(k=1, profile=profile)
+            force = None
+            if self.config.method == "probing":
+                force = PhysicalPlan(
+                    method="probing",
+                    vector_jl_from=self.planner.vector_jl_from,
+                )
+            planned = self.planner.plan(logical, force=force)
+        with self._plan_lock:
+            self._plan_cache = (epoch, planned.version, planned)
+        return planned
+
+    def _make_plan_upgrader(self, planned: Optional[PlannedQuery]):
+        """A session upgrader honoring the plan's join knobs (if any)."""
+        if planned is None:
+            return self.session.make_upgrader()
+        plan = planned.plan
+        return self.session.make_upgrader(
+            bound=plan.bound, vector_jl_from=plan.vector_jl_from
+        )
+
+    def _probing_topk(
+        self, k: int, stats: Counters
+    ) -> Tuple[List[UpgradeResult], bool, float]:
+        """One improved-probing run mapped back to catalog product ids.
+
+        Returns ``(results, exhausted, elapsed_s)``.  Work is charged to
+        ``stats`` — pass the request counters on the serving path, the
+        guard counters on oracle recomputes.
+        """
+        ids, points = self.session.products_by_id()
+        if not points:
+            return [], True, 0.0
+        outcome = improved_probing(
+            self.session.competitor_index,
+            points,
+            self.session.cost_model,
+            k,
+            self.session.config,
+        )
+        stats.merge(outcome.report.counters)
+        results = [
+            replace(r, record_id=ids[r.record_id])
+            for r in outcome.results
+        ]
+        return results, len(results) < k, outcome.report.elapsed_s
+
     # -- kernel result guard ---------------------------------------------------
 
     def _guarded_product_result(
@@ -756,20 +844,29 @@ class UpgradeEngine:
             self._metrics.record_quarantine()
         return UpgradeResult(result.record_id, result.original, upgraded, cost)
 
-    def _oracle_topk(self, k: int) -> List[UpgradeResult]:
+    def _oracle_topk(
+        self, k: int, method: str = "join"
+    ) -> List[UpgradeResult]:
         """The scalar-path top-``k`` prefix (the guard's reference run).
 
-        Charged to the guard counters, not the request counters.
+        Recomputes with the same ``method`` the guarded run used, so the
+        comparison isolates kernel-vs-scalar.  Charged to the guard
+        counters, not the request counters.
         """
+        oracle_stats = Counters()
         with span("guard.recompute", kind="topk", k=k), use_kernels(False):
-            upgrader = self.session.make_upgrader()
-            results = []
-            for result in upgrader.results():
-                results.append(result)
-                if len(results) >= k:
-                    break
+            if method != "join":
+                results, _exhausted, _ = self._probing_topk(k, oracle_stats)
+            else:
+                upgrader = self.session.make_upgrader()
+                results = []
+                for result in upgrader.results():
+                    results.append(result)
+                    if len(results) >= k:
+                        break
+                oracle_stats.merge(upgrader.stats)
         with self._guard_stats_lock:
-            self._guard_stats.merge(upgrader.stats)
+            self._guard_stats.merge(oracle_stats)
         return results
 
     # error-boundary: per-request containment — fail, never hang
@@ -868,11 +965,16 @@ class UpgradeEngine:
                     kind="topk",
                 )
             return
+        planned = self._current_plan(epoch)
         if kernels_enabled() and self.kernel_guard.should_check():
-            self._serve_topk_group_guarded(group, stats, epoch, k_max)
+            self._serve_topk_group_guarded(group, stats, epoch, k_max, planned)
+            return
+        if planned is not None and planned.plan.method != "join":
+            self._serve_topk_group_probing(group, stats, epoch, planned)
             return
 
-        upgrader = self.session.make_upgrader()
+        watch = Stopwatch()
+        upgrader = self._make_plan_upgrader(planned)
         gen = upgrader.results()
         results: List[UpgradeResult] = []
         active = list(group)
@@ -931,10 +1033,55 @@ class UpgradeEngine:
                 kind="topk",
             )
         stats.merge(upgrader.stats)
+        if planned is not None:
+            self.planner.observe(planned, watch.split(), upgrader.stats)
         if results or exhausted:
             # Any progressive prefix is the exact top-|results| — even a
             # deadline-truncated run warms the cache.
             self._store_topk(results, exhausted, epoch)
+
+    def _serve_topk_group_probing(
+        self,
+        group: List[PendingQuery],
+        stats: Counters,
+        epoch: Epoch,
+        planned: PlannedQuery,
+    ) -> None:
+        """Serve a top-k group with the planner-chosen probing plan.
+
+        Probing is not progressive, so deadline degradation is
+        all-or-nothing: requests whose deadline already expired get an
+        empty partial prefix up front (trivially an exact prefix of the
+        ranking); the survivors share one full run to the group's k.
+        """
+        now = time.monotonic()
+        active: List[PendingQuery] = []
+        for pending in group:
+            if (
+                pending.abs_deadline is not None
+                and now >= pending.abs_deadline
+            ):
+                self._respond(
+                    pending, [], partial=True, cache_hit=False,
+                    epoch=epoch, kind="topk",
+                )
+            else:
+                active.append(pending)
+        if not active:
+            return
+        k_max = max(p.query.k for p in active)
+        results, exhausted, elapsed_s = self._probing_topk(k_max, stats)
+        self.planner.observe(planned, elapsed_s)
+        for pending in active:
+            self._respond(
+                pending,
+                results[: pending.query.k],
+                partial=False,
+                cache_hit=False,
+                epoch=epoch,
+                kind="topk",
+            )
+        self._store_topk(results, exhausted, epoch)
 
     def _serve_topk_group_guarded(
         self,
@@ -942,6 +1089,7 @@ class UpgradeEngine:
         stats: Counters,
         epoch: Epoch,
         k_max: int,
+        planned: Optional[PlannedQuery] = None,
     ) -> None:
         """A sampled top-k run: kernel answer cross-checked before anyone
         sees it.
@@ -949,16 +1097,25 @@ class UpgradeEngine:
         Unlike the progressive path, both runs complete before responses
         go out (a divergent prefix must never be partially delivered);
         deadline-expired requests still get a partial prefix — of the
-        *validated* results.
+        *validated* results.  The scalar oracle reruns the *same*
+        physical plan, so a disagreement always indicts the kernels, not
+        the planner.
         """
-        upgrader = self.session.make_upgrader()
-        results: List[UpgradeResult] = []
-        for result in upgrader.results():
-            results.append(result)
-            if len(results) >= k_max:
-                break
-        stats.merge(upgrader.stats)
-        oracle = self._oracle_topk(k_max)
+        method = planned.plan.method if planned is not None else "join"
+        watch = Stopwatch()
+        if method != "join":
+            results, _exhausted, _ = self._probing_topk(k_max, stats)
+        else:
+            upgrader = self._make_plan_upgrader(planned)
+            results = []
+            for result in upgrader.results():
+                results.append(result)
+                if len(results) >= k_max:
+                    break
+            stats.merge(upgrader.stats)
+        if planned is not None:
+            self.planner.observe(planned, watch.split())
+        oracle = self._oracle_topk(k_max, method)
         guard = self.kernel_guard
         agree = len(results) == len(oracle) and all(
             served.record_id == truth.record_id
@@ -1121,6 +1278,11 @@ class UpgradeEngine:
                         injector.stats() if injector is not None else None
                     ),
                 },
+                "planner": (
+                    self.planner.stats()
+                    if self.config.method != "join"
+                    else None
+                ),
                 "cache_enabled": self.cache_enabled,
                 "skyline_cache": {
                     **self.skyline_cache.stats.as_dict(),

@@ -421,6 +421,50 @@ def timed():
 
 
 # ---------------------------------------------------------------------------
+# SKY701 — planner layering
+
+
+def test_sky701_flags_plan_importing_upward(tmp_path):
+    source = '''\
+import repro.serve
+from repro.bench.planner import run_planner_bench
+from repro.core.join import JoinUpgrader
+
+
+def plan_it():
+    return repro.serve, run_planner_bench, JoinUpgrader
+'''
+    write_tree(
+        tmp_path,
+        {
+            "src/repro/plan/bad.py": source,
+            "src/repro/serve/ok.py": source,  # outside the plan layer
+        },
+    )
+    found = findings_for(tmp_path, "SKY701")
+    assert [(f.path, f.line) for f in found] == [
+        ("src/repro/plan/bad.py", 1),
+        ("src/repro/plan/bad.py", 2),
+    ]
+    assert "repro.serve" in found[0].message
+
+
+def test_sky701_accepts_downward_imports(tmp_path):
+    source = '''\
+from repro.core.join import JoinUpgrader
+from repro.costs.calibration import fit_unit_costs
+from repro.instrumentation import Counters
+from repro.rtree.stats import collect_stats
+
+
+def fine():
+    return JoinUpgrader, fit_unit_costs, Counters, collect_stats
+'''
+    write_tree(tmp_path, {"src/repro/plan/good.py": source})
+    assert findings_for(tmp_path, "SKY701") == []
+
+
+# ---------------------------------------------------------------------------
 # baseline
 
 

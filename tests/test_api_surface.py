@@ -153,6 +153,33 @@ class TestOptionValidation:
         with pytest.raises(ValueError):
             top_k_upgrades(self.P, self.T, lbc_mode="nope")
 
+    @pytest.mark.parametrize(
+        "kwargs,expected",
+        [
+            ({"method": "jion"}, "join"),
+            ({"method": "Probing"}, "probing"),
+            ({"bound": "abl"}, "alb"),
+            ({"lbc_mode": "papr"}, "paper"),
+        ],
+    )
+    def test_near_miss_gets_suggestion(self, kwargs, expected):
+        with pytest.raises(UnknownOptionError) as excinfo:
+            top_k_upgrades(self.P, self.T, **kwargs)
+        exc = excinfo.value
+        assert exc.suggestion == expected
+        assert f"did you mean {expected!r}?" in str(exc)
+
+    def test_wild_guess_gets_no_suggestion(self):
+        with pytest.raises(UnknownOptionError) as excinfo:
+            top_k_upgrades(self.P, self.T, method="quantum")
+        assert excinfo.value.suggestion is None
+        assert "did you mean" not in str(excinfo.value)
+
+    def test_engine_config_method_suggests(self):
+        with pytest.raises(UnknownOptionError) as excinfo:
+            EngineConfig(method="atuo")
+        assert excinfo.value.suggestion == "auto"
+
     def test_validation_happens_before_index_build(self):
         # A huge (never materialized) product set would make index
         # construction obvious; the typo must fail before any of that.

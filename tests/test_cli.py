@@ -52,7 +52,7 @@ class TestRun:
               "--seed", "4", "--low", "1.0", "--high", "2.0"])
         return p_csv, t_csv
 
-    @pytest.mark.parametrize("method", ["join", "probing", "basic-probing"])
+    @pytest.mark.parametrize("method", ["auto", "join", "probing", "basic-probing"])
     def test_run_methods(self, csv_pair, capsys, method):
         p_csv, t_csv = csv_pair
         code = main(
@@ -236,3 +236,151 @@ class TestBenchKernels:
         assert code == 2
         err = capsys.readouterr().err
         assert "unknown bound 'tight'" in err and "clb" in err
+
+
+class TestExplain:
+    def test_text_tree(self, capsys):
+        code = main(
+            [
+                "explain",
+                "--n-competitors", "300",
+                "--n-products", "120",
+                "--k", "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "topk k=3" in out
+        assert "(chosen)" in out
+        assert "est=" in out and "act=" in out
+        # All five physical alternatives appear as candidates.
+        for label in ["join[nlb]", "join[clb]", "join[alb]", "probing",
+                      "basic-probing"]:
+            assert label in out
+
+    def test_json_validates_against_schema(self, capsys):
+        import json
+
+        from repro.plan.explain import validate_explain_json
+
+        code = main(
+            [
+                "explain",
+                "--n-competitors", "300",
+                "--n-products", "120",
+                "--k", "3",
+                "--format", "json",
+            ]
+        )
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        validate_explain_json(doc)
+
+    def test_no_execute_estimates_only(self, capsys):
+        code = main(
+            [
+                "explain",
+                "--n-competitors", "300",
+                "--n-products", "120",
+                "--no-execute",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "est=" in out
+        assert "act=" not in out
+
+    def test_forced_method_is_marked(self, capsys):
+        code = main(
+            [
+                "explain",
+                "--n-competitors", "300",
+                "--n-products", "120",
+                "--method", "probing",
+                "--no-execute",
+            ]
+        )
+        assert code == 0
+        assert "(forced)" in capsys.readouterr().out
+
+    def test_out_file(self, tmp_path, capsys):
+        out = tmp_path / "explain.json"
+        code = main(
+            [
+                "explain",
+                "--n-competitors", "300",
+                "--n-products", "120",
+                "--no-execute",
+                "--format", "json",
+                "--out", str(out),
+            ]
+        )
+        assert code == 0
+        import json
+
+        json.loads(out.read_text())
+        assert "explain written" in capsys.readouterr().out
+
+    def test_rejects_half_a_csv_pair(self, tmp_path, capsys):
+        code = main(["explain", "--competitors", str(tmp_path / "p.csv")])
+        assert code == 2
+        assert "both --competitors and --products" in (
+            capsys.readouterr().err
+        )
+
+    def test_rejects_nonpositive_sizes(self, capsys):
+        code = main(["explain", "--k", "0"])
+        assert code == 2
+        assert "--k must be >= 1" in capsys.readouterr().err
+
+
+class TestBenchPlannerCLI:
+    def test_rejects_bad_dims_list(self, capsys):
+        code = main(["bench-planner", "--dims", "2,x"])
+        assert code == 2
+        assert "comma-separated integers" in capsys.readouterr().err
+
+    def test_rejects_nonpositive_repeats(self, capsys):
+        code = main(["bench-planner", "--repeats", "0"])
+        assert code == 2
+        assert "--repeats must be >= 1" in capsys.readouterr().err
+
+
+class TestMethodFlags:
+    def test_serve_bench_auto_reports_plans(self, capsys):
+        code = main(
+            [
+                "serve-bench",
+                "--competitors", "250",
+                "--products", "120",
+                "--requests", "60",
+                "--hot-pool", "16",
+                "--topk-every", "20",
+                "--method", "auto",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "plans:" in out
+
+    def test_bench_kernels_auto_reports_chosen_plan(self, capsys):
+        code = main(
+            [
+                "bench-kernels",
+                "--competitors", "300",
+                "--products", "60",
+                "--repeats", "1",
+                "--method", "auto",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "plan=" in out
+        assert "end_to_end[auto]" in out
+
+    def test_bench_kernels_rejects_unknown_method(self, capsys):
+        # argparse enforces the choices list before our handler runs.
+        with pytest.raises(SystemExit) as exc:
+            main(["bench-kernels", "--method", "quantum"])
+        assert exc.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err

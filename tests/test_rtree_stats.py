@@ -1,9 +1,19 @@
 """Tests for R-tree statistics and the R*-style split."""
 
+import math
+
 import numpy as np
 
+from repro.geometry.mbr import MBR
+from repro.instrumentation import Counters
+from repro.rtree.query import range_query
 from repro.rtree.split import get_split_function, rstar_split
-from repro.rtree.stats import collect_stats
+from repro.rtree.stats import (
+    collect_stats,
+    estimate_skyline_size,
+    estimate_window_accesses,
+    sample_skyline_size,
+)
 from repro.rtree.tree import RTree
 from repro.rtree.validate import validate_rtree
 
@@ -50,6 +60,120 @@ class TestCollectStats:
         # STR fills leaves to capacity; split-driven trees average ~60-70%.
         assert bulk_stats.leaf_fill > dyn_stats.leaf_fill
         assert bulk_stats.node_count < dyn_stats.node_count
+
+
+def exact_skyline_size(points):
+    skyline = []
+    for p in points:
+        if any(np.all(s <= p) and np.any(s < p) for s in skyline):
+            continue
+        skyline = [
+            s
+            for s in skyline
+            if not (np.all(p <= s) and np.any(p < s))
+        ]
+        skyline.append(p)
+    return len(skyline)
+
+
+class TestWindowAccessEstimator:
+    def test_matches_measured_accesses_on_uniform_data(self):
+        rng = np.random.default_rng(42)
+        tree = RTree.bulk_load(rng.random((2000, 2)), max_entries=16)
+        stats = collect_stats(tree)
+        for q in (0.05, 0.1, 0.2):
+            measured = []
+            for _ in range(200):
+                lo = rng.random(2) * (1 - q)
+                counters = Counters()
+                range_query(tree, MBR(lo, lo + q), counters)
+                measured.append(counters.node_accesses)
+            mean = float(np.mean(measured))
+            estimated = estimate_window_accesses(stats, (q, q), (1.0, 1.0))
+            assert 0.75 * mean <= estimated <= 1.25 * mean
+
+    def test_infers_domain_from_root_when_omitted(self):
+        rng = np.random.default_rng(43)
+        tree = RTree.bulk_load(rng.random((1500, 2)), max_entries=16)
+        stats = collect_stats(tree)
+        explicit = estimate_window_accesses(stats, (0.1, 0.1), (1.0, 1.0))
+        inferred = estimate_window_accesses(stats, (0.1, 0.1))
+        # The root MBR nearly covers the unit square on uniform data.
+        assert abs(inferred - explicit) / explicit < 0.25
+
+    def test_tiny_window_costs_about_one_root_to_leaf_path(self):
+        rng = np.random.default_rng(44)
+        tree = RTree.bulk_load(rng.random((4000, 2)), max_entries=16)
+        stats = collect_stats(tree)
+        estimated = estimate_window_accesses(stats, (0.0, 0.0), (1.0, 1.0))
+        assert tree.height * 0.5 <= estimated <= tree.height * 2.5
+
+    def test_whole_domain_window_visits_every_node(self):
+        rng = np.random.default_rng(45)
+        tree = RTree.bulk_load(rng.random((1000, 2)), max_entries=8)
+        stats = collect_stats(tree)
+        estimated = estimate_window_accesses(stats, (1.0, 1.0), (1.0, 1.0))
+        assert estimated >= 0.95 * stats.node_count
+
+    def test_empty_tree_costs_one_access(self):
+        assert estimate_window_accesses(
+            collect_stats(RTree(2)), (0.1, 0.1), (1.0, 1.0)
+        ) == 1.0
+
+
+class TestSkylineSizeEstimators:
+    def test_analytic_formula(self):
+        assert estimate_skyline_size(0, 2) == 0.0
+        assert estimate_skyline_size(1, 4) == 1.0
+        assert estimate_skyline_size(1000, 1) == 1.0
+        n = 5000
+        assert estimate_skyline_size(n, 3) == (
+            math.log(n) ** 2 / math.factorial(2)
+        )
+
+    def test_analytic_within_band_of_measured_uniform(self):
+        rng = np.random.default_rng(46)
+        for n, d in [(500, 2), (2000, 3), (2000, 4)]:
+            exact = exact_skyline_size(rng.random((n, d)))
+            estimated = estimate_skyline_size(n, d)
+            assert exact / 3.0 <= estimated <= exact * 3.0
+
+    def test_sample_estimator_within_band_of_measured(self):
+        rng = np.random.default_rng(47)
+        for n, d in [(500, 2), (2000, 4)]:
+            pts = rng.random((n, d))
+            exact = exact_skyline_size(pts)
+            tree = RTree.bulk_load(pts, max_entries=16)
+            sampled = sample_skyline_size(tree, d)
+            assert exact / 3.0 <= sampled <= exact * 3.0
+
+    def test_sample_estimator_sees_through_correlation(self):
+        # Strongly correlated data has a tiny skyline; the analytic
+        # i.i.d. prior overshoots but the sample estimator must not.
+        rng = np.random.default_rng(48)
+        base = rng.random(3000)
+        pts = np.stack(
+            [base + 0.01 * rng.random(3000) for _ in range(3)], axis=1
+        )
+        tree = RTree.bulk_load(pts, max_entries=16)
+        sampled = sample_skyline_size(tree, 3)
+        exact = exact_skyline_size(pts)
+        assert sampled <= max(5 * exact, 20)
+        assert sampled < estimate_skyline_size(3000, 3)
+
+    def test_sample_estimator_empty_tree(self):
+        assert sample_skyline_size(RTree(2), 2) == 0.0
+
+    def test_level_extents_populated(self):
+        rng = np.random.default_rng(49)
+        tree = RTree.bulk_load(rng.random((800, 2)), max_entries=8)
+        stats = collect_stats(tree)
+        for level in stats.levels.values():
+            extents = level.avg_extents()
+            assert len(extents) == 2
+            assert all(e >= 0 for e in extents)
+        # Leaf entries are points: degenerate extents.
+        assert stats.levels[0].avg_extents() == (0.0, 0.0)
 
 
 class TestRStarSplit:
