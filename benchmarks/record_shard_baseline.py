@@ -1,0 +1,40 @@
+"""Regenerate ``benchmarks/results/BENCH_shard.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/record_shard_baseline.py [out.json]
+
+Runs the sharded-engine scaling sweep (1/2/4/8 worker processes, cold
+and cached, mixed read/write stream) at the serve-bench default workload
+and records the report next to the other baselines.  The report embeds
+the machine's CPU count and platform — read the scaling column against
+it, not in isolation.
+"""
+
+import json
+import pathlib
+import sys
+
+from repro.shard.bench import format_shard_report, run_shard_bench
+
+DEFAULT_OUT = pathlib.Path(__file__).parent / "results" / "BENCH_shard.json"
+
+
+def main(argv):
+    out = pathlib.Path(argv[1]) if len(argv) > 1 else DEFAULT_OUT
+    # Half the serve-bench workload: ten engine spawns x a cold replay
+    # each must fit a CI-sized single-core budget (~5 min); the shapes
+    # — overhead per process, hit rates — are what the record is for.
+    report = run_shard_bench(
+        n_competitors=2000,
+        n_products=800,
+        n_requests=400,
+    )
+    print(format_shard_report(report))
+    out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"[report written to {out}]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -1,0 +1,108 @@
+"""Sharded-engine scaling cells: 1/2/4/8 worker processes, mixed R/W.
+
+Each cell replays the serving benchmark's repeated-query stream with
+interleaved catalog writes (add/remove competitor pairs) through the
+multi-process :class:`~repro.shard.ShardedUpgradeEngine`, cold and
+cached, as pytest-benchmark cells.  The recorded baseline lives in
+``benchmarks/results/BENCH_shard.json`` and is regenerated with::
+
+    PYTHONPATH=src python benchmarks/record_shard_baseline.py
+
+Scaling numbers are only meaningful next to the machine's CPU count
+(recorded in ``extra_info`` and in the baseline's ``machine`` block):
+on a single-core container the extra processes cannot add parallelism,
+only measure the coordination overhead honestly.
+"""
+
+import os
+
+import pytest
+
+from repro.serve import EngineConfig
+from repro.serve.bench import build_session, generate_requests
+from repro.shard import ShardedUpgradeEngine
+from repro.shard.bench import make_write_points, replay_mixed
+
+from conftest import bench_cell, scale_factor, scaled
+
+SCALE = scale_factor(500.0)
+
+N_REQUESTS = 300
+WRITE_EVERY = 50
+PROCESS_COUNTS = (1, 2, 4, 8)
+DIMS = 3
+
+
+def workload():
+    n_competitors = scaled(1_000_000, SCALE, floor=600)
+    n_products = scaled(100_000, SCALE, floor=200)
+    session = build_session(
+        n_competitors, n_products, DIMS, "independent"
+    )
+    requests = generate_requests(
+        N_REQUESTS, session.product_count, hot_pool=32, topk_every=25, k=5
+    )
+    writes = make_write_points(
+        max(1, N_REQUESTS // WRITE_EVERY), DIMS, seed=2014
+    )
+    return session, requests, writes
+
+
+@pytest.mark.parametrize("cache", [False, True], ids=["cold", "cached"])
+@pytest.mark.parametrize("processes", PROCESS_COUNTS)
+def test_shard_throughput_cell(benchmark, processes, cache):
+    session, requests, writes = workload()
+    engine = ShardedUpgradeEngine(
+        session,
+        EngineConfig(workers=0, cache=cache, processes=processes),
+    )
+
+    def replay():
+        return replay_mixed(engine, requests, writes, WRITE_EVERY)
+
+    try:
+        stats = bench_cell(benchmark, replay)
+    finally:
+        shard_stats = engine.shard_stats()
+        engine.close()
+    assert stats["requests"] == N_REQUESTS
+    assert stats["writes"] >= 1
+    crashes = sum(p["crashes"] for p in shard_stats["per_process"])
+    assert crashes == 0, shard_stats
+    benchmark.extra_info["processes"] = processes
+    benchmark.extra_info["shards"] = shard_stats["n_shards"]
+    benchmark.extra_info["cpu_count"] = os.cpu_count()
+    benchmark.extra_info["throughput_rps"] = round(
+        stats["throughput_rps"], 1
+    )
+    benchmark.extra_info["cache_hit_rate"] = round(
+        stats["cache_hit_rate"], 4
+    )
+
+
+def test_sharded_agrees_under_mixed_writes():
+    """Correctness floor for the cells: same stream, same answers."""
+    from repro.serve import UpgradeEngine
+    from repro.serve.engine import TopKQuery
+
+    n_competitors = scaled(1_000_000, SCALE, floor=600)
+    n_products = scaled(100_000, SCALE, floor=200)
+    single = UpgradeEngine(
+        build_session(n_competitors, n_products, DIMS, "independent"),
+        EngineConfig(workers=0),
+    )
+    sharded = ShardedUpgradeEngine(
+        build_session(n_competitors, n_products, DIMS, "independent"),
+        EngineConfig(workers=0, processes=2, shards=2),
+    )
+    writes = make_write_points(4, DIMS, seed=2014)
+    try:
+        for point in writes:
+            single.add_competitor(point)
+            sharded.add_competitor(point)
+        a = single.query(TopKQuery(k=8)).results
+        b = sharded.query(TopKQuery(k=8)).results
+        assert a == b
+    finally:
+        single.close()
+        sharded.close()

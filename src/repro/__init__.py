@@ -75,6 +75,7 @@ from repro.serve import (
     TopKQuery,
     UpgradeEngine,
 )
+from repro.shard import ShardedUpgradeEngine
 from repro.skyline import bbs_skyline, bnl_skyline, sfs_skyline
 
 __version__ = "1.0.0"
@@ -99,6 +100,7 @@ __all__ = [
     "QueryResponse",
     "RTree",
     "ReciprocalCost",
+    "ShardedUpgradeEngine",
     "SkyUpError",
     "SumIntegration",
     "TopKQuery",

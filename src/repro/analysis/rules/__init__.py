@@ -14,12 +14,15 @@ time).  Rule ids are stable and grouped by hundreds:
   (:mod:`repro.analysis.rules.hotpath`)
 * ``SKY7xx`` — planner layering
   (:mod:`repro.analysis.rules.layering`)
+* ``SKY8xx`` — fork/spawn safety of the shard tier
+  (:mod:`repro.analysis.rules.forksafety`)
 """
 
 from __future__ import annotations
 
 from repro.analysis.rules import (  # noqa: F401  (registration side effect)
     determinism,
+    forksafety,
     hotpath,
     injection,
     layering,
@@ -30,6 +33,7 @@ from repro.analysis.rules import (  # noqa: F401  (registration side effect)
 
 __all__ = [
     "determinism",
+    "forksafety",
     "hotpath",
     "injection",
     "layering",

@@ -1,0 +1,166 @@
+"""SKY801/SKY802 — fork/spawn safety for the sharded execution tier.
+
+Worker processes start from a fresh interpreter (``spawn``) and import
+the :mod:`repro.shard` modules on their own; the coordinator imports the
+same modules in a process full of receiver/monitor threads.  Two
+conventions keep that safe, and these rules enforce them:
+
+* **SKY801 — no module-level synchronization primitives in worker
+  code.**  A ``threading.Lock`` (or ``Condition``/``RLock``/``Event``/
+  ``Semaphore``) created at import time of a module under
+  ``src/repro/shard/`` looks shared but is not: every spawned worker
+  re-imports the module and manufactures its *own* primitive, so code
+  "synchronizing" on it silently synchronizes nothing across processes
+  (and under ``fork`` it would be worse — a duplicated lock frozen in
+  whatever state the parent held it).  Locks belong on instances the
+  coordinator owns, or in explicitly per-process state.
+
+* **SKY802 — all multiprocessing goes through
+  :mod:`repro.shard.spawn`.**  The spawn module pins the ``spawn``
+  start method and the resource-tracker hygiene for shared-memory
+  segments; an ``import multiprocessing`` anywhere else in the library
+  can silently regress to the platform default start method (``fork``
+  on Linux — unsafe in the threaded coordinator) or re-introduce the
+  tracker double-registration bugs the helpers exist to prevent.
+
+Checked: SKY801 over every module under ``src/repro/shard/``; SKY802
+over every module under ``src/repro/`` except ``shard/spawn.py``
+itself.  ``# skyup: ignore[SKY80x]`` on the offending line documents a
+deliberate exception.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, Optional
+
+from repro.analysis.engine import Finding, LintContext, ModuleInfo, rule
+
+#: Repo-relative prefix of worker-imported modules.
+SHARD_DIR = "src/repro/shard/"
+
+#: The one sanctioned doorway to ``multiprocessing``.
+SPAWN_MODULE = "src/repro/shard/spawn.py"
+
+#: Library code the SKY802 ban covers (tests and benchmarks may drive
+#: multiprocessing directly; the library may not).
+LIB_DIR = "src/repro/"
+
+#: ``threading`` factories that are per-process by construction.
+PRIMITIVE_FACTORIES = frozenset(
+    {"Lock", "RLock", "Condition", "Event", "Semaphore", "BoundedSemaphore"}
+)
+
+IGNORE_RE = re.compile(r"#\s*skyup:\s*ignore\[(SKY80\d)\]")
+
+
+def _ignored(module: ModuleInfo, lineno: int, rule_id: str) -> bool:
+    match = IGNORE_RE.search(module.line(lineno))
+    return bool(match) and match.group(1) == rule_id
+
+
+def _primitive_call(node: ast.AST) -> Optional[str]:
+    """The primitive's name if ``node`` calls a ``threading`` factory."""
+    if not isinstance(node, ast.Call):
+        return None
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        # threading.Lock() — any qualifying attribute call counts; the
+        # base being literally ``threading`` is checked to avoid
+        # flagging unrelated ``Foo.Event()`` constructors.
+        if (
+            isinstance(func.value, ast.Name)
+            and func.value.id == "threading"
+            and func.attr in PRIMITIVE_FACTORIES
+        ):
+            return f"threading.{func.attr}"
+    elif isinstance(func, ast.Name) and func.id in PRIMITIVE_FACTORIES:
+        # from threading import Lock; Lock()
+        return func.id
+    return None
+
+
+def _module_level_calls(tree: ast.Module) -> Iterator[ast.Call]:
+    """Calls evaluated at import time (module body, not inside defs)."""
+    for node in tree.body:
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            continue
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Call):
+                yield sub
+
+
+@rule(
+    "SKY801",
+    "fork-unsafe-module-lock",
+    "module-level Lock/Condition in worker-imported shard modules",
+)
+def check_module_level_primitives(ctx: LintContext) -> Iterator[Finding]:
+    for module in ctx.modules:
+        if not module.rel.startswith(SHARD_DIR):
+            continue
+        for call in _module_level_calls(module.tree):
+            name = _primitive_call(call)
+            if name is None:
+                continue
+            if _ignored(module, call.lineno, "SKY801"):
+                continue
+            yield Finding(
+                rule="SKY801",
+                path=module.rel,
+                line=call.lineno,
+                col=call.col_offset + 1,
+                message=(
+                    f"module-level {name}() in a worker-imported shard "
+                    "module: every spawned worker re-imports this and "
+                    "gets its own primitive, so nothing is actually "
+                    "synchronized across processes — move it onto a "
+                    "coordinator-owned instance"
+                ),
+            )
+
+
+def _mp_import(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Import):
+        for alias in node.names:
+            if alias.name.split(".")[0] == "multiprocessing":
+                return alias.name
+    elif isinstance(node, ast.ImportFrom) and node.module:
+        if node.module.split(".")[0] == "multiprocessing":
+            return node.module
+    return None
+
+
+@rule(
+    "SKY802",
+    "multiprocessing-outside-spawn",
+    "multiprocessing used outside the sanctioned repro.shard.spawn module",
+)
+def check_multiprocessing_doorway(ctx: LintContext) -> Iterator[Finding]:
+    for module in ctx.modules:
+        if not module.rel.startswith(LIB_DIR):
+            continue
+        if module.rel == SPAWN_MODULE:
+            continue
+        for node in ast.walk(module.tree):
+            target = _mp_import(node)
+            if target is None:
+                continue
+            if _ignored(module, node.lineno, "SKY802"):
+                continue
+            yield Finding(
+                rule="SKY802",
+                path=module.rel,
+                line=node.lineno,
+                col=node.col_offset + 1,
+                message=(
+                    f"import of {target} outside repro.shard.spawn: go "
+                    "through spawn_context()/make_queue()/make_process()"
+                    "/create_segment()/attach_segment() so the spawn "
+                    "start method and resource-tracker hygiene cannot "
+                    "silently regress"
+                ),
+            )

@@ -279,6 +279,24 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--k", type=int, default=5, help="top-k depth")
     srv.add_argument("--seed", type=int, default=2012)
     srv.add_argument(
+        "--processes",
+        type=int,
+        default=0,
+        help=(
+            "also replay through the sharded multi-process engine with "
+            "N worker processes (0 = skip the sharded run)"
+        ),
+    )
+    srv.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help=(
+            "shard count for the sharded run "
+            "(default: one shard per process)"
+        ),
+    )
+    srv.add_argument(
         "--fault-rate",
         type=float,
         default=0.0,
@@ -552,11 +570,16 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     )
     from repro.rtree.tree import RTree
 
-    for name in ("n_competitors", "n_products", "dims", "k"):
-        if getattr(args, name) < 1:
+    from repro.exceptions import ConfigurationError
+
+    try:
+        for name in ("n_competitors", "n_products", "dims", "k"):
             flag = "--" + name.replace("_", "-")
-            print(f"error: {flag} must be >= 1", file=sys.stderr)
-            return 2
+            value = getattr(args, name)
+            _require(flag, value, "must be >= 1", value >= 1)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     if (args.competitors is None) != (args.products is None):
         print(
             "error: pass both --competitors and --products, or neither",
@@ -626,18 +649,26 @@ def _cmd_explain(args: argparse.Namespace) -> int:
 
 def _cmd_bench_planner(args: argparse.Namespace) -> int:
     from repro.bench.planner import format_planner_report, run_planner_bench
+    from repro.exceptions import ConfigurationError, InvalidOptionValueError
 
-    if args.repeats < 1:
-        print("error: --repeats must be >= 1", file=sys.stderr)
-        return 2
     try:
-        dims_list = tuple(int(d) for d in args.dims.split(","))
-        k_values = tuple(int(k) for k in args.k.split(","))
-    except ValueError:
-        print(
-            "error: --dims and --k must be comma-separated integers",
-            file=sys.stderr,
+        _require(
+            "--repeats", args.repeats, "must be >= 1", args.repeats >= 1
         )
+        try:
+            dims_list = tuple(int(d) for d in args.dims.split(","))
+        except ValueError:
+            raise InvalidOptionValueError(
+                "--dims", args.dims, "must be comma-separated integers"
+            ) from None
+        try:
+            k_values = tuple(int(k) for k in args.k.split(","))
+        except ValueError:
+            raise InvalidOptionValueError(
+                "--k", args.k, "must be comma-separated integers"
+            ) from None
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
         return 2
     kwargs = {
         "dims_list": dims_list,
@@ -662,27 +693,70 @@ def _cmd_bench_planner(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _require(option: str, value: object, requirement: str, ok: bool) -> None:
+    """Typed CLI option validation.
+
+    Raises:
+        InvalidOptionValueError: ``ok`` is false — the message carries
+            the option name, offending value, and the requirement, so
+            every subcommand renders the same diagnostic shape.
+    """
+    from repro.exceptions import InvalidOptionValueError
+
+    if not ok:
+        raise InvalidOptionValueError(option, value, requirement)
+
+
 def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    from repro.exceptions import ConfigurationError, UnknownOptionError
     from repro.reliability.faults import INJECTION_POINTS
     from repro.serve.bench import format_report, run_serve_bench
 
-    for name in ("competitors", "products", "requests", "k"):
-        if getattr(args, name) < 1:
-            print(f"error: --{name} must be >= 1", file=sys.stderr)
-            return 2
-    if not 0.0 <= args.fault_rate <= 1.0:
-        print("error: --fault-rate must be in [0, 1]", file=sys.stderr)
-        return 2
     fault_points = [
         p.strip() for p in args.fault_points.split(",") if p.strip()
     ]
-    unknown = sorted(set(fault_points) - INJECTION_POINTS)
-    if unknown:
-        print(
-            f"error: unknown fault points {', '.join(unknown)}; known: "
-            f"{', '.join(sorted(INJECTION_POINTS))}",
-            file=sys.stderr,
+    try:
+        for name in ("competitors", "products", "requests", "k"):
+            value = getattr(args, name)
+            _require(f"--{name}", value, "must be >= 1", value >= 1)
+        _require(
+            "--fault-rate",
+            args.fault_rate,
+            "must be in [0, 1]",
+            0.0 <= args.fault_rate <= 1.0,
         )
+        _require(
+            "--processes",
+            args.processes,
+            "must be >= 0 (0 skips the sharded run)",
+            args.processes >= 0,
+        )
+        _require(
+            "--shards",
+            args.shards,
+            "must be >= 0 (0 means one shard per process)",
+            args.shards >= 0,
+        )
+        _require(
+            "--shards",
+            args.shards,
+            f"must be >= --processes ({args.processes}) so every "
+            "worker process owns at least one shard",
+            not (args.processes and args.shards)
+            or args.shards >= args.processes,
+        )
+        _require(
+            "--shards",
+            args.shards,
+            "requires --processes > 0",
+            not (args.shards and not args.processes),
+        )
+        for point in sorted(set(fault_points) - INJECTION_POINTS):
+            raise UnknownOptionError(
+                "--fault-points", point, sorted(INJECTION_POINTS)
+            )
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
         return 2
     report = run_serve_bench(
         n_competitors=args.competitors,
@@ -698,6 +772,8 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         fault_points=fault_points,
         fault_seed=args.fault_seed,
         method=args.method,
+        processes=args.processes,
+        shards=args.shards,
     )
     print(format_report(report))
     if args.save_json:
@@ -712,14 +788,15 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
 def _cmd_bench_kernels(args: argparse.Namespace) -> int:
     from repro.bench.kernels import format_kernel_report, run_kernel_bench
     from repro.core.bounds import BOUND_NAMES
-    from repro.exceptions import UnknownOptionError
+    from repro.exceptions import ConfigurationError, UnknownOptionError
 
-    for name in ("competitors", "products", "dims", "repeats"):
-        if getattr(args, name) < 1:
-            print(f"error: --{name} must be >= 1", file=sys.stderr)
-            return 2
-    if args.bound not in BOUND_NAMES:
-        exc = UnknownOptionError("bound", args.bound, BOUND_NAMES)
+    try:
+        for name in ("competitors", "products", "dims", "repeats"):
+            value = getattr(args, name)
+            _require(f"--{name}", value, "must be >= 1", value >= 1)
+        if args.bound not in BOUND_NAMES:
+            raise UnknownOptionError("bound", args.bound, BOUND_NAMES)
+    except ConfigurationError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     report = run_kernel_bench(
@@ -743,15 +820,23 @@ def _cmd_bench_kernels(args: argparse.Namespace) -> int:
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.exceptions import ConfigurationError
     from repro.obs import format_text, to_chrome_json
     from repro.serve.bench import run_trace_workload
 
-    for name in ("competitors", "products", "requests", "k", "slowest"):
-        if getattr(args, name) < 1:
-            print(f"error: --{name} must be >= 1", file=sys.stderr)
-            return 2
-    if args.workers < 1:
-        print("error: --workers must be >= 1", file=sys.stderr)
+    try:
+        for name in (
+            "competitors",
+            "products",
+            "requests",
+            "k",
+            "slowest",
+            "workers",
+        ):
+            value = getattr(args, name)
+            _require(f"--{name}", value, "must be >= 1", value >= 1)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
         return 2
     traces = run_trace_workload(
         n_competitors=args.competitors,

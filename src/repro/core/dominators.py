@@ -184,6 +184,42 @@ def _traverse(
     return skyline.points
 
 
+def merge_skylines(
+    skylines: Sequence[Sequence[Point]],
+) -> List[Point]:
+    """Merge per-shard dominator skylines into the global skyline.
+
+    The sharded engine's gather step: each shard computes the skyline of
+    the query point's dominators within its own partition; the global
+    dominator skyline is the set of maximal elements of their union.
+    The merge is associative, so a worker hosting several shards can
+    pre-merge locally and the coordinator merges across workers.
+
+    Output reproduces :func:`get_dominating_skyline`'s canonical order
+    exactly — ascending ``(coordinate sum, lexicographic point)``, one
+    copy per distinct point — so downstream ``upgrade()`` calls are
+    bit-identical to a single-process traversal (Algorithm 1's slotting
+    candidates depend on the input order at sort ties).
+    """
+    seen: set = set()
+    union: List[Point] = []
+    for skyline in skylines:
+        for p in skyline:
+            q = tuple(p)
+            if q not in seen:
+                seen.add(q)
+                union.append(q)
+    if len(union) <= 1:
+        return union
+    merged = [
+        p
+        for p in union
+        if not any(q is not p and dominates(q, p) for q in union)
+    ]
+    merged.sort(key=lambda p: (sum(p), p))
+    return merged
+
+
 def dominators_brute_force(
     points: Iterable[Sequence[float]],
     product: Sequence[float],

@@ -549,3 +549,55 @@ class JoinUpgrader:
         new_jl = [e for e, _ in combined]
         new_pairs = [pair for _, pair in combined]
         return new_jl, new_pairs
+
+    # -- sharded execution ----------------------------------------------------
+
+    def shard_stream(self) -> "MergeableResultStream":
+        """Wrap :meth:`results` for the scatter-gather top-k merge.
+
+        A shard worker opens one stream per hosted shard; the coordinator
+        pulls batches and uses the stream *frontier* as that shard's
+        contribution to the global termination threshold.
+        """
+        return MergeableResultStream(self.results())
+
+
+class MergeableResultStream:
+    """A pull-based view of an ascending ``(cost, record_id)`` stream.
+
+    The sharded engine's per-shard primitive.  Each shard runs the join
+    over its *local* competitor partition and the *full* product tree, so
+    its costs are lower bounds on the global cost (escaping a subset of
+    the dominators can only be cheaper) and every product eventually
+    appears in every shard's stream.  The coordinator's threshold merge
+    needs exactly two things from a shard: batches of sighted
+    ``(cost, record_id)`` pairs, and the :attr:`frontier` — the largest
+    cost the stream has revealed, below which no *new* product can still
+    emerge from this shard.
+
+    The frontier starts at ``0.0`` (nothing revealed: any product may
+    appear at any cost), tracks the last-yielded cost while live, and
+    jumps to ``inf`` on exhaustion (every product has been sighted here;
+    the shard constrains nothing further).
+    """
+
+    __slots__ = ("_it", "frontier", "exhausted")
+
+    def __init__(self, results: Iterator[UpgradeResult]):
+        self._it = results
+        self.frontier = 0.0
+        self.exhausted = False
+
+    def next_batch(self, n: int) -> List[UpgradeResult]:
+        """Pull up to ``n`` results, advancing the frontier."""
+        out: List[UpgradeResult] = []
+        while len(out) < n:
+            try:
+                result = next(self._it)
+            except StopIteration:
+                self.exhausted = True
+                self.frontier = float("inf")
+                break
+            self.frontier = result.cost
+            out.append(result)
+        return out

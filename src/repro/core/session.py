@@ -319,6 +319,16 @@ class MarketSession:
         ids = sorted(self._product_points)
         return ids, [self._product_points[pid] for pid in ids]
 
+    def competitors_by_id(self) -> Tuple[List[int], List[Point]]:
+        """Live competitors as parallel (ids, points) lists in id order.
+
+        The sharded engine partitions the competitor catalog from this
+        snapshot (``record_id % n_shards``); id order makes the per-shard
+        blocks deterministic functions of the catalog state.
+        """
+        ids = sorted(self._competitor_points)
+        return ids, [self._competitor_points[cid] for cid in ids]
+
     def make_upgrader(
         self,
         bound: Optional[str] = None,

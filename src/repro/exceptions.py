@@ -115,6 +115,27 @@ class UnknownOptionError(ConfigurationError):
         super().__init__(message)
 
 
+class InvalidOptionValueError(ConfigurationError):
+    """An option's value has the right form but violates its requirement.
+
+    The counterpart of :class:`UnknownOptionError` for numeric and range
+    constraints (``--workers -1``, ``--shards 0``): the option name, the
+    offending value, and a human-readable requirement are attributes so
+    CLI layers can render consistent, typed diagnostics instead of ad-hoc
+    prints.
+    """
+
+    def __init__(
+        self, option: str, value: object, requirement: str
+    ) -> None:
+        self.option = option
+        self.value = value
+        self.requirement = requirement
+        super().__init__(
+            f"invalid {option} {value!r}: {requirement}"
+        )
+
+
 class EngineOverloadedError(SkyUpError, RuntimeError):
     """Raised when the serving engine's bounded request queue is full.
 
@@ -168,5 +189,17 @@ class WorkerCrashError(SkyUpError, RuntimeError):
 
     The worker itself survives (supervision contains the crash); every
     request of the affected batch is failed with this typed error so the
-    caller sees a terminal response instead of a hang.
+    caller sees a terminal response instead of a hang.  The sharded
+    engine raises it for the harder case too: a worker *process* that
+    died mid-request (each in-flight request fails with this error, the
+    process is respawned, and subsequent requests succeed).
+    """
+
+
+class ShardCommandError(SkyUpError, RuntimeError):
+    """A shard worker reported a command failure (the process survived).
+
+    Carries the worker-side ``ExceptionType: message`` text; distinct
+    from :class:`WorkerCrashError` because the worker is still healthy
+    and no respawn happens.
     """

@@ -11,7 +11,7 @@ reallocation.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Sequence, Tuple
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -82,6 +82,74 @@ class PointBlock:
             block._ids[:n] = np.arange(n, dtype=np.int64)
         block._n = n
         return block
+
+    @classmethod
+    def from_buffers(
+        cls, data: np.ndarray, ids: np.ndarray, n: Optional[int] = None
+    ) -> "PointBlock":
+        """Adopt externally owned ``(cap, d)``/``(cap,)`` buffers, zero-copy.
+
+        This is the shared-memory attach path: a shard worker maps the
+        coordinator's segments as numpy arrays and wraps them directly —
+        no copy, no per-point conversion.  ``n`` selects the live row
+        count (default: every row).  The block does **not** own the
+        buffers; the first append past capacity reallocates into private
+        memory (so mutation never writes through to the shared segment).
+
+        Raises:
+            DimensionalityError: shapes, dtypes, or layout do not match
+                the block contract (C-contiguous float64/int64).
+        """
+        if data.ndim != 2 or data.dtype != np.float64:
+            raise DimensionalityError(
+                f"data must be a float64 (n, d) array, got "
+                f"{data.dtype} shape {data.shape}"
+            )
+        if ids.ndim != 1 or ids.dtype != np.int64:
+            raise DimensionalityError(
+                f"ids must be an int64 (n,) array, got "
+                f"{ids.dtype} shape {ids.shape}"
+            )
+        if data.shape[0] != ids.shape[0]:
+            raise DimensionalityError(
+                f"{data.shape[0]} data rows but {ids.shape[0]} ids"
+            )
+        if not data.flags["C_CONTIGUOUS"]:
+            raise DimensionalityError("data buffer must be C-contiguous")
+        count = data.shape[0] if n is None else n
+        if not 0 <= count <= data.shape[0]:
+            raise DimensionalityError(
+                f"n={count} outside buffer capacity {data.shape[0]}"
+            )
+        block = cls(data.shape[1], capacity=1)
+        block._data = data
+        block._ids = ids
+        block._n = count
+        return block
+
+    def copy_into(self, data: np.ndarray, ids: np.ndarray) -> int:
+        """Export the live rows into caller-provided buffers; returns n.
+
+        The shared-memory publish path: the coordinator copies a shard's
+        columns into its segments with two vectorized assignments.  The
+        destinations must be at least ``len(self)`` rows.
+
+        Raises:
+            DimensionalityError: destination too small or wrong width.
+        """
+        n = self._n
+        if data.shape[0] < n or ids.shape[0] < n:
+            raise DimensionalityError(
+                f"destination holds {min(data.shape[0], ids.shape[0])} "
+                f"rows, need {n}"
+            )
+        if data.ndim != 2 or data.shape[1] != self.dims:
+            raise DimensionalityError(
+                f"destination is {data.shape}, block dims {self.dims}"
+            )
+        data[:n] = self._data[:n]
+        ids[:n] = self._ids[:n]
+        return n
 
     # -- shape ----------------------------------------------------------------
 

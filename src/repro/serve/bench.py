@@ -34,6 +34,7 @@ from repro.reliability.faults import FaultInjector, FaultPlan, inject_faults
 from repro.reliability.guards import KernelGuard
 from repro.serve.config import EngineConfig
 from repro.serve.engine import ProductQuery, Query, TopKQuery, UpgradeEngine
+from repro.shard import ShardedUpgradeEngine
 
 _BATCH = 32
 
@@ -93,19 +94,27 @@ def _replay(
     cache: bool,
     fault_plan: Optional[FaultPlan] = None,
     method: str = "join",
+    processes: int = 0,
+    shards: int = 0,
 ) -> Dict[str, object]:
     # The guard is pinned off: its sampled scalar-oracle recomputes are a
     # reliability cost, not query-execution cost, and would skew the
     # cached-vs-cold comparison against the recorded baseline.
-    engine = UpgradeEngine(
-        session,
-        EngineConfig(
-            workers=0,
-            cache=cache,
-            method=method,
-            kernel_guard=KernelGuard(sample_rate=0.0),
-        ),
+    config = EngineConfig(
+        workers=0,
+        cache=cache,
+        method=method,
+        processes=processes,
+        shards=shards,
+        kernel_guard=KernelGuard(sample_rate=0.0),
     )
+    if processes > 0:
+        # Fault injectors are process-local: only coordinator-side
+        # points (the caches) can fire here — the shard workers run in
+        # their own processes and never see the armed plan.
+        engine = ShardedUpgradeEngine(session, config)
+    else:
+        engine = UpgradeEngine(session, config)
     injector: Optional[FaultInjector] = None
     try:
         start = time.perf_counter()
@@ -145,6 +154,11 @@ def _replay(
             "quarantines": metrics["quarantines"],
         },
     }
+    if processes > 0:
+        out["shards"] = metrics["shards"]
+        out["reliability"]["worker_respawns"] = metrics["reliability"][
+            "worker_respawns"
+        ]
     if injector is not None:
         out["reliability"]["faults_fired"] = {
             point: counts["fired"]
@@ -188,6 +202,8 @@ def run_serve_bench(
     fault_points: Optional[List[str]] = None,
     fault_seed: Optional[int] = None,
     method: str = "join",
+    processes: int = 0,
+    shards: int = 0,
 ) -> Dict[str, object]:
     """Run the cached-vs-cold comparison; returns a JSON-ready report.
 
@@ -199,6 +215,15 @@ def run_serve_bench(
     (``"join"``, the recorded baseline's behaviour; ``"probing"``; or
     ``"auto"`` — each run's report then carries the planner's chosen
     physical plans under ``report[mode]["planner"]``).
+
+    ``processes > 0`` replays the same request sequence a third time
+    through the cached :class:`~repro.shard.ShardedUpgradeEngine` at
+    that process count (``shards`` defaults to one per process); the
+    ``report["sharded"]`` run then carries topology and per-process
+    health — owned shards, queue depth, crash/respawn counts — under
+    ``report["sharded"]["shards"]``.  Faults are not armed for the
+    sharded run: the injector is process-local and the workers would
+    never see it, so the numbers would be silently incomparable.
     """
     if session is None:
         session = build_session(
@@ -230,7 +255,17 @@ def run_serve_bench(
         if cold["throughput_rps"]
         else float("inf")
     )
-    return {
+    sharded = None
+    if processes > 0:
+        sharded = _replay(
+            session,
+            requests,
+            cache=True,
+            method=method,
+            processes=processes,
+            shards=shards,
+        )
+    report = {
         "workload": {
             "distribution": distribution,
             "competitors": session.competitor_count,
@@ -242,6 +277,8 @@ def run_serve_bench(
             "k": k,
             "seed": seed,
             "method": method,
+            "processes": processes,
+            "shards": shards or (processes if processes else 0),
         },
         "cold": cold,
         "cached": cached,
@@ -256,6 +293,9 @@ def run_serve_bench(
             else None
         ),
     }
+    if sharded is not None:
+        report["sharded"] = sharded
+    return report
 
 
 def run_trace_workload(
@@ -309,6 +349,9 @@ def run_trace_workload(
 def format_report(report: Dict[str, object]) -> str:
     """Human-readable table for the CLI."""
     wl = report["workload"]
+    modes = ["cold", "cached"]
+    if "sharded" in report:
+        modes.append("sharded")
     lines = [
         (
             f"# serve-bench: |P|={wl['competitors']} |T|={wl['products']} "
@@ -321,7 +364,7 @@ def format_report(report: Dict[str, object]) -> str:
             f"{'hit_rate':>9s} {'p50_ms':>8s} {'p95_ms':>8s}"
         ),
     ]
-    for mode in ("cold", "cached"):
+    for mode in modes:
         run = report[mode]
         lat = run["latency_s"]
         lines.append(
@@ -331,6 +374,24 @@ def format_report(report: Dict[str, object]) -> str:
             f"{lat['p50'] * 1e3:8.3f} {lat['p95'] * 1e3:8.3f}"
         )
     lines.append(f"speedup (cached/cold): {report['speedup']:.2f}x")
+    shard_run = report.get("sharded")
+    if shard_run is not None:
+        stats = shard_run["shards"]
+        rel = shard_run["reliability"]
+        lines.append(
+            f"sharded: {stats['n_processes']} processes x "
+            f"{stats['n_shards']} shards "
+            f"(respawns={rel['worker_respawns']})"
+        )
+        for proc in stats["per_process"]:
+            owned = ",".join(str(s) for s in proc["shards"])
+            lines.append(
+                f"  proc {proc['proc']}: shards=[{owned}] "
+                f"queue_depth={proc['queue_depth']} "
+                f"crashes={proc['crashes']} "
+                f"respawns={proc['respawns']} "
+                f"alive={proc['alive']}"
+            )
     for mode in ("cold", "cached"):
         planner = report[mode].get("planner")
         if planner:

@@ -64,6 +64,12 @@ class EngineConfig:
             (``engine.recent_traces()``).
         trace_seed: PRNG seed for the sampling draws.
         trace_max_spans: per-trace span cap (runaway-loop backstop).
+        processes: shard worker *processes* for the
+            :class:`~repro.shard.engine.ShardedUpgradeEngine` (0 = not
+            sharded; ignored by the thread-tier ``UpgradeEngine``).
+        shards: competitor-catalog partitions (0 = one per process).
+            May exceed ``processes`` — a process then hosts several
+            shards and pre-merges their answers locally.
     """
 
     workers: int = 2
@@ -82,6 +88,8 @@ class EngineConfig:
     trace_store_capacity: int = 64
     trace_seed: int = 2012
     trace_max_spans: int = 20_000
+    processes: int = 0
+    shards: int = 0
 
     #: Execution strategies the engine knows how to drive.
     METHODS = ("auto", "join", "probing")
@@ -142,6 +150,20 @@ class EngineConfig:
         if self.trace_max_spans < 1:
             raise ConfigurationError(
                 f"trace_max_spans must be >= 1, got {self.trace_max_spans}"
+            )
+        if self.processes < 0:
+            raise ConfigurationError(
+                f"processes must be >= 0, got {self.processes}"
+            )
+        if self.shards < 0:
+            raise ConfigurationError(
+                f"shards must be >= 0, got {self.shards}"
+            )
+        if self.shards and self.processes and self.shards < self.processes:
+            raise ConfigurationError(
+                f"shards ({self.shards}) must be >= processes "
+                f"({self.processes}): an idle worker process would own "
+                f"no partition"
             )
 
     @classmethod

@@ -1,18 +1,30 @@
 """Bounded worker pool and locking primitives for the serving engine.
 
-**Why threads, not processes.**  The engine's shared state — two live
-R-trees, the skyline cache, the top-k prefix — is mutable and pointer-rich;
-a process pool would have to serialize it per request (or replicate it per
-worker and re-broadcast every mutation), which costs more than the queries
-themselves at our scales.  Threads share it for free.  The tradeoff: the
-hot loops (best-first traversal, dominance tests) are pure Python and hold
-the GIL — only the numpy-vectorized stretches release it — so the pool buys
-little *CPU* parallelism.  What it does buy is what a serving layer needs:
-request admission decoupled from execution, bounded queueing with explicit
-backpressure, deadline-scoped execution, and batch formation (concurrent
-requests drained together and executed as one amortized join run, which is
-where the real speedup lives).  Swapping in a process/sub-interpreter pool
-behind the same interface is a roadmap item, not a semantic change.
+**The thread tier and the shard tier.**  Scaling concerns split in two,
+and this pool is deliberately only half the answer:
+
+* **Request concurrency** (this module) is a *threads* problem.  The
+  engine's shared state — two live R-trees, the skyline cache, the
+  top-k prefix — is mutable and pointer-rich; threads share it for
+  free.  The hot loops are pure Python and hold the GIL (only the
+  numpy-vectorized stretches release it), so the pool buys little CPU
+  parallelism — what it buys is what a serving layer needs regardless:
+  admission decoupled from execution, bounded queueing with explicit
+  backpressure, deadline-scoped execution, and batch formation
+  (concurrent requests drained together and run as one amortized join).
+* **Kernel parallelism** is a *processes* problem, and it lives in
+  :mod:`repro.shard`, not here.  The
+  :class:`~repro.shard.engine.ShardedUpgradeEngine` hash-partitions the
+  competitor catalog into shards whose columnar blocks sit in POSIX
+  shared memory, spawns workers that rebuild per-shard R-trees
+  zero-copy, and scatter-gathers queries under a threshold merge that
+  reproduces this tier's answers bit for bit.  The serialization cost
+  that once made "swap in a process pool" unattractive is paid once at
+  publish time per mutated shard — not per request.
+
+The two tiers compose rather than compete: ``EngineConfig(workers=N)``
+puts this pool in front of either engine, and
+``EngineConfig(processes=S)`` selects the sharded execution underneath.
 
 The :class:`ReadWriteLock` lets any number of query workers traverse the
 trees concurrently while catalog mutations get exclusive access; it is

@@ -1,0 +1,273 @@
+"""Coordinator-side worker handles: supervision, respawn, request plumbing.
+
+A :class:`ShardProcess` wraps one spawned worker (one
+:func:`~repro.shard.worker.shard_worker_main`) behind a synchronous
+request API.  Three threads cooperate per handle:
+
+* the *caller* submits ``(op, req_id, ...)`` commands and blocks on a
+  :class:`PendingReply` event;
+* the *receiver* drains the response queue and resolves pending replies
+  (polling with a short timeout plus a generation flag, so it can be
+  retired when a crashed process's queues are replaced);
+* the *monitor* joins the process and, on unexpected death, fails every
+  in-flight reply with :class:`WorkerCrashError`, then eagerly respawns
+  with **new** queues — a killed writer can leave a queue's pipe in a
+  corrupt intermediate state, so queues are never reused across
+  generations.  Responses whose request id is no longer pending are
+  dropped.
+
+Crash containment is the contract the chaos suite checks: a killed
+worker never hangs a request (in-flight ones fail typed, the respawned
+process serves the next) and never unlinks the coordinator's shared
+segments (see :func:`repro.shard.spawn.attach_segment`).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from queue import Empty
+from typing import Callable, Dict, List, Optional
+
+from repro.exceptions import (
+    EngineClosedError,
+    ShardCommandError,
+    WorkerCrashError,
+)
+from repro.shard.spawn import make_process, make_queue
+from repro.shard.worker import ShardSpec, shard_worker_main
+
+#: How long a retired receiver may keep polling a dead queue between
+#: generation checks.
+_POLL_S = 0.2
+
+
+class PendingReply:
+    """One in-flight command's future result."""
+
+    __slots__ = ("_event", "payload", "fragments", "error")
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self.payload: object = None
+        self.fragments: List[tuple] = []
+        self.error: Optional[BaseException] = None
+
+    def _resolve(self, payload: object, fragments: List[tuple]) -> None:
+        self.payload = payload
+        self.fragments = fragments
+        self._event.set()
+
+    def _fail(self, exc: BaseException) -> None:
+        self.error = exc
+        self._event.set()
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> object:
+        """Wait for the reply; raises the failure or ``TimeoutError``."""
+        if not self._event.wait(timeout):
+            raise TimeoutError("shard worker reply timed out")
+        if self.error is not None:
+            raise self.error
+        return self.payload
+
+
+class ShardProcess:
+    """One supervised shard worker process.
+
+    Args:
+        index: the worker's process index (its shard set derives from
+            it via :func:`repro.shard.partition.shards_of_process`).
+        spec_factory: returns a **current** :class:`ShardSpec` for this
+            process — called at initial start and again on every
+            respawn, so a respawned worker rebuilds from the live
+            segment specs (the coordinator republishes segments eagerly
+            on mutation precisely to keep this true).
+        start_timeout_s: ready-handshake deadline per (re)spawn.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        spec_factory: Callable[[], ShardSpec],
+        start_timeout_s: float = 60.0,
+    ):
+        self.index = index
+        self._spec_factory = spec_factory
+        self._start_timeout_s = start_timeout_s
+        self._lock = threading.Lock()
+        self._req_ids = itertools.count()
+        self._pending: Dict[int, PendingReply] = {}
+        self._generation = 0
+        self._closing = False
+        self._dead: Optional[str] = None
+        self._proc = None
+        self._cmd_q = None
+        self._resp_q = None
+        self.crashes = 0
+        self.respawns = 0
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn the worker and wait for its ready handshake."""
+        with self._lock:
+            self._spawn_locked()
+
+    def _spawn_locked(self) -> None:
+        spec = self._spec_factory()
+        cmd_q = make_queue()
+        resp_q = make_queue()
+        proc = make_process(
+            shard_worker_main,
+            (spec, cmd_q, resp_q),
+            name=f"skyup-shard-{self.index}",
+        )
+        proc.start()
+        try:
+            item = resp_q.get(timeout=self._start_timeout_s)
+        except Empty:
+            proc.terminate()
+            raise WorkerCrashError(
+                f"shard worker {self.index} did not become ready within "
+                f"{self._start_timeout_s}s"
+            ) from None
+        if item[0] == "error":
+            raise WorkerCrashError(
+                f"shard worker {self.index} failed to start: {item[2]}"
+            )
+        self._proc = proc
+        self._cmd_q = cmd_q
+        self._resp_q = resp_q
+        self._generation += 1
+        generation = self._generation
+        receiver = threading.Thread(
+            target=self._receive_loop,
+            args=(resp_q, generation),
+            name=f"skyup-shard-recv-{self.index}",
+            daemon=True,
+        )
+        monitor = threading.Thread(
+            target=self._monitor_loop,
+            args=(proc, generation),
+            name=f"skyup-shard-mon-{self.index}",
+            daemon=True,
+        )
+        receiver.start()
+        monitor.start()
+
+    def close(self, timeout_s: float = 5.0) -> None:
+        """Shut the worker down (idempotent; never raises on teardown)."""
+        with self._lock:
+            if self._closing:
+                return
+            self._closing = True
+            proc, cmd_q = self._proc, self._cmd_q
+            if cmd_q is not None and self._dead is None:
+                cmd_q.put(("shutdown", next(self._req_ids)))
+        if proc is not None:
+            proc.join(timeout_s)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(1.0)
+
+    def kill(self) -> None:
+        """Hard-kill the worker process (chaos-test hook)."""
+        with self._lock:
+            proc = self._proc
+        if proc is not None:
+            proc.kill()
+
+    # -- request plumbing -----------------------------------------------------
+
+    def submit(self, op: str, *args: object) -> PendingReply:
+        """Enqueue one command; returns its :class:`PendingReply`."""
+        with self._lock:
+            if self._closing:
+                raise EngineClosedError(
+                    f"shard worker {self.index} is closed"
+                )
+            if self._dead is not None:
+                raise WorkerCrashError(
+                    f"shard worker {self.index} is dead: {self._dead}"
+                )
+            req_id = next(self._req_ids)
+            pending = PendingReply()
+            self._pending[req_id] = pending
+            self._cmd_q.put((op, req_id, *args))
+        return pending
+
+    def request(
+        self, op: str, *args: object, timeout: Optional[float] = None
+    ) -> object:
+        """Submit and wait: the synchronous convenience path."""
+        return self.submit(op, *args).result(timeout)
+
+    @property
+    def queue_depth(self) -> int:
+        """Commands submitted but not yet answered."""
+        with self._lock:
+            return len(self._pending)
+
+    @property
+    def alive(self) -> bool:
+        with self._lock:
+            return (
+                self._dead is None
+                and not self._closing
+                and self._proc is not None
+                and self._proc.is_alive()
+            )
+
+    # -- background threads ---------------------------------------------------
+
+    def _receive_loop(self, resp_q, generation: int) -> None:
+        while True:
+            with self._lock:
+                if self._closing or self._generation != generation:
+                    return
+            try:
+                item = resp_q.get(timeout=_POLL_S)
+            except Empty:
+                continue
+            except (OSError, ValueError):
+                # The queue was closed under us (teardown race).
+                return
+            status, req_id = item[0], item[1]
+            with self._lock:
+                pending = self._pending.pop(req_id, None)
+            if pending is None:
+                continue  # stale or startup message: drop
+            if status == "ok":
+                pending._resolve(item[2], item[3])
+            else:
+                pending._fail(
+                    ShardCommandError(
+                        f"shard worker {self.index}: {item[2]}"
+                    )
+                )
+
+    # A failed respawn must mark the handle dead so future submits fail
+    # fast instead of hanging on a missing worker.
+    # error-boundary: respawn failure becomes a dead handle, not a hang
+    def _monitor_loop(self, proc, generation: int) -> None:
+        proc.join()
+        with self._lock:
+            if self._closing or self._generation != generation:
+                return
+            self.crashes += 1
+            reason = (
+                f"shard worker {self.index} died "
+                f"(exit code {proc.exitcode})"
+            )
+            failed = list(self._pending.values())
+            self._pending.clear()
+            for pending in failed:
+                pending._fail(WorkerCrashError(reason))
+            try:
+                self._spawn_locked()
+                self.respawns += 1
+            except Exception as exc:
+                self._dead = str(exc)

@@ -1,0 +1,1068 @@
+"""The multi-process sharded upgrade engine (scatter-gather tier).
+
+:class:`ShardedUpgradeEngine` serves the same query API as the
+thread-tier :class:`~repro.serve.engine.UpgradeEngine`, but executes the
+kernels in ``processes`` spawned worker processes, each owning one or
+more hash shards (``record_id % shards``) of the competitor catalog:
+
+* **Shared-memory catalogs** — every shard's columnar
+  :class:`~repro.kernels.block.PointBlock` lives in POSIX shared memory
+  (:mod:`repro.shard.memory`); workers attach zero-copy and rebuild
+  their shard R-trees locally with the
+  :meth:`~repro.rtree.tree.RTree.bulk_load_block` fast path.
+* **Scatter-gather queries** — product queries scatter batched skyline
+  requests and merge with :func:`~repro.core.dominators.merge_skylines`
+  (bit-identical to a single-process traversal); top-k queries run one
+  progressive stream per shard and merge under the threshold rule of
+  :class:`~repro.shard.merge.ThresholdMerge`, emitting the canonical
+  global ``(cost, record_id)`` order with early termination.
+* **Shard-level epochs** — a mutation republishes and version-bumps
+  *only the owning shard's* segment (plus an idempotent incremental
+  index op in the live worker); the cache epoch is the vector
+  ``(e_0, …, e_{S-1}, product_epoch)``, so the precise invalidation
+  rules of :mod:`repro.serve.cache` carry over unchanged.
+* **Crash containment** — a killed worker process fails its in-flight
+  requests with a typed :class:`~repro.exceptions.WorkerCrashError`
+  (never a hang), and is eagerly respawned from the *current* segment
+  specs; because segments are republished eagerly on every mutation, a
+  respawned worker is consistent by construction.
+
+Coordinator-side exact costs: a sighted product's global cost is
+computed by merging its per-process skylines and running Algorithm 1
+(:func:`~repro.core.upgrade.upgrade`) once — the merged skyline is in
+the canonical ``(sum, lex)`` order, so the upgraded point is
+bit-identical to the single-process answer even at sort ties.
+
+Not replicated from the thread tier (document, don't pretend): the
+cost-based planner (workers run the fixed join unless
+``config.method="probing"``), kernel-guard sampling, and retry policies
+— the shard tier's reliability story is crash containment + respawn.
+
+Lock order (witnessed by the chaos suite): ``engine._rw`` →
+``ShardProcess._lock``; the monitor thread takes only the handle lock.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.dominators import merge_skylines
+from repro.core.session import MarketSession, MutationEvent
+from repro.core.types import UpgradeResult
+from repro.core.upgrade import upgrade
+from repro.exceptions import (
+    ConfigurationError,
+    EngineClosedError,
+    EngineOverloadedError,
+    TransientError,
+    WorkerCrashError,
+)
+from repro.instrumentation import Counters
+from repro.obs import Trace, Tracer, TraceStore, activate, clock, span
+from repro.serve.cache import SkylineCache, TopKCache
+from repro.serve.config import EngineConfig
+from repro.serve.engine import (
+    PendingQuery,
+    ProductQuery,
+    Query,
+    QueryResponse,
+    TopKQuery,
+)
+from repro.serve.metrics import EngineMetrics
+from repro.serve.pool import ReadWriteLock, WorkerPool
+from repro.shard.client import ShardProcess
+from repro.shard.memory import SharedBlock, padded_capacity
+from repro.shard.partition import (
+    partition_members,
+    process_of,
+    shard_of,
+    shards_of_process,
+)
+from repro.shard.worker import ShardSpec
+
+Point = Tuple[float, ...]
+
+#: Per-engine namespace for segment names: unique within the machine as
+#: long as the coordinator process lives (pid) and across engines in the
+#: same process (counter).
+_ENGINE_SEQ = itertools.count()
+
+#: Rows pulled per shard per merge round.  Small enough to keep early
+#: termination early, large enough to amortize the IPC round.
+_STREAM_BATCH = 16
+
+#: Deadline for worker acks on the mutation path (mutations are
+#: memcpy-scale; a worker that cannot ack in this long is wedged).
+_MUTATE_TIMEOUT_S = 60.0
+
+
+class ShardedUpgradeEngine:
+    """Serve upgrade queries from a fleet of shard worker processes.
+
+    Args:
+        session: the authoritative market state.  The engine registers a
+            mutation listener that keeps the shared segments and worker
+            indexes synchronized — route mutations through the engine's
+            mutator methods (they hold the write lock).
+        config: :class:`~repro.serve.config.EngineConfig`; ``processes``
+            and ``shards`` select the topology (``processes`` defaults
+            to 1, ``shards`` to one per process).  ``workers`` > 0
+            additionally attaches the thread-tier request pool in front
+            of the scatter-gather path.
+    """
+
+    def __init__(
+        self,
+        session: MarketSession,
+        config: Optional[EngineConfig] = None,
+    ):
+        self.config = config = config or EngineConfig()
+        self.session = session
+        self.n_processes = max(1, config.processes)
+        self.n_shards = config.shards or self.n_processes
+        self.cache_enabled = config.cache
+        self.default_deadline_s = config.default_deadline_s
+        self.skyline_cache = SkylineCache(
+            max_entries=config.skyline_cache_entries
+        )
+        self.topk_cache = TopKCache()
+        self.tracer = Tracer(
+            sample_rate=config.trace_sample_rate,
+            slow_threshold_s=config.trace_slow_s,
+            seed=config.trace_seed,
+            max_spans=config.trace_max_spans,
+        )
+        self.trace_store = TraceStore(capacity=config.trace_store_capacity)
+        self._metrics = EngineMetrics(window=config.metrics_window)
+        self._rw = ReadWriteLock()
+        self._ns = f"skyup{os.getpid()}x{next(_ENGINE_SEQ)}"
+        self._segment_serial = itertools.count()
+        self._stream_ids = itertools.count(1)
+        self._extern_counters: Dict[int, Counters] = (
+            {}
+        )  # guarded-by: _extern_lock
+        self._extern_lock = threading.Lock()
+        self._closed = False
+
+        # Snapshot, partition, and publish the catalogs.
+        cids, cpoints = session.competitors_by_id()
+        buckets = partition_members(
+            dict(zip(cids, cpoints)), self.n_shards
+        )
+        self._shard_members: List[Dict[int, Point]] = [
+            dict(zip(ids, points)) for ids, points in buckets
+        ]
+        self._shard_epochs: List[int] = [0] * self.n_shards
+        self._shard_blocks: List[SharedBlock] = []
+        for shard, (ids, points) in enumerate(buckets):
+            block = SharedBlock.create(
+                self._segment_name(),
+                session.dims,
+                padded_capacity(len(ids)),
+            )
+            block.publish(points, ids)
+            self._shard_blocks.append(block)
+        pids, ppoints = session.products_by_id()
+        self._product_members: Dict[int, Point] = dict(
+            zip(pids, ppoints)
+        )
+        self._product_block = SharedBlock.create(
+            self._segment_name(),
+            session.dims,
+            padded_capacity(len(pids)),
+        )
+        self._product_block.publish(ppoints, pids)
+
+        # Spawn the fleet; on any start failure release what exists.
+        self._handles: List[ShardProcess] = []
+        started = False
+        try:
+            for proc in range(self.n_processes):
+                handle = ShardProcess(proc, self._spec_factory(proc))
+                handle.start()
+                self._handles.append(handle)
+            started = True
+        finally:
+            if not started:
+                for handle in self._handles:
+                    handle.close()
+                self._teardown_shared_state()
+
+        self._pool: Optional[WorkerPool] = None
+        if config.workers > 0:
+            self._pool = WorkerPool(
+                self._handle_batch,
+                workers=config.workers,
+                queue_capacity=config.queue_capacity,
+                batch_max=config.batch_max,
+                on_batch_error=self._fail_batch,
+            )
+        session.add_mutation_listener(self._on_mutation)
+
+    # -- topology / lifecycle --------------------------------------------------
+
+    def _segment_name(self) -> str:
+        return f"{self._ns}g{next(self._segment_serial)}"
+
+    def _spec_factory(self, proc: int):
+        """A zero-argument factory returning the proc's *current* spec.
+
+        Called at initial start and again on every crash respawn, so the
+        respawned worker always rebuilds from the live segment specs.
+        """
+
+        def factory() -> ShardSpec:
+            shards = shards_of_process(
+                proc, self.n_shards, self.n_processes
+            )
+            return ShardSpec(
+                proc=proc,
+                shards=tuple(shards),
+                competitor_specs={
+                    s: self._shard_blocks[s].spec for s in shards
+                },
+                product_spec=self._product_block.spec,
+                dims=self.session.dims,
+                cost_model=self.session.cost_model,
+                bound=self.session.bound,
+                lbc_mode="corrected",
+                vector_jl_from=8,
+                config=self.session.config,
+                max_entries=self.session.competitor_index.max_entries,
+                method=self.config.method,
+            )
+
+        return factory
+
+    @property
+    def epoch_vector(self) -> Tuple[int, ...]:
+        """``(e_0, …, e_{S-1}, product_epoch)`` — the cache epoch."""
+        return (*self._shard_epochs, self.session.product_epoch)
+
+    def close(self, timeout: float = 5.0) -> int:
+        """Stop pool, workers, and shared memory (idempotent)."""
+        if self._closed:
+            return 0
+        self._closed = True
+        stuck = 0
+        if self._pool is not None:
+            stuck = self._pool.close(timeout=timeout)
+        self.session.remove_mutation_listener(self._on_mutation)
+        for handle in self._handles:
+            handle.close(timeout_s=timeout)
+        self._teardown_shared_state()
+        return stuck
+
+    def _teardown_shared_state(self) -> None:
+        for block in self._shard_blocks:
+            block.close()
+            block.unlink()
+        self._product_block.close()
+        self._product_block.unlink()
+
+    def __enter__(self) -> "ShardedUpgradeEngine":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- catalog mutation (exclusive) -----------------------------------------
+
+    def add_competitor(self, point: Sequence[float]) -> int:
+        """Insert a competitor; republishes only its owning shard."""
+        with self._rw.write_locked():
+            return self.session.add_competitor(point)
+
+    def remove_competitor(self, competitor_id: int) -> bool:
+        """Remove a competitor; republishes only its owning shard."""
+        with self._rw.write_locked():
+            return self.session.remove_competitor(competitor_id)
+
+    def add_product(self, point: Sequence[float]) -> int:
+        """Add a catalog product (broadcast to every worker)."""
+        with self._rw.write_locked():
+            return self.session.add_product(point)
+
+    def remove_product(self, product_id: int) -> bool:
+        """Remove a catalog product (broadcast to every worker)."""
+        with self._rw.write_locked():
+            return self.session.remove_product(product_id)
+
+    def commit_upgrade(self, result: UpgradeResult) -> None:
+        """Commit an upgrade (product point replacement, broadcast)."""
+        with self._rw.write_locked():
+            self.session.commit_upgrade(result)
+
+    def _on_mutation(self, event: MutationEvent) -> None:
+        """Precise invalidation + shard synchronization.
+
+        Runs inside the mutating caller's write lock.  Cache rules are
+        identical to the thread tier's; shard sync then (1) rewrites the
+        owning shard's shared segment in place (eager republish, so a
+        respawn at any moment rebuilds consistent state), (2) bumps that
+        shard's epoch, and (3) sends an idempotent incremental index op
+        to the live worker — the worker's tree *structure* now differs
+        from a bulk load, but skylines and streams are data-determined,
+        so answers are unaffected.
+        """
+        if event.side == "competitor":
+            self.skyline_cache.invalidate_point(event.point)
+            try:
+                overlaps = self.session.any_product_in_dominance_region(
+                    event.point
+                )
+            except TransientError:
+                self._metrics.record_cache_fault()
+                overlaps = True
+            if overlaps:
+                self.topk_cache.invalidate()
+        else:
+            self.topk_cache.invalidate()
+
+        if event.side == "competitor":
+            shard = shard_of(event.record_id, self.n_shards)
+            members = self._shard_members[shard]
+            if event.action == "add":
+                old, new = None, event.point
+                members[event.record_id] = event.point
+            else:
+                old, new = event.point, None
+                members.pop(event.record_id, None)
+            reloaded = self._republish_shard(shard)
+            self._shard_epochs[shard] += 1
+            if not reloaded:
+                owner = self._handles[
+                    process_of(shard, self.n_processes)
+                ]
+                self._send_sync(
+                    owner,
+                    "mutate",
+                    "competitor_set",
+                    (shard, event.record_id, old, new),
+                )
+        else:
+            if event.action == "add":
+                old, new = None, event.point
+            elif event.action == "remove":
+                old, new = event.point, None
+            else:  # upgrade: point replacement
+                old, new = event.old_point, event.point
+            if new is None:
+                self._product_members.pop(event.record_id, None)
+            else:
+                self._product_members[event.record_id] = new
+            reloaded = self._republish_product()
+            if not reloaded:
+                for handle in self._handles:
+                    self._send_sync(
+                        handle,
+                        "mutate",
+                        "product_set",
+                        (event.record_id, old, new),
+                    )
+
+    def _republish_shard(self, shard: int) -> bool:
+        """Rewrite the shard's segment; True if it had to grow (reload).
+
+        The in-place rewrite is memcpy-scale and requires no worker
+        action — the worker only reads segments while (re)building, and
+        its live R-tree is maintained incrementally.  Growth past
+        capacity allocates a fresh segment pair under a new name and
+        tells the owner to re-attach and rebuild.
+        """
+        members = self._shard_members[shard]
+        ids = sorted(members)
+        points = [members[i] for i in ids]
+        block = self._shard_blocks[shard]
+        if len(ids) <= block.spec.capacity:
+            block.publish(points, ids)
+            return False
+        grown = SharedBlock.create(
+            self._segment_name(),
+            self.session.dims,
+            padded_capacity(len(ids)),
+        )
+        spec = grown.publish(points, ids)
+        self._shard_blocks[shard] = grown
+        owner = self._handles[process_of(shard, self.n_processes)]
+        self._send_sync(owner, "reload", shard, spec)
+        block.close()
+        block.unlink()
+        return True
+
+    def _republish_product(self) -> bool:
+        """Rewrite the product segment; True if it grew (broadcast reload)."""
+        ids = sorted(self._product_members)
+        points = [self._product_members[i] for i in ids]
+        block = self._product_block
+        if len(ids) <= block.spec.capacity:
+            block.publish(points, ids)
+            return False
+        grown = SharedBlock.create(
+            self._segment_name(),
+            self.session.dims,
+            padded_capacity(len(ids)),
+        )
+        spec = grown.publish(points, ids)
+        self._product_block = grown
+        for handle in self._handles:
+            self._send_sync(handle, "reload", None, spec)
+        block.close()
+        block.unlink()
+        return True
+
+    def _send_sync(
+        self, handle: ShardProcess, op: str, *args: object
+    ) -> None:
+        """Synchronously apply one sync command to a worker.
+
+        A :class:`WorkerCrashError` here is benign: the worker died and
+        its respawn rebuilds from the already-republished segments, so
+        the state the command would have installed is reached anyway.
+        """
+        try:
+            handle.request(op, *args, timeout=_MUTATE_TIMEOUT_S)
+        except (WorkerCrashError, EngineClosedError):
+            pass
+
+    # -- query submission ------------------------------------------------------
+
+    def query(self, query: Query) -> QueryResponse:
+        """Execute one request synchronously on the calling thread."""
+        return self.execute_batch([query])[0]
+
+    # error-boundary: chaos drivers replay through typed failures
+    def execute_batch(
+        self, queries: Sequence[Query], raise_errors: bool = True
+    ) -> List[QueryResponse]:
+        """Execute a batch synchronously; responses in request order.
+
+        Same contract as the thread tier: with ``raise_errors=False``
+        failed slots hold the exception object (the chaos suite replays
+        through typed :class:`WorkerCrashError` failures this way).
+        """
+        pendings = [self._admit(q) for q in queries]
+        self._execute_batch(pendings, self._calling_thread_counters())
+        if raise_errors:
+            return [p.result(timeout=0) for p in pendings]
+        out: List[QueryResponse] = []
+        for p in pendings:
+            try:
+                out.append(p.result(timeout=0))
+            except Exception as exc:
+                out.append(exc)  # type: ignore[arg-type]
+        return out
+
+    def submit(self, query: Query) -> PendingQuery:
+        """Enqueue one request on the thread pool (requires workers>0)."""
+        return self.submit_batch([query])[0]
+
+    def submit_batch(self, queries: Sequence[Query]) -> List[PendingQuery]:
+        """Enqueue requests atomically on the thread pool."""
+        if self._pool is None:
+            raise ConfigurationError(
+                "engine has no worker pool (workers=0); use query() / "
+                "execute_batch()"
+            )
+        pendings = [self._admit(q) for q in queries]
+        try:
+            self._pool.submit_many(pendings)
+        except (EngineClosedError, EngineOverloadedError):
+            self._metrics.record_rejection()
+            raise
+        return pendings
+
+    def _admit(self, query: Query) -> PendingQuery:
+        if self._closed:
+            raise EngineClosedError("engine is closed")
+        if isinstance(query, TopKQuery):
+            if query.k < 1:
+                raise ConfigurationError(f"k must be >= 1, got {query.k}")
+        elif not isinstance(query, ProductQuery):
+            raise ConfigurationError(
+                f"unsupported query type: {type(query).__name__}"
+            )
+        pending = PendingQuery(query, self.default_deadline_s)
+        if self.tracer.enabled:
+            if isinstance(query, TopKQuery):
+                trace = self.tracer.start(
+                    "topk", k=query.k, sharded=True
+                )
+            else:
+                trace = self.tracer.start(
+                    "product", product_id=query.product_id, sharded=True
+                )
+            if trace is not None:
+                pending.trace = trace
+                trace.span("engine.request").__enter__()
+        return pending
+
+    # -- execution -------------------------------------------------------------
+
+    def _handle_batch(
+        self, batch: List[PendingQuery], counters: Counters
+    ) -> None:
+        self._execute_batch(batch, counters)
+
+    def _fail_batch(
+        self, pendings: Sequence[PendingQuery], exc: BaseException
+    ) -> None:
+        self._metrics.record_worker_crash()
+        wrapped = WorkerCrashError(f"batch execution crashed: {exc!r}")
+        wrapped.__cause__ = exc
+        for pending in pendings:
+            if not pending.done():
+                kind = (
+                    "topk"
+                    if isinstance(pending.query, TopKQuery)
+                    else "product"
+                )
+                self._metrics.record_request(
+                    kind, 0.0, 0.0, partial=False, error=True
+                )
+                pending._fail(wrapped)
+            if pending.trace is not None:
+                pending.trace.attrs.setdefault("error", type(exc).__name__)
+                self._finish_trace(pending)
+
+    # error-boundary: batch containment — no caller is left hanging
+    def _execute_batch(
+        self, pendings: List[PendingQuery], counters: Counters
+    ) -> None:
+        now = time.monotonic()
+        worker = threading.current_thread().name
+        for p in pendings:
+            p.mark_picked_up(now)
+            if p.trace is not None:
+                p.trace.record(
+                    "engine.queue_wait",
+                    p.trace.spans[0].t0,
+                    clock(),
+                    queue_wait_s=round(p.queue_wait_s, 6),
+                    worker=worker,
+                )
+        local = Counters()
+        try:
+            with self._rw.read_locked():
+                epoch = self.epoch_vector
+                topk_group: List[PendingQuery] = []
+                for pending in pendings:
+                    if isinstance(pending.query, TopKQuery):
+                        topk_group.append(pending)
+                    else:
+                        self._serve_product(pending, local, epoch)
+                if topk_group:
+                    self._serve_topk_group(topk_group, local, epoch)
+        except Exception as exc:
+            self._fail_batch(pendings, exc)
+        counters.merge(local)
+        self._metrics.record_batch(len(pendings))
+
+    # -- scatter helpers -------------------------------------------------------
+
+    def _replay_fragments(
+        self, trace: Optional[Trace], fragments: List[tuple]
+    ) -> None:
+        """Splice worker-side span fragments into the request's trace.
+
+        Fragments are stamped with :data:`repro.obs.clock` in the worker
+        — ``CLOCK_MONOTONIC`` is system-wide on Linux, so the timestamps
+        are directly comparable with coordinator spans.
+        """
+        if trace is None:
+            return
+        for name, t0, t1, attrs in fragments:
+            trace.record(name, t0, t1, **attrs)
+
+    def _scatter_skylines(
+        self,
+        points: List[Point],
+        trace: Optional[Trace],
+        timeout: Optional[float],
+    ) -> List[List[Point]]:
+        """Batched skyline scatter; one merged skyline per query point."""
+        traced = trace is not None
+        replies = [
+            (h, h.submit("skylines", points, traced))
+            for h in self._handles
+        ]
+        per_proc: List[List[List[Point]]] = []
+        for _, reply in replies:
+            payload = reply.result(timeout)
+            self._replay_fragments(trace, reply.fragments)
+            per_proc.append(payload)
+        return [
+            merge_skylines([proc[j] for proc in per_proc])
+            for j in range(len(points))
+        ]
+
+    def _exact_results(
+        self,
+        record_ids: List[int],
+        stats: Counters,
+        epoch: Tuple[int, ...],
+        trace: Optional[Trace],
+        timeout: Optional[float],
+    ) -> List[UpgradeResult]:
+        """Exact global results for sighted products (cache-aware)."""
+        session = self.session
+        out: List[UpgradeResult] = []
+        misses: List[Tuple[int, Point]] = []
+        for rid in record_ids:
+            point = session.product_point(rid)
+            if point is None:
+                continue  # racing removal; the stream sighting is stale
+            entry = (
+                self.skyline_cache.get(point)
+                if self.cache_enabled
+                else None
+            )
+            if entry is not None:
+                cached = entry.result
+                out.append(
+                    UpgradeResult(
+                        rid, point, cached.upgraded, cached.cost
+                    )
+                )
+            else:
+                misses.append((rid, point))
+        if misses:
+            skylines = self._scatter_skylines(
+                [p for _, p in misses], trace, timeout
+            )
+            for (rid, point), skyline in zip(misses, skylines):
+                cost, upgraded = upgrade(
+                    skyline,
+                    point,
+                    session.cost_model,
+                    session.config,
+                    stats,
+                )
+                result = UpgradeResult(rid, point, upgraded, cost)
+                if self.cache_enabled:
+                    self.skyline_cache.put(point, skyline, result, epoch)
+                out.append(result)
+        return out
+
+    @staticmethod
+    def _remaining(pendings: List[PendingQuery]) -> Optional[float]:
+        """Longest remaining deadline budget (None = no deadline)."""
+        deadlines = [p.abs_deadline for p in pendings]
+        if any(d is None for d in deadlines):
+            return None
+        return max(0.001, max(deadlines) - time.monotonic())
+
+    # -- product queries -------------------------------------------------------
+
+    # error-boundary: per-request containment — fail, never hang
+    def _serve_product(
+        self,
+        pending: PendingQuery,
+        stats: Counters,
+        epoch: Tuple[int, ...],
+    ) -> None:
+        try:
+            with activate(pending.trace):
+                with span("engine.execute", kind="product"):
+                    try:
+                        self._serve_product_once(pending, stats, epoch)
+                    except Exception as exc:
+                        self._metrics.record_request(
+                            "product", 0.0, 0.0, partial=False, error=True
+                        )
+                        pending._fail(exc)
+        finally:
+            self._finish_trace(pending)
+
+    def _serve_product_once(
+        self,
+        pending: PendingQuery,
+        stats: Counters,
+        epoch: Tuple[int, ...],
+    ) -> None:
+        query = pending.query
+        point = self.session.product_point(query.product_id)
+        if point is None:
+            raise ConfigurationError(
+                f"unknown product id {query.product_id}"
+            )
+        if (
+            pending.abs_deadline is not None
+            and time.monotonic() >= pending.abs_deadline
+        ):
+            self._respond(pending, [], partial=True, cache_hit=False,
+                          epoch=epoch, kind="product")
+            return
+        entry = (
+            self.skyline_cache.get(point) if self.cache_enabled else None
+        )
+        if entry is not None:
+            cached = entry.result
+            result = UpgradeResult(
+                query.product_id, point, cached.upgraded, cached.cost
+            )
+            self._respond(pending, [result], partial=False,
+                          cache_hit=True, epoch=epoch, kind="product")
+            return
+        timeout = self._remaining([pending])
+        skyline = self._scatter_skylines(
+            [point], pending.trace, timeout
+        )[0]
+        cost, upgraded = upgrade(
+            skyline,
+            point,
+            self.session.cost_model,
+            self.session.config,
+            stats,
+        )
+        result = UpgradeResult(query.product_id, point, upgraded, cost)
+        if self.cache_enabled:
+            self.skyline_cache.put(point, skyline, result, epoch)
+        self._respond(pending, [result], partial=False,
+                      cache_hit=False, epoch=epoch, kind="product")
+
+    # -- top-k queries ---------------------------------------------------------
+
+    # error-boundary: per-request containment — fail, never hang
+    def _serve_topk_group(
+        self,
+        group: List[PendingQuery],
+        stats: Counters,
+        epoch: Tuple[int, ...],
+    ) -> None:
+        traced = [p for p in group if p.trace is not None]
+        primary = traced[0] if traced else None
+        start = clock()
+        try:
+            with activate(primary.trace if primary else None):
+                with span(
+                    "engine.execute", kind="topk", group_size=len(group)
+                ):
+                    try:
+                        self._serve_topk_group_once(
+                            group, stats, epoch, primary
+                        )
+                    except Exception as exc:
+                        for pending in group:
+                            if not pending.done():
+                                self._metrics.record_request(
+                                    "topk", 0.0, 0.0,
+                                    partial=False, error=True,
+                                )
+                                pending._fail(exc)
+        finally:
+            end = clock()
+            for p in traced:
+                if p is not primary and p.trace is not None:
+                    p.trace.record(
+                        "engine.execute",
+                        start,
+                        end,
+                        kind="topk",
+                        group_size=len(group),
+                        shared_with_trace=primary.trace.trace_id
+                        if primary.trace is not None
+                        else None,
+                    )
+                self._finish_trace(p)
+
+    def _serve_topk_group_once(
+        self,
+        group: List[PendingQuery],
+        stats: Counters,
+        epoch: Tuple[int, ...],
+        primary: Optional[PendingQuery],
+    ) -> None:
+        """One scatter-gather merge run serves the whole group."""
+        from repro.shard.merge import ThresholdMerge
+
+        k_max = max(p.query.k for p in group)
+        cached = (
+            self.topk_cache.get(k_max) if self.cache_enabled else None
+        )
+        if cached is not None:
+            prefix, _exhausted = cached
+            for pending in group:
+                self._respond(
+                    pending,
+                    prefix[: pending.query.k],
+                    partial=False,
+                    cache_hit=True,
+                    epoch=epoch,
+                    kind="topk",
+                )
+            return
+
+        trace = primary.trace if primary is not None else None
+        method = (
+            "probing" if self.config.method == "probing" else "join"
+        )
+        stream_id = next(self._stream_ids)
+        opens = [
+            h.submit("topk_open", stream_id, method)
+            for h in self._handles
+        ]
+        for reply in opens:
+            reply.result(self._remaining(group))
+        merge = ThresholdMerge(self.n_shards, k_max)
+        active = list(group)
+        batch = max(_STREAM_BATCH, k_max)
+        try:
+            while active and not merge.done:
+                now = time.monotonic()
+                alive: List[PendingQuery] = []
+                for pending in active:
+                    if (
+                        pending.abs_deadline is not None
+                        and now >= pending.abs_deadline
+                    ):
+                        self._respond(
+                            pending,
+                            merge.emitted[: pending.query.k],
+                            partial=True,
+                            cache_hit=False,
+                            epoch=epoch,
+                            kind="topk",
+                        )
+                    else:
+                        alive.append(pending)
+                active = alive
+                if not active:
+                    break
+                if len(merge.emitted) >= max(
+                    p.query.k for p in active
+                ):
+                    break
+                timeout = self._remaining(active)
+                replies = []
+                for handle in self._handles:
+                    owned = shards_of_process(
+                        handle.index, self.n_shards, self.n_processes
+                    )
+                    if all(merge.exhausted[s] for s in owned):
+                        continue
+                    replies.append(
+                        handle.submit(
+                            "topk_next",
+                            stream_id,
+                            batch,
+                            trace is not None,
+                        )
+                    )
+                try:
+                    new_ids: List[int] = []
+                    for reply in replies:
+                        payload = reply.result(timeout)
+                        self._replay_fragments(trace, reply.fragments)
+                        for shard, rows, frontier, exh in payload:
+                            new_ids.extend(
+                                merge.observe(shard, rows, frontier, exh)
+                            )
+                    for result in self._exact_results(
+                        sorted(new_ids), stats, epoch, trace, timeout
+                    ):
+                        merge.add_candidate(result)
+                except TimeoutError:
+                    # Deadline degradation: everyone still waiting gets
+                    # the bound-proven prefix emitted so far.
+                    for pending in active:
+                        self._respond(
+                            pending,
+                            merge.emitted[: pending.query.k],
+                            partial=True,
+                            cache_hit=False,
+                            epoch=epoch,
+                            kind="topk",
+                        )
+                    return
+                merge.drain()
+                waiting: List[PendingQuery] = []
+                for pending in active:
+                    if (
+                        len(merge.emitted) >= pending.query.k
+                        or merge.done
+                    ):
+                        self._respond(
+                            pending,
+                            merge.emitted[: pending.query.k],
+                            partial=False,
+                            cache_hit=False,
+                            epoch=epoch,
+                            kind="topk",
+                        )
+                    else:
+                        waiting.append(pending)
+                active = waiting
+            for pending in active:
+                self._respond(
+                    pending,
+                    merge.emitted[: pending.query.k],
+                    partial=False,
+                    cache_hit=False,
+                    epoch=epoch,
+                    kind="topk",
+                )
+        finally:
+            for handle in self._handles:
+                try:
+                    handle.submit("topk_close", stream_id)
+                except (EngineClosedError, WorkerCrashError):
+                    pass
+        exhausted = merge.all_exhausted and len(merge.emitted) < k_max
+        if self.cache_enabled and (merge.emitted or exhausted):
+            self.topk_cache.put(list(merge.emitted), exhausted, epoch)
+
+    # -- responses / observability ---------------------------------------------
+
+    def _respond(
+        self,
+        pending: PendingQuery,
+        results: List[UpgradeResult],
+        partial: bool,
+        cache_hit: bool,
+        epoch: Tuple[int, ...],
+        kind: str,
+    ) -> None:
+        now = time.monotonic()
+        response = QueryResponse(
+            results=list(results),
+            partial=partial,
+            cache_hit=cache_hit,
+            epoch=epoch,
+            queue_wait_s=pending.queue_wait_s,
+            elapsed_s=now - pending.enqueued_at,
+        )
+        self._metrics.record_request(
+            kind,
+            response.elapsed_s,
+            response.queue_wait_s,
+            partial=partial,
+        )
+        if pending.trace is not None:
+            pending.trace.attrs.update(
+                cache_hit=cache_hit,
+                partial=partial,
+                results=len(results),
+                queue_wait_s=round(response.queue_wait_s, 6),
+                elapsed_s=round(response.elapsed_s, 6),
+            )
+        pending._resolve(response)
+
+    def _finish_trace(self, pending: PendingQuery) -> None:
+        trace = pending.trace
+        if trace is None:
+            return
+        pending.trace = None
+        if pending._exception is not None:
+            trace.attrs.setdefault(
+                "error", type(pending._exception).__name__
+            )
+        trace.spans[0].close()
+        keep, _ = self.tracer.finish(trace)
+        if keep:
+            self.trace_store.add(trace)
+
+    def recent_traces(self, n: Optional[int] = None) -> List[Trace]:
+        """The kept traces, oldest first (the last ``n`` when given)."""
+        traces = self.trace_store.snapshot()
+        if n is not None:
+            traces = traces[-n:]
+        return traces
+
+    def _calling_thread_counters(self) -> Counters:
+        ident = threading.get_ident()
+        with self._extern_lock:
+            counters = self._extern_counters.get(ident)
+            if counters is None:
+                counters = Counters()
+                self._extern_counters[ident] = counters
+            return counters
+
+    def counters(self) -> Counters:
+        """Coordinator-side work counters (merged across threads).
+
+        Worker-process counters stay in their processes; the
+        coordinator's share covers the exact-cost upgrades and merges.
+        """
+        total = Counters()
+        if self._pool is not None:
+            for c in self._pool.worker_counters:
+                total.merge(c)
+        with self._extern_lock:
+            for c in self._extern_counters.values():
+                total.merge(c)
+        return total
+
+    def shard_stats(self) -> Dict[str, object]:
+        """Topology + per-process health (queue depth, crash counts)."""
+        return {
+            "n_shards": self.n_shards,
+            "n_processes": self.n_processes,
+            "epoch_vector": list(self.epoch_vector),
+            "per_process": [
+                {
+                    "proc": handle.index,
+                    "shards": shards_of_process(
+                        handle.index, self.n_shards, self.n_processes
+                    ),
+                    "queue_depth": handle.queue_depth,
+                    "crashes": handle.crashes,
+                    "respawns": handle.respawns,
+                    "alive": handle.alive,
+                }
+                for handle in self._handles
+            ],
+        }
+
+    def metrics(self) -> Dict[str, object]:
+        """One JSON-serializable snapshot of engine health."""
+        return self._metrics.snapshot(
+            counters=self.counters(),
+            extra={
+                "epoch": list(self.session.epoch),
+                "config": self.config.describe(),
+                "tracing": {
+                    **self.tracer.stats(),
+                    "store": self.trace_store.stats(),
+                },
+                "queue_depth": (
+                    self._pool.queue_depth if self._pool is not None else 0
+                ),
+                "shards": self.shard_stats(),
+                "reliability": {
+                    "worker_crashes": sum(
+                        h.crashes for h in self._handles
+                    ),
+                    "worker_respawns": sum(
+                        h.respawns for h in self._handles
+                    ),
+                    "pool_crashes": (
+                        self._pool.crash_count
+                        if self._pool is not None
+                        else 0
+                    ),
+                },
+                "cache_enabled": self.cache_enabled,
+                "skyline_cache": {
+                    **self.skyline_cache.stats.as_dict(),
+                    "hit_rate": self.skyline_cache.stats.hit_rate,
+                    "size": len(self.skyline_cache),
+                    "capacity": self.skyline_cache.max_entries,
+                },
+                "topk_cache": {
+                    **self.topk_cache.stats.as_dict(),
+                    "hit_rate": self.topk_cache.stats.hit_rate,
+                    "prefix_length": self.topk_cache.prefix_length,
+                },
+            },
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedUpgradeEngine(session={self.session!r}, "
+            f"processes={self.n_processes}, shards={self.n_shards})"
+        )

@@ -1,0 +1,178 @@
+"""Shared-memory backing for a shard's :class:`PointBlock` columns.
+
+A :class:`SharedBlock` is the pair of POSIX shared-memory segments — one
+``(capacity, d)`` float64 data column, one ``(capacity,)`` int64 id
+column — behind one shard's competitor (or the whole product) catalog.
+The coordinator *creates* and owns the segments; workers *attach* with
+:func:`repro.shard.spawn.attach_segment` (zero-copy; see that function
+for why the attach-side resource-tracker registration is harmless and
+a worker exit can never unlink memory the coordinator serves from).
+
+Lifecycle contract:
+
+* the coordinator calls :meth:`SharedBlock.create` + :meth:`publish`,
+  republishes in place on mutations (workers only read segments while
+  (re)building, which the command protocol serializes against), and
+  calls :meth:`close` + :meth:`unlink` exactly once at engine close;
+* workers call :meth:`SharedBlock.attach` and :meth:`close` — never
+  :meth:`unlink`.
+
+Capacity is over-allocated (:func:`padded_capacity`) so typical
+mutation churn rewrites rows in place; growth past capacity allocates a
+fresh, larger segment pair under a new name (the epoch-suffixed naming
+makes stale attachments impossible to confuse with live ones).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.kernels.block import PointBlock
+from repro.shard.spawn import attach_segment, create_segment
+
+Point = Tuple[float, ...]
+
+_FLOAT = np.dtype(np.float64)
+_INT = np.dtype(np.int64)
+
+
+def padded_capacity(n: int) -> int:
+    """Row capacity to allocate for ``n`` live rows (50% headroom)."""
+    return max(16, n + n // 2)
+
+
+@dataclass(frozen=True)
+class SegmentSpec:
+    """Everything a worker needs to attach one published block.
+
+    Picklable and tiny — rides in the worker spec and in ``reload``
+    commands.  ``n`` is the live row count at publish time; rows beyond
+    it are garbage.
+    """
+
+    data_name: str
+    ids_name: str
+    dims: int
+    capacity: int
+    n: int
+
+
+class SharedBlock:
+    """One catalog's columns in two shared-memory segments."""
+
+    __slots__ = ("spec", "data", "ids", "_shm_data", "_shm_ids", "_owner")
+
+    def __init__(self, spec, shm_data, shm_ids, owner: bool):
+        self.spec = spec
+        self._shm_data = shm_data
+        self._shm_ids = shm_ids
+        self._owner = owner
+        self.data = np.ndarray(
+            (spec.capacity, spec.dims), dtype=_FLOAT, buffer=shm_data.buf
+        )
+        self.ids = np.ndarray(
+            (spec.capacity,), dtype=_INT, buffer=shm_ids.buf
+        )
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def create(cls, name: str, dims: int, capacity: int) -> "SharedBlock":
+        """Allocate owned segments ``{name}-d`` / ``{name}-i`` (coordinator)."""
+        if dims < 1 or capacity < 1:
+            raise ConfigurationError(
+                f"need dims >= 1 and capacity >= 1, got {dims}/{capacity}"
+            )
+        spec = SegmentSpec(
+            data_name=f"{name}-d",
+            ids_name=f"{name}-i",
+            dims=dims,
+            capacity=capacity,
+            n=0,
+        )
+        shm_data = create_segment(
+            spec.data_name, capacity * dims * _FLOAT.itemsize
+        )
+        shm_ids = create_segment(spec.ids_name, capacity * _INT.itemsize)
+        return cls(spec, shm_data, shm_ids, owner=True)
+
+    @classmethod
+    def attach(cls, spec: SegmentSpec) -> "SharedBlock":
+        """Map an existing published block read-only-by-convention (worker)."""
+        shm_data = attach_segment(spec.data_name)
+        shm_ids = attach_segment(spec.ids_name)
+        return cls(spec, shm_data, shm_ids, owner=False)
+
+    # -- publish / read -------------------------------------------------------
+
+    def publish(
+        self,
+        points: Sequence[Sequence[float]],
+        ids: Sequence[int],
+    ) -> SegmentSpec:
+        """Write ``points``/``ids`` into the segments; returns the new spec.
+
+        Raises:
+            ConfigurationError: more rows than the segment's capacity
+                (the owner must allocate a replacement block instead).
+        """
+        n = len(points)
+        if n > self.spec.capacity:
+            raise ConfigurationError(
+                f"{n} rows exceed segment capacity {self.spec.capacity}"
+            )
+        if n:
+            self.data[:n] = np.asarray(points, dtype=np.float64)
+            self.ids[:n] = np.asarray(ids, dtype=np.int64)
+        new_spec = SegmentSpec(
+            data_name=self.spec.data_name,
+            ids_name=self.spec.ids_name,
+            dims=self.spec.dims,
+            capacity=self.spec.capacity,
+            n=n,
+        )
+        self.spec = new_spec
+        return new_spec
+
+    def as_block(self, n: Optional[int] = None) -> PointBlock:
+        """The live rows as a zero-copy :class:`PointBlock` view."""
+        count = self.spec.n if n is None else n
+        return PointBlock.from_buffers(self.data, self.ids, n=count)
+
+    # -- lifecycle ------------------------------------------------------------
+
+    # Double closes and already-unlinked segments are expected here.
+    # error-boundary: teardown must never mask the original failure
+    def close(self) -> None:
+        """Drop this process's mapping (idempotent; data survives)."""
+        self.data = None  # release the buffer views before closing
+        self.ids = None
+        for shm in (self._shm_data, self._shm_ids):
+            try:
+                shm.close()
+            except Exception:
+                pass
+
+    # error-boundary: see close()
+    def unlink(self) -> None:
+        """Destroy the segments (owner only, after every close)."""
+        if not self._owner:
+            raise ConfigurationError(
+                "only the owning coordinator may unlink a shared block"
+            )
+        for shm in (self._shm_data, self._shm_ids):
+            try:
+                shm.unlink()
+            except FileNotFoundError:
+                pass
+
+    def __repr__(self) -> str:
+        role = "owner" if self._owner else "attached"
+        return (
+            f"SharedBlock({self.spec.data_name!r}, n={self.spec.n}, "
+            f"cap={self.spec.capacity}, {role})"
+        )

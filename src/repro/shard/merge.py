@@ -1,0 +1,128 @@
+"""The scatter-gather top-k merge (threshold-algorithm style).
+
+Correctness rests on two facts about the per-shard streams:
+
+1. **Local costs are lower bounds.**  A shard holds a subset of the
+   competitors, and upgrading against fewer dominators is never more
+   expensive, so a product's shard-local cost is ``<=`` its global cost.
+2. **Every stream enumerates every product.**  Each worker indexes the
+   *full* product catalog against its shard's competitors, so a product
+   absent from a stream so far must have shard-local cost at or above
+   that stream's frontier.
+
+Together: a product sighted in *no* stream has global cost at least
+``T = max over shards of frontier``.  The coordinator therefore computes
+exact global costs only for *sighted* products (scattering skyline
+requests, merging, and running Algorithm 1 once per product) and emits
+them from a ``(cost, record_id)`` heap strictly while ``cost < T`` — the
+strict inequality keeps an unsighted product with cost exactly ``T``
+from being beaten to its canonical tie-break slot.  Exhausted streams
+report ``frontier = inf`` (fact 2 makes that safe), so full exhaustion
+flushes the heap.
+
+The emitted sequence is globally sorted by ``(cost, record_id)`` — the
+same canonical order every single-process method produces — which is
+what the agreement suite asserts bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Sequence, Set, Tuple
+
+from repro.core.types import UpgradeResult
+
+
+class ThresholdMerge:
+    """Coordinator-side merge state for one progressive top-k query.
+
+    The driving loop alternates three calls: :meth:`observe` per shard
+    batch (returns newly sighted record ids), :meth:`add_candidate` once
+    each new sighting's exact global cost is known, then :meth:`drain`.
+    Draining with sightings still awaiting their exact cost would be
+    unsound; :meth:`drain` guards against it.
+    """
+
+    __slots__ = (
+        "k",
+        "frontiers",
+        "exhausted",
+        "sighted",
+        "emitted",
+        "_heap",
+        "_uncosted",
+    )
+
+    def __init__(self, n_shards: int, k: int):
+        self.k = k
+        self.frontiers: List[float] = [0.0] * n_shards
+        self.exhausted: List[bool] = [False] * n_shards
+        self.sighted: Set[int] = set()
+        self.emitted: List[UpgradeResult] = []
+        self._heap: List[Tuple[float, int, UpgradeResult]] = []
+        self._uncosted = 0
+
+    # -- feeding --------------------------------------------------------------
+
+    def observe(
+        self,
+        shard: int,
+        rows: Sequence[Tuple[float, int]],
+        frontier: float,
+        exhausted: bool,
+    ) -> List[int]:
+        """Record one shard batch; returns record ids sighted for the
+        first time (their exact costs are now owed via
+        :meth:`add_candidate`)."""
+        new: List[int] = []
+        for _, record_id in rows:
+            if record_id not in self.sighted:
+                self.sighted.add(record_id)
+                new.append(record_id)
+        self.frontiers[shard] = frontier
+        self.exhausted[shard] = exhausted
+        self._uncosted += len(new)
+        return new
+
+    def add_candidate(self, result: UpgradeResult) -> None:
+        """Supply the exact global result for one sighted product."""
+        heapq.heappush(
+            self._heap, (result.cost, result.record_id, result)
+        )
+        self._uncosted -= 1
+
+    # -- emission -------------------------------------------------------------
+
+    @property
+    def threshold(self) -> float:
+        """Lower bound on any *unsighted* product's global cost."""
+        return max(self.frontiers)
+
+    @property
+    def all_exhausted(self) -> bool:
+        return all(self.exhausted)
+
+    @property
+    def done(self) -> bool:
+        return len(self.emitted) >= self.k or (
+            self.all_exhausted and not self._heap and not self._uncosted
+        )
+
+    def drain(self) -> List[UpgradeResult]:
+        """Emit every bound-proven-final candidate, in canonical order."""
+        if self._uncosted:
+            raise ValueError(
+                f"{self._uncosted} sighted products still await their "
+                f"exact cost; drain would be unsound"
+            )
+        out: List[UpgradeResult] = []
+        bound = self.threshold
+        while (
+            self._heap
+            and len(self.emitted) < self.k
+            and (self._heap[0][0] < bound or self.all_exhausted)
+        ):
+            _, _, result = heapq.heappop(self._heap)
+            self.emitted.append(result)
+            out.append(result)
+        return out

@@ -1,0 +1,69 @@
+"""Partitioning the competitor catalog across shards.
+
+Records hash to shards by id (``record_id % n_shards``): cheap, stable
+under mutation (a record's shard never changes), and balanced for the
+dense row-order ids :meth:`MarketSession.from_points` assigns.  Shards
+map to worker processes round-robin (``shard % n_processes``) so any
+``processes <= shards`` configuration works — a process simply hosts
+several shard indexes and streams them independently.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.exceptions import ConfigurationError
+
+Point = Tuple[float, ...]
+
+
+def shard_of(record_id: int, n_shards: int) -> int:
+    """The shard owning ``record_id``."""
+    return record_id % n_shards
+
+
+def process_of(shard: int, n_processes: int) -> int:
+    """The worker process hosting ``shard``."""
+    return shard % n_processes
+
+
+def shards_of_process(proc: int, n_shards: int, n_processes: int) -> List[int]:
+    """The shard indexes hosted by worker process ``proc``, ascending."""
+    return [s for s in range(n_shards) if s % n_processes == proc]
+
+
+def partition_catalog(
+    ids: Sequence[int],
+    points: Sequence[Point],
+    n_shards: int,
+) -> List[Tuple[List[int], List[Point]]]:
+    """Split parallel (ids, points) lists into per-shard lists.
+
+    Input id order is preserved within each shard, so per-shard blocks
+    are deterministic functions of the catalog state.
+
+    Raises:
+        ConfigurationError: mismatched inputs or ``n_shards < 1``.
+    """
+    if n_shards < 1:
+        raise ConfigurationError(f"n_shards must be >= 1, got {n_shards}")
+    if len(ids) != len(points):
+        raise ConfigurationError(
+            f"{len(ids)} ids but {len(points)} points"
+        )
+    out: List[Tuple[List[int], List[Point]]] = [
+        ([], []) for _ in range(n_shards)
+    ]
+    for rid, point in zip(ids, points):
+        bucket = out[rid % n_shards]
+        bucket[0].append(rid)
+        bucket[1].append(point)
+    return out
+
+
+def partition_members(
+    members: Dict[int, Point], n_shards: int
+) -> List[Tuple[List[int], List[Point]]]:
+    """Partition an id→point dict (ascending id order within shards)."""
+    ids = sorted(members)
+    return partition_catalog(ids, [members[i] for i in ids], n_shards)

@@ -1,0 +1,78 @@
+"""The project's one multiprocessing entry point (``spawn`` only).
+
+Every process, queue, or shared-memory segment the shard tier creates
+goes through this module.  Centralizing the context buys three things:
+
+* **Determinism** — ``spawn`` starts workers from a fresh interpreter,
+  so a worker's module state is exactly what its imports produce, never
+  a forked copy of the coordinator's heap mid-mutation.
+* **Thread safety** — the coordinator runs receiver/monitor threads;
+  ``fork`` in a threaded parent duplicates locks in unknown states.
+  ``spawn`` sidesteps the whole class of fork-unsafety bugs.
+* **Lintability** — the SKY801 rule flags any ``multiprocessing`` use
+  that does not go through these helpers, so the start-method decision
+  cannot silently regress to the platform default.
+
+The module is imported by worker processes too; it holds no locks and
+no mutable module state beyond the lazily-created context singleton.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from multiprocessing import shared_memory
+from typing import Callable, Optional, Tuple
+
+#: Lazily created ``spawn`` context (one per process).
+_CONTEXT: Optional[multiprocessing.context.SpawnContext] = None
+
+
+def spawn_context() -> multiprocessing.context.SpawnContext:
+    """The process-wide ``spawn`` multiprocessing context."""
+    global _CONTEXT
+    if _CONTEXT is None:
+        _CONTEXT = multiprocessing.get_context("spawn")
+    return _CONTEXT
+
+
+def make_queue():
+    """A ``spawn``-context queue for coordinator/worker messaging."""
+    return spawn_context().Queue()
+
+
+def make_process(
+    target: Callable[..., None],
+    args: Tuple[object, ...],
+    name: str,
+):
+    """A daemonic ``spawn``-context process (not yet started).
+
+    Daemonic so a crashed or interrupted coordinator can never leave
+    orphan workers behind: the interpreter reaps them at exit.
+    """
+    proc = spawn_context().Process(
+        target=target, args=args, name=name, daemon=True
+    )
+    return proc
+
+
+def create_segment(name: str, size: int) -> shared_memory.SharedMemory:
+    """Create (and own) a named shared-memory segment of ``size`` bytes."""
+    return shared_memory.SharedMemory(name=name, create=True, size=size)
+
+
+def attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment *without* adopting its lifetime.
+
+    ``SharedMemory(name=...)`` re-registers the segment with the
+    ``resource_tracker``.  That is harmless here — ``spawn`` children
+    inherit the *coordinator's* tracker process (the tracker fd rides in
+    the spawn preparation data), its cache is a set, and a worker's exit
+    sends no messages to it — so the duplicate registration dedupes and
+    the one registration is balanced by the coordinator's ``unlink()``.
+    Do **not** ``resource_tracker.unregister`` here: with the shared
+    tracker that would erase the coordinator's own registration, losing
+    crash cleanup and making its later ``unlink()`` an unmatched
+    UNREGISTER (a ``KeyError`` traceback in the tracker at exit).
+    """
+    return shared_memory.SharedMemory(name=name)

@@ -465,6 +465,91 @@ def fine():
 
 
 # ---------------------------------------------------------------------------
+# SKY801/SKY802 — fork/spawn safety
+
+
+def test_sky801_flags_module_level_primitives_in_shard(tmp_path):
+    source = '''\
+import threading
+from threading import Condition
+
+_LOCK = threading.Lock()
+_COND = Condition()
+
+
+def worker_side():
+    local = threading.Lock()  # per-call: fine
+    return local
+'''
+    write_tree(
+        tmp_path,
+        {
+            "src/repro/shard/bad.py": source,
+            "src/repro/serve/ok.py": source,  # outside the shard tier
+        },
+    )
+    found = findings_for(tmp_path, "SKY801")
+    assert [(f.path, f.line) for f in found] == [
+        ("src/repro/shard/bad.py", 4),
+        ("src/repro/shard/bad.py", 5),
+    ]
+    assert "threading.Lock" in found[0].message
+    assert "spawned worker" in found[0].message
+
+
+def test_sky801_accepts_instance_locks_and_ignores(tmp_path):
+    source = '''\
+import threading
+
+_FLAG = threading.Lock()  # skyup: ignore[SKY801]
+
+
+class Handle:
+    def __init__(self):
+        self._lock = threading.Lock()
+'''
+    write_tree(tmp_path, {"src/repro/shard/good.py": source})
+    assert findings_for(tmp_path, "SKY801") == []
+
+
+def test_sky802_flags_multiprocessing_outside_spawn(tmp_path):
+    source = '''\
+import multiprocessing
+from multiprocessing import shared_memory
+
+
+def go():
+    return multiprocessing.get_context(), shared_memory
+'''
+    write_tree(
+        tmp_path,
+        {
+            "src/repro/shard/engine2.py": source,
+            "src/repro/shard/spawn.py": source,  # the sanctioned doorway
+            "tests/driver.py": source,  # tests may drive mp directly
+        },
+    )
+    found = findings_for(tmp_path, "SKY802")
+    assert [(f.path, f.line) for f in found] == [
+        ("src/repro/shard/engine2.py", 1),
+        ("src/repro/shard/engine2.py", 2),
+    ]
+    assert "repro.shard.spawn" in found[0].message
+
+
+def test_sky802_accepts_spawn_helpers(tmp_path):
+    source = '''\
+from repro.shard.spawn import attach_segment, make_process, make_queue
+
+
+def go():
+    return make_process, make_queue, attach_segment
+'''
+    write_tree(tmp_path, {"src/repro/shard/fine.py": source})
+    assert findings_for(tmp_path, "SKY802") == []
+
+
+# ---------------------------------------------------------------------------
 # baseline
 
 

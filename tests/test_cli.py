@@ -194,7 +194,60 @@ class TestServeBench:
         code = main(["serve-bench", "--requests", "0"])
         assert code == 2
         err = capsys.readouterr().err
-        assert "--requests must be >= 1" in err
+        assert "invalid --requests 0" in err
+        assert "must be >= 1" in err
+
+    def test_sharded_run_reports_per_process_health(
+        self, tmp_path, capsys
+    ):
+        out = tmp_path / "BENCH_serve_sharded.json"
+        code = main(
+            [
+                "serve-bench",
+                "--competitors", "200",
+                "--products", "80",
+                "--requests", "60",
+                "--hot-pool", "16",
+                "--topk-every", "20",
+                "--processes", "2",
+                "--shards", "4",
+                "--save-json", str(out),
+            ]
+        )
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "sharded: 2 processes x 4 shards" in text
+        assert "proc 0:" in text and "proc 1:" in text
+        import json
+
+        report = json.loads(out.read_text())
+        stats = report["sharded"]["shards"]
+        assert stats["n_processes"] == 2
+        assert stats["n_shards"] == 4
+        owned = [p["shards"] for p in stats["per_process"]]
+        assert sorted(s for shards in owned for s in shards) == [0, 1, 2, 3]
+        for proc in stats["per_process"]:
+            assert proc["crashes"] == 0
+            assert proc["alive"] is True
+        assert report["sharded"]["reliability"]["worker_respawns"] == 0
+        assert report["workload"]["processes"] == 2
+
+    def test_rejects_inconsistent_topology(self, capsys):
+        code = main(["serve-bench", "--processes", "2", "--shards", "1"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "invalid --shards 1" in err
+        assert "--processes" in err
+        code = main(["serve-bench", "--shards", "2"])
+        assert code == 2
+        assert "requires --processes" in capsys.readouterr().err
+
+    def test_unknown_fault_point_suggests(self, capsys):
+        code = main(["serve-bench", "--fault-points", "serve.cach"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "unknown --fault-points 'serve.cach'" in err
+        assert "did you mean 'serve.cache'?" in err
 
 
 class TestBenchKernels:
@@ -229,7 +282,8 @@ class TestBenchKernels:
         code = main(["bench-kernels", flag, "0"])
         assert code == 2
         err = capsys.readouterr().err
-        assert f"{flag} must be >= 1" in err
+        assert f"invalid {flag} 0" in err
+        assert "must be >= 1" in err
 
     def test_rejects_unknown_bound(self, capsys):
         code = main(["bench-kernels", "--bound", "tight"])
@@ -331,7 +385,8 @@ class TestExplain:
     def test_rejects_nonpositive_sizes(self, capsys):
         code = main(["explain", "--k", "0"])
         assert code == 2
-        assert "--k must be >= 1" in capsys.readouterr().err
+        err = capsys.readouterr().err
+        assert "invalid --k 0" in err and "must be >= 1" in err
 
 
 class TestBenchPlannerCLI:
@@ -343,7 +398,8 @@ class TestBenchPlannerCLI:
     def test_rejects_nonpositive_repeats(self, capsys):
         code = main(["bench-planner", "--repeats", "0"])
         assert code == 2
-        assert "--repeats must be >= 1" in capsys.readouterr().err
+        err = capsys.readouterr().err
+        assert "invalid --repeats 0" in err and "must be >= 1" in err
 
 
 class TestMethodFlags:

@@ -122,3 +122,29 @@ class TestServeBaseline:
         assert report["cached"]["cache_hit_rate"] > 0.5
         for mode in ("cold", "cached"):
             assert report[mode]["requests"] == report["workload"]["requests"]
+
+
+class TestShardBaseline:
+    def test_recorded_shard_baseline_is_coherent(self):
+        path = RESULTS_DIR / "BENCH_shard.json"
+        if not path.exists():
+            pytest.skip("no recorded sharded baseline in this checkout")
+        report = json.loads(path.read_text())
+        # Scaling numbers are machine-relative: the report must say what
+        # it ran on, and every run must have finished crash-free with
+        # the full stream served.
+        assert report["machine"]["cpu_count"] >= 1
+        expected = report["workload"]["requests"]
+        runs = report["runs"]
+        assert [r["processes"] for r in runs] == [1, 2, 4, 8]
+        for run in runs:
+            assert run["shards"] >= run["processes"]
+            for mode in ("cold", "cached"):
+                cell = run[mode]
+                assert cell["requests"] == expected
+                assert cell["writes"] >= 1
+                assert cell["worker_crashes"] == 0
+                assert cell["throughput_rps"] > 0
+            assert run["scaling_vs_baseline"] > 0
+        for mode in ("cold", "cached"):
+            assert report["baseline"][mode]["requests"] == expected

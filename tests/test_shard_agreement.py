@@ -1,0 +1,204 @@
+"""Seeded agreement: the sharded engine vs the single-process engine.
+
+The acceptance bar for the scatter-gather tier is *bit-identical*
+results — not "close", not "same set": the same
+``(cost, record_id)``-ordered result lists the thread-tier
+:class:`UpgradeEngine` produces, for every plan shape (``join``,
+``probing``, ``auto``), for product queries, for mixed batches, and
+across catalog mutations including shard-segment growth.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import (
+    CostModel,
+    EngineConfig,
+    LinearCost,
+    MarketSession,
+    ProductQuery,
+    TopKQuery,
+    UpgradeEngine,
+)
+from repro.shard import ShardedUpgradeEngine
+
+DIMS = 3
+TIMEOUT = 120  # every blocking wait below is bounded: a hang is a bug
+
+
+def make_catalogs(seed, n_competitors=40, n_products=25):
+    rng = random.Random(seed)
+    comp = [
+        tuple(round(rng.uniform(0.0, 10.0), 3) for _ in range(DIMS))
+        for _ in range(n_competitors)
+    ]
+    prod = [
+        tuple(round(rng.uniform(0.0, 10.0), 3) for _ in range(DIMS))
+        for _ in range(n_products)
+    ]
+    return comp, prod
+
+
+def make_session(competitors, products):
+    session = MarketSession(
+        DIMS, CostModel([LinearCost(10.0, 1.0) for _ in range(DIMS)])
+    )
+    for p in competitors:
+        session.add_competitor(p)
+    for t in products:
+        session.add_product(t)
+    return session
+
+
+def engine_pair(method, competitors, products, processes=2, shards=3):
+    single = UpgradeEngine(
+        make_session(competitors, products),
+        EngineConfig(workers=0, method=method),
+    )
+    sharded = ShardedUpgradeEngine(
+        make_session(competitors, products),
+        EngineConfig(
+            workers=0, method=method, processes=processes, shards=shards
+        ),
+    )
+    return single, sharded
+
+
+def assert_topk_agrees(single, sharded, ks=(1, 3, 8, 25)):
+    for k in ks:
+        a = single.query(TopKQuery(k=k)).results
+        b = sharded.query(TopKQuery(k=k)).results
+        assert a == b, f"top-{k} diverged"
+
+
+def assert_products_agree(single, sharded, limit=8):
+    pids = sorted(single.session.products_by_id()[0])[:limit]
+    for pid in pids:
+        a = single.query(ProductQuery(product_id=pid)).results
+        b = sharded.query(ProductQuery(product_id=pid)).results
+        assert a == b, f"product {pid} diverged"
+
+
+@pytest.mark.parametrize("method", ["join", "probing", "auto"])
+@pytest.mark.parametrize("seed", [11, 29])
+def test_seeded_agreement_per_method(method, seed):
+    competitors, products = make_catalogs(seed)
+    single, sharded = engine_pair(method, competitors, products)
+    try:
+        assert_topk_agrees(single, sharded)
+        assert_products_agree(single, sharded)
+    finally:
+        single.close()
+        sharded.close()
+
+
+def test_mixed_batch_agreement():
+    competitors, products = make_catalogs(101)
+    single, sharded = engine_pair("join", competitors, products)
+    pid = sorted(single.session.products_by_id()[0])[2]
+    batch = [
+        TopKQuery(k=4),
+        ProductQuery(product_id=pid),
+        TopKQuery(k=9),
+    ]
+    try:
+        a = single.execute_batch(batch)
+        b = sharded.execute_batch(batch)
+        assert [r.results for r in a] == [r.results for r in b]
+        assert all(not r.partial for r in b)
+    finally:
+        single.close()
+        sharded.close()
+
+
+def test_agreement_across_mutations_and_growth():
+    rng = random.Random(5)
+    competitors, products = make_catalogs(5, n_competitors=30)
+    single, sharded = engine_pair(
+        "join", competitors, products, processes=2, shards=4
+    )
+    try:
+        assert_topk_agrees(single, sharded, ks=(5,))
+
+        # Incremental mutations: each republishes one shard in place.
+        new_point = (1.25, 2.5, 3.75)
+        single.add_competitor(new_point)
+        sharded.add_competitor(new_point)
+        victim = sorted(single.session.competitors_by_id()[0])[3]
+        assert single.remove_competitor(victim)
+        assert sharded.remove_competitor(victim)
+        assert_topk_agrees(single, sharded, ks=(1, 6))
+        assert_products_agree(single, sharded, limit=4)
+
+        # Committed upgrades mutate the *product* side (broadcast path).
+        winner = single.query(TopKQuery(k=1)).results[0]
+        single.commit_upgrade(winner)
+        sharded.commit_upgrade(winner)
+        assert_topk_agrees(single, sharded, ks=(1, 6))
+
+        # Growth: push shards past their padded capacity so fresh
+        # segment pairs are allocated and reloaded mid-session.
+        for _ in range(60):
+            pt = tuple(
+                round(rng.uniform(0.0, 10.0), 3) for _ in range(DIMS)
+            )
+            single.add_competitor(pt)
+            sharded.add_competitor(pt)
+        assert_topk_agrees(single, sharded, ks=(3, 12))
+        assert_products_agree(single, sharded, limit=4)
+
+        # Every shard epoch moved; the vector has one entry per shard
+        # plus the product epoch at the end.
+        vector = sharded.epoch_vector
+        assert len(vector) == 4 + 1
+        assert all(e > 0 for e in vector)
+    finally:
+        single.close()
+        sharded.close()
+
+
+def test_single_process_single_shard_degenerate_topology():
+    competitors, products = make_catalogs(77, n_competitors=12)
+    single, sharded = engine_pair(
+        "join", competitors, products, processes=1, shards=1
+    )
+    try:
+        assert_topk_agrees(single, sharded, ks=(1, 12))
+    finally:
+        single.close()
+        sharded.close()
+
+
+def test_more_shards_than_processes_premerges_locally():
+    competitors, products = make_catalogs(13)
+    single, sharded = engine_pair(
+        "join", competitors, products, processes=2, shards=5
+    )
+    try:
+        assert_topk_agrees(single, sharded, ks=(2, 7))
+        stats = sharded.shard_stats()
+        owned = [p["shards"] for p in stats["per_process"]]
+        assert sorted(s for shards in owned for s in shards) == list(
+            range(5)
+        )
+    finally:
+        single.close()
+        sharded.close()
+
+
+def test_empty_competitor_catalog():
+    # Every product is competitive: zero-cost results, same canonical
+    # ordering, across an engine whose shards are all empty.
+    _, products = make_catalogs(3)
+    single, sharded = engine_pair("join", [], products)
+    try:
+        a = single.query(TopKQuery(k=5)).results
+        b = sharded.query(TopKQuery(k=5)).results
+        assert a == b
+        assert all(r.cost == 0.0 for r in b)
+    finally:
+        single.close()
+        sharded.close()

@@ -1,0 +1,276 @@
+"""PointBlock buffer-adoption edge cases and SharedBlock round trips.
+
+The first half pins the :class:`~repro.kernels.block.PointBlock`
+edge cases the shard tier leans on (``subset``/``take`` with empty
+masks, non-contiguous and repeated indexes, dtype coercion; the
+``from_buffers``/``copy_into`` adoption contract).  The second half
+exercises :class:`~repro.shard.memory.SharedBlock` end to end: publish /
+attach / republish visibility, capacity enforcement, owner-only unlink,
+attach-in-a-spawned-child never destroying the coordinator's segments,
+and no leaked ``/dev/shm`` entries after close + unlink.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, DimensionalityError
+from repro.kernels.block import PointBlock
+from repro.shard.memory import SegmentSpec, SharedBlock, padded_capacity
+from repro.shard.spawn import make_process, make_queue
+
+# ---------------------------------------------------------------------------
+# PointBlock.subset / take edge cases
+
+
+class TestSubsetTake:
+    def block(self) -> PointBlock:
+        pts = [(float(i), float(10 - i)) for i in range(6)]
+        return PointBlock.from_points(pts, ids=[7, 5, 3, 1, 9, 11])
+
+    def test_subset_empty_mask(self):
+        block = self.block()
+        sub = block.subset(np.zeros(6, dtype=bool))
+        assert len(sub) == 0
+        assert sub.dims == 2
+        assert sub.points() == []
+        assert list(sub.ids) == []
+
+    def test_subset_coerces_int_and_list_masks(self):
+        block = self.block()
+        by_int = block.subset(np.array([1, 0, 1, 0, 1, 0]))
+        by_list = block.subset([True, False, True, False, True, False])
+        assert by_int.points() == by_list.points() == block.points()[::2]
+        assert list(by_int.ids) == list(by_list.ids) == [7, 3, 9]
+
+    def test_take_non_contiguous_and_repeated(self):
+        block = self.block()
+        taken = block.take([5, 0, 3, 3])
+        assert taken.points() == [
+            (5.0, 5.0),
+            (0.0, 10.0),
+            (3.0, 7.0),
+            (3.0, 7.0),
+        ]
+        assert list(taken.ids) == [11, 7, 1, 1]
+
+    def test_take_empty(self):
+        taken = self.block().take([])
+        assert len(taken) == 0
+        assert taken.dims == 2
+
+    def test_take_coerces_index_dtypes(self):
+        block = self.block()
+        small = block.take(np.array([4, 1], dtype=np.int32))
+        assert list(small.ids) == [9, 5]
+        assert small.points() == [(4.0, 6.0), (1.0, 9.0)]
+
+    def test_take_result_is_independent(self):
+        block = self.block()
+        taken = block.take([0, 1])
+        taken.append((99.0, 99.0), record_id=99)
+        assert len(block) == 6
+        assert block.point(0) == (0.0, 10.0)
+
+
+# ---------------------------------------------------------------------------
+# PointBlock.from_buffers / copy_into (the shared-memory adoption contract)
+
+
+class TestBufferAdoption:
+    def buffers(self, cap=8, dims=3):
+        data = np.zeros((cap, dims), dtype=np.float64)
+        ids = np.zeros(cap, dtype=np.int64)
+        return data, ids
+
+    def test_zero_copy_adoption(self):
+        data, ids = self.buffers()
+        data[0] = (1.0, 2.0, 3.0)
+        ids[0] = 42
+        block = PointBlock.from_buffers(data, ids, n=1)
+        assert block.point(0) == (1.0, 2.0, 3.0)
+        assert block.id_of(0) == 42
+        data[0, 0] = 7.5  # writes through: the block wraps, not copies
+        assert block.point(0) == (7.5, 2.0, 3.0)
+
+    def test_append_past_capacity_detaches(self):
+        data, ids = self.buffers(cap=1, dims=2)
+        block = PointBlock.from_buffers(
+            np.zeros((1, 2)), np.zeros(1, dtype=np.int64), n=1
+        )
+        block.append((5.0, 6.0), record_id=1)
+        assert len(block) == 2
+        assert data[0].tolist() == [0.0, 0.0]  # shared row untouched
+
+    @pytest.mark.parametrize(
+        "data,ids",
+        [
+            (np.zeros((4, 2), dtype=np.float32), np.zeros(4, np.int64)),
+            (np.zeros((4, 2)), np.zeros(4, dtype=np.int32)),
+            (np.zeros(4), np.zeros(4, dtype=np.int64)),
+            (np.zeros((4, 2)), np.zeros(3, dtype=np.int64)),
+            (np.zeros((4, 2))[:, ::-1], np.zeros(4, dtype=np.int64)),
+        ],
+    )
+    def test_contract_violations_rejected(self, data, ids):
+        with pytest.raises(DimensionalityError):
+            PointBlock.from_buffers(data, ids)
+
+    def test_live_count_bounds(self):
+        data, ids = self.buffers(cap=4)
+        with pytest.raises(DimensionalityError):
+            PointBlock.from_buffers(data, ids, n=5)
+        with pytest.raises(DimensionalityError):
+            PointBlock.from_buffers(data, ids, n=-1)
+
+    def test_copy_into_round_trip(self):
+        block = PointBlock.from_points(
+            [(1.0, 2.0), (3.0, 4.0)], ids=[10, 20]
+        )
+        data, ids = self.buffers(cap=5, dims=2)
+        assert block.copy_into(data, ids) == 2
+        back = PointBlock.from_buffers(data, ids, n=2)
+        assert back.points() == block.points()
+        assert list(back.ids) == [10, 20]
+
+    def test_copy_into_rejects_bad_destinations(self):
+        block = PointBlock.from_points([(1.0, 2.0), (3.0, 4.0)])
+        with pytest.raises(DimensionalityError):
+            block.copy_into(
+                np.zeros((1, 2)), np.zeros(1, dtype=np.int64)
+            )
+        with pytest.raises(DimensionalityError):
+            block.copy_into(
+                np.zeros((4, 3)), np.zeros(4, dtype=np.int64)
+            )
+
+
+# ---------------------------------------------------------------------------
+# SharedBlock
+
+
+def shm_names(spec: SegmentSpec):
+    return [spec.data_name, spec.ids_name]
+
+
+def shm_exists(name: str) -> bool:
+    return os.path.exists(f"/dev/shm/{name}")
+
+
+ON_DEV_SHM = os.path.isdir("/dev/shm")
+needs_dev_shm = pytest.mark.skipif(
+    not ON_DEV_SHM, reason="POSIX shared memory not mounted at /dev/shm"
+)
+
+
+def test_padded_capacity_headroom():
+    assert padded_capacity(0) == 16
+    assert padded_capacity(10) == 16
+    assert padded_capacity(100) == 150
+
+
+class TestSharedBlock:
+    def test_publish_and_read_back(self):
+        block = SharedBlock.create("skyup-test-rt", dims=2, capacity=8)
+        try:
+            spec = block.publish([(1.0, 2.0), (3.0, 4.0)], [5, 9])
+            assert spec.n == 2
+            pb = block.as_block()
+            assert pb.points() == [(1.0, 2.0), (3.0, 4.0)]
+            assert list(pb.ids) == [5, 9]
+        finally:
+            block.close()
+            block.unlink()
+
+    def test_republish_in_place_is_visible_to_attachment(self):
+        owner = SharedBlock.create("skyup-test-repub", dims=2, capacity=8)
+        try:
+            owner.publish([(1.0, 1.0)], [1])
+            reader = SharedBlock.attach(owner.spec)
+            try:
+                assert reader.as_block(n=1).points() == [(1.0, 1.0)]
+                new_spec = owner.publish(
+                    [(2.0, 2.0), (3.0, 3.0)], [2, 3]
+                )
+                # Same segments, new row count: the attachment sees the
+                # rewrite without remapping anything.
+                assert reader.as_block(n=new_spec.n).points() == [
+                    (2.0, 2.0),
+                    (3.0, 3.0),
+                ]
+            finally:
+                reader.close()
+        finally:
+            owner.close()
+            owner.unlink()
+
+    def test_publish_past_capacity_rejected(self):
+        block = SharedBlock.create("skyup-test-cap", dims=1, capacity=2)
+        try:
+            with pytest.raises(ConfigurationError):
+                block.publish([(1.0,), (2.0,), (3.0,)], [1, 2, 3])
+        finally:
+            block.close()
+            block.unlink()
+
+    def test_unlink_is_owner_only(self):
+        owner = SharedBlock.create("skyup-test-owner", dims=1, capacity=4)
+        try:
+            owner.publish([(1.0,)], [1])
+            reader = SharedBlock.attach(owner.spec)
+            with pytest.raises(ConfigurationError):
+                reader.unlink()
+            reader.close()
+        finally:
+            owner.close()
+            owner.unlink()
+
+    @needs_dev_shm
+    def test_close_unlink_leaves_no_segments(self):
+        block = SharedBlock.create("skyup-test-leak", dims=2, capacity=4)
+        names = shm_names(block.spec)
+        assert all(shm_exists(n) for n in names)
+        block.close()
+        block.close()  # idempotent
+        assert all(shm_exists(n) for n in names)  # close keeps data
+        block.unlink()
+        block.unlink()  # idempotent (FileNotFoundError tolerated)
+        assert not any(shm_exists(n) for n in names)
+
+
+# ---------------------------------------------------------------------------
+# attach in a spawned child must never unlink the coordinator's segments
+
+
+def _child_attach_read(spec: SegmentSpec, out_q) -> None:
+    block = SharedBlock.attach(spec)
+    try:
+        out_q.put(block.as_block().points())
+    finally:
+        block.close()
+
+
+@needs_dev_shm
+def test_child_attach_does_not_unlink():
+    owner = SharedBlock.create("skyup-test-child", dims=2, capacity=4)
+    try:
+        spec = owner.publish([(1.5, 2.5), (3.5, 4.5)], [1, 2])
+        out_q = make_queue()
+        proc = make_process(
+            _child_attach_read, (spec, out_q), name="skyup-test-child"
+        )
+        proc.start()
+        points = out_q.get(timeout=60)
+        proc.join(60)
+        assert points == [(1.5, 2.5), (3.5, 4.5)]
+        assert proc.exitcode == 0
+        # The child exited; the coordinator's segments must survive it.
+        assert all(shm_exists(n) for n in shm_names(spec))
+        assert owner.as_block().points() == [(1.5, 2.5), (3.5, 4.5)]
+    finally:
+        owner.close()
+        owner.unlink()
+    assert not any(shm_exists(n) for n in shm_names(owner.spec))
