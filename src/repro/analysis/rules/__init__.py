@@ -16,11 +16,14 @@ time).  Rule ids are stable and grouped by hundreds:
   (:mod:`repro.analysis.rules.layering`)
 * ``SKY8xx`` — fork/spawn safety of the shard tier
   (:mod:`repro.analysis.rules.forksafety`)
+* ``SKY9xx`` — blocking-receive discipline of the shard tier
+  (:mod:`repro.analysis.rules.blocking`)
 """
 
 from __future__ import annotations
 
 from repro.analysis.rules import (  # noqa: F401  (registration side effect)
+    blocking,
     determinism,
     forksafety,
     hotpath,
@@ -32,6 +35,7 @@ from repro.analysis.rules import (  # noqa: F401  (registration side effect)
 )
 
 __all__ = [
+    "blocking",
     "determinism",
     "forksafety",
     "hotpath",

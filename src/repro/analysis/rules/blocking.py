@@ -1,0 +1,102 @@
+"""SKY901 — no unbounded blocking receives in the sharded tier.
+
+A coordinator thread blocked forever on ``queue.get()`` is the failure
+mode every resilience mechanism in :mod:`repro.shard` exists to prevent:
+a worker that dies between request and reply leaves the receiver parked
+until process exit, deadlines never fire, breakers never trip, and the
+whole engine wedges on one lost message.  The convention is that every
+potentially-blocking ``get`` in ``src/repro/shard/`` carries a
+``timeout=`` and treats ``queue.Empty`` as "poll again / give up" — the
+worker command loop and the coordinator receiver both do.
+
+The check flags attribute calls of ``.get`` that look like blocking
+queue receives:
+
+* no positional arguments (``q.get()``), or a boolean-literal first
+  argument (``q.get(True)`` — the ``block`` flag), and
+* no ``timeout=`` keyword, and
+* no ``block=False`` (that form never blocks).
+
+A first positional argument that is *not* a boolean literal marks a
+mapping lookup (``cache.get(key)``) and is never flagged; neither is
+``get_nowait()``.  ``# skyup: ignore[SKY901]`` on the line documents a
+deliberate exception.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from repro.analysis.engine import Finding, LintContext, ModuleInfo, rule
+
+#: Repo-relative prefix the ban covers (the sharded execution tier).
+SHARD_DIR = "src/repro/shard/"
+
+IGNORE_RE = re.compile(r"#\s*skyup:\s*ignore\[(SKY90\d)\]")
+
+
+def _ignored(module: ModuleInfo, lineno: int, rule_id: str) -> bool:
+    match = IGNORE_RE.search(module.line(lineno))
+    return bool(match) and match.group(1) == rule_id
+
+
+def _is_blocking_receive(call: ast.Call) -> bool:
+    """True when ``call`` is a ``.get`` that can block without bound."""
+    func = call.func
+    if not isinstance(func, ast.Attribute) or func.attr != "get":
+        return False
+    if call.args:
+        first = call.args[0]
+        # A non-boolean first positional is a mapping key, not the
+        # ``block`` flag of a queue receive.
+        if not (
+            isinstance(first, ast.Constant)
+            and isinstance(first.value, bool)
+        ):
+            return False
+        if first.value is False:
+            return False  # get(False) never blocks
+        if len(call.args) >= 2:
+            return False  # get(True, t) carries a positional timeout
+    for kw in call.keywords:
+        if kw.arg == "timeout":
+            return False
+        if (
+            kw.arg == "block"
+            and isinstance(kw.value, ast.Constant)
+            and kw.value.value is False
+        ):
+            return False
+    return True
+
+
+@rule(
+    "SKY901",
+    "unbounded-blocking-receive",
+    "queue get() without timeout in the sharded tier",
+)
+def check_unbounded_receives(ctx: LintContext) -> Iterator[Finding]:
+    for module in ctx.modules:
+        if not module.rel.startswith(SHARD_DIR):
+            continue
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if not _is_blocking_receive(node):
+                continue
+            if _ignored(module, node.lineno, "SKY901"):
+                continue
+            yield Finding(
+                rule="SKY901",
+                path=module.rel,
+                line=node.lineno,
+                col=node.col_offset + 1,
+                message=(
+                    "blocking get() with no timeout in the sharded "
+                    "tier: a lost reply would park this thread forever "
+                    "— pass timeout= and handle queue.Empty (poll "
+                    "again or fail the pending request)"
+                ),
+            )

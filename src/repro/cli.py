@@ -297,6 +297,26 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     srv.add_argument(
+        "--hedge-delay",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "sharded run: fixed delay before a straggling shard RPC is "
+            "hedged to a second attempt (default: adaptive, p95-based)"
+        ),
+    )
+    srv.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=5,
+        metavar="N",
+        help=(
+            "sharded run: consecutive shard-RPC failures that trip a "
+            "process's circuit breaker (0 = breakers off)"
+        ),
+    )
+    srv.add_argument(
         "--fault-rate",
         type=float,
         default=0.0,
@@ -751,6 +771,18 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
             "requires --processes > 0",
             not (args.shards and not args.processes),
         )
+        _require(
+            "--hedge-delay",
+            args.hedge_delay,
+            "must be >= 0",
+            args.hedge_delay is None or args.hedge_delay >= 0,
+        )
+        _require(
+            "--breaker-threshold",
+            args.breaker_threshold,
+            "must be >= 0 (0 disables breakers)",
+            args.breaker_threshold >= 0,
+        )
         for point in sorted(set(fault_points) - INJECTION_POINTS):
             raise UnknownOptionError(
                 "--fault-points", point, sorted(INJECTION_POINTS)
@@ -774,6 +806,8 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         method=args.method,
         processes=args.processes,
         shards=args.shards,
+        hedge_delay_s=args.hedge_delay,
+        breaker_threshold=args.breaker_threshold,
     )
     print(format_report(report))
     if args.save_json:

@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Iterator, List, Tuple
+from typing import Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -50,6 +50,7 @@ from repro.costs.model import CostModel
 from repro.exceptions import ConfigurationError, UnknownOptionError
 from repro.geometry.point import dominates
 from repro.geometry.region import mbr_overlaps_adr
+from repro.obs import clock
 from repro.instrumentation import Counters, RunReport, Stopwatch, Timer
 from repro.kernels.dominance import dominated_mask, dominating_mask
 from repro.kernels.switch import kernels_enabled
@@ -588,10 +589,23 @@ class MergeableResultStream:
         self.frontier = 0.0
         self.exhausted = False
 
-    def next_batch(self, n: int) -> List[UpgradeResult]:
-        """Pull up to ``n`` results, advancing the frontier."""
+    def next_batch(
+        self, n: int, deadline: Optional[float] = None
+    ) -> List[UpgradeResult]:
+        """Pull up to ``n`` results, advancing the frontier.
+
+        ``deadline`` (on the :data:`repro.obs.clock` timebase) makes the
+        pull cooperative: it is checked before each result, so an
+        expired budget returns a short batch — overshooting by at most
+        one result's worth of join expansion.  Truncation is *safe* by
+        construction: the frontier stays at the last yielded cost and
+        ``exhausted`` stays ``False``, so the threshold merge simply
+        learns less, never something wrong.
+        """
         out: List[UpgradeResult] = []
         while len(out) < n:
+            if deadline is not None and clock() >= deadline:
+                break
             try:
                 result = next(self._it)
             except StopIteration:

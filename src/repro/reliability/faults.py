@@ -33,6 +33,18 @@ The known points (see :data:`INJECTION_POINTS`):
     The batched join-list pair bounds (scalar oracle unaffected).
 ``persist.load``
     R-tree index loading.
+``shard.transport.delay``
+    Coordinator-side shard command submission (latency/error faults) —
+    a latency spec stalls the command just like a slow IPC hop, which
+    is what hedged scatter is calibrated against.
+``shard.transport.drop``
+    Shard command delivery (corrupt kind): the command is silently
+    never enqueued, so its reply only ever resolves via a hedge
+    re-issue or an RPC timeout — the breaker path.
+``shard.transport.dup``
+    Shard command delivery (corrupt kind): the command is enqueued
+    twice, exercising the worker's idempotent (sequence-deduped)
+    command handling.
 
 Example::
 
@@ -63,6 +75,9 @@ INJECTION_POINTS = frozenset(
         "kernels.dominance",
         "kernels.bounds",
         "persist.load",
+        "shard.transport.delay",
+        "shard.transport.drop",
+        "shard.transport.dup",
     }
 )
 

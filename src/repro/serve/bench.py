@@ -30,7 +30,12 @@ import numpy as np
 
 from repro.core.session import MarketSession
 from repro.obs import Trace
-from repro.reliability.faults import FaultInjector, FaultPlan, inject_faults
+from repro.reliability.faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    inject_faults,
+)
 from repro.reliability.guards import KernelGuard
 from repro.serve.config import EngineConfig
 from repro.serve.engine import ProductQuery, Query, TopKQuery, UpgradeEngine
@@ -96,6 +101,8 @@ def _replay(
     method: str = "join",
     processes: int = 0,
     shards: int = 0,
+    hedge_delay_s: Optional[float] = None,
+    breaker_threshold: int = 5,
 ) -> Dict[str, object]:
     # The guard is pinned off: its sampled scalar-oracle recomputes are a
     # reliability cost, not query-execution cost, and would skew the
@@ -106,6 +113,8 @@ def _replay(
         method=method,
         processes=processes,
         shards=shards,
+        hedge_delay_s=hedge_delay_s,
+        breaker_threshold=breaker_threshold,
         kernel_guard=KernelGuard(sample_rate=0.0),
     )
     if processes > 0:
@@ -159,6 +168,21 @@ def _replay(
         out["reliability"]["worker_respawns"] = metrics["reliability"][
             "worker_respawns"
         ]
+        health = metrics["shard_health"]
+        hedge = health["hedge"]
+        issued = hedge["hedges"]
+        out["resilience"] = {
+            "hedges_issued": issued,
+            "hedges_won": hedge["wins"],
+            "hedge_rate": issued / len(requests) if requests else 0.0,
+            "breaker_trips": health["breaker_trips"],
+            "breaker_skips": health["breaker_skips"],
+            "rpc_timeouts": health["rpc_timeouts"],
+            "deadline_truncations": health["deadline_truncations"],
+            "partials": metrics["partials"],
+            "degraded": metrics["degraded"],
+            "coverage": metrics["coverage"],
+        }
     if injector is not None:
         out["reliability"]["faults_fired"] = {
             point: counts["fired"]
@@ -204,6 +228,8 @@ def run_serve_bench(
     method: str = "join",
     processes: int = 0,
     shards: int = 0,
+    hedge_delay_s: Optional[float] = None,
+    breaker_threshold: int = 5,
 ) -> Dict[str, object]:
     """Run the cached-vs-cold comparison; returns a JSON-ready report.
 
@@ -221,9 +247,16 @@ def run_serve_bench(
     that process count (``shards`` defaults to one per process); the
     ``report["sharded"]`` run then carries topology and per-process
     health — owned shards, queue depth, crash/respawn counts — under
-    ``report["sharded"]["shards"]``.  Faults are not armed for the
-    sharded run: the injector is process-local and the workers would
-    never see it, so the numbers would be silently incomparable.
+    ``report["sharded"]["shards"]``, plus a ``resilience`` section
+    (hedge rate, breaker trips/skips, coverage percentiles).
+    ``hedge_delay_s`` and ``breaker_threshold`` tune the sharded run's
+    hedged-scatter delay and circuit breakers (``skyup serve-bench
+    --hedge-delay/--breaker-threshold``).  Coordinator-side fault
+    points (``shard.transport.*``) *do* fire for the sharded run when
+    armed explicitly; the default cache/rtree points live in the
+    workers' processes and would never see the injector, so faults are
+    not armed for the sharded run unless the caller names transport
+    points.
     """
     if session is None:
         session = build_session(
@@ -257,13 +290,39 @@ def run_serve_bench(
     )
     sharded = None
     if processes > 0:
+        transport_plan = None
+        if fault_plan is not None:
+            # Only coordinator-side transport points can fire in the
+            # sharded run; re-key their kinds to what each site consults
+            # (delay is a maybe_inject latency site, drop/dup are
+            # maybe_corrupt sites) so plain-name arming does what the
+            # flag says instead of silently doing nothing.
+            transport_specs: Dict[str, FaultSpec] = {}
+            for point, spec in fault_plan.specs().items():
+                if not point.startswith("shard.transport."):
+                    continue
+                if point == "shard.transport.delay":
+                    if spec.kind == "error":
+                        spec = FaultSpec(rate=spec.rate, kind="latency")
+                elif spec.kind != "corrupt":
+                    spec = FaultSpec(rate=spec.rate, kind="corrupt")
+                transport_specs[point] = spec
+            if transport_specs:
+                transport_plan = FaultPlan(
+                    seed=fault_plan.seed,
+                    rate=fault_plan.rate,
+                    points=transport_specs,
+                )
         sharded = _replay(
             session,
             requests,
             cache=True,
+            fault_plan=transport_plan,
             method=method,
             processes=processes,
             shards=shards,
+            hedge_delay_s=hedge_delay_s,
+            breaker_threshold=breaker_threshold,
         )
     report = {
         "workload": {
@@ -279,6 +338,8 @@ def run_serve_bench(
             "method": method,
             "processes": processes,
             "shards": shards or (processes if processes else 0),
+            "hedge_delay_s": hedge_delay_s,
+            "breaker_threshold": breaker_threshold,
         },
         "cold": cold,
         "cached": cached,
@@ -391,6 +452,21 @@ def format_report(report: Dict[str, object]) -> str:
                 f"crashes={proc['crashes']} "
                 f"respawns={proc['respawns']} "
                 f"alive={proc['alive']}"
+            )
+        res = shard_run.get("resilience")
+        if res is not None:
+            cov = res["coverage"]
+            lines.append(
+                f"  resilience: hedge_rate={res['hedge_rate']:.2%} "
+                f"(issued={res['hedges_issued']} won={res['hedges_won']}) "
+                f"breaker_trips={res['breaker_trips']} "
+                f"skips={res['breaker_skips']} "
+                f"rpc_timeouts={res['rpc_timeouts']}"
+            )
+            lines.append(
+                f"  coverage: mean={cov['mean']:.3f} p50={cov['p50']:.3f} "
+                f"p05={cov['p05']:.3f} partials={res['partials']} "
+                f"degraded={res['degraded']}"
             )
     for mode in ("cold", "cached"):
         planner = report[mode].get("planner")

@@ -70,6 +70,23 @@ class EngineConfig:
         shards: competitor-catalog partitions (0 = one per process).
             May exceed ``processes`` — a process then hosts several
             shards and pre-merges their answers locally.
+        hedge_delay_s: sharded tier only — fixed delay before a
+            straggling shard RPC is re-issued (idempotent hedging).
+            ``None`` (default) selects the adaptive policy: hedge at
+            p95 × 3 of observed shard-RPC latency once calibrated.
+        breaker_threshold: consecutive shard-RPC failures (crashes,
+            RPC-bound timeouts) that trip a process's circuit breaker;
+            tripped processes are skipped (answers degrade to
+            ``coverage < 1``) until a half-open probe succeeds.
+            0 disables breakers.
+        breaker_cooldown_s: initial wait before a tripped breaker is
+            probed; doubles on every failed probe (capped).
+        health_interval_s: period of the shard-health supervisor thread
+            (breaker probes + health scoring).
+        shard_rpc_timeout_s: upper bound on any single shard RPC wait
+            when the request deadline is not the binding constraint
+            (``None`` = unbounded — not recommended; a dropped reply
+            would then wait forever).
     """
 
     workers: int = 2
@@ -90,6 +107,11 @@ class EngineConfig:
     trace_max_spans: int = 20_000
     processes: int = 0
     shards: int = 0
+    hedge_delay_s: Optional[float] = None
+    breaker_threshold: int = 5
+    breaker_cooldown_s: float = 0.5
+    health_interval_s: float = 0.25
+    shard_rpc_timeout_s: Optional[float] = 30.0
 
     #: Execution strategies the engine knows how to drive.
     METHODS = ("auto", "join", "probing")
@@ -164,6 +186,33 @@ class EngineConfig:
                 f"shards ({self.shards}) must be >= processes "
                 f"({self.processes}): an idle worker process would own "
                 f"no partition"
+            )
+        if self.hedge_delay_s is not None and self.hedge_delay_s < 0:
+            raise ConfigurationError(
+                f"hedge_delay_s must be >= 0, got {self.hedge_delay_s}"
+            )
+        if self.breaker_threshold < 0:
+            raise ConfigurationError(
+                f"breaker_threshold must be >= 0, got "
+                f"{self.breaker_threshold}"
+            )
+        if self.breaker_cooldown_s <= 0:
+            raise ConfigurationError(
+                f"breaker_cooldown_s must be > 0, got "
+                f"{self.breaker_cooldown_s}"
+            )
+        if self.health_interval_s <= 0:
+            raise ConfigurationError(
+                f"health_interval_s must be > 0, got "
+                f"{self.health_interval_s}"
+            )
+        if (
+            self.shard_rpc_timeout_s is not None
+            and self.shard_rpc_timeout_s <= 0
+        ):
+            raise ConfigurationError(
+                f"shard_rpc_timeout_s must be > 0, got "
+                f"{self.shard_rpc_timeout_s}"
             )
 
     @classmethod

@@ -138,6 +138,12 @@ class QueryResponse:
         epoch: catalog epoch the answer is valid for.
         queue_wait_s: time from submission to worker pickup.
         elapsed_s: end-to-end time from submission to response.
+        coverage: fraction of catalog shards that contributed
+            (``1.0`` outside the sharded tier).  A partial response at
+            full coverage is an exact prefix of the canonical order; at
+            ``coverage < 1`` the results are exact over the reduced
+            market formed by the live shards — per-product lower bounds
+            on the true costs.
     """
 
     results: List[UpgradeResult] = field(default_factory=list)
@@ -146,6 +152,7 @@ class QueryResponse:
     epoch: Epoch = (0, 0)
     queue_wait_s: float = 0.0
     elapsed_s: float = 0.0
+    coverage: float = 1.0
 
 
 class PendingQuery:

@@ -73,8 +73,10 @@ class EngineMetrics:
         self.worker_crashes = 0  # guarded-by: _lock
         self.cache_faults = 0  # guarded-by: _lock
         self.quarantines = 0  # guarded-by: _lock
+        self.degraded = 0  # guarded-by: _lock
         self.latency = RollingWindow(window)  # guarded-by: _lock
         self.queue_wait = RollingWindow(window)  # guarded-by: _lock
+        self.coverage = RollingWindow(window)  # guarded-by: _lock
 
     def record_batch(self, size: int) -> None:
         """Count one executed batch of ``size`` requests."""
@@ -113,8 +115,14 @@ class EngineMetrics:
         queue_wait_s: float,
         partial: bool,
         error: bool = False,
+        coverage: float = 1.0,
     ) -> None:
-        """Record one completed request."""
+        """Record one completed request.
+
+        ``coverage`` is the fraction of catalog shards that contributed
+        (always 1.0 outside the sharded tier); a response below 1.0 also
+        counts as *degraded*.
+        """
         with self._lock:
             self.requests += 1
             if kind == "topk":
@@ -125,8 +133,12 @@ class EngineMetrics:
                 self.partials += 1
             if error:
                 self.errors += 1
+            if coverage < 1.0:
+                self.degraded += 1
             self.latency.add(latency_s)
             self.queue_wait.add(queue_wait_s)
+            if not error:
+                self.coverage.add(coverage)
 
     def snapshot(
         self,
@@ -141,6 +153,7 @@ class EngineMetrics:
                 "topk_queries": self.topk_queries,
                 "product_queries": self.product_queries,
                 "partials": self.partials,
+                "degraded": self.degraded,
                 "errors": self.errors,
                 "rejected": self.rejected,
                 "retries": self.retries,
@@ -149,6 +162,27 @@ class EngineMetrics:
                 "quarantines": self.quarantines,
                 "latency_s": self.latency.snapshot(),
                 "queue_wait_s": self.queue_wait.snapshot(),
+                # Low tail matters for coverage, not the high one: p05
+                # answers "how much of the market do the worst-served
+                # requests see".
+                "coverage": {
+                    "count": float(self.coverage.count),
+                    "mean": (
+                        self.coverage.total / self.coverage.count
+                        if self.coverage.count
+                        else 1.0
+                    ),
+                    "p50": (
+                        self.coverage.percentile(0.50)
+                        if self.coverage.count
+                        else 1.0
+                    ),
+                    "p05": (
+                        self.coverage.percentile(0.05)
+                        if self.coverage.count
+                        else 1.0
+                    ),
+                },
             }
         if counters is not None:
             out["counters"] = counters.as_dict()

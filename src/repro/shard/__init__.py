@@ -15,7 +15,10 @@ the single-process answers bit for bit.
 * :mod:`repro.shard.client` — :class:`ShardProcess` supervision:
   request plumbing, crash containment, eager respawn;
 * :mod:`repro.shard.merge` — :class:`ThresholdMerge`, the scatter-gather
-  top-k merge and its correctness argument;
+  top-k merge and its correctness argument (including degraded mode);
+* :mod:`repro.shard.resilience` — :class:`CircuitBreaker`,
+  :class:`HedgePolicy`, and :class:`ShardResilience`: deadline-aware
+  hedged scatter, per-process circuit breakers, health scoring;
 * :mod:`repro.shard.memory` — :class:`SharedBlock` shared-memory
   segments and :class:`SegmentSpec` attach records;
 * :mod:`repro.shard.partition` — the hash-partitioning maps;
@@ -35,12 +38,22 @@ from repro.shard.partition import (
     shard_of,
     shards_of_process,
 )
+from repro.shard.resilience import (
+    CircuitBreaker,
+    HedgePolicy,
+    RPCOutcome,
+    ShardResilience,
+)
 from repro.shard.worker import ShardSpec
 
 __all__ = [
+    "CircuitBreaker",
+    "HedgePolicy",
     "PendingReply",
+    "RPCOutcome",
     "SegmentSpec",
     "ShardProcess",
+    "ShardResilience",
     "ShardSpec",
     "ShardedUpgradeEngine",
     "SharedBlock",

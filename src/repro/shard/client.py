@@ -10,11 +10,25 @@ request API.  Three threads cooperate per handle:
   (polling with a short timeout plus a generation flag, so it can be
   retired when a crashed process's queues are replaced);
 * the *monitor* joins the process and, on unexpected death, fails every
-  in-flight reply with :class:`WorkerCrashError`, then eagerly respawns
-  with **new** queues — a killed writer can leave a queue's pipe in a
+  in-flight reply with :class:`WorkerCrashError`, then respawns with
+  **new** queues — a killed writer can leave a queue's pipe in a
   corrupt intermediate state, so queues are never reused across
   generations.  Responses whose request id is no longer pending are
-  dropped.
+  dropped (see :meth:`ShardProcess.forget`).
+
+The respawn happens *outside* the handle lock: while it is in flight,
+new submits fail fast with :class:`WorkerCrashError` instead of
+blocking behind the (potentially seconds-long) interpreter start — the
+resilience layer turns that into a degraded-coverage answer and the
+breaker/half-open machinery re-admits the process once it is back.
+
+Transport chaos points (``shard.transport.delay`` / ``.drop`` /
+``.dup``) fire here, coordinator-side, so the process-local
+:class:`~repro.reliability.faults.FaultInjector` can exercise hedging
+and breakers deterministically: a dropped command is simply never
+enqueued (its reply only resolves via hedge or timeout), a duplicated
+command is enqueued twice (the worker's idempotent command handling
+must dedupe).
 
 Crash containment is the contract the chaos suite checks: a killed
 worker never hangs a request (in-flight ones fail typed, the respawned
@@ -26,6 +40,7 @@ from __future__ import annotations
 
 import itertools
 import threading
+import time
 from queue import Empty
 from typing import Callable, Dict, List, Optional
 
@@ -34,6 +49,7 @@ from repro.exceptions import (
     ShardCommandError,
     WorkerCrashError,
 )
+from repro.reliability.faults import maybe_corrupt, maybe_inject
 from repro.shard.spawn import make_process, make_queue
 from repro.shard.worker import ShardSpec, shard_worker_main
 
@@ -42,25 +58,49 @@ from repro.shard.worker import ShardSpec, shard_worker_main
 _POLL_S = 0.2
 
 
+def _swallow(value: object) -> bool:
+    """``shard.transport.drop`` mutator: the command is never sent."""
+    return False
+
+
+def _duplicate(value: object) -> bool:
+    """``shard.transport.dup`` mutator: the command is sent twice."""
+    return True
+
+
 class PendingReply:
     """One in-flight command's future result."""
 
-    __slots__ = ("_event", "payload", "fragments", "error")
+    __slots__ = ("req_id", "_event", "payload", "fragments", "error",
+                 "_waiters")
 
-    def __init__(self) -> None:
+    def __init__(self, req_id: int = -1) -> None:
+        self.req_id = req_id
         self._event = threading.Event()
         self.payload: object = None
         self.fragments: List[tuple] = []
         self.error: Optional[BaseException] = None
+        self._waiters: List[threading.Event] = []
+
+    def attach_waiter(self, event: threading.Event) -> None:
+        """Also set ``event`` when this reply settles (for fan-in waits)."""
+        self._waiters.append(event)
+        if self._event.is_set():
+            event.set()
+
+    def _settle(self) -> None:
+        self._event.set()
+        for event in self._waiters:
+            event.set()
 
     def _resolve(self, payload: object, fragments: List[tuple]) -> None:
         self.payload = payload
         self.fragments = fragments
-        self._event.set()
+        self._settle()
 
     def _fail(self, exc: BaseException) -> None:
         self.error = exc
-        self._event.set()
+        self._settle()
 
     def done(self) -> bool:
         return self._event.is_set()
@@ -102,6 +142,7 @@ class ShardProcess:
         self._pending: Dict[int, PendingReply] = {}
         self._generation = 0
         self._closing = False
+        self._respawning = False
         self._dead: Optional[str] = None
         self._proc = None
         self._cmd_q = None
@@ -113,10 +154,12 @@ class ShardProcess:
 
     def start(self) -> None:
         """Spawn the worker and wait for its ready handshake."""
-        with self._lock:
-            self._spawn_locked()
+        self._spawn()
 
-    def _spawn_locked(self) -> None:
+    def _spawn(self) -> None:
+        # The expensive part (interpreter start + ready handshake) runs
+        # without the handle lock so concurrent submits fail fast
+        # instead of queueing behind a multi-second spawn.
         spec = self._spec_factory()
         cmd_q = make_queue()
         resp_q = make_queue()
@@ -138,11 +181,15 @@ class ShardProcess:
             raise WorkerCrashError(
                 f"shard worker {self.index} failed to start: {item[2]}"
             )
-        self._proc = proc
-        self._cmd_q = cmd_q
-        self._resp_q = resp_q
-        self._generation += 1
-        generation = self._generation
+        with self._lock:
+            if self._closing:
+                proc.terminate()
+                return
+            self._proc = proc
+            self._cmd_q = cmd_q
+            self._resp_q = resp_q
+            self._generation += 1
+            generation = self._generation
         receiver = threading.Thread(
             target=self._receive_loop,
             args=(resp_q, generation),
@@ -183,7 +230,17 @@ class ShardProcess:
     # -- request plumbing -----------------------------------------------------
 
     def submit(self, op: str, *args: object) -> PendingReply:
-        """Enqueue one command; returns its :class:`PendingReply`."""
+        """Enqueue one command; returns its :class:`PendingReply`.
+
+        Raises typed errors instead of blocking when the worker is
+        closed, dead, or mid-respawn — callers (the resilience scatter)
+        treat those as per-process failures and degrade coverage.
+        """
+        # Transport chaos fires before the lock: a latency fault must
+        # not stall the receiver/monitor threads.
+        maybe_inject("shard.transport.delay")
+        deliver = maybe_corrupt("shard.transport.drop", True, _swallow)
+        duplicate = maybe_corrupt("shard.transport.dup", False, _duplicate)
         with self._lock:
             if self._closing:
                 raise EngineClosedError(
@@ -193,10 +250,17 @@ class ShardProcess:
                 raise WorkerCrashError(
                     f"shard worker {self.index} is dead: {self._dead}"
                 )
+            if self._respawning:
+                raise WorkerCrashError(
+                    f"shard worker {self.index} is respawning"
+                )
             req_id = next(self._req_ids)
-            pending = PendingReply()
+            pending = PendingReply(req_id)
             self._pending[req_id] = pending
-            self._cmd_q.put((op, req_id, *args))
+            if deliver:
+                self._cmd_q.put((op, req_id, *args))
+                if duplicate:
+                    self._cmd_q.put((op, req_id, *args))
         return pending
 
     def request(
@@ -204,6 +268,42 @@ class ShardProcess:
     ) -> object:
         """Submit and wait: the synchronous convenience path."""
         return self.submit(op, *args).result(timeout)
+
+    def forget(self, reply: PendingReply) -> None:
+        """Abandon an in-flight reply.
+
+        The pending slot is released so a reply that never comes (a
+        dropped command, a timed-out straggler) cannot leak it; if the
+        response does arrive later the receiver drops it by request id.
+        """
+        with self._lock:
+            if self._pending.get(reply.req_id) is reply:
+                del self._pending[reply.req_id]
+
+    def wait_ready(self, timeout_s: float) -> bool:
+        """Block until submits would be accepted again (respawn done).
+
+        Returns False when the handle is closing, permanently dead, or
+        the deadline passes first.  The mutation-sync path needs this:
+        an incremental sync op dropped during a respawn window could
+        miss the rebuilt worker (whose segment read may predate the
+        mutation's republish), so the sender waits out the respawn and
+        re-delivers to the live worker instead of failing fast the way
+        queries do.
+        """
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            with self._lock:
+                if self._closing or self._dead is not None:
+                    return False
+                if (
+                    not self._respawning
+                    and self._proc is not None
+                    and self._proc.is_alive()
+                ):
+                    return True
+            time.sleep(0.01)
+        return False
 
     @property
     def queue_depth(self) -> int:
@@ -217,6 +317,7 @@ class ShardProcess:
             return (
                 self._dead is None
                 and not self._closing
+                and not self._respawning
                 and self._proc is not None
                 and self._proc.is_alive()
             )
@@ -239,7 +340,7 @@ class ShardProcess:
             with self._lock:
                 pending = self._pending.pop(req_id, None)
             if pending is None:
-                continue  # stale or startup message: drop
+                continue  # stale, duplicated, or forgotten: drop
             if status == "ok":
                 pending._resolve(item[2], item[3])
             else:
@@ -258,16 +359,22 @@ class ShardProcess:
             if self._closing or self._generation != generation:
                 return
             self.crashes += 1
+            self._respawning = True
             reason = (
                 f"shard worker {self.index} died "
                 f"(exit code {proc.exitcode})"
             )
             failed = list(self._pending.values())
             self._pending.clear()
-            for pending in failed:
-                pending._fail(WorkerCrashError(reason))
-            try:
-                self._spawn_locked()
+        for pending in failed:
+            pending._fail(WorkerCrashError(reason))
+        try:
+            self._spawn()
+            with self._lock:
                 self.respawns += 1
-            except Exception as exc:
+        except Exception as exc:
+            with self._lock:
                 self._dead = str(exc)
+        finally:
+            with self._lock:
+                self._respawning = False

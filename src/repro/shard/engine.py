@@ -26,6 +26,18 @@ more hash shards (``record_id % shards``) of the competitor catalog:
   (never a hang), and is eagerly respawned from the *current* segment
   specs; because segments are republished eagerly on every mutation, a
   respawned worker is consistent by construction.
+* **Degraded-mode resilience** (:mod:`repro.shard.resilience`) — every
+  shard RPC carries the request's remaining deadline budget (workers
+  truncate cooperatively), stragglers are hedged after a calibrated
+  p95-based delay, per-process circuit breakers skip flapping workers
+  (re-admitted via supervisor half-open probes), and when shards are
+  missing the threshold merge finalizes what is provably correct from
+  the live ones: responses carry ``partial=True`` plus a ``coverage``
+  fraction (shards contributing / total).  Full-coverage partial
+  answers are exact prefixes of the canonical order; reduced-coverage
+  answers are exact over the reduced market (per-product lower bounds
+  on true costs).  Only full-coverage, non-degraded results are ever
+  cached.
 
 Coordinator-side exact costs: a sighted product's global cost is
 computed by merging its per-process skylines and running Algorithm 1
@@ -39,7 +51,9 @@ cost-based planner (workers run the fixed join unless
 — the shard tier's reliability story is crash containment + respawn.
 
 Lock order (witnessed by the chaos suite): ``engine._rw`` →
-``ShardProcess._lock``; the monitor thread takes only the handle lock.
+``ShardProcess._lock``; the monitor thread takes only the handle lock,
+and the resilience supervisor takes only handle and breaker locks
+(breaker/hedge locks are leaves — nothing is acquired under them).
 """
 
 from __future__ import annotations
@@ -76,6 +90,7 @@ from repro.serve.metrics import EngineMetrics
 from repro.serve.pool import ReadWriteLock, WorkerPool
 from repro.shard.client import ShardProcess
 from repro.shard.memory import SharedBlock, padded_capacity
+from repro.shard.resilience import ShardResilience, scatter
 from repro.shard.partition import (
     partition_members,
     process_of,
@@ -192,6 +207,16 @@ class ShardedUpgradeEngine:
                     handle.close()
                 self._teardown_shared_state()
 
+        self._rpc_timeout_s = config.shard_rpc_timeout_s
+        self._resilience = ShardResilience(
+            self._handles,
+            breaker_threshold=config.breaker_threshold,
+            breaker_cooldown_s=config.breaker_cooldown_s,
+            hedge_delay_s=config.hedge_delay_s,
+            health_interval_s=config.health_interval_s,
+        )
+        self._resilience.start()
+
         self._pool: Optional[WorkerPool] = None
         if config.workers > 0:
             self._pool = WorkerPool(
@@ -251,6 +276,7 @@ class ShardedUpgradeEngine:
         stuck = 0
         if self._pool is not None:
             stuck = self._pool.close(timeout=timeout)
+        self._resilience.stop()
         self.session.remove_mutation_listener(self._on_mutation)
         for handle in self._handles:
             handle.close(timeout_s=timeout)
@@ -420,14 +446,31 @@ class ShardedUpgradeEngine:
     ) -> None:
         """Synchronously apply one sync command to a worker.
 
-        A :class:`WorkerCrashError` here is benign: the worker died and
-        its respawn rebuilds from the already-republished segments, so
-        the state the command would have installed is reached anyway.
+        A :class:`WorkerCrashError` here is retried *through* the
+        respawn: the rebuilt worker's segment read may have happened
+        before this mutation's republish, in which case only the
+        incremental op carries it — so unlike queries (which fail fast
+        and degrade coverage), the sync sender waits out the respawn
+        and re-delivers to the live worker.  The commands are
+        idempotent set/remove/reload operations, so a duplicate
+        delivery is harmless.  Only a worker that stays dead past the
+        deadline is skipped: it has no live tree to drift, and a later
+        successful respawn rebuilds from the segment, which already
+        includes this mutation.
         """
-        try:
-            handle.request(op, *args, timeout=_MUTATE_TIMEOUT_S)
-        except (WorkerCrashError, EngineClosedError):
-            pass
+        deadline = clock() + _MUTATE_TIMEOUT_S
+        while True:
+            remaining = deadline - clock()
+            if remaining <= 0:
+                return
+            try:
+                handle.request(op, *args, timeout=remaining)
+                return
+            except EngineClosedError:
+                return
+            except WorkerCrashError:
+                if not handle.wait_ready(remaining):
+                    return
 
     # -- query submission ------------------------------------------------------
 
@@ -578,44 +621,128 @@ class ShardedUpgradeEngine:
         for name, t0, t1, attrs in fragments:
             trace.record(name, t0, t1, **attrs)
 
+    def _shards_of(self, handle: ShardProcess) -> List[int]:
+        return shards_of_process(
+            handle.index, self.n_shards, self.n_processes
+        )
+
+    def _mark_down(self, merge, handle: ShardProcess) -> None:
+        for shard in self._shards_of(handle):
+            merge.mark_down(shard)
+
+    def _rpc_window(
+        self, remaining: Optional[float]
+    ) -> Tuple[Optional[float], bool]:
+        """The wait bound for one scatter round.
+
+        Returns ``(timeout_s, deadline_bounded)``: when the request's
+        remaining deadline is the binding constraint, a timeout is the
+        *request's* fault — the shard's breaker must not be charged.
+        """
+        rpc = self._rpc_timeout_s
+        if remaining is None:
+            return rpc, False
+        if rpc is None or remaining <= rpc:
+            return remaining, True
+        return rpc, False
+
+    def _scatter(
+        self,
+        handles: List[ShardProcess],
+        op: str,
+        make_args,
+        remaining: Optional[float],
+        trace: Optional[Trace],
+    ):
+        """Hedged, breaker-feeding scatter of one command to ``handles``."""
+        timeout_s, bounded = self._rpc_window(remaining)
+        return scatter(
+            [(h, op, make_args(h)) for h in handles],
+            timeout_s=timeout_s,
+            deadline_bounded=bounded,
+            resilience=self._resilience,
+            trace=trace,
+        )
+
     def _scatter_skylines(
         self,
         points: List[Point],
         trace: Optional[Trace],
-        timeout: Optional[float],
-    ) -> List[List[Point]]:
-        """Batched skyline scatter; one merged skyline per query point."""
-        traced = trace is not None
-        replies = [
-            (h, h.submit("skylines", points, traced))
-            for h in self._handles
-        ]
-        per_proc: List[List[List[Point]]] = []
-        for _, reply in replies:
-            payload = reply.result(timeout)
-            self._replay_fragments(trace, reply.fragments)
-            per_proc.append(payload)
-        return [
-            merge_skylines([proc[j] for proc in per_proc])
-            for j in range(len(points))
-        ]
+        remaining: Optional[float],
+    ) -> Tuple[List[List[Point]], List[float], List[ShardProcess]]:
+        """Batched skyline scatter over the breaker-admitted processes.
 
-    def _exact_results(
+        Returns one merged skyline per query point, the per-point
+        coverage fraction (shards contributing / total — breaker-open
+        processes, failed replies, and deadline-dropped trailing points
+        all reduce it), and the handles that failed for *shard-side*
+        reasons (crash, RPC-bound timeout; callers mark their shards
+        down).  Deadline-bounded timeouts reduce coverage but are not
+        reported as failures.
+        """
+        res = self._resilience
+        live = [h for h in self._handles if res.allow(h.index)]
+        failed = [h for h in self._handles if not res.allow(h.index)]
+        if failed:
+            res.note_skip(len(failed))
+        traced = trace is not None
+        outcomes = self._scatter(
+            live,
+            "skylines",
+            lambda h: (points, traced, remaining),
+            remaining,
+            trace,
+        )
+        contributions: List[List[List[Point]]] = [[] for _ in points]
+        covered = [0] * len(points)
+        for handle in live:
+            outcome = outcomes[handle.index]
+            if outcome.error is not None:
+                if not outcome.deadline_bounded:
+                    failed.append(handle)
+                continue
+            self._replay_fragments(trace, outcome.fragments)
+            skylines, truncated = outcome.payload
+            if truncated:
+                res.note_deadline_truncation()
+            n_shards = len(self._shards_of(handle))
+            for j, sky in enumerate(skylines):
+                contributions[j].append(sky)
+                covered[j] += n_shards
+        merged = [
+            merge_skylines(parts) if parts else []
+            for parts in contributions
+        ]
+        coverage = [c / self.n_shards for c in covered]
+        return merged, coverage, failed
+
+    def _cost_sightings(
         self,
         record_ids: List[int],
         stats: Counters,
         epoch: Tuple[int, ...],
         trace: Optional[Trace],
-        timeout: Optional[float],
-    ) -> List[UpgradeResult]:
-        """Exact global results for sighted products (cache-aware)."""
+        remaining: Optional[float],
+        merge,
+    ) -> Tuple[float, List[ShardProcess]]:
+        """Settle every new sighting's exact cost into the merge.
+
+        Every id ends up either costed (:meth:`ThresholdMerge.
+        add_candidate`) or released (:meth:`~ThresholdMerge.abandon` —
+        racing removal, or zero skyline coverage), so the merge is
+        always drainable afterwards.  Returns the minimum skyline
+        coverage used (``< 1.0`` means some cost is a reduced-market
+        lower bound — the response must be labeled degraded) and the
+        shard-side failed handles.
+        """
         session = self.session
-        out: List[UpgradeResult] = []
+        min_cov = 1.0
         misses: List[Tuple[int, Point]] = []
         for rid in record_ids:
             point = session.product_point(rid)
             if point is None:
-                continue  # racing removal; the stream sighting is stale
+                merge.abandon(rid)  # racing removal: nothing to cost
+                continue
             entry = (
                 self.skyline_cache.get(point)
                 if self.cache_enabled
@@ -623,18 +750,25 @@ class ShardedUpgradeEngine:
             )
             if entry is not None:
                 cached = entry.result
-                out.append(
+                merge.add_candidate(
                     UpgradeResult(
                         rid, point, cached.upgraded, cached.cost
                     )
                 )
             else:
                 misses.append((rid, point))
+        failed: List[ShardProcess] = []
         if misses:
-            skylines = self._scatter_skylines(
-                [p for _, p in misses], trace, timeout
+            merged, coverage, failed = self._scatter_skylines(
+                [p for _, p in misses], trace, remaining
             )
-            for (rid, point), skyline in zip(misses, skylines):
+            for (rid, point), skyline, cov in zip(
+                misses, merged, coverage
+            ):
+                if cov <= 0.0:
+                    merge.abandon(rid)  # no shard answered: unknowable
+                    min_cov = 0.0
+                    continue
                 cost, upgraded = upgrade(
                     skyline,
                     point,
@@ -643,10 +777,13 @@ class ShardedUpgradeEngine:
                     stats,
                 )
                 result = UpgradeResult(rid, point, upgraded, cost)
-                if self.cache_enabled:
+                # Only full-coverage skylines may enter the cache: a
+                # reduced-market cost must never masquerade as exact.
+                if self.cache_enabled and cov >= 1.0:
                     self.skyline_cache.put(point, skyline, result, epoch)
-                out.append(result)
-        return out
+                merge.add_candidate(result)
+                min_cov = min(min_cov, cov)
+        return min_cov, failed
 
     @staticmethod
     def _remaining(pendings: List[PendingQuery]) -> Optional[float]:
@@ -695,7 +832,7 @@ class ShardedUpgradeEngine:
             and time.monotonic() >= pending.abs_deadline
         ):
             self._respond(pending, [], partial=True, cache_hit=False,
-                          epoch=epoch, kind="product")
+                          epoch=epoch, kind="product", coverage=0.0)
             return
         entry = (
             self.skyline_cache.get(point) if self.cache_enabled else None
@@ -708,10 +845,18 @@ class ShardedUpgradeEngine:
             self._respond(pending, [result], partial=False,
                           cache_hit=True, epoch=epoch, kind="product")
             return
-        timeout = self._remaining([pending])
-        skyline = self._scatter_skylines(
-            [point], pending.trace, timeout
-        )[0]
+        remaining = self._remaining([pending])
+        merged, point_cov, _failed = self._scatter_skylines(
+            [point], pending.trace, remaining
+        )
+        coverage = point_cov[0]
+        if coverage <= 0.0:
+            # No shard answered at all: there is nothing safe to say
+            # about this product's cost.
+            self._respond(pending, [], partial=True, cache_hit=False,
+                          epoch=epoch, kind="product", coverage=0.0)
+            return
+        skyline = merged[0]
         cost, upgraded = upgrade(
             skyline,
             point,
@@ -720,10 +865,11 @@ class ShardedUpgradeEngine:
             stats,
         )
         result = UpgradeResult(query.product_id, point, upgraded, cost)
-        if self.cache_enabled:
+        if self.cache_enabled and coverage >= 1.0:
             self.skyline_cache.put(point, skyline, result, epoch)
-        self._respond(pending, [result], partial=False,
-                      cache_hit=False, epoch=epoch, kind="product")
+        self._respond(pending, [result], partial=coverage < 1.0,
+                      cache_hit=False, epoch=epoch, kind="product",
+                      coverage=coverage)
 
     # -- top-k queries ---------------------------------------------------------
 
@@ -777,9 +923,25 @@ class ShardedUpgradeEngine:
         epoch: Tuple[int, ...],
         primary: Optional[PendingQuery],
     ) -> None:
-        """One scatter-gather merge run serves the whole group."""
+        """One scatter-gather merge run serves the whole group.
+
+        Degradation paths all land in one of two labeled responses:
+
+        * *deadline sweep* — an out-of-time request gets the
+          bound-proven prefix emitted so far (an exact prefix of the
+          canonical order while coverage is full);
+        * *final respond* — when shards went down (breaker-open, crash,
+          RPC-bound timeout) the merge completes from the live shards
+          and the response carries ``coverage < 1``.
+
+        A response is ``partial`` iff its coverage is below 1 or some
+        exact cost had to be computed over a partial skyline
+        (``degraded``); only clean full-coverage runs populate the
+        top-k cache.
+        """
         from repro.shard.merge import ThresholdMerge
 
+        res = self._resilience
         k_max = max(p.query.k for p in group)
         cached = (
             self.topk_cache.get(k_max) if self.cache_enabled else None
@@ -802,17 +964,41 @@ class ShardedUpgradeEngine:
             "probing" if self.config.method == "probing" else "join"
         )
         stream_id = next(self._stream_ids)
-        opens = [
-            h.submit("topk_open", stream_id, method)
-            for h in self._handles
-        ]
-        for reply in opens:
-            reply.result(self._remaining(group))
         merge = ThresholdMerge(self.n_shards, k_max)
+        degraded = False  # some exact cost used a partial skyline
+        live: List[ShardProcess] = []
+        for handle in self._handles:
+            if res.allow(handle.index):
+                live.append(handle)
+            else:
+                self._mark_down(merge, handle)
+        skipped = len(self._handles) - len(live)
+        if skipped:
+            res.note_skip(skipped)
+            if trace is not None:
+                trace.attrs["breaker_skips"] = skipped
+        opened: List[ShardProcess] = []
+        if live:
+            outcomes = self._scatter(
+                live,
+                "topk_open",
+                lambda h: (stream_id, method),
+                self._remaining(group),
+                trace,
+            )
+            for handle in live:
+                if outcomes[handle.index].error is None:
+                    opened.append(handle)
+                else:
+                    # Stream never opened: the shards contribute
+                    # nothing regardless of whose fault the failure is.
+                    self._mark_down(merge, handle)
+        seqs = {handle.index: 0 for handle in opened}
+        streaming = list(opened)
         active = list(group)
         batch = max(_STREAM_BATCH, k_max)
         try:
-            while active and not merge.done:
+            while active:
                 now = time.monotonic()
                 alive: List[PendingQuery] = []
                 for pending in active:
@@ -827,58 +1013,76 @@ class ShardedUpgradeEngine:
                             cache_hit=False,
                             epoch=epoch,
                             kind="topk",
+                            coverage=merge.coverage,
                         )
                     else:
                         alive.append(pending)
                 active = alive
                 if not active:
                     break
-                if len(merge.emitted) >= max(
+                if merge.done or len(merge.emitted) >= max(
                     p.query.k for p in active
                 ):
                     break
-                timeout = self._remaining(active)
-                replies = []
-                for handle in self._handles:
-                    owned = shards_of_process(
-                        handle.index, self.n_shards, self.n_processes
+                ask = [
+                    h
+                    for h in streaming
+                    if any(
+                        not merge.exhausted[s] and not merge.down[s]
+                        for s in self._shards_of(h)
                     )
-                    if all(merge.exhausted[s] for s in owned):
+                ]
+                if not ask:
+                    break  # no live progress possible: finalize degraded
+                remaining = self._remaining(active)
+                outcomes = self._scatter(
+                    ask,
+                    "topk_next",
+                    lambda h: (
+                        stream_id,
+                        seqs[h.index],
+                        batch,
+                        trace is not None,
+                        remaining,
+                    ),
+                    remaining,
+                    trace,
+                )
+                new_ids: List[int] = []
+                for handle in ask:
+                    outcome = outcomes[handle.index]
+                    if outcome.error is not None:
+                        if not outcome.deadline_bounded:
+                            # Shard-side failure: finish without it.
+                            # (Deadline-bounded timeouts retire the
+                            # requests at the next sweep instead.)
+                            streaming.remove(handle)
+                            self._mark_down(merge, handle)
                         continue
-                    replies.append(
-                        handle.submit(
-                            "topk_next",
-                            stream_id,
-                            batch,
-                            trace is not None,
+                    seqs[handle.index] += 1
+                    self._replay_fragments(trace, outcome.fragments)
+                    rows_reply, was_truncated = outcome.payload
+                    if was_truncated:
+                        res.note_deadline_truncation()
+                    for shard, rows, frontier, exh in rows_reply:
+                        new_ids.extend(
+                            merge.observe(shard, rows, frontier, exh)
                         )
+                if new_ids:
+                    min_cov, failed = self._cost_sightings(
+                        sorted(new_ids),
+                        stats,
+                        epoch,
+                        trace,
+                        self._remaining(active),
+                        merge,
                     )
-                try:
-                    new_ids: List[int] = []
-                    for reply in replies:
-                        payload = reply.result(timeout)
-                        self._replay_fragments(trace, reply.fragments)
-                        for shard, rows, frontier, exh in payload:
-                            new_ids.extend(
-                                merge.observe(shard, rows, frontier, exh)
-                            )
-                    for result in self._exact_results(
-                        sorted(new_ids), stats, epoch, trace, timeout
-                    ):
-                        merge.add_candidate(result)
-                except TimeoutError:
-                    # Deadline degradation: everyone still waiting gets
-                    # the bound-proven prefix emitted so far.
-                    for pending in active:
-                        self._respond(
-                            pending,
-                            merge.emitted[: pending.query.k],
-                            partial=True,
-                            cache_hit=False,
-                            epoch=epoch,
-                            kind="topk",
-                        )
-                    return
+                    if min_cov < 1.0:
+                        degraded = True
+                    for handle in failed:
+                        if handle in streaming:
+                            streaming.remove(handle)
+                        self._mark_down(merge, handle)
                 merge.drain()
                 waiting: List[PendingQuery] = []
                 for pending in active:
@@ -886,35 +1090,46 @@ class ShardedUpgradeEngine:
                         len(merge.emitted) >= pending.query.k
                         or merge.done
                     ):
-                        self._respond(
-                            pending,
-                            merge.emitted[: pending.query.k],
-                            partial=False,
-                            cache_hit=False,
-                            epoch=epoch,
-                            kind="topk",
+                        self._respond_topk_final(
+                            pending, merge, degraded, epoch
                         )
                     else:
                         waiting.append(pending)
                 active = waiting
             for pending in active:
-                self._respond(
-                    pending,
-                    merge.emitted[: pending.query.k],
-                    partial=False,
-                    cache_hit=False,
-                    epoch=epoch,
-                    kind="topk",
-                )
+                self._respond_topk_final(pending, merge, degraded, epoch)
         finally:
-            for handle in self._handles:
+            for handle in opened:
                 try:
                     handle.submit("topk_close", stream_id)
                 except (EngineClosedError, WorkerCrashError):
                     pass
         exhausted = merge.all_exhausted and len(merge.emitted) < k_max
-        if self.cache_enabled and (merge.emitted or exhausted):
+        if (
+            self.cache_enabled
+            and merge.coverage >= 1.0
+            and not degraded
+            and (merge.emitted or exhausted)
+        ):
             self.topk_cache.put(list(merge.emitted), exhausted, epoch)
+
+    def _respond_topk_final(
+        self,
+        pending: PendingQuery,
+        merge,
+        degraded: bool,
+        epoch: Tuple[int, ...],
+    ) -> None:
+        coverage = merge.coverage
+        self._respond(
+            pending,
+            merge.emitted[: pending.query.k],
+            partial=coverage < 1.0 or degraded,
+            cache_hit=False,
+            epoch=epoch,
+            kind="topk",
+            coverage=coverage,
+        )
 
     # -- responses / observability ---------------------------------------------
 
@@ -926,6 +1141,7 @@ class ShardedUpgradeEngine:
         cache_hit: bool,
         epoch: Tuple[int, ...],
         kind: str,
+        coverage: float = 1.0,
     ) -> None:
         now = time.monotonic()
         response = QueryResponse(
@@ -935,18 +1151,21 @@ class ShardedUpgradeEngine:
             epoch=epoch,
             queue_wait_s=pending.queue_wait_s,
             elapsed_s=now - pending.enqueued_at,
+            coverage=coverage,
         )
         self._metrics.record_request(
             kind,
             response.elapsed_s,
             response.queue_wait_s,
             partial=partial,
+            coverage=coverage,
         )
         if pending.trace is not None:
             pending.trace.attrs.update(
                 cache_hit=cache_hit,
                 partial=partial,
                 results=len(results),
+                coverage=round(coverage, 4),
                 queue_wait_s=round(response.queue_wait_s, 6),
                 elapsed_s=round(response.elapsed_s, 6),
             )
@@ -1013,6 +1232,12 @@ class ShardedUpgradeEngine:
                     "crashes": handle.crashes,
                     "respawns": handle.respawns,
                     "alive": handle.alive,
+                    "health": round(
+                        self._resilience.health(handle.index), 4
+                    ),
+                    "breaker": self._resilience.breakers[
+                        handle.index
+                    ].state,
                 }
                 for handle in self._handles
             ],
@@ -1033,6 +1258,11 @@ class ShardedUpgradeEngine:
                     self._pool.queue_depth if self._pool is not None else 0
                 ),
                 "shards": self.shard_stats(),
+                "shard_health": self._resilience.snapshot(
+                    lambda proc: shards_of_process(
+                        proc, self.n_shards, self.n_processes
+                    )
+                ),
                 "reliability": {
                     "worker_crashes": sum(
                         h.crashes for h in self._handles

@@ -23,6 +23,24 @@ flushes the heap.
 The emitted sequence is globally sorted by ``(cost, record_id)`` — the
 same canonical order every single-process method produces — which is
 what the agreement suite asserts bit-for-bit.
+
+**Degraded mode.**  Both facts survive a shard going *down*
+(:meth:`ThresholdMerge.mark_down` — breaker-tripped, crashed, or
+timed out):
+
+* A down shard's last frontier stays a valid lower bound — its stream
+  was ascending while it lived and is simply frozen now — so the
+  threshold ``max(frontiers)`` needs no adjustment.
+* Fact 2 means *any* exhausted stream implies every product has been
+  sighted, so once every **live** shard is exhausted there are no
+  unsighted products left and the heap can flush.
+
+Hence a deadline-truncated answer at full coverage is an exact prefix
+of the canonical order, and an answer missing shards is the exact
+answer over the reduced market (a per-product lower bound on true
+costs, since removing competitors never raises an upgrade cost) —
+labeled via :attr:`ThresholdMerge.coverage` so callers can tell the
+difference.
 """
 
 from __future__ import annotations
@@ -40,13 +58,15 @@ class ThresholdMerge:
     batch (returns newly sighted record ids), :meth:`add_candidate` once
     each new sighting's exact global cost is known, then :meth:`drain`.
     Draining with sightings still awaiting their exact cost would be
-    unsound; :meth:`drain` guards against it.
+    unsound; :meth:`drain` guards against it (:meth:`abandon` releases a
+    sighting whose cost is unknowable, e.g. zero skyline coverage).
     """
 
     __slots__ = (
         "k",
         "frontiers",
         "exhausted",
+        "down",
         "sighted",
         "emitted",
         "_heap",
@@ -57,6 +77,7 @@ class ThresholdMerge:
         self.k = k
         self.frontiers: List[float] = [0.0] * n_shards
         self.exhausted: List[bool] = [False] * n_shards
+        self.down: List[bool] = [False] * n_shards
         self.sighted: Set[int] = set()
         self.emitted: List[UpgradeResult] = []
         self._heap: List[Tuple[float, int, UpgradeResult]] = []
@@ -73,7 +94,7 @@ class ThresholdMerge:
     ) -> List[int]:
         """Record one shard batch; returns record ids sighted for the
         first time (their exact costs are now owed via
-        :meth:`add_candidate`)."""
+        :meth:`add_candidate` or released via :meth:`abandon`)."""
         new: List[int] = []
         for _, record_id in rows:
             if record_id not in self.sighted:
@@ -91,6 +112,28 @@ class ThresholdMerge:
         )
         self._uncosted -= 1
 
+    def abandon(self, record_id: int) -> None:
+        """Release a sighting whose exact cost cannot be computed.
+
+        The product simply never emits (it stays in :attr:`sighted`, so
+        it is not owed again); used when every shard that could supply
+        its skyline is down.
+        """
+        self._uncosted -= 1
+
+    def mark_down(self, shard: int) -> None:
+        """Stop expecting progress from ``shard`` (crash/breaker/timeout).
+
+        Its frontier freezes at the last observed value — still a valid
+        lower bound on unsighted products, since the stream was
+        ascending while it lived — and the merge completes from the
+        remaining live shards.  An already-exhausted shard is *not*
+        marked down: all of its data is merged, so it still counts
+        toward :attr:`coverage`.
+        """
+        if not self.exhausted[shard]:
+            self.down[shard] = True
+
     # -- emission -------------------------------------------------------------
 
     @property
@@ -103,9 +146,27 @@ class ThresholdMerge:
         return all(self.exhausted)
 
     @property
+    def all_live_exhausted(self) -> bool:
+        """Every live shard is exhausted (no unsighted products remain —
+        vacuously true when every shard is down)."""
+        return all(
+            exhausted or down
+            for exhausted, down in zip(self.exhausted, self.down)
+        )
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of shards contributing to the answer."""
+        if not self.down:
+            return 1.0
+        return 1.0 - sum(self.down) / len(self.down)
+
+    @property
     def done(self) -> bool:
         return len(self.emitted) >= self.k or (
-            self.all_exhausted and not self._heap and not self._uncosted
+            self.all_live_exhausted
+            and not self._heap
+            and not self._uncosted
         )
 
     def drain(self) -> List[UpgradeResult]:
@@ -120,7 +181,7 @@ class ThresholdMerge:
         while (
             self._heap
             and len(self.emitted) < self.k
-            and (self._heap[0][0] < bound or self.all_exhausted)
+            and (self._heap[0][0] < bound or self.all_live_exhausted)
         ):
             _, _, result = heapq.heappop(self._heap)
             self.emitted.append(result)

@@ -1,0 +1,607 @@
+"""Tail tolerance for the sharded tier: breakers, hedging, health.
+
+PR 7's crash containment guarantees a killed worker never *hangs* a
+request — but a slow, flapping, or repeatedly-dying shard process still
+drags every scatter-gather round down with it, and a request either got
+the full bit-identical answer or a typed error.  This module adds the
+serving-literature toolkit that turns containment into tail-latency and
+availability guarantees:
+
+* :class:`CircuitBreaker` — one per shard process.  Consecutive
+  transport failures (timeouts, crashes) trip it; tripped processes are
+  *skipped* by the scatter path (their shards degrade the answer's
+  ``coverage`` instead of stalling the round) and re-admitted through
+  exponential half-open probes driven by the :class:`HealthMonitor`
+  supervisor thread, so recovery does not depend on query traffic.
+* :class:`HedgePolicy` — calibrated hedging.  The policy keeps a rolling
+  window of shard-RPC latencies; once calibrated, a scatter that has
+  waited ``p95 × factor`` re-issues the outstanding command and takes
+  whichever reply lands first.  Shard commands are idempotent by
+  construction (``skylines`` is a pure read; ``topk_next`` carries a
+  per-stream sequence number the worker dedupes on), so the duplicate
+  is always safe.
+* :class:`HealthMonitor` — a supervisor thread that probes tripped
+  breakers (``ping`` with a bounded timeout) and folds crash/latency
+  history into a per-process health score in ``[0, 1]`` exposed via
+  ``engine.metrics()["shard_health"]`` and ``skyup serve-bench``.
+* :func:`scatter` — the one gather primitive the engine uses: submit an
+  idempotent command to many handles, hedge stragglers, classify every
+  failure (deadline-bounded timeouts are the *request's* fault and do
+  not count against the shard; transport timeouts and crashes do), and
+  feed the breakers and the hedge window.
+
+Fork-safety: this module is imported by the coordinator only, but it
+lives under ``shard/`` and so obeys SKY801 — no module-level locks.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import (
+    EngineClosedError,
+    TransientError,
+    WorkerCrashError,
+)
+from repro.obs import clock
+from repro.shard.client import PendingReply, ShardProcess
+
+#: Breaker states (:attr:`CircuitBreaker.state`).
+BREAKER_CLOSED = "closed"
+BREAKER_OPEN = "open"
+BREAKER_HALF_OPEN = "half_open"
+
+#: Cap on the exponential half-open cooldown.
+MAX_COOLDOWN_S = 30.0
+
+#: Shard-RPC latency samples required before the adaptive hedge delay
+#: arms (hedging on an uncalibrated p95 would hedge everything).
+HEDGE_MIN_SAMPLES = 16
+
+#: Adaptive hedge delay = p95 × this factor (floored at HEDGE_FLOOR_S).
+HEDGE_FACTOR = 3.0
+HEDGE_FLOOR_S = 0.01
+
+#: Bound on one supervisor ``ping`` probe.
+PROBE_TIMEOUT_S = 2.0
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with exponential half-open probes.
+
+    The query path consults :meth:`allow` (closed → serve, otherwise
+    skip) and reports outcomes via :meth:`record_success` /
+    :meth:`record_failure`; the supervisor claims half-open probes via
+    :meth:`should_probe` once the cooldown has elapsed.  Each failed
+    probe doubles the cooldown (capped at :data:`MAX_COOLDOWN_S`); a
+    successful probe closes the breaker and resets it.
+
+    ``threshold=0`` disables the breaker entirely (always closed).
+    """
+
+    def __init__(
+        self,
+        threshold: int = 5,
+        cooldown_s: float = 0.5,
+        now: Callable[[], float] = time.monotonic,
+    ):
+        self.threshold = threshold
+        self.base_cooldown_s = cooldown_s
+        self._now = now
+        self._lock = threading.Lock()
+        self._state = BREAKER_CLOSED  # guarded-by: _lock
+        self._consecutive = 0  # guarded-by: _lock
+        self._cooldown_s = cooldown_s  # guarded-by: _lock
+        self._opened_at = 0.0  # guarded-by: _lock
+        self.trips = 0  # guarded-by: _lock
+        self.probes = 0  # guarded-by: _lock
+        self.successes = 0  # guarded-by: _lock
+        self.failures = 0  # guarded-by: _lock
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    @property
+    def consecutive_failures(self) -> int:
+        with self._lock:
+            return self._consecutive
+
+    def allow(self) -> bool:
+        """May the query path use this process right now?"""
+        with self._lock:
+            return self._state == BREAKER_CLOSED
+
+    def should_probe(self) -> bool:
+        """Supervisor-side: claim the half-open probe slot if due."""
+        with self._lock:
+            if self._state != BREAKER_OPEN:
+                return False
+            if self._now() - self._opened_at < self._cooldown_s:
+                return False
+            self._state = BREAKER_HALF_OPEN
+            self.probes += 1
+            return True
+
+    def record_success(self) -> None:
+        with self._lock:
+            self.successes += 1
+            self._consecutive = 0
+            self._state = BREAKER_CLOSED
+            self._cooldown_s = self.base_cooldown_s
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self.failures += 1
+            self._consecutive += 1
+            if self.threshold <= 0:
+                return
+            if self._state == BREAKER_HALF_OPEN:
+                # Failed probe: re-open and back off exponentially.
+                self._state = BREAKER_OPEN
+                self._opened_at = self._now()
+                self._cooldown_s = min(
+                    self._cooldown_s * 2.0, MAX_COOLDOWN_S
+                )
+            elif (
+                self._state == BREAKER_CLOSED
+                and self._consecutive >= self.threshold
+            ):
+                self._state = BREAKER_OPEN
+                self._opened_at = self._now()
+                self.trips += 1
+
+    def snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "state": self._state,
+                "consecutive_failures": self._consecutive,
+                "trips": self.trips,
+                "probes": self.probes,
+                "cooldown_s": self._cooldown_s,
+                "successes": self.successes,
+                "failures": self.failures,
+            }
+
+
+class HedgePolicy:
+    """When to re-issue a straggling shard RPC.
+
+    ``fixed_delay_s`` pins the hedge delay; ``None`` selects the
+    adaptive mode — a rolling window of observed RPC latencies, hedging
+    at ``p95 × HEDGE_FACTOR`` once :data:`HEDGE_MIN_SAMPLES` samples are
+    in.  Until calibrated the adaptive policy does not hedge at all
+    (returns ``None``): hedging on a guessed delay would either hedge
+    every request or none.
+    """
+
+    def __init__(
+        self, fixed_delay_s: Optional[float] = None, window: int = 256
+    ):
+        self.fixed_delay_s = fixed_delay_s
+        self._lock = threading.Lock()
+        self._samples: List[float] = []  # guarded-by: _lock
+        self._window = window
+        self.hedges = 0  # guarded-by: _lock
+        self.wins = 0  # guarded-by: _lock
+
+    def observe(self, latency_s: float) -> None:
+        """Feed one successful RPC's latency into the window."""
+        with self._lock:
+            self._samples.append(latency_s)
+            if len(self._samples) > self._window:
+                del self._samples[: len(self._samples) - self._window]
+
+    def delay(self) -> Optional[float]:
+        """Current hedge delay in seconds (``None`` = do not hedge)."""
+        if self.fixed_delay_s is not None:
+            return self.fixed_delay_s
+        with self._lock:
+            if len(self._samples) < HEDGE_MIN_SAMPLES:
+                return None
+            ordered = sorted(self._samples)
+            rank = min(
+                len(ordered) - 1, round(0.95 * (len(ordered) - 1))
+            )
+            return max(HEDGE_FLOOR_S, ordered[rank] * HEDGE_FACTOR)
+
+    def record_hedge(self) -> None:
+        """Count one hedge issued (call at re-issue time)."""
+        with self._lock:
+            self.hedges += 1
+
+    def record_win(self) -> None:
+        """Count one hedge whose reply beat the primary's."""
+        with self._lock:
+            self.wins += 1
+
+    def snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            hedges, wins = self.hedges, self.wins
+            n = len(self._samples)
+        return {
+            "delay_s": self.delay(),
+            "fixed": self.fixed_delay_s is not None,
+            "samples": n,
+            "hedges": hedges,
+            "wins": wins,
+        }
+
+
+class _HealthScore:
+    """EWMA fold of breaker outcomes into one ``[0, 1]`` score."""
+
+    __slots__ = ("value", "_alpha", "_last_ok", "_last_fail")
+
+    def __init__(self, alpha: float = 0.4):
+        self.value = 1.0
+        self._alpha = alpha
+        self._last_ok = 0
+        self._last_fail = 0
+
+    def update(self, breaker: CircuitBreaker, alive: bool) -> float:
+        snap = breaker.snapshot()
+        ok = snap["successes"] - self._last_ok
+        fail = snap["failures"] - self._last_fail
+        self._last_ok, self._last_fail = snap["successes"], snap["failures"]
+        factor = {
+            BREAKER_CLOSED: 1.0,
+            BREAKER_HALF_OPEN: 0.5,
+            BREAKER_OPEN: 0.0,
+        }[snap["state"]]
+        if not alive:
+            factor = 0.0
+        ratio = ok / (ok + fail) if (ok + fail) else 1.0
+        instant = factor * ratio
+        self.value = (1 - self._alpha) * self.value + self._alpha * instant
+        return self.value
+
+
+class ShardResilience:
+    """Per-engine resilience state: breakers, hedge policy, supervisor.
+
+    Owns one :class:`CircuitBreaker` per shard process, the shared
+    :class:`HedgePolicy`, and the background :class:`HealthMonitor`
+    thread.  The engine consults :meth:`allow` before scattering to a
+    process and hands every RPC outcome back through
+    :func:`scatter`; the supervisor recovers tripped breakers with
+    bounded ``ping`` probes so a shard that healed while unqueried
+    still comes back.
+    """
+
+    def __init__(
+        self,
+        handles: Sequence[ShardProcess],
+        breaker_threshold: int = 5,
+        breaker_cooldown_s: float = 0.5,
+        hedge_delay_s: Optional[float] = None,
+        health_interval_s: float = 0.25,
+    ):
+        self.handles = list(handles)
+        self.breakers: Dict[int, CircuitBreaker] = {
+            h.index: CircuitBreaker(
+                threshold=breaker_threshold,
+                cooldown_s=breaker_cooldown_s,
+            )
+            for h in self.handles
+        }
+        self.hedge = HedgePolicy(fixed_delay_s=hedge_delay_s)
+        self.health_interval_s = health_interval_s
+        self._scores: Dict[int, _HealthScore] = {
+            h.index: _HealthScore() for h in self.handles
+        }
+        self._stats_lock = threading.Lock()
+        self.breaker_skips = 0  # guarded-by: _stats_lock
+        self.rpc_timeouts = 0  # guarded-by: _stats_lock
+        self.deadline_truncations = 0  # guarded-by: _stats_lock
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    # -- query-path hooks ------------------------------------------------------
+
+    def allow(self, proc: int) -> bool:
+        """Is the process admitted to the scatter (breaker closed)?"""
+        return self.breakers[proc].allow()
+
+    def note_skip(self, n: int = 1) -> None:
+        with self._stats_lock:
+            self.breaker_skips += n
+
+    def note_rpc_timeout(self) -> None:
+        with self._stats_lock:
+            self.rpc_timeouts += 1
+
+    def note_deadline_truncation(self) -> None:
+        with self._stats_lock:
+            self.deadline_truncations += 1
+
+    # -- supervision -----------------------------------------------------------
+
+    def start(self) -> None:
+        """Start the health/probe supervisor thread (idempotent)."""
+        if self._thread is not None:
+            return
+        self._thread = threading.Thread(
+            target=self._supervise,
+            name="skyup-shard-health",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def stop(self, timeout_s: float = 5.0) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout_s)
+            self._thread = None
+
+    # error-boundary: a probe failure is data, never a supervisor crash
+    def _supervise(self) -> None:
+        while not self._stop.wait(self.health_interval_s):
+            for handle in self.handles:
+                breaker = self.breakers[handle.index]
+                if breaker.should_probe():
+                    try:
+                        handle.request(
+                            "ping", timeout=PROBE_TIMEOUT_S
+                        )
+                        breaker.record_success()
+                    except Exception:
+                        breaker.record_failure()
+                self._scores[handle.index].update(
+                    breaker, handle.alive
+                )
+
+    # -- reporting -------------------------------------------------------------
+
+    def health(self, proc: int) -> float:
+        return self._scores[proc].value
+
+    def snapshot(
+        self, shards_of: Callable[[int], Sequence[int]]
+    ) -> Dict[str, object]:
+        """The ``metrics()["shard_health"]`` payload."""
+        per_process = []
+        open_count = 0
+        trips = 0
+        for handle in self.handles:
+            b = self.breakers[handle.index].snapshot()
+            trips += b["trips"]
+            if b["state"] != BREAKER_CLOSED:
+                open_count += 1
+            per_process.append(
+                {
+                    "proc": handle.index,
+                    "shards": list(shards_of(handle.index)),
+                    "alive": handle.alive,
+                    "health": round(self._scores[handle.index].value, 4),
+                    "breaker": b,
+                }
+            )
+        with self._stats_lock:
+            skips = self.breaker_skips
+            timeouts = self.rpc_timeouts
+            truncations = self.deadline_truncations
+        return {
+            "hedge": self.hedge.snapshot(),
+            "breaker_trips": trips,
+            "breaker_skips": skips,
+            "breakers_open": open_count,
+            "rpc_timeouts": timeouts,
+            "deadline_truncations": truncations,
+            "per_process": per_process,
+        }
+
+
+class RPCOutcome:
+    """One handle's result from :func:`scatter`."""
+
+    __slots__ = (
+        "payload",
+        "fragments",
+        "error",
+        "deadline_bounded",
+        "hedged",
+        "hedge_won",
+        "latency_s",
+    )
+
+    def __init__(self) -> None:
+        self.payload: object = None
+        self.fragments: List[tuple] = []
+        self.error: Optional[BaseException] = None
+        #: The wait was cut by the *request's* deadline, not the RPC
+        #: bound — the shard is not at fault and its breaker untouched.
+        self.deadline_bounded = False
+        self.hedged = False
+        self.hedge_won = False
+        self.latency_s = 0.0
+
+
+class _CallState:
+    """Book-keeping for one handle's (possibly hedged) command."""
+
+    __slots__ = ("handle", "op", "args", "primary", "hedge", "outcome",
+                 "t0", "hedge_clock_t0")
+
+    def __init__(self, handle: ShardProcess, op: str, args: tuple):
+        self.handle = handle
+        self.op = op
+        self.args = args
+        self.primary: Optional[PendingReply] = None
+        self.hedge: Optional[PendingReply] = None
+        self.outcome: Optional[RPCOutcome] = None
+        self.t0 = 0.0
+        self.hedge_clock_t0 = 0.0
+
+    def _submit(self, wake: threading.Event) -> Optional[PendingReply]:
+        try:
+            reply = self.handle.submit(self.op, *self.args)
+        except (WorkerCrashError, EngineClosedError, TransientError) as exc:
+            out = RPCOutcome()
+            out.error = exc
+            self.outcome = out
+            return None
+        reply.attach_waiter(wake)
+        return reply
+
+
+def scatter(
+    calls: Sequence[Tuple[ShardProcess, str, tuple]],
+    *,
+    timeout_s: Optional[float],
+    deadline_bounded: bool,
+    resilience: ShardResilience,
+    trace=None,
+) -> Dict[int, RPCOutcome]:
+    """Scatter one idempotent command per handle; hedge stragglers.
+
+    Submits every command up front, waits on a shared event, and after
+    the calibrated hedge delay re-issues any still-outstanding command
+    to the same handle — which by then may be a *respawned* worker (a
+    crashed primary also triggers one immediate re-issue, the
+    "standby" path).  The first reply per handle wins; duplicates are
+    harmless because every shard command is idempotent (``topk_next``
+    dedupes on its sequence number, the rest are pure reads).
+
+    Failure classification feeds the breakers: crashes and RPC-bound
+    timeouts are the shard's fault (``record_failure``); a wait cut
+    short by the *request's* deadline (``deadline_bounded=True``) is
+    not — the outcome carries ``deadline_bounded`` so the engine
+    degrades the response instead of tripping the breaker.
+
+    Returns ``{handle.index: RPCOutcome}`` for every requested handle.
+    """
+    wake = threading.Event()
+    now = time.monotonic()
+    deadline = now + timeout_s if timeout_s is not None else None
+    hedge_delay = resilience.hedge.delay()
+    hedge_at = now + hedge_delay if hedge_delay is not None else None
+
+    states: List[_CallState] = []
+    for handle, op, args in calls:
+        st = _CallState(handle, op, args)
+        st.t0 = now
+        st.primary = st._submit(wake)
+        if st.primary is None and st.outcome is not None:
+            # Submit-time crash: one immediate re-issue (the worker may
+            # already have respawned); a second failure is final.
+            crash = st.outcome
+            st.outcome = None
+            st.hedge = st._submit(wake)
+            st.hedge_clock_t0 = clock()
+            if st.hedge is None:
+                st.outcome.error = st.outcome.error or crash.error
+            else:
+                st.outcome = None
+                resilience.hedge.record_hedge()
+        states.append(st)
+
+    def settle_success(st: _CallState, reply: PendingReply, won: bool):
+        out = RPCOutcome()
+        out.payload = reply.payload
+        out.fragments = reply.fragments
+        out.hedged = st.hedge is not None
+        out.hedge_won = won
+        out.latency_s = time.monotonic() - st.t0
+        st.outcome = out
+        resilience.breakers[st.handle.index].record_success()
+        resilience.hedge.observe(out.latency_s)
+        if won:
+            resilience.hedge.record_win()
+        if trace is not None and out.hedged:
+            trace.record(
+                "shard.hedge",
+                st.hedge_clock_t0 or clock(),
+                clock(),
+                proc=st.handle.index,
+                op=st.op,
+                won=won,
+            )
+
+    while True:
+        now = time.monotonic()
+        open_states = [st for st in states if st.outcome is None]
+        if not open_states:
+            break
+        for st in open_states:
+            primary_err: Optional[BaseException] = None
+            hedge_err: Optional[BaseException] = None
+            if st.hedge is not None and st.hedge.done():
+                if st.hedge.error is None:
+                    settle_success(st, st.hedge, won=True)
+                    continue
+                hedge_err = st.hedge.error
+            if st.primary is not None and st.primary.done():
+                if st.primary.error is None:
+                    settle_success(st, st.primary, won=False)
+                    continue
+                primary_err = st.primary.error
+            if st.primary is not None and primary_err is not None:
+                if st.hedge is None:
+                    # Crashed in flight: immediate re-issue once.
+                    st.hedge = st._submit(wake)
+                    st.hedge_clock_t0 = clock()
+                    if st.hedge is not None:
+                        st.outcome = None
+                        resilience.hedge.record_hedge()
+                        continue
+                    st.outcome = None
+                if hedge_err is not None or st.hedge is None:
+                    out = RPCOutcome()
+                    out.error = hedge_err or primary_err
+                    out.hedged = st.hedge is not None
+                    st.outcome = out
+                    resilience.breakers[
+                        st.handle.index
+                    ].record_failure()
+        open_states = [st for st in states if st.outcome is None]
+        if not open_states:
+            break
+        if deadline is not None and now >= deadline:
+            for st in open_states:
+                out = RPCOutcome()
+                out.error = TimeoutError(
+                    f"shard {st.handle.index} {st.op!r} timed out "
+                    f"after {timeout_s:.3f}s"
+                )
+                out.deadline_bounded = deadline_bounded
+                out.hedged = st.hedge is not None
+                st.outcome = out
+                if deadline_bounded:
+                    continue
+                resilience.note_rpc_timeout()
+                resilience.breakers[st.handle.index].record_failure()
+            break
+        if hedge_at is not None and now >= hedge_at:
+            for st in open_states:
+                if st.hedge is None and st.primary is not None:
+                    st.hedge = st._submit(wake)
+                    st.hedge_clock_t0 = clock()
+                    if st.hedge is not None:
+                        resilience.hedge.record_hedge()
+            hedge_at = None  # hedge once per scatter
+        wait_until = deadline
+        if hedge_at is not None:
+            wait_until = (
+                hedge_at if wait_until is None else min(hedge_at, wait_until)
+            )
+        # Bounded wait even with no deadline and no hedge pending: a
+        # dropped reply must never park the scatter forever.
+        step = 0.05 if wait_until is None else max(
+            0.001, min(wait_until - time.monotonic(), 0.05)
+        )
+        wake.wait(step)
+        wake.clear()
+
+    # Replies that never came (dropped commands, timed-out stragglers)
+    # must not leak pending slots; the receiver drops late responses
+    # whose request id is gone.
+    for st in states:
+        for reply in (st.primary, st.hedge):
+            if reply is not None and not reply.done():
+                st.handle.forget(reply)
+
+    return {st.handle.index: st.outcome for st in states}

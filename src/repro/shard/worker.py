@@ -18,6 +18,21 @@ protocol over its spawn-context queues:
     are lower bounds on global costs because a shard holds a subset of
     the competitors, and every stream eventually enumerates *all*
     products (each worker indexes the full product catalog).
+    ``topk_next`` carries a per-stream **sequence number** and the
+    worker replays the cached reply when it sees the same sequence
+    again, so a hedged or chaos-duplicated command advances the stream
+    exactly once (idempotent by construction).
+
+Commands that walk data (``skylines``, ``topk_next``) carry an optional
+**budget** — the remaining fraction of the request's deadline, sent as
+a relative duration because the coordinator's and worker's clocks share
+a timebase but not an epoch meaning.  The worker converts it to a local
+deadline and checks it between unit-of-work steps (per query point, per
+stream result pull — each bounded by one R-tree node expansion), then
+returns a *truncated-but-safe* reply: fewer rows, frontier still the
+last emitted cost, ``exhausted`` still honest.  A truncated reply can
+only make the coordinator's threshold merge stop earlier, never emit a
+wrong row.
 ``mutate``
     Incremental R-tree maintenance mirroring a coordinator-side catalog
     mutation.  The resulting tree *structure* differs from a bulk load,
@@ -35,6 +50,7 @@ not create module-level locks or touch ``multiprocessing`` outside
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from queue import Empty
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.dominators import get_dominating_skyline, merge_skylines
@@ -51,6 +67,10 @@ Point = Tuple[float, ...]
 #: ``topk_next`` reply rows: (shard, [(cost, record_id), ...], frontier,
 #: exhausted).
 ShardBatch = Tuple[int, List[Tuple[float, int]], float, bool]
+
+#: Command-queue poll period: the worker wakes this often to notice a
+#: torn-down queue instead of blocking forever (SKY901).
+_CMD_POLL_S = 0.2
 
 
 @dataclass(frozen=True)
@@ -104,24 +124,38 @@ class _WorkerState:
         )
         # stream_id -> shard -> stream
         self.streams: Dict[int, Dict[int, MergeableResultStream]] = {}
+        # stream_id -> (seq, payload): the idempotency cache a hedged
+        # or duplicated ``topk_next`` replays instead of re-advancing.
+        self.stream_replies: Dict[int, Tuple[int, object]] = {}
 
     # -- commands -------------------------------------------------------------
 
     def skylines(
-        self, points: List[Point]
-    ) -> List[List[Point]]:
-        """Pre-merged dominator skylines for a batch of query points."""
+        self, points: List[Point], deadline: Optional[float]
+    ) -> Tuple[List[List[Point]], bool]:
+        """Pre-merged dominator skylines for a batch of query points.
+
+        Deadline truncation is all-or-nothing *per point* — a skyline
+        computed over only some hosted shards would silently understate
+        dominators, so an expired budget drops whole trailing points
+        instead (the coordinator counts them as uncovered).
+        """
         out: List[List[Point]] = []
         trees = list(self.trees.values())
+        truncated = False
         for point in points:
+            if deadline is not None and clock() >= deadline:
+                truncated = True
+                break
             out.append(
                 merge_skylines(
                     [get_dominating_skyline(t, point) for t in trees]
                 )
             )
-        return out
+        return out, truncated
 
     def topk_open(self, stream_id: int, method: str) -> None:
+        self.stream_replies.pop(stream_id, None)
         spec = self.spec
         per_shard: Dict[int, MergeableResultStream] = {}
         for shard, tree in self.trees.items():
@@ -158,22 +192,46 @@ class _WorkerState:
         results.sort(key=lambda r: (r.cost, r.record_id))
         return MergeableResultStream(iter(results))
 
-    def topk_next(self, stream_id: int, batch: int) -> List[ShardBatch]:
+    def topk_next(
+        self,
+        stream_id: int,
+        seq: int,
+        batch: int,
+        deadline: Optional[float],
+    ) -> Tuple[List[ShardBatch], bool]:
+        cached = self.stream_replies.get(stream_id)
+        if cached is not None and cached[0] == seq:
+            return cached[1]  # hedged/duplicated command: replay
+        expected = 0 if cached is None else cached[0] + 1
+        if seq != expected:
+            raise ValueError(
+                f"stream {stream_id}: stale seq {seq} (expected {expected})"
+            )
         reply: List[ShardBatch] = []
+        truncated = False
         for shard, stream in self.streams[stream_id].items():
             pairs: List[Tuple[float, int]] = []
             if not stream.exhausted:
                 pairs = [
                     (r.cost, r.record_id)
-                    for r in stream.next_batch(batch)
+                    for r in stream.next_batch(batch, deadline=deadline)
                 ]
+            if (
+                deadline is not None
+                and not stream.exhausted
+                and clock() >= deadline
+            ):
+                truncated = True
             reply.append(
                 (shard, pairs, stream.frontier, stream.exhausted)
             )
-        return reply
+        payload = (reply, truncated)
+        self.stream_replies[stream_id] = (seq, payload)
+        return payload
 
     def topk_close(self, stream_id: int) -> None:
         self.streams.pop(stream_id, None)
+        self.stream_replies.pop(stream_id, None)
 
     def mutate(self, op: str, payload: tuple) -> None:
         """Apply one catalog mutation to the local indexes."""
@@ -247,14 +305,23 @@ def shard_worker_main(spec: ShardSpec, commands, responses) -> None:
     responses.put(("ok", -1, ("ready", spec.proc), []))
 
     while True:
-        cmd = commands.get()
+        try:
+            # Bounded receive (SKY901): an unbounded get() would park
+            # the worker unkillably-politely if the coordinator dies
+            # without a shutdown; the poll keeps the loop responsive.
+            cmd = commands.get(timeout=_CMD_POLL_S)
+        except Empty:
+            continue
+        except (OSError, ValueError):
+            return  # queue torn down under us: coordinator is gone
         op, req_id = cmd[0], cmd[1]
         fragments: List[tuple] = []
         try:
             if op == "skylines":
-                points, traced = cmd[2], cmd[3]
+                points, traced, budget = cmd[2], cmd[3], cmd[4]
+                deadline = clock() + budget if budget is not None else None
                 t0 = clock()
-                payload = state.skylines(points)
+                payload = state.skylines(points, deadline)
                 if traced:
                     fragments.append(
                         (
@@ -265,6 +332,8 @@ def shard_worker_main(spec: ShardSpec, commands, responses) -> None:
                                 "proc": spec.proc,
                                 "shards": list(spec.shards),
                                 "batch": len(points),
+                                "computed": len(payload[0]),
+                                "truncated": payload[1],
                             },
                         )
                     )
@@ -272,9 +341,16 @@ def shard_worker_main(spec: ShardSpec, commands, responses) -> None:
                 state.topk_open(cmd[2], cmd[3])
                 payload = None
             elif op == "topk_next":
-                stream_id, batch, traced = cmd[2], cmd[3], cmd[4]
+                stream_id, seq, batch, traced, budget = (
+                    cmd[2],
+                    cmd[3],
+                    cmd[4],
+                    cmd[5],
+                    cmd[6],
+                )
+                deadline = clock() + budget if budget is not None else None
                 t0 = clock()
-                payload = state.topk_next(stream_id, batch)
+                payload = state.topk_next(stream_id, seq, batch, deadline)
                 if traced:
                     fragments.append(
                         (
@@ -283,9 +359,12 @@ def shard_worker_main(spec: ShardSpec, commands, responses) -> None:
                             clock(),
                             {
                                 "proc": spec.proc,
+                                "seq": seq,
                                 "rows": sum(
-                                    len(rows) for _, rows, _, _ in payload
+                                    len(rows)
+                                    for _, rows, _, _ in payload[0]
                                 ),
+                                "truncated": payload[1],
                             },
                         )
                     )

@@ -550,6 +550,51 @@ def go():
 
 
 # ---------------------------------------------------------------------------
+# SKY901 — unbounded blocking receives
+
+
+def test_sky901_flags_blocking_get_without_timeout(tmp_path):
+    source = '''\
+def drain(q):
+    a = q.get()
+    b = q.get(True)
+    c = q.get(block=True)
+    return a, b, c
+'''
+    write_tree(
+        tmp_path,
+        {
+            "src/repro/shard/recv.py": source,
+            "src/repro/serve/ok.py": source,  # outside the shard tier
+        },
+    )
+    found = findings_for(tmp_path, "SKY901")
+    assert [(f.path, f.line) for f in found] == [
+        ("src/repro/shard/recv.py", 2),
+        ("src/repro/shard/recv.py", 3),
+        ("src/repro/shard/recv.py", 4),
+    ]
+    assert "timeout" in found[0].message
+
+
+def test_sky901_accepts_bounded_and_non_queue_gets(tmp_path):
+    source = '''\
+def ok(q, cache, key):
+    a = q.get(timeout=0.2)
+    b = q.get(True, 0.2)
+    c = q.get(block=False)
+    d = q.get(False)
+    e = q.get_nowait()
+    f = cache.get(key)
+    g = cache.get(key, None)
+    h = q.get()  # skyup: ignore[SKY901]
+    return a, b, c, d, e, f, g, h
+'''
+    write_tree(tmp_path, {"src/repro/shard/fine2.py": source})
+    assert findings_for(tmp_path, "SKY901") == []
+
+
+# ---------------------------------------------------------------------------
 # baseline
 
 

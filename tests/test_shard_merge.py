@@ -200,3 +200,117 @@ class TestThresholdMerge:
         assert [r.record_id for r in merge.drain()] == [5]
         assert merge.done
         assert not merge.all_exhausted
+
+
+# ---------------------------------------------------------------------------
+# ThresholdMerge degraded mode (shards marked down)
+
+
+class TestThresholdMergeDegraded:
+    def test_zero_live_shards_terminates_empty(self):
+        # Every shard down before contributing: the merge must terminate
+        # (vacuously all-live-exhausted), drain nothing, and report zero
+        # coverage — the engine turns this into an empty partial answer.
+        merge = ThresholdMerge(n_shards=3, k=5)
+        for shard in range(3):
+            merge.mark_down(shard)
+        assert merge.all_live_exhausted
+        assert merge.done
+        assert merge.drain() == []
+        assert merge.coverage == 0.0
+
+    def test_down_after_contributing_flushes_from_live(self):
+        merge = ThresholdMerge(n_shards=2, k=5)
+        merge.observe(0, [(1.0, 1)], frontier=1.0, exhausted=False)
+        merge.add_candidate(result(1, 1.5))
+        merge.mark_down(0)
+        # Shard 0's frontier freezes at 1.0 — still a lower bound — so
+        # cost 1.5 is not provable until the live shard's frontier
+        # passes it.
+        assert merge.drain() == []
+        merge.observe(1, [], frontier=2.0, exhausted=False)
+        assert [r.record_id for r in merge.drain()] == [1]
+        merge.observe(1, [], frontier=float("inf"), exhausted=True)
+        assert merge.all_live_exhausted
+        assert merge.done
+        assert merge.coverage == 0.5
+
+    def test_exhausted_shard_is_not_marked_down(self):
+        # An exhausted stream contributed everything it ever could:
+        # marking its process down afterwards must not dent coverage.
+        merge = ThresholdMerge(n_shards=2, k=2)
+        merge.observe(0, [], frontier=float("inf"), exhausted=True)
+        merge.mark_down(0)
+        assert not merge.down[0]
+        assert merge.coverage == 1.0
+
+    def test_empty_skyline_shard_exhausts_immediately(self):
+        # A shard whose competitors dominate nothing streams no rows and
+        # exhausts at once; the merge completes from the other shard and
+        # the answer stays full-coverage.
+        merge = ThresholdMerge(n_shards=2, k=2)
+        merge.observe(0, [], frontier=float("inf"), exhausted=True)
+        merge.observe(
+            1, [(1.0, 1), (2.0, 2)], frontier=float("inf"), exhausted=True
+        )
+        merge.add_candidate(result(1, 1.0))
+        merge.add_candidate(result(2, 2.0))
+        assert [r.record_id for r in merge.drain()] == [1, 2]
+        assert merge.coverage == 1.0
+        assert merge.done
+
+    def test_degraded_emission_is_prefix_of_canonical_order(self):
+        # Run the same stream scenario twice — once clean, once with a
+        # shard dying midway — and check every degraded emission round
+        # is a prefix of the canonical (cost, record_id) order over the
+        # candidates the degraded run actually emitted.
+        rows0 = [(1.0, 4, 1.1), (2.0, 2, 2.0), (3.0, 6, 3.5)]
+        rows1 = [(1.5, 3, 1.6), (2.5, 5, 2.6)]
+
+        def feed(merge, shard, rows, upto, exhausted):
+            batch = [(lb, rid) for lb, rid, _ in rows[:upto]]
+            frontier = (
+                float("inf") if exhausted else rows[upto - 1][0]
+            )
+            new = merge.observe(shard, batch, frontier, exhausted)
+            for lb, rid, cost in rows[:upto]:
+                if rid in new:
+                    merge.add_candidate(result(rid, cost))
+
+        clean = ThresholdMerge(n_shards=2, k=5)
+        feed(clean, 0, rows0, 3, True)
+        feed(clean, 1, rows1, 2, True)
+        clean.drain()
+        canonical = [r.record_id for r in clean.emitted]
+
+        degraded = ThresholdMerge(n_shards=2, k=5)
+        emitted = []
+        feed(degraded, 0, rows0, 2, False)
+        feed(degraded, 1, rows1, 1, False)
+        emitted += degraded.drain()
+        degraded.mark_down(1)  # shard 1 dies mid-stream
+        emitted += degraded.drain()
+        feed(degraded, 0, rows0, 3, True)
+        emitted += degraded.drain()
+        assert degraded.all_live_exhausted and degraded.done
+        got = [r.record_id for r in emitted]
+        # Every emission in ascending canonical order, and the whole
+        # degraded answer is a subsequence that starts at the front of
+        # the canonical order up to the last emitted element (nothing
+        # cheap was skipped among what the degraded run sighted).
+        assert got == sorted(
+            got, key=lambda rid: canonical.index(rid)
+        )
+        sighted = [rid for rid in canonical if rid in degraded.sighted]
+        assert got == sighted[: len(got)]
+        assert degraded.coverage == 0.5
+
+    def test_abandon_releases_uncosted_sighting(self):
+        merge = ThresholdMerge(n_shards=1, k=2)
+        merge.observe(
+            0, [(1.0, 1), (2.0, 2)], frontier=float("inf"), exhausted=True
+        )
+        merge.add_candidate(result(1, 1.0))
+        merge.abandon(2)  # its exact cost was uncomputable (shards down)
+        assert [r.record_id for r in merge.drain()] == [1]
+        assert merge.done
