@@ -80,9 +80,20 @@ class ModuleInfo:
 class LintContext:
     """Everything a rule may look at: parsed modules plus data files."""
 
-    def __init__(self, root: Path, modules: List[ModuleInfo]):
+    def __init__(
+        self,
+        root: Path,
+        modules: List[ModuleInfo],
+        cache_dir: Optional[Path] = None,
+    ):
         self.root = root
         self.modules = modules
+        #: Summary-cache directory for the deep (interprocedural) rules;
+        #: None disables persistence.  The deep rule pack memoizes its
+        #: shared analysis on the context and reports cache temperature
+        #: here for the CLI to surface.
+        self.cache_dir = cache_dir
+        self.flow_stats: Dict[str, object] = {}
         self._by_rel = {m.rel: m for m in modules}
 
     def module(self, rel: str) -> Optional[ModuleInfo]:
@@ -103,24 +114,33 @@ RuleFunc = Callable[[LintContext], Iterator[Finding]]
 
 @dataclass(frozen=True)
 class RuleInfo:
-    """Registry entry: a stable id, a human name, and the check itself."""
+    """Registry entry: a stable id, a human name, and the check itself.
+
+    ``deep`` marks interprocedural rules (the SKY1000 family) that run
+    only under ``skyup lint --deep`` — they cost a whole-program
+    fixpoint, so the default fast path skips them.  Explicitly selecting
+    a deep rule with ``--select`` also runs it.
+    """
 
     rule_id: str
     name: str
     doc: str
     func: RuleFunc
+    deep: bool = False
 
 
 _REGISTRY: Dict[str, RuleInfo] = {}
 
 
-def rule(rule_id: str, name: str, doc: str) -> Callable[[RuleFunc], RuleFunc]:
+def rule(
+    rule_id: str, name: str, doc: str, deep: bool = False
+) -> Callable[[RuleFunc], RuleFunc]:
     """Register a rule function under ``rule_id`` / ``name``."""
 
     def register(func: RuleFunc) -> RuleFunc:
         if rule_id in _REGISTRY:
             raise ConfigurationError(f"duplicate rule id {rule_id!r}")
-        _REGISTRY[rule_id] = RuleInfo(rule_id, name, doc, func)
+        _REGISTRY[rule_id] = RuleInfo(rule_id, name, doc, func, deep)
         return func
 
     return register
@@ -133,10 +153,12 @@ def iter_rules() -> List[RuleInfo]:
     return [_REGISTRY[rid] for rid in sorted(_REGISTRY)]
 
 
-def _select_rules(select: Optional[Iterable[str]]) -> List[RuleInfo]:
+def _select_rules(
+    select: Optional[Iterable[str]], deep: bool = False
+) -> List[RuleInfo]:
     rules = iter_rules()
     if not select:
-        return rules
+        return [r for r in rules if deep or not r.deep]
     wanted = {token.strip() for token in select if token.strip()}
     known = {r.rule_id for r in rules} | {r.name for r in rules}
     unknown = sorted(wanted - known)
@@ -203,16 +225,26 @@ def run_lint(
     root: Path,
     select: Optional[Iterable[str]] = None,
     baseline: Optional[Iterable[Finding]] = None,
+    deep: bool = False,
+    cache_dir: Optional[Path] = None,
+    ctx_out: Optional[List[LintContext]] = None,
 ) -> List[Finding]:
     """Run the selected rules over the repo at ``root``.
+
+    ``deep=True`` adds the interprocedural SKY1000 family (see
+    :mod:`repro.analysis.flow`); ``cache_dir`` points its summary cache
+    somewhere persistent.  ``ctx_out``, when given, receives the
+    :class:`LintContext` so callers can inspect ``flow_stats``.
 
     Returns the unsuppressed findings (inline suppressions and the
     ``baseline`` set already subtracted), sorted by path/line/rule.
     """
-    ctx = LintContext(root, collect_modules(root))
+    ctx = LintContext(root, collect_modules(root), cache_dir=cache_dir)
+    if ctx_out is not None:
+        ctx_out.append(ctx)
     known = {f.baseline_key() for f in baseline} if baseline else set()
     findings: List[Finding] = []
-    for info in _select_rules(select):
+    for info in _select_rules(select, deep=deep):
         for finding in info.func(ctx):
             if _suppressed(finding, ctx):
                 continue
@@ -286,6 +318,37 @@ def save_baseline(path: Path, findings: Iterable[Finding]) -> None:
 def format_text(findings: List[Finding]) -> str:
     """Human-readable report: one ``path:line:col: RULE message`` per line."""
     lines = [f.format() for f in findings]
+    noun = "finding" if len(findings) == 1 else "findings"
+    lines.append(f"{len(findings)} {noun}")
+    return "\n".join(lines)
+
+
+def _gha_escape(value: str) -> str:
+    """Escape a workflow-command property/message per GitHub's rules."""
+    return (
+        value.replace("%", "%25")
+        .replace("\r", "%0D")
+        .replace("\n", "%0A")
+    )
+
+
+def format_github(findings: List[Finding]) -> str:
+    """GitHub Actions workflow commands: one ``::error`` per finding.
+
+    Emitted on stdout during a workflow run, these render as inline
+    annotations on the PR diff.  A trailing count line keeps the log
+    self-describing (GitHub ignores non-command lines).
+    """
+    lines = [
+        "::error file={path},line={line},col={col},title={title}::{msg}".format(
+            path=_gha_escape(f.path),
+            line=f.line,
+            col=f.col,
+            title=_gha_escape(f.rule),
+            msg=_gha_escape(f"{f.rule} {f.message}"),
+        )
+        for f in findings
+    ]
     noun = "finding" if len(findings) == 1 else "findings"
     lines.append(f"{len(findings)} {noun}")
     return "\n".join(lines)

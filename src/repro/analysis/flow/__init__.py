@@ -1,0 +1,72 @@
+"""Interprocedural concurrency dataflow over the repo's AST.
+
+The lexical lock rules (SKY101/102) see one function at a time; this
+package sees the whole program.  It builds, per module, a *summary* of
+every function — which locks it acquires (``with`` blocks, lock
+aliases, ``ExitStack.enter_context``, read/write modes of the
+readers-writer lock), which shared attributes it reads and writes under
+which locks, which calls it makes, which blocking primitives it touches,
+and how deadline values flow through its calls — then runs three
+fixpoint analyses over the call graph:
+
+* **entry locks** — the set of locks *every* caller holds at a call
+  site, intersected over all call sites, so a helper that is only ever
+  invoked under ``self._lock`` is analyzed as holding it (the
+  RacerD-style ownership transfer that makes cross-function guarded
+  access sound to check);
+* **blocking reachability** — whether a queue receive, process join,
+  sleep, or injected-fault point is reachable from a function through
+  any chain of resolved calls (SKY1004);
+* **RPC reachability** — whether a shard RPC (``ShardProcess.submit`` /
+  ``request``) is reachable, used to demand that deadline parameters
+  are threaded through every call on such paths (SKY1005).
+
+On top of the facts, guard *inference*: for each shared mutable class
+attribute the analysis votes across all of its accesses — the lock held
+at a majority of them is the inferred guard, and the minority accesses
+are the race reports (SKY1001/1002).  Hand-written ``# guarded-by:``
+annotations are cross-checked against the inferred facts (SKY1003).
+
+Summaries are pure data (JSON-serializable) and cached per file keyed
+by content hash (:mod:`repro.analysis.flow.cache`), so incremental and
+warm runs skip extraction entirely — ``skyup lint --deep`` reports the
+cache temperature on stderr.
+
+Module map: :mod:`~repro.analysis.flow.model` (summary records),
+:mod:`~repro.analysis.flow.extract` (AST -> summaries),
+:mod:`~repro.analysis.flow.callgraph` (symbol table + resolution),
+:mod:`~repro.analysis.flow.analysis` (fixpoints + inference),
+:mod:`~repro.analysis.flow.cache` (content-hash summary cache).  The
+SKY1001-1005 rules themselves live in
+:mod:`repro.analysis.rules.flowrules`.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.flow.analysis import FlowFacts, analyze
+from repro.analysis.flow.cache import FlowCache
+from repro.analysis.flow.callgraph import CallGraph, build_call_graph
+from repro.analysis.flow.extract import extract_module
+from repro.analysis.flow.model import (
+    Access,
+    BlockSite,
+    CallRec,
+    ClassSummary,
+    FunctionSummary,
+    ModuleSummary,
+)
+
+__all__ = [
+    "Access",
+    "BlockSite",
+    "CallGraph",
+    "CallRec",
+    "ClassSummary",
+    "FlowCache",
+    "FlowFacts",
+    "FunctionSummary",
+    "ModuleSummary",
+    "analyze",
+    "build_call_graph",
+    "extract_module",
+]

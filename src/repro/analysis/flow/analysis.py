@@ -1,0 +1,292 @@
+"""Interprocedural fixpoints and guard inference over the call graph.
+
+Three facts are computed, then packaged as :class:`FlowFacts` for the
+rule pack:
+
+**Entry locks** (must-analysis).  ``entry(F)`` is the set of locks every
+caller provably holds at every resolved call site of ``F``, plus ``F``'s
+own ``# holds-lock`` annotations::
+
+    entry(F) = holds(F) ∪ ⋂ over call sites (held_at_site ∪ entry(caller))
+
+Initialized to ⊤ for functions with callers and iterated downward, so
+the result is conservative: one unlocked call site empties the
+intersection.  Functions with no resolved callers (thread targets,
+public API, anything reached through a callback) are roots with
+``entry = holds``.  This is what lets a helper that is only ever invoked
+under ``self._lock`` have its attribute accesses counted as guarded —
+the cross-function case SKY101's lexical tracker cannot see.
+
+**Blocking reachability** (may-analysis).  A function may block if it
+contains a blocking primitive (queue receive, process join, sleep,
+fault-injection point) or calls one that may.  A witness chain is kept
+for messages.
+
+**RPC reachability** (may-analysis).  Same propagation seeded from
+shard RPC primitives (``ShardProcess.submit``/``request``) and textual
+``.submit()``/``.request()`` sites in shard modules.
+
+**Guard inference** (per shared attribute, RacerD-style vote).  For an
+unannotated attribute of a lock-using class with at least one
+non-constructor write and ≥ :data:`MIN_ACCESSES` accesses, the lock
+held (lexically or via entry locks) at ≥ :data:`MAJORITY` of accesses —
+in a mode adequate for each access, write requiring exclusivity — is
+the inferred guard; the minority accesses are the reported races.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.analysis.flow.callgraph import CallGraph, build_call_graph
+from repro.analysis.flow.model import (
+    Access,
+    BlockSite,
+    CallRec,
+    ModuleSummary,
+    expand_locks,
+    is_exclusive,
+    lock_base,
+)
+
+#: Guard inference thresholds (tuned so the benign-race fixtures stay
+#: silent: occasional lock-free fast paths must not vote a guard in).
+MIN_ACCESSES = 3
+MIN_GUARDED = 2
+MAJORITY = 0.75
+
+#: A perfectly-consistent attribute needs this many accesses before the
+#: analyzer suggests writing a ``# guarded-by`` annotation (SKY1003).
+MIN_SUGGEST = 4
+
+
+@dataclass
+class BlockWitness:
+    """Why a function may block: a direct site or a blocking callee."""
+
+    kind: str  # "direct" | "call"
+    site_line: int
+    detail: str  # leaf primitive description
+    callee: Optional[str] = None  # next hop for chain reconstruction
+
+
+@dataclass
+class AttrFact:
+    """Inference result for one shared attribute of one class."""
+
+    module_rel: str
+    cls: str
+    attr: str
+    accesses: List[Tuple[Access, str, FrozenSet[str]]]
+    # ^ (access, owning function qname, effective held locks)
+    declared: Optional[Tuple[str, int]]  # (guard symbol, decl line)
+    inferred: Optional[str] = None  # inferred guard base symbol
+    guarded_count: int = 0
+    violations: List[Tuple[Access, str, FrozenSet[str]]] = field(
+        default_factory=list
+    )
+
+
+@dataclass
+class FlowFacts:
+    """Everything the SKY1000 rule pack consumes."""
+
+    graph: CallGraph
+    entry: Dict[str, FrozenSet[str]]
+    blocked: Dict[str, BlockWitness]
+    reaches_rpc: Set[str]
+    attrs: List[AttrFact]
+
+    def block_chain(self, qname: str, limit: int = 6) -> str:
+        """``f -> g -> sleep()`` witness string for messages."""
+        hops: List[str] = []
+        cur: Optional[str] = qname
+        for _ in range(limit):
+            witness = self.blocked.get(cur) if cur else None
+            if witness is None:
+                break
+            short = cur.rsplit(".", 1)[-1] if cur else "?"
+            hops.append(short)
+            if witness.kind == "direct":
+                hops.append(witness.detail)
+                break
+            cur = witness.callee
+        return " -> ".join(hops)
+
+
+def _entry_locks(graph: CallGraph) -> Dict[str, FrozenSet[str]]:
+    holds = {
+        q: expand_locks(fn.holds) for q, fn in graph.functions.items()
+    }
+    # None encodes ⊤ (not yet constrained by any caller).
+    entry: Dict[str, Optional[FrozenSet[str]]] = {}
+    for q in graph.functions:
+        entry[q] = holds[q] if q not in graph.callers else None
+    changed = True
+    while changed:
+        changed = False
+        for q, sites in graph.callers.items():
+            meet: Optional[FrozenSet[str]] = None  # ⊤
+            grounded = False
+            for caller, rec in sites:
+                caller_entry = entry.get(caller)
+                if caller_entry is None:
+                    continue  # ⊤ contribution: does not constrain yet
+                contribution = expand_locks(rec.locks) | caller_entry
+                meet = (
+                    contribution
+                    if not grounded
+                    else meet & contribution
+                )
+                grounded = True
+            if not grounded:
+                continue  # still ⊤; a later iteration may ground it
+            new = frozenset(holds[q] | meet)
+            if new != entry[q]:
+                entry[q] = new
+                changed = True
+    # Unreachable pure cycles collapse to their own annotations.
+    return {
+        q: (value if value is not None else holds[q])
+        for q, value in entry.items()
+    }
+
+
+def _blocking(graph: CallGraph) -> Dict[str, BlockWitness]:
+    blocked: Dict[str, BlockWitness] = {}
+    work: List[str] = []
+    for q, fn in graph.functions.items():
+        if fn.blocking:
+            site = fn.blocking[0]
+            blocked[q] = BlockWitness(
+                "direct", site.line, site.detail
+            )
+            work.append(q)
+    while work:
+        callee = work.pop()
+        for caller, rec in graph.callers.get(callee, ()):
+            if caller in blocked:
+                continue
+            blocked[caller] = BlockWitness(
+                "call", rec.line, blocked[callee].detail, callee
+            )
+            work.append(caller)
+    return blocked
+
+
+def _rpc_reach(graph: CallGraph) -> Set[str]:
+    reaches: Set[str] = set()
+    work: List[str] = []
+    for q, fn in graph.functions.items():
+        if fn.rpc_primitive or any(rec.rpc for rec in fn.calls):
+            reaches.add(q)
+            work.append(q)
+    while work:
+        callee = work.pop()
+        for caller, _rec in graph.callers.get(callee, ()):
+            if caller not in reaches:
+                reaches.add(caller)
+                work.append(caller)
+    return reaches
+
+
+def _holds_base(locks: FrozenSet[str], base: str,
+                need_exclusive: bool) -> bool:
+    for sym in locks:
+        if lock_base(sym) != base:
+            continue
+        if not need_exclusive or is_exclusive(sym):
+            return True
+    return False
+
+
+def _infer_attrs(
+    summaries: List[ModuleSummary],
+    graph: CallGraph,
+    entry: Dict[str, FrozenSet[str]],
+) -> List[AttrFact]:
+    facts: List[AttrFact] = []
+    for msum in summaries:
+        for cls_name, cls in msum.classes.items():
+            if not cls.locks:
+                continue  # lock-free class: nothing to infer
+            lock_attrs = set(cls.lock_attrs)
+            per_attr: Dict[
+                str, List[Tuple[Access, str, FrozenSet[str]]]
+            ] = {}
+            writers: Set[str] = set()
+            for fn in msum.functions:
+                if fn.cls != cls_name or fn.is_ctor:
+                    continue
+                effective_base = expand_locks(fn.holds) | entry.get(
+                    fn.qname, frozenset()
+                )
+                for access in fn.accesses:
+                    if access.attr in lock_attrs:
+                        continue
+                    effective = frozenset(
+                        expand_locks(access.locks) | effective_base
+                    )
+                    per_attr.setdefault(access.attr, []).append(
+                        (access, fn.qname, effective)
+                    )
+                    if access.kind == "write":
+                        writers.add(access.attr)
+            for attr, rows in sorted(per_attr.items()):
+                declared = cls.guards.get(attr)
+                if declared is None and (
+                    attr not in writers or len(rows) < MIN_ACCESSES
+                ):
+                    continue
+                fact = AttrFact(
+                    module_rel=msum.rel,
+                    cls=cls_name,
+                    attr=attr,
+                    accesses=rows,
+                    declared=declared,
+                )
+                # Vote: for each candidate lock base, how many accesses
+                # hold it in an adequate mode?
+                bases: Set[str] = set()
+                for _access, _q, locks in rows:
+                    bases.update(lock_base(sym) for sym in locks)
+                best_base, best_count = None, 0
+                for base in sorted(bases):
+                    count = sum(
+                        1
+                        for access, _q, locks in rows
+                        if _holds_base(
+                            locks, base, access.kind == "write"
+                        )
+                    )
+                    if count > best_count:
+                        best_base, best_count = base, count
+                threshold = max(
+                    MIN_GUARDED, math.ceil(MAJORITY * len(rows))
+                )
+                if best_base is not None and best_count >= threshold:
+                    fact.inferred = best_base
+                    fact.guarded_count = best_count
+                    fact.violations = [
+                        (access, q, locks)
+                        for access, q, locks in rows
+                        if not _holds_base(
+                            locks, best_base, access.kind == "write"
+                        )
+                    ]
+                facts.append(fact)
+    return facts
+
+
+def analyze(summaries: List[ModuleSummary]) -> FlowFacts:
+    graph = build_call_graph(summaries)
+    entry = _entry_locks(graph)
+    return FlowFacts(
+        graph=graph,
+        entry=entry,
+        blocked=_blocking(graph),
+        reaches_rpc=_rpc_reach(graph),
+        attrs=_infer_attrs(summaries, graph, entry),
+    )

@@ -1,0 +1,134 @@
+"""Content-hash summary cache for warm ``skyup lint --deep`` runs.
+
+Two levels, both under one directory (default ``.skyup-cache/``):
+
+* ``summaries.json`` — per-file :class:`ModuleSummary` records keyed by
+  the file's SHA-256.  Editing one file re-extracts only that file; the
+  fixpoint re-runs (it is whole-program) but extraction dominates cold
+  time.
+* ``findings.json`` — the finished finding list keyed by a global hash
+  over every ``(rel, sha)`` pair plus the analysis version.  An
+  untouched tree skips extraction *and* the fixpoint: the warm path is
+  hash-everything + one JSON load.
+
+Corruption and schema drift degrade to a cold run, never an error — the
+cache is an accelerator, not a source of truth.  Writes go through a
+same-directory temp file + ``os.replace`` so a crashed run cannot leave
+a torn JSON behind.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.analysis.flow.model import SCHEMA_VERSION, ModuleSummary
+
+#: Bump to invalidate cached *findings* when rule logic changes without
+#: a summary schema change.
+ANALYSIS_VERSION = 1
+
+
+def source_hash(source: str) -> str:
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+def tree_key(hashes: Dict[str, str]) -> str:
+    """Global cache key over every file's content hash."""
+    digest = hashlib.sha256()
+    digest.update(f"v{SCHEMA_VERSION}.{ANALYSIS_VERSION}".encode())
+    for rel in sorted(hashes):
+        digest.update(f"{rel}={hashes[rel]}\n".encode())
+    return digest.hexdigest()
+
+
+def _atomic_write(path: Path, text: str) -> None:
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    tmp.write_text(text)
+    os.replace(tmp, path)
+
+
+class FlowCache:
+    """Load-on-construct, explicit :meth:`save`; never raises on I/O."""
+
+    def __init__(self, cache_dir: Optional[Path]):
+        self.dir = cache_dir
+        self.summary_hits = 0
+        self.summary_misses = 0
+        self._summaries: Dict[str, dict] = {}
+        self._findings: Optional[dict] = None
+        self._dirty = False
+        if cache_dir is None:
+            return
+        self._summaries = self._load(cache_dir / "summaries.json") or {}
+        self._findings = self._load(cache_dir / "findings.json")
+
+    @staticmethod
+    def _load(path: Path) -> Optional[dict]:
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError, ValueError):
+            return None
+        return payload if isinstance(payload, dict) else None
+
+    # -- per-file summaries --------------------------------------------
+
+    def summary(self, rel: str, sha: str) -> Optional[ModuleSummary]:
+        entry = self._summaries.get(rel)
+        if entry is None or entry.get("sha") != sha:
+            self.summary_misses += 1
+            return None
+        try:
+            out = ModuleSummary.from_dict(entry["summary"])
+        except (KeyError, TypeError, ValueError):
+            self.summary_misses += 1
+            return None
+        self.summary_hits += 1
+        return out
+
+    def put_summary(
+        self, rel: str, sha: str, summary: ModuleSummary
+    ) -> None:
+        self._summaries[rel] = {
+            "sha": sha, "summary": summary.to_dict()
+        }
+        self._dirty = True
+
+    # -- whole-tree findings -------------------------------------------
+
+    def findings(self, key: str) -> Optional[List[dict]]:
+        doc = self._findings
+        if (
+            doc is None
+            or doc.get("key") != key
+            or not isinstance(doc.get("findings"), list)
+        ):
+            return None
+        return doc["findings"]
+
+    def put_findings(self, key: str, findings: List[dict]) -> None:
+        self._findings = {"key": key, "findings": findings}
+        self._dirty = True
+
+    # -- persistence ----------------------------------------------------
+
+    def save(self) -> None:
+        if self.dir is None or not self._dirty:
+            return
+        try:
+            self.dir.mkdir(parents=True, exist_ok=True)
+            _atomic_write(
+                self.dir / "summaries.json",
+                json.dumps(self._summaries, sort_keys=True),
+            )
+            if self._findings is not None:
+                _atomic_write(
+                    self.dir / "findings.json",
+                    json.dumps(self._findings, sort_keys=True),
+                )
+        except OSError:
+            pass  # read-only checkout: run cold every time
+        self._dirty = False

@@ -1,0 +1,148 @@
+"""Symbol table and call resolution over module summaries.
+
+Resolution is deliberately conservative: an edge exists only when the
+callee can be named with confidence — ``self.m()`` to a method of the
+same class, a bare name to a module-level function or an import
+(re-exports followed through package ``__init__`` import tables), or an
+``obj.m()`` method call when exactly one class in the whole tree
+defines ``m`` and the name is not on the generic blocklist (``get``,
+``put``, ``items``... — names stdlib containers share).  Unresolved
+calls simply contribute no edge, which under-approximates reachability
+(fine for warning rules: silence, never false noise) and
+over-approximates entry-lock intersections only at true roots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.flow.model import (
+    CallRec,
+    FunctionSummary,
+    ModuleSummary,
+)
+
+#: Method names too generic for unique-definition resolution: a single
+#: repo class defining ``get`` must not swallow every dict ``.get``.
+GENERIC_METHODS = frozenset(
+    {
+        "get", "put", "items", "keys", "values", "join", "wait",
+        "set", "clear", "release", "acquire", "send", "recv", "close",
+        "copy", "append", "update", "pop", "add", "remove", "start",
+        "run", "read", "write", "format",
+    }
+)
+
+#: Follow at most this many import hops when chasing re-exports.
+MAX_IMPORT_HOPS = 5
+
+
+@dataclass
+class CallGraph:
+    """Resolved view of the program: functions, edges, reverse edges."""
+
+    functions: Dict[str, FunctionSummary]
+    modules: Dict[str, ModuleSummary]  # dotted name -> summary
+    module_of: Dict[str, ModuleSummary]  # function qname -> its module
+    # (caller qname, call record, callee qname) — resolved edges only.
+    edges: List[Tuple[str, CallRec, str]] = field(default_factory=list)
+    callers: Dict[str, List[Tuple[str, CallRec]]] = field(
+        default_factory=dict
+    )
+    outgoing: Dict[str, List[Tuple[CallRec, str]]] = field(
+        default_factory=dict
+    )
+
+
+def build_call_graph(summaries: List[ModuleSummary]) -> CallGraph:
+    functions: Dict[str, FunctionSummary] = {}
+    modules: Dict[str, ModuleSummary] = {}
+    module_of: Dict[str, ModuleSummary] = {}
+    by_method: Dict[str, List[str]] = {}
+
+    for msum in summaries:
+        modules[msum.mod] = msum
+        for fn in msum.functions:
+            functions[fn.qname] = fn
+            module_of[fn.qname] = msum
+            if fn.cls is not None and "<locals>" not in fn.qname:
+                by_method.setdefault(fn.name, []).append(fn.qname)
+
+    graph = CallGraph(functions, modules, module_of)
+
+    def resolve_ext(dotted: str, hops: int = 0) -> Optional[str]:
+        """Chase a dotted target through import tables to a function."""
+        if hops > MAX_IMPORT_HOPS:
+            return None
+        if dotted in functions:
+            return dotted
+        head, _, tail = dotted.rpartition(".")
+        if not head:
+            return None
+        msum = modules.get(head)
+        if msum is not None:
+            if tail in msum.classes:
+                ctor = f"{dotted}.__init__"
+                return ctor if ctor in functions else None
+            target = msum.imports.get(tail)
+            if target is not None and target != dotted:
+                return resolve_ext(target, hops + 1)
+            return None
+        # head may itself be re-exported (pkg alias); one more hop up.
+        resolved_head = None
+        h2, _, t2 = head.rpartition(".")
+        if h2 and h2 in modules:
+            resolved_head = modules[h2].imports.get(t2)
+        if resolved_head and resolved_head != head:
+            return resolve_ext(f"{resolved_head}.{tail}", hops + 1)
+        return None
+
+    def resolve_unique(method: str) -> Optional[str]:
+        if method in GENERIC_METHODS:
+            return None
+        qnames = by_method.get(method)
+        if qnames is not None and len(qnames) == 1:
+            return qnames[0]
+        return None
+
+    def resolve(fn: FunctionSummary, msum: ModuleSummary,
+                rec: CallRec) -> Optional[str]:
+        kind, name = rec.form
+        if kind == "self":
+            if fn.cls is not None:
+                cls = msum.classes.get(fn.cls)
+                if cls is not None and name in cls.methods:
+                    return f"{msum.mod}.{fn.cls}.{name}"
+            return resolve_unique(name)  # inherited / mixin methods
+        if kind == "ext":
+            if name in msum.func_names:
+                return f"{msum.mod}.{name}"
+            target = msum.imports.get(name)
+            if target is not None:
+                return resolve_ext(target)
+            return None
+        if kind == "dotted":
+            recv, _, attr = name.partition(".")
+            target = msum.imports.get(recv)
+            if target is not None:
+                return resolve_ext(f"{target}.{attr}")
+            return resolve_unique(attr)  # obj.m() on a local variable
+        if kind == "method":
+            return resolve_unique(name)
+        return None
+
+    for msum in summaries:
+        for fn in msum.functions:
+            for rec in fn.calls:
+                callee = resolve(fn, msum, rec)
+                if callee is None or callee == fn.qname:
+                    continue
+                graph.edges.append((fn.qname, rec, callee))
+                graph.callers.setdefault(callee, []).append(
+                    (fn.qname, rec)
+                )
+                graph.outgoing.setdefault(fn.qname, []).append(
+                    (rec, callee)
+                )
+    return graph

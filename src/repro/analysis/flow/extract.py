@@ -1,0 +1,698 @@
+"""AST -> :class:`ModuleSummary` extraction (the analysis front end).
+
+One pass per file, no cross-module knowledge: everything that needs the
+whole program (call resolution, entry-lock inference) happens later in
+:mod:`repro.analysis.flow.analysis` over the summaries.  Keeping the
+front end local is what makes the content-hash cache sound — a file's
+summary depends only on its own bytes.
+
+Beyond the lexical ``with`` tracking that SKY101 does, the extractor
+understands:
+
+* lock *aliases*: ``lk = self._lock`` followed by ``with lk:``;
+* ``contextlib.ExitStack.enter_context(lock)``, which holds the lock
+  until the end of the function (a lexical approximation of the stack's
+  dynamic extent);
+* readers-writer modes: ``with self._rw.read_locked():`` produces the
+  shared symbol ``...#_rw@read``, ``write_locked`` the exclusive
+  ``...#_rw@write``;
+* ``# holds-lock: _rw[write]`` annotations with an optional mode (a
+  bare ``_rw`` on a lock that is elsewhere acquired in rw modes is
+  normalized to ``@write``, the stronger claim).
+
+Deadline taint is also computed here, because it is function-local:
+parameters and locals whose names look deadline-ish (``deadline``,
+``remaining``, ``timeout``, ``budget``...), closed over simple
+assignments, plus any expression that calls a deadline *producer*
+(``self._remaining(...)``, ``_rpc_window(...)``).  Each recorded call
+pre-digests whether every argument mentions such a value, so the
+interprocedural pass can check bindings without re-walking source.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.engine import ModuleInfo
+from repro.analysis.flow.model import (
+    Access,
+    BlockSite,
+    CallRec,
+    ClassSummary,
+    FunctionSummary,
+    ModuleSummary,
+)
+
+DEADLINE_RE = re.compile(
+    r"deadline|remaining|timeout|budget|expir", re.IGNORECASE
+)
+HOLDS_RE = re.compile(
+    r"#\s*holds-lock:\s*([A-Za-z_][A-Za-z0-9_]*)(?:\[(read|write)\])?"
+)
+GUARDED_RE = re.compile(r"#\s*guarded-by:\s*([A-Za-z_][A-Za-z0-9_]*)")
+
+#: Receiver-name shapes that make a ``.join()`` look like waiting on a
+#: process or thread rather than ``str.join``.
+JOINABLE_RE = re.compile(r"proc|process|thread|worker", re.IGNORECASE)
+
+#: Fault-injection points that can stall the caller (injected latency),
+#: as opposed to error-class points that raise and return immediately.
+LATENCY_POINT_RE = re.compile(r"delay|sleep|latency|stall", re.IGNORECASE)
+
+#: Fault-injection intrinsics: call edges into their implementation are
+#: suppressed in favor of per-point site classification.
+FAULT_INTRINSICS = frozenset({"maybe_inject", "maybe_corrupt"})
+
+#: Method names that mutate their receiver in place; a lone ``Load`` of
+#: ``self._queue`` in ``self._queue.append(x)`` is really a write.
+MUTATORS = frozenset(
+    {
+        "append", "appendleft", "extend", "insert", "pop", "popleft",
+        "remove", "clear", "update", "setdefault", "add", "discard",
+        "sort", "reverse",
+    }
+)
+
+CONSTRUCTORS = ("__init__", "__new__")
+RPC_METHODS = frozenset({"submit", "request"})
+RW_ACQUIRERS = {"read_locked": "@read", "write_locked": "@write"}
+
+
+def module_name(rel: str) -> str:
+    """``src/repro/shard/engine.py`` -> ``repro.shard.engine``."""
+    parts = rel.replace("\\", "/").split("/")
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][:-3]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def _is_shard_module(rel: str) -> bool:
+    return rel.replace("\\", "/").startswith("src/repro/shard/")
+
+
+def _collect_imports(tree: ast.Module, mod: str) -> Dict[str, str]:
+    """Local alias -> fully dotted target, for call resolution."""
+    out: Dict[str, str] = {}
+    pkg_parts = mod.split(".")
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                target = alias.name if alias.asname else local
+                out[local] = target
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                # Relative import: anchor on this module's package.
+                base = pkg_parts[: len(pkg_parts) - (node.level - 1)]
+                prefix = ".".join(base)
+                if node.module:
+                    prefix = f"{prefix}.{node.module}" if prefix else node.module
+            else:
+                prefix = node.module or ""
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                out[local] = (
+                    f"{prefix}.{alias.name}" if prefix else alias.name
+                )
+    return out
+
+
+def _module_globals(tree: ast.Module) -> Set[str]:
+    names: Set[str] = set()
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        elif isinstance(node, ast.AnnAssign):
+            if isinstance(node.target, ast.Name):
+                names.add(node.target.id)
+    return names
+
+
+def _mentions_deadline(expr: ast.AST, tainted: Set[str]) -> bool:
+    for sub in ast.walk(expr):
+        if isinstance(sub, ast.Name):
+            if sub.id in tainted or DEADLINE_RE.search(sub.id):
+                return True
+        elif isinstance(sub, ast.Attribute):
+            if DEADLINE_RE.search(sub.attr):
+                return True
+    return False
+
+
+def _name_targets(target: ast.AST) -> List[str]:
+    out: List[str] = []
+    for sub in ast.walk(target):
+        if isinstance(sub, ast.Name):
+            out.append(sub.id)
+    return out
+
+
+def _tainted_locals(func: ast.AST, params: List[str]) -> Set[str]:
+    """Deadline-ish params plus locals assigned from deadline values."""
+    tainted = {p for p in params if DEADLINE_RE.search(p)}
+    for _ in range(2):  # two rounds for short transitive chains
+        for node in ast.walk(func):
+            value = None
+            targets: List[ast.AST] = []
+            if isinstance(node, ast.Assign):
+                value, targets = node.value, list(node.targets)
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                value, targets = node.value, [node.target]
+            elif isinstance(node, ast.AugAssign):
+                value, targets = node.value, [node.target]
+            elif isinstance(node, ast.NamedExpr):
+                value, targets = node.value, [node.target]
+            if value is None:
+                continue
+            if _mentions_deadline(value, tainted):
+                for target in targets:
+                    tainted.update(_name_targets(target))
+    return tainted
+
+
+def _holds_annotations(
+    module: ModuleInfo, func: ast.AST, mod: str, cls: Optional[str]
+) -> List[str]:
+    """Canonical lock symbols from ``# holds-lock`` on/above the def."""
+    out: List[str] = []
+    for lineno in (func.lineno, func.lineno - 1):
+        if lineno < 1:
+            continue
+        for match in HOLDS_RE.finditer(module.line(lineno)):
+            name, mode = match.group(1), match.group(2)
+            if cls:
+                sym = f"{mod}.{cls}#{name}"
+            else:
+                sym = f"{mod}#{name}"
+            if mode:
+                sym += f"@{mode}"
+            out.append(sym)
+    return out
+
+
+class _FuncWalker(ast.NodeVisitor):
+    """Walks one function body recording accesses/calls/blocking sites
+    with the lexically-held lock set at each point."""
+
+    def __init__(
+        self,
+        rel: str,
+        mod: str,
+        cls: Optional[str],
+        module_globals: Set[str],
+        tainted: Set[str],
+    ):
+        self.rel = rel
+        self.mod = mod
+        self.cls = cls
+        self.module_globals = module_globals
+        self.tainted = tainted
+        self.held: Set[str] = set()
+        self.sticky: Set[str] = set()  # ExitStack.enter_context locks
+        self.aliases: Dict[str, str] = {}
+        self.accesses: List[Access] = []
+        self.calls: List[CallRec] = []
+        self.blocking: List[BlockSite] = []
+
+    # -- lock symbol helpers -------------------------------------------
+
+    def _base_sym(self, expr: ast.AST) -> Optional[str]:
+        if (
+            isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == "self"
+            and self.cls
+        ):
+            return f"{self.mod}.{self.cls}#{expr.attr}"
+        if isinstance(expr, ast.Name):
+            if expr.id in self.aliases:
+                return self.aliases[expr.id]
+            if expr.id in self.module_globals:
+                return f"{self.mod}#{expr.id}"
+        return None
+
+    def _lock_syms(self, expr: ast.AST) -> Set[str]:
+        """Canonical symbols a with-item / enter_context arg acquires."""
+        if isinstance(expr, ast.Call):
+            func = expr.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in RW_ACQUIRERS
+            ):
+                base = self._base_sym(func.value)
+                if base:
+                    return {base + RW_ACQUIRERS[func.attr]}
+            return set()
+        base = self._base_sym(expr)
+        return {base} if base else set()
+
+    def _held_now(self) -> Tuple[str, ...]:
+        return tuple(sorted(self.held | self.sticky))
+
+    # -- recording ------------------------------------------------------
+
+    def _record_access(self, attr: str, kind: str, node: ast.AST) -> None:
+        self.accesses.append(
+            Access(
+                attr=attr,
+                kind=kind,
+                line=node.lineno,
+                col=node.col_offset + 1,
+                locks=self._held_now(),
+            )
+        )
+
+    def _self_attr(self, node: ast.AST) -> Optional[str]:
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+            and self.cls
+        ):
+            return node.attr
+        return None
+
+    # -- statements -----------------------------------------------------
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        # Alias tracking: ``lk = self._lock`` (single Name target only;
+        # anything fancier falls back to not-a-lock).
+        if len(node.targets) == 1 and isinstance(node.targets[0], ast.Name):
+            sym = self._base_sym(node.value)
+            if sym is not None:
+                self.aliases[node.targets[0].id] = sym
+            else:
+                self.aliases.pop(node.targets[0].id, None)
+        self.visit(node.value)
+        for target in node.targets:
+            self.visit(target)
+
+    def visit_With(self, node: ast.With) -> None:
+        acquired: Set[str] = set()
+        for item in node.items:
+            acquired |= self._lock_syms(item.context_expr)
+            self.visit(item.context_expr)
+        added = acquired - self.held
+        self.held |= added
+        for stmt in node.body:
+            self.visit(stmt)
+        self.held -= added
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        pass  # nested defs are extracted as their own summaries
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        pass
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        pass
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        pass  # runs later, not under the current lock set
+
+    # -- expressions ----------------------------------------------------
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        attr = self._self_attr(node)
+        if attr is not None:
+            kind = (
+                "write"
+                if isinstance(node.ctx, (ast.Store, ast.Del))
+                else "read"
+            )
+            self._record_access(attr, kind, node)
+        self.generic_visit(node)
+
+    def visit_Subscript(self, node: ast.Subscript) -> None:
+        # ``self._pending[k] = v`` / ``del self._pending[k]``: the inner
+        # attribute has Load ctx but the container is being mutated.
+        attr = self._self_attr(node.value)
+        if attr is not None and isinstance(node.ctx, (ast.Store, ast.Del)):
+            self._record_access(attr, "write", node.value)
+            self.visit(node.slice)
+            return
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        attr = self._self_attr(node.target)
+        if attr is not None:
+            self._record_access(attr, "write", node.target)
+            self.visit(node.value)
+            return
+        self.generic_visit(node)
+
+    # -- calls ----------------------------------------------------------
+
+    def _call_form(self, func: ast.AST) -> Optional[Tuple[str, str]]:
+        if isinstance(func, ast.Name):
+            return ("ext", func.id)  # resolved against imports later
+        if isinstance(func, ast.Attribute):
+            if isinstance(func.value, ast.Name):
+                if func.value.id == "self":
+                    return ("self", func.attr)
+                return ("dotted", f"{func.value.id}.{func.attr}")
+            return ("method", func.attr)
+        return None
+
+    def _classify_blocking(
+        self, node: ast.Call
+    ) -> Optional[Tuple[str, str]]:
+        func = node.func
+        name = None
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+        if name is None:
+            return None
+        if name == "sleep":
+            return ("sleep", "sleep()")
+        if name == "maybe_inject":
+            point = ""
+            if node.args and isinstance(node.args[0], ast.Constant):
+                point = str(node.args[0].value)
+            # Only latency-class points block; error-class points (e.g.
+            # rtree.query raising TransientError) return immediately.
+            if LATENCY_POINT_RE.search(point):
+                return ("fault", f"fault-injection point '{point}'")
+            return None
+        if name == "get" and isinstance(func, ast.Attribute):
+            if self._is_blocking_receive(node):
+                return ("queue-receive", "blocking '.get()' receive")
+        if name == "join" and isinstance(func, ast.Attribute):
+            recv = func.value
+            recv_name = None
+            if isinstance(recv, ast.Name):
+                recv_name = recv.id
+            elif isinstance(recv, ast.Attribute):
+                recv_name = recv.attr
+            if recv_name and JOINABLE_RE.search(recv_name):
+                return ("process-join", f"'{recv_name}.join()'")
+        return None
+
+    @staticmethod
+    def _is_blocking_receive(node: ast.Call) -> bool:
+        """Mirrors SKY901's queue-receive shape test."""
+        if node.args:
+            first = node.args[0]
+            if not (
+                isinstance(first, ast.Constant) and first.value is True
+            ):
+                return False  # mapping-style .get(key[, default])
+        for kw in node.keywords:
+            if kw.arg == "block":
+                if (
+                    isinstance(kw.value, ast.Constant)
+                    and kw.value.value is False
+                ):
+                    return False
+        return True
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        # ExitStack.enter_context(lock): held until end of function.
+        if isinstance(func, ast.Attribute) and func.attr == "enter_context":
+            if node.args:
+                self.sticky |= self._lock_syms(node.args[0])
+        blocking = self._classify_blocking(node)
+        if blocking is not None:
+            kind, detail = blocking
+            self.blocking.append(
+                BlockSite(
+                    line=node.lineno,
+                    col=node.col_offset + 1,
+                    kind=kind,
+                    detail=detail,
+                    locks=self._held_now(),
+                )
+            )
+        form = self._call_form(func)
+        if form is not None and form[1] in FAULT_INTRINSICS:
+            # Modeled by the site classification above: whether the
+            # *point* is latency-class decides blocking, not the
+            # generic implementation (which sleeps only for those).
+            form = None
+        if form is not None and form[1] not in RW_ACQUIRERS:
+            rpc = (
+                _is_shard_module(self.rel)
+                and isinstance(func, ast.Attribute)
+                and func.attr in RPC_METHODS
+                and not (
+                    isinstance(func.value, ast.Name)
+                    and func.value.id == "self"
+                )
+            )
+            self.calls.append(
+                CallRec(
+                    line=node.lineno,
+                    col=node.col_offset + 1,
+                    form=form,
+                    locks=self._held_now(),
+                    rpc=rpc,
+                    nargs=len(node.args),
+                    star=any(
+                        isinstance(a, ast.Starred) for a in node.args
+                    ),
+                    pos_deadline=tuple(
+                        _mentions_deadline(a, self.tainted)
+                        for a in node.args
+                        if not isinstance(a, ast.Starred)
+                    ),
+                    kw_deadline=tuple(
+                        (kw.arg, _mentions_deadline(kw.value, self.tainted))
+                        for kw in node.keywords
+                        if kw.arg is not None
+                    ),
+                    kwstar=any(
+                        kw.arg is None for kw in node.keywords
+                    ),
+                )
+            )
+        # Visit receiver and arguments, but not the method name itself
+        # (``self._send_sync(...)`` is a call, not a read of _send_sync).
+        if isinstance(func, ast.Attribute):
+            self.visit(func.value)
+        else:
+            self.visit(func)
+        for arg in node.args:
+            self.visit(arg)
+        for kw in node.keywords:
+            self.visit(kw.value)
+
+    def generic_visit(self, node: ast.AST) -> None:
+        # Receivers of mutating method calls count as writes; detect via
+        # the Call special-case above, so plain traversal here.
+        super().generic_visit(node)
+
+
+def _extract_function(
+    module: ModuleInfo,
+    func: ast.AST,
+    qname: str,
+    cls: Optional[str],
+    mod: str,
+    module_globals: Set[str],
+) -> FunctionSummary:
+    args = func.args
+    pos_params = [a.arg for a in args.posonlyargs] + [
+        a.arg for a in args.args
+    ]
+    kwonly = [a.arg for a in args.kwonlyargs]
+    all_params = list(pos_params) + kwonly
+    if args.vararg:
+        all_params.append(args.vararg.arg)
+    tainted = _tainted_locals(func, all_params)
+    walker = _FuncWalker(module.rel, mod, cls, module_globals, tainted)
+    for stmt in func.body:
+        walker.visit(stmt)
+    # Receiver-mutation pass: re-tag reads that are receivers of
+    # mutating method calls as writes.
+    mutated = _mutated_attr_sites(func)
+    accesses = [
+        Access(a.attr, "write", a.line, a.col, a.locks)
+        if (a.line, a.col) in mutated and a.kind == "read"
+        else a
+        for a in walker.accesses
+    ]
+    deadline_params = tuple(
+        p for p in (pos_params + kwonly) if DEADLINE_RE.search(p)
+    )
+    return FunctionSummary(
+        qname=qname,
+        name=func.name,
+        cls=cls,
+        line=func.lineno,
+        is_ctor=cls is not None and func.name in CONSTRUCTORS,
+        params=tuple(pos_params),
+        kwonly=tuple(kwonly),
+        deadline_params=deadline_params,
+        holds=tuple(_holds_annotations(module, func, mod, cls)),
+        rpc_primitive=(
+            _is_shard_module(module.rel)
+            and cls is not None
+            and func.name in RPC_METHODS
+        ),
+        accesses=accesses,
+        calls=walker.calls,
+        blocking=walker.blocking,
+    )
+
+
+def _mutated_attr_sites(func: ast.AST) -> Set[Tuple[int, int]]:
+    """(line, col) of ``self.X`` receivers of mutating method calls."""
+    sites: Set[Tuple[int, int]] = set()
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Call):
+            continue
+        f = node.func
+        if not (isinstance(f, ast.Attribute) and f.attr in MUTATORS):
+            continue
+        recv = f.value
+        if (
+            isinstance(recv, ast.Attribute)
+            and isinstance(recv.value, ast.Name)
+            and recv.value.id == "self"
+        ):
+            sites.add((recv.lineno, recv.col_offset + 1))
+    return sites
+
+
+def _class_guards(
+    module: ModuleInfo, node: ast.ClassDef, mod: str
+) -> Dict[str, Tuple[str, int]]:
+    """``# guarded-by`` declarations on self-attribute assignments."""
+    guards: Dict[str, Tuple[str, int]] = {}
+    for sub in ast.walk(node):
+        if not isinstance(sub, (ast.Assign, ast.AnnAssign)):
+            continue
+        end = getattr(sub, "end_lineno", None) or sub.lineno
+        lock = None
+        line = sub.lineno
+        for lineno in range(sub.lineno, end + 1):
+            match = GUARDED_RE.search(module.line(lineno))
+            if match:
+                lock, line = match.group(1), sub.lineno
+                break
+        if lock is None:
+            continue
+        targets = (
+            sub.targets if isinstance(sub, ast.Assign) else [sub.target]
+        )
+        for target in targets:
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                guards[target.attr] = (
+                    f"{mod}.{node.name}#{lock}", line
+                )
+    return guards
+
+
+def _iter_defs(body, prefix: str, cls: Optional[str]):
+    """Yield (func_node, qname, cls) for defs and their nested defs."""
+    for node in body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            qname = f"{prefix}.{node.name}"
+            yield node, qname, cls
+            yield from _iter_defs(
+                node.body, f"{qname}.<locals>", cls
+            )
+
+
+def extract_module(module: ModuleInfo) -> ModuleSummary:
+    mod = module_name(module.rel)
+    imports = _collect_imports(module.tree, mod)
+    module_globals = _module_globals(module.tree)
+    func_names: List[str] = []
+    functions: List[FunctionSummary] = []
+    classes: Dict[str, ClassSummary] = {}
+
+    for node, qname, cls in _iter_defs(module.tree.body, mod, None):
+        if qname == f"{mod}.{node.name}":
+            func_names.append(node.name)
+        functions.append(
+            _extract_function(
+                module, node, qname, cls, mod, module_globals
+            )
+        )
+
+    for node in module.tree.body:
+        if not isinstance(node, ast.ClassDef):
+            continue
+        cls_prefix = f"{mod}.{node.name}"
+        methods: List[str] = []
+        for sub, qname, _ in _iter_defs(
+            node.body, cls_prefix, node.name
+        ):
+            if qname == f"{cls_prefix}.{sub.name}":
+                methods.append(sub.name)
+            functions.append(
+                _extract_function(
+                    module, sub, qname, node.name, mod, module_globals
+                )
+            )
+        # Class lock usage: symbols acquired anywhere in its methods.
+        cls_locks: Set[str] = set()
+        for fn in functions:
+            if fn.cls != node.name or not fn.qname.startswith(cls_prefix):
+                continue
+            for rec in fn.accesses:
+                cls_locks.update(rec.locks)
+            for rec in fn.calls:
+                cls_locks.update(rec.locks)
+            for rec in fn.blocking:
+                cls_locks.update(rec.locks)
+            cls_locks.update(fn.holds)
+        own_prefix = f"{cls_prefix}#"
+        lock_attrs = {
+            sym[len(own_prefix):].split("@")[0]
+            for sym in cls_locks
+            if sym.startswith(own_prefix)
+        }
+        classes[node.name] = ClassSummary(
+            name=node.name,
+            line=node.lineno,
+            methods=tuple(methods),
+            locks=tuple(sorted(cls_locks)),
+            lock_attrs=tuple(sorted(lock_attrs)),
+            guards=_class_guards(module, node, mod),
+        )
+
+    summary = ModuleSummary(
+        rel=module.rel.replace("\\", "/"),
+        mod=mod,
+        imports=imports,
+        func_names=tuple(func_names),
+        functions=functions,
+        classes=classes,
+    )
+    _normalize_bare_rw_holds(summary)
+    return summary
+
+
+def _normalize_bare_rw_holds(summary: ModuleSummary) -> None:
+    """``# holds-lock: _rw`` on an rw lock means the write mode."""
+    rw_bases: Set[str] = set()
+    for cls in summary.classes.values():
+        for sym in cls.locks:
+            if "@" in sym:
+                rw_bases.add(sym.split("@")[0])
+    for fn in summary.functions:
+        if not fn.holds:
+            continue
+        fn.holds = tuple(
+            sym + "@write" if "@" not in sym and sym in rw_bases else sym
+            for sym in fn.holds
+        )

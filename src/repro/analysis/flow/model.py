@@ -1,0 +1,320 @@
+"""Serializable summary records for the interprocedural flow analysis.
+
+Everything in this module is pure data: plain dataclasses of strings,
+ints, and tuples, with lossless ``to_dict``/``from_dict`` round-trips.
+That property is load-bearing — summaries are cached to disk keyed by
+file content hash (:mod:`repro.analysis.flow.cache`), so a warm
+``skyup lint --deep`` deserializes these records instead of re-walking
+the AST.
+
+Lock symbols
+------------
+
+Locks are tracked as canonical strings so that the same lock object
+compares equal across functions, classes, and modules:
+
+``repro.shard.engine.ShardedUpgradeEngine#_rw@write``
+    instance attribute ``self._rw`` of that class, held in write mode
+    (``@read`` for the shared mode; no suffix for plain mutexes).
+
+``repro.core.registry#_LOCK``
+    a module-level lock object.
+
+Write mode implies read mode; callers should compare held-sets through
+:func:`expand_locks` which performs that closure.  ``@read`` symbols
+are *shared* (non-exclusive): rules that care about exclusivity (e.g.
+blocking-under-lock) filter them out via :func:`is_exclusive`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+#: Bump when the summary layout or extraction semantics change; the
+#: cache includes this in every key so stale summaries self-invalidate.
+SCHEMA_VERSION = 1
+
+READ_SUFFIX = "@read"
+WRITE_SUFFIX = "@write"
+
+
+def lock_base(sym: str) -> str:
+    """``Cls#_rw@write`` -> ``Cls#_rw`` (strip the mode suffix)."""
+    for suffix in (READ_SUFFIX, WRITE_SUFFIX):
+        if sym.endswith(suffix):
+            return sym[: -len(suffix)]
+    return sym
+
+
+def is_exclusive(sym: str) -> bool:
+    """True unless the symbol is a shared (read-mode) acquisition."""
+    return not sym.endswith(READ_SUFFIX)
+
+
+def expand_locks(locks: Iterable[str]) -> frozenset:
+    """Close a held-set under "write implies read"."""
+    out = set()
+    for sym in locks:
+        out.add(sym)
+        if sym.endswith(WRITE_SUFFIX):
+            out.add(lock_base(sym) + READ_SUFFIX)
+    return frozenset(out)
+
+
+def short_lock(sym: str) -> str:
+    """Human-readable form for messages: ``_rw[write]``, ``_lock``."""
+    name = sym.rsplit("#", 1)[-1]
+    for suffix, mode in ((READ_SUFFIX, "read"), (WRITE_SUFFIX, "write")):
+        if name.endswith(suffix):
+            return f"{name[:-len(suffix)]}[{mode}]"
+    return name
+
+
+@dataclass(frozen=True)
+class Access:
+    """One read or write of ``self.<attr>`` inside a function."""
+
+    attr: str
+    kind: str  # "read" | "write"
+    line: int
+    col: int
+    locks: Tuple[str, ...]  # lexically held at the access site
+
+    def to_dict(self) -> dict:
+        return {
+            "attr": self.attr,
+            "kind": self.kind,
+            "line": self.line,
+            "col": self.col,
+            "locks": list(self.locks),
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "Access":
+        return cls(
+            attr=d["attr"],
+            kind=d["kind"],
+            line=d["line"],
+            col=d["col"],
+            locks=tuple(d["locks"]),
+        )
+
+
+@dataclass(frozen=True)
+class CallRec:
+    """One call expression, with enough shape to resolve it later.
+
+    ``form`` is a 2-tuple describing how the callee was named:
+
+    ``("local", f)``   — bare name defined at module level here
+    ``("self", m)``    — ``self.m(...)`` inside a class
+    ``("ext", dotted)`` — imported name / dotted module attribute
+    ``("method", m)``  — ``obj.m(...)`` on an unknown receiver
+
+    Deadline binding is pre-digested at extraction time (the extractor
+    knows the function's tainted locals): ``pos_deadline[i]`` says
+    whether positional argument *i* mentions a deadline-ish value, and
+    ``kw_deadline`` the same per keyword.  ``star``/``kwstar`` record
+    ``*args``/``**kw`` splats, which make the binding unknowable and
+    therefore never reported.
+    """
+
+    line: int
+    col: int
+    form: Tuple[str, str]
+    locks: Tuple[str, ...]
+    rpc: bool = False  # textual shard-RPC site (.submit/.request)
+    nargs: int = 0
+    star: bool = False
+    pos_deadline: Tuple[bool, ...] = ()
+    kw_deadline: Tuple[Tuple[str, bool], ...] = ()
+    kwstar: bool = False
+
+    def to_dict(self) -> dict:
+        return {
+            "line": self.line,
+            "col": self.col,
+            "form": list(self.form),
+            "locks": list(self.locks),
+            "rpc": self.rpc,
+            "nargs": self.nargs,
+            "star": self.star,
+            "pos_deadline": list(self.pos_deadline),
+            "kw_deadline": [list(kv) for kv in self.kw_deadline],
+            "kwstar": self.kwstar,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "CallRec":
+        return cls(
+            line=d["line"],
+            col=d["col"],
+            form=(d["form"][0], d["form"][1]),
+            locks=tuple(d["locks"]),
+            rpc=d["rpc"],
+            nargs=d["nargs"],
+            star=d["star"],
+            pos_deadline=tuple(d["pos_deadline"]),
+            kw_deadline=tuple((k, v) for k, v in d["kw_deadline"]),
+            kwstar=d["kwstar"],
+        )
+
+
+@dataclass(frozen=True)
+class BlockSite:
+    """A directly-blocking primitive: queue receive, join, sleep, ..."""
+
+    line: int
+    col: int
+    kind: str  # "queue-receive" | "process-join" | "sleep" | "fault"
+    detail: str
+    locks: Tuple[str, ...]
+
+    def to_dict(self) -> dict:
+        return {
+            "line": self.line,
+            "col": self.col,
+            "kind": self.kind,
+            "detail": self.detail,
+            "locks": list(self.locks),
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "BlockSite":
+        return cls(
+            line=d["line"],
+            col=d["col"],
+            kind=d["kind"],
+            detail=d["detail"],
+            locks=tuple(d["locks"]),
+        )
+
+
+@dataclass
+class FunctionSummary:
+    """Everything the interprocedural pass needs about one function."""
+
+    qname: str  # repro.shard.engine.ShardedUpgradeEngine._scatter
+    name: str
+    cls: Optional[str]  # owning class name, None for module level
+    line: int
+    is_ctor: bool
+    params: Tuple[str, ...]  # positional parameters, in order
+    kwonly: Tuple[str, ...]
+    deadline_params: Tuple[str, ...]
+    holds: Tuple[str, ...]  # canonical locks from ``# holds-lock:``
+    rpc_primitive: bool  # e.g. ShardProcess.submit/request
+    accesses: List[Access] = field(default_factory=list)
+    calls: List[CallRec] = field(default_factory=list)
+    blocking: List[BlockSite] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "qname": self.qname,
+            "name": self.name,
+            "cls": self.cls,
+            "line": self.line,
+            "is_ctor": self.is_ctor,
+            "params": list(self.params),
+            "kwonly": list(self.kwonly),
+            "deadline_params": list(self.deadline_params),
+            "holds": list(self.holds),
+            "rpc_primitive": self.rpc_primitive,
+            "accesses": [a.to_dict() for a in self.accesses],
+            "calls": [c.to_dict() for c in self.calls],
+            "blocking": [b.to_dict() for b in self.blocking],
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "FunctionSummary":
+        return cls(
+            qname=d["qname"],
+            name=d["name"],
+            cls=d["cls"],
+            line=d["line"],
+            is_ctor=d["is_ctor"],
+            params=tuple(d["params"]),
+            kwonly=tuple(d["kwonly"]),
+            deadline_params=tuple(d["deadline_params"]),
+            holds=tuple(d["holds"]),
+            rpc_primitive=d["rpc_primitive"],
+            accesses=[Access.from_dict(a) for a in d["accesses"]],
+            calls=[CallRec.from_dict(c) for c in d["calls"]],
+            blocking=[BlockSite.from_dict(b) for b in d["blocking"]],
+        )
+
+
+@dataclass
+class ClassSummary:
+    """Per-class facts: methods, lock attributes, declared guards."""
+
+    name: str
+    line: int
+    methods: Tuple[str, ...]
+    locks: Tuple[str, ...]  # canonical lock symbols acquired anywhere
+    lock_attrs: Tuple[str, ...]  # attr names that *are* locks
+    # attr -> (declared guard symbol, annotation line)
+    guards: Dict[str, Tuple[str, int]] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "line": self.line,
+            "methods": list(self.methods),
+            "locks": list(self.locks),
+            "lock_attrs": list(self.lock_attrs),
+            "guards": {k: list(v) for k, v in self.guards.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ClassSummary":
+        return cls(
+            name=d["name"],
+            line=d["line"],
+            methods=tuple(d["methods"]),
+            locks=tuple(d["locks"]),
+            lock_attrs=tuple(d["lock_attrs"]),
+            guards={k: (v[0], v[1]) for k, v in d["guards"].items()},
+        )
+
+
+@dataclass
+class ModuleSummary:
+    """All summaries for one source file, plus its import table."""
+
+    rel: str  # src/repro/shard/engine.py
+    mod: str  # repro.shard.engine
+    imports: Dict[str, str]  # local alias -> dotted target
+    func_names: Tuple[str, ...]  # module-level function names
+    functions: List[FunctionSummary] = field(default_factory=list)
+    classes: Dict[str, ClassSummary] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": SCHEMA_VERSION,
+            "rel": self.rel,
+            "mod": self.mod,
+            "imports": dict(self.imports),
+            "func_names": list(self.func_names),
+            "functions": [f.to_dict() for f in self.functions],
+            "classes": {k: c.to_dict() for k, c in self.classes.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ModuleSummary":
+        if d.get("schema") != SCHEMA_VERSION:
+            raise ValueError("summary schema mismatch")
+        return cls(
+            rel=d["rel"],
+            mod=d["mod"],
+            imports=dict(d["imports"]),
+            func_names=tuple(d["func_names"]),
+            functions=[
+                FunctionSummary.from_dict(f) for f in d["functions"]
+            ],
+            classes={
+                k: ClassSummary.from_dict(c)
+                for k, c in d["classes"].items()
+            },
+        )

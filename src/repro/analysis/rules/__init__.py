@@ -18,6 +18,9 @@ time).  Rule ids are stable and grouped by hundreds:
   (:mod:`repro.analysis.rules.forksafety`)
 * ``SKY9xx`` — blocking-receive discipline of the shard tier
   (:mod:`repro.analysis.rules.blocking`)
+* ``SKY10xx`` — interprocedural concurrency analysis (``--deep``):
+  guard inference, blocking-under-lock, deadline propagation
+  (:mod:`repro.analysis.rules.flowrules`)
 """
 
 from __future__ import annotations
@@ -25,6 +28,7 @@ from __future__ import annotations
 from repro.analysis.rules import (  # noqa: F401  (registration side effect)
     blocking,
     determinism,
+    flowrules,
     forksafety,
     hotpath,
     injection,
@@ -37,6 +41,7 @@ from repro.analysis.rules import (  # noqa: F401  (registration side effect)
 __all__ = [
     "blocking",
     "determinism",
+    "flowrules",
     "forksafety",
     "hotpath",
     "injection",

@@ -1,0 +1,401 @@
+"""SKY1001-1005 — the interprocedural concurrency rule family.
+
+All five rules share one whole-program analysis
+(:mod:`repro.analysis.flow`), memoized on the :class:`LintContext` and
+persisted in the summary cache, so selecting any subset costs one
+fixpoint.  They are registered ``deep=True``: ``skyup lint`` skips them
+unless ``--deep`` (or an explicit ``--select``) asks.
+
+SKY1001  unguarded access to an attribute whose guard was inferred from
+         the majority of its accesses (no lock held at all).
+SKY1002  wrong-lock access: some lock is held, but not the inferred
+         guard in an adequate mode (a write under the read side of an
+         rw lock lands here).
+SKY1003  annotation drift, both directions: a ``# guarded-by`` that
+         disagrees with the inferred guard (stale), and a perfectly
+         consistent attribute with no annotation at all (missing).
+SKY1004  blocking-under-lock, the interprocedural SKY901: a queue
+         receive, process join, sleep, or fault-injection point
+         reachable through any call chain while an *exclusive* lock is
+         held (read-side holds are exempt — the sharded read path
+         deliberately scatters under the catalog read lock).
+SKY1005  deadline-propagation: a call into an RPC-reaching,
+         deadline-accepting function must bind the deadline parameter
+         to a deadline-derived value; omitting it (or passing a
+         non-deadline constant) drops the budget on the floor.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterator, List
+
+from repro.analysis.engine import Finding, LintContext, rule
+from repro.analysis.flow.analysis import (
+    MIN_SUGGEST,
+    FlowFacts,
+    analyze,
+)
+from repro.analysis.flow.cache import (
+    FlowCache,
+    source_hash,
+    tree_key,
+)
+from repro.analysis.flow.extract import extract_module
+from repro.analysis.flow.model import (
+    CallRec,
+    FunctionSummary,
+    expand_locks,
+    is_exclusive,
+    lock_base,
+    short_lock,
+)
+
+_MEMO_ATTR = "_flow_findings_by_rule"
+
+
+def _short_fn(facts: FlowFacts, qname: str) -> str:
+    msum = facts.graph.module_of.get(qname)
+    if msum is not None and qname.startswith(msum.mod + "."):
+        return qname[len(msum.mod) + 1:]
+    return qname
+
+
+def _held_short(locks) -> str:
+    return ", ".join(sorted(short_lock(sym) for sym in locks))
+
+
+def _race_findings(facts: FlowFacts) -> List[Finding]:
+    out: List[Finding] = []
+    for fact in facts.attrs:
+        if fact.declared is not None or fact.inferred is None:
+            continue
+        total = len(fact.accesses)
+        guard = short_lock(fact.inferred)
+        for access, qname, held in fact.violations:
+            where = _short_fn(facts, qname)
+            base = (
+                f"'{fact.cls}.{fact.attr}' is guarded by '{guard}' at "
+                f"{fact.guarded_count}/{total} accesses, but this "
+                f"{access.kind} in {where}"
+            )
+            if not held:
+                out.append(
+                    Finding(
+                        rule="SKY1001",
+                        path=fact.module_rel,
+                        line=access.line,
+                        col=access.col,
+                        message=f"{base} holds no lock",
+                    )
+                )
+            else:
+                out.append(
+                    Finding(
+                        rule="SKY1002",
+                        path=fact.module_rel,
+                        line=access.line,
+                        col=access.col,
+                        message=(
+                            f"{base} holds {{{_held_short(held)}}} — "
+                            f"not an adequate mode of '{guard}'"
+                        ),
+                    )
+                )
+    return out
+
+
+def _annotation_findings(facts: FlowFacts) -> List[Finding]:
+    out: List[Finding] = []
+    for fact in facts.attrs:
+        total = len(fact.accesses)
+        if fact.declared is not None:
+            declared_sym, decl_line = fact.declared
+            if fact.inferred is not None and lock_base(
+                declared_sym
+            ) != fact.inferred:
+                out.append(
+                    Finding(
+                        rule="SKY1003",
+                        path=fact.module_rel,
+                        line=decl_line,
+                        col=1,
+                        message=(
+                            f"'{fact.cls}.{fact.attr}' declared "
+                            f"guarded-by '{short_lock(declared_sym)}' "
+                            f"but {fact.guarded_count}/{total} accesses "
+                            f"hold '{short_lock(fact.inferred)}' — "
+                            "stale annotation"
+                        ),
+                    )
+                )
+        elif (
+            fact.inferred is not None
+            and total >= MIN_SUGGEST
+            and fact.guarded_count == total
+        ):
+            first = min(a.line for a, _q, _l in fact.accesses)
+            out.append(
+                Finding(
+                    rule="SKY1003",
+                    path=fact.module_rel,
+                    line=first,
+                    col=1,
+                    message=(
+                        f"'{fact.cls}.{fact.attr}' is consistently "
+                        f"guarded by '{short_lock(fact.inferred)}' "
+                        f"({total}/{total} accesses) but carries no "
+                        "# guarded-by annotation"
+                    ),
+                )
+            )
+    return out
+
+
+def _exclusive_held(fn: FunctionSummary, site_locks) -> List[str]:
+    held = expand_locks(site_locks) | expand_locks(fn.holds)
+    return sorted(sym for sym in held if is_exclusive(sym))
+
+
+def _blocking_findings(facts: FlowFacts) -> List[Finding]:
+    out: List[Finding] = []
+    graph = facts.graph
+    for qname, fn in graph.functions.items():
+        msum = graph.module_of[qname]
+        for site in fn.blocking:
+            held = _exclusive_held(fn, site.locks)
+            if held:
+                out.append(
+                    Finding(
+                        rule="SKY1004",
+                        path=msum.rel,
+                        line=site.line,
+                        col=site.col,
+                        message=(
+                            f"{site.detail} while holding "
+                            f"'{short_lock(held[0])}' in "
+                            f"{_short_fn(facts, qname)}"
+                        ),
+                    )
+                )
+        for rec, callee in graph.outgoing.get(qname, ()):
+            if callee not in facts.blocked:
+                continue
+            held = _exclusive_held(fn, rec.locks)
+            if not held:
+                continue
+            callee_fn = graph.functions[callee]
+            # The callee reports itself when it declares the hold —
+            # one finding at the most actionable frame, not one per
+            # hop of the chain.
+            if any(
+                is_exclusive(sym)
+                for sym in expand_locks(callee_fn.holds)
+            ):
+                continue
+            chain = facts.block_chain(callee)
+            out.append(
+                Finding(
+                    rule="SKY1004",
+                    path=msum.rel,
+                    line=rec.line,
+                    col=rec.col,
+                    message=(
+                        f"call may block ({chain}) while holding "
+                        f"'{short_lock(held[0])}' in "
+                        f"{_short_fn(facts, qname)}"
+                    ),
+                )
+            )
+    return out
+
+
+def _binds_deadline(rec: CallRec, callee: FunctionSummary) -> bool:
+    eff = list(callee.params)
+    if callee.cls is not None and eff and eff[0] in ("self", "cls"):
+        eff = eff[1:]
+    kw = dict(rec.kw_deadline)
+    for param in callee.deadline_params:
+        if param in kw:
+            if kw[param]:
+                return True
+            continue
+        if param in eff:
+            idx = eff.index(param)
+            if idx < len(rec.pos_deadline) and rec.pos_deadline[idx]:
+                return True
+    return False
+
+
+def _has_deadline_material(fn: FunctionSummary) -> bool:
+    if fn.deadline_params:
+        return True
+    for rec in fn.calls:
+        if any(rec.pos_deadline) or any(
+            v for _name, v in rec.kw_deadline
+        ):
+            return True
+    return False
+
+
+def _deadline_findings(facts: FlowFacts) -> List[Finding]:
+    out: List[Finding] = []
+    graph = facts.graph
+    for qname, fn in graph.functions.items():
+        if not _has_deadline_material(fn):
+            continue  # nothing to thread from here
+        msum = graph.module_of[qname]
+        for rec, callee in graph.outgoing.get(qname, ()):
+            target = graph.functions[callee]
+            if not target.deadline_params:
+                continue
+            if callee not in facts.reaches_rpc:
+                continue
+            if rec.star or rec.kwstar:
+                continue  # binding unknowable through a splat
+            if _binds_deadline(rec, target):
+                continue
+            params = ", ".join(
+                f"'{p}'" for p in target.deadline_params
+            )
+            out.append(
+                Finding(
+                    rule="SKY1005",
+                    path=msum.rel,
+                    line=rec.line,
+                    col=rec.col,
+                    message=(
+                        f"call to {_short_fn(facts, callee)}() on an "
+                        f"RPC-reaching path drops the deadline: "
+                        f"{params} not bound to a deadline-derived "
+                        f"value in {_short_fn(facts, qname)}"
+                    ),
+                )
+            )
+    return out
+
+
+def compute_deep_findings(ctx: LintContext) -> Dict[str, List[Finding]]:
+    """All SKY1000-family findings, grouped by rule id (memoized)."""
+    memo = getattr(ctx, _MEMO_ATTR, None)
+    if memo is not None:
+        return memo
+    started = time.perf_counter()
+    cache = FlowCache(ctx.cache_dir)
+    hashes = {m.rel: source_hash(m.source) for m in ctx.modules}
+    key = tree_key(hashes)
+    raw = cache.findings(key)
+    if raw is not None:
+        findings = [
+            Finding(
+                rule=d["rule"],
+                path=d["path"],
+                line=int(d["line"]),
+                col=int(d["col"]),
+                message=d["message"],
+            )
+            for d in raw
+        ]
+        warm = True
+        summary_hits = len(ctx.modules)
+    else:
+        summaries = []
+        for module in ctx.modules:
+            summary = cache.summary(module.rel, hashes[module.rel])
+            if summary is None:
+                summary = extract_module(module)
+                cache.put_summary(
+                    module.rel, hashes[module.rel], summary
+                )
+            summaries.append(summary)
+        facts = analyze(summaries)
+        findings = sorted(
+            set(
+                _race_findings(facts)
+                + _annotation_findings(facts)
+                + _blocking_findings(facts)
+                + _deadline_findings(facts)
+            ),
+            key=lambda f: (f.path, f.line, f.col, f.rule, f.message),
+        )
+        cache.put_findings(
+            key,
+            [
+                {
+                    "rule": f.rule,
+                    "path": f.path,
+                    "line": f.line,
+                    "col": f.col,
+                    "message": f.message,
+                }
+                for f in findings
+            ],
+        )
+        cache.save()
+        warm = False
+        summary_hits = cache.summary_hits
+    ctx.flow_stats = {
+        "warm": warm,
+        "files": len(ctx.modules),
+        "summary_hits": summary_hits,
+        "seconds": time.perf_counter() - started,
+    }
+    memo = {}
+    for finding in findings:
+        memo.setdefault(finding.rule, []).append(finding)
+    setattr(ctx, _MEMO_ATTR, memo)
+    return memo
+
+
+def _yield_rule(ctx: LintContext, rule_id: str) -> Iterator[Finding]:
+    yield from compute_deep_findings(ctx).get(rule_id, [])
+
+
+@rule(
+    "SKY1001",
+    "race-unguarded",
+    "inferred-guard attribute accessed with no lock held",
+    deep=True,
+)
+def check_race_unguarded(ctx: LintContext) -> Iterator[Finding]:
+    yield from _yield_rule(ctx, "SKY1001")
+
+
+@rule(
+    "SKY1002",
+    "race-wrong-lock",
+    "inferred-guard attribute accessed under the wrong lock or mode",
+    deep=True,
+)
+def check_race_wrong_lock(ctx: LintContext) -> Iterator[Finding]:
+    yield from _yield_rule(ctx, "SKY1002")
+
+
+@rule(
+    "SKY1003",
+    "guard-annotation-drift",
+    "guarded-by annotation stale or missing versus inferred facts",
+    deep=True,
+)
+def check_guard_drift(ctx: LintContext) -> Iterator[Finding]:
+    yield from _yield_rule(ctx, "SKY1003")
+
+
+@rule(
+    "SKY1004",
+    "blocking-under-lock",
+    "blocking primitive reachable while an exclusive lock is held",
+    deep=True,
+)
+def check_blocking_under_lock(ctx: LintContext) -> Iterator[Finding]:
+    yield from _yield_rule(ctx, "SKY1004")
+
+
+@rule(
+    "SKY1005",
+    "deadline-propagation",
+    "RPC-reaching call drops the deadline parameter",
+    deep=True,
+)
+def check_deadline_propagation(ctx: LintContext) -> Iterator[Finding]:
+    yield from _yield_rule(ctx, "SKY1005")

@@ -14,7 +14,13 @@ name happens lexically inside a ``with`` block that acquires the named
 lock — ``with self._cond:``, ``with self._lock:``, or the readers-writer
 forms ``with self._rw.read_locked():`` / ``write_locked()`` (any context
 expression that mentions the lock attribute counts, so a wrapper method
-on the lock object is fine).
+on the lock object is fine).  Two common indirections are tracked:
+
+* a local alias of the lock (``lk = self._lock`` followed by
+  ``with lk:``) counts as acquiring the aliased lock;
+* ``stack.enter_context(self._lock)`` on a
+  :class:`contextlib.ExitStack` acquires the lock for the remainder of
+  the function (the stack unwinds at scope exit).
 
 Escape hatches, because lock-discipline is a *convention about call
 sites*, not a whole-program alias analysis:
@@ -89,22 +95,6 @@ def _self_attrs(node: ast.AST) -> Iterator[ast.Attribute]:
             yield sub
 
 
-def _locks_in_with(item: ast.withitem, is_class: bool) -> Set[str]:
-    """Lock names the ``with`` item's context expression mentions."""
-    names: Set[str] = set()
-    for sub in ast.walk(item.context_expr):
-        if is_class:
-            if (
-                isinstance(sub, ast.Attribute)
-                and isinstance(sub.value, ast.Name)
-                and sub.value.id == "self"
-            ):
-                names.add(sub.attr)
-        elif isinstance(sub, ast.Name):
-            names.add(sub.id)
-    return names
-
-
 def _collect_scopes(module: ModuleInfo) -> List[_Scope]:
     scopes: List[_Scope] = []
     module_guarded: Dict[str, Tuple[str, int]] = {}
@@ -161,11 +151,72 @@ class _AccessChecker(ast.NodeVisitor):
         self.func_name = func_name
         self.held = held
         self.findings: List[Finding] = []
+        #: Lock names that can protect this scope's guarded state.
+        self.lock_names: Set[str] = {
+            lock for lock, _decl in scope.guarded.values()
+        }
+        #: Local variable -> lock it aliases (``lk = self._lock``).
+        self.aliases: Dict[str, str] = {}
+
+    def _locks_in_expr(self, expr: ast.AST) -> Set[str]:
+        """Lock names ``expr`` mentions, resolving local aliases."""
+        names: Set[str] = set()
+        for sub in ast.walk(expr):
+            if self.scope.is_class:
+                if (
+                    isinstance(sub, ast.Attribute)
+                    and isinstance(sub.value, ast.Name)
+                    and sub.value.id == "self"
+                ):
+                    names.add(sub.attr)
+                elif isinstance(sub, ast.Name) and sub.id in self.aliases:
+                    names.add(self.aliases[sub.id])
+            elif isinstance(sub, ast.Name):
+                names.add(self.aliases.get(sub.id, sub.id))
+        return names
+
+    def _lock_named_by(self, value: ast.AST) -> Optional[str]:
+        """The scope lock ``value`` evaluates to, if any."""
+        name: Optional[str] = None
+        if isinstance(value, ast.Name):
+            name = self.aliases.get(value.id)
+            if name is None and not self.scope.is_class:
+                name = value.id
+        elif (
+            self.scope.is_class
+            and isinstance(value, ast.Attribute)
+            and isinstance(value.value, ast.Name)
+            and value.value.id == "self"
+        ):
+            name = value.attr
+        if name is not None and name in self.lock_names:
+            return name
+        return None
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        lock = self._lock_named_by(node.value)
+        if lock is not None:
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    self.aliases[target.id] = lock
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        # ExitStack-style acquisition: the context stays entered for the
+        # rest of the function (the stack unwinds at scope exit), so the
+        # lock is held from here on — never popped by a with-block exit.
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr == "enter_context"
+            and node.args
+        ):
+            self.held |= self._locks_in_expr(node.args[0])
+        self.generic_visit(node)
 
     def visit_With(self, node: ast.With) -> None:
         acquired: Set[str] = set()
         for item in node.items:
-            acquired |= _locks_in_with(item, self.scope.is_class)
+            acquired |= self._locks_in_expr(item.context_expr)
         added = acquired - self.held
         self.held |= added
         self.generic_visit(node)

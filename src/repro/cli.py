@@ -462,13 +462,33 @@ def build_parser() -> argparse.ArgumentParser:
         "--format",
         dest="fmt",
         default="text",
-        choices=["text", "json"],
-        help="report format (default: text)",
+        choices=["text", "json", "github"],
+        help=(
+            "report format; 'github' emits ::error workflow "
+            "annotations for CI (default: text)"
+        ),
     )
     lint.add_argument(
         "--root",
         default=".",
         help="repository root containing src/repro (default: cwd)",
+    )
+    lint.add_argument(
+        "--deep",
+        action="store_true",
+        help=(
+            "also run the interprocedural SKY1000 rules (lock-set "
+            "dataflow, guard inference, deadline propagation)"
+        ),
+    )
+    lint.add_argument(
+        "--cache-dir",
+        default=".skyup-cache",
+        metavar="DIR",
+        help=(
+            "summary-cache directory for --deep, relative to --root "
+            "(default: .skyup-cache; 'none' disables caching)"
+        ),
     )
     lint.add_argument(
         "--baseline",
@@ -907,6 +927,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     from pathlib import Path
 
     from repro.analysis.engine import (
+        format_github,
         format_json,
         format_text,
         iter_rules,
@@ -918,7 +939,8 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 
     if args.list_rules:
         for info in iter_rules():
-            print(f"{info.rule_id}  {info.name:28s} {info.doc}")
+            tag = " [deep]" if info.deep else ""
+            print(f"{info.rule_id}  {info.name:28s} {info.doc}{tag}")
         return 0
     select = None
     if args.select:
@@ -929,21 +951,46 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     baseline_path = (
         root / args.baseline if args.baseline is not None else None
     )
+    cache_dir = None
+    if args.deep and args.cache_dir and args.cache_dir != "none":
+        cache_dir = root / args.cache_dir
     try:
         baseline = None
         if baseline_path is not None and not args.update_baseline:
             baseline = load_baseline(baseline_path)
-        findings = run_lint(root, select=select, baseline=baseline)
+        ctx_out: list = []
+        findings = run_lint(
+            root,
+            select=select,
+            baseline=baseline,
+            deep=args.deep,
+            cache_dir=cache_dir,
+            ctx_out=ctx_out,
+        )
     except ConfigurationError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    stats = ctx_out[0].flow_stats if ctx_out else {}
+    if stats:
+        temp = "warm" if stats.get("warm") else "cold"
+        print(
+            f"[deep: {temp} cache, "
+            f"{stats.get('summary_hits', 0)}/{stats.get('files', 0)} "
+            f"file summaries reused, "
+            f"{stats.get('seconds', 0.0):.2f}s analysis]",
+            file=sys.stderr,
+        )
     if args.update_baseline:
         target = baseline_path or root / "lint-baseline.json"
         save_baseline(target, findings)
         print(f"[baseline of {len(findings)} finding(s) written to {target}]")
         return 0
-    print(format_json(findings) if args.fmt == "json" else
-          format_text(findings))
+    if args.fmt == "json":
+        print(format_json(findings))
+    elif args.fmt == "github":
+        print(format_github(findings))
+    else:
+        print(format_text(findings))
     return 1 if findings else 0
 
 

@@ -170,9 +170,9 @@ class Planner:
         self.misestimate_ratio = misestimate_ratio
         self.misestimate_patience = misestimate_patience
         self.refit_window = refit_window
-        self.vector_jl_from = vector_jl_from
-        self.version = 0
-        self.calibrated_cutover = False
+        self.vector_jl_from = vector_jl_from  # guarded-by: _lock
+        self.version = 0  # guarded-by: _lock
+        self.calibrated_cutover = False  # guarded-by: _lock
         self._lock = threading.Lock()
         self._health: Dict[str, _PlanHealth] = {}
         self._samples: Dict[str, List[Tuple[Tuple[float, ...], float]]] = {}
@@ -181,6 +181,7 @@ class Planner:
 
     # -- planning ----------------------------------------------------------
 
+    # holds-lock: _lock
     def candidates(self, logical: LogicalPlan) -> List[PhysicalPlan]:
         """The physical alternatives enumerated for ``logical``."""
         plans = []
@@ -286,7 +287,7 @@ class Planner:
                 ):
                     self._refit_locked(family)
 
-    def _refit_locked(self, family: str) -> None:
+    def _refit_locked(self, family: str) -> None:  # holds-lock: _lock
         samples = self._samples[family][-4 * self.refit_window:]
         features = [s[0] for s in samples]
         runtimes = [s[1] for s in samples]
@@ -333,7 +334,7 @@ class Planner:
             self.vector_jl_from = max(1, crossover)
             self.calibrated_cutover = True
             self.version += 1
-        return self.vector_jl_from
+            return self.vector_jl_from
 
     # -- introspection -----------------------------------------------------
 

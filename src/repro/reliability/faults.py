@@ -174,8 +174,8 @@ class FaultInjector:
         self._specs = plan.specs()
         self._rng = random.Random(plan.seed)
         self._lock = threading.Lock()
-        self._reached: Dict[str, int] = {}
-        self._fired: Dict[str, int] = {}
+        self._reached: Dict[str, int] = {}  # guarded-by: _lock
+        self._fired: Dict[str, int] = {}  # guarded-by: _lock
 
     def _should_fire(self, point: str, spec: FaultSpec) -> bool:
         with self._lock:

@@ -138,15 +138,15 @@ class ShardProcess:
         self._spec_factory = spec_factory
         self._start_timeout_s = start_timeout_s
         self._lock = threading.Lock()
-        self._req_ids = itertools.count()
-        self._pending: Dict[int, PendingReply] = {}
-        self._generation = 0
-        self._closing = False
-        self._respawning = False
-        self._dead: Optional[str] = None
-        self._proc = None
-        self._cmd_q = None
-        self._resp_q = None
+        self._req_ids = itertools.count()  # guarded-by: _lock
+        self._pending: Dict[int, PendingReply] = {}  # guarded-by: _lock
+        self._generation = 0  # guarded-by: _lock
+        self._closing = False  # guarded-by: _lock
+        self._respawning = False  # guarded-by: _lock
+        self._dead: Optional[str] = None  # guarded-by: _lock
+        self._proc = None  # guarded-by: _lock
+        self._cmd_q = None  # guarded-by: _lock
+        self._resp_q = None  # guarded-by: _lock
         self.crashes = 0
         self.respawns = 0
 

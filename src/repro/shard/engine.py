@@ -168,11 +168,11 @@ class ShardedUpgradeEngine:
         buckets = partition_members(
             dict(zip(cids, cpoints)), self.n_shards
         )
-        self._shard_members: List[Dict[int, Point]] = [
+        self._shard_members: List[Dict[int, Point]] = [  # guarded-by: _rw
             dict(zip(ids, points)) for ids, points in buckets
         ]
-        self._shard_epochs: List[int] = [0] * self.n_shards
-        self._shard_blocks: List[SharedBlock] = []
+        self._shard_epochs: List[int] = [0] * self.n_shards  # guarded-by: _rw
+        self._shard_blocks: List[SharedBlock] = []  # guarded-by: _rw
         for shard, (ids, points) in enumerate(buckets):
             block = SharedBlock.create(
                 self._segment_name(),
@@ -182,10 +182,10 @@ class ShardedUpgradeEngine:
             block.publish(points, ids)
             self._shard_blocks.append(block)
         pids, ppoints = session.products_by_id()
-        self._product_members: Dict[int, Point] = dict(
+        self._product_members: Dict[int, Point] = dict(  # guarded-by: _rw
             zip(pids, ppoints)
         )
-        self._product_block = SharedBlock.create(
+        self._product_block = SharedBlock.create(  # guarded-by: _rw
             self._segment_name(),
             session.dims,
             padded_capacity(len(pids)),
@@ -244,13 +244,18 @@ class ShardedUpgradeEngine:
             shards = shards_of_process(
                 proc, self.n_shards, self.n_processes
             )
+            # Benign race: the respawn supervisor reads the *current*
+            # specs without the catalog lock.  A read torn against a
+            # concurrent republish is reconciled by the idempotent
+            # incremental op / reload the mutator sends afterwards.
             return ShardSpec(
                 proc=proc,
                 shards=tuple(shards),
                 competitor_specs={
+                    # skyup: ignore[SKY101]
                     s: self._shard_blocks[s].spec for s in shards
                 },
-                product_spec=self._product_block.spec,
+                product_spec=self._product_block.spec,  # skyup: ignore[SKY101]
                 dims=self.session.dims,
                 cost_model=self.session.cost_model,
                 bound=self.session.bound,
@@ -264,7 +269,7 @@ class ShardedUpgradeEngine:
         return factory
 
     @property
-    def epoch_vector(self) -> Tuple[int, ...]:
+    def epoch_vector(self) -> Tuple[int, ...]:  # holds-lock: _rw[read]
         """``(e_0, …, e_{S-1}, product_epoch)`` — the cache epoch."""
         return (*self._shard_epochs, self.session.product_epoch)
 
@@ -284,11 +289,14 @@ class ShardedUpgradeEngine:
         return stuck
 
     def _teardown_shared_state(self) -> None:
+        # Lock-free on purpose: runs after the pool and every worker are
+        # stopped, so no mutator or reader can be concurrent with it.
+        # skyup: ignore[SKY101]
         for block in self._shard_blocks:
             block.close()
             block.unlink()
-        self._product_block.close()
-        self._product_block.unlink()
+        self._product_block.close()  # skyup: ignore[SKY101]
+        self._product_block.unlink()  # skyup: ignore[SKY101]
 
     def __enter__(self) -> "ShardedUpgradeEngine":
         return self
@@ -323,6 +331,7 @@ class ShardedUpgradeEngine:
         with self._rw.write_locked():
             self.session.commit_upgrade(result)
 
+    # holds-lock: _rw[write]
     def _on_mutation(self, event: MutationEvent) -> None:
         """Precise invalidation + shard synchronization.
 
@@ -391,6 +400,7 @@ class ShardedUpgradeEngine:
                         (event.record_id, old, new),
                     )
 
+    # holds-lock: _rw[write]
     def _republish_shard(self, shard: int) -> bool:
         """Rewrite the shard's segment; True if it had to grow (reload).
 
@@ -420,6 +430,7 @@ class ShardedUpgradeEngine:
         block.unlink()
         return True
 
+    # holds-lock: _rw[write]
     def _republish_product(self) -> bool:
         """Rewrite the product segment; True if it grew (broadcast reload)."""
         ids = sorted(self._product_members)
@@ -441,6 +452,7 @@ class ShardedUpgradeEngine:
         block.unlink()
         return True
 
+    # holds-lock: _rw[write]
     def _send_sync(
         self, handle: ShardProcess, op: str, *args: object
     ) -> None:
@@ -464,11 +476,18 @@ class ShardedUpgradeEngine:
             if remaining <= 0:
                 return
             try:
+                # Deliberate blocking-under-lock: catalog mutations are
+                # exclusive by design, and the sync sender must wait out
+                # a respawn *inside* the write lock so no query observes
+                # a worker whose live tree is missing this mutation.
+                # Bounded by _MUTATE_TIMEOUT_S, never indefinite.
+                # skyup: ignore[SKY1004]
                 handle.request(op, *args, timeout=remaining)
                 return
             except EngineClosedError:
                 return
             except WorkerCrashError:
+                # skyup: ignore[SKY1004] — same bounded respawn wait
                 if not handle.wait_ready(remaining):
                     return
 
@@ -1218,10 +1237,12 @@ class ShardedUpgradeEngine:
 
     def shard_stats(self) -> Dict[str, object]:
         """Topology + per-process health (queue depth, crash counts)."""
+        with self._rw.read_locked():
+            epochs = list(self.epoch_vector)
         return {
             "n_shards": self.n_shards,
             "n_processes": self.n_processes,
-            "epoch_vector": list(self.epoch_vector),
+            "epoch_vector": epochs,
             "per_process": [
                 {
                     "proc": handle.index,

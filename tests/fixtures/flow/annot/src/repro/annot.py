@@ -1,0 +1,50 @@
+"""Annotation drift, both directions (SKY1003).
+
+``Stale`` declares one lock but every access holds another; the
+annotation is a lie that would silently disable the lexical checker.
+``Unannotated`` is perfectly consistent across enough accesses that the
+analyzer should ask for the annotation to be written down.
+"""
+
+import threading
+
+
+class Stale:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._aux = threading.Lock()
+        self.rows = []  # guarded-by: _aux  (seeded SKY1003: stale)
+
+    def add(self, row):
+        with self._lock:
+            self.rows.append(row)
+
+    def drop_all(self):
+        with self._lock:
+            self.rows.clear()
+
+    def size(self):
+        with self._lock:
+            return len(self.rows)
+
+
+class Unannotated:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.state = {}
+
+    def set(self, key, value):
+        with self._lock:
+            self.state[key] = value
+
+    def unset(self, key):
+        with self._lock:
+            self.state.pop(key, None)
+
+    def lookup(self, key):
+        with self._lock:
+            return self.state.get(key)
+
+    def snapshot(self):
+        with self._lock:
+            return dict(self.state)

@@ -1,0 +1,63 @@
+"""Benign patterns the deep rules must stay silent on.
+
+No seeded defects: every class here is either below the inference
+thresholds on purpose (a deliberate lock-free fast path must not vote a
+guard in) or genuinely consistent once entry locks are propagated.
+"""
+
+import threading
+
+
+class FastPath:
+    """A deliberate lock-free fast path: 2/4 guarded is no majority."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.hits = 0
+
+    def record(self):
+        with self._lock:
+            self.hits += 1
+
+    def record_again(self):
+        with self._lock:
+            self.hits += 1
+
+    def fast_hits(self):
+        return self.hits
+
+    def fast_reset(self):
+        self.hits = 0
+
+
+class CtorOnly:
+    """Written only during construction: nothing shared to infer."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.config = {"a": 1}
+
+    def read_one(self):
+        return self.config.get("a")
+
+    def read_two(self):
+        return self.config.get("a")
+
+    def read_three(self):
+        return len(self.config)
+
+
+class LockFree:
+    """No lock anywhere: the class is exempt from inference."""
+
+    def __init__(self):
+        self.scratch = []
+
+    def push(self, x):
+        self.scratch.append(x)
+
+    def pop(self):
+        return self.scratch.pop()
+
+    def size(self):
+        return len(self.scratch)

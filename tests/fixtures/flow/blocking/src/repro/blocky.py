@@ -1,0 +1,37 @@
+"""Blocking-under-lock chains (SKY1004), direct and interprocedural.
+
+Every flagged site holds an exclusive lock while reaching a blocking
+primitive; ``safe_drain`` proves the same primitive without the lock
+stays silent.
+"""
+
+import threading
+import time
+
+
+class Pump:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._q = None
+
+    def drain_direct(self):
+        with self._lock:
+            return self._q.get()  # seeded SKY1004: queue receive
+
+    def pause_direct(self):
+        with self._lock:
+            time.sleep(0.1)  # seeded SKY1004: sleep
+
+    def drain_via_helper(self):
+        with self._lock:
+            return self._wait()  # seeded SKY1004: blocking callee
+
+    def _wait(self):
+        return self._q.get()
+
+    def reap(self, proc):
+        with self._lock:
+            proc.join()  # seeded SKY1004: process join
+
+    def safe_drain(self):
+        return self._q.get()  # no lock held: silent

@@ -1,0 +1,36 @@
+"""Cross-function guarded accesses: the case the lexical rule cannot see.
+
+``_push_locked`` / ``_drain_locked`` touch ``pending`` with no ``with``
+block in sight — every caller already holds ``_lock``, so the entry-lock
+fixpoint must count those accesses as guarded.  The lexical SKY101
+checker (annotation present, no ``# holds-lock`` escape hatch) flags
+them; the interprocedural rules must not.
+"""
+
+import threading
+
+
+class Buffered:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.pending = []  # guarded-by: _lock
+
+    def push(self, item):
+        with self._lock:
+            self._push_locked(item)
+
+    def pop_all(self):
+        with self._lock:
+            return self._drain_locked()
+
+    def size(self):
+        with self._lock:
+            return len(self.pending)
+
+    def _push_locked(self, item):
+        self.pending.append(item)
+
+    def _drain_locked(self):
+        out = list(self.pending)
+        self.pending.clear()
+        return out

@@ -1,0 +1,33 @@
+"""Deadline-propagation chains (SKY1005).
+
+``fetch`` accepts a deadline and reaches the shard RPC; ``query_bad``
+has a budget in hand and drops it on the floor at the ``fetch`` call.
+The keyword- and positional-binding variants must stay silent.
+"""
+
+
+class Handle:
+    """Stand-in for the shard RPC primitive (``.request``)."""
+
+    def request(self, op, timeout=None):
+        return op, timeout
+
+
+def fetch(handle, deadline=None):
+    return handle.request("rows", timeout=deadline)
+
+
+def query_bad(handle, deadline):
+    return fetch(handle)  # seeded SKY1005: deadline dropped
+
+
+def query_kw(handle, deadline):
+    return fetch(handle, deadline=deadline)
+
+
+def query_pos(handle, budget):
+    return fetch(handle, budget)
+
+
+def no_budget(handle):
+    return fetch(handle)  # caller has no deadline material: silent

@@ -1,0 +1,71 @@
+"""Seeded true races: the minority access is the bug.
+
+Each class votes a guard in from the majority of its accesses; the one
+access that dodges the lock (or holds it in an inadequate mode) is the
+seeded defect the deep rules must pin, by line.
+"""
+
+import threading
+
+
+class Counter:
+    """3/4 accesses under ``_lock``; the lock-free read is a race."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.count = 0
+
+    def incr(self):
+        with self._lock:
+            self.count += 1
+
+    def decr(self):
+        with self._lock:
+            self.count -= 1
+
+    def reset(self):
+        with self._lock:
+            self.count = 0
+
+    def racy_peek(self):
+        return self.count  # seeded SKY1001: no lock held
+
+
+class RWLock:
+    """Stub readers-writer lock (the analyzer keys on method names)."""
+
+    def read_locked(self):
+        return self
+
+    def write_locked(self):
+        return self
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+class Registry:
+    """Writes need the write side; one sneaks in under the read side."""
+
+    def __init__(self):
+        self._rw = RWLock()
+        self.table = {}
+
+    def put(self, key, value):
+        with self._rw.write_locked():
+            self.table[key] = value
+
+    def drop(self, key):
+        with self._rw.write_locked():
+            self.table.pop(key, None)
+
+    def merge(self, other):
+        with self._rw.write_locked():
+            self.table.update(other)
+
+    def racy_put(self, key, value):
+        with self._rw.read_locked():
+            self.table[key] = value  # seeded SKY1002: write under read

@@ -1,0 +1,317 @@
+"""The interprocedural flow analysis and the SKY1000 deep-rule family.
+
+The fixture corpus under ``tests/fixtures/flow/`` seeds one defect per
+rule (plus benign twins that must stay silent); the assertions pin
+exact rule ids *and* line numbers, as in ``test_analysis_lint``.  The
+final tests run the deep rules over the real repo — which must be
+clean — and exercise the cache and the ``--deep`` CLI surface.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+from pathlib import Path
+
+from repro.analysis.engine import (
+    Finding,
+    collect_modules,
+    format_github,
+    run_lint,
+)
+from repro.analysis.flow import analyze, extract_module
+from repro.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+FIXTURES = Path(__file__).resolve().parent / "fixtures" / "flow"
+
+
+def fixture(case: str) -> Path:
+    return FIXTURES / case
+
+
+def deep_findings(root: Path, rule: str):
+    found = run_lint(root, select=[rule], deep=True)
+    return [f for f in found if f.rule == rule]
+
+
+def flow_facts(root: Path):
+    summaries = [extract_module(m) for m in collect_modules(root)]
+    return analyze(summaries)
+
+
+# ---------------------------------------------------------------------------
+# SKY1001 / SKY1002 — inferred-guard races
+
+
+def test_sky1001_flags_lock_free_minority_access():
+    found = deep_findings(fixture("races"), "SKY1001")
+    assert [(f.path, f.line) for f in found] == [
+        ("src/repro/racy.py", 31)
+    ]
+    assert "Counter.racy_peek holds no lock" in found[0].message
+    assert "3/4 accesses" in found[0].message
+
+
+def test_sky1002_flags_write_under_read_mode():
+    found = deep_findings(fixture("races"), "SKY1002")
+    assert [(f.path, f.line) for f in found] == [
+        ("src/repro/racy.py", 71)
+    ]
+    assert "holds {_rw[read]}" in found[0].message
+    assert "not an adequate mode of '_rw'" in found[0].message
+
+
+def test_races_fixture_has_exactly_the_seeded_findings():
+    found = run_lint(fixture("races"), deep=True)
+    assert [(f.line, f.rule) for f in found] == [
+        (31, "SKY1001"),
+        (71, "SKY1002"),
+    ]
+
+
+def test_benign_fixture_is_silent():
+    assert run_lint(fixture("benign"), deep=True) == []
+
+
+# ---------------------------------------------------------------------------
+# cross-function guards — what the lexical tracker cannot see
+
+
+def test_entry_locks_guard_cross_function_accesses():
+    facts = flow_facts(fixture("crossfn"))
+    (fact,) = [f for f in facts.attrs if f.attr == "pending"]
+    assert fact.inferred is not None
+    assert fact.guarded_count == len(fact.accesses) == 4
+    assert fact.violations == []
+
+
+def test_crossfn_deep_rules_silent_where_lexical_flags():
+    # The lexical checker flags the helpers (annotation present, no
+    # holds-lock escape hatch); the interprocedural rules know every
+    # caller holds the lock.
+    lexical = run_lint(fixture("crossfn"), select=["SKY101"])
+    assert [(f.line, f.rule) for f in lexical] == [
+        (31, "SKY101"),
+        (34, "SKY101"),
+        (35, "SKY101"),
+    ]
+    for rule_id in ("SKY1001", "SKY1002", "SKY1003"):
+        assert deep_findings(fixture("crossfn"), rule_id) == []
+
+
+# ---------------------------------------------------------------------------
+# SKY1003 — annotation drift
+
+
+def test_sky1003_flags_stale_annotation_at_declaration():
+    found = deep_findings(fixture("annot"), "SKY1003")
+    stale = [f for f in found if "stale" in f.message]
+    assert [(f.path, f.line) for f in stale] == [
+        ("src/repro/annot.py", 16)
+    ]
+    assert "declared guarded-by '_aux'" in stale[0].message
+    assert "3/3 accesses hold '_lock'" in stale[0].message
+
+
+def test_sky1003_suggests_missing_annotation():
+    found = deep_findings(fixture("annot"), "SKY1003")
+    missing = [f for f in found if "no # guarded-by" in f.message]
+    assert [(f.path, f.line) for f in missing] == [
+        ("src/repro/annot.py", 38)
+    ]
+    assert "'Unannotated.state'" in missing[0].message
+    assert "(4/4 accesses)" in missing[0].message
+
+
+# ---------------------------------------------------------------------------
+# SKY1004 — blocking under an exclusive lock
+
+
+def test_sky1004_flags_direct_and_interprocedural_blocking():
+    found = deep_findings(fixture("blocking"), "SKY1004")
+    assert [(f.path, f.line) for f in found] == [
+        ("src/repro/blocky.py", 19),
+        ("src/repro/blocky.py", 23),
+        ("src/repro/blocky.py", 27),
+        ("src/repro/blocky.py", 34),
+    ]
+    by_line = {f.line: f.message for f in found}
+    assert "blocking '.get()' receive" in by_line[19]
+    assert "sleep()" in by_line[23]
+    assert "_wait -> blocking '.get()' receive" in by_line[27]
+    assert "'proc.join()'" in by_line[34]
+    # safe_drain's identical primitive without the lock stays silent.
+    assert all(f.line != 37 for f in found)
+
+
+# ---------------------------------------------------------------------------
+# SKY1005 — deadline propagation
+
+
+def test_sky1005_flags_dropped_deadline_only():
+    found = deep_findings(fixture("deadline"), "SKY1005")
+    assert [(f.path, f.line) for f in found] == [
+        ("src/repro/shard/svc.py", 21)
+    ]
+    assert "drops the deadline" in found[0].message
+    assert "'deadline' not bound" in found[0].message
+    assert "in query_bad" in found[0].message
+
+
+def test_deep_rules_skipped_without_deep_flag():
+    assert run_lint(fixture("races")) == []
+    # ...but an explicit --select opts a deep rule in.
+    assert len(run_lint(fixture("races"), select=["SKY1001"])) == 1
+
+
+# ---------------------------------------------------------------------------
+# the summary / findings cache
+
+
+def _copy_fixture(case: str, tmp_path: Path) -> Path:
+    root = tmp_path / case
+    shutil.copytree(fixture(case), root)
+    return root
+
+
+def test_findings_cache_warm_run_reuses_everything(tmp_path):
+    root = _copy_fixture("races", tmp_path)
+    cache = tmp_path / "cache"
+    cold_ctx, warm_ctx = [], []
+    cold = run_lint(root, deep=True, cache_dir=cache, ctx_out=cold_ctx)
+    warm = run_lint(root, deep=True, cache_dir=cache, ctx_out=warm_ctx)
+    assert warm == cold and len(cold) == 2
+    assert cold_ctx[0].flow_stats["warm"] is False
+    assert warm_ctx[0].flow_stats["warm"] is True
+    assert (cache / "summaries.json").is_file()
+    assert (cache / "findings.json").is_file()
+
+
+def test_summary_cache_survives_single_file_edit(tmp_path):
+    root = _copy_fixture("races", tmp_path)
+    extra = root / "src" / "repro" / "extra.py"
+    extra.write_text("def noop():\n    return 0\n")
+    cache = tmp_path / "cache"
+    run_lint(root, deep=True, cache_dir=cache)
+    extra.write_text("def noop():\n    return 1\n")
+    ctxs = []
+    found = run_lint(root, deep=True, cache_dir=cache, ctx_out=ctxs)
+    stats = ctxs[0].flow_stats
+    # The tree key changed (no warm findings) but every untouched
+    # file's summary is reused.
+    assert stats["warm"] is False
+    assert stats["summary_hits"] == stats["files"] - 1
+    assert [(f.line, f.rule) for f in found] == [
+        (31, "SKY1001"),
+        (71, "SKY1002"),
+    ]
+
+
+def test_corrupt_cache_falls_back_to_cold_run(tmp_path):
+    root = _copy_fixture("races", tmp_path)
+    cache = tmp_path / "cache"
+    cache.mkdir()
+    (cache / "summaries.json").write_text("{not json")
+    (cache / "findings.json").write_text("[]")
+    ctxs = []
+    found = run_lint(root, deep=True, cache_dir=cache, ctx_out=ctxs)
+    assert ctxs[0].flow_stats["warm"] is False
+    assert [(f.line, f.rule) for f in found] == [
+        (31, "SKY1001"),
+        (71, "SKY1002"),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# the repo itself
+
+
+def test_repo_deep_lints_clean():
+    assert run_lint(REPO_ROOT, deep=True) == []
+
+
+def test_repo_warm_deep_lint_is_fast(tmp_path):
+    cache = tmp_path / "cache"
+    cold_ctx, warm_ctx = [], []
+    run_lint(REPO_ROOT, deep=True, cache_dir=cache, ctx_out=cold_ctx)
+    run_lint(REPO_ROOT, deep=True, cache_dir=cache, ctx_out=warm_ctx)
+    cold = cold_ctx[0].flow_stats
+    warm = warm_ctx[0].flow_stats
+    assert cold["warm"] is False and warm["warm"] is True
+    assert warm["summary_hits"] == warm["files"]
+    # The acceptance bar: a warm deep lint costs < 25% of a cold one.
+    assert warm["seconds"] < 0.25 * cold["seconds"]
+
+
+# ---------------------------------------------------------------------------
+# the github reporter and the --deep CLI surface
+
+
+def test_format_github_escapes_workflow_properties():
+    finding = Finding(
+        rule="SKY1001",
+        path="src/repro/x.py",
+        line=3,
+        col=7,
+        message="50% racy\nsecond line",
+    )
+    out = format_github([finding])
+    assert out.splitlines() == [
+        "::error file=src/repro/x.py,line=3,col=7,title=SKY1001"
+        "::SKY1001 50%25 racy%0Asecond line",
+        "1 finding",
+    ]
+    assert format_github([]).splitlines() == ["0 findings"]
+
+
+def test_cli_deep_github_format_annotates(tmp_path, capsys):
+    root = _copy_fixture("blocking", tmp_path)
+    code = main(
+        [
+            "lint", "--root", str(root), "--deep",
+            "--format", "github", "--cache-dir", "none",
+        ]
+    )
+    captured = capsys.readouterr()
+    assert code == 1
+    assert (
+        "::error file=src/repro/blocky.py,line=19,col=20,title=SKY1004"
+        in captured.out
+    )
+    assert "4 findings" in captured.out
+    assert "[deep: cold cache" in captured.err
+
+
+def test_cli_deep_stats_report_warm_cache(tmp_path, capsys):
+    root = _copy_fixture("races", tmp_path)
+    args = ["lint", "--root", str(root), "--deep"]
+    assert main(args) == 1
+    capsys.readouterr()
+    assert main(args) == 1
+    err = capsys.readouterr().err
+    assert "[deep: warm cache" in err
+    assert (root / ".skyup-cache" / "findings.json").is_file()
+
+
+def test_cli_deep_json_format_includes_deep_rules(tmp_path, capsys):
+    root = _copy_fixture("deadline", tmp_path)
+    code = main(
+        [
+            "lint", "--root", str(root), "--deep",
+            "--format", "json", "--cache-dir", "none",
+        ]
+    )
+    captured = capsys.readouterr()
+    assert code == 1
+    payload = json.loads(captured.out)
+    assert payload["count"] == 1
+    assert payload["findings"][0]["rule"] == "SKY1005"
+
+
+def test_cli_list_rules_tags_deep_family(capsys):
+    assert main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("SKY1001", "SKY1002", "SKY1003", "SKY1004", "SKY1005"):
+        assert rule_id in out
+    assert "[deep]" in out

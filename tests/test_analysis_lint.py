@@ -147,6 +147,59 @@ def test_sky101_comment_line_above_suppresses(tmp_path):
     assert findings_for(tmp_path, "SKY101") == []
 
 
+ALIASED = '''\
+import contextlib
+import threading
+
+
+class Box:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.items = []  # guarded-by: _lock
+
+    def add_via_alias(self, x):
+        lk = self._lock
+        with lk:
+            self.items.append(x)
+
+    def add_via_stack(self, x):
+        stack = contextlib.ExitStack()
+        stack.enter_context(self._lock)
+        self.items.append(x)
+
+    def add_unlocked(self, x):
+        lk = self._lock
+        self.items.append(x)
+'''
+
+
+def test_sky101_tracks_lock_aliases_and_enter_context(tmp_path):
+    write_tree(tmp_path, {"src/repro/aliased.py": ALIASED})
+    found = findings_for(tmp_path, "SKY101")
+    # The alias acquisition and the ExitStack acquisition both count;
+    # merely *naming* the alias without entering it does not.
+    assert [(f.line, f.rule) for f in found] == [(22, "SKY101")]
+    assert "add_unlocked" in found[0].message
+
+
+def test_sky101_module_scope_lock_alias(tmp_path):
+    source = '''\
+import threading
+
+_LOCK = threading.Lock()
+_COUNT = 0  # guarded-by: _LOCK
+
+
+def bump():
+    global _COUNT
+    guard = _LOCK
+    with guard:
+        _COUNT += 1
+'''
+    write_tree(tmp_path, {"src/repro/modalias.py": source})
+    assert findings_for(tmp_path, "SKY101") == []
+
+
 def test_sky102_flags_annotation_naming_missing_lock(tmp_path):
     source = '''\
 class Box:
